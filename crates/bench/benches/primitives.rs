@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks of the partition-space primitives: DSI
+//! evaluation (Algorithm 1), ring-schedule derivation (Table 1), coverage
+//! verification and edge-cost matrices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use primepar::cost::{edge_cost_matrix, CostCtx};
+use primepar::graph::ModelConfig;
+use primepar::partition::verify::check_reduction_coverage;
+use primepar::partition::{ring_transfers, Dim, PartitionSeq, Phase, Primitive};
+use primepar::search::operator_space;
+use primepar::topology::{Cluster, DeviceId, DeviceSpace};
+
+fn bench_dsi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/dsi");
+    let seq = PartitionSeq::new(vec![
+        Primitive::Split(Dim::B),
+        Primitive::Temporal { k: 2 },
+    ])
+    .expect("valid sequence");
+    let space = DeviceSpace::new(5);
+    group.bench_function("temporal_p4x4_full_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for d in 0..32 {
+                for t in 0..4 {
+                    for phase in Phase::ALL {
+                        for dim in Dim::ALL {
+                            acc += seq.dsi(space, phase, dim, DeviceId(d), t);
+                        }
+                    }
+                }
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_ring_schedule(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/ring_schedule");
+    for k in [1u32, 2] {
+        let seq = PartitionSeq::new(vec![Primitive::Temporal { k }]).expect("valid");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| {
+                let mut n = 0;
+                for phase in Phase::ALL {
+                    for t in 0..seq.temporal_steps() {
+                        n += ring_transfers(&seq, phase, t).len();
+                    }
+                }
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_verification(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/verify");
+    let seq = PartitionSeq::new(vec![
+        Primitive::Split(Dim::N),
+        Primitive::Temporal { k: 2 },
+    ])
+    .expect("valid");
+    let space = DeviceSpace::new(5);
+    group.bench_function("reduction_coverage_32_devices", |b| {
+        b.iter(|| {
+            for phase in Phase::ALL {
+                check_reduction_coverage(&seq, space, phase).expect("sound");
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_edge_matrix(c: &mut Criterion) {
+    let mut group = c.benchmark_group("primitives/edge_cost_matrix");
+    group.sample_size(10);
+    let cluster = Cluster::v100_like(16);
+    let ctx = CostCtx::new(&cluster, 0.0);
+    let graph = ModelConfig::opt_175b().layer_graph(8, 2048);
+    let edge = graph.edges.iter().find(|e| e.src == 9 && e.dst == 10).expect("fc1->act");
+    let src_space = operator_space(&graph.ops[9], 4, &Default::default());
+    let dst_space = operator_space(&graph.ops[10], 4, &Default::default());
+    group.bench_function(
+        format!("fc1_to_act_{}x{}", src_space.len(), dst_space.len()),
+        |b| {
+            b.iter(|| {
+                edge_cost_matrix(&ctx, edge, &graph.ops[9], &graph.ops[10], &src_space, &dst_space)
+            })
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsi, bench_ring_schedule, bench_verification, bench_edge_matrix);
+criterion_main!(benches);

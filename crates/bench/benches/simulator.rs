@@ -1,0 +1,53 @@
+//! Criterion benchmarks of the discrete-event simulator and the functional
+//! executor (the reproduction's substrate costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use primepar::exec::{DistLinear, LinearShape};
+use primepar::graph::ModelConfig;
+use primepar::partition::{PartitionSeq, Primitive};
+use primepar::search::megatron_layer_plan;
+use primepar::sim::simulate_layer;
+use primepar::tensor::Tensor;
+use primepar::topology::Cluster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_simulate_layer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/layer");
+    for devices in [4usize, 16] {
+        let cluster = Cluster::v100_like(devices);
+        let graph = ModelConfig::opt_175b().layer_graph(8, 2048);
+        let plan = megatron_layer_plan(&graph, 1, devices);
+        group.bench_with_input(BenchmarkId::from_parameter(devices), &devices, |b, _| {
+            b.iter(|| simulate_layer(&cluster, &graph, &plan))
+        });
+    }
+    group.finish();
+}
+
+fn bench_functional_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator/functional_train_step");
+    group.sample_size(20);
+    let shape = LinearShape { b: 8, m: 32, n: 64, k: 64 };
+    let mut rng = StdRng::seed_from_u64(1);
+    let i = Tensor::randn(vec![shape.b, shape.m, shape.n], 1.0, &mut rng);
+    let w = Tensor::randn(vec![shape.n, shape.k], 1.0, &mut rng);
+    let d_o = Tensor::randn(vec![shape.b, shape.m, shape.k], 1.0, &mut rng);
+    for (label, prims) in [
+        ("p2x2", vec![Primitive::Temporal { k: 1 }]),
+        ("p4x4", vec![Primitive::Temporal { k: 2 }]),
+        ("split_bn", vec![Primitive::Split(primepar::partition::Dim::B), Primitive::Split(primepar::partition::Dim::N)]),
+    ] {
+        let seq = PartitionSeq::new(prims).expect("valid");
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut dist = DistLinear::new(seq.clone(), shape).expect("divisible");
+                dist.train_step(&i, &w, &d_o, 0.01).expect("exact")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulate_layer, bench_functional_executor);
+criterion_main!(benches);

@@ -1,0 +1,156 @@
+//! Ablation studies beyond the paper's figures (DESIGN.md §7):
+//!
+//! * **α sweep** — Eq. 7's joint latency/memory optimization: larger α trades
+//!   throughput for peak memory.
+//! * **temporal depth** — contribution of `P_{2×2}` and `P_{4×4}` over the
+//!   conventional space.
+//! * **topology** — §7's discussion: a torus (uniform neighbor links)
+//!   favors the ring-only strategies even more than the hierarchical
+//!   NVLink/InfiniBand cluster.
+//!
+//! `cargo run --release -p primepar-bench --bin ablations`
+
+use primepar::graph::ModelConfig;
+use primepar::search::{best_megatron, Planner, PlannerOptions, SpaceOptions};
+use primepar::sim::simulate_model;
+use primepar::topology::Cluster;
+
+fn main() {
+    let (batch, seq) = (8u64, 2048u64);
+    let tokens = (batch * seq) as f64;
+
+    // --- Ablation A: α sweep -------------------------------------------------
+    let model = ModelConfig::opt_175b();
+    println!("Ablation A — Eq. 7 α sweep ({} on 8 GPUs)\n", model.name);
+    println!("{:>12} {:>14} {:>12}", "alpha", "tokens/s", "peak GB");
+    let cluster = Cluster::v100_like(8);
+    let graph = model.layer_graph(batch, seq);
+    for alpha in [0.0, 1e-9, 1e-8, 1e-7] {
+        let opts = PlannerOptions { alpha, ..PlannerOptions::default() };
+        let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
+        let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
+        println!(
+            "{alpha:>12.0e} {:>14.0} {:>12.1}",
+            report.tokens_per_second,
+            report.peak_memory_bytes / 1e9
+        );
+    }
+    println!("expected: memory falls (or holds) as α grows, throughput pays for it\n");
+
+    // --- Ablation B: temporal depth ------------------------------------------
+    println!("Ablation B — temporal primitive depth ({} on 16 GPUs)\n", model.name);
+    println!("{:>22} {:>14} {:>12}", "space", "tokens/s", "peak GB");
+    let cluster = Cluster::v100_like(16);
+    for (label, allow_temporal, max_k) in [
+        ("conventional only", false, 0u32),
+        ("+ P_2x2", true, 1),
+        ("+ P_2x2 and P_4x4", true, 2),
+    ] {
+        let opts = PlannerOptions {
+            space: SpaceOptions {
+                allow_temporal,
+                max_temporal_k: max_k.max(1),
+                ..SpaceOptions::default()
+            },
+            alpha: 0.0,
+            ..PlannerOptions::default()
+        };
+        let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
+        let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
+        println!(
+            "{label:>22} {:>14.0} {:>12.1}",
+            report.tokens_per_second,
+            report.peak_memory_bytes / 1e9
+        );
+    }
+    println!("expected: each temporal depth level is at least as good as the previous\n");
+
+    // --- Ablation C: topology -------------------------------------------------
+    println!("Ablation C — topology (PrimePar speedup over Megatron at 16 GPUs)\n");
+    println!("{:<12} {:>14} {:>14} {:>10}", "topology", "megatron t/s", "primepar t/s", "speedup");
+    for (label, cluster) in [
+        ("v100", Cluster::v100_like(16)),
+        ("torus", Cluster::torus_like(16)),
+    ] {
+        let graph = model.layer_graph(batch, seq);
+        let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
+        let mega = simulate_model(&cluster, &graph, &mega_plan, model.layers, tokens);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        let prime = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
+        println!(
+            "{label:<12} {:>14.0} {:>14.0} {:>9.2}x",
+            mega.tokens_per_second,
+            prime.tokens_per_second,
+            prime.tokens_per_second / mega.tokens_per_second
+        );
+    }
+    println!("expected (§7): PrimePar ports to tori at full throughput (its ring traffic never");
+    println!("crosses a slow shared link); the baseline also gains, narrowing the relative gap\n");
+
+    // --- Ablation D: activation recomputation ---------------------------------
+    println!("Ablation D — activation recomputation ({} on 8 GPUs)\n", model.name);
+    println!("{:<14} {:>14} {:>12}", "stash policy", "tokens/s", "peak GB");
+    let cluster = Cluster::v100_like(8);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+    for (label, recompute) in [("full stash", false), ("recompute", true)] {
+        let report = primepar::sim::simulate_model_with(
+            &cluster,
+            &graph,
+            &plan.seqs,
+            model.layers,
+            tokens,
+            &primepar::sim::SimOptions { recompute_activations: recompute },
+        );
+        println!(
+            "{label:<14} {:>14.0} {:>12.1}",
+            report.tokens_per_second,
+            report.peak_memory_bytes / 1e9
+        );
+    }
+    println!("expected: large memory cut for roughly one extra forward pass of latency\n");
+
+    // --- Ablation E: optimizer parallelism ------------------------------------
+    println!("Ablation E — optimizer parallelism (§5.3; {} at 16 GPUs)\n", model.name);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("host exposes {cores} core(s); speedup requires cores > 1\n");
+    println!("{:>10} {:>14}", "threads", "search ms");
+    let cluster = Cluster::v100_like(16);
+    for threads in [0usize, 2, 4, 8] {
+        let opts = PlannerOptions { threads, ..PlannerOptions::default() };
+        let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
+        println!("{:>10} {:>14.1}", threads.max(1), plan.search_time.as_secs_f64() * 1e3);
+    }
+    println!("expected: the edge-matrix and Bellman stages scale with available cores");
+    println!("(identical results regardless of thread count is asserted by unit tests)\n");
+
+    // --- Ablation F: straggler sensitivity ------------------------------------
+    println!("Ablation F — straggler sensitivity ({} on 8 GPUs, one device 1.3x slower)\n", model.name);
+    println!("{:<10} {:>14} {:>14} {:>12}", "system", "baseline ms", "straggler ms", "slowdown");
+    let cluster = Cluster::v100_like(8);
+    let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
+    let prime_plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+        .optimize(model.layers)
+        .seqs;
+    for (name, plan) in [("Megatron", &mega_plan), ("PrimePar", &prime_plan)] {
+        let base = primepar::sim::simulate_layer_des(
+            &cluster,
+            &graph,
+            plan,
+            &primepar::sim::DesOptions::default(),
+        );
+        let slow = primepar::sim::simulate_layer_des(
+            &cluster,
+            &graph,
+            plan,
+            &primepar::sim::DesOptions { straggler: Some((3, 1.3)) },
+        );
+        println!(
+            "{name:<10} {:>14.2} {:>14.2} {:>11.3}x",
+            base.iteration_time * 1e3,
+            slow.iteration_time * 1e3,
+            slow.iteration_time / base.iteration_time
+        );
+    }
+    println!("question answered: does the temporal primitive's per-step ring coupling make");
+    println!("PrimePar more straggler-sensitive than collective-based strategies?");
+}

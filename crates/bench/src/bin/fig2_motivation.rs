@@ -1,0 +1,53 @@
+//! Regenerates paper Fig. 2 (motivation):
+//! (a) the share of Megatron-LM training latency spent in all-reduce for
+//!     OPT 6.7B, Llama2 70B and BLOOM 176B on 16 GPUs;
+//! (b) the gap between Megatron-LM's per-GPU peak memory and the ideal
+//!     replication-free occupancy for Llama2 70B on 4/8/16/32 GPUs.
+//!
+//! `cargo run --release -p primepar-bench --bin fig2_motivation`
+
+use primepar::graph::ModelConfig;
+use primepar::search::best_megatron;
+use primepar::sim::{ideal_memory_bytes, simulate_model};
+use primepar::topology::Cluster;
+use primepar_bench::device_scales;
+
+fn main() {
+    let (batch, seq) = (8u64, 2048u64);
+    let tokens = (batch * seq) as f64;
+
+    println!("Fig. 2(a) — all-reduce share of Megatron-LM training latency on 16 GPUs\n");
+    println!("{:<12} {:>8} {:>16} {:>18}", "model", "(d,m)", "layer time (ms)", "all-reduce share");
+    for model in [ModelConfig::opt_6_7b(), ModelConfig::llama2_70b(), ModelConfig::bloom_176b()] {
+        let cluster = Cluster::v100_like(16);
+        let graph = model.layer_graph(batch, seq);
+        let (plan, (d, m), _) = best_megatron(&cluster, &graph, 0.0);
+        let report = simulate_model(&cluster, &graph, &plan, model.layers, tokens);
+        println!(
+            "{:<12} {:>8} {:>16.2} {:>17.1}%",
+            model.name,
+            format!("({d},{m})"),
+            report.layer.layer_time * 1e3,
+            100.0 * report.layer.breakdown.collective_fraction()
+        );
+    }
+    println!("\npaper reference: a significant share of training latency is all-reduce\n");
+
+    println!("Fig. 2(b) — Llama2 70B per-GPU peak memory: Megatron-LM vs ideal (no replication)\n");
+    println!("{:>8} {:>14} {:>12} {:>10}", "devices", "megatron GB", "ideal GB", "ratio");
+    let model = ModelConfig::llama2_70b();
+    for devices in device_scales(&[4, 8, 16, 32]) {
+        let cluster = Cluster::v100_like(devices);
+        let graph = model.layer_graph(batch, seq);
+        let (plan, _, _) = best_megatron(&cluster, &graph, 0.0);
+        let report = simulate_model(&cluster, &graph, &plan, model.layers, tokens);
+        let ideal = ideal_memory_bytes(&graph, model.layers, devices);
+        println!(
+            "{devices:>8} {:>14.1} {:>12.1} {:>9.2}x",
+            report.peak_memory_bytes / 1e9,
+            ideal / 1e9,
+            report.peak_memory_bytes / ideal
+        );
+    }
+    println!("\npaper reference: the replication-induced gap widens as parallelism grows");
+}

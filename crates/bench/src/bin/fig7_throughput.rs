@@ -1,0 +1,42 @@
+//! Regenerates paper Fig. 7: normalized training throughput of Megatron-LM,
+//! Alpa and PrimePar for the six models at 4/8/16/32 GPUs (no pipeline).
+//!
+//! `cargo run --release -p primepar-bench --bin fig7_throughput`
+//! (`--quick` for 4/8 GPUs only, `--devices 4,8` to customize).
+
+use primepar::compare_systems;
+use primepar::graph::ModelConfig;
+use primepar_bench::{device_scales, geomean};
+
+fn main() {
+    let scales = device_scales(&[4, 8, 16, 32]);
+    let (batch, seq) = (8u64, 2048u64);
+    println!("Fig. 7 — normalized training throughput (Megatron = 1.00)");
+    println!("batch {batch}, sequence {seq}, no pipeline parallelism\n");
+
+    let mut speedups_at_max: Vec<f64> = Vec::new();
+    let max_scale = *scales.iter().max().expect("non-empty scales");
+    for model in ModelConfig::all() {
+        println!("── {} ──", model.name);
+        println!("{:>8} {:>12} {:>10} {:>10} {:>10}", "devices", "megatron t/s", "megatron", "alpa", "primepar");
+        for &devices in &scales {
+            let rows = compare_systems(&model, devices, batch, seq);
+            let base = rows[0].tokens_per_second;
+            println!(
+                "{devices:>8} {base:>12.0} {:>10.2} {:>10.2} {:>10.2}",
+                rows[0].tokens_per_second / base,
+                rows[1].tokens_per_second / base,
+                rows[2].tokens_per_second / base,
+            );
+            if devices == max_scale {
+                speedups_at_max.push(rows[2].tokens_per_second / base);
+            }
+        }
+        println!();
+    }
+    println!(
+        "geo-mean PrimePar speedup over Megatron at {max_scale} GPUs: {:.2}x",
+        geomean(&speedups_at_max)
+    );
+    println!("paper reference: 1.30x geo-mean at 32 GPUs; up to 1.68x on >100B models");
+}

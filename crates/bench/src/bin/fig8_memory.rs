@@ -1,0 +1,37 @@
+//! Regenerates paper Fig. 8: normalized peak memory occupancy of Megatron-LM,
+//! Alpa and PrimePar under the same configurations as Fig. 7.
+//!
+//! `cargo run --release -p primepar-bench --bin fig8_memory`
+//! (`--quick` / `--devices` as in `fig7_throughput`).
+
+use primepar::compare_systems;
+use primepar::graph::ModelConfig;
+use primepar_bench::device_scales;
+
+fn main() {
+    let scales = device_scales(&[4, 8, 16, 32]);
+    let (batch, seq) = (8u64, 2048u64);
+    println!("Fig. 8 — normalized peak memory occupancy (Megatron = 1.00)");
+    println!("batch {batch}, sequence {seq}; same plans as Fig. 7\n");
+
+    for model in ModelConfig::all() {
+        println!("── {} ──", model.name);
+        println!(
+            "{:>8} {:>14} {:>10} {:>10} {:>10}",
+            "devices", "megatron GB", "megatron", "alpa", "primepar"
+        );
+        for &devices in &scales {
+            let rows = compare_systems(&model, devices, batch, seq);
+            let base = rows[0].peak_memory_bytes;
+            println!(
+                "{devices:>8} {:>14.1} {:>10.2} {:>10.2} {:>10.2}",
+                base / 1e9,
+                rows[0].peak_memory_bytes / base,
+                rows[1].peak_memory_bytes / base,
+                rows[2].peak_memory_bytes / base,
+            );
+        }
+        println!();
+    }
+    println!("paper reference: ~0.90x around 7B; down to 0.68x for BLOOM 176B at 16/32 GPUs");
+}

@@ -1,0 +1,77 @@
+//! Regenerates paper Fig. 9: latency breakdown of the OPT-175B MLP block for
+//! batch sizes 8 and 16 scaling to 8 and 16 GPUs, Megatron-LM vs PrimePar,
+//! plus the detailed partition strategies and kernel timeline of the 8-GPU
+//! batch-8 configuration.
+//!
+//! `cargo run --release -p primepar-bench --bin fig9_ablation`
+
+use primepar::graph::ModelConfig;
+use primepar::search::{megatron_layer_plan, Planner, PlannerOptions};
+use primepar::sim::simulate_layer;
+use primepar::topology::Cluster;
+use primepar_bench::{mlp_block_graph, strategies};
+
+fn main() {
+    let model = ModelConfig::opt_175b();
+    let seq = 2048u64;
+
+    println!("Fig. 9 — OPT 175B MLP block latency breakdown, Megatron vs PrimePar\n");
+    println!(
+        "{:>6} {:>8} {:<10} {:>12} {:>12} {:>12} {:>12} {:>14}",
+        "batch", "devices", "system", "total ms", "compute ms", "collect. ms", "ring ms", "collective cut"
+    );
+    for batch in [8u64, 16] {
+        for devices in [8usize, 16] {
+            let cluster = Cluster::v100_like(devices);
+            let graph = mlp_block_graph(&model, batch, seq);
+            let mega_plan = megatron_layer_plan(&graph, 1, devices);
+            let mega = simulate_layer(&cluster, &graph, &mega_plan);
+            let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+                .optimize(model.layers);
+            let prime = simulate_layer(&cluster, &graph, &plan.seqs);
+            for (name, r) in [("Megatron", &mega), ("PrimePar", &prime)] {
+                let cut = if name == "PrimePar" && mega.breakdown.collective > 0.0 {
+                    format!("{:.1}%", 100.0 * r.breakdown.collective / mega.breakdown.collective)
+                } else {
+                    "-".to_string()
+                };
+                println!(
+                    "{batch:>6} {devices:>8} {name:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2} {:>14}",
+                    r.breakdown.total() * 1e3,
+                    r.breakdown.compute * 1e3,
+                    r.breakdown.collective * 1e3,
+                    r.breakdown.ring_total * 1e3,
+                    cut
+                );
+            }
+        }
+    }
+    println!("\npaper reference: PrimePar consumes 19.9%-62.2% of Megatron's collective latency,");
+    println!("computation latency is roughly equal, and ring traffic fully overlaps with compute.\n");
+
+    // Detail panel: strategies and the kernel timeline at 8 GPUs, batch 8.
+    let cluster = Cluster::v100_like(8);
+    let graph = mlp_block_graph(&model, 8, seq);
+    let mega_plan = megatron_layer_plan(&graph, 1, 8);
+    let prime = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+    println!("Megatron strategies: {}", strategies(&graph, &mega_plan, &["fc1", "act", "fc2"]));
+    println!("PrimePar strategies: {}", strategies(&graph, &prime.seqs, &["fc1", "act", "fc2"]));
+
+    println!("\nPrimePar kernel timeline (one device, 8 GPUs, batch 8):");
+    let report = simulate_layer(&cluster, &graph, &prime.seqs);
+    println!("{}", primepar::sim::render_gantt(&report.timeline, 100));
+    for ev in report
+        .timeline
+        .iter()
+        .filter(|e| e.duration > 1e-5 || e.kind != primepar::sim::EventKind::Ring)
+    {
+        println!(
+            "  {:>9.3}ms +{:>8.3}ms  {:<14?} {:<9} {}",
+            ev.start * 1e3,
+            ev.duration * 1e3,
+            ev.kind,
+            ev.phase.to_string(),
+            ev.op
+        );
+    }
+}

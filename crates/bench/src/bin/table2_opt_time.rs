@@ -1,0 +1,34 @@
+//! Regenerates paper Table 2: wall-clock optimization time of the segmented
+//! dynamic-programming search for the OPT, Llama2 and BLOOM model structures
+//! at parallelism sizes 4, 8, 16 and 32 (single-threaded).
+//!
+//! `cargo run --release -p primepar-bench --bin table2_opt_time`
+
+use primepar::graph::ModelConfig;
+use primepar::search::{Planner, PlannerOptions};
+use primepar::topology::Cluster;
+use primepar_bench::device_scales;
+
+fn main() {
+    let scales = device_scales(&[4, 8, 16, 32]);
+    let (batch, seq) = (8u64, 2048u64);
+    println!("Table 2 — optimization time (ms) per model structure and parallelism size\n");
+    print!("{:<10}", "model");
+    for s in &scales {
+        print!("{s:>12}");
+    }
+    println!();
+    for model in [ModelConfig::opt_175b(), ModelConfig::llama2_70b(), ModelConfig::bloom_176b()] {
+        print!("{:<10}", model.name.split(' ').next().expect("name"));
+        for &devices in &scales {
+            let cluster = Cluster::v100_like(devices);
+            let graph = model.layer_graph(batch, seq);
+            let plan =
+                Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+            print!("{:>12.1}", plan.search_time.as_secs_f64() * 1e3);
+        }
+        println!();
+    }
+    println!("\npaper reference (ms): OPT 85/87/171/5357, Llama2 87/89/186/6070, Bloom 85/80/166/4153");
+    println!("(the shape to reproduce: flat up to 16 devices, a jump at 32 as P³ bites)");
+}

@@ -1,0 +1,112 @@
+//! Shared helpers for the figure/table-regenerating harness binaries.
+//!
+//! Each paper artifact has a dedicated binary (see `src/bin/`):
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Fig. 2 (motivation) | `fig2_motivation` |
+//! | Fig. 7 (throughput) | `fig7_throughput` |
+//! | Fig. 8 (peak memory) | `fig8_memory` |
+//! | Fig. 9 (ablation / MLP breakdown) | `fig9_ablation` |
+//! | Fig. 10 (3D parallelism) | `fig10_3d` |
+//! | Table 2 (optimization time) | `table2_opt_time` |
+//!
+//! Criterion micro-benchmarks live in `benches/` (optimizer, primitives,
+//! simulator).
+
+use primepar::graph::{Graph, ModelConfig};
+use primepar::partition::PartitionSeq;
+
+/// Geometric mean of a non-empty slice.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+/// Parses `--devices 4,8,16` style arguments; `--quick` restricts any default
+/// list to its first two entries.
+pub fn device_scales(default: &[usize]) -> Vec<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(pos) = args.iter().position(|a| a == "--devices") {
+        if let Some(list) = args.get(pos + 1) {
+            return list
+                .split(',')
+                .map(|s| s.trim().parse().expect("device count"))
+                .collect();
+        }
+    }
+    if args.iter().any(|a| a == "--quick") {
+        default.iter().copied().take(2).collect()
+    } else {
+        default.to_vec()
+    }
+}
+
+/// The paper's Fig. 9 MLP block as a standalone graph: `add1` (anchor),
+/// `norm2`, `fc1`, `act`, `fc2`, `add2` with the residual skip — nodes 7..=12
+/// of the full layer, reindexed.
+pub fn mlp_block_graph(model: &ModelConfig, batch: u64, seq: u64) -> Graph {
+    let layer = model.layer_graph(batch, seq);
+    let ops = layer.ops[7..=12].to_vec();
+    let edges = layer
+        .edges
+        .iter()
+        .filter(|e| e.src >= 7 && e.dst <= 12 && e.dst >= 7)
+        .map(|e| {
+            let mut e = e.clone();
+            e.src -= 7;
+            e.dst -= 7;
+            e
+        })
+        .collect();
+    Graph { ops, edges }
+}
+
+/// Pretty-prints a plan as a one-line strategy string for an operator subset.
+pub fn strategies(graph: &Graph, plan: &[PartitionSeq], names: &[&str]) -> String {
+    graph
+        .ops
+        .iter()
+        .zip(plan)
+        .filter(|(op, _)| names.contains(&op.name.as_str()))
+        .map(|(op, s)| format!("{}.P = [{s}]", op.name))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geomean_of_constants() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mlp_block_structure() {
+        let g = mlp_block_graph(&ModelConfig::opt_175b(), 8, 2048);
+        assert_eq!(g.ops.len(), 6);
+        assert_eq!(g.ops[2].name, "fc1");
+        assert_eq!(g.ops[4].name, "fc2");
+        // Residual skip add1 -> add2 survives reindexing as (0, 5).
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 5));
+        assert_eq!(g.segments(), vec![(0, 5)]);
+        g.validate_segmentation();
+    }
+
+    #[test]
+    fn strategies_filters_by_name() {
+        let model = ModelConfig::opt_6_7b();
+        let g = model.layer_graph(8, 256);
+        let plan = primepar::search::megatron_layer_plan(&g, 1, 2);
+        let s = strategies(&g, &plan, &["fc1", "fc2"]);
+        assert!(s.contains("fc1.P") && s.contains("fc2.P"));
+        assert!(!s.contains("qkv"));
+    }
+}

@@ -1,0 +1,312 @@
+//! `primepar` — command-line front end for the PrimePar reproduction.
+//!
+//! ```text
+//! primepar models
+//! primepar plan    --model opt-175b --devices 8 [--system primepar|alpa|megatron]
+//!                  [--batch 8] [--seq 2048] [--alpha 0] [--no-batch-split] [--gantt]
+//!                  [--set op=SEQ]...   # override strategies, e.g. --set fc2=N.P2x2
+//!                  [--save plan.txt] [--plan plan.txt]   # persist / reuse plans
+//! primepar compare --model llama2-70b --devices 16 [--batch 8] [--seq 2048]
+//! primepar verify  [--k 1] [--iters 8]
+//! primepar sweep   --model bloom-176b [--devices 2,4,8,16]
+//! ```
+
+use std::process::ExitCode;
+
+use primepar::exec::{train_distributed, train_serial};
+use primepar::graph::ModelConfig;
+use primepar::partition::{PartitionSeq, Primitive};
+use primepar::search::{
+    best_megatron, explain_plan, parse_plan, render_plan, Planner, PlannerOptions, SpaceOptions,
+};
+use primepar::sim::{render_gantt, simulate_layer, simulate_model};
+use primepar::tensor::Tensor;
+use primepar::topology::Cluster;
+use primepar::{compare_systems, plan_summary};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct Args(Vec<String>);
+
+impl Args {
+    fn flag(&self, name: &str) -> bool {
+        self.0.iter().any(|a| a == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.0
+            .iter()
+            .position(|a| a == name)
+            .and_then(|i| self.0.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+        }
+    }
+
+    /// All values of a repeatable flag.
+    fn values(&self, name: &str) -> Vec<&str> {
+        self.0
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| *a == name)
+            .filter_map(|(i, _)| self.0.get(i + 1))
+            .map(String::as_str)
+            .collect()
+    }
+}
+
+fn model_by_name(name: &str) -> Option<ModelConfig> {
+    let canon = name.to_lowercase().replace(['-', '_', ' '], "");
+    ModelConfig::all().into_iter().find(|m| {
+        m.name.to_lowercase().replace([' ', '.'], "").contains(&canon.replace('.', ""))
+    })
+}
+
+fn usage() -> &'static str {
+    "usage: primepar <command> [options]\n\
+     \n\
+     commands:\n\
+     \x20 models                       list the model zoo\n\
+     \x20 plan    --model M --devices N   search and explain a partition plan\n\
+     \x20         [--system primepar|alpa|megatron] [--batch B] [--seq S]\n\
+     \x20         [--alpha A] [--no-batch-split] [--gantt]\n\
+     \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
+     \x20 verify  [--k 1|2] [--iters N]   functional equivalence check of P_{2^k x 2^k}\n\
+     \x20 sweep   --model M [--devices 2,4,8,16]  scaling study\n"
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}\n\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = argv.first().cloned() else {
+        return Err("missing command".into());
+    };
+    let args = Args(argv);
+    match command.as_str() {
+        "models" => {
+            println!("{:<12} {:>7} {:>8} {:>7} {:>9} {:>10}", "model", "layers", "hidden", "heads", "ffn", "params");
+            for m in ModelConfig::all() {
+                println!(
+                    "{:<12} {:>7} {:>8} {:>7} {:>9} {:>9.1}B",
+                    m.name,
+                    m.layers,
+                    m.hidden,
+                    m.heads,
+                    m.ffn,
+                    m.param_count() / 1e9
+                );
+            }
+            Ok(())
+        }
+        "plan" => {
+            let model = required_model(&args)?;
+            let devices: usize = args.parse("--devices", 4)?;
+            let batch: u64 = args.parse("--batch", 8)?;
+            let seq: u64 = args.parse("--seq", 2048)?;
+            let alpha: f64 = args.parse("--alpha", 0.0)?;
+            let system = args.value("--system").unwrap_or("primepar").to_lowercase();
+            let cluster =
+                Cluster::v100_like(devices);
+            let graph = model.layer_graph(batch, seq);
+            if let Some(path) = args.value("--plan") {
+                // Load a saved plan instead of searching.
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                let seqs = parse_plan(&graph, &text).map_err(|e| e.to_string())?;
+                println!("{} on {devices} GPUs — plan from {path}\n", model.name);
+                println!("{}", explain_plan(&cluster, &graph, &seqs));
+                let report =
+                    simulate_model(&cluster, &graph, &seqs, model.layers, (batch * seq) as f64);
+                println!(
+                    "simulated: {:.0} tokens/s, {:.1} GB peak per device",
+                    report.tokens_per_second,
+                    report.peak_memory_bytes / 1e9
+                );
+                return Ok(());
+            }
+            let (seqs, label) = match system.as_str() {
+                "megatron" => {
+                    let (plan, (d, m), _) = best_megatron(&cluster, &graph, alpha);
+                    (plan, format!("Megatron (d={d}, m={m})"))
+                }
+                "alpa" => {
+                    let p = primepar::search::alpa_plan(&cluster, &graph, model.layers, alpha);
+                    (p.seqs, format!("Alpa ({:?} search)", p.search_time))
+                }
+                "primepar" => {
+                    let opts = PlannerOptions {
+                        space: SpaceOptions {
+                            allow_batch_split: !args.flag("--no-batch-split"),
+                            ..SpaceOptions::default()
+                        },
+                        alpha,
+                        threads: args.parse("--threads", 0)?,
+                    };
+                    let p = Planner::new(&cluster, &graph, opts).optimize(model.layers);
+                    (p.seqs, format!("PrimePar ({:?} search)", p.search_time))
+                }
+                other => return Err(format!("unknown system: {other}")),
+            };
+            let mut seqs = seqs;
+            // Manual strategy overrides: --set fc2=N.P2x2 ('.' separates tokens).
+            for spec in args.values("--set") {
+                let (op_name, text) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--set expects op=SEQ, got {spec}"))?;
+                let idx = graph
+                    .ops
+                    .iter()
+                    .position(|op| op.name == op_name)
+                    .ok_or_else(|| format!("unknown operator in --set: {op_name}"))?;
+                let parsed: PartitionSeq = text
+                    .replace('.', " ")
+                    .parse()
+                    .map_err(|e| format!("--set {op_name}: {e}"))?;
+                if parsed.num_devices() != devices {
+                    return Err(format!(
+                        "--set {op_name}: sequence spans {} devices, cluster has {devices}",
+                        parsed.num_devices()
+                    ));
+                }
+                seqs[idx] = parsed;
+            }
+            println!("{} on {devices} GPUs — {label}\n", model.name);
+            println!("{}", explain_plan(&cluster, &graph, &seqs));
+            let report = simulate_model(&cluster, &graph, &seqs, model.layers, (batch * seq) as f64);
+            println!(
+                "simulated: {:.0} tokens/s, {:.1} GB peak per device",
+                report.tokens_per_second,
+                report.peak_memory_bytes / 1e9
+            );
+            if let Some(path) = args.value("--save") {
+                std::fs::write(path, render_plan(&graph, &seqs))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("plan saved to {path}");
+            }
+            if args.flag("--gantt") {
+                let layer = simulate_layer(&cluster, &graph, &seqs);
+                println!("\n{}", render_gantt(&layer.timeline, 100));
+            }
+            Ok(())
+        }
+        "compare" => {
+            let model = required_model(&args)?;
+            let devices: usize = args.parse("--devices", 4)?;
+            let batch: u64 = args.parse("--batch", 8)?;
+            let seq: u64 = args.parse("--seq", 2048)?;
+            println!("{} on {devices} GPUs (batch {batch}, seq {seq})\n", model.name);
+            let rows = compare_systems(&model, devices, batch, seq);
+            let base = rows[0].tokens_per_second;
+            println!(
+                "{:<10} {:>14} {:>9} {:>11} {:>12}",
+                "system", "tokens/s", "speedup", "peak mem", "search"
+            );
+            for r in &rows {
+                println!(
+                    "{:<10} {:>14.0} {:>8.2}x {:>9.1}GB {:>12.1?}",
+                    r.system,
+                    r.tokens_per_second,
+                    r.tokens_per_second / base,
+                    r.peak_memory_bytes / 1e9,
+                    r.search_time
+                );
+            }
+            let prime = rows.last().expect("three rows");
+            println!("\nPrimePar strategy:\n{}", plan_summary(&model, batch, seq, &prime.plan));
+            Ok(())
+        }
+        "verify" => {
+            let k: u32 = args.parse("--k", 1)?;
+            let iters: usize = args.parse("--iters", 8)?;
+            if !(1..=2).contains(&k) {
+                return Err("--k must be 1 or 2".into());
+            }
+            let devices = 1usize << (2 * k);
+            println!(
+                "verifying P_{{{s}x{s}}} on {devices} simulated devices over {iters} SGD iterations…",
+                s = 1usize << k
+            );
+            let mut rng = StdRng::seed_from_u64(42);
+            let width = 16usize.max(1 << (k + 2));
+            let input = Tensor::randn(vec![4, 8, width], 1.0, &mut rng);
+            let target = Tensor::randn(vec![4, 8, width], 1.0, &mut rng);
+            let w1 = Tensor::randn(vec![width, width], 0.4, &mut rng);
+            let w2 = Tensor::randn(vec![width, width], 0.4, &mut rng);
+            let serial = train_serial(&input, &target, &w1, &w2, 0.05, iters)
+                .map_err(|e| e.to_string())?;
+            let seq = PartitionSeq::new(vec![Primitive::Temporal { k }])
+                .map_err(|e| e.to_string())?;
+            let dist =
+                train_distributed(&input, &target, &w1, &w2, 0.05, iters, seq.clone(), seq)
+                    .map_err(|e| e.to_string())?;
+            for (i, (a, b)) in serial.losses.iter().zip(&dist.losses).enumerate() {
+                println!("  iter {i:>2}: serial loss {a:.6}, distributed {b:.6}, |diff| {:.2e}", (a - b).abs());
+            }
+            let diff = serial.w1.max_abs_diff(&dist.w1).max(serial.w2.max_abs_diff(&dist.w2));
+            println!("final weight max |diff|: {diff:.2e}");
+            if diff < 1e-3 {
+                println!("OK: spatial-temporal training is numerically identical to serial.");
+                Ok(())
+            } else {
+                Err(format!("verification failed: weight divergence {diff}"))
+            }
+        }
+        "sweep" => {
+            let model = required_model(&args)?;
+            let list = args.value("--devices").unwrap_or("2,4,8,16");
+            let batch: u64 = args.parse("--batch", 8)?;
+            let seq: u64 = args.parse("--seq", 2048)?;
+            println!("{} scaling sweep\n", model.name);
+            println!("{:>8} {:>14} {:>14} {:>9}", "devices", "megatron t/s", "primepar t/s", "speedup");
+            for tok in list.split(',') {
+                let devices: usize =
+                    tok.trim().parse().map_err(|_| format!("bad device count: {tok}"))?;
+                let cluster = Cluster::v100_like(devices);
+                let graph = model.layer_graph(batch, seq);
+                let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
+                let mega =
+                    simulate_model(&cluster, &graph, &mega_plan, model.layers, (batch * seq) as f64);
+                let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+                    .optimize(model.layers);
+                let prime =
+                    simulate_model(&cluster, &graph, &plan.seqs, model.layers, (batch * seq) as f64);
+                println!(
+                    "{devices:>8} {:>14.0} {:>14.0} {:>8.2}x",
+                    mega.tokens_per_second,
+                    prime.tokens_per_second,
+                    prime.tokens_per_second / mega.tokens_per_second
+                );
+            }
+            Ok(())
+        }
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command: {other}")),
+    }
+}
+
+fn required_model(args: &Args) -> Result<ModelConfig, String> {
+    let name = args.value("--model").ok_or("missing --model")?;
+    model_by_name(name).ok_or_else(|| {
+        format!(
+            "unknown model: {name} (known: {})",
+            ModelConfig::all().map(|m| m.name).join(", ")
+        )
+    })
+}

@@ -1,0 +1,159 @@
+//! High-level system comparison used by the examples, integration tests and
+//! every figure-regenerating benchmark binary.
+
+use std::time::Duration;
+
+use primepar_graph::ModelConfig;
+use primepar_partition::PartitionSeq;
+use primepar_search::{alpa_plan, best_megatron, Planner, PlannerOptions};
+use primepar_sim::{simulate_model, Breakdown};
+use primepar_topology::Cluster;
+
+/// Which planner produced a report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Megatron-LM manual strategy, best over data-parallel degrees (§6.1).
+    Megatron,
+    /// Alpa stand-in: optimal within the conventional spatial-only space.
+    Alpa,
+    /// PrimePar: optimal within the extended spatial-temporal space.
+    PrimePar,
+}
+
+impl SystemKind {
+    /// All systems in the paper's figure order.
+    pub const ALL: [SystemKind; 3] = [SystemKind::Megatron, SystemKind::Alpa, SystemKind::PrimePar];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SystemKind::Megatron => "Megatron",
+            SystemKind::Alpa => "Alpa",
+            SystemKind::PrimePar => "PrimePar",
+        }
+    }
+}
+
+/// One simulated training configuration of one system.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// System display name.
+    pub system: &'static str,
+    /// Training throughput (tokens/second) on the simulated cluster.
+    pub tokens_per_second: f64,
+    /// Per-device peak memory in bytes.
+    pub peak_memory_bytes: f64,
+    /// Latency breakdown of one layer.
+    pub breakdown: Breakdown,
+    /// The per-operator layer plan.
+    pub plan: Vec<PartitionSeq>,
+    /// Planner wall-clock time (zero-ish for the manual baseline).
+    pub search_time: Duration,
+    /// Megatron's chosen `(d, m)` when applicable.
+    pub config: Option<(usize, usize)>,
+}
+
+/// Plans and simulates `model` training on `num_devices` GPUs under one
+/// system (paper §6.1's setup: pure tensor partitioning, no pipeline).
+pub fn system_report(
+    kind: SystemKind,
+    model: &ModelConfig,
+    num_devices: usize,
+    batch: u64,
+    seq: u64,
+) -> SystemReport {
+    let cluster = Cluster::v100_like(num_devices);
+    let graph = model.layer_graph(batch, seq);
+    let tokens = (batch * seq) as f64;
+    let (plan, search_time, config) = match kind {
+        SystemKind::Megatron => {
+            let start = std::time::Instant::now();
+            let (plan, dm, _) = best_megatron(&cluster, &graph, 0.0);
+            (plan, start.elapsed(), Some(dm))
+        }
+        SystemKind::Alpa => {
+            let p = alpa_plan(&cluster, &graph, model.layers, 0.0);
+            (p.seqs, p.search_time, None)
+        }
+        SystemKind::PrimePar => {
+            let p = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+            (p.seqs, p.search_time, None)
+        }
+    };
+    let report = simulate_model(&cluster, &graph, &plan, model.layers, tokens);
+    SystemReport {
+        system: kind.name(),
+        tokens_per_second: report.tokens_per_second,
+        peak_memory_bytes: report.peak_memory_bytes,
+        breakdown: report.layer.breakdown,
+        plan,
+        search_time,
+        config,
+    }
+}
+
+/// Compares all three systems on one configuration (one row group of the
+/// paper's Figs. 7 and 8).
+pub fn compare_systems(
+    model: &ModelConfig,
+    num_devices: usize,
+    batch: u64,
+    seq: u64,
+) -> Vec<SystemReport> {
+    SystemKind::ALL
+        .iter()
+        .map(|&k| system_report(k, model, num_devices, batch, seq))
+        .collect()
+}
+
+/// Formats a layer plan as `op: sequence` lines (for the Fig. 9-style
+/// strategy listings).
+pub fn plan_summary(model: &ModelConfig, batch: u64, seq: u64, plan: &[PartitionSeq]) -> String {
+    let graph = model.layer_graph(batch, seq);
+    graph
+        .ops
+        .iter()
+        .zip(plan)
+        .map(|(op, s)| format!("{:>8}.P = {s}", op.name))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_runs_all_three_systems() {
+        let rows = compare_systems(&ModelConfig::opt_6_7b(), 2, 8, 256);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.tokens_per_second > 0.0, "{}", r.system);
+            assert!(r.peak_memory_bytes > 0.0);
+            assert_eq!(r.plan.len(), 13);
+        }
+        // Megatron reports its (d, m).
+        assert!(rows[0].config.is_some());
+        assert!(rows[2].config.is_none());
+    }
+
+    #[test]
+    fn primepar_at_least_matches_alpa() {
+        // The extended space contains the conventional space, so under the
+        // same cost model the optimized plan can only be at least as good.
+        let rows = compare_systems(&ModelConfig::bloom_7b1(), 4, 8, 256);
+        let alpa = &rows[1];
+        let prime = &rows[2];
+        assert!(prime.tokens_per_second >= alpa.tokens_per_second * 0.999);
+    }
+
+    #[test]
+    fn plan_summary_mentions_every_operator() {
+        let model = ModelConfig::opt_6_7b();
+        let report = system_report(SystemKind::Megatron, &model, 2, 8, 256);
+        let text = plan_summary(&model, 8, 256, &report.plan);
+        for name in ["qkv", "fc1", "fc2", "softmax"] {
+            assert!(text.contains(name), "missing {name} in:\n{text}");
+        }
+    }
+}

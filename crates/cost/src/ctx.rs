@@ -1,0 +1,128 @@
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use primepar_topology::{Cluster, CommProfile, ComputeProfile, GroupIndicator};
+
+/// Shared state for cost evaluation: the cluster model, the latency/memory
+/// trade-off coefficient `α` of Eq. 7, and a cache of fitted communication
+/// profiles (one per group indicator, mirroring the paper's profiling
+/// methodology, §4.1).
+#[derive(Debug)]
+pub struct CostCtx<'a> {
+    cluster: &'a Cluster,
+    alpha: f64,
+    profiles: RefCell<HashMap<GroupIndicator, CommProfile>>,
+    compute: ComputeProfile,
+}
+
+impl<'a> CostCtx<'a> {
+    /// Creates a context. `alpha` weighs peak memory (bytes) against latency
+    /// (seconds) in the intra-operator cost; `0.0` optimizes latency only.
+    pub fn new(cluster: &'a Cluster, alpha: f64) -> Self {
+        CostCtx {
+            cluster,
+            alpha,
+            profiles: RefCell::new(HashMap::new()),
+            compute: ComputeProfile::profile(cluster.device_model()),
+        }
+    }
+
+    /// Predicted kernel latency from the fitted compute profile (§4.1's
+    /// linear model of FLOPs and memory access).
+    pub fn kernel_time(&self, flops: f64, bytes: f64) -> f64 {
+        self.compute.kernel_time(flops, bytes)
+    }
+
+    /// The cluster under evaluation.
+    pub fn cluster(&self) -> &Cluster {
+        self.cluster
+    }
+
+    /// The Eq. 7 memory coefficient.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Predicted all-reduce latency of `bytes` under the grouping pattern of
+    /// `indicator`, from the cached fitted linear model.
+    pub fn allreduce_time(&self, indicator: &GroupIndicator, bytes: f64) -> f64 {
+        if indicator.is_empty() || bytes <= 0.0 {
+            return 0.0;
+        }
+        self.with_profile(indicator, |p| p.allreduce_time(bytes))
+    }
+
+    /// Predicted single ring-shift latency of `bytes` under the grouping
+    /// pattern of `indicator`.
+    pub fn ring_shift_time(&self, indicator: &GroupIndicator, bytes: f64) -> f64 {
+        if indicator.is_empty() || bytes <= 0.0 {
+            return 0.0;
+        }
+        self.with_profile(indicator, |p| p.ring_shift_time(bytes))
+    }
+
+    /// Latency of redistributing `total_bytes` of inter-operator traffic
+    /// spread across all devices (paper §4.2's linear model of the summed
+    /// forward + backward redistribution traffic).
+    pub fn redistribution_time(&self, total_bytes: f64) -> f64 {
+        if total_bytes <= 0.0 {
+            return 0.0;
+        }
+        let n = self.cluster.num_devices() as f64;
+        let per_device = total_bytes / n;
+        // Redistribution is all-to-all-ish: charge the slowest link class
+        // present in the cluster, with per-device traffic in flight.
+        let class = if self.cluster.num_devices() > self.cluster.devices_per_node() {
+            primepar_topology::LinkClass::InterNode
+        } else {
+            primepar_topology::LinkClass::IntraNode
+        };
+        self.cluster.link(class).transfer_time(per_device)
+    }
+
+    fn with_profile<R>(&self, indicator: &GroupIndicator, f: impl FnOnce(&CommProfile) -> R) -> R {
+        let mut cache = self.profiles.borrow_mut();
+        let profile = cache
+            .entry(indicator.clone())
+            .or_insert_with(|| CommProfile::profile(self.cluster, indicator));
+        f(profile)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_topology::Cluster;
+
+    #[test]
+    fn profile_cache_is_reused() {
+        let cluster = Cluster::v100_like(8);
+        let ctx = CostCtx::new(&cluster, 0.5);
+        let ind = GroupIndicator::new(vec![1]);
+        let a = ctx.allreduce_time(&ind, 1e6);
+        let b = ctx.allreduce_time(&ind, 1e6);
+        assert_eq!(a, b);
+        assert_eq!(ctx.profiles.borrow().len(), 1);
+        assert_eq!(ctx.alpha(), 0.5);
+    }
+
+    #[test]
+    fn empty_indicator_is_free() {
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        assert_eq!(ctx.allreduce_time(&GroupIndicator::empty(), 1e9), 0.0);
+        assert_eq!(ctx.ring_shift_time(&GroupIndicator::empty(), 1e9), 0.0);
+    }
+
+    #[test]
+    fn redistribution_scales_with_bytes() {
+        let cluster = Cluster::v100_like(8);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        assert_eq!(ctx.redistribution_time(0.0), 0.0);
+        assert!(ctx.redistribution_time(2e6) > ctx.redistribution_time(1e6));
+        // Single-node cluster uses the fast link.
+        let small = Cluster::v100_like(4);
+        let ctx_small = CostCtx::new(&small, 0.0);
+        assert!(ctx_small.redistribution_time(1e6) < ctx.redistribution_time(1e6));
+    }
+}

@@ -1,0 +1,388 @@
+//! Intra-operator cost (paper Eq. 7):
+//! `intraC(n, 𝒫) = Σ_t max(compute, ring) + allreduce + α·memory`.
+
+use primepar_graph::{OpKind, Operator};
+use primepar_partition::{ring_transfers, Dim, PartitionSeq, Phase, TensorKind};
+use primepar_topology::GroupIndicator;
+
+use crate::CostCtx;
+
+/// Decomposed intra-operator cost of one training iteration of one operator.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct IntraCost {
+    /// Total modeled latency in seconds (compute/ring overlapped per step,
+    /// plus collective communication).
+    pub latency: f64,
+    /// Compute component across all phases and steps.
+    pub compute: f64,
+    /// Ring point-to-point time if it were serialized (for breakdowns).
+    pub ring_total: f64,
+    /// Ring time *not* hidden behind compute (`Σ_t max(0, ring − compute)`).
+    pub ring_exposed: f64,
+    /// Collective (all-reduce) communication time.
+    pub allreduce: f64,
+    /// Peak per-device memory in bytes (parameters + gradients + stash +
+    /// double buffers).
+    pub memory_bytes: f64,
+    /// The Eq. 7 scalar: `latency + α · memory_bytes`.
+    pub cost: f64,
+}
+
+/// Elements of one device's block of `kind` under `seq` (dimensions sliced by
+/// the partition; a dimension sliced finer than its extent saturates at one
+/// element, modeling replicated computation).
+pub fn tensor_block_elems(op: &Operator, seq: &PartitionSeq, kind: TensorKind) -> f64 {
+    kind.dims(op.weight_has_batch())
+        .iter()
+        .map(|&d| {
+            let extent = op.extent(d).max(1) as f64;
+            let slices = seq.num_slices(d) as f64;
+            (extent / slices).max(1.0)
+        })
+        .product()
+}
+
+/// The fraction of the operator's work one `(device, step)` sub-operator
+/// performs.
+fn work_fraction(op: &Operator, seq: &PartitionSeq) -> f64 {
+    Dim::ALL
+        .iter()
+        .map(|&d| {
+            let slices = seq.num_slices(d) as f64;
+            let extent = op.extent(d).max(1) as f64;
+            1.0 / slices.min(extent)
+        })
+        .product()
+}
+
+/// Per-phase event parameters of one operator under one partition sequence —
+/// the building blocks both Eq. 7 and the discrete-event simulator consume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseEvents {
+    /// Kernel latency of one temporal step on one device.
+    pub compute_step: f64,
+    /// Ring-shift latency overlapping each step (one entry per step).
+    pub ring_steps: Vec<f64>,
+    /// End-of-phase collective latency (0 when the phase is collective-free).
+    pub allreduce: f64,
+}
+
+impl PhaseEvents {
+    /// The phase's contribution to Eq. 7: overlapped steps plus collectives.
+    pub fn latency(&self) -> f64 {
+        self.ring_steps.iter().map(|&r| r.max(self.compute_step)).sum::<f64>() + self.allreduce
+    }
+}
+
+/// Computes the per-step compute, ring and collective latencies of `phase`
+/// (the inputs of Eq. 7's `max(compute, ring)` overlap and `allreduce` terms).
+///
+/// # Example
+///
+/// ```
+/// use primepar_cost::{phase_events, CostCtx};
+/// use primepar_graph::ModelConfig;
+/// use primepar_partition::{PartitionSeq, Phase, Primitive};
+/// use primepar_topology::Cluster;
+///
+/// let cluster = Cluster::v100_like(4);
+/// let ctx = CostCtx::new(&cluster, 0.0);
+/// let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
+/// let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }])?;
+/// let ev = phase_events(&ctx, &graph.ops[9], &seq, Phase::Forward);
+/// assert_eq!(ev.ring_steps.len(), 2);     // 2^k temporal steps
+/// assert_eq!(ev.allreduce, 0.0);          // feature 1
+/// # Ok::<(), primepar_partition::PartitionError>(())
+/// ```
+pub fn phase_events(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq, phase: Phase) -> PhaseEvents {
+    let steps = seq.temporal_steps();
+    let ring_ind = seq.ring_indicator();
+    let frac = work_fraction(op, seq);
+    let out_block = tensor_block_elems(op, seq, TensorKind::Output);
+    let in_block = tensor_block_elems(op, seq, TensorKind::Input);
+    let w_block = if op.weight_volume() > 0.0 {
+        tensor_block_elems(op, seq, TensorKind::Weight).min(op.weight_volume())
+    } else {
+        0.0
+    };
+    let phase_flops = op.flops(phase);
+    let sub_flops = phase_flops * frac;
+    let sub_bytes = if op.is_matmul_like() {
+        4.0 * (in_block + w_block + out_block)
+    } else {
+        4.0 * 2.0 * out_block
+    };
+    let compute_step = if phase_flops > 0.0 { ctx.kernel_time(sub_flops, sub_bytes) } else { 0.0 };
+
+    let ring_steps: Vec<f64> = (0..steps)
+        .map(|t| {
+            let ring_bytes: f64 = ring_transfers(seq, phase, t)
+                .iter()
+                .map(|tr| 4.0 * tensor_block_elems(op, seq, tr.tensor))
+                .sum();
+            ctx.ring_shift_time(&ring_ind, ring_bytes)
+        })
+        .collect();
+
+    let mut allreduce = 0.0;
+    if op.is_matmul_like() {
+        let indicator = seq.allreduce_indicator(phase, op.weight_has_batch());
+        let bytes = 4.0 * tensor_block_elems(op, seq, phase.output_tensor());
+        allreduce += ctx.allreduce_time(&indicator, bytes);
+    }
+    // Norm operators: small collectives for statistics (hidden split, charged
+    // in forward) and for γ/β gradients (batch/sequence splits, charged in
+    // gradient) — paper §3.2.
+    if matches!(op.kind, OpKind::Norm(_)) {
+        if phase == Phase::Forward {
+            let k_positions = seq.split_positions(Dim::K);
+            if !k_positions.is_empty() {
+                let rows = (op.extent(Dim::B).max(1) as f64 / seq.num_slices(Dim::B) as f64)
+                    .max(1.0)
+                    * (op.extent(Dim::M).max(1) as f64 / seq.num_slices(Dim::M) as f64).max(1.0);
+                allreduce += ctx.allreduce_time(&GroupIndicator::new(k_positions), 4.0 * 2.0 * rows);
+            }
+        }
+        if phase == Phase::Gradient {
+            let mut bm_positions = seq.split_positions(Dim::B);
+            bm_positions.extend(seq.split_positions(Dim::M));
+            if !bm_positions.is_empty() {
+                let grad_bytes = 4.0 * op.weight_elems() / seq.num_slices(Dim::K) as f64;
+                allreduce += ctx.allreduce_time(&GroupIndicator::new(bm_positions), grad_bytes);
+            }
+        }
+    }
+    PhaseEvents { compute_step, ring_steps, allreduce }
+}
+
+/// Evaluates Eq. 7 for `op` partitioned by `seq` on the context's cluster.
+pub fn intra_cost(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq) -> IntraCost {
+    let mut cost = IntraCost::default();
+    for phase in Phase::ALL {
+        let ev = phase_events(ctx, op, seq, phase);
+        for &ring_step in &ev.ring_steps {
+            cost.compute += ev.compute_step;
+            cost.ring_total += ring_step;
+            cost.ring_exposed += (ring_step - ev.compute_step).max(0.0);
+            cost.latency += ev.compute_step.max(ring_step);
+        }
+        cost.allreduce += ev.allreduce;
+        cost.latency += ev.allreduce;
+    }
+
+    cost.memory_bytes = memory_bytes(op, seq).total();
+    cost.cost = cost.latency + ctx.alpha() * cost.memory_bytes;
+    cost
+}
+
+/// Per-device memory footprint components of one operator (paper §4.1's
+/// model — parameters and forward stashes — extended with the gradient
+/// buffer and the double buffers of ring-shifted tensors).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MemoryBytes {
+    /// Parameter bytes per device.
+    pub params: f64,
+    /// Parameter-gradient bytes per device (same sharding as the weights,
+    /// guaranteed by feature 3's weight-cycle alignment).
+    pub grads: f64,
+    /// Forward-stash bytes per device (alive from forward until gradient).
+    pub stash: f64,
+    /// Double-buffer bytes while a temporal primitive executes.
+    pub double_buffer: f64,
+}
+
+impl MemoryBytes {
+    /// Total peak bytes.
+    pub fn total(&self) -> f64 {
+        self.params + self.grads + self.stash + self.double_buffer
+    }
+}
+
+/// Computes the per-device memory components of `op` under `seq`.
+///
+/// # Example
+///
+/// ```
+/// use primepar_cost::memory_bytes;
+/// use primepar_graph::ModelConfig;
+/// use primepar_partition::PartitionSeq;
+///
+/// let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
+/// let m = memory_bytes(&graph.ops[11], &PartitionSeq::serial());
+/// assert_eq!(m.params, m.grads);           // dW shards like W
+/// assert!(m.total() > 0.0);
+/// ```
+pub fn memory_bytes(op: &Operator, seq: &PartitionSeq) -> MemoryBytes {
+    let out_block = tensor_block_elems(op, seq, TensorKind::Output);
+    let in_block = tensor_block_elems(op, seq, TensorKind::Input);
+    let w_block = if op.weight_volume() > 0.0 {
+        tensor_block_elems(op, seq, TensorKind::Weight).min(op.weight_volume())
+    } else {
+        0.0
+    };
+    let weight_frac = if op.has_weight() {
+        1.0 / (seq.num_slices(Dim::N) as f64 * seq.num_slices(Dim::K) as f64)
+    } else {
+        0.0
+    };
+    let param_bytes = 4.0 * op.weight_elems() * weight_frac;
+    let stash_elems = match op.kind {
+        OpKind::Linear => in_block,
+        OpKind::BatchedMatmul => in_block + w_block,
+        OpKind::Softmax | OpKind::Activation(_) => out_block,
+        OpKind::Norm(_) => {
+            out_block
+                + 2.0
+                    * (op.extent(Dim::B).max(1) as f64 / seq.num_slices(Dim::B) as f64).max(1.0)
+                    * (op.extent(Dim::M).max(1) as f64 / seq.num_slices(Dim::M) as f64).max(1.0)
+        }
+        // Embeddings stash only token ids (negligible).
+        OpKind::Elementwise | OpKind::Embedding => 0.0,
+    };
+    let double_buffer = if seq.temporal_k().is_some() { 4.0 * (in_block + w_block) } else { 0.0 };
+    MemoryBytes {
+        params: param_bytes,
+        grads: param_bytes,
+        stash: 4.0 * stash_elems,
+        double_buffer,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_graph::ModelConfig;
+    use primepar_partition::Primitive;
+    use primepar_topology::Cluster;
+
+    fn fc2() -> Operator {
+        ModelConfig::opt_6_7b().layer_graph(8, 2048).ops[11].clone()
+    }
+
+    fn seq(prims: Vec<Primitive>) -> PartitionSeq {
+        PartitionSeq::new(prims).unwrap()
+    }
+
+    #[test]
+    fn temporal_avoids_allreduce_row_split_pays_it() {
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let op = fc2();
+        let row = intra_cost(&ctx, &op, &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)]));
+        let temporal = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
+        assert!(row.allreduce > 0.0);
+        assert_eq!(temporal.allreduce, 0.0);
+        assert!(temporal.ring_total > 0.0);
+    }
+
+    #[test]
+    fn compute_is_equal_across_strategies_of_same_size() {
+        // §6.3: "Megatron-LM and PrimePar share roughly the same computation
+        // latency" — partitioning rearranges work, it does not add FLOPs.
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let op = fc2();
+        let a = intra_cost(&ctx, &op, &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::K)]));
+        let b = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
+        let rel = (a.compute - b.compute).abs() / a.compute;
+        assert!(rel < 0.05, "compute differs by {rel}");
+    }
+
+    #[test]
+    fn column_split_allreduces_in_backward_only() {
+        let cluster = Cluster::v100_like(2);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let op = fc2();
+        let s = seq(vec![Primitive::Split(Dim::K)]);
+        // K is the backward reduce dim; forward and gradient need none.
+        assert!(s.allreduce_indicator(Phase::Forward, false).is_empty());
+        assert!(!s.allreduce_indicator(Phase::Backward, false).is_empty());
+        assert!(s.allreduce_indicator(Phase::Gradient, false).is_empty());
+        let c = intra_cost(&ctx, &op, &s);
+        assert!(c.allreduce > 0.0);
+    }
+
+    #[test]
+    fn data_parallel_pays_gradient_allreduce_and_full_weights() {
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        // Weight-dominated operator (OPT-175B fc2): the memory win of the
+        // temporal primitive comes from sharding W and dW 4x while data
+        // parallelism replicates both.
+        let op = ModelConfig::opt_175b().layer_graph(8, 2048).ops[11].clone();
+        let dp = intra_cost(&ctx, &op, &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]));
+        let temporal = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
+        assert!(dp.allreduce > 0.0, "gradient all-reduce expected");
+        assert!(
+            dp.memory_bytes > 1.5 * temporal.memory_bytes,
+            "dp {} vs temporal {}",
+            dp.memory_bytes,
+            temporal.memory_bytes
+        );
+    }
+
+    #[test]
+    fn ring_fully_overlaps_for_large_operators() {
+        // fc2 of OPT-175B at batch 8: compute per step dwarfs a ring shift on
+        // NVLink, so exposed ring time should vanish (paper Fig. 9).
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let op = ModelConfig::opt_175b().layer_graph(8, 2048).ops[11].clone();
+        let c = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
+        assert!(c.ring_total > 0.0);
+        assert!(
+            c.ring_exposed < 0.05 * c.ring_total,
+            "exposed {} of {}",
+            c.ring_exposed,
+            c.ring_total
+        );
+    }
+
+    #[test]
+    fn memory_weighting_moves_cost() {
+        let cluster = Cluster::v100_like(4);
+        let op = fc2();
+        let s = seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]);
+        let lat_only = intra_cost(&CostCtx::new(&cluster, 0.0), &op, &s);
+        let weighted = intra_cost(&CostCtx::new(&cluster, 1e-9), &op, &s);
+        assert_eq!(lat_only.latency, weighted.latency);
+        assert!(weighted.cost > lat_only.cost);
+    }
+
+    #[test]
+    fn pointwise_ops_have_no_collectives_or_weights() {
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
+        let act = graph.ops[10].clone();
+        let c = intra_cost(&ctx, &act, &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]));
+        assert_eq!(c.allreduce, 0.0);
+        assert!(c.latency > 0.0);
+    }
+
+    #[test]
+    fn norm_splits_pay_small_collectives() {
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
+        let norm = graph.ops[1].clone();
+        let hidden_split = intra_cost(&ctx, &norm, &seq(vec![Primitive::Split(Dim::K), Primitive::Split(Dim::K)]));
+        let bm_split = intra_cost(&ctx, &norm, &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]));
+        assert!(hidden_split.allreduce > 0.0, "statistics all-reduce");
+        assert!(bm_split.allreduce > 0.0, "parameter-gradient all-reduce");
+        // Both are small relative to a matmul's collective.
+        let fc2_ar =
+            intra_cost(&ctx, &fc2(), &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)])).allreduce;
+        assert!(hidden_split.allreduce < fc2_ar / 10.0);
+    }
+
+    #[test]
+    fn more_devices_reduce_per_device_latency() {
+        let c4 = Cluster::v100_like(4);
+        let c16 = Cluster::v100_like(16);
+        let op = fc2();
+        let small = intra_cost(&CostCtx::new(&c4, 0.0), &op, &seq(vec![Primitive::Temporal { k: 1 }]));
+        let large = intra_cost(&CostCtx::new(&c16, 0.0), &op, &seq(vec![Primitive::Temporal { k: 2 }]));
+        assert!(large.compute < small.compute);
+    }
+}

@@ -1,0 +1,45 @@
+//! The PrimePar cost model (paper §4).
+//!
+//! * [`intra_cost`] — Eq. 7: per-operator training latency
+//!   `Σ_t max(compute, ring) + allreduce + α·memory`, with communication
+//!   latencies predicted by per-group-indicator linear models fitted by
+//!   profiling ([`primepar_topology::CommProfile`]).
+//! * [`inter_cost`] — Eqs. 8–9: redistribution traffic between consecutive
+//!   operators from DSI slice-interval intersections, evaluated in the shared
+//!   named-axis space so reshape boundaries (fused QKV, head folding) are
+//!   priced correctly.
+//! * [`edge_cost_matrix`] / [`BoundaryProfile`] — vectorized edge-cost tables
+//!   for the dynamic-programming optimizer (the `e(p_i, p_j)` inputs of
+//!   Eqs. 11–14).
+//!
+//! # Example
+//!
+//! ```
+//! use primepar_cost::{CostCtx, intra_cost};
+//! use primepar_graph::ModelConfig;
+//! use primepar_partition::{Dim, PartitionSeq, Primitive};
+//! use primepar_topology::Cluster;
+//!
+//! let cluster = Cluster::v100_like(4);
+//! let ctx = CostCtx::new(&cluster, 0.0);
+//! let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
+//! let fc2 = &graph.ops[11];
+//! // Row-split fc2 (all-reduce) vs the temporal primitive (ring only):
+//! let row = PartitionSeq::new(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)]).unwrap();
+//! let temporal = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
+//! let c_row = intra_cost(&ctx, fc2, &row);
+//! let c_temporal = intra_cost(&ctx, fc2, &temporal);
+//! assert!(c_temporal.allreduce == 0.0 && c_row.allreduce > 0.0);
+//! ```
+
+// Loops indexed by device id / wide internal signatures are deliberate.
+#![allow(clippy::too_many_arguments)]
+mod ctx;
+mod inter;
+mod intra;
+mod intervals;
+
+pub use ctx::CostCtx;
+pub use inter::{edge_cost_matrix, inter_cost, inter_traffic_bytes, BoundaryProfile};
+pub use intra::{intra_cost, memory_bytes, phase_events, tensor_block_elems, IntraCost, MemoryBytes, PhaseEvents};
+pub use intervals::{AxisIntervals, DenseIntervals};

@@ -1,0 +1,128 @@
+//! Property-based tests of the cost model: physical sanity bounds that any
+//! partition pair must satisfy.
+
+use proptest::prelude::*;
+
+use primepar_cost::{inter_traffic_bytes, intra_cost, CostCtx};
+use primepar_graph::ModelConfig;
+use primepar_partition::{Dim, PartitionSeq, Primitive};
+use primepar_topology::Cluster;
+
+fn arb_seq(max_splits: usize) -> impl Strategy<Value = PartitionSeq> {
+    let split = prop_oneof![
+        Just(Primitive::Split(Dim::B)),
+        Just(Primitive::Split(Dim::M)),
+        Just(Primitive::Split(Dim::N)),
+        Just(Primitive::Split(Dim::K)),
+    ];
+    (
+        proptest::collection::vec(split, max_splits..=max_splits),
+        proptest::option::of(0usize..=max_splits),
+    )
+        .prop_map(move |(mut splits, temporal)| {
+            if let Some(pos) = temporal {
+                // Replace two splits with a P_{2x2} to keep the bit count.
+                if splits.len() >= 2 {
+                    splits.truncate(splits.len() - 2);
+                    let pos = pos.min(splits.len());
+                    splits.insert(pos, Primitive::Temporal { k: 1 });
+                }
+            }
+            PartitionSeq::new(splits).expect("single temporal")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Intra-op costs are finite and non-negative; ring time is exposed only
+    /// when it exceeds compute; memory is positive for weighted operators.
+    #[test]
+    fn intra_cost_sanity(seq in arb_seq(2)) {
+        let cluster = Cluster::v100_like(4);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        for op in &graph.ops {
+            // Skip sequences the operator could not legally host — the search
+            // layer filters them; the cost model must still not panic.
+            let c = intra_cost(&ctx, op, &seq);
+            prop_assert!(c.latency.is_finite() && c.latency >= 0.0, "{}: {:?}", op.name, c);
+            prop_assert!(c.ring_exposed <= c.ring_total + 1e-12);
+            prop_assert!(c.allreduce >= 0.0);
+            prop_assert!(c.memory_bytes >= 0.0);
+            if op.has_weight() {
+                prop_assert!(c.memory_bytes > 0.0, "{} must hold parameters", op.name);
+            }
+        }
+    }
+
+    /// Inter-op traffic is bounded: non-negative, and at most 2 directions ×
+    /// devices × the edge tensor volume.
+    #[test]
+    fn inter_traffic_bounds(src in arb_seq(2), dst in arb_seq(2)) {
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        for edge in &graph.edges {
+            let t = inter_traffic_bytes(
+                edge,
+                &graph.ops[edge.src],
+                &graph.ops[edge.dst],
+                &src,
+                &dst,
+            );
+            prop_assert!(t.is_finite() && t >= 0.0);
+            let dst_op = &graph.ops[edge.dst];
+            let dims: &[Dim] = if dst_op.is_matmul_like() {
+                edge.dst_kind.dims(dst_op.weight_has_batch())
+            } else {
+                &[Dim::B, Dim::M, Dim::K]
+            };
+            let volume: f64 = dims.iter().map(|&d| dst_op.extent(d).max(1) as f64).product();
+            let bound = 2.0 * 4.0 * 4.0 * volume; // directions x devices x bytes
+            prop_assert!(t <= bound * 1.01, "edge ({},{}) traffic {t} > bound {bound}",
+                edge.src, edge.dst);
+        }
+    }
+
+    /// Identical *legal* sequences on both ends of a pointwise-to-pointwise
+    /// edge never redistribute. (Temporal primitives are excluded: point-wise
+    /// operators never host them — `allows_temporal()` is false — so the
+    /// search cannot produce that combination.)
+    #[test]
+    fn identical_pointwise_chain_is_free(seq in arb_seq(2)) {
+        prop_assume!(seq.temporal_k().is_none());
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        // anchor -> norm1: both point-wise with identical (B, M, K) axes.
+        let edge = graph.edges.iter().find(|e| e.src == 0 && e.dst == 1).expect("edge");
+        let t = inter_traffic_bytes(edge, &graph.ops[0], &graph.ops[1], &seq, &seq);
+        prop_assert_eq!(t, 0.0, "{} redistributes against itself", seq);
+    }
+
+    /// The memory coefficient α only ever adds cost, never changes latency.
+    #[test]
+    fn alpha_is_additive(seq in arb_seq(2), alpha in 0.0f64..1e-6) {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let op = &graph.ops[9];
+        let base = intra_cost(&CostCtx::new(&cluster, 0.0), op, &seq);
+        let weighted = intra_cost(&CostCtx::new(&cluster, alpha), op, &seq);
+        prop_assert_eq!(base.latency, weighted.latency);
+        prop_assert!(weighted.cost >= base.cost);
+        let expect = base.latency + alpha * base.memory_bytes;
+        prop_assert!((weighted.cost - expect).abs() < 1e-12 * (1.0 + expect));
+    }
+
+    /// Splitting strictly more reduces (or keeps) the per-device compute.
+    #[test]
+    fn deeper_splits_do_not_increase_compute(dim_ix in 0usize..4) {
+        let dim = Dim::ALL[dim_ix];
+        let cluster2 = Cluster::v100_like(2);
+        let cluster4 = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let op = &graph.ops[9];
+        let one = PartitionSeq::new(vec![Primitive::Split(dim)]).expect("one split");
+        let two = PartitionSeq::new(vec![Primitive::Split(dim); 2]).expect("two splits");
+        let c1 = intra_cost(&CostCtx::new(&cluster2, 0.0), op, &one);
+        let c2 = intra_cost(&CostCtx::new(&cluster4, 0.0), op, &two);
+        prop_assert!(c2.compute <= c1.compute * 1.001);
+    }
+}

@@ -1,0 +1,71 @@
+use std::error::Error;
+use std::fmt;
+
+use primepar_partition::{Dim, Phase, TensorKind};
+use primepar_tensor::TensorError;
+
+/// Error raised by the functional executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A dimension's extent is not divisible by its slice count; the
+    /// functional executor requires exact blocking (the cost model handles
+    /// fractional slices, but numerics need clean cuts).
+    Indivisible {
+        /// The offending dimension.
+        dim: Dim,
+        /// Its global extent.
+        extent: usize,
+        /// Number of slices requested by the partition sequence.
+        slices: usize,
+    },
+    /// A block arrived at a device with a different DSI tuple than the
+    /// schedule requires — a routing fault (also raised by deliberate fault
+    /// injection in tests).
+    MisroutedBlock {
+        /// The phase in which the fault was detected.
+        phase: Phase,
+        /// The temporal step.
+        step: usize,
+        /// The tensor whose block is wrong.
+        tensor: TensorKind,
+        /// Device index that detected the fault.
+        device: usize,
+        /// The DSI tuple the schedule expects.
+        expected: Vec<usize>,
+        /// The DSI tuple actually held.
+        actual: Vec<usize>,
+    },
+    /// An underlying dense-tensor operation failed.
+    Tensor(TensorError),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Indivisible { dim, extent, slices } => {
+                write!(f, "dimension {dim} of extent {extent} is not divisible into {slices} slices")
+            }
+            ExecError::MisroutedBlock { phase, step, tensor, device, expected, actual } => write!(
+                f,
+                "{phase} step {step}: device {device} holds {tensor} block {actual:?}, schedule expects {expected:?}"
+            ),
+            ExecError::Tensor(e) => write!(f, "tensor operation failed: {e}"),
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TensorError> for ExecError {
+    fn from(e: TensorError) -> Self {
+        ExecError::Tensor(e)
+    }
+}

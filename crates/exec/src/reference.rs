@@ -1,0 +1,189 @@
+//! Serial reference implementation of one linear-operator training iteration
+//! (paper Eq. 1): `O[B,M,K] = Σ_N I[B,M,N]·W[N,K]`, `dI = dO·Wᵀ`,
+//! `dW = Σ_{B,M} Iᵀ·dO`.
+
+use primepar_tensor::Tensor;
+
+use crate::Result;
+
+/// Forward pass: `O = I · W` with `I` of shape `[B, M, N]` and `W` of `[N, K]`.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are incompatible.
+///
+/// # Example
+///
+/// ```
+/// use primepar_tensor::Tensor;
+/// use primepar_exec::reference::forward;
+///
+/// let i = Tensor::full(vec![1, 2, 3], 1.0);
+/// let w = Tensor::eye(3);
+/// let o = forward(&i, &w)?;
+/// assert_eq!(o.shape().dims(), &[1, 2, 3]);
+/// # Ok::<(), primepar_exec::ExecError>(())
+/// ```
+pub fn forward(i: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let (b, m, n) = (i.shape().dim(0), i.shape().dim(1), i.shape().dim(2));
+    let k = w.shape().dim(1);
+    let flat = i.reshape(vec![b * m, n])?;
+    let o = flat.matmul(w)?;
+    Ok(o.reshape(vec![b, m, k])?)
+}
+
+/// Backward pass: `dI = dO · Wᵀ`.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are incompatible.
+pub fn backward(d_o: &Tensor, w: &Tensor) -> Result<Tensor> {
+    let (b, m, k) = (d_o.shape().dim(0), d_o.shape().dim(1), d_o.shape().dim(2));
+    let n = w.shape().dim(0);
+    let flat = d_o.reshape(vec![b * m, k])?;
+    let d_i = flat.matmul_ex(w, false, true)?;
+    Ok(d_i.reshape(vec![b, m, n])?)
+}
+
+/// Gradient pass: `dW = Iᵀ · dO`, summing over batch and sequence.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are incompatible.
+pub fn gradient(i: &Tensor, d_o: &Tensor) -> Result<Tensor> {
+    let (b, m, n) = (i.shape().dim(0), i.shape().dim(1), i.shape().dim(2));
+    let k = d_o.shape().dim(2);
+    let i_flat = i.reshape(vec![b * m, n])?;
+    let o_flat = d_o.reshape(vec![b * m, k])?;
+    Ok(i_flat.matmul_ex(&o_flat, true, false)?)
+}
+
+/// Serial Adam state for one weight tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamState {
+    /// First-moment estimate.
+    pub m: Tensor,
+    /// Second-moment estimate.
+    pub v: Tensor,
+}
+
+impl AdamState {
+    /// Zero-initialized state for a weight of the given shape.
+    pub fn new(shape: &primepar_tensor::Shape) -> Self {
+        AdamState { m: Tensor::zeros(shape.clone()), v: Tensor::zeros(shape.clone()) }
+    }
+
+    /// One Adam step: updates the state in place and returns the new weight.
+#[allow(clippy::too_many_arguments)] // domain signature: all parameters are semantically distinct
+    pub fn step(
+        &mut self,
+        w: &Tensor,
+        grad: &Tensor,
+        lr: f32,
+        beta1: f32,
+        beta2: f32,
+        eps: f32,
+        t: u32,
+    ) -> Tensor {
+        let bc1 = 1.0 - beta1.powi(t as i32);
+        let bc2 = 1.0 - beta2.powi(t as i32);
+        let mut out = w.clone();
+        for i in 0..w.data().len() {
+            let g = grad.data()[i];
+            let mi = beta1 * self.m.data()[i] + (1.0 - beta1) * g;
+            let vi = beta2 * self.v.data()[i] + (1.0 - beta2) * g * g;
+            self.m.data_mut()[i] = mi;
+            self.v.data_mut()[i] = vi;
+            out.data_mut()[i] -= lr * (mi / bc1) / ((vi / bc2).sqrt() + eps);
+        }
+        out
+    }
+}
+
+/// One full training iteration: returns `(O, dI, dW, W_updated)` where the
+/// update is plain SGD `W ← W − lr · dW`.
+///
+/// # Errors
+///
+/// Returns an error if the shapes are incompatible.
+pub fn train_step(i: &Tensor, w: &Tensor, d_o: &Tensor, lr: f32) -> Result<(Tensor, Tensor, Tensor, Tensor)> {
+    let o = forward(i, w)?;
+    let d_i = backward(d_o, w)?;
+    let d_w = gradient(i, d_o)?;
+    let w_new = w.sub(&d_w.scale(lr))?;
+    Ok((o, d_i, d_w, w_new))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_identity_weight() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let i = Tensor::randn(vec![2, 3, 4], 1.0, &mut rng);
+        let o = forward(&i, &Tensor::eye(4)).unwrap();
+        assert!(o.allclose(&i, 1e-6));
+    }
+
+    #[test]
+    fn backward_is_adjoint_of_forward() {
+        // <forward(I), dO> == <I, backward(dO)> — the defining property.
+        let mut rng = StdRng::seed_from_u64(2);
+        let i = Tensor::randn(vec![2, 3, 4], 1.0, &mut rng);
+        let w = Tensor::randn(vec![4, 5], 1.0, &mut rng);
+        let d_o = Tensor::randn(vec![2, 3, 5], 1.0, &mut rng);
+        let lhs: f32 = forward(&i, &w)
+            .unwrap()
+            .data()
+            .iter()
+            .zip(d_o.data())
+            .map(|(a, b)| a * b)
+            .sum();
+        let rhs: f32 = i
+            .data()
+            .iter()
+            .zip(backward(&d_o, &w).unwrap().data())
+            .map(|(a, b)| a * b)
+            .sum();
+        assert!((lhs - rhs).abs() < 1e-3 * (1.0 + lhs.abs()));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let i = Tensor::randn(vec![1, 2, 3], 1.0, &mut rng);
+        let w = Tensor::randn(vec![3, 2], 1.0, &mut rng);
+        let d_o = Tensor::randn(vec![1, 2, 2], 1.0, &mut rng);
+        let d_w = gradient(&i, &d_o).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..w.shape().volume() {
+            let mut wp = w.clone();
+            wp.data_mut()[idx] += eps;
+            let mut wm = w.clone();
+            wm.data_mut()[idx] -= eps;
+            let num: f32 = forward(&i, &wp)
+                .unwrap()
+                .data()
+                .iter()
+                .zip(forward(&i, &wm).unwrap().data())
+                .zip(d_o.data())
+                .map(|((p, m), g)| (p - m) / (2.0 * eps) * g)
+                .sum();
+            assert!((num - d_w.data()[idx]).abs() < 2e-2 * (1.0 + num.abs()));
+        }
+    }
+
+    #[test]
+    fn train_step_applies_sgd() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let i = Tensor::randn(vec![1, 2, 3], 1.0, &mut rng);
+        let w = Tensor::randn(vec![3, 2], 1.0, &mut rng);
+        let d_o = Tensor::randn(vec![1, 2, 2], 1.0, &mut rng);
+        let (_, _, d_w, w_new) = train_step(&i, &w, &d_o, 0.1).unwrap();
+        let expect = w.sub(&d_w.scale(0.1)).unwrap();
+        assert!(w_new.allclose(&expect, 1e-6));
+    }
+}

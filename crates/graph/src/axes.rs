@@ -1,0 +1,88 @@
+use std::fmt;
+
+/// Named model axes that operator dimensions decompose into.
+///
+/// Two operators that partition the *same axis* compatibly exchange tensors
+/// without redistribution (e.g. Megatron's column-split QKV feeding
+/// head-split attention); the inter-operator cost model intersects per-axis
+/// slice intervals to quantify this (paper Eqs. 8–9).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Axis {
+    /// Micro-batch of training samples.
+    Batch,
+    /// Attention heads.
+    Head,
+    /// Query-side sequence positions.
+    Seq,
+    /// Key/value-side sequence positions (a distinct axis because attention
+    /// scores are `Seq × SeqKv`; self-attention keeps them equal in extent).
+    SeqKv,
+    /// Model hidden dimension.
+    Hidden,
+    /// Per-head embedding dimension.
+    Embed,
+    /// MLP intermediate (feed-forward) dimension.
+    Ffn,
+    /// Q/K/V selector of the fused QKV projection output.
+    Qkv,
+}
+
+impl Axis {
+    /// Number of distinct axes (for dense per-axis tables).
+    pub const COUNT: usize = 8;
+
+    /// Dense index 0..[`Axis::COUNT`].
+    pub fn index(self) -> usize {
+        match self {
+            Axis::Batch => 0,
+            Axis::Head => 1,
+            Axis::Seq => 2,
+            Axis::SeqKv => 3,
+            Axis::Hidden => 4,
+            Axis::Embed => 5,
+            Axis::Ffn => 6,
+            Axis::Qkv => 7,
+        }
+    }
+}
+
+impl fmt::Display for Axis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Axis::Batch => "batch",
+            Axis::Head => "head",
+            Axis::Seq => "seq",
+            Axis::SeqKv => "seq_kv",
+            Axis::Hidden => "hidden",
+            Axis::Embed => "embed",
+            Axis::Ffn => "ffn",
+            Axis::Qkv => "qkv",
+        };
+        write!(f, "{s}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axes_are_distinct_and_printable() {
+        let all = [
+            Axis::Batch,
+            Axis::Head,
+            Axis::Seq,
+            Axis::SeqKv,
+            Axis::Hidden,
+            Axis::Embed,
+            Axis::Ffn,
+            Axis::Qkv,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            assert!(!a.to_string().is_empty());
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

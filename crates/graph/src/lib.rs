@@ -1,0 +1,43 @@
+//! Transformer computation graphs and the model zoo for the PrimePar
+//! reproduction.
+//!
+//! Operators are described in the paper's 4-dimensional template (Eq. 1): a
+//! matmul-like operator has dimensions `B, M, N, K`; point-wise operators
+//! (softmax, norms, element-wise) are embedded with `N = 1`. Each operator
+//! dimension additionally carries an ordered *axis decomposition* mapping it
+//! into named model axes (batch, head, sequence, hidden, ...) so the
+//! inter-operator redistribution cost (paper Eqs. 8-9) can intersect slice
+//! intervals across reshape boundaries such as the fused-QKV head split.
+//!
+//! * [`Operator`] / [`OpKind`] — the operator taxonomy with FLOP, memory
+//!   traffic, weight and stash accounting,
+//! * [`Graph`] / [`Edge`] — a transformer block's computation graph exactly
+//!   matching the paper's Fig. 6 (13 nodes, residual skip edges, fused QKV),
+//!   including [`Graph::segments`], the segmentation used by segmented
+//!   dynamic programming (§5.1),
+//! * [`ModelConfig`] — the six evaluated models: OPT 6.7B/175B,
+//!   Llama2 7B/70B (grouped-query attention for 70B), BLOOM 7B1/176B.
+//!
+//! # Example
+//!
+//! ```
+//! use primepar_graph::ModelConfig;
+//!
+//! let cfg = ModelConfig::opt_6_7b();
+//! let graph = cfg.layer_graph(8, 2048);
+//! assert_eq!(graph.ops.len(), 13);
+//! // Fig. 6's segmentation: Model_{0,2}, Model_{2,7}, Model_{7,12}.
+//! assert_eq!(graph.segments(), vec![(0, 2), (2, 7), (7, 12)]);
+//! ```
+
+mod axes;
+mod graph;
+mod models;
+mod op;
+mod transformer;
+
+pub use axes::Axis;
+pub use graph::{Edge, Graph};
+pub use models::ModelConfig;
+pub use op::{ActKind, NormKind, OpKind, Operator};
+pub use transformer::transformer_layer_graph;

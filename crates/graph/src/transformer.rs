@@ -1,0 +1,268 @@
+//! Builder for the transformer-block computation graph of the paper's Fig. 6:
+//! 13 nodes `n0..n12` with residual skip edges `(0, 7)`, `(7, 12)` and the
+//! fused-QKV extended edge `(2, 5)`, yielding segments
+//! `Model_{0,2}, Model_{2,7}, Model_{7,12}`.
+
+use primepar_partition::TensorKind;
+
+use crate::{ActKind, Axis, Edge, Graph, ModelConfig, OpKind, Operator};
+
+/// Builds the single-layer graph for `cfg` at the given micro-batch and
+/// sequence length. Node `n0` is the previous layer's output anchor (the last
+/// residual add), shared between stacked layers exactly as in Fig. 6.
+pub fn transformer_layer_graph(cfg: &ModelConfig, batch: u64, seq: u64) -> Graph {
+    let h = cfg.hidden;
+    let heads = cfg.heads;
+    let kv = cfg.kv_heads;
+    let e = cfg.embed();
+    // Fused QKV in Megatron's interleaved per-head-group layout: for each of
+    // the `kv` head groups, `q_per_kv` query projections followed by one key
+    // and one value projection. Column splits therefore stay balanced across
+    // q/k/v and align exactly with head-partitioned attention.
+    let q_per_kv = heads / kv;
+    let qkv_out = (heads + 2 * kv) * e;
+    let ffn = cfg.ffn;
+
+    let batch_axes = vec![(Axis::Batch, batch)];
+    let seq_axes = vec![(Axis::Seq, seq)];
+    let hidden_axes = vec![(Axis::Hidden, h)];
+    // Attention operators use B = heads and fold the sample batch into M
+    // (batch-major). This matches the paper's treatment of the head dimension
+    // as a partitionable dimension of the attention matmuls: Split(B) is head
+    // parallelism (aligning with column-split QKV) and an outer Split(M) is
+    // batch parallelism (aligning with Split(B) on the linears). The second
+    // operand (K/V) nominally loses its batch factor in the weight-volume
+    // accounting — a small, documented understatement of the attention stash.
+    let head_axes = vec![(Axis::Head, heads)];
+    let bseq_axes = vec![(Axis::Batch, batch), (Axis::Seq, seq)];
+
+    let pointwise = |name: &str, kind: OpKind, k_extent: u64, k_axes: Vec<(Axis, u64)>| Operator {
+        name: name.into(),
+        kind,
+        extents: [batch, seq, 1, k_extent],
+        axes: [batch_axes.clone(), seq_axes.clone(), vec![], k_axes],
+    };
+
+    let anchor = pointwise("anchor", OpKind::Elementwise, h, hidden_axes.clone());
+    let norm1 = pointwise("norm1", OpKind::Norm(cfg.norm), h, hidden_axes.clone());
+    let qkv = Operator {
+        name: "qkv".into(),
+        kind: OpKind::Linear,
+        extents: [batch, seq, h, qkv_out],
+        axes: [
+            batch_axes.clone(),
+            seq_axes.clone(),
+            hidden_axes.clone(),
+            vec![(Axis::Head, kv), (Axis::Qkv, q_per_kv + 2), (Axis::Embed, e)],
+        ],
+    };
+    let qk = Operator {
+        name: "qk".into(),
+        kind: OpKind::BatchedMatmul,
+        extents: [heads, batch * seq, e, seq],
+        axes: [
+            head_axes.clone(),
+            bseq_axes.clone(),
+            vec![(Axis::Embed, e)],
+            vec![(Axis::SeqKv, seq)],
+        ],
+    };
+    let softmax = Operator {
+        name: "softmax".into(),
+        kind: OpKind::Softmax,
+        extents: [heads, batch * seq, 1, seq],
+        axes: [head_axes.clone(), bseq_axes.clone(), vec![], vec![(Axis::SeqKv, seq)]],
+    };
+    let av = Operator {
+        name: "av".into(),
+        kind: OpKind::BatchedMatmul,
+        extents: [heads, batch * seq, seq, e],
+        axes: [
+            head_axes.clone(),
+            bseq_axes.clone(),
+            vec![(Axis::SeqKv, seq)],
+            vec![(Axis::Embed, e)],
+        ],
+    };
+    let proj = Operator {
+        name: "proj".into(),
+        kind: OpKind::Linear,
+        extents: [batch, seq, h, h],
+        axes: [
+            batch_axes.clone(),
+            seq_axes.clone(),
+            vec![(Axis::Head, heads), (Axis::Embed, e)],
+            hidden_axes.clone(),
+        ],
+    };
+    let add1 = pointwise("add1", OpKind::Elementwise, h, hidden_axes.clone());
+    let norm2 = pointwise("norm2", OpKind::Norm(cfg.norm), h, hidden_axes.clone());
+    let fc1 = Operator {
+        name: "fc1".into(),
+        kind: OpKind::Linear,
+        extents: [batch, seq, h, ffn],
+        axes: [
+            batch_axes.clone(),
+            seq_axes.clone(),
+            hidden_axes.clone(),
+            vec![(Axis::Ffn, ffn)],
+        ],
+    };
+    let act_kind = match cfg.act {
+        ActKind::Relu => OpKind::Activation(ActKind::Relu),
+        ActKind::Gelu => OpKind::Activation(ActKind::Gelu),
+        ActKind::Silu => OpKind::Activation(ActKind::Silu),
+    };
+    let act = pointwise("act", act_kind, ffn, vec![(Axis::Ffn, ffn)]);
+    let fc2 = Operator {
+        name: "fc2".into(),
+        kind: OpKind::Linear,
+        extents: [batch, seq, ffn, h],
+        axes: [
+            batch_axes.clone(),
+            seq_axes.clone(),
+            vec![(Axis::Ffn, ffn)],
+            hidden_axes.clone(),
+        ],
+    };
+    let add2 = pointwise("add2", OpKind::Elementwise, h, hidden_axes);
+
+    // QKV selector fractions over the interleaved per-group (q…q | k | v)
+    // layout's Qkv axis.
+    let g = (q_per_kv + 2) as f64;
+    let q_frac = q_per_kv as f64 / g;
+    let one_frac = 1.0 / g;
+    let seqkv_rename = (Axis::SeqKv, Axis::Seq);
+
+    let edges = vec![
+        Edge::plain(0, 1),
+        Edge::plain(1, 2),
+        // Q slice feeds qk's activation operand.
+        Edge {
+            src: 2,
+            dst: 3,
+            dst_kind: TensorKind::Input,
+            selector: Some((0.0, q_frac)),
+            renames: vec![],
+        },
+        // K slice feeds qk's second operand.
+        Edge {
+            src: 2,
+            dst: 3,
+            dst_kind: TensorKind::Weight,
+            selector: Some((q_frac, q_frac + one_frac)),
+            renames: vec![seqkv_rename],
+        },
+        Edge::plain(3, 4),
+        Edge::plain(4, 5),
+        // V slice feeds av's second operand — the paper's extended edge (2, 5).
+        Edge {
+            src: 2,
+            dst: 5,
+            dst_kind: TensorKind::Weight,
+            selector: Some((q_frac + one_frac, 1.0)),
+            renames: vec![seqkv_rename],
+        },
+        Edge::plain(5, 6),
+        Edge::plain(6, 7),
+        Edge::plain(0, 7),
+        Edge::plain(7, 8),
+        Edge::plain(8, 9),
+        Edge::plain(9, 10),
+        Edge::plain(10, 11),
+        Edge::plain(11, 12),
+        Edge::plain(7, 12),
+    ];
+
+    Graph {
+        ops: vec![
+            anchor, norm1, qkv, qk, softmax, av, proj, add1, norm2, fc1, act, fc2, add2,
+        ],
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_partition::Phase;
+
+    #[test]
+    fn fig6_structure() {
+        let cfg = ModelConfig::opt_6_7b();
+        let g = cfg.layer_graph(8, 2048);
+        assert_eq!(g.ops.len(), 13);
+        assert_eq!(g.segments(), vec![(0, 2), (2, 7), (7, 12)]);
+        g.validate_segmentation();
+    }
+
+    #[test]
+    fn axis_products_match_extents() {
+        for cfg in ModelConfig::all() {
+            let g = cfg.layer_graph(4, 1024);
+            for op in &g.ops {
+                for (d, axes) in op.axes.iter().enumerate() {
+                    let product: u64 = axes.iter().map(|&(_, e)| e).product();
+                    let extent = op.extents[d];
+                    if !axes.is_empty() {
+                        assert_eq!(product, extent, "{} dim {d} ({cfg:?})", op.name);
+                    } else {
+                        assert_eq!(extent, 1, "{} dim {d}", op.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn qkv_selectors_cover_unit_interval() {
+        for cfg in ModelConfig::all() {
+            let g = cfg.layer_graph(2, 256);
+            let mut selected: Vec<(f64, f64)> = g
+                .edges
+                .iter()
+                .filter(|e| e.src == 2)
+                .filter_map(|e| e.selector)
+                .collect();
+            selected.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            assert_eq!(selected.len(), 3, "{}", cfg.name);
+            assert_eq!(selected[0].0, 0.0);
+            assert!((selected[2].1 - 1.0).abs() < 1e-12);
+            for w in selected.windows(2) {
+                assert!((w[0].1 - w[1].0).abs() < 1e-12, "gap in {:?}", selected);
+            }
+        }
+    }
+
+    #[test]
+    fn layer_flops_dominated_by_linears() {
+        let cfg = ModelConfig::opt_6_7b();
+        let g = cfg.layer_graph(8, 2048);
+        let total: f64 = g.ops.iter().map(|op| op.flops(Phase::Forward)).sum();
+        let linear: f64 = g
+            .ops
+            .iter()
+            .filter(|op| op.kind == OpKind::Linear)
+            .map(|op| op.flops(Phase::Forward))
+            .sum();
+        assert!(linear / total > 0.7, "linear share {}", linear / total);
+    }
+
+    #[test]
+    fn gqa_shrinks_qkv_projection() {
+        let mha = ModelConfig::llama2_7b().layer_graph(2, 256);
+        let gqa = ModelConfig::llama2_70b().layer_graph(2, 256);
+        let out = |g: &Graph| g.ops[2].extents[3] as f64 / g.ops[2].extents[2] as f64;
+        // Llama2-7B: full MHA, K/N = 3. Llama2-70B GQA: (64+16)/64 = 1.25.
+        assert!((out(&mha) - 3.0).abs() < 1e-9);
+        assert!((out(&gqa) - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn residual_edges_present() {
+        let g = ModelConfig::bloom_7b1().layer_graph(2, 128);
+        assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 7));
+        assert!(g.edges.iter().any(|e| e.src == 7 && e.dst == 12));
+        assert!(g.edges.iter().any(|e| e.src == 2 && e.dst == 5));
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the computation-graph layer: segmentation
+//! invariants on random skip-chain DAGs and model-zoo consistency across
+//! random batch/sequence shapes.
+
+use proptest::prelude::*;
+
+use primepar_graph::{Edge, Graph, ModelConfig, OpKind, Operator};
+use primepar_partition::{Dim, Phase};
+
+fn tiny_op(name: String) -> Operator {
+    Operator {
+        name,
+        kind: OpKind::Elementwise,
+        extents: [2, 4, 1, 8],
+        axes: [
+            vec![(primepar_graph::Axis::Batch, 2)],
+            vec![(primepar_graph::Axis::Seq, 4)],
+            vec![],
+            vec![(primepar_graph::Axis::Hidden, 8)],
+        ],
+    }
+}
+
+/// Random chain of `n` nodes plus skip edges whose destinations land on the
+/// chain; sources of skips become segment heads by construction.
+fn arb_chain_graph() -> impl Strategy<Value = Graph> {
+    (4usize..10, proptest::collection::vec((0usize..8, 2usize..8), 0..3)).prop_map(
+        |(n, skips)| {
+            let ops = (0..n).map(|i| tiny_op(format!("op{i}"))).collect();
+            let mut edges: Vec<Edge> =
+                (0..n - 1).map(|i| Edge::plain(i, i + 1)).collect();
+            for (src, len) in skips {
+                let src = src % (n - 2);
+                let dst = (src + 2 + len % (n - src - 2).max(1)).min(n - 1);
+                if dst > src + 1 {
+                    edges.push(Edge::plain(src, dst));
+                }
+            }
+            Graph { ops, edges }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Segments tile the node range and start at extended-edge sources.
+    #[test]
+    fn segments_tile_the_graph(g in arb_chain_graph()) {
+        let segments = g.segments();
+        prop_assert!(!segments.is_empty());
+        prop_assert_eq!(segments[0].0, 0);
+        prop_assert_eq!(segments.last().expect("non-empty").1, g.ops.len() - 1);
+        for w in segments.windows(2) {
+            prop_assert_eq!(w[0].1, w[1].0, "segments must share endpoints");
+        }
+        for &(s, e) in &segments {
+            prop_assert!(s < e);
+        }
+        // Every extended-edge source is a segment head.
+        for edge in &g.edges {
+            if g.is_extended(edge) {
+                prop_assert!(segments.iter().any(|&(s, _)| s == edge.src),
+                    "extended source {} not a head of {:?}", edge.src, segments);
+            }
+        }
+    }
+
+    /// Model graphs are internally consistent across random shapes: axis
+    /// products match extents, FLOPs are symmetric across the phases of the
+    /// matmul-likes, and the anchor/boundary operators agree.
+    #[test]
+    fn model_graphs_consistent(batch in 1u64..16, seq_pow in 5u32..12, model_ix in 0usize..6) {
+        let seq = 1u64 << seq_pow;
+        let model = ModelConfig::all()[model_ix];
+        let g = model.layer_graph(batch, seq);
+        prop_assert_eq!(g.ops.len(), 13);
+        prop_assert_eq!(g.segments(), vec![(0, 2), (2, 7), (7, 12)]);
+        g.validate_segmentation();
+        for op in &g.ops {
+            for (d, axes) in op.axes.iter().enumerate() {
+                if !axes.is_empty() {
+                    let product: u64 = axes.iter().map(|&(_, e)| e).product();
+                    prop_assert_eq!(product, op.extents[d], "{} dim {}", op.name, d);
+                }
+            }
+            if op.is_matmul_like() {
+                let f = op.flops(Phase::Forward);
+                prop_assert_eq!(op.flops(Phase::Backward), f);
+                prop_assert_eq!(op.flops(Phase::Gradient), f);
+                prop_assert!(f > 0.0);
+            }
+        }
+        // Boundary operators (anchor / add2) share extents so layers stack.
+        prop_assert_eq!(g.ops[0].extents, g.ops[12].extents);
+        prop_assert_eq!(g.ops[0].kind, g.ops[12].kind);
+    }
+
+    /// Total layer FLOPs scale linearly in batch.
+    #[test]
+    fn flops_scale_with_batch(model_ix in 0usize..6) {
+        let model = ModelConfig::all()[model_ix];
+        let f = |b: u64| -> f64 {
+            model.layer_graph(b, 512).ops.iter().map(|o| o.flops(Phase::Forward)).sum()
+        };
+        let f1 = f(2);
+        let f2 = f(4);
+        prop_assert!((f2 / f1 - 2.0).abs() < 1e-9, "{} vs {}", f1, f2);
+    }
+
+    /// Allowed splits never include a dimension of extent 1 for batched
+    /// matmuls, and never the softmax dimension.
+    #[test]
+    fn allowed_splits_respect_protections(model_ix in 0usize..6) {
+        let model = ModelConfig::all()[model_ix];
+        let g = model.layer_graph(4, 256);
+        for op in &g.ops {
+            let splits = op.allowed_splits();
+            match op.kind {
+                OpKind::BatchedMatmul => {
+                    for d in &splits {
+                        prop_assert!(op.extent(*d) > 1);
+                        let axes = &op.axes[d.index()];
+                        prop_assert!(!axes.iter().any(|&(a, _)| a == primepar_graph::Axis::Embed));
+                    }
+                }
+                OpKind::Softmax => {
+                    prop_assert!(!splits.contains(&Dim::K), "softmax last dim protected");
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,97 @@
+use std::fmt;
+
+use crate::Dim;
+
+/// One element of a partition sequence `𝒫` (paper Algorithm 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Primitive {
+    /// Conventional partition-by-dimension (§3.2): splits `dim` in two,
+    /// consuming one device-ID bit. Devices whose bit is 0 hold the even
+    /// half-slices, devices whose bit is 1 the odd half-slices.
+    Split(Dim),
+    /// The novel spatial-temporal partition `P_{2^k×2^k}` (§3.3): arranges
+    /// `2^{2k}` devices in a logical square and splits dimensions `M`, `N`,
+    /// `K` into `2^k` slices each, executed over `2^k` temporal steps with
+    /// DSIs given by Eqs. 4–6. Consumes `2k` device-ID bits.
+    Temporal {
+        /// Log-2 of the square's side; `k = 1` is the paper's `P_{2×2}`.
+        k: u32,
+    },
+}
+
+impl Primitive {
+    /// Number of device-ID bits this primitive consumes.
+    pub fn bits(self) -> usize {
+        match self {
+            Primitive::Split(_) => 1,
+            Primitive::Temporal { k } => 2 * k as usize,
+        }
+    }
+
+    /// Multiplicative factor this primitive applies to the slice count of
+    /// `dim`.
+    pub fn slice_factor(self, dim: Dim) -> usize {
+        match self {
+            Primitive::Split(d) if d == dim => 2,
+            Primitive::Split(_) => 1,
+            Primitive::Temporal { k } => match dim {
+                Dim::B => 1,
+                Dim::M | Dim::N | Dim::K => 1 << k,
+            },
+        }
+    }
+
+    /// Number of temporal steps this primitive introduces (1 for splits).
+    pub fn steps(self) -> usize {
+        match self {
+            Primitive::Split(_) => 1,
+            Primitive::Temporal { k } => 1 << k,
+        }
+    }
+}
+
+impl fmt::Display for Primitive {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Primitive::Split(d) => write!(f, "{d}"),
+            Primitive::Temporal { k } => write!(f, "P{s}x{s}", s = 1usize << k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_costs() {
+        assert_eq!(Primitive::Split(Dim::B).bits(), 1);
+        assert_eq!(Primitive::Temporal { k: 1 }.bits(), 2);
+        assert_eq!(Primitive::Temporal { k: 2 }.bits(), 4);
+    }
+
+    #[test]
+    fn slice_factors() {
+        assert_eq!(Primitive::Split(Dim::M).slice_factor(Dim::M), 2);
+        assert_eq!(Primitive::Split(Dim::M).slice_factor(Dim::N), 1);
+        let p = Primitive::Temporal { k: 2 };
+        assert_eq!(p.slice_factor(Dim::B), 1);
+        assert_eq!(p.slice_factor(Dim::M), 4);
+        assert_eq!(p.slice_factor(Dim::N), 4);
+        assert_eq!(p.slice_factor(Dim::K), 4);
+    }
+
+    #[test]
+    fn step_counts() {
+        assert_eq!(Primitive::Split(Dim::K).steps(), 1);
+        assert_eq!(Primitive::Temporal { k: 1 }.steps(), 2);
+        assert_eq!(Primitive::Temporal { k: 3 }.steps(), 8);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(Primitive::Split(Dim::N).to_string(), "N");
+        assert_eq!(Primitive::Temporal { k: 1 }.to_string(), "P2x2");
+        assert_eq!(Primitive::Temporal { k: 2 }.to_string(), "P4x4");
+    }
+}

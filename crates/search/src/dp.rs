@@ -1,0 +1,599 @@
+//! Segmented dynamic programming (paper §5).
+//!
+//! The optimizer computes, for each Fig. 6 segment, the optimal-substructure
+//! table `C_{s,e}(p_s, p_e)` by the Bellman iteration of Eqs. 11–12, merges
+//! segments per Eq. 13 (adding cross-segment edges such as `e_{0,7}` and
+//! subtracting the shared node), and finally composes `log₂(#layers)` min-plus
+//! doublings across the stacked identical layers per Eq. 14.
+
+use std::time::{Duration, Instant};
+
+use primepar_cost::{edge_cost_matrix, intra_cost, CostCtx, IntraCost};
+use primepar_graph::Graph;
+use primepar_partition::PartitionSeq;
+use primepar_topology::Cluster;
+
+use crate::{operator_space, SpaceOptions};
+
+/// Planner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlannerOptions {
+    /// The per-operator space to search.
+    pub space: SpaceOptions,
+    /// Eq. 7's latency/memory trade-off coefficient `α`.
+    pub alpha: f64,
+    /// Worker threads for the edge-cost matrices and Bellman sweeps — the
+    /// parallelism §5.3 observes is available in Eqs. 11–14. `0` (default)
+    /// runs single-threaded, matching the paper's Table 2 measurement setup.
+    pub threads: usize,
+}
+
+/// An optimized model plan.
+#[derive(Debug, Clone)]
+pub struct ModelPlan {
+    /// Per-operator partition sequences of the representative (steady-state)
+    /// layer, indexed like `graph.ops`.
+    pub seqs: Vec<PartitionSeq>,
+    /// Marginal cost of one steady-state layer (the boundary node counted
+    /// once), in Eq. 7 units.
+    pub layer_cost: f64,
+    /// Exact total cost of all stacked layers from the min-plus composition.
+    pub total_cost: f64,
+    /// Wall-clock time spent searching (the paper's Table 2 metric).
+    pub search_time: Duration,
+}
+
+/// A `|rows| × |cols|` cost table between two operators' partition states.
+#[derive(Debug, Clone)]
+struct Table {
+    rows: usize,
+    cols: usize,
+    cost: Vec<f64>,
+    /// Backtrack data: for each Bellman/merge step, the argmin interior state.
+    steps: Vec<BacktrackStep>,
+}
+
+#[derive(Debug, Clone)]
+enum BacktrackStep {
+    /// Initial two-node table `(left, right)`.
+    Base { left: usize, right: usize },
+    /// Chain extension to a new right endpoint `node`: `choice[row * cols +
+    /// new_col]` is the argmin state of the previous endpoint `prev_node`.
+    Extend { node: usize, prev_node: usize, choice: Vec<u32>, cols: usize },
+    /// Merge of two tables at node `mid`: `choice[row * cols + col]` is the
+    /// argmin mid state.
+    Merge {
+        mid: usize,
+        left_steps: Vec<BacktrackStep>,
+        right_steps: Vec<BacktrackStep>,
+        choice: Vec<u32>,
+        cols: usize,
+    },
+}
+
+/// The segmented-DP planner for one transformer layer graph stacked
+/// `layers` times.
+#[derive(Debug)]
+pub struct Planner<'a> {
+    cluster: &'a Cluster,
+    graph: &'a Graph,
+    opts: PlannerOptions,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over `cluster` for the layer `graph`.
+    pub fn new(cluster: &'a Cluster, graph: &'a Graph, opts: PlannerOptions) -> Self {
+        Planner { cluster, graph, opts }
+    }
+
+    /// Intra-operator cost details of one operator under one sequence —
+    /// exposed so reports and simulators price plans identically.
+    pub fn intra(&self, op_index: usize, seq: &PartitionSeq) -> IntraCost {
+        let ctx = CostCtx::new(self.cluster, self.opts.alpha);
+        intra_cost(&ctx, &self.graph.ops[op_index], seq)
+    }
+
+    /// Runs the optimization for `layers` stacked layers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator's partition space is empty for this cluster
+    /// size (an operator too small to split that far).
+    pub fn optimize(&self, layers: u64) -> ModelPlan {
+        let start = Instant::now();
+        let n_bits = self.cluster.space().n_bits();
+        let ctx = CostCtx::new(self.cluster, self.opts.alpha);
+
+        let t0 = Instant::now();
+        // 1. Per-operator spaces and intra-cost vectors.
+        let spaces: Vec<Vec<PartitionSeq>> = self
+            .graph
+            .ops
+            .iter()
+            .map(|op| {
+                let s = operator_space(op, n_bits, &self.opts.space);
+                assert!(!s.is_empty(), "empty partition space for {}", op.name);
+                s
+            })
+            .collect();
+        let intra: Vec<Vec<f64>> = self
+            .graph
+            .ops
+            .iter()
+            .zip(&spaces)
+            .map(|(op, space)| space.iter().map(|s| intra_cost(&ctx, op, s).cost).collect())
+            .collect();
+
+        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
+            eprintln!("[dp] spaces+intra: {:?}", t0.elapsed());
+        }
+        let t1 = Instant::now();
+        // 2. Edge-cost matrices, summed per (src, dst) pair. Independent per
+        // edge, so they parallelize trivially when threads are requested.
+        let matrices: Vec<Vec<f64>> = if self.opts.threads > 1 {
+            let threads = self.opts.threads;
+            let mut results: Vec<Option<Vec<f64>>> = vec![None; self.graph.edges.len()];
+            crossbeam::thread::scope(|scope| {
+                let chunk = self.graph.edges.len().div_ceil(threads);
+                for (edges, out) in self
+                    .graph
+                    .edges
+                    .chunks(chunk.max(1))
+                    .zip(results.chunks_mut(chunk.max(1)))
+                {
+                    let spaces = &spaces;
+                    scope.spawn(move |_| {
+                        // Per-thread context: the profile cache is not Sync.
+                        let local = CostCtx::new(self.cluster, self.opts.alpha);
+                        for (edge, slot) in edges.iter().zip(out.iter_mut()) {
+                            *slot = Some(edge_cost_matrix(
+                                &local,
+                                edge,
+                                &self.graph.ops[edge.src],
+                                &self.graph.ops[edge.dst],
+                                &spaces[edge.src],
+                                &spaces[edge.dst],
+                            ));
+                        }
+                    });
+                }
+            })
+            .expect("edge-cost workers do not panic");
+            results.into_iter().map(|m| m.expect("computed")).collect()
+        } else {
+            self.graph
+                .edges
+                .iter()
+                .map(|edge| {
+                    edge_cost_matrix(
+                        &ctx,
+                        edge,
+                        &self.graph.ops[edge.src],
+                        &self.graph.ops[edge.dst],
+                        &spaces[edge.src],
+                        &spaces[edge.dst],
+                    )
+                })
+                .collect()
+        };
+        let mut edge_cost: std::collections::HashMap<(usize, usize), Vec<f64>> =
+            std::collections::HashMap::new();
+        for (edge, m) in self.graph.edges.iter().zip(matrices) {
+            edge_cost
+                .entry((edge.src, edge.dst))
+                .and_modify(|acc| acc.iter_mut().zip(&m).for_each(|(a, b)| *a += b))
+                .or_insert(m);
+        }
+
+        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
+            eprintln!("[dp] edge matrices: {:?}", t1.elapsed());
+        }
+        let t2 = Instant::now();
+        // 3. Segment DP (Eqs. 11-12).
+        let segments = self.graph.segments();
+        let mut tables: Vec<Table> = segments
+            .iter()
+            .map(|&(s, e)| self.segment_dp(s, e, &spaces, &intra, &edge_cost))
+            .collect();
+
+        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
+            eprintln!("[dp] segment DP: {:?}", t2.elapsed());
+        }
+        let t3 = Instant::now();
+        // 4. Merge segments left to right (Eq. 13).
+        let mut merged = tables.remove(0);
+        let mut span = segments[0];
+        for (table, seg) in tables.into_iter().zip(&segments[1..]) {
+            merged = merge(merged, table, span.1, &intra[seg.0], edge_cost.get(&(span.0, seg.1)));
+            span = (span.0, seg.1);
+        }
+
+        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
+            eprintln!("[dp] merges: {:?}", t3.elapsed());
+        }
+        let t4 = Instant::now();
+        // 5. Compose layers by min-plus doubling (Eq. 14). Boundary nodes of
+        // consecutive layers coincide, so the shared node's intra cost is
+        // subtracted once per join.
+        let first = span.0;
+        let last = span.1;
+        let stackable = spaces[first] == spaces[last];
+        let (total_cost, row_star, col_star, layer_cost);
+        if stackable {
+            let boundary_intra = &intra[last];
+            total_cost = minplus_chain(&merged, boundary_intra, layers);
+            // Steady-state representative layer: the boundary state with the
+            // best marginal per-layer cost.
+            let nb = spaces[first].len();
+            let (q_star, marginal) = (0..nb)
+                .map(|q| (q, merged.cost[q * nb + q] - boundary_intra[q]))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite costs"))
+                .expect("non-empty boundary space");
+            row_star = q_star;
+            col_star = q_star;
+            layer_cost = marginal;
+        } else {
+            // Non-repeating graph (e.g. the model endcaps): plain optimum of
+            // the merged table; no layer composition is possible.
+            assert_eq!(
+                layers, 1,
+                "stacking requires identical boundary operators (got a non-repeating graph)"
+            );
+            let (idx, &best) = merged
+                .cost
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("finite costs"))
+                .expect("non-empty table");
+            total_cost = best;
+            row_star = idx / merged.cols;
+            col_star = idx % merged.cols;
+            layer_cost = best;
+        }
+
+        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
+            eprintln!("[dp] min-plus chain: {:?}", t4.elapsed());
+        }
+        // 6. Backtrack per-operator states for the chosen endpoint pair.
+        let mut states = vec![usize::MAX; self.graph.ops.len()];
+        states[first] = row_star;
+        states[last] = col_star;
+        extract(&merged.steps, row_star, col_star, &mut states);
+        let seqs: Vec<PartitionSeq> = states
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                assert!(s != usize::MAX, "operator {i} missing from backtrack");
+                spaces[i][s].clone()
+            })
+            .collect();
+
+        ModelPlan { seqs, layer_cost, total_cost, search_time: start.elapsed() }
+    }
+
+    /// Bellman iteration over segment `(s, e)` (Eqs. 11-12).
+    fn segment_dp(
+        &self,
+        s: usize,
+        e: usize,
+        spaces: &[Vec<PartitionSeq>],
+        intra: &[Vec<f64>],
+        edge_cost: &std::collections::HashMap<(usize, usize), Vec<f64>>,
+    ) -> Table {
+        let rows = spaces[s].len();
+        // Base: Model_{s, s+1}.
+        let mut cols = spaces[s + 1].len();
+        let chain = edge_cost.get(&(s, s + 1)).expect("chain edge present");
+        let mut cost = vec![0.0; rows * cols];
+        for r in 0..rows {
+            for c in 0..cols {
+                cost[r * cols + c] = intra[s][r] + intra[s + 1][c] + chain[r * cols + c];
+            }
+        }
+        let mut steps = vec![BacktrackStep::Base { left: s, right: s + 1 }];
+
+        for j in (s + 2)..=e {
+            let new_cols = spaces[j].len();
+            let chain = edge_cost.get(&(j - 1, j)).expect("chain edge present");
+            let head = edge_cost.get(&(s, j));
+            let mut new_cost = vec![f64::INFINITY; rows * new_cols];
+            let mut choice = vec![0u32; rows * new_cols];
+            let bellman_row = |r: usize, out_cost: &mut [f64], out_choice: &mut [u32]| {
+                let row = &cost[r * cols..(r + 1) * cols];
+                for nc in 0..new_cols {
+                    let mut best = f64::INFINITY;
+                    let mut best_p = 0u32;
+                    for (p, &base) in row.iter().enumerate() {
+                        let v = base + chain[p * new_cols + nc];
+                        if v < best {
+                            best = v;
+                            best_p = p as u32;
+                        }
+                    }
+                    let mut v = best + intra[j][nc];
+                    if let Some(h) = head {
+                        v += h[r * new_cols + nc]; // Eq. 12's e_{i,j+1} term
+                    }
+                    out_cost[nc] = v;
+                    out_choice[nc] = best_p;
+                }
+            };
+            if self.opts.threads > 1 {
+                let threads = self.opts.threads;
+                crossbeam::thread::scope(|scope| {
+                    let chunk = rows.div_ceil(threads).max(1);
+                    for (band, (cost_band, choice_band)) in new_cost
+                        .chunks_mut(chunk * new_cols)
+                        .zip(choice.chunks_mut(chunk * new_cols))
+                        .enumerate()
+                    {
+                        let bellman_row = &bellman_row;
+                        scope.spawn(move |_| {
+                            for (i, (oc, och)) in cost_band
+                                .chunks_mut(new_cols)
+                                .zip(choice_band.chunks_mut(new_cols))
+                                .enumerate()
+                            {
+                                bellman_row(band * chunk + i, oc, och);
+                            }
+                        });
+                    }
+                })
+                .expect("bellman workers do not panic");
+            } else {
+                for r in 0..rows {
+                    let (oc, och) = (
+                        &mut new_cost[r * new_cols..(r + 1) * new_cols],
+                        &mut choice[r * new_cols..(r + 1) * new_cols],
+                    );
+                    bellman_row(r, oc, och);
+                }
+            }
+            steps.push(BacktrackStep::Extend { node: j, prev_node: j - 1, choice, cols: new_cols });
+            cost = new_cost;
+            cols = new_cols;
+        }
+        Table { rows, cols, cost, steps }
+    }
+}
+
+/// Eq. 13: merge `left` (span `a..mid`) and `right` (span `mid..c`),
+/// subtracting the shared node's intra cost and adding any direct `a → c`
+/// edge.
+fn merge(left: Table, right: Table, mid: usize, mid_intra: &[f64], span_edge: Option<&Vec<f64>>) -> Table {
+    assert_eq!(left.cols, right.rows, "merge point spaces must agree");
+    let rows = left.rows;
+    let cols = right.cols;
+    let k = left.cols;
+    let mut cost = vec![f64::INFINITY; rows * cols];
+    let mut choice = vec![0u32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            let mut best = f64::INFINITY;
+            let mut best_m = 0u32;
+            for m in 0..k {
+                let v = left.cost[r * k + m] + right.cost[m * cols + c] - mid_intra[m];
+                if v < best {
+                    best = v;
+                    best_m = m as u32;
+                }
+            }
+            if let Some(edge) = span_edge {
+                best += edge[r * cols + c];
+            }
+            cost[r * cols + c] = best;
+            choice[r * cols + c] = best_m;
+        }
+    }
+    let steps = vec![BacktrackStep::Merge {
+        mid,
+        left_steps: left.steps,
+        right_steps: right.steps,
+        choice,
+        cols,
+    }];
+    Table { rows, cols, cost, steps }
+}
+
+/// Eq. 14 generalized: exact cost of `layers` stacked copies of the layer
+/// table `t` sharing boundary nodes, via min-plus doubling.
+fn minplus_chain(t: &Table, boundary_intra: &[f64], layers: u64) -> f64 {
+    assert_eq!(t.rows, t.cols, "layer table must be square");
+    let n = t.rows;
+    let join = |a: &Vec<f64>, b: &Vec<f64>| -> Vec<f64> {
+        let mut out = vec![f64::INFINITY; n * n];
+        for r in 0..n {
+            for q in 0..n {
+                let lead = a[r * n + q] - boundary_intra[q];
+                if !lead.is_finite() {
+                    continue;
+                }
+                for c in 0..n {
+                    let v = lead + b[q * n + c];
+                    if v < out[r * n + c] {
+                        out[r * n + c] = v;
+                    }
+                }
+            }
+        }
+        out
+    };
+    let mut result: Option<Vec<f64>> = None;
+    let mut power = t.cost.clone();
+    let mut remaining = layers.max(1);
+    loop {
+        if remaining & 1 == 1 {
+            result = Some(match result {
+                None => power.clone(),
+                Some(r) => join(&r, &power),
+            });
+        }
+        remaining >>= 1;
+        if remaining == 0 {
+            break;
+        }
+        power = join(&power, &power);
+    }
+    result
+        .expect("at least one layer")
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Recursively resolves the argmin interior states for endpoint states
+/// `(row, col)` into `states`.
+fn extract(steps: &[BacktrackStep], row: usize, col: usize, states: &mut [usize]) {
+    if let [BacktrackStep::Merge { mid, left_steps, right_steps, choice, cols }] = steps {
+        let m = choice[row * cols + col] as usize;
+        states[*mid] = m;
+        extract(left_steps, row, m, states);
+        extract(right_steps, m, col, states);
+        return;
+    }
+    // A chain of Base + Extend steps: walk backwards from the right endpoint.
+    let mut current_col = col;
+    for step in steps.iter().rev() {
+        match step {
+            BacktrackStep::Extend { node, prev_node, choice, cols } => {
+                states[*node] = current_col;
+                let prev = choice[row * cols + current_col] as usize;
+                states[*prev_node] = prev;
+                current_col = prev;
+            }
+            BacktrackStep::Base { left, right } => {
+                states[*left] = row;
+                states[*right] = current_col;
+            }
+            BacktrackStep::Merge { .. } => unreachable!("merge step inside a chain"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_graph::ModelConfig;
+
+    #[test]
+    fn optimizer_runs_and_improves_on_naive_dp() {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let planner = Planner::new(&cluster, &graph, PlannerOptions::default());
+        let plan = planner.optimize(4);
+        assert_eq!(plan.seqs.len(), 13);
+        assert!(plan.layer_cost > 0.0);
+        assert!(plan.total_cost > 0.0);
+        // The found plan must be no worse than pure data parallelism.
+        let dp_plan = crate::megatron_layer_plan(&graph, 4, 1);
+        let planner_cost: f64 = plan.layer_cost;
+        let dp_cost: f64 = plan_cost(&cluster, &graph, &dp_plan);
+        assert!(planner_cost <= dp_cost * 1.001, "{planner_cost} vs DP {dp_cost}");
+    }
+
+    /// Reference evaluation of a fixed plan: sum of intra costs + edge costs
+    /// (marginal layer, boundary counted once).
+    fn plan_cost(cluster: &Cluster, graph: &Graph, seqs: &[PartitionSeq]) -> f64 {
+        let ctx = CostCtx::new(cluster, 0.0);
+        let mut total = 0.0;
+        for (i, op) in graph.ops.iter().enumerate().skip(1) {
+            total += intra_cost(&ctx, op, &seqs[i]).cost;
+        }
+        for e in &graph.edges {
+            total += primepar_cost::inter_cost(
+                &ctx,
+                e,
+                &graph.ops[e.src],
+                &graph.ops[e.dst],
+                &seqs[e.src],
+                &seqs[e.dst],
+            );
+        }
+        total
+    }
+
+    #[test]
+    fn plan_cost_matches_backtracked_states() {
+        // The DP's reported layer cost must equal the independent evaluation
+        // of the extracted plan (guards both the Bellman recursion and the
+        // backtracking).
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::llama2_7b().layer_graph(8, 512);
+        let planner = Planner::new(&cluster, &graph, PlannerOptions::default());
+        let plan = planner.optimize(1);
+        let eval = plan_cost(&cluster, &graph, &plan.seqs);
+        let rel = (plan.layer_cost - eval).abs() / eval.max(1e-12);
+        assert!(rel < 1e-9, "dp {} vs eval {}", plan.layer_cost, eval);
+    }
+
+    #[test]
+    fn dp_is_optimal_on_exhaustive_small_space() {
+        // 2 devices: spaces are tiny; brute-force every assignment of the
+        // MLP sub-chain and compare (validates Eqs. 11-14 end to end).
+        let cluster = Cluster::v100_like(2);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let planner = Planner::new(&cluster, &graph, PlannerOptions::default());
+        let plan = planner.optimize(1);
+
+        // Brute force: iterate the product of all operator spaces... the
+        // full 13-node product is too large even at 2 devices (5^13), so
+        // check optimality by local perturbation: changing any single
+        // operator's sequence must not improve the cost.
+        let opts = SpaceOptions::default();
+        let mut best = plan_cost(&cluster, &graph, &plan.seqs);
+        for i in 1..graph.ops.len() {
+            for alt in operator_space(&graph.ops[i], 1, &opts) {
+                let mut seqs = plan.seqs.clone();
+                // Keep boundary nodes consistent (they are shared across
+                // layers; the steady-state plan pins them equal).
+                if i == 0 || i == 12 {
+                    continue;
+                }
+                seqs[i] = alt;
+                let c = plan_cost(&cluster, &graph, &seqs);
+                best = best.min(c);
+            }
+        }
+        let own = plan_cost(&cluster, &graph, &plan.seqs);
+        assert!(own <= best * 1.0001, "one-step improvement found: {best} < {own}");
+    }
+
+    #[test]
+    fn parallel_planner_matches_single_threaded() {
+        // §5.3: the Bellman/merge computation is parallelizable; the result
+        // must be identical regardless of thread count.
+        let cluster = Cluster::v100_like(8);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let single = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4);
+        let multi = Planner::new(
+            &cluster,
+            &graph,
+            PlannerOptions { threads: 4, ..PlannerOptions::default() },
+        )
+        .optimize(4);
+        assert!((single.total_cost - multi.total_cost).abs() < 1e-9 * single.total_cost);
+        assert!((single.layer_cost - multi.layer_cost).abs() < 1e-9 * single.layer_cost);
+        assert_eq!(single.seqs, multi.seqs);
+    }
+
+    #[test]
+    fn temporal_space_beats_conventional_space() {
+        // The PrimePar claim in cost-model terms: searching the extended
+        // space can only improve (and for large models strictly improves)
+        // on the conventional space.
+        let cluster = Cluster::v100_like(8);
+        let graph = ModelConfig::opt_175b().layer_graph(8, 2048);
+        let full = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4);
+        let conventional = Planner::new(
+            &cluster,
+            &graph,
+            PlannerOptions {
+                space: SpaceOptions { allow_temporal: false, ..SpaceOptions::default() },
+                alpha: 0.0,
+                ..PlannerOptions::default()
+            },
+        )
+        .optimize(4);
+        assert!(full.total_cost <= conventional.total_cost * 1.0001);
+    }
+}

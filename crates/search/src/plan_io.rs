@@ -1,0 +1,146 @@
+//! Plain-text serialization of layer plans: one `operator: sequence` line per
+//! node, round-tripping [`PartitionSeq`]'s `Display`/`FromStr` notation.
+//! Lets users save a searched plan and redeploy it without re-searching.
+
+use std::error::Error;
+use std::fmt;
+
+use primepar_graph::Graph;
+use primepar_partition::PartitionSeq;
+
+/// Error raised when a plan file does not match the graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanIoError {
+    /// A line was not `operator: sequence`.
+    BadLine(String),
+    /// The named operator does not exist in the graph.
+    UnknownOperator(String),
+    /// A sequence failed to parse.
+    BadSequence {
+        /// The operator whose sequence is invalid.
+        op: String,
+        /// The parse failure.
+        message: String,
+    },
+    /// The plan is missing an operator present in the graph.
+    MissingOperator(String),
+}
+
+impl fmt::Display for PlanIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanIoError::BadLine(l) => write!(f, "expected `operator: sequence`, got `{l}`"),
+            PlanIoError::UnknownOperator(op) => write!(f, "unknown operator `{op}`"),
+            PlanIoError::BadSequence { op, message } => {
+                write!(f, "invalid sequence for `{op}`: {message}")
+            }
+            PlanIoError::MissingOperator(op) => write!(f, "plan is missing operator `{op}`"),
+        }
+    }
+}
+
+impl Error for PlanIoError {}
+
+/// Serializes a layer plan as `operator: sequence` lines (comments start
+/// with `#`).
+///
+/// # Example
+///
+/// ```
+/// use primepar_graph::ModelConfig;
+/// use primepar_search::{megatron_layer_plan, parse_plan, render_plan};
+///
+/// let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+/// let plan = megatron_layer_plan(&graph, 2, 2);
+/// let text = render_plan(&graph, &plan);
+/// let back = parse_plan(&graph, &text)?;
+/// assert_eq!(back, plan);
+/// # Ok::<(), primepar_search::PlanIoError>(())
+/// ```
+pub fn render_plan(graph: &Graph, seqs: &[PartitionSeq]) -> String {
+    assert_eq!(seqs.len(), graph.ops.len(), "one sequence per operator");
+    let mut out = String::from("# PrimePar layer plan: operator: sequence\n");
+    for (op, seq) in graph.ops.iter().zip(seqs) {
+        out.push_str(&format!("{}: {seq}\n", op.name));
+    }
+    out
+}
+
+/// Parses a plan rendered by [`render_plan`] against `graph`.
+///
+/// # Errors
+///
+/// Returns [`PlanIoError`] on malformed lines, unknown/missing operators, or
+/// unparsable sequences.
+pub fn parse_plan(graph: &Graph, text: &str) -> Result<Vec<PartitionSeq>, PlanIoError> {
+    let mut seqs: Vec<Option<PartitionSeq>> = vec![None; graph.ops.len()];
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (name, body) = line
+            .split_once(':')
+            .ok_or_else(|| PlanIoError::BadLine(line.to_string()))?;
+        let name = name.trim();
+        let idx = graph
+            .ops
+            .iter()
+            .position(|op| op.name == name)
+            .ok_or_else(|| PlanIoError::UnknownOperator(name.to_string()))?;
+        let seq: PartitionSeq = body.trim().parse().map_err(|e| PlanIoError::BadSequence {
+            op: name.to_string(),
+            message: format!("{e}"),
+        })?;
+        seqs[idx] = Some(seq);
+    }
+    seqs.into_iter()
+        .enumerate()
+        .map(|(i, s)| s.ok_or_else(|| PlanIoError::MissingOperator(graph.ops[i].name.clone())))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{megatron_layer_plan, Planner, PlannerOptions};
+    use primepar_graph::ModelConfig;
+    use primepar_topology::Cluster;
+
+    #[test]
+    fn roundtrip_searched_plan() {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::llama2_7b().layer_graph(8, 256);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+        let text = render_plan(&graph, &plan.seqs);
+        let back = parse_plan(&graph, &text).unwrap();
+        assert_eq!(back, plan.seqs);
+    }
+
+    #[test]
+    fn parse_ignores_comments_and_blanks() {
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        let plan = megatron_layer_plan(&graph, 1, 2);
+        let mut text = String::from("# a comment\n\n");
+        text.push_str(&render_plan(&graph, &plan));
+        assert_eq!(parse_plan(&graph, &text).unwrap(), plan);
+    }
+
+    #[test]
+    fn parse_reports_missing_and_unknown() {
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        assert!(matches!(
+            parse_plan(&graph, "qkv: B"),
+            Err(PlanIoError::MissingOperator(_))
+        ));
+        assert!(matches!(
+            parse_plan(&graph, "nonsense: B"),
+            Err(PlanIoError::UnknownOperator(_))
+        ));
+        assert!(matches!(
+            parse_plan(&graph, "qkv: Z"),
+            Err(PlanIoError::BadSequence { .. })
+        ));
+        assert!(matches!(parse_plan(&graph, "garbage"), Err(PlanIoError::BadLine(_))));
+    }
+}

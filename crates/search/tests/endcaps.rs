@@ -1,0 +1,54 @@
+//! Planning the model endcaps (embedding / final norm / LM head): the
+//! optimizer should discover Megatron's vocab-parallel strategies when the
+//! vocabulary dominates.
+
+use primepar_graph::ModelConfig;
+use primepar_partition::Dim;
+use primepar_search::{Planner, PlannerOptions};
+use primepar_topology::Cluster;
+
+#[test]
+fn endcaps_plan_and_prefer_vocab_parallelism_under_memory_pressure() {
+    // BLOOM's 250k vocabulary: embedding + head weights are 2 GB each in
+    // fp32, so with a memory-weighted objective the planner must shard the
+    // vocab dimension rather than replicate it.
+    let model = ModelConfig::bloom_7b1();
+    let cluster = Cluster::v100_like(4);
+    let graph = model.endcap_graph(8, 512);
+    let opts = PlannerOptions { alpha: 1e-8, ..PlannerOptions::default() };
+    let plan = Planner::new(&cluster, &graph, opts).optimize(1);
+
+    let embedding = &plan.seqs[0];
+    let lm_head = &plan.seqs[3];
+    // Vocab is N for the embedding and K for the LM head.
+    assert!(
+        embedding.num_slices(Dim::N) > 1 || embedding.num_slices(Dim::K) > 1,
+        "embedding weight left replicated: {embedding}"
+    );
+    assert!(
+        lm_head.num_slices(Dim::K) > 1 || lm_head.num_slices(Dim::N) > 1,
+        "LM head weight left replicated: {lm_head}"
+    );
+}
+
+#[test]
+fn endcaps_plan_for_every_model() {
+    for model in ModelConfig::all() {
+        let cluster = Cluster::v100_like(2);
+        let graph = model.endcap_graph(4, 256);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+        assert_eq!(plan.seqs.len(), 4, "{}", model.name);
+        assert!(plan.layer_cost > 0.0, "{}", model.name);
+    }
+}
+
+#[test]
+fn embedding_never_gets_the_temporal_primitive() {
+    // The temporal primitive is reserved for true GEMMs; the gather-bound
+    // embedding must not receive it.
+    let model = ModelConfig::opt_6_7b();
+    let cluster = Cluster::v100_like(4);
+    let graph = model.endcap_graph(8, 512);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+    assert!(plan.seqs[0].temporal_k().is_none(), "{}", plan.seqs[0]);
+}

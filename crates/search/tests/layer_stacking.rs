@@ -1,0 +1,59 @@
+//! Cross-validation of Eq. 14's layer composition: optimizing an *explicit*
+//! multi-layer graph must agree with the min-plus composition of the
+//! single-layer table the planner uses internally.
+
+use primepar_graph::ModelConfig;
+use primepar_search::{Planner, PlannerOptions};
+use primepar_topology::Cluster;
+
+#[test]
+fn explicit_two_layer_graph_matches_minplus_composition() {
+    let cluster = Cluster::v100_like(2);
+    let model = ModelConfig::opt_6_7b();
+    let layer = model.layer_graph(8, 256);
+    let stacked = layer.stack(2);
+    stacked.validate_segmentation();
+
+    let via_minplus =
+        Planner::new(&cluster, &layer, PlannerOptions::default()).optimize(2);
+    let via_explicit =
+        Planner::new(&cluster, &stacked, PlannerOptions::default()).optimize(1);
+    let rel = (via_minplus.total_cost - via_explicit.total_cost).abs()
+        / via_explicit.total_cost;
+    assert!(
+        rel < 1e-9,
+        "Eq. 14 composition {} disagrees with explicit 2-layer DP {}",
+        via_minplus.total_cost,
+        via_explicit.total_cost
+    );
+}
+
+#[test]
+fn explicit_four_layer_graph_matches_minplus_composition() {
+    let cluster = Cluster::v100_like(2);
+    let model = ModelConfig::llama2_7b();
+    let layer = model.layer_graph(4, 256);
+    let stacked = layer.stack(4);
+
+    let via_minplus =
+        Planner::new(&cluster, &layer, PlannerOptions::default()).optimize(4);
+    let via_explicit =
+        Planner::new(&cluster, &stacked, PlannerOptions::default()).optimize(1);
+    let rel = (via_minplus.total_cost - via_explicit.total_cost).abs()
+        / via_explicit.total_cost;
+    assert!(
+        rel < 1e-9,
+        "4-layer composition {} vs explicit {}",
+        via_minplus.total_cost,
+        via_explicit.total_cost
+    );
+}
+
+#[test]
+fn stacked_graph_segments_repeat_per_layer() {
+    let layer = ModelConfig::bloom_7b1().layer_graph(4, 128);
+    let stacked = layer.stack(3);
+    let per_layer = layer.segments().len();
+    assert_eq!(stacked.segments().len(), 3 * per_layer);
+    assert_eq!(stacked.ops.len(), 3 * (layer.ops.len() - 1) + 1);
+}

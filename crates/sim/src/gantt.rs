@@ -1,0 +1,142 @@
+//! ASCII Gantt rendering of simulated timelines — the textual counterpart of
+//! the paper's Fig. 9 kernel timelines, showing ring transfers riding under
+//! the compute spans and collectives serializing after them.
+
+use crate::{EventKind, Timeline};
+
+/// Renders a timeline as an ASCII Gantt chart: one row per (operator, event
+/// kind) lane, `width` columns spanning the full duration. Compute is `#`,
+/// ring transfers `~`, collectives `A`, redistribution `R`.
+///
+/// # Example
+///
+/// ```
+/// use primepar_graph::ModelConfig;
+/// use primepar_search::megatron_layer_plan;
+/// use primepar_sim::{render_gantt, simulate_layer};
+/// use primepar_topology::Cluster;
+///
+/// let cluster = Cluster::v100_like(4);
+/// let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+/// let report = simulate_layer(&cluster, &graph, &megatron_layer_plan(&graph, 1, 4));
+/// let chart = render_gantt(&report.timeline, 80);
+/// assert!(chart.contains('#') && chart.contains('A'));
+/// ```
+pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
+    if timeline.is_empty() {
+        return String::from("(empty timeline)\n");
+    }
+    let end = timeline.iter().map(|e| e.start + e.duration).fold(0.0f64, f64::max);
+    if end <= 0.0 {
+        return String::from("(zero-length timeline)\n");
+    }
+    // Lanes keyed by (op, kind), in first-appearance order.
+    let mut lanes: Vec<(String, EventKind, Vec<u8>)> = Vec::new();
+    for ev in timeline {
+        let key_pos = lanes
+            .iter()
+            .position(|(op, kind, _)| *op == ev.op && *kind == ev.kind);
+        let idx = match key_pos {
+            Some(i) => i,
+            None => {
+                lanes.push((ev.op.clone(), ev.kind, vec![b' '; width]));
+                lanes.len() - 1
+            }
+        };
+        let glyph = match ev.kind {
+            EventKind::Compute => b'#',
+            EventKind::Ring => b'~',
+            EventKind::AllReduce => b'A',
+            EventKind::Redistribution => b'R',
+        };
+        let from = ((ev.start / end) * width as f64).floor() as usize;
+        let to = (((ev.start + ev.duration) / end) * width as f64).ceil() as usize;
+        let lane = &mut lanes[idx].2;
+        for cell in lane.iter_mut().take(to.min(width)).skip(from.min(width.saturating_sub(1))) {
+            *cell = glyph;
+        }
+    }
+    let label_width = lanes.iter().map(|(op, _, _)| op.len()).max().unwrap_or(0).min(24);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<label_width$}  |{}| 0 .. {:.2} ms\n",
+        "",
+        "-".repeat(width),
+        end * 1e3
+    ));
+    for (op, kind, lane) in &lanes {
+        let tag = match kind {
+            EventKind::Compute => "cmp",
+            EventKind::Ring => "rng",
+            EventKind::AllReduce => "ar ",
+            EventKind::Redistribution => "rd ",
+        };
+        let mut label = op.clone();
+        label.truncate(label_width);
+        out.push_str(&format!(
+            "{label:<label_width$} {tag}|{}|\n",
+            String::from_utf8_lossy(lane)
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimelineEvent;
+    use primepar_partition::Phase;
+
+    fn ev(op: &str, kind: EventKind, start: f64, duration: f64) -> TimelineEvent {
+        TimelineEvent { op: op.into(), phase: Phase::Forward, kind, start, duration }
+    }
+
+    #[test]
+    fn empty_timeline_renders_placeholder() {
+        assert!(render_gantt(&vec![], 40).contains("empty"));
+    }
+
+    #[test]
+    fn lanes_and_glyphs() {
+        let tl = vec![
+            ev("fc1", EventKind::Compute, 0.0, 0.5),
+            ev("fc1", EventKind::Ring, 0.0, 0.2),
+            ev("fc2", EventKind::AllReduce, 0.5, 0.5),
+        ];
+        let g = render_gantt(&tl, 20);
+        assert!(g.contains('#'), "compute glyph missing:\n{g}");
+        assert!(g.contains('~'), "ring glyph missing:\n{g}");
+        assert!(g.contains('A'), "allreduce glyph missing:\n{g}");
+        // fc1 compute occupies the first half, fc2 allreduce the second.
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 4); // header + 3 lanes
+    }
+
+    #[test]
+    fn overlapping_events_share_the_axis() {
+        let tl = vec![
+            ev("op", EventKind::Compute, 0.0, 1.0),
+            ev("op", EventKind::Ring, 0.0, 1.0),
+        ];
+        let g = render_gantt(&tl, 10);
+        let compute_line = g.lines().find(|l| l.contains("cmp")).expect("compute lane");
+        let ring_line = g.lines().find(|l| l.contains("rng")).expect("ring lane");
+        assert_eq!(compute_line.matches('#').count(), 10);
+        assert_eq!(ring_line.matches('~').count(), 10);
+    }
+
+    #[test]
+    fn renders_real_simulation() {
+        use primepar_graph::ModelConfig;
+        use primepar_search::megatron_layer_plan;
+        use primepar_topology::Cluster;
+
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        let plan = megatron_layer_plan(&graph, 1, 4);
+        let report = crate::simulate_layer(&cluster, &graph, &plan);
+        let g = render_gantt(&report.timeline, 80);
+        assert!(g.lines().count() > 5);
+        assert!(g.contains("fc1"));
+    }
+}

@@ -1,0 +1,123 @@
+use std::fmt;
+
+use primepar_partition::Phase;
+
+/// What a timeline event represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EventKind {
+    /// A compute kernel (one temporal step of one phase).
+    Compute,
+    /// A ring point-to-point transfer overlapped with compute.
+    Ring,
+    /// A collective (all-reduce) kernel.
+    AllReduce,
+    /// Inter-operator redistribution traffic.
+    Redistribution,
+}
+
+/// One span on the simulated device timeline (the paper's Fig. 9 kernel
+/// timelines).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimelineEvent {
+    /// Operator name (e.g. `"fc2"`).
+    pub op: String,
+    /// Training phase.
+    pub phase: Phase,
+    /// Event class.
+    pub kind: EventKind,
+    /// Start time in seconds from iteration start.
+    pub start: f64,
+    /// Duration in seconds.
+    pub duration: f64,
+}
+
+/// An ordered list of timeline events.
+pub type Timeline = Vec<TimelineEvent>;
+
+/// Latency breakdown of a simulated iteration (the paper's Fig. 9 bars and
+/// Fig. 2a proportions).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Breakdown {
+    /// Pure compute time.
+    pub compute: f64,
+    /// Collective (all-reduce) time.
+    pub collective: f64,
+    /// Ring point-to-point time if serialized.
+    pub ring_total: f64,
+    /// Ring time not hidden behind compute.
+    pub ring_exposed: f64,
+    /// Inter-operator redistribution time.
+    pub redistribution: f64,
+}
+
+impl Breakdown {
+    /// Total critical-path latency.
+    pub fn total(&self) -> f64 {
+        self.compute + self.collective + self.ring_exposed + self.redistribution
+    }
+
+    /// Fraction of latency spent in collective communication (Fig. 2a).
+    pub fn collective_fraction(&self) -> f64 {
+        if self.total() > 0.0 {
+            self.collective / self.total()
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for Breakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "compute {:.3}ms, collective {:.3}ms, ring {:.3}ms (exposed {:.3}ms), redist {:.3}ms",
+            self.compute * 1e3,
+            self.collective * 1e3,
+            self.ring_total * 1e3,
+            self.ring_exposed * 1e3,
+            self.redistribution * 1e3
+        )
+    }
+}
+
+/// Result of simulating one transformer layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerReport {
+    /// Critical-path latency of one layer's training iteration (s).
+    pub layer_time: f64,
+    /// Component breakdown.
+    pub breakdown: Breakdown,
+    /// Peak per-device memory of this layer alone (bytes): persistent
+    /// parameters + gradients plus the activation-stash high-water mark.
+    pub peak_memory_bytes: f64,
+    /// Persistent (parameters + gradients) bytes per device.
+    pub persistent_bytes: f64,
+    /// Stash bytes alive at the end of the forward pass per device.
+    pub stash_bytes: f64,
+    /// Kernel timeline (forward, then backward/gradient).
+    pub timeline: Timeline,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn breakdown_totals_and_fraction() {
+        let b = Breakdown {
+            compute: 2.0,
+            collective: 1.0,
+            ring_total: 0.5,
+            ring_exposed: 0.25,
+            redistribution: 0.75,
+        };
+        assert_eq!(b.total(), 4.0);
+        assert_eq!(b.collective_fraction(), 0.25);
+        assert!(!b.to_string().is_empty());
+    }
+
+    #[test]
+    fn zero_breakdown_fraction_is_zero() {
+        assert_eq!(Breakdown::default().collective_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by fallible tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The shapes of the operands are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left-hand (or only) operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand, if any.
+        rhs: Vec<usize>,
+    },
+    /// The number of elements supplied does not match the requested shape.
+    LengthMismatch {
+        /// Product of the requested shape dimensions.
+        expected: usize,
+        /// Number of elements supplied.
+        actual: usize,
+    },
+    /// A slice range falls outside the tensor bounds.
+    OutOfBounds {
+        /// The dimension in which the violation occurred.
+        dim: usize,
+        /// The requested half-open range.
+        range: (usize, usize),
+        /// The extent of that dimension.
+        extent: usize,
+    },
+    /// The operation requires a different rank (number of dimensions).
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Rank expected by the operation.
+        expected: usize,
+        /// Rank of the operand.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
+            }
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::OutOfBounds { dim, range, extent } => write!(
+                f,
+                "range {}..{} out of bounds for dimension {dim} of extent {extent}",
+                range.0, range.1
+            ),
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "rank mismatch in `{op}`: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl Error for TensorError {}

@@ -1,0 +1,37 @@
+//! Dense `f32` tensor substrate for the PrimePar reproduction.
+//!
+//! The functional executor (the `primepar-exec` crate) replays spatial-temporal partition
+//! schedules with *real* arithmetic to prove that the partitioned training step is
+//! mathematically equivalent to the serial one. This crate provides the minimal —
+//! but complete and well-tested — dense tensor machinery that the executor needs:
+//! row-major tensors, block (slice) extraction and insertion, matrix multiplication
+//! in all the transposition flavours used by training (`O = I·W`, `dI = dO·Wᵀ`,
+//! `dW = Iᵀ·dO`), the transformer point-wise operators (softmax, layer/RMS norm,
+//! GeLU/ReLU/SiLU) and their backward passes.
+//!
+//! # Example
+//!
+//! ```
+//! use primepar_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+//! let b = Tensor::eye(3);
+//! let c = a.matmul(&b).unwrap();
+//! assert!(c.allclose(&a, 1e-6));
+//! ```
+
+// Loops indexed by device id / wide internal signatures are deliberate.
+#![allow(clippy::needless_range_loop)]
+mod error;
+mod nn;
+mod ops;
+mod shape;
+mod tensor;
+
+pub use error::TensorError;
+pub use nn::{gelu, gelu_backward, relu, relu_backward, silu, silu_backward, Activation};
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenient result alias for fallible tensor operations.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,514 @@
+//! Transformer point-wise / normalization operators and their backward passes.
+//!
+//! These exist so the functional executor can replay *entire transformer blocks*
+//! under a partition plan and check them against serial execution.
+
+use crate::{Result, Tensor, TensorError};
+
+/// The activation functions used by the evaluated model families
+/// (OPT uses ReLU, BLOOM uses GeLU, Llama2 uses SiLU).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Gaussian error linear unit (tanh approximation).
+    Gelu,
+    /// Sigmoid-weighted linear unit ("swish").
+    Silu,
+}
+
+impl Activation {
+    /// Applies the activation element-wise.
+    pub fn forward(self, x: &Tensor) -> Tensor {
+        match self {
+            Activation::Relu => relu(x),
+            Activation::Gelu => gelu(x),
+            Activation::Silu => silu(x),
+        }
+    }
+
+    /// Computes the input gradient given the pre-activation input and the
+    /// output gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless `x` and `grad_out` agree.
+    pub fn backward(self, x: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        match self {
+            Activation::Relu => relu_backward(x, grad_out),
+            Activation::Gelu => gelu_backward(x, grad_out),
+            Activation::Silu => silu_backward(x, grad_out),
+        }
+    }
+}
+
+/// Element-wise ReLU.
+pub fn relu(x: &Tensor) -> Tensor {
+    x.map(|v| v.max(0.0))
+}
+
+/// ReLU input gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless shapes agree.
+pub fn relu_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+    let mask = x.map(|v| if v > 0.0 { 1.0 } else { 0.0 });
+    mask.mul(grad_out)
+}
+
+const SQRT_2_OVER_PI: f32 = 0.797_884_6;
+const GELU_COEF: f32 = 0.044_715;
+
+/// Element-wise GeLU (tanh approximation, as in BLOOM/GPT implementations).
+pub fn gelu(x: &Tensor) -> Tensor {
+    x.map(gelu_scalar)
+}
+
+fn gelu_scalar(v: f32) -> f32 {
+    0.5 * v * (1.0 + (SQRT_2_OVER_PI * (v + GELU_COEF * v * v * v)).tanh())
+}
+
+/// GeLU input gradient (analytic derivative of the tanh approximation).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless shapes agree.
+pub fn gelu_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+    let deriv = x.map(|v| {
+        let inner = SQRT_2_OVER_PI * (v + GELU_COEF * v * v * v);
+        let t = inner.tanh();
+        let sech2 = 1.0 - t * t;
+        0.5 * (1.0 + t) + 0.5 * v * sech2 * SQRT_2_OVER_PI * (1.0 + 3.0 * GELU_COEF * v * v)
+    });
+    deriv.mul(grad_out)
+}
+
+/// Element-wise SiLU (`x · sigmoid(x)`).
+pub fn silu(x: &Tensor) -> Tensor {
+    x.map(|v| v * sigmoid(v))
+}
+
+/// SiLU input gradient.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] unless shapes agree.
+pub fn silu_backward(x: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+    let deriv = x.map(|v| {
+        let s = sigmoid(v);
+        s + v * s * (1.0 - s)
+    });
+    deriv.mul(grad_out)
+}
+
+fn sigmoid(v: f32) -> f32 {
+    1.0 / (1.0 + (-v).exp())
+}
+
+impl Tensor {
+    /// Softmax along the last dimension (numerically stabilized).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
+    pub fn softmax_last_dim(&self) -> Result<Tensor> {
+        if self.rank() == 0 {
+            return Err(TensorError::RankMismatch { op: "softmax", expected: 1, actual: 0 });
+        }
+        let last = self.shape().dim(self.rank() - 1);
+        let rows = self.shape().volume() / last;
+        let mut out = self.clone();
+        let data = out.data_mut();
+        for r in 0..rows {
+            let row = &mut data[r * last..(r + 1) * last];
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Softmax input gradient given the softmax *output* `y` and output gradient.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless shapes agree.
+    pub fn softmax_backward(y: &Tensor, grad_out: &Tensor) -> Result<Tensor> {
+        if y.shape() != grad_out.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "softmax_backward",
+                lhs: y.shape().dims().to_vec(),
+                rhs: grad_out.shape().dims().to_vec(),
+            });
+        }
+        let last = y.shape().dim(y.rank() - 1);
+        let rows = y.shape().volume() / last;
+        let mut out = Tensor::zeros(y.shape().clone());
+        for r in 0..rows {
+            let yr = &y.data()[r * last..(r + 1) * last];
+            let gr = &grad_out.data()[r * last..(r + 1) * last];
+            let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+            let or = &mut out.data_mut()[r * last..(r + 1) * last];
+            for j in 0..last {
+                or[j] = yr[j] * (gr[j] - dot);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Layer normalization over the last dimension with affine parameters
+    /// `gamma`, `beta` (both 1-D of that extent). Returns `(output, mean, rstd)`
+    /// where the statistics are needed by [`Tensor::layer_norm_backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if parameter extents do not match the last dimension.
+    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<(Tensor, Tensor, Tensor)> {
+        let last = self.shape().dim(self.rank() - 1);
+        if gamma.shape().volume() != last || beta.shape().volume() != last {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm",
+                lhs: vec![last],
+                rhs: gamma.shape().dims().to_vec(),
+            });
+        }
+        let rows = self.shape().volume() / last;
+        let mut out = Tensor::zeros(self.shape().clone());
+        let mut means = Tensor::zeros(vec![rows]);
+        let mut rstds = Tensor::zeros(vec![rows]);
+        for r in 0..rows {
+            let xr = &self.data()[r * last..(r + 1) * last];
+            let mean = xr.iter().sum::<f32>() / last as f32;
+            let var = xr.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / last as f32;
+            let rstd = 1.0 / (var + eps).sqrt();
+            means.data_mut()[r] = mean;
+            rstds.data_mut()[r] = rstd;
+            let or = &mut out.data_mut()[r * last..(r + 1) * last];
+            for j in 0..last {
+                or[j] = (xr[j] - mean) * rstd * gamma.data()[j] + beta.data()[j];
+            }
+        }
+        Ok((out, means, rstds))
+    }
+
+    /// Layer-norm backward pass. Returns `(grad_input, grad_gamma, grad_beta)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreement between any of the operands.
+    pub fn layer_norm_backward(
+        &self,
+        grad_out: &Tensor,
+        gamma: &Tensor,
+        mean: &Tensor,
+        rstd: &Tensor,
+    ) -> Result<(Tensor, Tensor, Tensor)> {
+        if self.shape() != grad_out.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "layer_norm_backward",
+                lhs: self.shape().dims().to_vec(),
+                rhs: grad_out.shape().dims().to_vec(),
+            });
+        }
+        let last = self.shape().dim(self.rank() - 1);
+        let rows = self.shape().volume() / last;
+        let mut dx = Tensor::zeros(self.shape().clone());
+        let mut dgamma = Tensor::zeros(vec![last]);
+        let mut dbeta = Tensor::zeros(vec![last]);
+        for r in 0..rows {
+            let xr = &self.data()[r * last..(r + 1) * last];
+            let gr = &grad_out.data()[r * last..(r + 1) * last];
+            let m = mean.data()[r];
+            let rs = rstd.data()[r];
+            // xhat_j = (x_j - m) * rs ; dy_j via gamma
+            let mut sum_dxhat = 0.0;
+            let mut sum_dxhat_xhat = 0.0;
+            for j in 0..last {
+                let xhat = (xr[j] - m) * rs;
+                let dxhat = gr[j] * gamma.data()[j];
+                sum_dxhat += dxhat;
+                sum_dxhat_xhat += dxhat * xhat;
+                dgamma.data_mut()[j] += gr[j] * xhat;
+                dbeta.data_mut()[j] += gr[j];
+            }
+            let dxr = &mut dx.data_mut()[r * last..(r + 1) * last];
+            let nl = last as f32;
+            for j in 0..last {
+                let xhat = (xr[j] - m) * rs;
+                let dxhat = gr[j] * gamma.data()[j];
+                dxr[j] = rs * (dxhat - sum_dxhat / nl - xhat * sum_dxhat_xhat / nl);
+            }
+        }
+        Ok((dx, dgamma, dbeta))
+    }
+
+    /// RMS normalization over the last dimension (Llama-style, no mean
+    /// subtraction, no bias). Returns `(output, rrms)` where `rrms` is the
+    /// per-row reciprocal RMS needed by [`Tensor::rms_norm_backward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `gamma` does not match the last dimension.
+    pub fn rms_norm(&self, gamma: &Tensor, eps: f32) -> Result<(Tensor, Tensor)> {
+        let last = self.shape().dim(self.rank() - 1);
+        if gamma.shape().volume() != last {
+            return Err(TensorError::ShapeMismatch {
+                op: "rms_norm",
+                lhs: vec![last],
+                rhs: gamma.shape().dims().to_vec(),
+            });
+        }
+        let rows = self.shape().volume() / last;
+        let mut out = Tensor::zeros(self.shape().clone());
+        let mut rrms = Tensor::zeros(vec![rows]);
+        for r in 0..rows {
+            let xr = &self.data()[r * last..(r + 1) * last];
+            let ms = xr.iter().map(|v| v * v).sum::<f32>() / last as f32;
+            let rr = 1.0 / (ms + eps).sqrt();
+            rrms.data_mut()[r] = rr;
+            let or = &mut out.data_mut()[r * last..(r + 1) * last];
+            for j in 0..last {
+                or[j] = xr[j] * rr * gamma.data()[j];
+            }
+        }
+        Ok((out, rrms))
+    }
+
+    /// RMS-norm backward pass. Returns `(grad_input, grad_gamma)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on shape disagreement.
+    pub fn rms_norm_backward(
+        &self,
+        grad_out: &Tensor,
+        gamma: &Tensor,
+        rrms: &Tensor,
+    ) -> Result<(Tensor, Tensor)> {
+        if self.shape() != grad_out.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "rms_norm_backward",
+                lhs: self.shape().dims().to_vec(),
+                rhs: grad_out.shape().dims().to_vec(),
+            });
+        }
+        let last = self.shape().dim(self.rank() - 1);
+        let rows = self.shape().volume() / last;
+        let mut dx = Tensor::zeros(self.shape().clone());
+        let mut dgamma = Tensor::zeros(vec![last]);
+        for r in 0..rows {
+            let xr = &self.data()[r * last..(r + 1) * last];
+            let gr = &grad_out.data()[r * last..(r + 1) * last];
+            let rr = rrms.data()[r];
+            let mut dot = 0.0;
+            for j in 0..last {
+                let dxhat = gr[j] * gamma.data()[j];
+                dot += dxhat * xr[j];
+                dgamma.data_mut()[j] += gr[j] * xr[j] * rr;
+            }
+            let nl = last as f32;
+            let dxr = &mut dx.data_mut()[r * last..(r + 1) * last];
+            for j in 0..last {
+                let dxhat = gr[j] * gamma.data()[j];
+                dxr[j] = rr * dxhat - xr[j] * rr * rr * rr * dot / nl;
+            }
+        }
+        Ok((dx, dgamma))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Finite-difference check helper: compares analytic `df` against the
+    /// numerical directional derivative of `f` at `x`.
+    fn check_gradient(
+        f: impl Fn(&Tensor) -> Tensor,
+        df: impl Fn(&Tensor, &Tensor) -> Tensor,
+        x: &Tensor,
+        tol: f32,
+    ) {
+        let mut rng = StdRng::seed_from_u64(11);
+        let gout = Tensor::randn(x.shape().clone(), 1.0, &mut rng);
+        let analytic = df(x, &gout);
+        let eps = 1e-2f32;
+        for i in 0..x.shape().volume() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= eps;
+            let fp = f(&xp);
+            let fm = f(&xm);
+            let num: f32 = fp
+                .data()
+                .iter()
+                .zip(fm.data())
+                .zip(gout.data())
+                .map(|((p, m), g)| (p - m) / (2.0 * eps) * g)
+                .sum();
+            let ana = analytic.data()[i];
+            assert!(
+                (num - ana).abs() <= tol * (1.0 + num.abs().max(ana.abs())),
+                "grad mismatch at {i}: numeric {num} analytic {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = Tensor::randn(vec![4, 7], 2.0, &mut rng);
+        let y = x.softmax_last_dim().unwrap();
+        for r in 0..4 {
+            let s: f32 = y.data()[r * 7..(r + 1) * 7].iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let x = Tensor::from_vec(vec![1, 3], vec![1.0, 2.0, 3.0]).unwrap();
+        let shifted = x.map(|v| v + 100.0);
+        assert!(x
+            .softmax_last_dim()
+            .unwrap()
+            .allclose(&shifted.softmax_last_dim().unwrap(), 1e-5));
+    }
+
+    #[test]
+    fn softmax_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let x = Tensor::randn(vec![2, 5], 1.0, &mut rng);
+        check_gradient(
+            |x| x.softmax_last_dim().unwrap(),
+            |x, g| {
+                let y = x.softmax_last_dim().unwrap();
+                Tensor::softmax_backward(&y, g).unwrap()
+            },
+            &x,
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn activations_match_reference_points() {
+        let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(relu(&x).data(), &[0.0, 0.0, 2.0]);
+        let g = gelu(&x);
+        assert!((g.data()[1]).abs() < 1e-6);
+        assert!((g.data()[2] - 1.9546).abs() < 1e-3);
+        let s = silu(&x);
+        assert!((s.data()[0] + 0.2689).abs() < 1e-3);
+    }
+
+    #[test]
+    fn activation_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = Tensor::randn(vec![6], 1.0, &mut rng);
+        for act in [Activation::Relu, Activation::Gelu, Activation::Silu] {
+            // ReLU kink at 0 is avoided with overwhelming probability by randn.
+            check_gradient(
+                |x| act.forward(x),
+                |x, g| act.backward(x, g).unwrap(),
+                &x,
+                2e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn layer_norm_zero_mean_unit_var() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let x = Tensor::randn(vec![3, 16], 3.0, &mut rng);
+        let gamma = Tensor::full(vec![16], 1.0);
+        let beta = Tensor::zeros(vec![16]);
+        let (y, _, _) = x.layer_norm(&gamma, &beta, 1e-5).unwrap();
+        for r in 0..3 {
+            let row = &y.data()[r * 16..(r + 1) * 16];
+            let mean: f32 = row.iter().sum::<f32>() / 16.0;
+            let var: f32 = row.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-4);
+            assert!((var - 1.0).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn layer_norm_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(vec![2, 8], 1.0, &mut rng);
+        let gamma = Tensor::randn(vec![8], 1.0, &mut rng);
+        let beta = Tensor::randn(vec![8], 1.0, &mut rng);
+        check_gradient(
+            |x| x.layer_norm(&gamma, &beta, 1e-5).unwrap().0,
+            |x, g| {
+                let (_, mean, rstd) = x.layer_norm(&gamma, &beta, 1e-5).unwrap();
+                x.layer_norm_backward(g, &gamma, &mean, &rstd).unwrap().0
+            },
+            &x,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn rms_norm_gradient_matches_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let x = Tensor::randn(vec![2, 8], 1.0, &mut rng);
+        let gamma = Tensor::randn(vec![8], 1.0, &mut rng);
+        check_gradient(
+            |x| x.rms_norm(&gamma, 1e-5).unwrap().0,
+            |x, g| {
+                let (_, rrms) = x.rms_norm(&gamma, 1e-5).unwrap();
+                x.rms_norm_backward(g, &gamma, &rrms).unwrap().0
+            },
+            &x,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn norm_parameter_gradients_match_finite_difference() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let x = Tensor::randn(vec![2, 6], 1.0, &mut rng);
+        let gamma = Tensor::randn(vec![6], 1.0, &mut rng);
+        let beta = Tensor::randn(vec![6], 1.0, &mut rng);
+        let gout = Tensor::randn(vec![2, 6], 1.0, &mut rng);
+        let (_, mean, rstd) = x.layer_norm(&gamma, &beta, 1e-5).unwrap();
+        let (_, dgamma, dbeta) = x.layer_norm_backward(&gout, &gamma, &mean, &rstd).unwrap();
+        let eps = 1e-2f32;
+        for j in 0..6 {
+            let mut gp = gamma.clone();
+            gp.data_mut()[j] += eps;
+            let mut gm = gamma.clone();
+            gm.data_mut()[j] -= eps;
+            let fp = x.layer_norm(&gp, &beta, 1e-5).unwrap().0;
+            let fm = x.layer_norm(&gm, &beta, 1e-5).unwrap().0;
+            let num: f32 = fp
+                .data()
+                .iter()
+                .zip(fm.data())
+                .zip(gout.data())
+                .map(|((p, m), g)| (p - m) / (2.0 * eps) * g)
+                .sum();
+            assert!((num - dgamma.data()[j]).abs() < 5e-2 * (1.0 + num.abs()));
+            let _ = &dbeta;
+        }
+    }
+
+    #[test]
+    fn norm_shape_validation() {
+        let x = Tensor::zeros(vec![2, 4]);
+        let bad = Tensor::zeros(vec![3]);
+        assert!(x.layer_norm(&bad, &bad, 1e-5).is_err());
+        assert!(x.rms_norm(&bad, 1e-5).is_err());
+    }
+}

@@ -1,0 +1,365 @@
+use crate::{Result, Shape, Tensor, TensorError};
+
+impl Tensor {
+    /// Matrix product `self · rhs` of two rank-2 tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless both operands are rank 2, and
+    /// [`TensorError::ShapeMismatch`] unless the inner extents agree.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use primepar_tensor::Tensor;
+    /// let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.])?;
+    /// let b = Tensor::from_vec(vec![2, 1], vec![1., 1.])?;
+    /// assert_eq!(a.matmul(&b)?.data(), &[3., 7.]);
+    /// # Ok::<(), primepar_tensor::TensorError>(())
+    /// ```
+    pub fn matmul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.matmul_ex(rhs, false, false)
+    }
+
+    /// Matrix product with optional transposition of either operand:
+    /// computes `op(self) · op(rhs)` where `op(x) = xᵀ` when the corresponding
+    /// flag is set. This covers all three training matmuls:
+    /// `O = I·W`, `dI = dO·Wᵀ` (`transpose_rhs`), `dW = Iᵀ·dO` (`transpose_lhs`).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Tensor::matmul`], applied to the transposed views.
+    pub fn matmul_ex(&self, rhs: &Tensor, transpose_lhs: bool, transpose_rhs: bool) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
+        }
+        if rhs.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: rhs.rank() });
+        }
+        let (lm, lk) = (self.shape().dim(0), self.shape().dim(1));
+        let (rm, rk) = (rhs.shape().dim(0), rhs.shape().dim(1));
+        let (m, inner_l) = if transpose_lhs { (lk, lm) } else { (lm, lk) };
+        let (inner_r, n) = if transpose_rhs { (rk, rm) } else { (rm, rk) };
+        if inner_l != inner_r {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape().dims().to_vec(),
+                rhs: rhs.shape().dims().to_vec(),
+            });
+        }
+        let inner = inner_l;
+        let mut out = Tensor::zeros(vec![m, n]);
+        let a = self.data();
+        let b = rhs.data();
+        let o = out.data_mut();
+        // ikj loop order keeps the innermost accesses contiguous for the common
+        // (no-transpose) case and is easily adapted for the transposed cases.
+        for i in 0..m {
+            for p in 0..inner {
+                let av = if transpose_lhs { a[p * lk + i] } else { a[i * lk + p] };
+                if av == 0.0 {
+                    continue;
+                }
+                if transpose_rhs {
+                    for j in 0..n {
+                        o[i * n + j] += av * b[j * rk + p];
+                    }
+                } else {
+                    let row = &b[p * rk..p * rk + n];
+                    let orow = &mut o[i * n..i * n + n];
+                    for (oj, bj) in orow.iter_mut().zip(row) {
+                        *oj += av * bj;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Batched matrix product of two rank-3 tensors sharing the leading batch
+    /// extent: `out[b] = self[b] · rhs[b]` (with optional per-operand transposes
+    /// of the trailing two dimensions).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error unless both operands are rank 3 with equal batch extents
+    /// and compatible inner extents.
+    pub fn batched_matmul(
+        &self,
+        rhs: &Tensor,
+        transpose_lhs: bool,
+        transpose_rhs: bool,
+    ) -> Result<Tensor> {
+        if self.rank() != 3 || rhs.rank() != 3 {
+            return Err(TensorError::RankMismatch {
+                op: "batched_matmul",
+                expected: 3,
+                actual: if self.rank() != 3 { self.rank() } else { rhs.rank() },
+            });
+        }
+        if self.shape().dim(0) != rhs.shape().dim(0) {
+            return Err(TensorError::ShapeMismatch {
+                op: "batched_matmul",
+                lhs: self.shape().dims().to_vec(),
+                rhs: rhs.shape().dims().to_vec(),
+            });
+        }
+        let batch = self.shape().dim(0);
+        let mut blocks = Vec::with_capacity(batch);
+        for b in 0..batch {
+            let lb = self.slice(&[b..b + 1, 0..self.shape().dim(1), 0..self.shape().dim(2)])?;
+            let rb = rhs.slice(&[b..b + 1, 0..rhs.shape().dim(1), 0..rhs.shape().dim(2)])?;
+            let lb = lb.reshape(vec![self.shape().dim(1), self.shape().dim(2)])?;
+            let rb = rb.reshape(vec![rhs.shape().dim(1), rhs.shape().dim(2)])?;
+            blocks.push(lb.matmul_ex(&rb, transpose_lhs, transpose_rhs)?);
+        }
+        let (m, n) = (blocks[0].shape().dim(0), blocks[0].shape().dim(1));
+        let mut out = Tensor::zeros(vec![batch, m, n]);
+        for (b, block) in blocks.iter().enumerate() {
+            let block3 = block.reshape(vec![1, m, n])?;
+            out.write_slice(&[b..b + 1, 0..m, 0..n], &block3)?;
+        }
+        Ok(out)
+    }
+
+    /// Transpose of a rank-2 tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: self.rank() });
+        }
+        let (m, n) = (self.shape().dim(0), self.shape().dim(1));
+        let mut out = Tensor::zeros(vec![n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data_mut()[j * m + i] = self.data()[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Element-wise sum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless shapes are equal.
+    pub fn add(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "add", |a, b| a + b)
+    }
+
+    /// Element-wise difference.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless shapes are equal.
+    pub fn sub(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "sub", |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless shapes are equal.
+    pub fn mul(&self, rhs: &Tensor) -> Result<Tensor> {
+        self.zip_with(rhs, "mul", |a, b| a * b)
+    }
+
+    /// Returns a new tensor with every element multiplied by `s`.
+    pub fn scale(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Applies a function element-wise, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        let data = self.data().iter().map(|&x| f(x)).collect();
+        Tensor::from_vec(self.shape().clone(), data).expect("map preserves volume")
+    }
+
+    /// In-place element-wise accumulation `self += rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] unless shapes are equal.
+    pub fn add_assign(&mut self, rhs: &Tensor) -> Result<()> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op: "add_assign",
+                lhs: self.shape().dims().to_vec(),
+                rhs: rhs.shape().dims().to_vec(),
+            });
+        }
+        for (a, b) in self.data_mut().iter_mut().zip(rhs.data()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// Sums over one axis, removing it from the shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `axis >= self.rank()`.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        if axis >= self.rank() {
+            return Err(TensorError::RankMismatch {
+                op: "sum_axis",
+                expected: axis + 1,
+                actual: self.rank(),
+            });
+        }
+        let dims = self.shape().dims();
+        let out_dims: Vec<usize> =
+            dims.iter().enumerate().filter(|&(i, _)| i != axis).map(|(_, &d)| d).collect();
+        let outer: usize = dims[..axis].iter().product();
+        let mid = dims[axis];
+        let inner: usize = dims[axis + 1..].iter().product();
+        let mut out = Tensor::zeros(Shape::new(out_dims));
+        let src = self.data();
+        let dst = out.data_mut();
+        for o in 0..outer {
+            for m in 0..mid {
+                let base = (o * mid + m) * inner;
+                let obase = o * inner;
+                for i in 0..inner {
+                    dst[obase + i] += src[base + i];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape() != rhs.shape() {
+            return Err(TensorError::ShapeMismatch {
+                op,
+                lhs: self.shape().dims().to_vec(),
+                rhs: rhs.shape().dims().to_vec(),
+            });
+        }
+        let data = self.data().iter().zip(rhs.data()).map(|(&a, &b)| f(a, b)).collect();
+        Tensor::from_vec(self.shape().clone(), data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let i = Tensor::eye(3);
+        assert!(a.matmul(&i).unwrap().allclose(&a, 1e-6));
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Tensor::from_vec(vec![2, 2], vec![1., 2., 3., 4.]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![5., 6., 7., 8.]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+    }
+
+    #[test]
+    fn matmul_shape_errors() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+        let v = Tensor::zeros(vec![3]);
+        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn matmul_transpose_flags_agree_with_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(vec![4, 5], 1.0, &mut rng);
+        let b = Tensor::randn(vec![4, 6], 1.0, &mut rng);
+        // aᵀ·b via flag vs via explicit transpose.
+        let viaflag = a.matmul_ex(&b, true, false).unwrap();
+        let explicit = a.transpose().unwrap().matmul(&b).unwrap();
+        assert!(viaflag.allclose(&explicit, 1e-5));
+
+        let c = Tensor::randn(vec![6, 5], 1.0, &mut rng);
+        let viaflag = a.matmul_ex(&c, false, true).unwrap();
+        let explicit = a.matmul(&c.transpose().unwrap()).unwrap();
+        assert!(viaflag.allclose(&explicit, 1e-5));
+    }
+
+    #[test]
+    fn batched_matmul_matches_per_slice() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let a = Tensor::randn(vec![3, 2, 4], 1.0, &mut rng);
+        let b = Tensor::randn(vec![3, 4, 5], 1.0, &mut rng);
+        let c = a.batched_matmul(&b, false, false).unwrap();
+        assert_eq!(c.shape().dims(), &[3, 2, 5]);
+        for batch in 0..3 {
+            let ab = a.slice(&[batch..batch + 1, 0..2, 0..4]).unwrap().reshape(vec![2, 4]).unwrap();
+            let bb = b.slice(&[batch..batch + 1, 0..4, 0..5]).unwrap().reshape(vec![4, 5]).unwrap();
+            let cb = c.slice(&[batch..batch + 1, 0..2, 0..5]).unwrap().reshape(vec![2, 5]).unwrap();
+            assert!(cb.allclose(&ab.matmul(&bb).unwrap(), 1e-5));
+        }
+    }
+
+    #[test]
+    fn batched_matmul_rejects_batch_mismatch() {
+        let a = Tensor::zeros(vec![2, 2, 2]);
+        let b = Tensor::zeros(vec![3, 2, 2]);
+        assert!(a.batched_matmul(&b, false, false).is_err());
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = Tensor::randn(vec![3, 7], 1.0, &mut rng);
+        let back = a.transpose().unwrap().transpose().unwrap();
+        assert!(a.allclose(&back, 0.0));
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = Tensor::from_vec(vec![3], vec![1., 2., 3.]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![4., 5., 6.]).unwrap();
+        assert_eq!(a.add(&b).unwrap().data(), &[5., 7., 9.]);
+        assert_eq!(b.sub(&a).unwrap().data(), &[3., 3., 3.]);
+        assert_eq!(a.mul(&b).unwrap().data(), &[4., 10., 18.]);
+        assert_eq!(a.scale(2.0).data(), &[2., 4., 6.]);
+    }
+
+    #[test]
+    fn add_assign_accumulates() {
+        let mut a = Tensor::full(vec![2], 1.0);
+        let b = Tensor::full(vec![2], 0.5);
+        a.add_assign(&b).unwrap();
+        assert_eq!(a.data(), &[1.5, 1.5]);
+        let c = Tensor::zeros(vec![3]);
+        assert!(a.add_assign(&c).is_err());
+    }
+
+    #[test]
+    fn sum_axis_reduces_correctly() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let rows = t.sum_axis(0).unwrap();
+        assert_eq!(rows.data(), &[5., 7., 9.]);
+        let cols = t.sum_axis(1).unwrap();
+        assert_eq!(cols.data(), &[6., 15.]);
+        assert!(t.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn matmul_linearity_property() {
+        // (A + B)·C == A·C + B·C — exercises accumulation paths.
+        let mut rng = StdRng::seed_from_u64(6);
+        let a = Tensor::randn(vec![3, 3], 1.0, &mut rng);
+        let b = Tensor::randn(vec![3, 3], 1.0, &mut rng);
+        let c = Tensor::randn(vec![3, 3], 1.0, &mut rng);
+        let lhs = a.add(&b).unwrap().matmul(&c).unwrap();
+        let rhs = a.matmul(&c).unwrap().add(&b.matmul(&c).unwrap()).unwrap();
+        assert!(lhs.allclose(&rhs, 1e-4));
+    }
+}

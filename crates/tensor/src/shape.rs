@@ -1,0 +1,152 @@
+use std::fmt;
+
+/// The extents of a tensor, one entry per dimension, row-major layout.
+///
+/// # Example
+///
+/// ```
+/// use primepar_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// A zero-dimensional (scalar) shape.
+    pub fn scalar() -> Self {
+        Shape { dims: Vec::new() }
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Extent of dimension `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim >= self.rank()`.
+    pub fn dim(&self, dim: usize) -> usize {
+        self.dims[dim]
+    }
+
+    /// All dimension extents.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Total number of elements.
+    pub fn volume(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Row-major strides: element distance between successive indices per dimension.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-index to the flat row-major offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the index rank or any coordinate is out of bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.dims.len());
+        let mut off = 0;
+        let mut stride = 1;
+        for (i, (&ix, &d)) in index.iter().zip(&self.dims).enumerate().rev() {
+            debug_assert!(ix < d, "index {ix} out of bounds for dim {i} of extent {d}");
+            let _ = i;
+            off += ix * stride;
+            stride *= d;
+        }
+        off
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "x")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(vec![4, 5, 6]);
+        assert_eq!(s.volume(), 120);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dim(1), 5);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.volume(), 1);
+        assert_eq!(s.rank(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        let s = Shape::new(vec![2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+        assert_eq!(s.offset(&[1, 2, 3]), 12 + 8 + 3);
+    }
+
+    #[test]
+    fn offset_of_origin_is_zero() {
+        let s = Shape::new(vec![7, 7]);
+        assert_eq!(s.offset(&[0, 0]), 0);
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "[2x3]");
+        assert_eq!(Shape::scalar().to_string(), "[]");
+    }
+
+    #[test]
+    fn from_slice_and_vec() {
+        let a: Shape = vec![1, 2].into();
+        let b: Shape = [1usize, 2].as_slice().into();
+        assert_eq!(a, b);
+    }
+}

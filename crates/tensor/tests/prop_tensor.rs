@@ -1,0 +1,114 @@
+//! Property-based tests of the dense tensor substrate.
+
+use proptest::prelude::*;
+
+use primepar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn randn(shape: Vec<usize>, seed: u64) -> Tensor {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Tensor::randn(shape, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Block-partitioned matmul equals whole matmul: cutting A row-wise and
+    /// B column-wise and reassembling the block products reproduces A·B —
+    /// the algebraic heart of every spatial partition.
+    #[test]
+    fn blocked_matmul_equals_whole(
+        m in 1usize..6, n in 1usize..6, k in 1usize..6, seed in 0u64..500,
+        rsplit in 1usize..3, csplit in 1usize..3,
+    ) {
+        let (m, n, k) = (m * 2, n * 2, k * 2);
+        let a = randn(vec![m, n], seed);
+        let b = randn(vec![n, k], seed + 1);
+        let whole = a.matmul(&b).expect("shapes agree");
+        let mut assembled = Tensor::zeros(vec![m, k]);
+        let (rs, cs) = (m / rsplit, k / csplit);
+        for ri in 0..rsplit {
+            for ci in 0..csplit {
+                let ablk = a.slice(&[ri * rs..(ri + 1) * rs, 0..n]).expect("slice");
+                let bblk = b.slice(&[0..n, ci * cs..(ci + 1) * cs]).expect("slice");
+                let prod = ablk.matmul(&bblk).expect("block product");
+                assembled
+                    .write_slice(&[ri * rs..(ri + 1) * rs, ci * cs..(ci + 1) * cs], &prod)
+                    .expect("write");
+            }
+        }
+        prop_assert!(assembled.allclose(&whole, 1e-4));
+    }
+
+    /// Contraction-partitioned matmul sums to the whole: cutting the inner
+    /// dimension and adding the partial products reproduces A·B — the
+    /// algebraic heart of the temporal primitive's local accumulation.
+    #[test]
+    fn partial_sum_matmul_equals_whole(
+        m in 1usize..6, n in 2usize..6, k in 1usize..6, seed in 0u64..500, splits in 1usize..3,
+    ) {
+        let (m, n, k) = (m * 2, n * 2, k * 2);
+        let a = randn(vec![m, n], seed);
+        let b = randn(vec![n, k], seed + 1);
+        let whole = a.matmul(&b).expect("shapes agree");
+        let step = n / splits;
+        let mut acc = Tensor::zeros(vec![m, k]);
+        for s in 0..splits {
+            let ablk = a.slice(&[0..m, s * step..(s + 1) * step]).expect("slice");
+            let bblk = b.slice(&[s * step..(s + 1) * step, 0..k]).expect("slice");
+            acc.add_assign(&ablk.matmul(&bblk).expect("partial")).expect("acc");
+        }
+        prop_assert!(acc.allclose(&whole, 1e-4));
+    }
+
+    /// slice → write_slice round-trips for random 3-D blocks.
+    #[test]
+    fn slice_write_roundtrip(
+        dims in proptest::collection::vec(2usize..6, 3),
+        seed in 0u64..500,
+    ) {
+        let t = randn(dims.clone(), seed);
+        let ranges: Vec<_> = dims.iter().map(|&d| (d / 2)..d).collect();
+        let block = t.slice(&ranges).expect("slice");
+        let mut out = t.clone();
+        out.write_slice(&ranges, &block).expect("write");
+        prop_assert!(out.allclose(&t, 0.0));
+    }
+
+    /// Softmax outputs are a probability distribution per row.
+    #[test]
+    fn softmax_rows_are_distributions(rows in 1usize..5, cols in 1usize..9, seed in 0u64..500) {
+        let t = randn(vec![rows, cols], seed).scale(3.0);
+        let y = t.softmax_last_dim().expect("rank >= 1");
+        for r in 0..rows {
+            let row = &y.data()[r * cols..(r + 1) * cols];
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0 + 1e-6).contains(&v)));
+        }
+    }
+
+    /// Transpose distributes over matmul: (A·B)ᵀ = Bᵀ·Aᵀ.
+    #[test]
+    fn transpose_of_product(m in 1usize..5, n in 1usize..5, k in 1usize..5, seed in 0u64..500) {
+        let a = randn(vec![m, n], seed);
+        let b = randn(vec![n, k], seed + 1);
+        let lhs = a.matmul(&b).expect("ab").transpose().expect("t");
+        let rhs = b
+            .transpose().expect("bt")
+            .matmul(&a.transpose().expect("at"))
+            .expect("btat");
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// sum_axis over both axes in either order gives the same grand total.
+    #[test]
+    fn sum_axis_orders_agree(m in 1usize..6, n in 1usize..6, seed in 0u64..500) {
+        let t = randn(vec![m, n], seed);
+        let a = t.sum_axis(0).expect("axis 0").sum();
+        let b = t.sum_axis(1).expect("axis 1").sum();
+        prop_assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()));
+        prop_assert!((a - t.sum()).abs() < 1e-3 * (1.0 + a.abs()));
+    }
+}

@@ -1,0 +1,50 @@
+//! Large-model planning: Llama2-70B on 8 simulated GPUs, highlighting the
+//! peak-memory reduction the temporal primitive buys (the paper's Fig. 8
+//! story) and the per-operator strategies of all three systems.
+//!
+//! Run with `cargo run --release --example plan_llama2_70b`.
+
+use primepar::graph::ModelConfig;
+use primepar::sim::ideal_memory_bytes;
+use primepar::{compare_systems, plan_summary};
+
+fn main() {
+    let model = ModelConfig::llama2_70b();
+    let (devices, batch, seq) = (8, 8, 2048);
+    println!(
+        "planning {} ({} layers, hidden {}, {} heads / {} kv heads) on {devices} GPUs\n",
+        model.name, model.layers, model.hidden, model.heads, model.kv_heads
+    );
+
+    let rows = compare_systems(&model, devices, batch, seq);
+    let graph = model.layer_graph(batch, seq);
+    let ideal = ideal_memory_bytes(&graph, model.layers, devices);
+
+    println!(
+        "{:<10} {:>14} {:>12} {:>16}",
+        "system", "tokens/s", "peak mem", "vs ideal (no-replication bound)"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>14.0} {:>10.1}GB {:>10.2}x",
+            r.system,
+            r.tokens_per_second,
+            r.peak_memory_bytes / 1e9,
+            r.peak_memory_bytes / ideal,
+        );
+    }
+    println!("ideal (zero replication): {:.1}GB/device\n", ideal / 1e9);
+
+    for r in &rows {
+        println!("── {} strategy ──", r.system);
+        println!("{}\n", plan_summary(&model, batch, seq, &r.plan));
+    }
+
+    let mega = &rows[0];
+    let prime = &rows[2];
+    println!(
+        "PrimePar vs Megatron: {:.2}x throughput at {:.0}% of the memory",
+        prime.tokens_per_second / mega.tokens_per_second,
+        100.0 * prime.peak_memory_bytes / mega.peak_memory_bytes
+    );
+}

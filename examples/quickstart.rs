@@ -1,0 +1,33 @@
+//! Quickstart: plan OPT-6.7B training on 4 simulated GPUs with all three
+//! systems and print the throughput/memory comparison plus the PrimePar
+//! partition strategy it found.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use primepar::graph::ModelConfig;
+use primepar::{compare_systems, plan_summary};
+
+fn main() {
+    let model = ModelConfig::opt_6_7b();
+    let (devices, batch, seq) = (4, 8, 2048);
+    println!("planning {} on {devices} GPUs (batch {batch}, seq {seq})\n", model.name);
+
+    let rows = compare_systems(&model, devices, batch, seq);
+    let base = rows[0].tokens_per_second;
+    println!("{:<10} {:>14} {:>10} {:>12} {:>12}", "system", "tokens/s", "speedup", "peak mem", "search");
+    for r in &rows {
+        println!(
+            "{:<10} {:>14.0} {:>9.2}x {:>10.2}GB {:>10.1?}",
+            r.system,
+            r.tokens_per_second,
+            r.tokens_per_second / base,
+            r.peak_memory_bytes / 1e9,
+            r.search_time,
+        );
+    }
+
+    let prime = rows.iter().find(|r| r.system == "PrimePar").expect("PrimePar row");
+    println!("\nPrimePar layer strategy:");
+    println!("{}", plan_summary(&model, batch, seq, &prime.plan));
+    println!("\nlayer latency breakdown: {}", prime.breakdown);
+}

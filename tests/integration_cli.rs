@@ -1,0 +1,83 @@
+//! End-to-end tests of the `primepar` command-line interface, invoking the
+//! actual binary.
+
+use std::process::Command;
+
+fn primepar(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_primepar"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn models_lists_the_zoo() {
+    let (ok, stdout, _) = primepar(&["models"]);
+    assert!(ok);
+    for name in ["OPT 6.7B", "Llama2 70B", "BLOOM 176B"] {
+        assert!(stdout.contains(name), "missing {name} in:\n{stdout}");
+    }
+}
+
+#[test]
+fn plan_explains_and_simulates() {
+    let (ok, stdout, _) =
+        primepar(&["plan", "--model", "opt-6.7b", "--devices", "2", "--seq", "512"]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("fc2"));
+    assert!(stdout.contains("tokens/s"));
+    assert!(stdout.contains("redistribution"));
+}
+
+#[test]
+fn plan_save_and_reload_roundtrip() {
+    let path = std::env::temp_dir().join("primepar_cli_plan_test.txt");
+    let path = path.to_str().expect("utf-8 temp path");
+    let (ok, _, stderr) = primepar(&[
+        "plan", "--model", "llama2-7b", "--devices", "2", "--seq", "512", "--save", path,
+    ]);
+    assert!(ok, "{stderr}");
+    let (ok, stdout, stderr) = primepar(&[
+        "plan", "--model", "llama2-7b", "--devices", "2", "--seq", "512", "--plan", path,
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("plan from"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn manual_strategy_override_applies() {
+    let (ok, stdout, stderr) = primepar(&[
+        "plan", "--model", "opt-6.7b", "--devices", "8", "--seq", "512", "--system",
+        "megatron", "--set", "fc2=N.P2x2",
+    ]);
+    assert!(ok, "{stderr}");
+    assert!(stdout.contains("[N P2x2]"), "override missing:\n{stdout}");
+}
+
+#[test]
+fn verify_reports_equivalence() {
+    let (ok, stdout, _) = primepar(&["verify", "--k", "1", "--iters", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("numerically identical"), "{stdout}");
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (ok, _, stderr) = primepar(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn unknown_model_fails_helpfully() {
+    let (ok, _, stderr) = primepar(&["plan", "--model", "gpt-5"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown model"));
+    assert!(stderr.contains("OPT 6.7B"));
+}

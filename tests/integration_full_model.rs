@@ -1,0 +1,62 @@
+//! Planning and simulating a *complete* model graph (embedding + stacked
+//! layers + final norm + LM head) through the optimizer's non-repeating path.
+
+use primepar::graph::ModelConfig;
+use primepar::search::{Planner, PlannerOptions};
+use primepar::sim::simulate_model;
+use primepar::topology::Cluster;
+
+#[test]
+fn full_model_plans_end_to_end() {
+    let model = ModelConfig::opt_6_7b();
+    let cluster = Cluster::v100_like(2);
+    let graph = model.full_graph(8, 256, 2);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+    assert_eq!(plan.seqs.len(), graph.ops.len());
+    // Every operator strategy spans the cluster; temporal only on linears.
+    for (op, seq) in graph.ops.iter().zip(&plan.seqs) {
+        assert_eq!(seq.num_devices(), 2, "{}", op.name);
+        if seq.temporal_k().is_some() {
+            assert!(op.allows_temporal(), "{} carries temporal", op.name);
+        }
+    }
+    let report = simulate_model(&cluster, &graph, &plan.seqs, 1, 8.0 * 256.0);
+    assert!(report.tokens_per_second > 0.0);
+}
+
+#[test]
+fn full_model_cost_exceeds_bare_layers() {
+    // Endcaps add work: the full model must cost strictly more than the same
+    // number of bare layers.
+    let model = ModelConfig::llama2_7b();
+    let cluster = Cluster::v100_like(2);
+    let layers = 2usize;
+
+    let layer_graph = model.layer_graph(8, 256);
+    let bare = Planner::new(&cluster, &layer_graph, PlannerOptions::default())
+        .optimize(layers as u64);
+
+    let full_graph = model.full_graph(8, 256, layers);
+    let full = Planner::new(&cluster, &full_graph, PlannerOptions::default()).optimize(1);
+
+    assert!(
+        full.total_cost > bare.total_cost,
+        "full {} must exceed bare layers {}",
+        full.total_cost,
+        bare.total_cost
+    );
+}
+
+#[test]
+fn full_model_rejects_multi_layer_composition() {
+    // Non-repeating boundary operators cannot be stacked by Eq. 14. (At 4
+    // devices the LM head's space includes P_{2x2} while the embedding's
+    // does not, so the boundary spaces demonstrably differ.)
+    let model = ModelConfig::bloom_7b1();
+    let cluster = Cluster::v100_like(4);
+    let graph = model.full_graph(4, 128, 1);
+    let result = std::panic::catch_unwind(|| {
+        Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4)
+    });
+    assert!(result.is_err(), "expected a panic for non-repeating stacking");
+}

@@ -1,0 +1,84 @@
+//! Fuzzing the full pipeline with randomly generated transformer
+//! architectures: every random model must plan, simulate and satisfy the
+//! headline invariants (PrimePar ≥ conventional space, sane breakdowns).
+
+use primepar::graph::ModelConfig;
+use primepar::search::{
+    alpa_plan, best_megatron, Planner, PlannerOptions,
+};
+use primepar::sim::{simulate_layer, simulate_model};
+use primepar::topology::Cluster;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn random_models_plan_and_simulate() {
+    for seed in 0..6u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ModelConfig::random(&mut rng);
+        let cluster = Cluster::v100_like(4);
+        let graph = model.layer_graph(8, 256);
+        graph.validate_segmentation();
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, 8.0 * 256.0);
+        assert!(
+            report.tokens_per_second > 0.0 && report.tokens_per_second.is_finite(),
+            "seed {seed}: {model:?}"
+        );
+        assert!(report.peak_memory_bytes > 0.0, "seed {seed}");
+        // Breakdown components are consistent with the critical path.
+        let layer = simulate_layer(&cluster, &graph, &plan.seqs);
+        let total = layer.breakdown.total();
+        assert!(
+            (total - layer.layer_time).abs() < 1e-9 * (1.0 + total),
+            "seed {seed}: breakdown {total} vs layer {}",
+            layer.layer_time
+        );
+    }
+}
+
+#[test]
+fn random_models_preserve_system_ordering() {
+    for seed in 10..14u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ModelConfig::random(&mut rng);
+        let cluster = Cluster::v100_like(4);
+        let graph = model.layer_graph(8, 256);
+        let tokens = 8.0 * 256.0;
+        let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
+        let mega = simulate_model(&cluster, &graph, &mega_plan, model.layers, tokens);
+        let alpa = alpa_plan(&cluster, &graph, model.layers, 0.0);
+        let alpa_r = simulate_model(&cluster, &graph, &alpa.seqs, model.layers, tokens);
+        let prime = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        let prime_r = simulate_model(&cluster, &graph, &prime.seqs, model.layers, tokens);
+        assert!(
+            prime_r.tokens_per_second >= alpa_r.tokens_per_second * 0.99,
+            "seed {seed}: PrimePar {} < Alpa {} ({model:?})",
+            prime_r.tokens_per_second,
+            alpa_r.tokens_per_second
+        );
+        assert!(
+            prime_r.tokens_per_second >= mega.tokens_per_second * 0.99,
+            "seed {seed}: PrimePar {} < Megatron {} ({model:?})",
+            prime_r.tokens_per_second,
+            mega.tokens_per_second
+        );
+    }
+}
+
+#[test]
+fn gqa_random_models_have_consistent_qkv() {
+    let mut found_gqa = false;
+    for seed in 0..40u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ModelConfig::random(&mut rng);
+        let graph = model.layer_graph(2, 128);
+        let qkv = &graph.ops[2];
+        let expected = (model.heads + 2 * model.kv_heads) * model.embed();
+        assert_eq!(qkv.extents[3], expected, "seed {seed}: {model:?}");
+        if model.kv_heads < model.heads {
+            found_gqa = true;
+        }
+    }
+    assert!(found_gqa, "generator never produced a GQA model in 40 draws");
+}

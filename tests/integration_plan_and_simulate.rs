@@ -1,0 +1,75 @@
+//! Integration: planning and simulation cooperate across crates for every
+//! model in the zoo.
+
+use primepar::graph::ModelConfig;
+use primepar::search::{megatron_layer_plan, Planner, PlannerOptions};
+use primepar::sim::{simulate_layer, simulate_model};
+use primepar::topology::Cluster;
+
+#[test]
+fn every_model_plans_and_simulates_on_small_clusters() {
+    for model in ModelConfig::all() {
+        let cluster = Cluster::v100_like(2);
+        let graph = model.layer_graph(8, 256);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        assert_eq!(plan.seqs.len(), graph.ops.len(), "{}", model.name);
+        let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, 8.0 * 256.0);
+        assert!(report.tokens_per_second > 0.0, "{}", model.name);
+        assert!(report.peak_memory_bytes > 0.0, "{}", model.name);
+    }
+}
+
+#[test]
+fn optimizer_cost_ordering_is_reflected_by_simulator() {
+    // A plan the optimizer prefers should not simulate dramatically worse
+    // than the baseline it beat (cost model and simulator share primitives).
+    let model = ModelConfig::opt_6_7b();
+    let cluster = Cluster::v100_like(4);
+    let graph = model.layer_graph(8, 512);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+    let optimized = simulate_layer(&cluster, &graph, &plan.seqs);
+    let naive = simulate_layer(&cluster, &graph, &megatron_layer_plan(&graph, 1, 4));
+    assert!(
+        optimized.layer_time <= naive.layer_time * 1.05,
+        "optimized {} vs naive {}",
+        optimized.layer_time,
+        naive.layer_time
+    );
+}
+
+#[test]
+fn plans_scale_throughput_with_devices() {
+    let model = ModelConfig::bloom_7b1();
+    let mut last = 0.0;
+    for devices in [1usize, 2, 4] {
+        let cluster = Cluster::v100_like(devices);
+        let graph = model.layer_graph(8, 256);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(2);
+        let report = simulate_model(&cluster, &graph, &plan.seqs, 2, 8.0 * 256.0);
+        assert!(
+            report.tokens_per_second > last,
+            "throughput must grow with devices: {} after {last}",
+            report.tokens_per_second
+        );
+        last = report.tokens_per_second;
+    }
+}
+
+#[test]
+fn memory_optimization_trades_latency() {
+    // A large alpha should never *increase* memory, and usually reduces it.
+    let model = ModelConfig::llama2_7b();
+    let cluster = Cluster::v100_like(4);
+    let graph = model.layer_graph(8, 512);
+    let fast = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+    let lean = Planner::new(
+        &cluster,
+        &graph,
+        PlannerOptions { alpha: 1e-6, ..PlannerOptions::default() },
+    )
+    .optimize(1);
+    let mem = |seqs: &[primepar::partition::PartitionSeq]| {
+        simulate_layer(&cluster, &graph, seqs).peak_memory_bytes
+    };
+    assert!(mem(&lean.seqs) <= mem(&fast.seqs) * 1.0001);
+}

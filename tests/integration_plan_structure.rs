@@ -1,0 +1,80 @@
+//! Golden qualitative structure of optimized plans: the paper's headline
+//! behaviours must appear in the searched strategies themselves, not just in
+//! aggregate metrics.
+
+use primepar::graph::{ModelConfig, OpKind};
+use primepar::partition::Dim;
+use primepar::search::{Planner, PlannerOptions};
+use primepar::topology::Cluster;
+
+#[test]
+fn large_model_plans_use_the_temporal_primitive_on_linears() {
+    // §6.3: "The primary source of speedup of PrimePar is the introduction of
+    // novel partition and its appropriate position in the partition sequence."
+    let model = ModelConfig::opt_175b();
+    let cluster = Cluster::v100_like(8);
+    let graph = model.layer_graph(8, 2048);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+    let temporal_linears: Vec<&str> = graph
+        .ops
+        .iter()
+        .zip(&plan.seqs)
+        .filter(|(op, seq)| op.kind == OpKind::Linear && seq.temporal_k().is_some())
+        .map(|(op, _)| op.name.as_str())
+        .collect();
+    assert!(
+        temporal_linears.len() >= 2,
+        "expected temporal primitives on the big linears, found {temporal_linears:?}"
+    );
+    // Only linear operators may carry the temporal primitive.
+    for (op, seq) in graph.ops.iter().zip(&plan.seqs) {
+        if seq.temporal_k().is_some() {
+            assert_eq!(op.kind, OpKind::Linear, "{} carries temporal", op.name);
+        }
+    }
+}
+
+#[test]
+fn attention_head_embed_is_never_partitioned() {
+    // §3.2: head-embed partitioning is excluded from the space.
+    for model in [ModelConfig::llama2_7b(), ModelConfig::bloom_176b()] {
+        let cluster = Cluster::v100_like(4);
+        let graph = model.layer_graph(8, 1024);
+        let plan =
+            Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        let qk = &plan.seqs[3];
+        let av = &plan.seqs[5];
+        assert_eq!(qk.num_slices(Dim::N), 1, "{}: qk embed split", model.name);
+        assert_eq!(av.num_slices(Dim::K), 1, "{}: av embed split", model.name);
+        let softmax = &plan.seqs[4];
+        assert_eq!(softmax.num_slices(Dim::K), 1, "{}: softmax dim split", model.name);
+    }
+}
+
+#[test]
+fn plans_are_deterministic() {
+    let model = ModelConfig::bloom_7b1();
+    let cluster = Cluster::v100_like(4);
+    let graph = model.layer_graph(8, 512);
+    let a = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4);
+    let b = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4);
+    assert_eq!(a.seqs, b.seqs);
+    assert_eq!(a.total_cost, b.total_cost);
+}
+
+#[test]
+fn every_plan_sequence_spans_the_cluster() {
+    for devices in [2usize, 4] {
+        let cluster = Cluster::v100_like(devices);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
+        for (op, seq) in graph.ops.iter().zip(&plan.seqs) {
+            assert_eq!(
+                seq.num_devices(),
+                devices,
+                "{}: {seq} does not span {devices} devices",
+                op.name
+            );
+        }
+    }
+}
