@@ -26,7 +26,11 @@ fn bench_optimizer_models(c: &mut Criterion) {
     let mut group = c.benchmark_group("optimizer/model");
     group.sample_size(10);
     let cluster = Cluster::v100_like(8);
-    for model in [ModelConfig::opt_175b(), ModelConfig::llama2_70b(), ModelConfig::bloom_176b()] {
+    for model in [
+        ModelConfig::opt_175b(),
+        ModelConfig::llama2_70b(),
+        ModelConfig::bloom_176b(),
+    ] {
         let graph = model.layer_graph(8, 2048);
         group.bench_with_input(BenchmarkId::from_parameter(model.name), &model, |b, m| {
             b.iter(|| Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(m.layers))
@@ -50,5 +54,10 @@ fn bench_baseline_planners(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_optimizer_scaling, bench_optimizer_models, bench_baseline_planners);
+criterion_group!(
+    benches,
+    bench_optimizer_scaling,
+    bench_optimizer_models,
+    bench_baseline_planners
+);
 criterion_main!(benches);

@@ -12,11 +12,8 @@ use primepar::topology::{Cluster, DeviceId, DeviceSpace};
 
 fn bench_dsi(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives/dsi");
-    let seq = PartitionSeq::new(vec![
-        Primitive::Split(Dim::B),
-        Primitive::Temporal { k: 2 },
-    ])
-    .expect("valid sequence");
+    let seq = PartitionSeq::new(vec![Primitive::Split(Dim::B), Primitive::Temporal { k: 2 }])
+        .expect("valid sequence");
     let space = DeviceSpace::new(5);
     group.bench_function("temporal_p4x4_full_sweep", |b| {
         b.iter(|| {
@@ -57,11 +54,8 @@ fn bench_ring_schedule(c: &mut Criterion) {
 
 fn bench_verification(c: &mut Criterion) {
     let mut group = c.benchmark_group("primitives/verify");
-    let seq = PartitionSeq::new(vec![
-        Primitive::Split(Dim::N),
-        Primitive::Temporal { k: 2 },
-    ])
-    .expect("valid");
+    let seq = PartitionSeq::new(vec![Primitive::Split(Dim::N), Primitive::Temporal { k: 2 }])
+        .expect("valid");
     let space = DeviceSpace::new(5);
     group.bench_function("reduction_coverage_32_devices", |b| {
         b.iter(|| {
@@ -79,19 +73,36 @@ fn bench_edge_matrix(c: &mut Criterion) {
     let cluster = Cluster::v100_like(16);
     let ctx = CostCtx::new(&cluster, 0.0);
     let graph = ModelConfig::opt_175b().layer_graph(8, 2048);
-    let edge = graph.edges.iter().find(|e| e.src == 9 && e.dst == 10).expect("fc1->act");
+    let edge = graph
+        .edges
+        .iter()
+        .find(|e| e.src == 9 && e.dst == 10)
+        .expect("fc1->act");
     let src_space = operator_space(&graph.ops[9], 4, &Default::default());
     let dst_space = operator_space(&graph.ops[10], 4, &Default::default());
     group.bench_function(
         format!("fc1_to_act_{}x{}", src_space.len(), dst_space.len()),
         |b| {
             b.iter(|| {
-                edge_cost_matrix(&ctx, edge, &graph.ops[9], &graph.ops[10], &src_space, &dst_space)
+                edge_cost_matrix(
+                    &ctx,
+                    edge,
+                    &graph.ops[9],
+                    &graph.ops[10],
+                    &src_space,
+                    &dst_space,
+                )
             })
         },
     );
     group.finish();
 }
 
-criterion_group!(benches, bench_dsi, bench_ring_schedule, bench_verification, bench_edge_matrix);
+criterion_group!(
+    benches,
+    bench_dsi,
+    bench_ring_schedule,
+    bench_verification,
+    bench_edge_matrix
+);
 criterion_main!(benches);

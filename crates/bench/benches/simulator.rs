@@ -28,7 +28,12 @@ fn bench_simulate_layer(c: &mut Criterion) {
 fn bench_functional_executor(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator/functional_train_step");
     group.sample_size(20);
-    let shape = LinearShape { b: 8, m: 32, n: 64, k: 64 };
+    let shape = LinearShape {
+        b: 8,
+        m: 32,
+        n: 64,
+        k: 64,
+    };
     let mut rng = StdRng::seed_from_u64(1);
     let i = Tensor::randn(vec![shape.b, shape.m, shape.n], 1.0, &mut rng);
     let w = Tensor::randn(vec![shape.n, shape.k], 1.0, &mut rng);
@@ -36,7 +41,13 @@ fn bench_functional_executor(c: &mut Criterion) {
     for (label, prims) in [
         ("p2x2", vec![Primitive::Temporal { k: 1 }]),
         ("p4x4", vec![Primitive::Temporal { k: 2 }]),
-        ("split_bn", vec![Primitive::Split(primepar::partition::Dim::B), Primitive::Split(primepar::partition::Dim::N)]),
+        (
+            "split_bn",
+            vec![
+                Primitive::Split(primepar::partition::Dim::B),
+                Primitive::Split(primepar::partition::Dim::N),
+            ],
+        ),
     ] {
         let seq = PartitionSeq::new(prims).expect("valid");
         group.bench_function(label, |b| {

@@ -11,13 +11,16 @@
 //! `cargo run --release -p primepar-bench --bin ablations`
 
 use primepar::graph::ModelConfig;
+use primepar::obs::Metrics;
 use primepar::search::{best_megatron, Planner, PlannerOptions, SpaceOptions};
 use primepar::sim::simulate_model;
 use primepar::topology::Cluster;
+use primepar_bench::{slug, write_run_metrics};
 
 fn main() {
     let (batch, seq) = (8u64, 2048u64);
     let tokens = (batch * seq) as f64;
+    let mut metrics = Metrics::new();
 
     // --- Ablation A: α sweep -------------------------------------------------
     let model = ModelConfig::opt_175b();
@@ -26,9 +29,20 @@ fn main() {
     let cluster = Cluster::v100_like(8);
     let graph = model.layer_graph(batch, seq);
     for alpha in [0.0, 1e-9, 1e-8, 1e-7] {
-        let opts = PlannerOptions { alpha, ..PlannerOptions::default() };
+        let opts = PlannerOptions {
+            alpha,
+            ..PlannerOptions::default()
+        };
         let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
         let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
+        metrics.gauge(
+            &format!("alpha.{alpha:e}.tokens_per_second"),
+            report.tokens_per_second,
+        );
+        metrics.gauge(
+            &format!("alpha.{alpha:e}.peak_memory_bytes"),
+            report.peak_memory_bytes,
+        );
         println!(
             "{alpha:>12.0e} {:>14.0} {:>12.1}",
             report.tokens_per_second,
@@ -38,7 +52,10 @@ fn main() {
     println!("expected: memory falls (or holds) as α grows, throughput pays for it\n");
 
     // --- Ablation B: temporal depth ------------------------------------------
-    println!("Ablation B — temporal primitive depth ({} on 16 GPUs)\n", model.name);
+    println!(
+        "Ablation B — temporal primitive depth ({} on 16 GPUs)\n",
+        model.name
+    );
     println!("{:>22} {:>14} {:>12}", "space", "tokens/s", "peak GB");
     let cluster = Cluster::v100_like(16);
     for (label, allow_temporal, max_k) in [
@@ -57,6 +74,10 @@ fn main() {
         };
         let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
         let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
+        metrics.gauge(
+            &format!("temporal.{}.tokens_per_second", slug(label)),
+            report.tokens_per_second,
+        );
         println!(
             "{label:>22} {:>14.0} {:>12.1}",
             report.tokens_per_second,
@@ -67,7 +88,10 @@ fn main() {
 
     // --- Ablation C: topology -------------------------------------------------
     println!("Ablation C — topology (PrimePar speedup over Megatron at 16 GPUs)\n");
-    println!("{:<12} {:>14} {:>14} {:>10}", "topology", "megatron t/s", "primepar t/s", "speedup");
+    println!(
+        "{:<12} {:>14} {:>14} {:>10}",
+        "topology", "megatron t/s", "primepar t/s", "speedup"
+    );
     for (label, cluster) in [
         ("v100", Cluster::v100_like(16)),
         ("torus", Cluster::torus_like(16)),
@@ -77,6 +101,10 @@ fn main() {
         let mega = simulate_model(&cluster, &graph, &mega_plan, model.layers, tokens);
         let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
         let prime = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
+        metrics.gauge(
+            &format!("topology.{label}.speedup"),
+            prime.tokens_per_second / mega.tokens_per_second,
+        );
         println!(
             "{label:<12} {:>14.0} {:>14.0} {:>9.2}x",
             mega.tokens_per_second,
@@ -88,8 +116,14 @@ fn main() {
     println!("crosses a slow shared link); the baseline also gains, narrowing the relative gap\n");
 
     // --- Ablation D: activation recomputation ---------------------------------
-    println!("Ablation D — activation recomputation ({} on 8 GPUs)\n", model.name);
-    println!("{:<14} {:>14} {:>12}", "stash policy", "tokens/s", "peak GB");
+    println!(
+        "Ablation D — activation recomputation ({} on 8 GPUs)\n",
+        model.name
+    );
+    println!(
+        "{:<14} {:>14} {:>12}",
+        "stash policy", "tokens/s", "peak GB"
+    );
     let cluster = Cluster::v100_like(8);
     let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
     for (label, recompute) in [("full stash", false), ("recompute", true)] {
@@ -99,7 +133,13 @@ fn main() {
             &plan.seqs,
             model.layers,
             tokens,
-            &primepar::sim::SimOptions { recompute_activations: recompute },
+            &primepar::sim::SimOptions {
+                recompute_activations: recompute,
+            },
+        );
+        metrics.gauge(
+            &format!("recompute.{}.peak_memory_bytes", slug(label)),
+            report.peak_memory_bytes,
         );
         println!(
             "{label:<14} {:>14.0} {:>12.1}",
@@ -110,22 +150,48 @@ fn main() {
     println!("expected: large memory cut for roughly one extra forward pass of latency\n");
 
     // --- Ablation E: optimizer parallelism ------------------------------------
-    println!("Ablation E — optimizer parallelism (§5.3; {} at 16 GPUs)\n", model.name);
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!(
+        "Ablation E — optimizer parallelism (§5.3; {} at 16 GPUs)\n",
+        model.name
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     println!("host exposes {cores} core(s); speedup requires cores > 1\n");
     println!("{:>10} {:>14}", "threads", "search ms");
     let cluster = Cluster::v100_like(16);
     for threads in [0usize, 2, 4, 8] {
-        let opts = PlannerOptions { threads, ..PlannerOptions::default() };
-        let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
-        println!("{:>10} {:>14.1}", threads.max(1), plan.search_time.as_secs_f64() * 1e3);
+        let opts = PlannerOptions {
+            threads,
+            ..PlannerOptions::default()
+        };
+        let (plan, tm) = Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);
+        metrics.gauge(
+            &format!("threads.{}.search_seconds", threads.max(1)),
+            plan.search_time.as_secs_f64(),
+        );
+        metrics.gauge(
+            &format!("threads.{}.utilization", threads.max(1)),
+            tm.thread_utilization(),
+        );
+        println!(
+            "{:>10} {:>14.1}",
+            threads.max(1),
+            plan.search_time.as_secs_f64() * 1e3
+        );
     }
     println!("expected: the edge-matrix and Bellman stages scale with available cores");
     println!("(identical results regardless of thread count is asserted by unit tests)\n");
 
     // --- Ablation F: straggler sensitivity ------------------------------------
-    println!("Ablation F — straggler sensitivity ({} on 8 GPUs, one device 1.3x slower)\n", model.name);
-    println!("{:<10} {:>14} {:>14} {:>12}", "system", "baseline ms", "straggler ms", "slowdown");
+    println!(
+        "Ablation F — straggler sensitivity ({} on 8 GPUs, one device 1.3x slower)\n",
+        model.name
+    );
+    println!(
+        "{:<10} {:>14} {:>14} {:>12}",
+        "system", "baseline ms", "straggler ms", "slowdown"
+    );
     let cluster = Cluster::v100_like(8);
     let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
     let prime_plan = Planner::new(&cluster, &graph, PlannerOptions::default())
@@ -142,7 +208,13 @@ fn main() {
             &cluster,
             &graph,
             plan,
-            &primepar::sim::DesOptions { straggler: Some((3, 1.3)) },
+            &primepar::sim::DesOptions {
+                straggler: Some((3, 1.3)),
+            },
+        );
+        metrics.gauge(
+            &format!("straggler.{}.slowdown", slug(name)),
+            slow.iteration_time / base.iteration_time,
         );
         println!(
             "{name:<10} {:>14.2} {:>14.2} {:>11.3}x",
@@ -153,4 +225,5 @@ fn main() {
     }
     println!("question answered: does the temporal primitive's per-step ring coupling make");
     println!("PrimePar more straggler-sensitive than collective-based strategies?");
+    write_run_metrics("ablations", &metrics);
 }

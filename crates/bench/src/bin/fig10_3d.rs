@@ -5,9 +5,11 @@
 //! (`--quick` restricts to the two 7B models).
 
 use primepar::graph::ModelConfig;
+use primepar::obs::Metrics;
 use primepar::search::{megatron_layer_plan, Planner, PlannerOptions, SpaceOptions};
 use primepar::sim::{simulate_3d, ThreeDConfig};
 use primepar::topology::Cluster;
+use primepar_bench::{slug, write_run_metrics};
 
 fn main() {
     let total_devices = 32usize;
@@ -20,6 +22,8 @@ fn main() {
     };
 
     println!("Fig. 10 — 3D parallelism on {total_devices} GPUs, all (p, d, m) with p > 1\n");
+    let mut metrics = Metrics::new();
+    metrics.gauge("run.devices", total_devices as f64);
     for model in models {
         println!("── {} ──", model.name);
         println!(
@@ -42,7 +46,12 @@ fn main() {
                     continue;
                 }
                 let micro = (batch as usize / d).clamp(1, 8);
-                let cfg = ThreeDConfig { p, d, m, micro_batches: micro };
+                let cfg = ThreeDConfig {
+                    p,
+                    d,
+                    m,
+                    micro_batches: micro,
+                };
                 // Plan the m-wide stage for the per-replica micro-batch shape
                 // the pipeline actually executes.
                 let replica_micro = (batch as usize / (d * micro)).max(1) as u64;
@@ -51,12 +60,24 @@ fn main() {
                 let mega = simulate_3d(&model, &graph, &mega_plan, cfg, batch, seq);
                 let cluster_m = Cluster::v100_like(m);
                 let opts = PlannerOptions {
-                    space: SpaceOptions { allow_batch_split: false, ..SpaceOptions::default() },
+                    space: SpaceOptions {
+                        allow_batch_split: false,
+                        ..SpaceOptions::default()
+                    },
                     alpha: 0.0,
                     ..PlannerOptions::default()
                 };
                 let prime_plan = Planner::new(&cluster_m, &graph, opts).optimize(model.layers);
                 let prime = simulate_3d(&model, &graph, &prime_plan.seqs, cfg, batch, seq);
+                let key = format!("{}.p{p}d{d}m{m}", slug(model.name));
+                metrics.gauge(
+                    &format!("{key}.megatron_tokens_per_second"),
+                    mega.tokens_per_second,
+                );
+                metrics.gauge(
+                    &format!("{key}.primepar_tokens_per_second"),
+                    prime.tokens_per_second,
+                );
                 println!(
                     "{:>12} {:>14.0} {:>14.0} {:>8.2}x",
                     format!("({p},{d},{m})"),
@@ -64,10 +85,16 @@ fn main() {
                     prime.tokens_per_second,
                     prime.tokens_per_second / mega.tokens_per_second
                 );
-                if best_mega.as_ref().is_none_or(|(t, _)| mega.tokens_per_second > *t) {
+                if best_mega
+                    .as_ref()
+                    .is_none_or(|(t, _)| mega.tokens_per_second > *t)
+                {
                     best_mega = Some((mega.tokens_per_second, (p, d, m)));
                 }
-                if best_prime.as_ref().is_none_or(|(t, _)| prime.tokens_per_second > *t) {
+                if best_prime
+                    .as_ref()
+                    .is_none_or(|(t, _)| prime.tokens_per_second > *t)
+                {
                     best_prime = Some((prime.tokens_per_second, (p, d, m)));
                 }
                 d *= 2;
@@ -76,6 +103,14 @@ fn main() {
         }
         let (mt, mc) = best_mega.expect("at least one config");
         let (pt, pc) = best_prime.expect("at least one config");
+        metrics.gauge(
+            &format!("{}.best_megatron_tokens_per_second", slug(model.name)),
+            mt,
+        );
+        metrics.gauge(
+            &format!("{}.best_primepar_tokens_per_second", slug(model.name)),
+            pt,
+        );
         println!(
             "best: megatron {mt:.0} t/s at {mc:?}, primepar {pt:.0} t/s at {pc:?} ({:.2}x)\n",
             pt / mt
@@ -83,4 +118,5 @@ fn main() {
     }
     println!("paper reference: (p=2,d=4,m=4) best around 7B; (p=2,d=1,m=16) best for >100B;");
     println!("PrimePar's best beats Megatron's best by up to 1.46x (OPT 175B).");
+    write_run_metrics("fig10_3d", &metrics);
 }

@@ -7,22 +7,41 @@
 //! `cargo run --release -p primepar-bench --bin fig2_motivation`
 
 use primepar::graph::ModelConfig;
+use primepar::obs::Metrics;
 use primepar::search::best_megatron;
 use primepar::sim::{ideal_memory_bytes, simulate_model};
 use primepar::topology::Cluster;
-use primepar_bench::device_scales;
+use primepar_bench::{device_scales, slug, write_run_metrics};
 
 fn main() {
     let (batch, seq) = (8u64, 2048u64);
     let tokens = (batch * seq) as f64;
+    let mut metrics = Metrics::new();
+    metrics.gauge("run.batch", batch as f64);
+    metrics.gauge("run.seq", seq as f64);
 
     println!("Fig. 2(a) — all-reduce share of Megatron-LM training latency on 16 GPUs\n");
-    println!("{:<12} {:>8} {:>16} {:>18}", "model", "(d,m)", "layer time (ms)", "all-reduce share");
-    for model in [ModelConfig::opt_6_7b(), ModelConfig::llama2_70b(), ModelConfig::bloom_176b()] {
+    println!(
+        "{:<12} {:>8} {:>16} {:>18}",
+        "model", "(d,m)", "layer time (ms)", "all-reduce share"
+    );
+    for model in [
+        ModelConfig::opt_6_7b(),
+        ModelConfig::llama2_70b(),
+        ModelConfig::bloom_176b(),
+    ] {
         let cluster = Cluster::v100_like(16);
         let graph = model.layer_graph(batch, seq);
         let (plan, (d, m), _) = best_megatron(&cluster, &graph, 0.0);
         let report = simulate_model(&cluster, &graph, &plan, model.layers, tokens);
+        metrics.gauge(
+            &format!("fig2a.{}.layer_time_seconds", slug(model.name)),
+            report.layer.layer_time,
+        );
+        metrics.gauge(
+            &format!("fig2a.{}.collective_fraction", slug(model.name)),
+            report.layer.breakdown.collective_fraction(),
+        );
         println!(
             "{:<12} {:>8} {:>16.2} {:>17.1}%",
             model.name,
@@ -34,7 +53,10 @@ fn main() {
     println!("\npaper reference: a significant share of training latency is all-reduce\n");
 
     println!("Fig. 2(b) — Llama2 70B per-GPU peak memory: Megatron-LM vs ideal (no replication)\n");
-    println!("{:>8} {:>14} {:>12} {:>10}", "devices", "megatron GB", "ideal GB", "ratio");
+    println!(
+        "{:>8} {:>14} {:>12} {:>10}",
+        "devices", "megatron GB", "ideal GB", "ratio"
+    );
     let model = ModelConfig::llama2_70b();
     for devices in device_scales(&[4, 8, 16, 32]) {
         let cluster = Cluster::v100_like(devices);
@@ -42,6 +64,11 @@ fn main() {
         let (plan, _, _) = best_megatron(&cluster, &graph, 0.0);
         let report = simulate_model(&cluster, &graph, &plan, model.layers, tokens);
         let ideal = ideal_memory_bytes(&graph, model.layers, devices);
+        metrics.gauge(
+            &format!("fig2b.{devices}.megatron_bytes"),
+            report.peak_memory_bytes,
+        );
+        metrics.gauge(&format!("fig2b.{devices}.ideal_bytes"), ideal);
         println!(
             "{devices:>8} {:>14.1} {:>12.1} {:>9.2}x",
             report.peak_memory_bytes / 1e9,
@@ -50,4 +77,5 @@ fn main() {
         );
     }
     println!("\npaper reference: the replication-induced gap widens as parallelism grows");
+    write_run_metrics("fig2_motivation", &metrics);
 }

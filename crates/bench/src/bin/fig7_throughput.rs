@@ -6,7 +6,8 @@
 
 use primepar::compare_systems;
 use primepar::graph::ModelConfig;
-use primepar_bench::{device_scales, geomean};
+use primepar::obs::Metrics;
+use primepar_bench::{device_scales, geomean, slug, write_run_metrics};
 
 fn main() {
     let scales = device_scales(&[4, 8, 16, 32]);
@@ -14,14 +15,30 @@ fn main() {
     println!("Fig. 7 — normalized training throughput (Megatron = 1.00)");
     println!("batch {batch}, sequence {seq}, no pipeline parallelism\n");
 
+    let mut metrics = Metrics::new();
+    metrics.gauge("run.batch", batch as f64);
+    metrics.gauge("run.seq", seq as f64);
     let mut speedups_at_max: Vec<f64> = Vec::new();
     let max_scale = *scales.iter().max().expect("non-empty scales");
     for model in ModelConfig::all() {
         println!("── {} ──", model.name);
-        println!("{:>8} {:>12} {:>10} {:>10} {:>10}", "devices", "megatron t/s", "megatron", "alpa", "primepar");
+        println!(
+            "{:>8} {:>12} {:>10} {:>10} {:>10}",
+            "devices", "megatron t/s", "megatron", "alpa", "primepar"
+        );
         for &devices in &scales {
             let rows = compare_systems(&model, devices, batch, seq);
             let base = rows[0].tokens_per_second;
+            for r in &rows {
+                metrics.gauge(
+                    &format!(
+                        "{}.{devices}.{}.tokens_per_second",
+                        slug(model.name),
+                        slug(r.system)
+                    ),
+                    r.tokens_per_second,
+                );
+            }
             println!(
                 "{devices:>8} {base:>12.0} {:>10.2} {:>10.2} {:>10.2}",
                 rows[0].tokens_per_second / base,
@@ -34,9 +51,9 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "geo-mean PrimePar speedup over Megatron at {max_scale} GPUs: {:.2}x",
-        geomean(&speedups_at_max)
-    );
+    let geo = geomean(&speedups_at_max);
+    metrics.gauge(&format!("geomean_speedup_at_{max_scale}"), geo);
+    println!("geo-mean PrimePar speedup over Megatron at {max_scale} GPUs: {geo:.2}x");
     println!("paper reference: 1.30x geo-mean at 32 GPUs; up to 1.68x on >100B models");
+    write_run_metrics("fig7_throughput", &metrics);
 }

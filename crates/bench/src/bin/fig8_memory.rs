@@ -6,7 +6,8 @@
 
 use primepar::compare_systems;
 use primepar::graph::ModelConfig;
-use primepar_bench::device_scales;
+use primepar::obs::Metrics;
+use primepar_bench::{device_scales, slug, write_run_metrics};
 
 fn main() {
     let scales = device_scales(&[4, 8, 16, 32]);
@@ -14,6 +15,9 @@ fn main() {
     println!("Fig. 8 — normalized peak memory occupancy (Megatron = 1.00)");
     println!("batch {batch}, sequence {seq}; same plans as Fig. 7\n");
 
+    let mut metrics = Metrics::new();
+    metrics.gauge("run.batch", batch as f64);
+    metrics.gauge("run.seq", seq as f64);
     for model in ModelConfig::all() {
         println!("── {} ──", model.name);
         println!(
@@ -23,6 +27,16 @@ fn main() {
         for &devices in &scales {
             let rows = compare_systems(&model, devices, batch, seq);
             let base = rows[0].peak_memory_bytes;
+            for r in &rows {
+                metrics.gauge(
+                    &format!(
+                        "{}.{devices}.{}.peak_memory_bytes",
+                        slug(model.name),
+                        slug(r.system)
+                    ),
+                    r.peak_memory_bytes,
+                );
+            }
             println!(
                 "{devices:>8} {:>14.1} {:>10.2} {:>10.2} {:>10.2}",
                 base / 1e9,
@@ -34,4 +48,5 @@ fn main() {
         println!();
     }
     println!("paper reference: ~0.90x around 7B; down to 0.68x for BLOOM 176B at 16/32 GPUs");
+    write_run_metrics("fig8_memory", &metrics);
 }

@@ -6,19 +6,28 @@
 //! `cargo run --release -p primepar-bench --bin fig9_ablation`
 
 use primepar::graph::ModelConfig;
+use primepar::obs::Metrics;
 use primepar::search::{megatron_layer_plan, Planner, PlannerOptions};
 use primepar::sim::simulate_layer;
 use primepar::topology::Cluster;
-use primepar_bench::{mlp_block_graph, strategies};
+use primepar_bench::{mlp_block_graph, results_dir, slug, strategies, write_run_metrics};
 
 fn main() {
     let model = ModelConfig::opt_175b();
     let seq = 2048u64;
+    let mut metrics = Metrics::new();
 
     println!("Fig. 9 — OPT 175B MLP block latency breakdown, Megatron vs PrimePar\n");
     println!(
         "{:>6} {:>8} {:<10} {:>12} {:>12} {:>12} {:>12} {:>14}",
-        "batch", "devices", "system", "total ms", "compute ms", "collect. ms", "ring ms", "collective cut"
+        "batch",
+        "devices",
+        "system",
+        "total ms",
+        "compute ms",
+        "collect. ms",
+        "ring ms",
+        "collective cut"
     );
     for batch in [8u64, 16] {
         for devices in [8usize, 16] {
@@ -26,12 +35,20 @@ fn main() {
             let graph = mlp_block_graph(&model, batch, seq);
             let mega_plan = megatron_layer_plan(&graph, 1, devices);
             let mega = simulate_layer(&cluster, &graph, &mega_plan);
-            let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
-                .optimize(model.layers);
+            let plan =
+                Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
             let prime = simulate_layer(&cluster, &graph, &plan.seqs);
             for (name, r) in [("Megatron", &mega), ("PrimePar", &prime)] {
+                let key = format!("b{batch}.g{devices}.{}", slug(name));
+                metrics.gauge(&format!("{key}.total_seconds"), r.breakdown.total());
+                metrics.gauge(&format!("{key}.compute_seconds"), r.breakdown.compute);
+                metrics.gauge(&format!("{key}.collective_seconds"), r.breakdown.collective);
+                metrics.gauge(&format!("{key}.ring_total_seconds"), r.breakdown.ring_total);
                 let cut = if name == "PrimePar" && mega.breakdown.collective > 0.0 {
-                    format!("{:.1}%", 100.0 * r.breakdown.collective / mega.breakdown.collective)
+                    format!(
+                        "{:.1}%",
+                        100.0 * r.breakdown.collective / mega.breakdown.collective
+                    )
                 } else {
                     "-".to_string()
                 };
@@ -47,19 +64,34 @@ fn main() {
         }
     }
     println!("\npaper reference: PrimePar consumes 19.9%-62.2% of Megatron's collective latency,");
-    println!("computation latency is roughly equal, and ring traffic fully overlaps with compute.\n");
+    println!(
+        "computation latency is roughly equal, and ring traffic fully overlaps with compute.\n"
+    );
 
     // Detail panel: strategies and the kernel timeline at 8 GPUs, batch 8.
     let cluster = Cluster::v100_like(8);
     let graph = mlp_block_graph(&model, 8, seq);
     let mega_plan = megatron_layer_plan(&graph, 1, 8);
     let prime = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
-    println!("Megatron strategies: {}", strategies(&graph, &mega_plan, &["fc1", "act", "fc2"]));
-    println!("PrimePar strategies: {}", strategies(&graph, &prime.seqs, &["fc1", "act", "fc2"]));
+    println!(
+        "Megatron strategies: {}",
+        strategies(&graph, &mega_plan, &["fc1", "act", "fc2"])
+    );
+    println!(
+        "PrimePar strategies: {}",
+        strategies(&graph, &prime.seqs, &["fc1", "act", "fc2"])
+    );
 
     println!("\nPrimePar kernel timeline (one device, 8 GPUs, batch 8):");
     let report = simulate_layer(&cluster, &graph, &prime.seqs);
     println!("{}", primepar::sim::render_gantt(&report.timeline, 100));
+    let trace_path = results_dir().join("fig9_timeline.trace.json");
+    match primepar::write_chrome_trace(&trace_path, &report.timeline) {
+        Ok(()) => println!("chrome trace written to {}", trace_path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
+    }
+    metrics.merge(&primepar::sim::layer_report_metrics(&report));
+    write_run_metrics("fig9_ablation", &metrics);
     for ev in report
         .timeline
         .iter()

@@ -5,9 +5,10 @@
 //! `cargo run --release -p primepar-bench --bin table2_opt_time`
 
 use primepar::graph::ModelConfig;
+use primepar::obs::Metrics;
 use primepar::search::{Planner, PlannerOptions};
 use primepar::topology::Cluster;
-use primepar_bench::device_scales;
+use primepar_bench::{device_scales, slug, write_run_metrics};
 
 fn main() {
     let scales = device_scales(&[4, 8, 16, 32]);
@@ -18,17 +19,42 @@ fn main() {
         print!("{s:>12}");
     }
     println!();
-    for model in [ModelConfig::opt_175b(), ModelConfig::llama2_70b(), ModelConfig::bloom_176b()] {
+    let mut metrics = Metrics::new();
+    for model in [
+        ModelConfig::opt_175b(),
+        ModelConfig::llama2_70b(),
+        ModelConfig::bloom_176b(),
+    ] {
         print!("{:<10}", model.name.split(' ').next().expect("name"));
         for &devices in &scales {
             let cluster = Cluster::v100_like(devices);
             let graph = model.layer_graph(batch, seq);
-            let plan =
-                Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+            let (plan, tm) = Planner::new(&cluster, &graph, PlannerOptions::default())
+                .optimize_instrumented(model.layers);
+            let key = format!("{}.{devices}", slug(model.name));
+            metrics.gauge(
+                &format!("{key}.search_seconds"),
+                plan.search_time.as_secs_f64(),
+            );
+            metrics.gauge(
+                &format!("{key}.intra_evaluations"),
+                tm.intra_evaluations as f64,
+            );
+            metrics.gauge(
+                &format!("{key}.edge_evaluations"),
+                tm.edge_evaluations as f64,
+            );
+            metrics.gauge(
+                &format!("{key}.max_space_size"),
+                tm.space_sizes.iter().copied().max().unwrap_or(0) as f64,
+            );
             print!("{:>12.1}", plan.search_time.as_secs_f64() * 1e3);
         }
         println!();
     }
-    println!("\npaper reference (ms): OPT 85/87/171/5357, Llama2 87/89/186/6070, Bloom 85/80/166/4153");
+    println!(
+        "\npaper reference (ms): OPT 85/87/171/5357, Llama2 87/89/186/6070, Bloom 85/80/166/4153"
+    );
     println!("(the shape to reproduce: flat up to 16 devices, a jump at 32 as P³ bites)");
+    write_run_metrics("table2_opt_time", &metrics);
 }

@@ -14,7 +14,10 @@
 //! Criterion micro-benchmarks live in `benches/` (optimizer, primitives,
 //! simulator).
 
+use std::path::PathBuf;
+
 use primepar::graph::{Graph, ModelConfig};
+use primepar::obs::Metrics;
 use primepar::partition::PartitionSeq;
 
 /// Geometric mean of a non-empty slice.
@@ -43,6 +46,43 @@ pub fn device_scales(default: &[usize]) -> Vec<usize> {
         default.iter().copied().take(2).collect()
     } else {
         default.to_vec()
+    }
+}
+
+/// Kebab-cases a label for use inside a metric key: `"OPT 6.7B"` →
+/// `"opt-6.7b"`.
+pub fn slug(label: &str) -> String {
+    label
+        .trim()
+        .chars()
+        .map(|c| {
+            if c.is_whitespace() || c == '/' {
+                '-'
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect()
+}
+
+/// Where figure artifacts land: `--out-dir DIR` when given, else `results/`.
+pub fn results_dir() -> PathBuf {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == "--out-dir")
+        .and_then(|i| args.get(i + 1))
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// Writes `metrics` to `<results_dir>/<name>.metrics.json`, announcing the
+/// path. A filesystem failure is reported but non-fatal — the console tables
+/// remain the primary artifact of a figure run.
+pub fn write_run_metrics(name: &str, metrics: &Metrics) {
+    let path = results_dir().join(format!("{name}.metrics.json"));
+    match primepar::write_metrics_json(&path, metrics) {
+        Ok(()) => println!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }
 }
 
@@ -81,6 +121,12 @@ pub fn strategies(graph: &Graph, plan: &[PartitionSeq], names: &[&str]) -> Strin
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn slug_kebab_cases() {
+        assert_eq!(slug("OPT 6.7B"), "opt-6.7b");
+        assert_eq!(slug("  Llama2 70B "), "llama2-70b");
+    }
 
     #[test]
     fn geomean_of_constants() {

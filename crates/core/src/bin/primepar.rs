@@ -6,6 +6,8 @@
 //!                  [--batch 8] [--seq 2048] [--alpha 0] [--no-batch-split] [--gantt]
 //!                  [--set op=SEQ]...   # override strategies, e.g. --set fc2=N.P2x2
 //!                  [--save plan.txt] [--plan plan.txt]   # persist / reuse plans
+//!                  [--metrics-json out.json]   # planner + sim telemetry as JSON
+//!                  [--chrome-trace out.json]   # Fig. 9 timeline for chrome://tracing
 //! primepar compare --model llama2-70b --devices 16 [--batch 8] [--seq 2048]
 //! primepar verify  [--k 1] [--iters 8]
 //! primepar sweep   --model bloom-176b [--devices 2,4,8,16]
@@ -16,13 +18,15 @@ use std::process::ExitCode;
 use primepar::exec::{train_distributed, train_serial};
 use primepar::graph::ModelConfig;
 use primepar::partition::{PartitionSeq, Primitive};
+use primepar::search::PlannerMetrics;
 use primepar::search::{
     best_megatron, explain_plan, parse_plan, render_plan, Planner, PlannerOptions, SpaceOptions,
 };
+use primepar::sim::ModelReport;
 use primepar::sim::{render_gantt, simulate_layer, simulate_model};
 use primepar::tensor::Tensor;
 use primepar::topology::Cluster;
-use primepar::{compare_systems, plan_summary};
+use primepar::{compare_systems, plan_summary, run_metrics, RunInfo};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -44,7 +48,9 @@ impl Args {
     fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.value(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("invalid value for {name}: {v}")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for {name}: {v}")),
         }
     }
 
@@ -63,7 +69,10 @@ impl Args {
 fn model_by_name(name: &str) -> Option<ModelConfig> {
     let canon = name.to_lowercase().replace(['-', '_', ' '], "");
     ModelConfig::all().into_iter().find(|m| {
-        m.name.to_lowercase().replace([' ', '.'], "").contains(&canon.replace('.', ""))
+        m.name
+            .to_lowercase()
+            .replace([' ', '.'], "")
+            .contains(&canon.replace('.', ""))
     })
 }
 
@@ -75,6 +84,7 @@ fn usage() -> &'static str {
      \x20 plan    --model M --devices N   search and explain a partition plan\n\
      \x20         [--system primepar|alpa|megatron] [--batch B] [--seq S]\n\
      \x20         [--alpha A] [--no-batch-split] [--gantt]\n\
+     \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
      \x20 verify  [--k 1|2] [--iters N]   functional equivalence check of P_{2^k x 2^k}\n\
      \x20 sweep   --model M [--devices 2,4,8,16]  scaling study\n"
@@ -98,7 +108,10 @@ fn run() -> Result<(), String> {
     let args = Args(argv);
     match command.as_str() {
         "models" => {
-            println!("{:<12} {:>7} {:>8} {:>7} {:>9} {:>10}", "model", "layers", "hidden", "heads", "ffn", "params");
+            println!(
+                "{:<12} {:>7} {:>8} {:>7} {:>9} {:>10}",
+                "model", "layers", "hidden", "heads", "ffn", "params"
+            );
             for m in ModelConfig::all() {
                 println!(
                     "{:<12} {:>7} {:>8} {:>7} {:>9} {:>9.1}B",
@@ -119,8 +132,7 @@ fn run() -> Result<(), String> {
             let seq: u64 = args.parse("--seq", 2048)?;
             let alpha: f64 = args.parse("--alpha", 0.0)?;
             let system = args.value("--system").unwrap_or("primepar").to_lowercase();
-            let cluster =
-                Cluster::v100_like(devices);
+            let cluster = Cluster::v100_like(devices);
             let graph = model.layer_graph(batch, seq);
             if let Some(path) = args.value("--plan") {
                 // Load a saved plan instead of searching.
@@ -136,8 +148,17 @@ fn run() -> Result<(), String> {
                     report.tokens_per_second,
                     report.peak_memory_bytes / 1e9
                 );
+                let run = RunInfo {
+                    model: model.name,
+                    system: "saved-plan",
+                    devices,
+                    batch,
+                    seq,
+                };
+                write_observability(&args, &run, None, &report)?;
                 return Ok(());
             }
+            let mut planner_tm = None;
             let (seqs, label) = match system.as_str() {
                 "megatron" => {
                     let (plan, (d, m), _) = best_megatron(&cluster, &graph, alpha);
@@ -156,7 +177,9 @@ fn run() -> Result<(), String> {
                         alpha,
                         threads: args.parse("--threads", 0)?,
                     };
-                    let p = Planner::new(&cluster, &graph, opts).optimize(model.layers);
+                    let (p, tm) =
+                        Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);
+                    planner_tm = Some(tm);
                     (p.seqs, format!("PrimePar ({:?} search)", p.search_time))
                 }
                 other => return Err(format!("unknown system: {other}")),
@@ -186,7 +209,8 @@ fn run() -> Result<(), String> {
             }
             println!("{} on {devices} GPUs — {label}\n", model.name);
             println!("{}", explain_plan(&cluster, &graph, &seqs));
-            let report = simulate_model(&cluster, &graph, &seqs, model.layers, (batch * seq) as f64);
+            let report =
+                simulate_model(&cluster, &graph, &seqs, model.layers, (batch * seq) as f64);
             println!(
                 "simulated: {:.0} tokens/s, {:.1} GB peak per device",
                 report.tokens_per_second,
@@ -201,6 +225,14 @@ fn run() -> Result<(), String> {
                 let layer = simulate_layer(&cluster, &graph, &seqs);
                 println!("\n{}", render_gantt(&layer.timeline, 100));
             }
+            let run = RunInfo {
+                model: model.name,
+                system: &system,
+                devices,
+                batch,
+                seq,
+            };
+            write_observability(&args, &run, planner_tm.as_ref(), &report)?;
             Ok(())
         }
         "compare" => {
@@ -208,7 +240,10 @@ fn run() -> Result<(), String> {
             let devices: usize = args.parse("--devices", 4)?;
             let batch: u64 = args.parse("--batch", 8)?;
             let seq: u64 = args.parse("--seq", 2048)?;
-            println!("{} on {devices} GPUs (batch {batch}, seq {seq})\n", model.name);
+            println!(
+                "{} on {devices} GPUs (batch {batch}, seq {seq})\n",
+                model.name
+            );
             let rows = compare_systems(&model, devices, batch, seq);
             let base = rows[0].tokens_per_second;
             println!(
@@ -226,7 +261,10 @@ fn run() -> Result<(), String> {
                 );
             }
             let prime = rows.last().expect("three rows");
-            println!("\nPrimePar strategy:\n{}", plan_summary(&model, batch, seq, &prime.plan));
+            println!(
+                "\nPrimePar strategy:\n{}",
+                plan_summary(&model, batch, seq, &prime.plan)
+            );
             Ok(())
         }
         "verify" => {
@@ -246,17 +284,22 @@ fn run() -> Result<(), String> {
             let target = Tensor::randn(vec![4, 8, width], 1.0, &mut rng);
             let w1 = Tensor::randn(vec![width, width], 0.4, &mut rng);
             let w2 = Tensor::randn(vec![width, width], 0.4, &mut rng);
-            let serial = train_serial(&input, &target, &w1, &w2, 0.05, iters)
+            let serial =
+                train_serial(&input, &target, &w1, &w2, 0.05, iters).map_err(|e| e.to_string())?;
+            let seq =
+                PartitionSeq::new(vec![Primitive::Temporal { k }]).map_err(|e| e.to_string())?;
+            let dist = train_distributed(&input, &target, &w1, &w2, 0.05, iters, seq.clone(), seq)
                 .map_err(|e| e.to_string())?;
-            let seq = PartitionSeq::new(vec![Primitive::Temporal { k }])
-                .map_err(|e| e.to_string())?;
-            let dist =
-                train_distributed(&input, &target, &w1, &w2, 0.05, iters, seq.clone(), seq)
-                    .map_err(|e| e.to_string())?;
             for (i, (a, b)) in serial.losses.iter().zip(&dist.losses).enumerate() {
-                println!("  iter {i:>2}: serial loss {a:.6}, distributed {b:.6}, |diff| {:.2e}", (a - b).abs());
+                println!(
+                    "  iter {i:>2}: serial loss {a:.6}, distributed {b:.6}, |diff| {:.2e}",
+                    (a - b).abs()
+                );
             }
-            let diff = serial.w1.max_abs_diff(&dist.w1).max(serial.w2.max_abs_diff(&dist.w2));
+            let diff = serial
+                .w1
+                .max_abs_diff(&dist.w1)
+                .max(serial.w2.max_abs_diff(&dist.w2));
             println!("final weight max |diff|: {diff:.2e}");
             if diff < 1e-3 {
                 println!("OK: spatial-temporal training is numerically identical to serial.");
@@ -271,19 +314,34 @@ fn run() -> Result<(), String> {
             let batch: u64 = args.parse("--batch", 8)?;
             let seq: u64 = args.parse("--seq", 2048)?;
             println!("{} scaling sweep\n", model.name);
-            println!("{:>8} {:>14} {:>14} {:>9}", "devices", "megatron t/s", "primepar t/s", "speedup");
+            println!(
+                "{:>8} {:>14} {:>14} {:>9}",
+                "devices", "megatron t/s", "primepar t/s", "speedup"
+            );
             for tok in list.split(',') {
-                let devices: usize =
-                    tok.trim().parse().map_err(|_| format!("bad device count: {tok}"))?;
+                let devices: usize = tok
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad device count: {tok}"))?;
                 let cluster = Cluster::v100_like(devices);
                 let graph = model.layer_graph(batch, seq);
                 let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
-                let mega =
-                    simulate_model(&cluster, &graph, &mega_plan, model.layers, (batch * seq) as f64);
+                let mega = simulate_model(
+                    &cluster,
+                    &graph,
+                    &mega_plan,
+                    model.layers,
+                    (batch * seq) as f64,
+                );
                 let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
                     .optimize(model.layers);
-                let prime =
-                    simulate_model(&cluster, &graph, &plan.seqs, model.layers, (batch * seq) as f64);
+                let prime = simulate_model(
+                    &cluster,
+                    &graph,
+                    &plan.seqs,
+                    model.layers,
+                    (batch * seq) as f64,
+                );
                 println!(
                     "{devices:>8} {:>14.0} {:>14.0} {:>8.2}x",
                     mega.tokens_per_second,
@@ -299,6 +357,28 @@ fn run() -> Result<(), String> {
         }
         other => Err(format!("unknown command: {other}")),
     }
+}
+
+/// Honors `--metrics-json` / `--chrome-trace`, writing the run's telemetry
+/// registry and the Fig. 9 timeline as machine-readable artifacts.
+fn write_observability(
+    args: &Args,
+    run: &RunInfo<'_>,
+    planner: Option<&PlannerMetrics>,
+    report: &ModelReport,
+) -> Result<(), String> {
+    if let Some(path) = args.value("--metrics-json") {
+        let metrics = run_metrics(run, planner, Some(report));
+        primepar::write_metrics_json(path, &metrics)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("metrics written to {path}");
+    }
+    if let Some(path) = args.value("--chrome-trace") {
+        primepar::write_chrome_trace(path, &report.layer.timeline)
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("chrome trace written to {path}");
+    }
+    Ok(())
 }
 
 fn required_model(args: &Args) -> Result<ModelConfig, String> {

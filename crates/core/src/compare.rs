@@ -76,7 +76,8 @@ pub fn system_report(
             (p.seqs, p.search_time, None)
         }
         SystemKind::PrimePar => {
-            let p = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+            let p =
+                Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
             (p.seqs, p.search_time, None)
         }
     };

@@ -36,6 +36,7 @@
 pub use primepar_cost as cost;
 pub use primepar_exec as exec;
 pub use primepar_graph as graph;
+pub use primepar_obs as obs;
 pub use primepar_partition as partition;
 pub use primepar_search as search;
 pub use primepar_sim as sim;
@@ -43,6 +44,8 @@ pub use primepar_tensor as tensor;
 pub use primepar_topology as topology;
 
 mod compare;
+pub mod obsreport;
 pub mod tutorial;
 
 pub use compare::{compare_systems, plan_summary, system_report, SystemKind, SystemReport};
+pub use obsreport::{run_metrics, write_chrome_trace, write_metrics_json, RunInfo};

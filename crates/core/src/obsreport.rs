@@ -1,0 +1,147 @@
+//! Machine-readable run reporting shared by the CLI and the figure benches.
+//!
+//! One run — a planner search plus a simulated iteration — folds into a
+//! single [`Metrics`] registry: `run.*` identifies the configuration,
+//! `planner.*` carries the search telemetry
+//! ([`PlannerMetrics`](crate::search::PlannerMetrics)), and `sim.*` the
+//! iteration breakdown. [`write_metrics_json`] / [`write_chrome_trace`]
+//! drop the artifacts next to the figure outputs (creating parent
+//! directories), so every figure script leaves a diffable JSON record.
+
+use std::io;
+use std::path::Path;
+
+use primepar_obs::Metrics;
+use primepar_search::PlannerMetrics;
+use primepar_sim::{layer_report_metrics, render_chrome_trace, ModelReport, Timeline};
+
+/// Identity of one planning/simulation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunInfo<'a> {
+    /// Model zoo name (e.g. `"OPT 175B"`).
+    pub model: &'a str,
+    /// System label (`"primepar"`, `"megatron"`, `"alpa"`, …).
+    pub system: &'a str,
+    /// Cluster size.
+    pub devices: usize,
+    /// Micro-batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+}
+
+/// Builds the combined registry for one run. `planner` is absent for manual
+/// or baseline plans that skip the DP; `report` is absent when nothing was
+/// simulated.
+pub fn run_metrics(
+    run: &RunInfo<'_>,
+    planner: Option<&PlannerMetrics>,
+    report: Option<&ModelReport>,
+) -> Metrics {
+    let mut m = Metrics::new();
+    m.text("run.model", run.model);
+    m.text("run.system", run.system);
+    m.gauge("run.devices", run.devices as f64);
+    m.gauge("run.batch", run.batch as f64);
+    m.gauge("run.seq", run.seq as f64);
+    if let Some(p) = planner {
+        m.merge(&p.to_metrics());
+    }
+    if let Some(r) = report {
+        m.gauge("sim.iteration_time_seconds", r.iteration_time);
+        m.gauge("sim.tokens_per_second", r.tokens_per_second);
+        m.gauge("sim.model_peak_memory_bytes", r.peak_memory_bytes);
+        m.merge(&layer_report_metrics(&r.layer));
+    }
+    m
+}
+
+fn ensure_parent(path: &Path) -> io::Result<()> {
+    match path.parent() {
+        Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir),
+        _ => Ok(()),
+    }
+}
+
+/// Writes the registry as pretty JSON at `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_metrics_json(path: impl AsRef<Path>, metrics: &Metrics) -> io::Result<()> {
+    let path = path.as_ref();
+    ensure_parent(path)?;
+    let mut doc = metrics.to_json().render_pretty();
+    doc.push('\n');
+    std::fs::write(path, doc)
+}
+
+/// Writes the timeline as a Chrome/Perfetto-loadable `trace_event` JSON
+/// array at `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_chrome_trace(path: impl AsRef<Path>, timeline: &Timeline) -> io::Result<()> {
+    let path = path.as_ref();
+    ensure_parent(path)?;
+    let mut doc = render_chrome_trace(timeline);
+    doc.push('\n');
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_graph::ModelConfig;
+    use primepar_search::{Planner, PlannerOptions};
+    use primepar_sim::simulate_model;
+    use primepar_topology::Cluster;
+
+    #[test]
+    fn run_registry_has_all_three_sections() {
+        let cluster = Cluster::v100_like(4);
+        let model = ModelConfig::opt_6_7b();
+        let graph = model.layer_graph(8, 256);
+        let (plan, tm) =
+            Planner::new(&cluster, &graph, PlannerOptions::default()).optimize_instrumented(4);
+        let report = simulate_model(&cluster, &graph, &plan.seqs, 4, (8 * 256) as f64);
+        let run = RunInfo {
+            model: model.name,
+            system: "primepar",
+            devices: 4,
+            batch: 8,
+            seq: 256,
+        };
+        let m = run_metrics(&run, Some(&tm), Some(&report));
+        // The ISSUE's minimum schema: DP sweep wall time, evaluation counts,
+        // per-operator space sizes, sim breakdown totals.
+        assert!(m.timer_seconds("planner.stage.segment_dp_seconds") >= 0.0);
+        assert!(m.counter("planner.intra_evaluations") > 0);
+        assert!(m.counter("planner.edge_evaluations") > 0);
+        assert!(m
+            .names()
+            .any(|n| n.starts_with("planner.space.") && n.ends_with(".size")));
+        assert!(m.gauge_value("sim.breakdown.total_seconds").unwrap() > 0.0);
+        assert!(m.gauge_value("sim.tokens_per_second").unwrap() > 0.0);
+        assert_eq!(m.gauge_value("run.devices"), Some(4.0));
+    }
+
+    #[test]
+    fn writers_create_parents_and_valid_documents() {
+        let dir = std::env::temp_dir().join("primepar-obsreport-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let metrics_path = dir.join("nested").join("run.metrics.json");
+        let mut m = Metrics::new();
+        m.incr("x", 1);
+        write_metrics_json(&metrics_path, &m).unwrap();
+        let text = std::fs::read_to_string(&metrics_path).unwrap();
+        assert!(primepar_obs::parse_json(&text).is_ok());
+
+        let trace_path = dir.join("run.trace.json");
+        write_chrome_trace(&trace_path, &Vec::new()).unwrap();
+        let text = std::fs::read_to_string(&trace_path).unwrap();
+        assert!(primepar_obs::parse_trace(&text).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,4 +1,4 @@
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 
 use primepar_topology::{Cluster, CommProfile, ComputeProfile, GroupIndicator};
@@ -13,6 +13,10 @@ pub struct CostCtx<'a> {
     alpha: f64,
     profiles: RefCell<HashMap<GroupIndicator, CommProfile>>,
     compute: ComputeProfile,
+    /// Telemetry: Eq. 7 evaluations performed through this context.
+    intra_evals: Cell<u64>,
+    /// Telemetry: Eq. 8-9 pair evaluations performed through this context.
+    inter_evals: Cell<u64>,
 }
 
 impl<'a> CostCtx<'a> {
@@ -24,7 +28,29 @@ impl<'a> CostCtx<'a> {
             alpha,
             profiles: RefCell::new(HashMap::new()),
             compute: ComputeProfile::profile(cluster.device_model()),
+            intra_evals: Cell::new(0),
+            inter_evals: Cell::new(0),
         }
+    }
+
+    /// Number of intra-operator (Eq. 7) cost evaluations charged so far.
+    pub fn intra_evaluations(&self) -> u64 {
+        self.intra_evals.get()
+    }
+
+    /// Number of inter-operator (Eqs. 8-9) pair evaluations charged so far —
+    /// each cell of an [`edge_cost_matrix`](crate::edge_cost_matrix) counts
+    /// as one.
+    pub fn inter_evaluations(&self) -> u64 {
+        self.inter_evals.get()
+    }
+
+    pub(crate) fn note_intra_eval(&self) {
+        self.intra_evals.set(self.intra_evals.get() + 1);
+    }
+
+    pub(crate) fn note_inter_evals(&self, n: u64) {
+        self.inter_evals.set(self.inter_evals.get() + n);
     }
 
     /// Predicted kernel latency from the fitted compute profile (§4.1's

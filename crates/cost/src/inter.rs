@@ -115,7 +115,10 @@ fn profile(
             }
         })
         .collect();
-    BoundaryProfile { holdings, volume_fraction }
+    BoundaryProfile {
+        holdings,
+        volume_fraction,
+    }
 }
 
 /// Total redistribution traffic (bytes, forward + backward) of `edge` when
@@ -129,7 +132,11 @@ pub fn inter_traffic_bytes(
     dst_seq: &PartitionSeq,
 ) -> f64 {
     let space = DeviceSpace::new(src_seq.bits());
-    assert_eq!(src_seq.bits(), dst_seq.bits(), "both operators span the same devices");
+    assert_eq!(
+        src_seq.bits(),
+        dst_seq.bits(),
+        "both operators span the same devices"
+    );
     let total_elems: f64 = side_dims(dst_op, edge.dst_kind)
         .iter()
         .map(|&d| dst_op.extent(d).max(1) as f64)
@@ -214,6 +221,7 @@ pub fn inter_cost(
     src_seq: &PartitionSeq,
     dst_seq: &PartitionSeq,
 ) -> f64 {
+    ctx.note_inter_evals(1);
     ctx.redistribution_time(inter_traffic_bytes(edge, src_op, dst_op, src_seq, dst_seq))
 }
 
@@ -236,13 +244,31 @@ pub fn edge_cost_matrix(
     let produce: Vec<BoundaryProfile> = src_seqs
         .iter()
         .map(|s| {
-            profile(src_op, s, space, TensorKind::Output, Phase::Forward, Side::Produce, &[], edge.selector)
+            profile(
+                src_op,
+                s,
+                space,
+                TensorKind::Output,
+                Phase::Forward,
+                Side::Produce,
+                &[],
+                edge.selector,
+            )
         })
         .collect();
     let consume: Vec<BoundaryProfile> = dst_seqs
         .iter()
         .map(|s| {
-            profile(dst_op, s, space, edge.dst_kind, Phase::Forward, Side::Consume, &edge.renames, None)
+            profile(
+                dst_op,
+                s,
+                space,
+                edge.dst_kind,
+                Phase::Forward,
+                Side::Consume,
+                &edge.renames,
+                None,
+            )
         })
         .collect();
     let grad_kind = match edge.dst_kind {
@@ -255,24 +281,54 @@ pub fn edge_cost_matrix(
     };
     let g_produce: Vec<BoundaryProfile> = dst_seqs
         .iter()
-        .map(|s| profile(dst_op, s, space, grad_kind, grad_phase, Side::Produce, &edge.renames, None))
+        .map(|s| {
+            profile(
+                dst_op,
+                s,
+                space,
+                grad_kind,
+                grad_phase,
+                Side::Produce,
+                &edge.renames,
+                None,
+            )
+        })
         .collect();
     let g_consume: Vec<BoundaryProfile> = src_seqs
         .iter()
         .map(|s| {
-            profile(src_op, s, space, TensorKind::GradOutput, Phase::Backward, Side::Consume, &[], edge.selector)
+            profile(
+                src_op,
+                s,
+                space,
+                TensorKind::GradOutput,
+                Phase::Backward,
+                Side::Consume,
+                &[],
+                edge.selector,
+            )
         })
         .collect();
 
     // Dense per-axis tables for the O(|src| x |dst| x devices) hot loop.
     let dense = |ps: &[BoundaryProfile]| -> Vec<(f64, Vec<crate::DenseIntervals>)> {
         ps.iter()
-            .map(|p| (p.volume_fraction, p.holdings.iter().map(|h| h.to_dense()).collect()))
+            .map(|p| {
+                (
+                    p.volume_fraction,
+                    p.holdings.iter().map(|h| h.to_dense()).collect(),
+                )
+            })
             .collect()
     };
-    let (produce_d, consume_d, g_produce_d, g_consume_d) =
-        (dense(&produce), dense(&consume), dense(&g_produce), dense(&g_consume));
+    let (produce_d, consume_d, g_produce_d, g_consume_d) = (
+        dense(&produce),
+        dense(&consume),
+        dense(&g_produce),
+        dense(&g_consume),
+    );
 
+    ctx.note_inter_evals((src_seqs.len() * dst_seqs.len()) as u64);
     let mut matrix = vec![0.0; src_seqs.len() * dst_seqs.len()];
     for i in 0..src_seqs.len() {
         for j in 0..dst_seqs.len() {
@@ -330,7 +386,11 @@ mod tests {
         let g = graph();
         let s = seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]);
         for (src, dst) in [(0usize, 1usize), (7, 8), (8, 9), (10, 11), (11, 12)] {
-            let edge = g.edges.iter().find(|e| e.src == src && e.dst == dst).unwrap();
+            let edge = g
+                .edges
+                .iter()
+                .find(|e| e.src == src && e.dst == dst)
+                .unwrap();
             let t = inter_traffic_bytes(edge, &g.ops[src], &g.ops[dst], &s, &s);
             assert_eq!(t, 0.0, "edge ({src}, {dst})");
         }
@@ -349,7 +409,11 @@ mod tests {
         }
         // And onward: attention internal edges under the same head split.
         for (src, dst) in [(3usize, 4usize), (4, 5)] {
-            let edge = g.edges.iter().find(|e| e.src == src && e.dst == dst).unwrap();
+            let edge = g
+                .edges
+                .iter()
+                .find(|e| e.src == src && e.dst == dst)
+                .unwrap();
             let t = inter_traffic_bytes(edge, &g.ops[src], &g.ops[dst], &head_split, &head_split);
             assert_eq!(t, 0.0, "edge ({src}, {dst})");
         }
@@ -406,7 +470,10 @@ mod tests {
             for (j, ds) in dst_seqs.iter().enumerate() {
                 let direct = inter_cost(&ctx, edge, &g.ops[9], &g.ops[10], ss, ds);
                 let cached = matrix[i * dst_seqs.len() + j];
-                assert!((direct - cached).abs() < 1e-12, "({i},{j}): {direct} vs {cached}");
+                assert!(
+                    (direct - cached).abs() < 1e-12,
+                    "({i},{j}): {direct} vs {cached}"
+                );
             }
         }
     }
@@ -428,7 +495,10 @@ mod tests {
         let t = inter_traffic_bytes(q_edge, &g.ops[2], &g.ops[3], &src, &dst);
         // Bound: 2 directions x 4 replicating devices x the Q tensor.
         let q_total = 4.0 * (8.0 * 32.0) * 2048.0 * 128.0;
-        assert!(t > 0.0 && t <= 2.0 * 4.0 * q_total * 1.001, "t = {t}, bound {q_total}");
+        assert!(
+            t > 0.0 && t <= 2.0 * 4.0 * q_total * 1.001,
+            "t = {t}, bound {q_total}"
+        );
         // A device holding only the V portion of a finely-cut source would
         // contribute zero overlap to the Q edge — the interval-level
         // behaviour is covered by `intervals::tests::select_misses_disjoint_range`.

@@ -96,7 +96,8 @@ impl AxisIntervals {
             e.1 = (new_lo - s0) / w;
             e.2 = (new_hi - s0) / w;
         } else {
-            self.entries.push((axis, (new_lo - s0) / w, (new_hi - s0) / w));
+            self.entries
+                .push((axis, (new_lo - s0) / w, (new_hi - s0) / w));
         }
         true
     }
@@ -116,14 +117,20 @@ impl AxisIntervals {
             let overlap = (a1.min(b1) - a0.max(b0)).max(0.0);
             fraction *= overlap;
             // Sanity: an interval wider than its holder means a bookkeeping bug.
-            debug_assert!((lo <= hi + 1e-9) && (-1e-9..=1.0 + 1e-9).contains(&lo), "bad interval");
+            debug_assert!(
+                (lo <= hi + 1e-9) && (-1e-9..=1.0 + 1e-9).contains(&lo),
+                "bad interval"
+            );
         }
         fraction
     }
 
     /// The fraction of the full tensor this holding covers.
     pub fn volume_fraction(&self) -> f64 {
-        self.entries.iter().map(|&(_, lo, hi)| (hi - lo).max(0.0)).product()
+        self.entries
+            .iter()
+            .map(|&(_, lo, hi)| (hi - lo).max(0.0))
+            .product()
     }
 
     /// Dense per-axis representation for hot loops: one `[lo, hi)` pair per

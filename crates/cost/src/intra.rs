@@ -70,7 +70,11 @@ pub struct PhaseEvents {
 impl PhaseEvents {
     /// The phase's contribution to Eq. 7: overlapped steps plus collectives.
     pub fn latency(&self) -> f64 {
-        self.ring_steps.iter().map(|&r| r.max(self.compute_step)).sum::<f64>() + self.allreduce
+        self.ring_steps
+            .iter()
+            .map(|&r| r.max(self.compute_step))
+            .sum::<f64>()
+            + self.allreduce
     }
 }
 
@@ -94,7 +98,12 @@ impl PhaseEvents {
 /// assert_eq!(ev.allreduce, 0.0);          // feature 1
 /// # Ok::<(), primepar_partition::PartitionError>(())
 /// ```
-pub fn phase_events(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq, phase: Phase) -> PhaseEvents {
+pub fn phase_events(
+    ctx: &CostCtx<'_>,
+    op: &Operator,
+    seq: &PartitionSeq,
+    phase: Phase,
+) -> PhaseEvents {
     let steps = seq.temporal_steps();
     let ring_ind = seq.ring_indicator();
     let frac = work_fraction(op, seq);
@@ -112,7 +121,11 @@ pub fn phase_events(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq, phase:
     } else {
         4.0 * 2.0 * out_block
     };
-    let compute_step = if phase_flops > 0.0 { ctx.kernel_time(sub_flops, sub_bytes) } else { 0.0 };
+    let compute_step = if phase_flops > 0.0 {
+        ctx.kernel_time(sub_flops, sub_bytes)
+    } else {
+        0.0
+    };
 
     let ring_steps: Vec<f64> = (0..steps)
         .map(|t| {
@@ -140,7 +153,8 @@ pub fn phase_events(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq, phase:
                 let rows = (op.extent(Dim::B).max(1) as f64 / seq.num_slices(Dim::B) as f64)
                     .max(1.0)
                     * (op.extent(Dim::M).max(1) as f64 / seq.num_slices(Dim::M) as f64).max(1.0);
-                allreduce += ctx.allreduce_time(&GroupIndicator::new(k_positions), 4.0 * 2.0 * rows);
+                allreduce +=
+                    ctx.allreduce_time(&GroupIndicator::new(k_positions), 4.0 * 2.0 * rows);
             }
         }
         if phase == Phase::Gradient {
@@ -152,11 +166,16 @@ pub fn phase_events(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq, phase:
             }
         }
     }
-    PhaseEvents { compute_step, ring_steps, allreduce }
+    PhaseEvents {
+        compute_step,
+        ring_steps,
+        allreduce,
+    }
 }
 
 /// Evaluates Eq. 7 for `op` partitioned by `seq` on the context's cluster.
 pub fn intra_cost(ctx: &CostCtx<'_>, op: &Operator, seq: &PartitionSeq) -> IntraCost {
+    ctx.note_intra_eval();
     let mut cost = IntraCost::default();
     for phase in Phase::ALL {
         let ev = phase_events(ctx, op, seq, phase);
@@ -239,7 +258,11 @@ pub fn memory_bytes(op: &Operator, seq: &PartitionSeq) -> MemoryBytes {
         // Embeddings stash only token ids (negligible).
         OpKind::Elementwise | OpKind::Embedding => 0.0,
     };
-    let double_buffer = if seq.temporal_k().is_some() { 4.0 * (in_block + w_block) } else { 0.0 };
+    let double_buffer = if seq.temporal_k().is_some() {
+        4.0 * (in_block + w_block)
+    } else {
+        0.0
+    };
     MemoryBytes {
         params: param_bytes,
         grads: param_bytes,
@@ -268,7 +291,11 @@ mod tests {
         let cluster = Cluster::v100_like(4);
         let ctx = CostCtx::new(&cluster, 0.0);
         let op = fc2();
-        let row = intra_cost(&ctx, &op, &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)]));
+        let row = intra_cost(
+            &ctx,
+            &op,
+            &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)]),
+        );
         let temporal = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
         assert!(row.allreduce > 0.0);
         assert_eq!(temporal.allreduce, 0.0);
@@ -282,7 +309,11 @@ mod tests {
         let cluster = Cluster::v100_like(4);
         let ctx = CostCtx::new(&cluster, 0.0);
         let op = fc2();
-        let a = intra_cost(&ctx, &op, &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::K)]));
+        let a = intra_cost(
+            &ctx,
+            &op,
+            &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::K)]),
+        );
         let b = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
         let rel = (a.compute - b.compute).abs() / a.compute;
         assert!(rel < 0.05, "compute differs by {rel}");
@@ -310,7 +341,11 @@ mod tests {
         // temporal primitive comes from sharding W and dW 4x while data
         // parallelism replicates both.
         let op = ModelConfig::opt_175b().layer_graph(8, 2048).ops[11].clone();
-        let dp = intra_cost(&ctx, &op, &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]));
+        let dp = intra_cost(
+            &ctx,
+            &op,
+            &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]),
+        );
         let temporal = intra_cost(&ctx, &op, &seq(vec![Primitive::Temporal { k: 1 }]));
         assert!(dp.allreduce > 0.0, "gradient all-reduce expected");
         assert!(
@@ -355,7 +390,11 @@ mod tests {
         let ctx = CostCtx::new(&cluster, 0.0);
         let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
         let act = graph.ops[10].clone();
-        let c = intra_cost(&ctx, &act, &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]));
+        let c = intra_cost(
+            &ctx,
+            &act,
+            &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]),
+        );
         assert_eq!(c.allreduce, 0.0);
         assert!(c.latency > 0.0);
     }
@@ -366,13 +405,25 @@ mod tests {
         let ctx = CostCtx::new(&cluster, 0.0);
         let graph = ModelConfig::opt_6_7b().layer_graph(8, 2048);
         let norm = graph.ops[1].clone();
-        let hidden_split = intra_cost(&ctx, &norm, &seq(vec![Primitive::Split(Dim::K), Primitive::Split(Dim::K)]));
-        let bm_split = intra_cost(&ctx, &norm, &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]));
+        let hidden_split = intra_cost(
+            &ctx,
+            &norm,
+            &seq(vec![Primitive::Split(Dim::K), Primitive::Split(Dim::K)]),
+        );
+        let bm_split = intra_cost(
+            &ctx,
+            &norm,
+            &seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]),
+        );
         assert!(hidden_split.allreduce > 0.0, "statistics all-reduce");
         assert!(bm_split.allreduce > 0.0, "parameter-gradient all-reduce");
         // Both are small relative to a matmul's collective.
-        let fc2_ar =
-            intra_cost(&ctx, &fc2(), &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)])).allreduce;
+        let fc2_ar = intra_cost(
+            &ctx,
+            &fc2(),
+            &seq(vec![Primitive::Split(Dim::N), Primitive::Split(Dim::N)]),
+        )
+        .allreduce;
         assert!(hidden_split.allreduce < fc2_ar / 10.0);
     }
 
@@ -381,8 +432,16 @@ mod tests {
         let c4 = Cluster::v100_like(4);
         let c16 = Cluster::v100_like(16);
         let op = fc2();
-        let small = intra_cost(&CostCtx::new(&c4, 0.0), &op, &seq(vec![Primitive::Temporal { k: 1 }]));
-        let large = intra_cost(&CostCtx::new(&c16, 0.0), &op, &seq(vec![Primitive::Temporal { k: 2 }]));
+        let small = intra_cost(
+            &CostCtx::new(&c4, 0.0),
+            &op,
+            &seq(vec![Primitive::Temporal { k: 1 }]),
+        );
+        let large = intra_cost(
+            &CostCtx::new(&c16, 0.0),
+            &op,
+            &seq(vec![Primitive::Temporal { k: 2 }]),
+        );
         assert!(large.compute < small.compute);
     }
 }

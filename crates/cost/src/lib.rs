@@ -36,10 +36,12 @@
 #![allow(clippy::too_many_arguments)]
 mod ctx;
 mod inter;
-mod intra;
 mod intervals;
+mod intra;
 
 pub use ctx::CostCtx;
 pub use inter::{edge_cost_matrix, inter_cost, inter_traffic_bytes, BoundaryProfile};
-pub use intra::{intra_cost, memory_bytes, phase_events, tensor_block_elems, IntraCost, MemoryBytes, PhaseEvents};
 pub use intervals::{AxisIntervals, DenseIntervals};
+pub use intra::{
+    intra_cost, memory_bytes, phase_events, tensor_block_elems, IntraCost, MemoryBytes, PhaseEvents,
+};

@@ -30,7 +30,12 @@ pub struct AttentionGrads {
 /// # Errors
 ///
 /// Returns an error on incompatible shapes.
-pub fn attention_serial(q: &Tensor, k: &Tensor, v: &Tensor, d_o: &Tensor) -> Result<AttentionGrads> {
+pub fn attention_serial(
+    q: &Tensor,
+    k: &Tensor,
+    v: &Tensor,
+    d_o: &Tensor,
+) -> Result<AttentionGrads> {
     let e = q.shape().dim(2) as f32;
     let alpha = 1.0 / e.sqrt();
     let scores = q.batched_matmul(k, false, true)?.scale(alpha);
@@ -42,7 +47,12 @@ pub fn attention_serial(q: &Tensor, k: &Tensor, v: &Tensor, d_o: &Tensor) -> Res
     let d_q = d_scores.batched_matmul(k, false, false)?;
     let d_k = d_scores.batched_matmul(q, true, false)?;
     let d_v = probs.batched_matmul(d_o, true, false)?;
-    Ok(AttentionGrads { output, d_q, d_k, d_v })
+    Ok(AttentionGrads {
+        output,
+        d_q,
+        d_k,
+        d_v,
+    })
 }
 
 /// Distributed softmax over row blocks: the softmax (last) dimension is never
@@ -52,7 +62,7 @@ pub fn attention_serial(q: &Tensor, k: &Tensor, v: &Tensor, d_o: &Tensor) -> Res
 pub struct DistSoftmax {
     seq: PartitionSeq,
     space: DeviceSpace,
-    extents: [usize; 3], // B, M, K
+    extents: [usize; 3],                      // B, M, K
     stash: Vec<Option<(Vec<usize>, Tensor)>>, // per-device (dsi, probs block)
 }
 
@@ -66,16 +76,29 @@ impl DistSoftmax {
     /// dimension or any extent unevenly.
     pub fn new(seq: PartitionSeq, b: usize, m: usize, k: usize) -> Result<Self> {
         if seq.num_slices(Dim::K) != 1 || seq.num_slices(Dim::N) != 1 {
-            return Err(ExecError::Indivisible { dim: Dim::K, extent: k, slices: seq.num_slices(Dim::K) });
+            return Err(ExecError::Indivisible {
+                dim: Dim::K,
+                extent: k,
+                slices: seq.num_slices(Dim::K),
+            });
         }
         for (dim, extent) in [(Dim::B, b), (Dim::M, m)] {
             if extent % seq.num_slices(dim) != 0 {
-                return Err(ExecError::Indivisible { dim, extent, slices: seq.num_slices(dim) });
+                return Err(ExecError::Indivisible {
+                    dim,
+                    extent,
+                    slices: seq.num_slices(dim),
+                });
             }
         }
         let space = DeviceSpace::new(seq.bits());
         let stash = vec![None; space.num_devices()];
-        Ok(DistSoftmax { seq, space, extents: [b, m, k], stash })
+        Ok(DistSoftmax {
+            seq,
+            space,
+            extents: [b, m, k],
+            stash,
+        })
     }
 
     fn ranges(&self, dsi: &[usize]) -> Vec<std::ops::Range<usize>> {
@@ -163,13 +186,29 @@ pub fn attention_distributed(
 
     // scores = (α·Q) · Kᵀ as a batched matmul with W = Kᵀ.
     let kt = transpose_batched(k)?;
-    let mut qk = DistBmm::new(seq_qk, BmmShape { b: h, m, n: e, k: m })?;
+    let mut qk = DistBmm::new(
+        seq_qk,
+        BmmShape {
+            b: h,
+            m,
+            n: e,
+            k: m,
+        },
+    )?;
     let scores = qk.forward(&q.scale(alpha), &kt)?;
 
     let mut softmax = DistSoftmax::new(seq_softmax, h, m, m)?;
     let probs = softmax.forward(&scores)?;
 
-    let mut av = DistBmm::new(seq_av, BmmShape { b: h, m, n: m, k: e })?;
+    let mut av = DistBmm::new(
+        seq_av,
+        BmmShape {
+            b: h,
+            m,
+            n: m,
+            k: e,
+        },
+    )?;
     let output = av.forward(&probs, v)?;
 
     // Backward: av produces dProbs (its dI) and dV (its dW).
@@ -183,7 +222,12 @@ pub fn attention_distributed(
     let d_kt = qk.gradient()?;
     let d_q = d_q_scaled.scale(alpha);
     let d_k = transpose_batched(&d_kt)?;
-    Ok(AttentionGrads { output, d_q, d_k, d_v })
+    Ok(AttentionGrads {
+        output,
+        d_q,
+        d_k,
+        d_v,
+    })
 }
 
 /// Grouped-query attention (Llama2-70B style): broadcasts `kv_heads` K/V
@@ -232,7 +276,10 @@ fn broadcast_kv(t: &Tensor, group: usize) -> Result<Tensor> {
     for hi in 0..h {
         let block = t.slice(&[hi..hi + 1, 0..m, 0..e])?;
         for g in 0..group {
-            out.write_slice(&[(hi * group + g)..(hi * group + g + 1), 0..m, 0..e], &block)?;
+            out.write_slice(
+                &[(hi * group + g)..(hi * group + g + 1), 0..m, 0..e],
+                &block,
+            )?;
         }
     }
     Ok(out)
@@ -295,10 +342,26 @@ mod tests {
             PartitionSeq::new(av).unwrap(),
         )
         .unwrap();
-        assert!(dist.output.allclose(&serial.output, 1e-3), "O diff {}", dist.output.max_abs_diff(&serial.output));
-        assert!(dist.d_q.allclose(&serial.d_q, 1e-3), "dQ diff {}", dist.d_q.max_abs_diff(&serial.d_q));
-        assert!(dist.d_k.allclose(&serial.d_k, 1e-3), "dK diff {}", dist.d_k.max_abs_diff(&serial.d_k));
-        assert!(dist.d_v.allclose(&serial.d_v, 1e-3), "dV diff {}", dist.d_v.max_abs_diff(&serial.d_v));
+        assert!(
+            dist.output.allclose(&serial.output, 1e-3),
+            "O diff {}",
+            dist.output.max_abs_diff(&serial.output)
+        );
+        assert!(
+            dist.d_q.allclose(&serial.d_q, 1e-3),
+            "dQ diff {}",
+            dist.d_q.max_abs_diff(&serial.d_q)
+        );
+        assert!(
+            dist.d_k.allclose(&serial.d_k, 1e-3),
+            "dK diff {}",
+            dist.d_k.max_abs_diff(&serial.d_k)
+        );
+        assert!(
+            dist.d_v.allclose(&serial.d_v, 1e-3),
+            "dV diff {}",
+            dist.d_v.max_abs_diff(&serial.d_v)
+        );
     }
 
     #[test]
@@ -322,7 +385,10 @@ mod tests {
                 .map(|((p, m), g)| (p - m) / (2.0 * eps) * g)
                 .sum();
             let ana = grads.d_q.data()[idx];
-            assert!((num - ana).abs() < 5e-2 * (1.0 + num.abs()), "idx {idx}: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "idx {idx}: {num} vs {ana}"
+            );
         }
     }
 
@@ -377,7 +443,10 @@ mod tests {
                 .map(|((p, m), g)| (p - m) / (2.0 * eps) * g)
                 .sum();
             let ana = grads.d_k.data()[idx];
-            assert!((num - ana).abs() < 5e-2 * (1.0 + num.abs()), "idx {idx}: {num} vs {ana}");
+            assert!(
+                (num - ana).abs() < 5e-2 * (1.0 + num.abs()),
+                "idx {idx}: {num} vs {ana}"
+            );
         }
     }
 

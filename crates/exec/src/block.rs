@@ -132,7 +132,10 @@ fn split_heads(x: &Tensor, heads: usize) -> Result<Tensor> {
     for bi in 0..b {
         for hi in 0..heads {
             let block = x.slice(&[bi..bi + 1, 0..m, hi * e..(hi + 1) * e])?;
-            out.write_slice(&[(bi * heads + hi)..(bi * heads + hi + 1), 0..m, 0..e], &block)?;
+            out.write_slice(
+                &[(bi * heads + hi)..(bi * heads + hi + 1), 0..m, 0..e],
+                &block,
+            )?;
         }
     }
     Ok(out)
@@ -239,7 +242,11 @@ pub fn block_serial_step(
         gamma2: w.gamma2.sub(&d_gamma2.scale(lr))?,
         beta2: w.beta2.sub(&d_beta2.scale(lr))?,
     };
-    Ok(BlockStep { output, d_x, weights })
+    Ok(BlockStep {
+        output,
+        d_x,
+        weights,
+    })
 }
 
 /// One distributed training step of the block under `plan`, with exact
@@ -263,8 +270,15 @@ pub fn block_distributed_step(
     let n1f = norm1.forward(&flatten_rows(x)?, &w.gamma1, &w.beta1)?;
     let n1 = unflatten_rows(&n1f, b, m)?;
 
-    let mut qkv_lin =
-        DistLinear::new(plan.qkv.clone(), LinearShape { b, m, n: h, k: 3 * h })?;
+    let mut qkv_lin = DistLinear::new(
+        plan.qkv.clone(),
+        LinearShape {
+            b,
+            m,
+            n: h,
+            k: 3 * h,
+        },
+    )?;
     qkv_lin.scatter(&n1, &w.w_qkv)?;
     let qkv = qkv_lin.forward()?;
     let q = split_heads(&qkv.slice(&[0..b, 0..m, 0..h])?, shape.heads)?;
@@ -295,11 +309,27 @@ pub fn block_distributed_step(
     let n2f = norm2.forward(&flatten_rows(&x1)?, &w.gamma2, &w.beta2)?;
     let n2 = unflatten_rows(&n2f, b, m)?;
 
-    let mut fc1 = DistLinear::new(plan.fc1.clone(), LinearShape { b, m, n: h, k: shape.ffn })?;
+    let mut fc1 = DistLinear::new(
+        plan.fc1.clone(),
+        LinearShape {
+            b,
+            m,
+            n: h,
+            k: shape.ffn,
+        },
+    )?;
     fc1.scatter(&n2, &w.w1)?;
     let f1 = fc1.forward()?;
     let a = relu(&f1);
-    let mut fc2 = DistLinear::new(plan.fc2.clone(), LinearShape { b, m, n: shape.ffn, k: h })?;
+    let mut fc2 = DistLinear::new(
+        plan.fc2.clone(),
+        LinearShape {
+            b,
+            m,
+            n: shape.ffn,
+            k: h,
+        },
+    )?;
     fc2.scatter(&a, &w.w2)?;
     let f2 = fc2.forward()?;
     let output = x1.add(&f2)?;
@@ -336,8 +366,14 @@ pub fn block_distributed_step(
     )?;
     let mut d_qkv = Tensor::zeros(vec![b, m, 3 * h]);
     d_qkv.write_slice(&[0..b, 0..m, 0..h], &merge_heads(&attn.d_q, shape.heads)?)?;
-    d_qkv.write_slice(&[0..b, 0..m, h..2 * h], &merge_heads(&attn.d_k, shape.heads)?)?;
-    d_qkv.write_slice(&[0..b, 0..m, 2 * h..3 * h], &merge_heads(&attn.d_v, shape.heads)?)?;
+    d_qkv.write_slice(
+        &[0..b, 0..m, h..2 * h],
+        &merge_heads(&attn.d_k, shape.heads)?,
+    )?;
+    d_qkv.write_slice(
+        &[0..b, 0..m, 2 * h..3 * h],
+        &merge_heads(&attn.d_v, shape.heads)?,
+    )?;
     let d_n1 = qkv_lin.backward(&d_qkv)?;
     qkv_lin.gradient()?;
     qkv_lin.apply_update(lr)?;
@@ -356,7 +392,11 @@ pub fn block_distributed_step(
         gamma2: w.gamma2.sub(&d_gamma2.scale(lr))?,
         beta2: w.beta2.sub(&d_beta2.scale(lr))?,
     };
-    Ok(BlockStep { output, d_x, weights })
+    Ok(BlockStep {
+        output,
+        d_x,
+        weights,
+    })
 }
 
 #[cfg(test)]
@@ -366,7 +406,13 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    const SHAPE: BlockShape = BlockShape { batch: 2, seq: 8, hidden: 16, heads: 4, ffn: 32 };
+    const SHAPE: BlockShape = BlockShape {
+        batch: 2,
+        seq: 8,
+        hidden: 16,
+        heads: 4,
+        ffn: 32,
+    };
 
     fn fixtures() -> (Tensor, BlockWeights, Tensor) {
         let mut rng = StdRng::seed_from_u64(5);
@@ -438,7 +484,11 @@ mod tests {
         let plan = BlockPlan {
             norm1: seq(vec![Primitive::Split(Dim::M)]),
             qkv: seq(vec![Primitive::Split(Dim::B), Primitive::Temporal { k: 1 }]),
-            qk: seq(vec![Primitive::Split(Dim::K), Primitive::Split(Dim::B), Primitive::Split(Dim::M)]),
+            qk: seq(vec![
+                Primitive::Split(Dim::K),
+                Primitive::Split(Dim::B),
+                Primitive::Split(Dim::M),
+            ]),
             softmax: seq(vec![Primitive::Split(Dim::B)]),
             av: seq(vec![Primitive::Split(Dim::M)]),
             proj: seq(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::N)]),

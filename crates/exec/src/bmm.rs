@@ -131,12 +131,21 @@ impl DistBmm {
         for dim in Dim::ALL {
             let slices = seq.num_slices(dim);
             if !shape.extent(dim).is_multiple_of(slices) {
-                return Err(ExecError::Indivisible { dim, extent: shape.extent(dim), slices });
+                return Err(ExecError::Indivisible {
+                    dim,
+                    extent: shape.extent(dim),
+                    slices,
+                });
             }
         }
         let space = DeviceSpace::new(seq.bits());
         let devices = (0..space.num_devices()).map(|_| HashMap::new()).collect();
-        Ok(DistBmm { seq, space, shape, devices })
+        Ok(DistBmm {
+            seq,
+            space,
+            shape,
+            devices,
+        })
     }
 
     /// Scatters both operands, runs the forward phase, and gathers `O`.
@@ -189,8 +198,9 @@ impl DistBmm {
 
     fn scatter(&mut self, kind: TensorKind, global: &Tensor, phase: Phase) -> Result<()> {
         for d in 0..self.devices.len() {
-            let dsi =
-                self.seq.tensor_dsi(self.space, phase, kind, true, DeviceId(d), 0);
+            let dsi = self
+                .seq
+                .tensor_dsi(self.space, phase, kind, true, DeviceId(d), 0);
             let data = global.slice(&self.block_ranges(kind, &dsi))?;
             self.devices[d].insert(kind, Block { dsi, data });
         }
@@ -198,8 +208,11 @@ impl DistBmm {
     }
 
     fn gather(&self, kind: TensorKind) -> Result<Tensor> {
-        let dims: Vec<usize> =
-            self.dims(kind).iter().map(|&d| self.shape.extent(d)).collect();
+        let dims: Vec<usize> = self
+            .dims(kind)
+            .iter()
+            .map(|&d| self.shape.extent(d))
+            .collect();
         let mut out = Tensor::zeros(dims);
         for (d, dev) in self.devices.iter().enumerate() {
             let block = dev.get(&kind).ok_or(ExecError::MisroutedBlock {
@@ -220,7 +233,9 @@ impl DistBmm {
         for d in 0..self.devices.len() {
             let dev_id = DeviceId(d);
             for kind in phase.input_tensors() {
-                let expected = self.seq.tensor_dsi(self.space, phase, kind, true, dev_id, 0);
+                let expected = self
+                    .seq
+                    .tensor_dsi(self.space, phase, kind, true, dev_id, 0);
                 let block = &self.devices[d][&kind];
                 if block.dsi != expected {
                     return Err(ExecError::MisroutedBlock {
@@ -234,7 +249,9 @@ impl DistBmm {
                 }
             }
             let partial = self.partial_product(phase, d)?;
-            let dsi = self.seq.tensor_dsi(self.space, phase, out_kind, true, dev_id, 0);
+            let dsi = self
+                .seq
+                .tensor_dsi(self.space, phase, out_kind, true, dev_id, 0);
             self.devices[d].insert(out_kind, Block { dsi, data: partial });
         }
         // All-reduce partial sums (batch splits excluded via weight_has_batch).
@@ -259,8 +276,13 @@ impl DistBmm {
                     sum.add_assign(&block.data)?;
                 }
                 for member in &group {
-                    self.devices[member.index()]
-                        .insert(out_kind, Block { dsi: dsi.clone(), data: sum.clone() });
+                    self.devices[member.index()].insert(
+                        out_kind,
+                        Block {
+                            dsi: dsi.clone(),
+                            data: sum.clone(),
+                        },
+                    );
                 }
             }
         }
@@ -270,15 +292,21 @@ impl DistBmm {
     fn partial_product(&self, phase: Phase, d: usize) -> Result<Tensor> {
         let blocks = &self.devices[d];
         let out = match phase {
-            Phase::Forward => blocks[&TensorKind::Input]
-                .data
-                .batched_matmul(&blocks[&TensorKind::Weight].data, false, false)?,
-            Phase::Backward => blocks[&TensorKind::GradOutput]
-                .data
-                .batched_matmul(&blocks[&TensorKind::Weight].data, false, true)?,
-            Phase::Gradient => blocks[&TensorKind::Input]
-                .data
-                .batched_matmul(&blocks[&TensorKind::GradOutput].data, true, false)?,
+            Phase::Forward => blocks[&TensorKind::Input].data.batched_matmul(
+                &blocks[&TensorKind::Weight].data,
+                false,
+                false,
+            )?,
+            Phase::Backward => blocks[&TensorKind::GradOutput].data.batched_matmul(
+                &blocks[&TensorKind::Weight].data,
+                false,
+                true,
+            )?,
+            Phase::Gradient => blocks[&TensorKind::Input].data.batched_matmul(
+                &blocks[&TensorKind::GradOutput].data,
+                true,
+                false,
+            )?,
         };
         Ok(out)
     }
@@ -291,7 +319,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    const SHAPE: BmmShape = BmmShape { b: 4, m: 8, n: 8, k: 8 };
+    const SHAPE: BmmShape = BmmShape {
+        b: 4,
+        m: 8,
+        n: 8,
+        k: 8,
+    };
 
     fn fixtures(seed: u64) -> (Tensor, Tensor, Tensor) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -309,9 +342,18 @@ mod tests {
         let o = dist.forward(&i, &w).unwrap();
         let d_i = dist.backward(&d_o).unwrap();
         let d_w = dist.gradient().unwrap();
-        assert!(o.allclose(&reference::forward(&i, &w).unwrap(), 1e-3), "{label}: O");
-        assert!(d_i.allclose(&reference::backward(&d_o, &w).unwrap(), 1e-3), "{label}: dI");
-        assert!(d_w.allclose(&reference::gradient(&i, &d_o).unwrap(), 1e-3), "{label}: dW");
+        assert!(
+            o.allclose(&reference::forward(&i, &w).unwrap(), 1e-3),
+            "{label}: O"
+        );
+        assert!(
+            d_i.allclose(&reference::backward(&d_o, &w).unwrap(), 1e-3),
+            "{label}: dI"
+        );
+        assert!(
+            d_w.allclose(&reference::gradient(&i, &d_o).unwrap(), 1e-3),
+            "{label}: dW"
+        );
     }
 
     #[test]
@@ -331,7 +373,11 @@ mod tests {
     fn mixed_splits_match_reference() {
         check(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::M)]);
         check(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::N)]);
-        check(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::K), Primitive::Split(Dim::M)]);
+        check(vec![
+            Primitive::Split(Dim::B),
+            Primitive::Split(Dim::K),
+            Primitive::Split(Dim::M),
+        ]);
     }
 
     #[test]
@@ -355,8 +401,14 @@ mod tests {
 
     #[test]
     fn indivisible_shape_rejected() {
-        let seq = PartitionSeq::new(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::M)]).unwrap();
-        let shape = BmmShape { b: 4, m: 6, n: 8, k: 8 };
+        let seq =
+            PartitionSeq::new(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::M)]).unwrap();
+        let shape = BmmShape {
+            b: 4,
+            m: 6,
+            n: 8,
+            k: 8,
+        };
         assert!(matches!(
             DistBmm::new(seq, shape),
             Err(ExecError::Indivisible { dim: Dim::M, .. })

@@ -1,9 +1,7 @@
 use std::collections::HashMap;
 use std::ops::Range;
 
-use primepar_partition::{
-    ring_transfers, Dim, PartitionSeq, Phase, TensorKind, TransferReason,
-};
+use primepar_partition::{ring_transfers, Dim, PartitionSeq, Phase, TensorKind, TransferReason};
 use primepar_tensor::Tensor;
 use primepar_topology::{DeviceId, DeviceSpace};
 
@@ -107,12 +105,24 @@ impl DistLinear {
         for dim in Dim::ALL {
             let slices = seq.num_slices(dim);
             if !shape.extent(dim).is_multiple_of(slices) {
-                return Err(ExecError::Indivisible { dim, extent: shape.extent(dim), slices });
+                return Err(ExecError::Indivisible {
+                    dim,
+                    extent: shape.extent(dim),
+                    slices,
+                });
             }
         }
         let space = DeviceSpace::new(seq.bits());
-        let devices = (0..space.num_devices()).map(|_| DeviceState::default()).collect();
-        Ok(DistLinear { seq, space, shape, devices, fault: None })
+        let devices = (0..space.num_devices())
+            .map(|_| DeviceState::default())
+            .collect();
+        Ok(DistLinear {
+            seq,
+            space,
+            shape,
+            devices,
+            fault: None,
+        })
     }
 
     /// Arms a routing fault (see [`FaultSpec`]); the next execution of the
@@ -191,7 +201,10 @@ impl DistLinear {
                     actual: vec![],
                 },
             )?;
-            let w = dev.blocks.get_mut(&TensorKind::Weight).expect("weight present");
+            let w = dev
+                .blocks
+                .get_mut(&TensorKind::Weight)
+                .expect("weight present");
             if w.dsi != dw.dsi {
                 return Err(ExecError::MisroutedBlock {
                     phase: Phase::Gradient,
@@ -242,7 +255,10 @@ impl DistLinear {
                     actual: vec![],
                 },
             )?;
-            let w = dev.blocks.get_mut(&TensorKind::Weight).expect("weight present");
+            let w = dev
+                .blocks
+                .get_mut(&TensorKind::Weight)
+                .expect("weight present");
             if w.dsi != dw.dsi {
                 return Err(ExecError::MisroutedBlock {
                     phase: Phase::Gradient,
@@ -256,8 +272,14 @@ impl DistLinear {
             let (m, v) = dev.adam.get_or_insert_with(|| {
                 let zero = Tensor::zeros(w.data.shape().clone());
                 (
-                    Block { dsi: w.dsi.clone(), data: zero.clone() },
-                    Block { dsi: w.dsi.clone(), data: zero },
+                    Block {
+                        dsi: w.dsi.clone(),
+                        data: zero.clone(),
+                    },
+                    Block {
+                        dsi: w.dsi.clone(),
+                        data: zero,
+                    },
                 )
             });
             if m.dsi != w.dsi || v.dsi != w.dsi {
@@ -340,7 +362,9 @@ impl DistLinear {
     fn scatter_tensor(&mut self, kind: TensorKind, global: &Tensor, phase: Phase) -> Result<()> {
         for d in 0..self.devices.len() {
             let dev_id = DeviceId(d);
-            let dsi = self.seq.tensor_dsi(self.space, phase, kind, false, dev_id, 0);
+            let dsi = self
+                .seq
+                .tensor_dsi(self.space, phase, kind, false, dev_id, 0);
             let ranges = self.block_ranges(kind, &dsi);
             let data = global.slice(&ranges)?;
             self.devices[d].blocks.insert(kind, Block { dsi, data });
@@ -349,8 +373,11 @@ impl DistLinear {
     }
 
     fn gather(&self, kind: TensorKind) -> Result<Tensor> {
-        let dims: Vec<usize> =
-            kind.dims(false).iter().map(|&d| self.shape.extent(d)).collect();
+        let dims: Vec<usize> = kind
+            .dims(false)
+            .iter()
+            .map(|&d| self.shape.extent(d))
+            .collect();
         let mut out = Tensor::zeros(dims);
         for dev in &self.devices {
             let block = dev.blocks.get(&kind).ok_or(ExecError::MisroutedBlock {
@@ -378,12 +405,16 @@ impl DistLinear {
             // Accumulator shifts act on the partial accumulated *before* this
             // step's contribution (paper §3.3: "dW accumulated in previous
             // steps should be redistributed during the last step").
-            for tr in transfers.iter().filter(|tr| tr.reason == TransferReason::AccumulatorShift)
+            for tr in transfers
+                .iter()
+                .filter(|tr| tr.reason == TransferReason::AccumulatorShift)
             {
                 self.apply_transfer(phase, t, tr.tensor, tr.delta)?;
             }
             self.compute_step(phase, t)?;
-            for tr in transfers.iter().filter(|tr| tr.reason != TransferReason::AccumulatorShift)
+            for tr in transfers
+                .iter()
+                .filter(|tr| tr.reason != TransferReason::AccumulatorShift)
             {
                 self.apply_transfer(phase, t, tr.tensor, tr.delta)?;
             }
@@ -398,7 +429,9 @@ impl DistLinear {
             // Check the routing invariant on both inputs.
             let [a_kind, b_kind] = phase.input_tensors();
             for kind in [a_kind, b_kind] {
-                let expected = self.seq.tensor_dsi(self.space, phase, kind, false, dev_id, t);
+                let expected = self
+                    .seq
+                    .tensor_dsi(self.space, phase, kind, false, dev_id, t);
                 let block = &self.devices[d].blocks[&kind];
                 if block.dsi != expected {
                     return Err(ExecError::MisroutedBlock {
@@ -413,11 +446,19 @@ impl DistLinear {
             }
             let partial = self.partial_product(phase, d)?;
             let out_kind = phase.output_tensor();
-            let out_dsi = self.seq.tensor_dsi(self.space, phase, out_kind, false, dev_id, t);
+            let out_dsi = self
+                .seq
+                .tensor_dsi(self.space, phase, out_kind, false, dev_id, t);
             let dev = &mut self.devices[d];
             match dev.blocks.get_mut(&out_kind) {
                 None => {
-                    dev.blocks.insert(out_kind, Block { dsi: out_dsi, data: partial });
+                    dev.blocks.insert(
+                        out_kind,
+                        Block {
+                            dsi: out_dsi,
+                            data: partial,
+                        },
+                    );
                 }
                 Some(acc) => {
                     if acc.dsi != out_dsi {
@@ -452,13 +493,17 @@ impl DistLinear {
                 i.matmul(w)?.reshape(vec![bb, mb, kb])?
             }
             Phase::Backward => {
-                let d_o = blocks[&TensorKind::GradOutput].data.reshape(vec![bb * mb, kb])?;
+                let d_o = blocks[&TensorKind::GradOutput]
+                    .data
+                    .reshape(vec![bb * mb, kb])?;
                 let w = &blocks[&TensorKind::Weight].data;
                 d_o.matmul_ex(w, false, true)?.reshape(vec![bb, mb, nb])?
             }
             Phase::Gradient => {
                 let i = blocks[&TensorKind::Input].data.reshape(vec![bb * mb, nb])?;
-                let d_o = blocks[&TensorKind::GradOutput].data.reshape(vec![bb * mb, kb])?;
+                let d_o = blocks[&TensorKind::GradOutput]
+                    .data
+                    .reshape(vec![bb * mb, kb])?;
                 i.matmul_ex(&d_o, true, false)?
             }
         };
@@ -468,10 +513,24 @@ impl DistLinear {
     /// Applies one simultaneous ring rotation: every device's `kind` block is
     /// replaced by the block of its sender `(r + Δr, c + Δc)` within the same
     /// temporal square group.
-    fn apply_transfer(&mut self, phase: Phase, t: usize, kind: TensorKind, delta: (i64, i64)) -> Result<()> {
-        let k = self.seq.temporal_k().expect("ring transfers imply a temporal primitive");
+    fn apply_transfer(
+        &mut self,
+        phase: Phase,
+        t: usize,
+        kind: TensorKind,
+        delta: (i64, i64),
+    ) -> Result<()> {
+        let k = self
+            .seq
+            .temporal_k()
+            .expect("ring transfers imply a temporal primitive");
         let side = 1i64 << k;
-        let faulty = self.fault == Some(FaultSpec { phase, step: t, tensor: kind });
+        let faulty = self.fault
+            == Some(FaultSpec {
+                phase,
+                step: t,
+                tensor: kind,
+            });
         let mut incoming: Vec<Option<Block>> = vec![None; self.devices.len()];
         for d in 0..self.devices.len() {
             let dev_id = DeviceId(d);
@@ -489,7 +548,9 @@ impl DistLinear {
             incoming[d] = Some(self.devices[sender.index()].blocks[&kind].clone());
         }
         for (d, block) in incoming.into_iter().enumerate() {
-            self.devices[d].blocks.insert(kind, block.expect("filled above"));
+            self.devices[d]
+                .blocks
+                .insert(kind, block.expect("filled above"));
         }
         Ok(())
     }
@@ -542,9 +603,13 @@ impl DistLinear {
                 sum.add_assign(&block.data)?;
             }
             for member in &group {
-                self.devices[member.index()]
-                    .blocks
-                    .insert(out_kind, Block { dsi: dsi.clone(), data: sum.clone() });
+                self.devices[member.index()].blocks.insert(
+                    out_kind,
+                    Block {
+                        dsi: dsi.clone(),
+                        data: sum.clone(),
+                    },
+                );
             }
         }
         Ok(())
@@ -559,7 +624,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    const SHAPE: LinearShape = LinearShape { b: 4, m: 8, n: 8, k: 8 };
+    const SHAPE: LinearShape = LinearShape {
+        b: 4,
+        m: 8,
+        n: 8,
+        k: 8,
+    };
 
     fn fixtures(seed: u64) -> (Tensor, Tensor, Tensor) {
         let mut rng = StdRng::seed_from_u64(seed);
@@ -577,12 +647,27 @@ mod tests {
         let (i, w, d_o) = fixtures(42);
         let mut dist = DistLinear::new(seq, SHAPE).unwrap();
         let (o, d_i, d_w, w_new) = dist.train_step(&i, &w, &d_o, 0.01).unwrap();
-        let (o_ref, d_i_ref, d_w_ref, w_ref) =
-            reference::train_step(&i, &w, &d_o, 0.01).unwrap();
-        assert!(o.allclose(&o_ref, 1e-3), "{label}: O mismatch {}", o.max_abs_diff(&o_ref));
-        assert!(d_i.allclose(&d_i_ref, 1e-3), "{label}: dI mismatch {}", d_i.max_abs_diff(&d_i_ref));
-        assert!(d_w.allclose(&d_w_ref, 1e-3), "{label}: dW mismatch {}", d_w.max_abs_diff(&d_w_ref));
-        assert!(w_new.allclose(&w_ref, 1e-3), "{label}: W mismatch {}", w_new.max_abs_diff(&w_ref));
+        let (o_ref, d_i_ref, d_w_ref, w_ref) = reference::train_step(&i, &w, &d_o, 0.01).unwrap();
+        assert!(
+            o.allclose(&o_ref, 1e-3),
+            "{label}: O mismatch {}",
+            o.max_abs_diff(&o_ref)
+        );
+        assert!(
+            d_i.allclose(&d_i_ref, 1e-3),
+            "{label}: dI mismatch {}",
+            d_i.max_abs_diff(&d_i_ref)
+        );
+        assert!(
+            d_w.allclose(&d_w_ref, 1e-3),
+            "{label}: dW mismatch {}",
+            d_w.max_abs_diff(&d_w_ref)
+        );
+        assert!(
+            w_new.allclose(&w_ref, 1e-3),
+            "{label}: W mismatch {}",
+            w_new.max_abs_diff(&w_ref)
+        );
     }
 
     #[test]
@@ -625,7 +710,12 @@ mod tests {
     fn temporal_p8x8_matches_reference() {
         // 64 devices, 8 temporal steps — exceeds the paper's largest square.
         let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 3 }]).unwrap();
-        let shape = LinearShape { b: 2, m: 8, n: 8, k: 8 };
+        let shape = LinearShape {
+            b: 2,
+            m: 8,
+            n: 8,
+            k: 8,
+        };
         let mut rng = StdRng::seed_from_u64(64);
         let i = Tensor::randn(vec![2, 8, 8], 1.0, &mut rng);
         let w = Tensor::randn(vec![8, 8], 1.0, &mut rng);
@@ -655,7 +745,16 @@ mod tests {
     fn indivisible_shape_is_rejected() {
         let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 2 }]).unwrap();
         // n = 8 divides by 4, but m = 6 does not.
-        let err = DistLinear::new(seq, LinearShape { b: 4, m: 6, n: 8, k: 8 }).unwrap_err();
+        let err = DistLinear::new(
+            seq,
+            LinearShape {
+                b: 4,
+                m: 6,
+                n: 8,
+                k: 8,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, ExecError::Indivisible { dim: Dim::M, .. }));
     }
 
@@ -663,9 +762,21 @@ mod tests {
     fn fault_injection_is_detected() {
         let (i, w, d_o) = fixtures(7);
         for fault in [
-            FaultSpec { phase: Phase::Forward, step: 0, tensor: TensorKind::Input },
-            FaultSpec { phase: Phase::Backward, step: 0, tensor: TensorKind::Weight },
-            FaultSpec { phase: Phase::Gradient, step: 1, tensor: TensorKind::GradWeight },
+            FaultSpec {
+                phase: Phase::Forward,
+                step: 0,
+                tensor: TensorKind::Input,
+            },
+            FaultSpec {
+                phase: Phase::Backward,
+                step: 0,
+                tensor: TensorKind::Weight,
+            },
+            FaultSpec {
+                phase: Phase::Gradient,
+                step: 1,
+                tensor: TensorKind::GradWeight,
+            },
         ] {
             let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
             let mut dist = DistLinear::new(seq, SHAPE).unwrap();

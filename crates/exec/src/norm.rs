@@ -44,15 +44,30 @@ impl DistNorm {
         }
         for (dim, extent) in [(Dim::M, rows), (Dim::K, hidden)] {
             if extent % seq.num_slices(dim) != 0 {
-                return Err(ExecError::Indivisible { dim, extent, slices: seq.num_slices(dim) });
+                return Err(ExecError::Indivisible {
+                    dim,
+                    extent,
+                    slices: seq.num_slices(dim),
+                });
             }
         }
         let space = DeviceSpace::new(seq.bits());
         let stash = vec![None; space.num_devices()];
-        Ok(DistNorm { seq, space, rows, hidden, eps, stash })
+        Ok(DistNorm {
+            seq,
+            space,
+            rows,
+            hidden,
+            eps,
+            stash,
+        })
     }
 
-    fn ranges(&self, device: DeviceId, phase: Phase) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+    fn ranges(
+        &self,
+        device: DeviceId,
+        phase: Phase,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
         let rs = self.rows / self.seq.num_slices(Dim::M);
         let ks = self.hidden / self.seq.num_slices(Dim::K);
         let ri = self.seq.dsi(self.space, phase, Dim::M, device, 0);
@@ -186,7 +201,15 @@ impl DistNorm {
                     dbeta.data_mut()[j] += g.data()[r * cols + j];
                 }
             }
-            parts.push(Part { g, xhat, sum_dxhat: s_d, sum_dxhat_xhat: s_dx, dgamma, dbeta, rstd });
+            parts.push(Part {
+                g,
+                xhat,
+                sum_dxhat: s_d,
+                sum_dxhat_xhat: s_dx,
+                dgamma,
+                dbeta,
+                rstd,
+            });
         }
         // All-reduce the row statistics within hidden-split groups.
         for group in self.stats_groups() {
@@ -271,8 +294,16 @@ mod tests {
         let (y_ref, mean, rstd) = x.layer_norm(&gamma, &beta, 1e-5).unwrap();
         let (dx_ref, dgamma_ref, dbeta_ref) =
             x.layer_norm_backward(&g, &gamma, &mean, &rstd).unwrap();
-        assert!(y.allclose(&y_ref, 1e-3), "{label}: y diff {}", y.max_abs_diff(&y_ref));
-        assert!(dx.allclose(&dx_ref, 1e-3), "{label}: dx diff {}", dx.max_abs_diff(&dx_ref));
+        assert!(
+            y.allclose(&y_ref, 1e-3),
+            "{label}: y diff {}",
+            y.max_abs_diff(&y_ref)
+        );
+        assert!(
+            dx.allclose(&dx_ref, 1e-3),
+            "{label}: dx diff {}",
+            dx.max_abs_diff(&dx_ref)
+        );
         assert!(dgamma.allclose(&dgamma_ref, 1e-3), "{label}: dgamma");
         assert!(dbeta.allclose(&dbeta_ref, 1e-3), "{label}: dbeta");
     }

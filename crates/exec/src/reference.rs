@@ -70,11 +70,14 @@ pub struct AdamState {
 impl AdamState {
     /// Zero-initialized state for a weight of the given shape.
     pub fn new(shape: &primepar_tensor::Shape) -> Self {
-        AdamState { m: Tensor::zeros(shape.clone()), v: Tensor::zeros(shape.clone()) }
+        AdamState {
+            m: Tensor::zeros(shape.clone()),
+            v: Tensor::zeros(shape.clone()),
+        }
     }
 
     /// One Adam step: updates the state in place and returns the new weight.
-#[allow(clippy::too_many_arguments)] // domain signature: all parameters are semantically distinct
+    #[allow(clippy::too_many_arguments)] // domain signature: all parameters are semantically distinct
     pub fn step(
         &mut self,
         w: &Tensor,
@@ -106,7 +109,12 @@ impl AdamState {
 /// # Errors
 ///
 /// Returns an error if the shapes are incompatible.
-pub fn train_step(i: &Tensor, w: &Tensor, d_o: &Tensor, lr: f32) -> Result<(Tensor, Tensor, Tensor, Tensor)> {
+pub fn train_step(
+    i: &Tensor,
+    w: &Tensor,
+    d_o: &Tensor,
+    lr: f32,
+) -> Result<(Tensor, Tensor, Tensor, Tensor)> {
     let o = forward(i, w)?;
     let d_i = backward(d_o, w)?;
     let d_w = gradient(i, d_o)?;

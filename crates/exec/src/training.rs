@@ -157,7 +157,11 @@ mod tests {
     fn serial_training_reduces_loss() {
         let (input, target, w1, w2) = fixtures();
         let rec = train_serial(&input, &target, &w1, &w2, 0.05, 20).unwrap();
-        assert!(rec.losses.last().unwrap() < &(rec.losses[0] * 0.9), "{:?}", rec.losses);
+        assert!(
+            rec.losses.last().unwrap() < &(rec.losses[0] * 0.9),
+            "{:?}",
+            rec.losses
+        );
     }
 
     #[test]
@@ -196,7 +200,8 @@ mod tests {
             0.05,
             5,
             PartitionSeq::new(vec![Primitive::Split(Dim::K), Primitive::Split(Dim::N)]).unwrap(),
-            PartitionSeq::new(vec![Primitive::Split(Dim::B), Primitive::Temporal { k: 1 }]).unwrap(),
+            PartitionSeq::new(vec![Primitive::Split(Dim::B), Primitive::Temporal { k: 1 }])
+                .unwrap(),
         )
         .unwrap();
         for (a, b) in serial.losses.iter().zip(&dist.losses) {

@@ -25,7 +25,13 @@ pub struct Edge {
 impl Edge {
     /// A plain edge feeding `dst`'s activation input.
     pub fn plain(src: usize, dst: usize) -> Self {
-        Edge { src, dst, dst_kind: TensorKind::Input, selector: None, renames: Vec::new() }
+        Edge {
+            src,
+            dst,
+            dst_kind: TensorKind::Input,
+            selector: None,
+            renames: Vec::new(),
+        }
     }
 
     /// The destination axis after applying this edge's renames.

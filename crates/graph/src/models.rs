@@ -113,7 +113,7 @@ impl ModelConfig {
     /// # Panics
     ///
     /// Panics unless `heads` divides `hidden` and `kv_heads` divides `heads`.
-#[allow(clippy::too_many_arguments)] // domain signature: all parameters are semantically distinct
+    #[allow(clippy::too_many_arguments)] // domain signature: all parameters are semantically distinct
     pub fn custom(
         name: &'static str,
         layers: u64,
@@ -126,7 +126,16 @@ impl ModelConfig {
     ) -> Self {
         assert!(hidden.is_multiple_of(heads), "heads must divide hidden");
         assert!(heads.is_multiple_of(kv_heads), "kv_heads must divide heads");
-        ModelConfig { name, layers, hidden, heads, kv_heads, ffn, norm, act }
+        ModelConfig {
+            name,
+            layers,
+            hidden,
+            heads,
+            kv_heads,
+            ffn,
+            norm,
+            act,
+        }
     }
 
     /// A random plausible transformer architecture drawn from `rng` — used by
@@ -136,9 +145,13 @@ impl ModelConfig {
         let heads = 1u64 << rng.gen_range(2..7); // 4..64 heads
         let hidden = heads * embed;
         let kv_heads = if rng.gen_bool(0.25) { heads / 2 } else { heads };
-        let ffn = hidden * rng.gen_range(2..5);
+        let ffn = hidden * rng.gen_range(2u64..5);
         let layers = 1u64 << rng.gen_range(2..6);
-        let norm = if rng.gen_bool(0.5) { NormKind::Layer } else { NormKind::Rms };
+        let norm = if rng.gen_bool(0.5) {
+            NormKind::Layer
+        } else {
+            NormKind::Rms
+        };
         let act = match rng.gen_range(0..3) {
             0 => ActKind::Relu,
             1 => ActKind::Gelu,
@@ -213,24 +226,29 @@ impl ModelConfig {
             name: "stack".into(),
             kind: OpKind::Elementwise,
             extents: [batch, seq, 1, h],
-            axes: [batch_axes.clone(), seq_axes.clone(), vec![], hidden_axes.clone()],
+            axes: [
+                batch_axes.clone(),
+                seq_axes.clone(),
+                vec![],
+                hidden_axes.clone(),
+            ],
         };
         let norm_f = Operator {
             name: "norm_f".into(),
             kind: OpKind::Norm(self.norm),
             extents: [batch, seq, 1, h],
-            axes: [batch_axes.clone(), seq_axes.clone(), vec![], hidden_axes.clone()],
+            axes: [
+                batch_axes.clone(),
+                seq_axes.clone(),
+                vec![],
+                hidden_axes.clone(),
+            ],
         };
         let lm_head = Operator {
             name: "lm_head".into(),
             kind: OpKind::Linear,
             extents: [batch, seq, h, vocab],
-            axes: [
-                batch_axes,
-                seq_axes,
-                hidden_axes,
-                vec![(Axis::Qkv, vocab)],
-            ],
+            axes: [batch_axes, seq_axes, hidden_axes, vec![(Axis::Qkv, vocab)]],
         };
         Graph {
             ops: vec![embedding, anchor, norm_f, lm_head],

@@ -77,12 +77,18 @@ impl Operator {
 
     /// `true` for matmul-like operators (the ones with a real contraction).
     pub fn is_matmul_like(&self) -> bool {
-        matches!(self.kind, OpKind::Linear | OpKind::BatchedMatmul | OpKind::Embedding)
+        matches!(
+            self.kind,
+            OpKind::Linear | OpKind::BatchedMatmul | OpKind::Embedding
+        )
     }
 
     /// `true` when the operator owns a trainable weight tensor.
     pub fn has_weight(&self) -> bool {
-        matches!(self.kind, OpKind::Linear | OpKind::Norm(_) | OpKind::Embedding)
+        matches!(
+            self.kind,
+            OpKind::Linear | OpKind::Norm(_) | OpKind::Embedding
+        )
     }
 
     /// `true` when the "weight" operand carries the batch dimension (batched
@@ -258,7 +264,12 @@ impl fmt::Display for Operator {
         write!(
             f,
             "{}[{:?} B{} M{} N{} K{}]",
-            self.name, self.kind, self.extents[0], self.extents[1], self.extents[2], self.extents[3]
+            self.name,
+            self.kind,
+            self.extents[0],
+            self.extents[1],
+            self.extents[2],
+            self.extents[3]
         )
     }
 }
@@ -317,7 +328,10 @@ mod tests {
         assert!(splits.contains(&Dim::B));
         assert!(splits.contains(&Dim::M));
         assert!(splits.contains(&Dim::K));
-        assert!(!splits.contains(&Dim::N), "head-embed must not be partitionable");
+        assert!(
+            !splits.contains(&Dim::N),
+            "head-embed must not be partitionable"
+        );
         assert!(!op.allows_temporal());
         assert!(op.weight_has_batch());
         assert!(!op.has_weight());
@@ -347,7 +361,12 @@ mod tests {
             name: "ln".into(),
             kind: OpKind::Norm(NormKind::Layer),
             extents: [2, 4, 1, 8],
-            axes: [vec![(Axis::Batch, 2)], vec![(Axis::Seq, 4)], vec![], vec![(Axis::Hidden, 8)]],
+            axes: [
+                vec![(Axis::Batch, 2)],
+                vec![(Axis::Seq, 4)],
+                vec![],
+                vec![(Axis::Hidden, 8)],
+            ],
         };
         assert_eq!(op.weight_elems(), 16.0);
         op.kind = OpKind::Norm(NormKind::Rms);
@@ -363,7 +382,12 @@ mod tests {
             name: "add".into(),
             kind: OpKind::Elementwise,
             extents: [1, 2, 1, 4],
-            axes: [vec![(Axis::Batch, 1)], vec![(Axis::Seq, 2)], vec![], vec![(Axis::Hidden, 4)]],
+            axes: [
+                vec![(Axis::Batch, 1)],
+                vec![(Axis::Seq, 2)],
+                vec![],
+                vec![(Axis::Hidden, 4)],
+            ],
         };
         assert_eq!(ew.edge_input_dims(), &[Dim::B, Dim::M, Dim::K]);
         assert_eq!(ew.edge_output_dims(), &[Dim::B, Dim::M, Dim::K]);

@@ -53,7 +53,11 @@ pub fn transformer_layer_graph(cfg: &ModelConfig, batch: u64, seq: u64) -> Graph
             batch_axes.clone(),
             seq_axes.clone(),
             hidden_axes.clone(),
-            vec![(Axis::Head, kv), (Axis::Qkv, q_per_kv + 2), (Axis::Embed, e)],
+            vec![
+                (Axis::Head, kv),
+                (Axis::Qkv, q_per_kv + 2),
+                (Axis::Embed, e),
+            ],
         ],
     };
     let qk = Operator {
@@ -71,7 +75,12 @@ pub fn transformer_layer_graph(cfg: &ModelConfig, batch: u64, seq: u64) -> Graph
         name: "softmax".into(),
         kind: OpKind::Softmax,
         extents: [heads, batch * seq, 1, seq],
-        axes: [head_axes.clone(), bseq_axes.clone(), vec![], vec![(Axis::SeqKv, seq)]],
+        axes: [
+            head_axes.clone(),
+            bseq_axes.clone(),
+            vec![],
+            vec![(Axis::SeqKv, seq)],
+        ],
     };
     let av = Operator {
         name: "av".into(),

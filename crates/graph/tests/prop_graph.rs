@@ -24,11 +24,13 @@ fn tiny_op(name: String) -> Operator {
 /// Random chain of `n` nodes plus skip edges whose destinations land on the
 /// chain; sources of skips become segment heads by construction.
 fn arb_chain_graph() -> impl Strategy<Value = Graph> {
-    (4usize..10, proptest::collection::vec((0usize..8, 2usize..8), 0..3)).prop_map(
-        |(n, skips)| {
+    (
+        4usize..10,
+        proptest::collection::vec((0usize..8, 2usize..8), 0..3),
+    )
+        .prop_map(|(n, skips)| {
             let ops = (0..n).map(|i| tiny_op(format!("op{i}"))).collect();
-            let mut edges: Vec<Edge> =
-                (0..n - 1).map(|i| Edge::plain(i, i + 1)).collect();
+            let mut edges: Vec<Edge> = (0..n - 1).map(|i| Edge::plain(i, i + 1)).collect();
             for (src, len) in skips {
                 let src = src % (n - 2);
                 let dst = (src + 2 + len % (n - src - 2).max(1)).min(n - 1);
@@ -37,8 +39,7 @@ fn arb_chain_graph() -> impl Strategy<Value = Graph> {
                 }
             }
             Graph { ops, edges }
-        },
-    )
+        })
 }
 
 proptest! {

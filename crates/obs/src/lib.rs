@@ -1,0 +1,41 @@
+//! Observability core for the PrimePar reproduction.
+//!
+//! The paper's headline claims are all *measurements* — Table 2 optimization
+//! times, Fig. 9 kernel timelines, Eq. 7 cost breakdowns — so every layer of
+//! this workspace reports through this crate:
+//!
+//! * [`json`] — a hand-rolled JSON value model with writer **and** parser (in
+//!   the spirit of `search/src/plan_io.rs`: the build is offline, so no serde),
+//! * [`metrics`] — a lightweight registry of counters, gauges, histograms and
+//!   span timers that renders to a stable machine-readable JSON document,
+//! * [`trace`] — Chrome `trace_event` spans loadable in `chrome://tracing` /
+//!   Perfetto, with a parser so exports can be validated in tests.
+//!
+//! The crate is dependency-free by design: it sits below `search`, `sim` and
+//! `cost` in the workspace DAG, so all of them can report without cycles.
+//!
+//! # Example
+//!
+//! ```
+//! use primepar_obs::metrics::Metrics;
+//!
+//! let mut m = Metrics::new();
+//! m.incr("planner.intra_evaluations", 1272);
+//! m.gauge("planner.layer_cost", 0.0123);
+//! let t = m.start_span("planner.segment_dp_seconds");
+//! // ... work ...
+//! m.end_span(t);
+//! let doc = m.to_json().render();
+//! assert!(doc.contains("planner.intra_evaluations"));
+//! ```
+
+// Loops indexed by device id / wide internal signatures are deliberate.
+#![allow(clippy::needless_range_loop)]
+
+pub mod json;
+pub mod metrics;
+pub mod trace;
+
+pub use json::{parse_json, Json, JsonError};
+pub use metrics::{Metrics, Span};
+pub use trace::{parse_trace, render_trace, TraceError, TraceEvent};

@@ -1,0 +1,350 @@
+//! A lightweight metrics registry: counters, gauges, histograms, span timers.
+//!
+//! Metric names are dotted paths (`"planner.segment_dp_seconds"`). The
+//! registry preserves first-insertion order so rendered JSON is stable across
+//! runs, which keeps machine-readable artifacts diffable.
+
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Histogram summary statistics (count / sum / min / max; mean derived).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct HistogramStats {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+}
+
+impl HistogramStats {
+    fn observe(&mut self, value: f64) {
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += value;
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Histogram(HistogramStats),
+    /// Accumulated span time: total seconds and number of completed spans.
+    Timer {
+        seconds: f64,
+        spans: u64,
+    },
+    Text(String),
+}
+
+/// A running span handle returned by [`Metrics::start_span`].
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    started: Instant,
+}
+
+/// The registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    entries: Vec<(String, Value)>,
+}
+
+impl Metrics {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    fn slot(&mut self, name: &str, default: Value) -> &mut Value {
+        if let Some(idx) = self.entries.iter().position(|(k, _)| k == name) {
+            &mut self.entries[idx].1
+        } else {
+            self.entries.push((name.to_string(), default));
+            &mut self.entries.last_mut().expect("just pushed").1
+        }
+    }
+
+    /// Adds `by` to the counter `name` (creating it at zero).
+    pub fn incr(&mut self, name: &str, by: u64) {
+        match self.slot(name, Value::Counter(0)) {
+            Value::Counter(c) => *c += by,
+            other => panic!("metric `{name}` is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets the gauge `name`.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        *self.slot(name, Value::Gauge(0.0)) = Value::Gauge(value);
+    }
+
+    /// Sets the informational text field `name`.
+    pub fn text(&mut self, name: &str, value: &str) {
+        *self.slot(name, Value::Text(String::new())) = Value::Text(value.to_string());
+    }
+
+    /// Records one observation into the histogram `name`.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        match self.slot(name, Value::Histogram(HistogramStats::default())) {
+            Value::Histogram(h) => h.observe(value),
+            other => panic!("metric `{name}` is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Starts a wall-clock span accumulating into the timer `name`.
+    #[must_use]
+    pub fn start_span(&mut self, name: &str) -> Span {
+        Span {
+            name: name.to_string(),
+            started: Instant::now(),
+        }
+    }
+
+    /// Finishes a span, accumulating its elapsed seconds.
+    pub fn end_span(&mut self, span: Span) {
+        self.record_seconds(&span.name, span.started.elapsed().as_secs_f64());
+    }
+
+    /// Accumulates an externally measured duration into the timer `name`.
+    pub fn record_seconds(&mut self, name: &str, seconds: f64) {
+        match self.slot(
+            name,
+            Value::Timer {
+                seconds: 0.0,
+                spans: 0,
+            },
+        ) {
+            Value::Timer {
+                seconds: total,
+                spans,
+            } => {
+                *total += seconds;
+                *spans += 1;
+            }
+            other => panic!("metric `{name}` is not a timer: {other:?}"),
+        }
+    }
+
+    /// Times `f`, accumulating into the timer `name`.
+    pub fn time<R>(&mut self, name: &str, f: impl FnOnce() -> R) -> R {
+        let span = self.start_span(name);
+        let result = f();
+        self.end_span(span);
+        result
+    }
+
+    /// The counter's current value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.lookup(name) {
+            Some(Value::Counter(c)) => *c,
+            _ => 0,
+        }
+    }
+
+    /// The gauge's current value, if set.
+    pub fn gauge_value(&self, name: &str) -> Option<f64> {
+        match self.lookup(name) {
+            Some(Value::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Total accumulated seconds of the timer `name` (0 if absent).
+    pub fn timer_seconds(&self, name: &str) -> f64 {
+        match self.lookup(name) {
+            Some(Value::Timer { seconds, .. }) => *seconds,
+            _ => 0.0,
+        }
+    }
+
+    /// The histogram's summary, if any observations were recorded.
+    pub fn histogram(&self, name: &str) -> Option<HistogramStats> {
+        match self.lookup(name) {
+            Some(Value::Histogram(h)) => Some(*h),
+            _ => None,
+        }
+    }
+
+    fn lookup(&self, name: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+    }
+
+    /// All metric names, in first-insertion order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _)| k.as_str())
+    }
+
+    /// Folds another registry into this one: counters/timers/histograms
+    /// accumulate, gauges/text take the other's value.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (name, value) in &other.entries {
+            match value {
+                Value::Counter(c) => self.incr(name, *c),
+                Value::Gauge(g) => self.gauge(name, *g),
+                Value::Text(t) => self.text(name, t),
+                Value::Timer { seconds, spans } => {
+                    match self.slot(
+                        name,
+                        Value::Timer {
+                            seconds: 0.0,
+                            spans: 0,
+                        },
+                    ) {
+                        Value::Timer {
+                            seconds: total,
+                            spans: n,
+                        } => {
+                            *total += seconds;
+                            *n += spans;
+                        }
+                        other => panic!("metric `{name}` is not a timer: {other:?}"),
+                    }
+                }
+                Value::Histogram(h) => {
+                    match self.slot(name, Value::Histogram(HistogramStats::default())) {
+                        Value::Histogram(mine) => {
+                            if h.count > 0 {
+                                if mine.count == 0 {
+                                    *mine = *h;
+                                } else {
+                                    mine.count += h.count;
+                                    mine.sum += h.sum;
+                                    mine.min = mine.min.min(h.min);
+                                    mine.max = mine.max.max(h.max);
+                                }
+                            }
+                        }
+                        other => panic!("metric `{name}` is not a histogram: {other:?}"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Renders the registry as a flat JSON object: counters and gauges as
+    /// numbers, timers as `{seconds, spans}`, histograms as
+    /// `{count, sum, min, max, mean}`.
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj();
+        for (name, value) in &self.entries {
+            let v = match value {
+                Value::Counter(c) => Json::Num(*c as f64),
+                Value::Gauge(g) => Json::Num(*g),
+                Value::Text(t) => Json::Str(t.clone()),
+                Value::Timer { seconds, spans } => {
+                    Json::obj().with("seconds", *seconds).with("spans", *spans)
+                }
+                Value::Histogram(h) => Json::obj()
+                    .with("count", h.count)
+                    .with("sum", h.sum)
+                    .with("min", h.min)
+                    .with("max", h.max)
+                    .with("mean", h.mean()),
+            };
+            doc.set(name, v);
+        }
+        doc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.incr("a", 2);
+        m.incr("a", 3);
+        assert_eq!(m.counter("a"), 5);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn histogram_summary_is_correct() {
+        let mut m = Metrics::new();
+        for v in [2.0, 8.0, 5.0] {
+            m.observe("h", v);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 8.0);
+        assert!((h.mean() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spans_accumulate_time() {
+        let mut m = Metrics::new();
+        let r = m.time("t", || {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7
+        });
+        assert_eq!(r, 7);
+        m.record_seconds("t", 1.0);
+        assert!(m.timer_seconds("t") > 1.0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_overrides() {
+        let mut a = Metrics::new();
+        a.incr("c", 1);
+        a.gauge("g", 1.0);
+        a.observe("h", 1.0);
+        let mut b = Metrics::new();
+        b.incr("c", 2);
+        b.gauge("g", 9.0);
+        b.observe("h", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge_value("g"), Some(9.0));
+        let h = a.histogram("h").unwrap();
+        assert_eq!((h.count, h.min, h.max), (2, 1.0, 3.0));
+    }
+
+    #[test]
+    fn json_rendering_is_stable_and_parsable() {
+        let mut m = Metrics::new();
+        m.incr("z.count", 1);
+        m.gauge("a.value", 2.5);
+        m.text("note", "hello");
+        m.record_seconds("t", 0.25);
+        let doc = m.to_json();
+        // Insertion order, not alphabetical.
+        let keys: Vec<&str> = doc
+            .as_object()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, vec!["z.count", "a.value", "note", "t"]);
+        let parsed = crate::parse_json(&doc.render()).unwrap();
+        assert_eq!(
+            parsed
+                .get("t")
+                .and_then(|t| t.get("seconds"))
+                .and_then(Json::as_f64),
+            Some(0.25)
+        );
+    }
+}

@@ -1,0 +1,184 @@
+//! Chrome `trace_event` export: complete (`"ph": "X"`) duration spans in the
+//! JSON-array format that `chrome://tracing` and Perfetto load directly.
+//!
+//! Timestamps and durations are microseconds per the trace-event spec; `pid`
+//! groups a whole export and `tid` carries the lane (e.g. one lane per
+//! operator × event-kind in the simulator's timeline export).
+
+use std::fmt;
+
+use crate::json::{parse_json, Json};
+
+/// One complete (`X`-phase) span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Span name (rendered on the block).
+    pub name: String,
+    /// Category string (comma-separated in the spec; used for filtering).
+    pub cat: String,
+    /// Process id lane group.
+    pub pid: u64,
+    /// Thread id — the lane within the process group.
+    pub tid: u64,
+    /// Start, microseconds.
+    pub ts_us: f64,
+    /// Duration, microseconds.
+    pub dur_us: f64,
+    /// Extra key/value payload (`args` in the viewer).
+    pub args: Vec<(String, Json)>,
+}
+
+impl TraceEvent {
+    fn to_json(&self) -> Json {
+        let mut args = Json::obj();
+        for (k, v) in &self.args {
+            args.set(k, v.clone());
+        }
+        Json::obj()
+            .with("name", self.name.as_str())
+            .with("cat", self.cat.as_str())
+            .with("ph", "X")
+            .with("ts", self.ts_us)
+            .with("dur", self.dur_us)
+            .with("pid", self.pid)
+            .with("tid", self.tid)
+            .with("args", args)
+    }
+}
+
+/// Renders events as a Chrome-loadable JSON array.
+pub fn render_trace(events: &[TraceEvent]) -> String {
+    Json::Arr(events.iter().map(TraceEvent::to_json).collect()).render_pretty()
+}
+
+/// Why a trace failed to parse.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The document is not valid JSON.
+    Json(crate::json::JsonError),
+    /// The document parsed but is not a trace: message names the defect.
+    Shape(String),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Json(e) => write!(f, "trace is not JSON: {e}"),
+            TraceError::Shape(m) => write!(f, "trace has wrong shape: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a JSON-array trace back into events, validating the `trace_event`
+/// contract: every element must be an object with string `name`/`cat`,
+/// `"ph": "X"`, and numeric `ts`/`dur`/`pid`/`tid`.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on invalid JSON or a non-conforming event.
+pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
+    let doc = parse_json(text).map_err(TraceError::Json)?;
+    let Some(items) = doc.as_array() else {
+        return Err(TraceError::Shape("top level must be a JSON array".into()));
+    };
+    let mut events = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let fail = |m: &str| TraceError::Shape(format!("event {i}: {m}"));
+        if item.as_object().is_none() {
+            return Err(fail("not an object"));
+        }
+        let name = item
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| fail("missing string `name`"))?;
+        let cat = item.get("cat").and_then(Json::as_str).unwrap_or_default();
+        match item.get("ph").and_then(Json::as_str) {
+            Some("X") => {}
+            _ => return Err(fail("`ph` must be \"X\"")),
+        }
+        let num = |key: &str| {
+            item.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail(&format!("missing numeric `{key}`")))
+        };
+        let (ts_us, dur_us, pid, tid) = (num("ts")?, num("dur")?, num("pid")?, num("tid")?);
+        if !(ts_us.is_finite() && dur_us.is_finite() && dur_us >= 0.0) {
+            return Err(fail("non-finite or negative ts/dur"));
+        }
+        let args = match item.get("args") {
+            None => Vec::new(),
+            Some(Json::Obj(entries)) => entries.clone(),
+            Some(_) => return Err(fail("`args` must be an object")),
+        };
+        events.push(TraceEvent {
+            name: name.to_string(),
+            cat: cat.to_string(),
+            pid: pid as u64,
+            tid: tid as u64,
+            ts_us,
+            dur_us,
+            args,
+        });
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, tid: u64, ts: f64, dur: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "compute".into(),
+            pid: 1,
+            tid,
+            ts_us: ts,
+            dur_us: dur,
+            args: vec![("phase".into(), Json::Str("fwd".into()))],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_every_field() {
+        let events = vec![ev("fc1", 0, 0.0, 12.5), ev("fc2", 1, 12.5, 3.25)];
+        let text = render_trace(&events);
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
+    fn rendered_trace_is_an_array_of_x_events() {
+        let text = render_trace(&[ev("a", 0, 0.0, 1.0)]);
+        let doc = parse_json(&text).unwrap();
+        let items = doc.as_array().unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("X"));
+        for key in ["name", "ts", "dur", "pid", "tid"] {
+            assert!(items[0].get(key).is_some(), "missing {key}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_non_traces() {
+        assert!(matches!(parse_trace("{}"), Err(TraceError::Shape(_))));
+        assert!(matches!(parse_trace("not json"), Err(TraceError::Json(_))));
+        assert!(matches!(
+            parse_trace("[{\"name\":\"a\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\"pid\":0,\"tid\":0}]"),
+            Err(TraceError::Shape(_))
+        ));
+        assert!(matches!(
+            parse_trace("[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":-1,\"pid\":0,\"tid\":0}]"),
+            Err(TraceError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(
+            parse_trace(&render_trace(&[])).unwrap(),
+            Vec::<TraceEvent>::new()
+        );
+    }
+}

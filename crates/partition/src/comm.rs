@@ -91,21 +91,27 @@ pub fn ring_transfers(seq: &PartitionSeq, phase: Phase, t: usize) -> Vec<RingTra
     for tensor in phase.input_tensors() {
         if t + 1 < side {
             // Prefetch the block needed at t + 1.
-            if let Some(delta) =
-                square.holder_delta(|r, c| square.dsi(phase, tensor, r, c, t), |r, c| {
-                    square.dsi(phase, tensor, r, c, t + 1)
-                })
-            {
-                transfers.push(RingTransfer { tensor, delta, reason: TransferReason::Prefetch });
+            if let Some(delta) = square.holder_delta(
+                |r, c| square.dsi(phase, tensor, r, c, t),
+                |r, c| square.dsi(phase, tensor, r, c, t + 1),
+            ) {
+                transfers.push(RingTransfer {
+                    tensor,
+                    delta,
+                    reason: TransferReason::Prefetch,
+                });
             }
         } else if let Some(next_phase) = next_use(phase, tensor) {
             // Last step: realign for the tensor's next use at that phase's t=0.
-            if let Some(delta) =
-                square.holder_delta(|r, c| square.dsi(phase, tensor, r, c, t), |r, c| {
-                    square.dsi(next_phase, tensor, r, c, 0)
-                })
-            {
-                transfers.push(RingTransfer { tensor, delta, reason: TransferReason::Realign });
+            if let Some(delta) = square.holder_delta(
+                |r, c| square.dsi(phase, tensor, r, c, t),
+                |r, c| square.dsi(next_phase, tensor, r, c, 0),
+            ) {
+                transfers.push(RingTransfer {
+                    tensor,
+                    delta,
+                    reason: TransferReason::Realign,
+                });
             }
         }
     }
@@ -115,12 +121,15 @@ pub fn ring_transfers(seq: &PartitionSeq, phase: Phase, t: usize) -> Vec<RingTra
     // so far must be shifted before the final local add.
     let out = phase.output_tensor();
     if t > 0 {
-        if let Some(delta) = square
-            .holder_delta(|r, c| square.dsi(phase, out, r, c, t - 1), |r, c| {
-                square.dsi(phase, out, r, c, t)
-            })
-        {
-            transfers.push(RingTransfer { tensor: out, delta, reason: TransferReason::AccumulatorShift });
+        if let Some(delta) = square.holder_delta(
+            |r, c| square.dsi(phase, out, r, c, t - 1),
+            |r, c| square.dsi(phase, out, r, c, t),
+        ) {
+            transfers.push(RingTransfer {
+                tensor: out,
+                delta,
+                reason: TransferReason::AccumulatorShift,
+            });
         }
     }
 
@@ -142,7 +151,12 @@ impl Square {
         let seq = PartitionSeq::new(vec![Primitive::Temporal { k }])
             .expect("single temporal primitive is always valid");
         let space = DeviceSpace::new(2 * k as usize);
-        Square { k, side: 1 << k, seq, space }
+        Square {
+            k,
+            side: 1 << k,
+            seq,
+            space,
+        }
     }
 
     /// Device index of square coordinate `(r, c)`: row and column bits
@@ -213,7 +227,13 @@ impl Square {
         }
         let d = delta.expect("square has at least one device");
         // Normalize offsets to the symmetric range for readability: 2^k-1 ≡ -1.
-        let norm = |x: i64| if x > (self.side as i64) / 2 { x - self.side as i64 } else { x };
+        let norm = |x: i64| {
+            if x > (self.side as i64) / 2 {
+                x - self.side as i64
+            } else {
+                x
+            }
+        };
         let d = (norm(d.0), norm(d.1));
         if d == (0, 0) {
             None
@@ -234,7 +254,12 @@ mod tests {
         let side = 1i64 << k;
         ring_transfers(&seq, phase, t)
             .into_iter()
-            .map(|tr| (tr.tensor, (tr.delta.0.rem_euclid(side), tr.delta.1.rem_euclid(side))))
+            .map(|tr| {
+                (
+                    tr.tensor,
+                    (tr.delta.0.rem_euclid(side), tr.delta.1.rem_euclid(side)),
+                )
+            })
             .collect()
     }
 
@@ -261,7 +286,10 @@ mod tests {
                     "k={k}, t={t}"
                 );
             }
-            assert!(transfers(k, Phase::Forward, side - 1).is_empty(), "k={k} last step");
+            assert!(
+                transfers(k, Phase::Forward, side - 1).is_empty(),
+                "k={k} last step"
+            );
         }
     }
 
@@ -283,7 +311,11 @@ mod tests {
                 );
             }
             let last = transfers(k, Phase::Backward, side - 1);
-            assert_eq!(last, vec![(TensorKind::Weight, m(k, (0, 1)))], "k={k} last step");
+            assert_eq!(
+                last,
+                vec![(TensorKind::Weight, m(k, (0, 1)))],
+                "k={k} last step"
+            );
         }
     }
 
@@ -315,7 +347,11 @@ mod tests {
                 "k={k} step 2^k-2"
             );
             let tr = transfers(k, Phase::Gradient, side - 1);
-            assert_eq!(tr, vec![(TensorKind::GradWeight, m(k, (0, 1)))], "k={k} last step");
+            assert_eq!(
+                tr,
+                vec![(TensorKind::GradWeight, m(k, (0, 1)))],
+                "k={k} last step"
+            );
         }
     }
 
@@ -337,11 +373,8 @@ mod tests {
     /// Non-temporal sequences have no ring communication.
     #[test]
     fn split_only_sequences_have_no_ring_traffic() {
-        let seq = PartitionSeq::new(vec![
-            Primitive::Split(Dim::M),
-            Primitive::Split(Dim::N),
-        ])
-        .unwrap();
+        let seq =
+            PartitionSeq::new(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::N)]).unwrap();
         for phase in Phase::ALL {
             assert!(ring_transfers(&seq, phase, 0).is_empty());
         }
@@ -360,7 +393,10 @@ mod tests {
         .unwrap();
         for phase in Phase::ALL {
             for t in 0..2 {
-                assert_eq!(ring_transfers(&pure, phase, t), ring_transfers(&mixed, phase, t));
+                assert_eq!(
+                    ring_transfers(&pure, phase, t),
+                    ring_transfers(&mixed, phase, t)
+                );
             }
         }
     }

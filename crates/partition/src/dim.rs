@@ -190,7 +190,10 @@ mod tests {
     #[test]
     fn phase_tensor_roles() {
         assert_eq!(Phase::Forward.output_tensor(), TensorKind::Output);
-        assert_eq!(Phase::Backward.input_tensors(), [TensorKind::GradOutput, TensorKind::Weight]);
+        assert_eq!(
+            Phase::Backward.input_tensors(),
+            [TensorKind::GradOutput, TensorKind::Weight]
+        );
         assert_eq!(Phase::Gradient.output_tensor(), TensorKind::GradWeight);
     }
 
@@ -207,7 +210,10 @@ mod tests {
         for phase in Phase::ALL {
             let out_dims = phase.output_tensor().dims(false);
             for rd in phase.reduce_dims() {
-                assert!(!out_dims.contains(rd), "{phase}: output contains reduce dim {rd}");
+                assert!(
+                    !out_dims.contains(rd),
+                    "{phase}: output contains reduce dim {rd}"
+                );
             }
         }
     }

@@ -28,14 +28,23 @@ impl fmt::Display for PartitionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PartitionError::MultipleTemporal => {
-                write!(f, "a partition sequence may contain at most one temporal primitive")
+                write!(
+                    f,
+                    "a partition sequence may contain at most one temporal primitive"
+                )
             }
-            PartitionError::BitMismatch { seq_bits, space_bits } => write!(
+            PartitionError::BitMismatch {
+                seq_bits,
+                space_bits,
+            } => write!(
                 f,
                 "sequence consumes {seq_bits} device bits but the space has {space_bits}"
             ),
             PartitionError::ParseToken(tok) => {
-                write!(f, "unrecognized partition token `{tok}` (expected B/M/N/K or P<s>x<s>)")
+                write!(
+                    f,
+                    "unrecognized partition token `{tok}` (expected B/M/N/K or P<s>x<s>)"
+                )
             }
         }
     }
@@ -88,12 +97,20 @@ impl PartitionSeq {
             }
             bits += p.bits();
         }
-        Ok(PartitionSeq { prims, bits, temporal })
+        Ok(PartitionSeq {
+            prims,
+            bits,
+            temporal,
+        })
     }
 
     /// The trivial sequence: no partitioning (single device).
     pub fn serial() -> Self {
-        PartitionSeq { prims: Vec::new(), bits: 0, temporal: None }
+        PartitionSeq {
+            prims: Vec::new(),
+            bits: 0,
+            temporal: None,
+        }
     }
 
     /// The primitives in order (outermost first).
@@ -334,7 +351,9 @@ impl std::str::FromStr for PartitionSeq {
                             (a == b && a.is_power_of_two() && a >= 2).then_some(a)
                         })
                         .ok_or_else(|| PartitionError::ParseToken(other.to_string()))?;
-                    Primitive::Temporal { k: inner.trailing_zeros() }
+                    Primitive::Temporal {
+                        k: inner.trailing_zeros(),
+                    }
                 }
             };
             prims.push(prim);
@@ -429,7 +448,10 @@ mod tests {
             assert_eq!((r, c), (d >> 1, d & 1));
             for t in 0..2 {
                 assert_eq!(seq.dsi(space, Phase::Forward, Dim::M, dev, t), r % 2);
-                assert_eq!(seq.dsi(space, Phase::Forward, Dim::N, dev, t), (r + c + t) % 2);
+                assert_eq!(
+                    seq.dsi(space, Phase::Forward, Dim::N, dev, t),
+                    (r + c + t) % 2
+                );
                 assert_eq!(seq.dsi(space, Phase::Forward, Dim::K, dev, t), c % 2);
             }
         }
@@ -451,8 +473,14 @@ mod tests {
                     seq.dsi(space, Phase::Backward, Dim::N, dev, t),
                     (r + c + side - 1) % side
                 );
-                assert_eq!(seq.dsi(space, Phase::Backward, Dim::K, dev, t), (c + t) % side);
-                assert_eq!(seq.dsi(space, Phase::Gradient, Dim::M, dev, t), (r + t) % side);
+                assert_eq!(
+                    seq.dsi(space, Phase::Backward, Dim::K, dev, t),
+                    (c + t) % side
+                );
+                assert_eq!(
+                    seq.dsi(space, Phase::Gradient, Dim::M, dev, t),
+                    (r + t) % side
+                );
                 assert_eq!(
                     seq.dsi(space, Phase::Gradient, Dim::N, dev, t),
                     (r + c + side - 1 + delta) % side
@@ -477,8 +505,7 @@ mod tests {
     #[test]
     fn mixed_split_and_temporal_compose() {
         // B-split outermost, then P_{2x2}: 8 devices.
-        let seq =
-            PartitionSeq::new(vec![split(Dim::B), Primitive::Temporal { k: 1 }]).unwrap();
+        let seq = PartitionSeq::new(vec![split(Dim::B), Primitive::Temporal { k: 1 }]).unwrap();
         let space = DeviceSpace::new(3);
         assert_eq!(seq.num_slices(Dim::B), 2);
         assert_eq!(seq.num_slices(Dim::M), 2);
@@ -495,18 +522,27 @@ mod tests {
     fn allreduce_indicator_identifies_split_reduce_bits() {
         // Fig. 3 scenario: M then N split. Forward reduce dim is N -> bit 2.
         let seq = PartitionSeq::new(vec![split(Dim::M), split(Dim::N)]).unwrap();
-        assert_eq!(seq.allreduce_indicator(Phase::Forward, false).positions(), &[2]);
+        assert_eq!(
+            seq.allreduce_indicator(Phase::Forward, false).positions(),
+            &[2]
+        );
         // Backward reduce dim is K: no K split -> empty.
         assert!(seq.allreduce_indicator(Phase::Backward, false).is_empty());
         // Gradient reduce dims are B, M -> bit 1 (the M split).
-        assert_eq!(seq.allreduce_indicator(Phase::Gradient, false).positions(), &[1]);
+        assert_eq!(
+            seq.allreduce_indicator(Phase::Gradient, false).positions(),
+            &[1]
+        );
     }
 
     #[test]
     fn temporal_needs_no_allreduce_in_any_phase() {
         let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
         for phase in Phase::ALL {
-            assert!(seq.allreduce_indicator(phase, false).is_empty(), "feature 1 violated in {phase}");
+            assert!(
+                seq.allreduce_indicator(phase, false).is_empty(),
+                "feature 1 violated in {phase}"
+            );
         }
     }
 
@@ -515,20 +551,25 @@ mod tests {
         // For a batched matmul the second operand's gradient keeps B, so a
         // batch split partitions it instead of producing partial sums.
         let seq = PartitionSeq::new(vec![split(Dim::B), split(Dim::M)]).unwrap();
-        assert_eq!(seq.allreduce_indicator(Phase::Gradient, false).positions(), &[1, 2]);
-        assert_eq!(seq.allreduce_indicator(Phase::Gradient, true).positions(), &[2]);
+        assert_eq!(
+            seq.allreduce_indicator(Phase::Gradient, false).positions(),
+            &[1, 2]
+        );
+        assert_eq!(
+            seq.allreduce_indicator(Phase::Gradient, true).positions(),
+            &[2]
+        );
     }
 
     #[test]
     fn ring_indicator_covers_temporal_bits() {
-        let seq = PartitionSeq::new(vec![
-            split(Dim::N),
-            Primitive::Temporal { k: 1 },
-        ])
-        .unwrap();
+        let seq = PartitionSeq::new(vec![split(Dim::N), Primitive::Temporal { k: 1 }]).unwrap();
         // N-split takes bit 1; temporal takes bits 2, 3.
         assert_eq!(seq.ring_indicator().positions(), &[2, 3]);
-        assert!(PartitionSeq::new(vec![split(Dim::B)]).unwrap().ring_indicator().is_empty());
+        assert!(PartitionSeq::new(vec![split(Dim::B)])
+            .unwrap()
+            .ring_indicator()
+            .is_empty());
     }
 
     #[test]
@@ -570,16 +611,28 @@ mod tests {
     fn parse_roundtrips_display() {
         for text in ["B P2x2 N", "M N K B", "P4x4 K", "(serial)"] {
             let seq: PartitionSeq = text.parse().unwrap();
-            assert_eq!(seq.to_string(), if text == "(serial)" { "(serial)" } else { text });
+            assert_eq!(
+                seq.to_string(),
+                if text == "(serial)" { "(serial)" } else { text }
+            );
         }
         assert_eq!("".parse::<PartitionSeq>().unwrap(), PartitionSeq::serial());
     }
 
     #[test]
     fn parse_rejects_garbage() {
-        assert!(matches!("Q".parse::<PartitionSeq>(), Err(PartitionError::ParseToken(_))));
-        assert!(matches!("P3x3".parse::<PartitionSeq>(), Err(PartitionError::ParseToken(_))));
-        assert!(matches!("P2x4".parse::<PartitionSeq>(), Err(PartitionError::ParseToken(_))));
+        assert!(matches!(
+            "Q".parse::<PartitionSeq>(),
+            Err(PartitionError::ParseToken(_))
+        ));
+        assert!(matches!(
+            "P3x3".parse::<PartitionSeq>(),
+            Err(PartitionError::ParseToken(_))
+        ));
+        assert!(matches!(
+            "P2x4".parse::<PartitionSeq>(),
+            Err(PartitionError::ParseToken(_))
+        ));
         assert!(matches!(
             "P2x2 P2x2".parse::<PartitionSeq>(),
             Err(PartitionError::MultipleTemporal)

@@ -99,11 +99,19 @@ pub fn check_reduction_coverage(
     let mut contributions: HashMap<Vec<usize>, HashMap<Vec<usize>, usize>> = HashMap::new();
     for device in space.devices() {
         for t in 0..seq.temporal_steps() {
-            let block: Vec<usize> =
-                out_dims.iter().map(|&d| seq.dsi(space, phase, d, device, t)).collect();
-            let reduce: Vec<usize> =
-                reduce_dims.iter().map(|&d| seq.dsi(space, phase, d, device, t)).collect();
-            *contributions.entry(block).or_default().entry(reduce).or_default() += 1;
+            let block: Vec<usize> = out_dims
+                .iter()
+                .map(|&d| seq.dsi(space, phase, d, device, t))
+                .collect();
+            let reduce: Vec<usize> = reduce_dims
+                .iter()
+                .map(|&d| seq.dsi(space, phase, d, device, t))
+                .collect();
+            *contributions
+                .entry(block)
+                .or_default()
+                .entry(reduce)
+                .or_default() += 1;
         }
     }
     let expected: usize = reduce_dims.iter().map(|&d| seq.num_slices(d)).product();
@@ -177,7 +185,12 @@ pub fn check_phase_alignment(seq: &PartitionSeq, space: DeviceSpace) -> Result<(
                 .map(|&d| seq.dsi(space, to, d, device, 0))
                 .collect();
             if end != start {
-                return Err(VerifyError::Misalignment { tensor, from, to, device });
+                return Err(VerifyError::Misalignment {
+                    tensor,
+                    from,
+                    to,
+                    device,
+                });
             }
         }
     }
@@ -343,16 +356,25 @@ mod tests {
         // M-split bit — 2 devices hold each W block.
         let s = seq(vec![Primitive::Split(Dim::M), Primitive::Split(Dim::N)]);
         let space = DeviceSpace::new(2);
-        assert_eq!(replication_factor(&s, space, Phase::Forward, TensorKind::Weight, 0), 2);
+        assert_eq!(
+            replication_factor(&s, space, Phase::Forward, TensorKind::Weight, 0),
+            2
+        );
         // I (B, M, N) contains both dims: no replication.
-        assert_eq!(replication_factor(&s, space, Phase::Forward, TensorKind::Input, 0), 1);
+        assert_eq!(
+            replication_factor(&s, space, Phase::Forward, TensorKind::Input, 0),
+            1
+        );
     }
 
     #[test]
     fn data_parallel_replicates_weights_fully() {
         let s = seq(vec![Primitive::Split(Dim::B), Primitive::Split(Dim::B)]);
         let space = DeviceSpace::new(2);
-        assert_eq!(replication_factor(&s, space, Phase::Forward, TensorKind::Weight, 0), 4);
+        assert_eq!(
+            replication_factor(&s, space, Phase::Forward, TensorKind::Weight, 0),
+            4
+        );
     }
 
     #[test]

@@ -37,7 +37,10 @@ use crate::{ModelPlan, Planner, PlannerOptions, SpaceOptions};
 ///
 /// Panics if `d` or `m` is not a power of two.
 pub fn megatron_layer_plan(graph: &Graph, d: usize, m: usize) -> Vec<PartitionSeq> {
-    assert!(d.is_power_of_two() && m.is_power_of_two(), "d, m must be powers of two");
+    assert!(
+        d.is_power_of_two() && m.is_power_of_two(),
+        "d, m must be powers of two"
+    );
     let dp = d.trailing_zeros() as usize;
     let tp = m.trailing_zeros() as usize;
     graph
@@ -85,7 +88,14 @@ pub fn evaluate_layer_plan(
         total += intra_cost(&ctx, op, &seqs[i]).cost;
     }
     for e in &graph.edges {
-        total += inter_cost(&ctx, e, &graph.ops[e.src], &graph.ops[e.dst], &seqs[e.src], &seqs[e.dst]);
+        total += inter_cost(
+            &ctx,
+            e,
+            &graph.ops[e.src],
+            &graph.ops[e.dst],
+            &seqs[e.src],
+            &seqs[e.dst],
+        );
     }
     total
 }
@@ -135,7 +145,10 @@ pub fn best_megatron(
 /// ```
 pub fn alpa_plan(cluster: &Cluster, graph: &Graph, layers: u64, alpha: f64) -> ModelPlan {
     let opts = PlannerOptions {
-        space: SpaceOptions { allow_temporal: false, ..SpaceOptions::default() },
+        space: SpaceOptions {
+            allow_temporal: false,
+            ..SpaceOptions::default()
+        },
         alpha,
         ..PlannerOptions::default()
     };
@@ -178,7 +191,10 @@ mod tests {
             // Norm/elementwise M-splits vs linear inputs do redistribute a
             // little (sequence parallelism's all-gather); skip those edges
             // and check the matmul-to-matmul path is free.
-            let names = (graph.ops[e.src].name.as_str(), graph.ops[e.dst].name.as_str());
+            let names = (
+                graph.ops[e.src].name.as_str(),
+                graph.ops[e.dst].name.as_str(),
+            );
             let matmul_chain = matches!(
                 names,
                 ("qkv", _) | (_, "qk") | ("qk", "softmax") | ("softmax", "av") | ("av", "proj")

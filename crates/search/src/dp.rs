@@ -13,7 +13,14 @@ use primepar_graph::Graph;
 use primepar_partition::PartitionSeq;
 use primepar_topology::Cluster;
 
-use crate::{operator_space, SpaceOptions};
+use crate::{operator_space, PlannerMetrics, SegmentMetrics, SpaceOptions};
+
+/// Emits a `[dp] stage: duration` line when `PRIMEPAR_DP_TRACE` is set.
+fn dp_trace(stage: &str, elapsed: Duration) {
+    if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
+        eprintln!("[dp] {stage}: {elapsed:?}");
+    }
+}
 
 /// Planner configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -59,7 +66,12 @@ enum BacktrackStep {
     Base { left: usize, right: usize },
     /// Chain extension to a new right endpoint `node`: `choice[row * cols +
     /// new_col]` is the argmin state of the previous endpoint `prev_node`.
-    Extend { node: usize, prev_node: usize, choice: Vec<u32>, cols: usize },
+    Extend {
+        node: usize,
+        prev_node: usize,
+        choice: Vec<u32>,
+        cols: usize,
+    },
     /// Merge of two tables at node `mid`: `choice[row * cols + col]` is the
     /// argmin mid state.
     Merge {
@@ -83,7 +95,11 @@ pub struct Planner<'a> {
 impl<'a> Planner<'a> {
     /// Creates a planner over `cluster` for the layer `graph`.
     pub fn new(cluster: &'a Cluster, graph: &'a Graph, opts: PlannerOptions) -> Self {
-        Planner { cluster, graph, opts }
+        Planner {
+            cluster,
+            graph,
+            opts,
+        }
     }
 
     /// Intra-operator cost details of one operator under one sequence —
@@ -100,9 +116,29 @@ impl<'a> Planner<'a> {
     /// Panics if any operator's partition space is empty for this cluster
     /// size (an operator too small to split that far).
     pub fn optimize(&self, layers: u64) -> ModelPlan {
+        self.optimize_instrumented(layers).0
+    }
+
+    /// [`optimize`](Planner::optimize), additionally reporting what the DP
+    /// did as a [`PlannerMetrics`]: space sizes, per-segment sweep timings
+    /// and table dimensions, cost-model evaluation counts, stage wall times
+    /// and worker utilization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator's partition space is empty for this cluster
+    /// size (an operator too small to split that far).
+    pub fn optimize_instrumented(&self, layers: u64) -> (ModelPlan, PlannerMetrics) {
         let start = Instant::now();
         let n_bits = self.cluster.space().n_bits();
         let ctx = CostCtx::new(self.cluster, self.opts.alpha);
+        let threads_used = self.opts.threads.max(1);
+        let mut tm = PlannerMetrics {
+            threads_requested: self.opts.threads,
+            threads_used,
+            thread_busy_seconds: vec![0.0; threads_used],
+            ..PlannerMetrics::default()
+        };
 
         let t0 = Instant::now();
         // 1. Per-operator spaces and intra-cost vectors.
@@ -123,26 +159,30 @@ impl<'a> Planner<'a> {
             .zip(&spaces)
             .map(|(op, space)| space.iter().map(|s| intra_cost(&ctx, op, s).cost).collect())
             .collect();
+        tm.op_names = self.graph.ops.iter().map(|op| op.name.clone()).collect();
+        tm.space_sizes = spaces.iter().map(Vec::len).collect();
+        tm.intra_evaluations = ctx.intra_evaluations();
+        tm.spaces_intra_seconds = t0.elapsed().as_secs_f64();
 
-        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
-            eprintln!("[dp] spaces+intra: {:?}", t0.elapsed());
-        }
+        dp_trace("spaces+intra", t0.elapsed());
         let t1 = Instant::now();
         // 2. Edge-cost matrices, summed per (src, dst) pair. Independent per
         // edge, so they parallelize trivially when threads are requested.
         let matrices: Vec<Vec<f64>> = if self.opts.threads > 1 {
             let threads = self.opts.threads;
             let mut results: Vec<Option<Vec<f64>>> = vec![None; self.graph.edges.len()];
-            crossbeam::thread::scope(|scope| {
-                let chunk = self.graph.edges.len().div_ceil(threads);
+            std::thread::scope(|scope| {
+                let chunk = self.graph.edges.len().div_ceil(threads).max(1);
+                let mut handles = Vec::new();
                 for (edges, out) in self
                     .graph
                     .edges
-                    .chunks(chunk.max(1))
-                    .zip(results.chunks_mut(chunk.max(1)))
+                    .chunks(chunk)
+                    .zip(results.chunks_mut(chunk))
                 {
                     let spaces = &spaces;
-                    scope.spawn(move |_| {
+                    handles.push(scope.spawn(move || {
+                        let busy = Instant::now();
                         // Per-thread context: the profile cache is not Sync.
                         let local = CostCtx::new(self.cluster, self.opts.alpha);
                         for (edge, slot) in edges.iter().zip(out.iter_mut()) {
@@ -155,13 +195,19 @@ impl<'a> Planner<'a> {
                                 &spaces[edge.dst],
                             ));
                         }
-                    });
+                        (busy.elapsed().as_secs_f64(), local.inter_evaluations())
+                    }));
                 }
-            })
-            .expect("edge-cost workers do not panic");
+                for (slot, handle) in handles.into_iter().enumerate() {
+                    let (busy, evals) = handle.join().expect("edge-matrix worker");
+                    tm.thread_busy_seconds[slot] += busy;
+                    tm.edge_evaluations += evals;
+                }
+            });
             results.into_iter().map(|m| m.expect("computed")).collect()
         } else {
-            self.graph
+            let out: Vec<Vec<f64>> = self
+                .graph
                 .edges
                 .iter()
                 .map(|edge| {
@@ -174,7 +220,10 @@ impl<'a> Planner<'a> {
                         &spaces[edge.dst],
                     )
                 })
-                .collect()
+                .collect();
+            tm.edge_evaluations = ctx.inter_evaluations();
+            tm.thread_busy_seconds[0] += t1.elapsed().as_secs_f64();
+            out
         };
         let mut edge_cost: std::collections::HashMap<(usize, usize), Vec<f64>> =
             std::collections::HashMap::new();
@@ -184,33 +233,48 @@ impl<'a> Planner<'a> {
                 .and_modify(|acc| acc.iter_mut().zip(&m).for_each(|(a, b)| *a += b))
                 .or_insert(m);
         }
+        tm.edge_matrices_seconds = t1.elapsed().as_secs_f64();
 
-        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
-            eprintln!("[dp] edge matrices: {:?}", t1.elapsed());
-        }
+        dp_trace("edge matrices", t1.elapsed());
         let t2 = Instant::now();
         // 3. Segment DP (Eqs. 11-12).
         let segments = self.graph.segments();
-        let mut tables: Vec<Table> = segments
-            .iter()
-            .map(|&(s, e)| self.segment_dp(s, e, &spaces, &intra, &edge_cost))
-            .collect();
-
-        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
-            eprintln!("[dp] segment DP: {:?}", t2.elapsed());
+        let mut tables: Vec<Table> = Vec::with_capacity(segments.len());
+        for &(s, e) in &segments {
+            let sweep = Instant::now();
+            let (table, mut seg_tm) = self.segment_dp(
+                s,
+                e,
+                &spaces,
+                &intra,
+                &edge_cost,
+                &mut tm.thread_busy_seconds,
+            );
+            seg_tm.sweep_seconds = sweep.elapsed().as_secs_f64();
+            tm.segments.push(seg_tm);
+            tables.push(table);
         }
+        tm.segment_dp_seconds = t2.elapsed().as_secs_f64();
+
+        dp_trace("segment DP", t2.elapsed());
         let t3 = Instant::now();
         // 4. Merge segments left to right (Eq. 13).
         let mut merged = tables.remove(0);
         let mut span = segments[0];
         for (table, seg) in tables.into_iter().zip(&segments[1..]) {
-            merged = merge(merged, table, span.1, &intra[seg.0], edge_cost.get(&(span.0, seg.1)));
+            tm.merge_relaxations += (merged.rows * table.cols * merged.cols) as u64;
+            merged = merge(
+                merged,
+                table,
+                span.1,
+                &intra[seg.0],
+                edge_cost.get(&(span.0, seg.1)),
+            );
             span = (span.0, seg.1);
         }
+        tm.merge_seconds = t3.elapsed().as_secs_f64();
 
-        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
-            eprintln!("[dp] merges: {:?}", t3.elapsed());
-        }
+        dp_trace("merges", t3.elapsed());
         let t4 = Instant::now();
         // 5. Compose layers by min-plus doubling (Eq. 14). Boundary nodes of
         // consecutive layers coincide, so the shared node's intra cost is
@@ -251,9 +315,7 @@ impl<'a> Planner<'a> {
             layer_cost = best;
         }
 
-        if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
-            eprintln!("[dp] min-plus chain: {:?}", t4.elapsed());
-        }
+        dp_trace("min-plus chain", t4.elapsed());
         // 6. Backtrack per-operator states for the chosen endpoint pair.
         let mut states = vec![usize::MAX; self.graph.ops.len()];
         states[first] = row_star;
@@ -268,10 +330,23 @@ impl<'a> Planner<'a> {
             })
             .collect();
 
-        ModelPlan { seqs, layer_cost, total_cost, search_time: start.elapsed() }
+        tm.compose_seconds = t4.elapsed().as_secs_f64();
+        tm.total_seconds = start.elapsed().as_secs_f64();
+        (
+            ModelPlan {
+                seqs,
+                layer_cost,
+                total_cost,
+                search_time: start.elapsed(),
+            },
+            tm,
+        )
     }
 
-    /// Bellman iteration over segment `(s, e)` (Eqs. 11-12).
+    /// Bellman iteration over segment `(s, e)` (Eqs. 11-12). Worker busy
+    /// time is accumulated into `busy` (indexed by worker slot); the
+    /// returned [`SegmentMetrics`] carries table dimensions and relaxation
+    /// counts — the caller stamps `sweep_seconds`.
     fn segment_dp(
         &self,
         s: usize,
@@ -279,7 +354,9 @@ impl<'a> Planner<'a> {
         spaces: &[Vec<PartitionSeq>],
         intra: &[Vec<f64>],
         edge_cost: &std::collections::HashMap<(usize, usize), Vec<f64>>,
-    ) -> Table {
+        busy: &mut [f64],
+    ) -> (Table, SegmentMetrics) {
+        let mut relaxations = 0u64;
         let rows = spaces[s].len();
         // Base: Model_{s, s+1}.
         let mut cols = spaces[s + 1].len();
@@ -290,10 +367,14 @@ impl<'a> Planner<'a> {
                 cost[r * cols + c] = intra[s][r] + intra[s + 1][c] + chain[r * cols + c];
             }
         }
-        let mut steps = vec![BacktrackStep::Base { left: s, right: s + 1 }];
+        let mut steps = vec![BacktrackStep::Base {
+            left: s,
+            right: s + 1,
+        }];
 
         for j in (s + 2)..=e {
             let new_cols = spaces[j].len();
+            relaxations += (rows * new_cols * cols) as u64;
             let chain = edge_cost.get(&(j - 1, j)).expect("chain edge present");
             let head = edge_cost.get(&(s, j));
             let mut new_cost = vec![f64::INFINITY; rows * new_cols];
@@ -320,15 +401,17 @@ impl<'a> Planner<'a> {
             };
             if self.opts.threads > 1 {
                 let threads = self.opts.threads;
-                crossbeam::thread::scope(|scope| {
+                std::thread::scope(|scope| {
                     let chunk = rows.div_ceil(threads).max(1);
+                    let mut handles = Vec::new();
                     for (band, (cost_band, choice_band)) in new_cost
                         .chunks_mut(chunk * new_cols)
                         .zip(choice.chunks_mut(chunk * new_cols))
                         .enumerate()
                     {
                         let bellman_row = &bellman_row;
-                        scope.spawn(move |_| {
+                        handles.push(scope.spawn(move || {
+                            let sweep = Instant::now();
                             for (i, (oc, och)) in cost_band
                                 .chunks_mut(new_cols)
                                 .zip(choice_band.chunks_mut(new_cols))
@@ -336,11 +419,15 @@ impl<'a> Planner<'a> {
                             {
                                 bellman_row(band * chunk + i, oc, och);
                             }
-                        });
+                            sweep.elapsed().as_secs_f64()
+                        }));
                     }
-                })
-                .expect("bellman workers do not panic");
+                    for (slot, handle) in handles.into_iter().enumerate() {
+                        busy[slot] += handle.join().expect("bellman worker");
+                    }
+                });
             } else {
+                let sweep = Instant::now();
                 for r in 0..rows {
                     let (oc, och) = (
                         &mut new_cost[r * new_cols..(r + 1) * new_cols],
@@ -348,19 +435,46 @@ impl<'a> Planner<'a> {
                     );
                     bellman_row(r, oc, och);
                 }
+                busy[0] += sweep.elapsed().as_secs_f64();
             }
-            steps.push(BacktrackStep::Extend { node: j, prev_node: j - 1, choice, cols: new_cols });
+            steps.push(BacktrackStep::Extend {
+                node: j,
+                prev_node: j - 1,
+                choice,
+                cols: new_cols,
+            });
             cost = new_cost;
             cols = new_cols;
         }
-        Table { rows, cols, cost, steps }
+        let seg_tm = SegmentMetrics {
+            span: (s, e),
+            rows,
+            cols,
+            bellman_relaxations: relaxations,
+            sweep_seconds: 0.0,
+        };
+        (
+            Table {
+                rows,
+                cols,
+                cost,
+                steps,
+            },
+            seg_tm,
+        )
     }
 }
 
 /// Eq. 13: merge `left` (span `a..mid`) and `right` (span `mid..c`),
 /// subtracting the shared node's intra cost and adding any direct `a → c`
 /// edge.
-fn merge(left: Table, right: Table, mid: usize, mid_intra: &[f64], span_edge: Option<&Vec<f64>>) -> Table {
+fn merge(
+    left: Table,
+    right: Table,
+    mid: usize,
+    mid_intra: &[f64],
+    span_edge: Option<&Vec<f64>>,
+) -> Table {
     assert_eq!(left.cols, right.rows, "merge point spaces must agree");
     let rows = left.rows;
     let cols = right.cols;
@@ -392,7 +506,12 @@ fn merge(left: Table, right: Table, mid: usize, mid_intra: &[f64], span_edge: Op
         choice,
         cols,
     }];
-    Table { rows, cols, cost, steps }
+    Table {
+        rows,
+        cols,
+        cost,
+        steps,
+    }
 }
 
 /// Eq. 14 generalized: exact cost of `layers` stacked copies of the layer
@@ -444,7 +563,14 @@ fn minplus_chain(t: &Table, boundary_intra: &[f64], layers: u64) -> f64 {
 /// Recursively resolves the argmin interior states for endpoint states
 /// `(row, col)` into `states`.
 fn extract(steps: &[BacktrackStep], row: usize, col: usize, states: &mut [usize]) {
-    if let [BacktrackStep::Merge { mid, left_steps, right_steps, choice, cols }] = steps {
+    if let [BacktrackStep::Merge {
+        mid,
+        left_steps,
+        right_steps,
+        choice,
+        cols,
+    }] = steps
+    {
         let m = choice[row * cols + col] as usize;
         states[*mid] = m;
         extract(left_steps, row, m, states);
@@ -455,7 +581,12 @@ fn extract(steps: &[BacktrackStep], row: usize, col: usize, states: &mut [usize]
     let mut current_col = col;
     for step in steps.iter().rev() {
         match step {
-            BacktrackStep::Extend { node, prev_node, choice, cols } => {
+            BacktrackStep::Extend {
+                node,
+                prev_node,
+                choice,
+                cols,
+            } => {
                 states[*node] = current_col;
                 let prev = choice[row * cols + current_col] as usize;
                 states[*prev_node] = prev;
@@ -488,7 +619,10 @@ mod tests {
         let dp_plan = crate::megatron_layer_plan(&graph, 4, 1);
         let planner_cost: f64 = plan.layer_cost;
         let dp_cost: f64 = plan_cost(&cluster, &graph, &dp_plan);
-        assert!(planner_cost <= dp_cost * 1.001, "{planner_cost} vs DP {dp_cost}");
+        assert!(
+            planner_cost <= dp_cost * 1.001,
+            "{planner_cost} vs DP {dp_cost}"
+        );
     }
 
     /// Reference evaluation of a fixed plan: sum of intra costs + edge costs
@@ -555,7 +689,10 @@ mod tests {
             }
         }
         let own = plan_cost(&cluster, &graph, &plan.seqs);
-        assert!(own <= best * 1.0001, "one-step improvement found: {best} < {own}");
+        assert!(
+            own <= best * 1.0001,
+            "one-step improvement found: {best} < {own}"
+        );
     }
 
     #[test]
@@ -568,12 +705,61 @@ mod tests {
         let multi = Planner::new(
             &cluster,
             &graph,
-            PlannerOptions { threads: 4, ..PlannerOptions::default() },
+            PlannerOptions {
+                threads: 4,
+                ..PlannerOptions::default()
+            },
         )
         .optimize(4);
         assert!((single.total_cost - multi.total_cost).abs() < 1e-9 * single.total_cost);
         assert!((single.layer_cost - multi.layer_cost).abs() < 1e-9 * single.layer_cost);
         assert_eq!(single.seqs, multi.seqs);
+    }
+
+    #[test]
+    fn planner_metrics_are_thread_count_invariant() {
+        // ISSUE 1 satellite e: not just the plan — the deterministic half of
+        // the telemetry (space sizes, DP table shapes, relaxation and cost
+        // evaluation counts) must be identical for threads = 0 and threads = 4.
+        let cluster = Cluster::v100_like(8);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let (single_plan, single_tm) =
+            Planner::new(&cluster, &graph, PlannerOptions::default()).optimize_instrumented(4);
+        let (multi_plan, multi_tm) = Planner::new(
+            &cluster,
+            &graph,
+            PlannerOptions {
+                threads: 4,
+                ..PlannerOptions::default()
+            },
+        )
+        .optimize_instrumented(4);
+
+        assert_eq!(single_plan.seqs, multi_plan.seqs);
+        assert!(
+            (single_plan.total_cost - multi_plan.total_cost).abs() < 1e-9 * single_plan.total_cost
+        );
+
+        assert_eq!(single_tm.op_names, multi_tm.op_names);
+        assert_eq!(single_tm.space_sizes, multi_tm.space_sizes);
+        assert_eq!(single_tm.intra_evaluations, multi_tm.intra_evaluations);
+        assert_eq!(single_tm.edge_evaluations, multi_tm.edge_evaluations);
+        assert_eq!(single_tm.merge_relaxations, multi_tm.merge_relaxations);
+        assert_eq!(single_tm.segments.len(), multi_tm.segments.len());
+        for (s, m) in single_tm.segments.iter().zip(&multi_tm.segments) {
+            assert_eq!(s.span, m.span);
+            assert_eq!(s.rows, m.rows);
+            assert_eq!(s.cols, m.cols);
+            assert_eq!(s.bellman_relaxations, m.bellman_relaxations);
+        }
+
+        // Sanity on the counters themselves: the planner did real work.
+        assert!(single_tm.intra_evaluations > 0);
+        assert!(single_tm.edge_evaluations > 0);
+        assert!(single_tm.segments.iter().any(|s| s.bellman_relaxations > 0));
+        assert_eq!(single_tm.threads_used, 1);
+        assert_eq!(multi_tm.threads_used, 4);
+        assert!(multi_tm.thread_busy_seconds.len() == 4);
     }
 
     #[test]
@@ -588,7 +774,10 @@ mod tests {
             &cluster,
             &graph,
             PlannerOptions {
-                space: SpaceOptions { allow_temporal: false, ..SpaceOptions::default() },
+                space: SpaceOptions {
+                    allow_temporal: false,
+                    ..SpaceOptions::default()
+                },
                 alpha: 0.0,
                 ..PlannerOptions::default()
             },

@@ -35,9 +35,11 @@ mod dp;
 mod plan_io;
 mod report;
 mod space;
+mod telemetry;
 
 pub use baselines::{alpa_plan, best_megatron, evaluate_layer_plan, megatron_layer_plan};
 pub use dp::{ModelPlan, Planner, PlannerOptions};
 pub use plan_io::{parse_plan, render_plan, PlanIoError};
 pub use report::explain_plan;
 pub use space::{operator_space, SpaceOptions};
+pub use telemetry::{PlannerMetrics, SegmentMetrics};

@@ -141,6 +141,9 @@ mod tests {
             parse_plan(&graph, "qkv: Z"),
             Err(PlanIoError::BadSequence { .. })
         ));
-        assert!(matches!(parse_plan(&graph, "garbage"), Err(PlanIoError::BadLine(_))));
+        assert!(matches!(
+            parse_plan(&graph, "garbage"),
+            Err(PlanIoError::BadLine(_))
+        ));
     }
 }

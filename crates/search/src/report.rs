@@ -64,10 +64,20 @@ pub fn explain_plan(cluster: &Cluster, graph: &Graph, seqs: &[PartitionSeq]) -> 
         .edges
         .iter()
         .map(|e| {
-            inter_cost(&ctx, e, &graph.ops[e.src], &graph.ops[e.dst], &seqs[e.src], &seqs[e.dst])
+            inter_cost(
+                &ctx,
+                e,
+                &graph.ops[e.src],
+                &graph.ops[e.dst],
+                &seqs[e.src],
+                &seqs[e.dst],
+            )
         })
         .sum();
-    out.push_str(&format!("redistribution across edges: {:.3} ms\n", redistribution * 1e3));
+    out.push_str(&format!(
+        "redistribution across edges: {:.3} ms\n",
+        redistribution * 1e3
+    ));
     out
 }
 

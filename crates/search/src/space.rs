@@ -18,7 +18,11 @@ pub struct SpaceOptions {
 
 impl Default for SpaceOptions {
     fn default() -> Self {
-        SpaceOptions { allow_temporal: true, allow_batch_split: true, max_temporal_k: 2 }
+        SpaceOptions {
+            allow_temporal: true,
+            allow_batch_split: true,
+            max_temporal_k: 2,
+        }
     }
 }
 
@@ -47,13 +51,23 @@ pub fn operator_space(op: &Operator, n_bits: usize, opts: &SpaceOptions) -> Vec<
         splits.retain(|&d| d != Dim::B);
     }
     let temporal_ks: Vec<u32> = if opts.allow_temporal && op.allows_temporal() {
-        (1..=opts.max_temporal_k).filter(|&k| 2 * k as usize <= n_bits).collect()
+        (1..=opts.max_temporal_k)
+            .filter(|&k| 2 * k as usize <= n_bits)
+            .collect()
     } else {
         Vec::new()
     };
     let mut out = Vec::new();
     let mut current = Vec::new();
-    rec(op, n_bits, &splits, &temporal_ks, false, &mut current, &mut out);
+    rec(
+        op,
+        n_bits,
+        &splits,
+        &temporal_ks,
+        false,
+        &mut current,
+        &mut out,
+    );
     out
 }
 
@@ -75,7 +89,15 @@ fn rec(
     }
     for &d in splits {
         current.push(Primitive::Split(d));
-        rec(op, remaining - 1, splits, temporal_ks, used_temporal, current, out);
+        rec(
+            op,
+            remaining - 1,
+            splits,
+            temporal_ks,
+            used_temporal,
+            current,
+            out,
+        );
         current.pop();
     }
     if !used_temporal {
@@ -83,7 +105,15 @@ fn rec(
             let bits = 2 * k as usize;
             if bits <= remaining {
                 current.push(Primitive::Temporal { k });
-                rec(op, remaining - bits, splits, temporal_ks, true, current, out);
+                rec(
+                    op,
+                    remaining - bits,
+                    splits,
+                    temporal_ks,
+                    true,
+                    current,
+                    out,
+                );
                 current.pop();
             }
         }
@@ -120,7 +150,10 @@ mod tests {
     #[test]
     fn conventional_space_is_pure_splits() {
         let g = graph();
-        let opts = SpaceOptions { allow_temporal: false, ..SpaceOptions::default() };
+        let opts = SpaceOptions {
+            allow_temporal: false,
+            ..SpaceOptions::default()
+        };
         let space = operator_space(&g.ops[9], 3, &opts);
         assert_eq!(space.len(), 64); // 4^3
         assert!(space.iter().all(|s| s.temporal_k().is_none()));
@@ -129,7 +162,10 @@ mod tests {
     #[test]
     fn batch_splits_can_be_disabled() {
         let g = graph();
-        let opts = SpaceOptions { allow_batch_split: false, ..SpaceOptions::default() };
+        let opts = SpaceOptions {
+            allow_batch_split: false,
+            ..SpaceOptions::default()
+        };
         let space = operator_space(&g.ops[9], 2, &opts);
         assert!(space
             .iter()
@@ -162,9 +198,10 @@ mod tests {
         // A tiny batch prevents deep batch splits.
         let g = ModelConfig::opt_6_7b().layer_graph(2, 2048);
         let space = operator_space(&g.ops[9], 3, &SpaceOptions::default());
-        assert!(space
-            .iter()
-            .all(|s| s.num_slices(Dim::B) <= 2), "batch=2 allows at most one B split");
+        assert!(
+            space.iter().all(|s| s.num_slices(Dim::B) <= 2),
+            "batch=2 allows at most one B split"
+        );
     }
 
     #[test]

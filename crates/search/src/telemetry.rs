@@ -1,0 +1,178 @@
+//! Planner telemetry: what the segmented DP actually did, as data.
+//!
+//! [`Planner::optimize_instrumented`](crate::Planner::optimize_instrumented)
+//! fills one [`PlannerMetrics`] per run: per-operator space sizes, per-segment
+//! Bellman sweep timings and DP table dimensions, intra/edge cost-model
+//! evaluation counts, per-stage wall time and worker-thread utilization for
+//! the [`PlannerOptions::threads`](crate::PlannerOptions) path.
+//!
+//! Everything except wall-clock timings is deterministic — identical for
+//! `threads = 0` and `threads = N` — which the test suite relies on to pin
+//! the parallel planner to the sequential one.
+
+use primepar_obs::Metrics;
+
+/// Telemetry of one Fig. 6 segment's Bellman iteration (Eqs. 11-12).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SegmentMetrics {
+    /// Operator index span `(s, e)` of the segment.
+    pub span: (usize, usize),
+    /// Rows of the final table `C_{s,e}` — `|space(op_s)|`.
+    pub rows: usize,
+    /// Columns of the final table — `|space(op_e)|`.
+    pub cols: usize,
+    /// Inner-loop candidate evaluations across all chain extensions:
+    /// `Σ_j rows × |space(op_j)| × |space(op_{j-1})|`.
+    pub bellman_relaxations: u64,
+    /// Wall-clock seconds of this segment's sweep.
+    pub sweep_seconds: f64,
+}
+
+/// Telemetry of one [`Planner::optimize`](crate::Planner::optimize) run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PlannerMetrics {
+    /// Operator names, indexed like `graph.ops`.
+    pub op_names: Vec<String>,
+    /// Enumerated partition-space size per operator (same indexing).
+    pub space_sizes: Vec<usize>,
+    /// One entry per segment of `graph.segments()`, in order.
+    pub segments: Vec<SegmentMetrics>,
+    /// Eq. 7 evaluations (stage 1's per-operator intra-cost vectors).
+    pub intra_evaluations: u64,
+    /// Eqs. 8-9 pair evaluations (stage 2's edge-cost matrix cells).
+    pub edge_evaluations: u64,
+    /// Inner-loop candidate evaluations of the Eq. 13 segment merges.
+    pub merge_relaxations: u64,
+    /// Stage 1 (spaces + intra vectors) wall seconds.
+    pub spaces_intra_seconds: f64,
+    /// Stage 2 (edge-cost matrices) wall seconds.
+    pub edge_matrices_seconds: f64,
+    /// Stage 3 (per-segment Bellman sweeps) wall seconds.
+    pub segment_dp_seconds: f64,
+    /// Stage 4 (segment merges) wall seconds.
+    pub merge_seconds: f64,
+    /// Stage 5 (min-plus layer composition + backtrack) wall seconds.
+    pub compose_seconds: f64,
+    /// Whole-run wall seconds (equals `ModelPlan::search_time`).
+    pub total_seconds: f64,
+    /// `PlannerOptions::threads` as configured.
+    pub threads_requested: usize,
+    /// Worker count actually used (1 when running single-threaded).
+    pub threads_used: usize,
+    /// Per-worker busy seconds across the two parallelizable stages
+    /// (edge matrices and Bellman sweeps), indexed by worker slot.
+    pub thread_busy_seconds: Vec<f64>,
+}
+
+impl PlannerMetrics {
+    /// Fraction of the parallel stages' wall time the workers were busy:
+    /// `Σ busy / (threads_used × (edge + segment_dp seconds))`, in `0..=1`
+    /// for an ideal measurement (scheduling noise can nudge it past 1).
+    pub fn thread_utilization(&self) -> f64 {
+        let wall = self.edge_matrices_seconds + self.segment_dp_seconds;
+        let capacity = self.threads_used as f64 * wall;
+        if capacity <= 0.0 {
+            return 0.0;
+        }
+        self.thread_busy_seconds.iter().sum::<f64>() / capacity
+    }
+
+    /// Renders the run into an observability registry under `planner.*`.
+    pub fn to_metrics(&self) -> Metrics {
+        let mut m = Metrics::new();
+        m.record_seconds("planner.total_seconds", self.total_seconds);
+        m.record_seconds(
+            "planner.stage.spaces_intra_seconds",
+            self.spaces_intra_seconds,
+        );
+        m.record_seconds(
+            "planner.stage.edge_matrices_seconds",
+            self.edge_matrices_seconds,
+        );
+        m.record_seconds("planner.stage.segment_dp_seconds", self.segment_dp_seconds);
+        m.record_seconds("planner.stage.merge_seconds", self.merge_seconds);
+        m.record_seconds("planner.stage.compose_seconds", self.compose_seconds);
+        m.incr("planner.intra_evaluations", self.intra_evaluations);
+        m.incr("planner.edge_evaluations", self.edge_evaluations);
+        m.incr("planner.merge_relaxations", self.merge_relaxations);
+        m.gauge("planner.threads.requested", self.threads_requested as f64);
+        m.gauge("planner.threads.used", self.threads_used as f64);
+        for &busy in &self.thread_busy_seconds {
+            m.observe("planner.threads.busy_seconds", busy);
+        }
+        m.gauge("planner.threads.utilization", self.thread_utilization());
+        for (i, (name, size)) in self.op_names.iter().zip(&self.space_sizes).enumerate() {
+            m.gauge(&format!("planner.space.{i:02}.{name}.size"), *size as f64);
+        }
+        for (k, seg) in self.segments.iter().enumerate() {
+            let prefix = format!("planner.segment.{k:02}");
+            m.text(
+                &format!("{prefix}.span"),
+                &format!("{}..{}", seg.span.0, seg.span.1),
+            );
+            m.gauge(&format!("{prefix}.rows"), seg.rows as f64);
+            m.gauge(&format!("{prefix}.cols"), seg.cols as f64);
+            m.incr(
+                &format!("{prefix}.bellman_relaxations"),
+                seg.bellman_relaxations,
+            );
+            m.record_seconds(&format!("{prefix}.sweep_seconds"), seg.sweep_seconds);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlannerMetrics {
+        PlannerMetrics {
+            op_names: vec!["embed".into(), "fc1".into()],
+            space_sizes: vec![4, 17],
+            segments: vec![SegmentMetrics {
+                span: (0, 1),
+                rows: 4,
+                cols: 17,
+                bellman_relaxations: 0,
+                sweep_seconds: 0.25,
+            }],
+            intra_evaluations: 21,
+            edge_evaluations: 68,
+            merge_relaxations: 0,
+            spaces_intra_seconds: 0.5,
+            edge_matrices_seconds: 1.0,
+            segment_dp_seconds: 1.0,
+            merge_seconds: 0.0,
+            compose_seconds: 0.0,
+            total_seconds: 2.5,
+            threads_requested: 2,
+            threads_used: 2,
+            thread_busy_seconds: vec![1.0, 1.0],
+        }
+    }
+
+    #[test]
+    fn utilization_is_busy_over_capacity() {
+        let tm = sample();
+        // 2 seconds busy over 2 workers × 2 seconds of parallel-stage wall.
+        assert!((tm.thread_utilization() - 0.5).abs() < 1e-12);
+        assert_eq!(PlannerMetrics::default().thread_utilization(), 0.0);
+    }
+
+    #[test]
+    fn registry_carries_the_issue_required_keys() {
+        let m = sample().to_metrics();
+        assert_eq!(m.counter("planner.intra_evaluations"), 21);
+        assert_eq!(m.counter("planner.edge_evaluations"), 68);
+        assert!(m.timer_seconds("planner.stage.segment_dp_seconds") > 0.0);
+        assert_eq!(m.gauge_value("planner.space.01.fc1.size"), Some(17.0));
+        assert_eq!(m.gauge_value("planner.segment.00.rows"), Some(4.0));
+        assert_eq!(
+            m.histogram("planner.threads.busy_seconds").unwrap().count,
+            2
+        );
+        let doc = m.to_json().render();
+        assert!(doc.contains("planner.segment.00.sweep_seconds"));
+    }
+}

@@ -48,8 +48,11 @@ fn dp_matches_exhaustive_enumeration_on_two_devices() {
     let opts = SpaceOptions::default();
     let ctx = CostCtx::new(&cluster, 0.0);
 
-    let spaces: Vec<Vec<PartitionSeq>> =
-        graph.ops.iter().map(|op| operator_space(op, 1, &opts)).collect();
+    let spaces: Vec<Vec<PartitionSeq>> = graph
+        .ops
+        .iter()
+        .map(|op| operator_space(op, 1, &opts))
+        .collect();
     let intra: Vec<Vec<f64>> = graph
         .ops
         .iter()
@@ -101,7 +104,12 @@ fn dp_matches_exhaustive_enumeration_on_two_devices() {
         .seqs
         .iter()
         .enumerate()
-        .map(|(i, s)| spaces[i].iter().position(|c| c == s).expect("state in space"))
+        .map(|(i, s)| {
+            spaces[i]
+                .iter()
+                .position(|c| c == s)
+                .expect("state in space")
+        })
         .collect();
     let dp_total = assignment_cost(&intra, &edge_costs, &plan_states);
     assert!(
@@ -120,13 +128,23 @@ fn dp_matches_exhaustive_on_conventional_space_four_devices() {
     // 4 devices, and only enumerate the fc1/act/fc2 interior.
     let cluster = Cluster::v100_like(4);
     let graph = mlp_graph(8, 256);
-    let opts = SpaceOptions { allow_temporal: false, ..SpaceOptions::default() };
+    let opts = SpaceOptions {
+        allow_temporal: false,
+        ..SpaceOptions::default()
+    };
     let ctx = CostCtx::new(&cluster, 0.0);
-    let planner_opts = PlannerOptions { space: opts, alpha: 0.0, ..PlannerOptions::default() };
+    let planner_opts = PlannerOptions {
+        space: opts,
+        alpha: 0.0,
+        ..PlannerOptions::default()
+    };
     let plan = Planner::new(&cluster, &graph, planner_opts).optimize(1);
 
-    let spaces: Vec<Vec<PartitionSeq>> =
-        graph.ops.iter().map(|op| operator_space(op, 2, &opts)).collect();
+    let spaces: Vec<Vec<PartitionSeq>> = graph
+        .ops
+        .iter()
+        .map(|op| operator_space(op, 2, &opts))
+        .collect();
     let intra: Vec<Vec<f64>> = graph
         .ops
         .iter()
@@ -153,7 +171,12 @@ fn dp_matches_exhaustive_on_conventional_space_four_devices() {
         .seqs
         .iter()
         .enumerate()
-        .map(|(i, s)| spaces[i].iter().position(|c| c == s).expect("state in space"))
+        .map(|(i, s)| {
+            spaces[i]
+                .iter()
+                .position(|c| c == s)
+                .expect("state in space")
+        })
         .collect();
     let dp_total = assignment_cost(&intra, &edge_costs, &plan_states);
 

@@ -1,0 +1,53 @@
+//! Golden-snapshot test for `explain_plan` (ISSUE 1 satellite b).
+//!
+//! The input is fully deterministic — a fixed cluster, a fixed layer graph and
+//! the closed-form Megatron plan (no search involved) — so the rendered table
+//! must be byte-identical run over run. If a legitimate cost-model or
+//! formatting change moves the numbers, regenerate the golden with:
+//!
+//! ```text
+//! cargo test -p primepar-search --test golden_explain -- --nocapture
+//! ```
+//!
+//! and copy the printed actual output over `tests/golden/explain_opt67b_tp4.txt`.
+
+use primepar_graph::ModelConfig;
+use primepar_search::{explain_plan, megatron_layer_plan};
+use primepar_topology::Cluster;
+
+const GOLDEN: &str = include_str!("golden/explain_opt67b_tp4.txt");
+
+#[test]
+fn explain_plan_matches_golden_snapshot() {
+    let cluster = Cluster::v100_like(4);
+    let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+    let plan = megatron_layer_plan(&graph, 2, 2);
+    let actual = explain_plan(&cluster, &graph, &plan);
+    if actual != GOLDEN {
+        println!("--- actual output ---\n{actual}--- end actual ---");
+    }
+    assert_eq!(
+        actual, GOLDEN,
+        "explain_plan drifted from the golden snapshot"
+    );
+}
+
+#[test]
+fn explain_plan_mentions_every_operator() {
+    let cluster = Cluster::v100_like(4);
+    let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+    let plan = megatron_layer_plan(&graph, 2, 2);
+    let rendered = explain_plan(&cluster, &graph, &plan);
+    for op in &graph.ops {
+        assert!(
+            rendered.contains(&op.name),
+            "missing operator row: {}",
+            op.name
+        );
+    }
+    assert!(rendered.contains("total"), "missing total row");
+    assert!(
+        rendered.contains("redistribution across edges"),
+        "missing edge summary"
+    );
+}

@@ -14,12 +14,9 @@ fn explicit_two_layer_graph_matches_minplus_composition() {
     let stacked = layer.stack(2);
     stacked.validate_segmentation();
 
-    let via_minplus =
-        Planner::new(&cluster, &layer, PlannerOptions::default()).optimize(2);
-    let via_explicit =
-        Planner::new(&cluster, &stacked, PlannerOptions::default()).optimize(1);
-    let rel = (via_minplus.total_cost - via_explicit.total_cost).abs()
-        / via_explicit.total_cost;
+    let via_minplus = Planner::new(&cluster, &layer, PlannerOptions::default()).optimize(2);
+    let via_explicit = Planner::new(&cluster, &stacked, PlannerOptions::default()).optimize(1);
+    let rel = (via_minplus.total_cost - via_explicit.total_cost).abs() / via_explicit.total_cost;
     assert!(
         rel < 1e-9,
         "Eq. 14 composition {} disagrees with explicit 2-layer DP {}",
@@ -35,12 +32,9 @@ fn explicit_four_layer_graph_matches_minplus_composition() {
     let layer = model.layer_graph(4, 256);
     let stacked = layer.stack(4);
 
-    let via_minplus =
-        Planner::new(&cluster, &layer, PlannerOptions::default()).optimize(4);
-    let via_explicit =
-        Planner::new(&cluster, &stacked, PlannerOptions::default()).optimize(1);
-    let rel = (via_minplus.total_cost - via_explicit.total_cost).abs()
-        / via_explicit.total_cost;
+    let via_minplus = Planner::new(&cluster, &layer, PlannerOptions::default()).optimize(4);
+    let via_explicit = Planner::new(&cluster, &stacked, PlannerOptions::default()).optimize(1);
+    let rel = (via_minplus.total_cost - via_explicit.total_cost).abs() / via_explicit.total_cost;
     assert!(
         rel < 1e-9,
         "4-layer composition {} vs explicit {}",

@@ -1,0 +1,117 @@
+//! Pins `operator_space` sizes across the full `SpaceOptions` grid
+//! (ISSUE 1 satellite d): temporal primitives on/off × batch splitting on/off
+//! × `max_temporal_k` ∈ {1, 2}, at several device-bit budgets.
+//!
+//! The counts encode real structure of the search space:
+//! * `qk` (batch-matmul with no weight dim) gains nothing from either option —
+//!   all eight grid corners collapse to the conventional 3^n_bits count;
+//! * `fc1` (a linear layer) grows with batch splitting and again with temporal
+//!   primitives, and `P_{4×4}` (k = 2) only becomes expressible once the
+//!   device count reaches 16 (n_bits ≥ 4);
+//! * `act` (pointwise) admits batch splits but no temporal weight rotation.
+
+use primepar_graph::ModelConfig;
+use primepar_search::{operator_space, SpaceOptions};
+
+/// (op index, op name, n_bits, allow_temporal, allow_batch_split,
+///  max_temporal_k, expected |space|)
+const GRID: &[(usize, &str, usize, bool, bool, u32, usize)] = &[
+    // qk: invariant to every option at both budgets.
+    (3, "qk", 3, false, false, 1, 27),
+    (3, "qk", 3, false, true, 1, 27),
+    (3, "qk", 3, true, false, 2, 27),
+    (3, "qk", 3, true, true, 2, 27),
+    // fc1 at 4 devices: temporal adds P_2x2 rows, batch split multiplies.
+    (9, "fc1", 2, false, false, 1, 9),
+    (9, "fc1", 2, false, false, 2, 9),
+    (9, "fc1", 2, false, true, 1, 16),
+    (9, "fc1", 2, false, true, 2, 16),
+    (9, "fc1", 2, true, false, 1, 10),
+    (9, "fc1", 2, true, false, 2, 10),
+    (9, "fc1", 2, true, true, 1, 17),
+    (9, "fc1", 2, true, true, 2, 17),
+    // fc1 at 32 devices: k = 2 (P_4x4) is now expressible and enlarges the
+    // space beyond the k = 1 grid corner.
+    (9, "fc1", 5, false, false, 1, 243),
+    (9, "fc1", 5, false, false, 2, 243),
+    (9, "fc1", 5, false, true, 1, 1008),
+    (9, "fc1", 5, false, true, 2, 1008),
+    (9, "fc1", 5, true, false, 1, 351),
+    (9, "fc1", 5, true, false, 2, 357),
+    (9, "fc1", 5, true, true, 1, 1264),
+    (9, "fc1", 5, true, true, 2, 1272),
+    // act at 16 devices: pointwise, so temporal never applies.
+    (10, "act", 4, false, false, 1, 16),
+    (10, "act", 4, false, true, 1, 80),
+    (10, "act", 4, true, false, 2, 16),
+    (10, "act", 4, true, true, 2, 80),
+];
+
+#[test]
+fn operator_space_counts_across_the_options_grid() {
+    let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+    for &(op_idx, name, n_bits, allow_temporal, allow_batch_split, max_temporal_k, want) in GRID {
+        let op = &graph.ops[op_idx];
+        assert_eq!(
+            op.name, name,
+            "operator index {op_idx} no longer names {name}"
+        );
+        let opts = SpaceOptions {
+            allow_temporal,
+            allow_batch_split,
+            max_temporal_k,
+        };
+        let got = operator_space(op, n_bits, &opts).len();
+        assert_eq!(
+            got, want,
+            "space size for {name} (n_bits={n_bits}, temporal={allow_temporal}, \
+             batch={allow_batch_split}, k={max_temporal_k})"
+        );
+    }
+}
+
+#[test]
+fn widening_options_never_shrinks_a_space() {
+    let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+    for op in &graph.ops {
+        for n_bits in 1usize..=4 {
+            let base = operator_space(
+                op,
+                n_bits,
+                &SpaceOptions {
+                    allow_temporal: false,
+                    allow_batch_split: false,
+                    max_temporal_k: 1,
+                },
+            )
+            .len();
+            let mut prev = base;
+            for opts in [
+                SpaceOptions {
+                    allow_temporal: true,
+                    allow_batch_split: false,
+                    max_temporal_k: 1,
+                },
+                SpaceOptions {
+                    allow_temporal: true,
+                    allow_batch_split: true,
+                    max_temporal_k: 1,
+                },
+                SpaceOptions {
+                    allow_temporal: true,
+                    allow_batch_split: true,
+                    max_temporal_k: 2,
+                },
+            ] {
+                let n = operator_space(op, n_bits, &opts).len();
+                assert!(
+                    n >= prev,
+                    "{} at n_bits={n_bits}: widening {:?} shrank the space ({n} < {prev})",
+                    op.name,
+                    opts
+                );
+                prev = n;
+            }
+        }
+    }
+}

@@ -114,10 +114,7 @@ pub fn simulate_layer_des(
                 }
             } else {
                 for group in space.groups(&indicator) {
-                    let latest = group
-                        .iter()
-                        .map(|d| clocks[d.index()])
-                        .fold(0.0, f64::max);
+                    let latest = group.iter().map(|d| clocks[d.index()]).fold(0.0, f64::max);
                     for d in &group {
                         clocks[d.index()] = latest + ev.allreduce;
                     }
@@ -159,7 +156,10 @@ pub fn simulate_layer_des(
     }
 
     let iteration_time = clocks.iter().cloned().fold(0.0, f64::max);
-    DesReport { iteration_time, device_clocks: clocks }
+    DesReport {
+        iteration_time,
+        device_clocks: clocks,
+    }
 }
 
 /// The device whose block `device` receives under a ring transfer with
@@ -200,7 +200,9 @@ mod tests {
         let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
         for plan in [
             megatron_layer_plan(&graph, 2, 2),
-            Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1).seqs,
+            Planner::new(&cluster, &graph, PlannerOptions::default())
+                .optimize(1)
+                .seqs,
         ] {
             let spmd = crate::simulate_layer(&cluster, &graph, &plan);
             let des = simulate_layer_des(&cluster, &graph, &plan, &DesOptions::default());
@@ -225,7 +227,9 @@ mod tests {
             &cluster,
             &graph,
             &plan,
-            &DesOptions { straggler: Some((2, 1.5)) },
+            &DesOptions {
+                straggler: Some((2, 1.5)),
+            },
         );
         assert!(slow.iteration_time > base.iteration_time);
         // The collective barriers drag everyone to the straggler's pace.
@@ -242,13 +246,17 @@ mod tests {
         // The whole iteration can never be slower than scaling every kernel.
         let cluster = Cluster::v100_like(4);
         let graph = ModelConfig::llama2_7b().layer_graph(8, 512);
-        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1).seqs;
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+            .optimize(1)
+            .seqs;
         let base = simulate_layer_des(&cluster, &graph, &plan, &DesOptions::default());
         let slow = simulate_layer_des(
             &cluster,
             &graph,
             &plan,
-            &DesOptions { straggler: Some((0, 2.0)) },
+            &DesOptions {
+                straggler: Some((0, 2.0)),
+            },
         );
         assert!(slow.iteration_time <= 2.0 * base.iteration_time * 1.0001);
         assert_ne!(slow.device_clocks[0], 0.0);
@@ -260,14 +268,21 @@ mod tests {
         // later than under no straggler (the ring handoffs couple them).
         let cluster = Cluster::v100_like(4);
         let graph = ModelConfig::opt_175b().layer_graph(8, 2048);
-        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1).seqs;
-        assert!(plan.iter().any(|s| s.temporal_k().is_some()), "want a temporal plan");
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+            .optimize(1)
+            .seqs;
+        assert!(
+            plan.iter().any(|s| s.temporal_k().is_some()),
+            "want a temporal plan"
+        );
         let base = simulate_layer_des(&cluster, &graph, &plan, &DesOptions::default());
         let slow = simulate_layer_des(
             &cluster,
             &graph,
             &plan,
-            &DesOptions { straggler: Some((1, 1.3)) },
+            &DesOptions {
+                straggler: Some((1, 1.3)),
+            },
         );
         for d in 0..4 {
             assert!(

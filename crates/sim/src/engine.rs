@@ -58,10 +58,10 @@ pub fn simulate_layer_with(
     let mut peak = live;
 
     let run_phase = |now: &mut f64,
-                         breakdown: &mut Breakdown,
-                         timeline: &mut Timeline,
-                         op_index: usize,
-                         phase: Phase| {
+                     breakdown: &mut Breakdown,
+                     timeline: &mut Timeline,
+                     op_index: usize,
+                     phase: Phase| {
         let op = &graph.ops[op_index];
         let ev = phase_events(&ctx, op, &seqs[op_index], phase);
         for &ring in &ev.ring_steps {
@@ -102,10 +102,10 @@ pub fn simulate_layer_with(
     };
 
     let redistribute = |now: &mut f64,
-                            breakdown: &mut Breakdown,
-                            timeline: &mut Timeline,
-                            edge: &primepar_graph::Edge,
-                            direction: &str| {
+                        breakdown: &mut Breakdown,
+                        timeline: &mut Timeline,
+                        edge: &primepar_graph::Edge,
+                        direction: &str| {
         let bytes = inter_traffic_bytes(
             edge,
             &graph.ops[edge.src],
@@ -116,8 +116,15 @@ pub fn simulate_layer_with(
         let t = ctx.redistribution_time(bytes);
         if t > 0.0 {
             timeline.push(TimelineEvent {
-                op: format!("{}->{} {direction}", graph.ops[edge.src].name, graph.ops[edge.dst].name),
-                phase: if direction == "fwd" { Phase::Forward } else { Phase::Backward },
+                op: format!(
+                    "{}->{} {direction}",
+                    graph.ops[edge.src].name, graph.ops[edge.dst].name
+                ),
+                phase: if direction == "fwd" {
+                    Phase::Forward
+                } else {
+                    Phase::Backward
+                },
                 kind: EventKind::Redistribution,
                 start: *now,
                 duration: t,
@@ -211,7 +218,14 @@ pub fn simulate_model(
     layers: u64,
     tokens_per_iteration: f64,
 ) -> ModelReport {
-    simulate_model_with(cluster, graph, seqs, layers, tokens_per_iteration, &SimOptions::default())
+    simulate_model_with(
+        cluster,
+        graph,
+        seqs,
+        layers,
+        tokens_per_iteration,
+        &SimOptions::default(),
+    )
 }
 
 /// [`simulate_model`] with explicit [`SimOptions`].
@@ -289,7 +303,11 @@ mod tests {
         assert!((end - r.layer_time).abs() < 1e-9);
         // Breakdown components sum to the total (ring hidden behind compute).
         let total = r.breakdown.total();
-        assert!((total - r.layer_time).abs() < 1e-9 * (1.0 + total), "{total} vs {}", r.layer_time);
+        assert!(
+            (total - r.layer_time).abs() < 1e-9 * (1.0 + total),
+            "{total} vs {}",
+            r.layer_time
+        );
     }
 
     #[test]
@@ -350,7 +368,9 @@ mod tests {
             &plan,
             cfg.layers,
             8.0 * 512.0,
-            &super::SimOptions { recompute_activations: true },
+            &super::SimOptions {
+                recompute_activations: true,
+            },
         );
         assert!(
             rc.peak_memory_bytes < 0.8 * base.peak_memory_bytes,

@@ -26,7 +26,10 @@ pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
     if timeline.is_empty() {
         return String::from("(empty timeline)\n");
     }
-    let end = timeline.iter().map(|e| e.start + e.duration).fold(0.0f64, f64::max);
+    let end = timeline
+        .iter()
+        .map(|e| e.start + e.duration)
+        .fold(0.0f64, f64::max);
     if end <= 0.0 {
         return String::from("(zero-length timeline)\n");
     }
@@ -52,11 +55,20 @@ pub fn render_gantt(timeline: &Timeline, width: usize) -> String {
         let from = ((ev.start / end) * width as f64).floor() as usize;
         let to = (((ev.start + ev.duration) / end) * width as f64).ceil() as usize;
         let lane = &mut lanes[idx].2;
-        for cell in lane.iter_mut().take(to.min(width)).skip(from.min(width.saturating_sub(1))) {
+        for cell in lane
+            .iter_mut()
+            .take(to.min(width))
+            .skip(from.min(width.saturating_sub(1)))
+        {
             *cell = glyph;
         }
     }
-    let label_width = lanes.iter().map(|(op, _, _)| op.len()).max().unwrap_or(0).min(24);
+    let label_width = lanes
+        .iter()
+        .map(|(op, _, _)| op.len())
+        .max()
+        .unwrap_or(0)
+        .min(24);
     let mut out = String::new();
     out.push_str(&format!(
         "{:<label_width$}  |{}| 0 .. {:.2} ms\n",
@@ -88,7 +100,13 @@ mod tests {
     use primepar_partition::Phase;
 
     fn ev(op: &str, kind: EventKind, start: f64, duration: f64) -> TimelineEvent {
-        TimelineEvent { op: op.into(), phase: Phase::Forward, kind, start, duration }
+        TimelineEvent {
+            op: op.into(),
+            phase: Phase::Forward,
+            kind,
+            start,
+            duration,
+        }
     }
 
     #[test]

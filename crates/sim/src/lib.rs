@@ -37,12 +37,17 @@ mod engine;
 mod gantt;
 mod pipeline;
 mod report;
+mod trace;
 
-pub use engine::{
-    ideal_memory_bytes, simulate_layer, simulate_layer_with, simulate_model,
-    simulate_model_with, ModelReport, SimOptions,
-};
 pub use des::{simulate_layer_des, DesOptions, DesReport};
+pub use engine::{
+    ideal_memory_bytes, simulate_layer, simulate_layer_with, simulate_model, simulate_model_with,
+    ModelReport, SimOptions,
+};
 pub use gantt::render_gantt;
 pub use pipeline::{simulate_3d, simulate_3d_with, PipelineSchedule, ThreeDConfig, ThreeDReport};
 pub use report::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
+pub use trace::{
+    breakdown_json, chrome_trace, layer_report_metrics, parse_chrome_trace, render_chrome_trace,
+    timeline_from_trace,
+};

@@ -119,7 +119,15 @@ pub fn simulate_3d(
     batch: u64,
     seq_len: u64,
 ) -> ThreeDReport {
-    simulate_3d_with(model, graph, stage_plan_m, config, batch, seq_len, PipelineSchedule::default())
+    simulate_3d_with(
+        model,
+        graph,
+        stage_plan_m,
+        config,
+        batch,
+        seq_len,
+        PipelineSchedule::default(),
+    )
 }
 
 /// [`simulate_3d`] with an explicit [`PipelineSchedule`].
@@ -132,9 +140,17 @@ pub fn simulate_3d_with(
     seq_len: u64,
     schedule: PipelineSchedule,
 ) -> ThreeDReport {
-    let ThreeDConfig { p, d, m, micro_batches } = config;
+    let ThreeDConfig {
+        p,
+        d,
+        m,
+        micro_batches,
+    } = config;
     assert_eq!(model.layers % p as u64, 0, "layers must divide into stages");
-    assert!(stage_plan_m.iter().all(|s| s.num_devices() == m), "plan must be m-wide");
+    assert!(
+        stage_plan_m.iter().all(|s| s.num_devices() == m),
+        "plan must be m-wide"
+    );
     let layers_per_stage = model.layers / p as u64;
 
     // Per-micro-batch stage graph: each of the `d` replicas processes
@@ -156,7 +172,11 @@ pub fn simulate_3d_with(
     let activation_bytes = 4.0 * (micro_batch * seq_len * model.hidden) as f64 / (d * m) as f64;
     let full_cluster = Cluster::v100_like(config.devices());
     let p2p = if p > 1 {
-        full_cluster.p2p_time(activation_bytes, DeviceId(0), DeviceId(full_cluster.num_devices() - 1))
+        full_cluster.p2p_time(
+            activation_bytes,
+            DeviceId(0),
+            DeviceId(full_cluster.num_devices() - 1),
+        )
     } else {
         0.0
     };
@@ -190,8 +210,8 @@ pub fn simulate_3d_with(
         PipelineSchedule::GPipe => micro_batches as f64,
         PipelineSchedule::OneFOneB => p.min(micro_batches) as f64,
     };
-    let peak_memory_bytes = layers_per_stage as f64
-        * (stage.persistent_bytes + in_flight * stage.stash_bytes);
+    let peak_memory_bytes =
+        layers_per_stage as f64 * (stage.persistent_bytes + in_flight * stage.stash_bytes);
 
     ThreeDReport {
         config,
@@ -209,7 +229,10 @@ mod tests {
 
     fn small_model() -> ModelConfig {
         // A shrunken stand-in so debug-mode tests stay fast.
-        ModelConfig { layers: 8, ..ModelConfig::opt_6_7b() }
+        ModelConfig {
+            layers: 8,
+            ..ModelConfig::opt_6_7b()
+        }
     }
 
     #[test]
@@ -217,8 +240,16 @@ mod tests {
         let model = small_model();
         let graph = model.layer_graph(8, 512);
         let plan = megatron_layer_plan(&graph, 1, 2);
-        let base = ThreeDConfig { p: 2, d: 1, m: 2, micro_batches: 2 };
-        let more = ThreeDConfig { micro_batches: 8, ..base };
+        let base = ThreeDConfig {
+            p: 2,
+            d: 1,
+            m: 2,
+            micro_batches: 2,
+        };
+        let more = ThreeDConfig {
+            micro_batches: 8,
+            ..base
+        };
         let r2 = simulate_3d(&model, &graph, &plan, base, 8, 512);
         let r8 = simulate_3d(&model, &graph, &plan, more, 8, 512);
         assert!(
@@ -238,7 +269,12 @@ mod tests {
             &model,
             &graph,
             &plan,
-            ThreeDConfig { p: 2, d: 1, m: 2, micro_batches: 4 },
+            ThreeDConfig {
+                p: 2,
+                d: 1,
+                m: 2,
+                micro_batches: 4,
+            },
             8,
             512,
         );
@@ -246,7 +282,12 @@ mod tests {
             &model,
             &graph,
             &plan,
-            ThreeDConfig { p: 2, d: 2, m: 2, micro_batches: 4 },
+            ThreeDConfig {
+                p: 2,
+                d: 2,
+                m: 2,
+                micro_batches: 4,
+            },
             8,
             512,
         );
@@ -261,12 +302,22 @@ mod tests {
         let model = small_model();
         let graph = model.layer_graph(8, 512);
         let plan = megatron_layer_plan(&graph, 1, 2);
-        let cfg = ThreeDConfig { p: 2, d: 1, m: 2, micro_batches: 8 };
-        let gpipe = super::simulate_3d_with(
-            &model, &graph, &plan, cfg, 8, 512, PipelineSchedule::GPipe,
-        );
+        let cfg = ThreeDConfig {
+            p: 2,
+            d: 1,
+            m: 2,
+            micro_batches: 8,
+        };
+        let gpipe =
+            super::simulate_3d_with(&model, &graph, &plan, cfg, 8, 512, PipelineSchedule::GPipe);
         let ofob = super::simulate_3d_with(
-            &model, &graph, &plan, cfg, 8, 512, PipelineSchedule::OneFOneB,
+            &model,
+            &graph,
+            &plan,
+            cfg,
+            8,
+            512,
+            PipelineSchedule::OneFOneB,
         );
         // Same bubble math, strictly less activation memory for 1F1B.
         assert_eq!(gpipe.iteration_time, ofob.iteration_time);
@@ -284,12 +335,20 @@ mod tests {
         let graph = model.layer_graph(4, 512);
         let cluster_m = Cluster::v100_like(4);
         let opts = PlannerOptions {
-            space: SpaceOptions { allow_batch_split: false, ..SpaceOptions::default() },
+            space: SpaceOptions {
+                allow_batch_split: false,
+                ..SpaceOptions::default()
+            },
             alpha: 0.0,
             ..PlannerOptions::default()
         };
         let plan = Planner::new(&cluster_m, &graph, opts).optimize(model.layers);
-        let cfg = ThreeDConfig { p: 2, d: 1, m: 4, micro_batches: 4 };
+        let cfg = ThreeDConfig {
+            p: 2,
+            d: 1,
+            m: 4,
+            micro_batches: 4,
+        };
         let r = simulate_3d(&model, &graph, &plan.seqs, cfg, 8, 512);
         assert!(r.tokens_per_second > 0.0);
         assert_eq!(r.config.devices(), 8);

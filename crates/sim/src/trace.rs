@@ -1,0 +1,288 @@
+//! Chrome-trace export of simulated timelines.
+//!
+//! [`chrome_trace`] maps a [`Timeline`] onto `trace_event` spans — one lane
+//! (`tid`) per `(operator, event kind)` pair in first-appearance order, the
+//! same lane assignment as [`render_gantt`](crate::render_gantt) — so the
+//! paper's Fig. 9 kernel timelines open directly in `chrome://tracing` or
+//! Perfetto. [`timeline_from_trace`] inverts the mapping exactly: the span
+//! `args` carry the original `f64` start/duration in seconds (rendered in
+//! shortest-round-trip form), so export → parse reproduces every
+//! [`TimelineEvent`] bit for bit.
+
+use primepar_obs::{Json, Metrics, TraceError, TraceEvent};
+use primepar_partition::Phase;
+
+use crate::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
+
+/// `pid` used for all simulator spans (one simulated device timeline).
+const SIM_PID: u64 = 1;
+
+fn kind_name(kind: EventKind) -> &'static str {
+    match kind {
+        EventKind::Compute => "compute",
+        EventKind::Ring => "ring",
+        EventKind::AllReduce => "allreduce",
+        EventKind::Redistribution => "redistribution",
+    }
+}
+
+fn kind_from_name(name: &str) -> Option<EventKind> {
+    match name {
+        "compute" => Some(EventKind::Compute),
+        "ring" => Some(EventKind::Ring),
+        "allreduce" => Some(EventKind::AllReduce),
+        "redistribution" => Some(EventKind::Redistribution),
+        _ => None,
+    }
+}
+
+fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::Forward => "forward",
+        Phase::Backward => "backward",
+        Phase::Gradient => "gradient",
+    }
+}
+
+fn phase_from_name(name: &str) -> Option<Phase> {
+    match name {
+        "forward" => Some(Phase::Forward),
+        "backward" => Some(Phase::Backward),
+        "gradient" => Some(Phase::Gradient),
+        _ => None,
+    }
+}
+
+/// Maps a timeline onto Chrome `trace_event` spans: `name` is the operator,
+/// `cat` the event kind, `tid` the `(op, kind)` lane in first-appearance
+/// order, `ts`/`dur` microseconds. `args` carries the phase and the exact
+/// second-resolution start/duration used by [`timeline_from_trace`].
+pub fn chrome_trace(timeline: &Timeline) -> Vec<TraceEvent> {
+    let mut lanes: Vec<(String, EventKind)> = Vec::new();
+    timeline
+        .iter()
+        .map(|ev| {
+            let lane = lanes
+                .iter()
+                .position(|(op, kind)| *op == ev.op && *kind == ev.kind)
+                .unwrap_or_else(|| {
+                    lanes.push((ev.op.clone(), ev.kind));
+                    lanes.len() - 1
+                });
+            TraceEvent {
+                name: ev.op.clone(),
+                cat: kind_name(ev.kind).to_string(),
+                pid: SIM_PID,
+                tid: lane as u64,
+                ts_us: ev.start * 1e6,
+                dur_us: ev.duration * 1e6,
+                args: vec![
+                    (
+                        "phase".to_string(),
+                        Json::Str(phase_name(ev.phase).to_string()),
+                    ),
+                    ("start_s".to_string(), Json::Num(ev.start)),
+                    ("dur_s".to_string(), Json::Num(ev.duration)),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Renders a timeline as a Chrome-loadable `trace_event` JSON array.
+pub fn render_chrome_trace(timeline: &Timeline) -> String {
+    primepar_obs::render_trace(&chrome_trace(timeline))
+}
+
+/// Reconstructs the timeline from exported spans — the exact inverse of
+/// [`chrome_trace`] thanks to the `start_s`/`dur_s` args.
+///
+/// # Errors
+///
+/// Returns [`TraceError::Shape`] when a span is missing the simulator args
+/// or names an unknown phase or event kind.
+pub fn timeline_from_trace(events: &[TraceEvent]) -> Result<Timeline, TraceError> {
+    events
+        .iter()
+        .enumerate()
+        .map(|(i, ev)| {
+            let fail = |m: &str| TraceError::Shape(format!("event {i}: {m}"));
+            let kind = kind_from_name(&ev.cat)
+                .ok_or_else(|| fail(&format!("unknown event kind `{}`", ev.cat)))?;
+            let arg = |key: &str| ev.args.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+            let phase = arg("phase")
+                .and_then(Json::as_str)
+                .and_then(phase_from_name)
+                .ok_or_else(|| fail("missing or unknown `args.phase`"))?;
+            let start = arg("start_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("missing numeric `args.start_s`"))?;
+            let duration = arg("dur_s")
+                .and_then(Json::as_f64)
+                .ok_or_else(|| fail("missing numeric `args.dur_s`"))?;
+            Ok(TimelineEvent {
+                op: ev.name.clone(),
+                phase,
+                kind,
+                start,
+                duration,
+            })
+        })
+        .collect()
+}
+
+/// Parses a rendered Chrome trace back into a timeline.
+///
+/// # Errors
+///
+/// Returns [`TraceError`] on invalid JSON, a malformed `trace_event` array,
+/// or spans that are not simulator exports.
+pub fn parse_chrome_trace(text: &str) -> Result<Timeline, TraceError> {
+    timeline_from_trace(&primepar_obs::parse_trace(text)?)
+}
+
+/// Renders an iteration breakdown as a JSON object (`compute`, `collective`,
+/// `ring_total`, `ring_exposed`, `redistribution`, `total` seconds).
+pub fn breakdown_json(b: &Breakdown) -> Json {
+    Json::obj()
+        .with("compute", b.compute)
+        .with("collective", b.collective)
+        .with("ring_total", b.ring_total)
+        .with("ring_exposed", b.ring_exposed)
+        .with("redistribution", b.redistribution)
+        .with("total", b.total())
+}
+
+/// Folds a simulated layer report into an observability registry under
+/// `sim.*`: per-iteration breakdown totals, latency, memory, event counts.
+pub fn layer_report_metrics(report: &LayerReport) -> Metrics {
+    let mut m = Metrics::new();
+    m.gauge("sim.layer_time_seconds", report.layer_time);
+    m.gauge("sim.breakdown.compute_seconds", report.breakdown.compute);
+    m.gauge(
+        "sim.breakdown.collective_seconds",
+        report.breakdown.collective,
+    );
+    m.gauge(
+        "sim.breakdown.ring_total_seconds",
+        report.breakdown.ring_total,
+    );
+    m.gauge(
+        "sim.breakdown.ring_exposed_seconds",
+        report.breakdown.ring_exposed,
+    );
+    m.gauge(
+        "sim.breakdown.redistribution_seconds",
+        report.breakdown.redistribution,
+    );
+    m.gauge("sim.breakdown.total_seconds", report.breakdown.total());
+    m.gauge("sim.peak_memory_bytes", report.peak_memory_bytes);
+    m.gauge("sim.persistent_bytes", report.persistent_bytes);
+    m.gauge("sim.stash_bytes", report.stash_bytes);
+    m.incr("sim.timeline.events", report.timeline.len() as u64);
+    for ev in &report.timeline {
+        m.incr(&format!("sim.timeline.{}_events", kind_name(ev.kind)), 1);
+        m.observe(
+            &format!("sim.timeline.{}_seconds", kind_name(ev.kind)),
+            ev.duration,
+        );
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_timeline() -> Timeline {
+        vec![
+            TimelineEvent {
+                op: "fc1".into(),
+                phase: Phase::Forward,
+                kind: EventKind::Compute,
+                start: 0.0,
+                duration: 0.125e-3,
+            },
+            TimelineEvent {
+                op: "fc1".into(),
+                phase: Phase::Forward,
+                kind: EventKind::Ring,
+                start: 0.0,
+                duration: 0.1e-3, // not exactly representable: exercises round-trip
+            },
+            TimelineEvent {
+                op: "fc2".into(),
+                phase: Phase::Backward,
+                kind: EventKind::AllReduce,
+                start: 0.125e-3,
+                duration: 0.25e-3,
+            },
+        ]
+    }
+
+    #[test]
+    fn lanes_match_gantt_order() {
+        let spans = chrome_trace(&sample_timeline());
+        // (fc1, compute) -> 0, (fc1, ring) -> 1, (fc2, allreduce) -> 2.
+        assert_eq!(
+            spans.iter().map(|s| s.tid).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        assert_eq!(spans[1].cat, "ring");
+        assert!((spans[2].ts_us - 125.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rendered_trace_roundtrips_exactly() {
+        let tl = sample_timeline();
+        let text = render_chrome_trace(&tl);
+        assert_eq!(parse_chrome_trace(&text).unwrap(), tl);
+    }
+
+    #[test]
+    fn foreign_spans_are_rejected() {
+        let mut spans = chrome_trace(&sample_timeline());
+        spans[0].cat = "mystery".into();
+        assert!(matches!(
+            timeline_from_trace(&spans),
+            Err(TraceError::Shape(_))
+        ));
+        let mut spans = chrome_trace(&sample_timeline());
+        spans[0].args.clear();
+        assert!(matches!(
+            timeline_from_trace(&spans),
+            Err(TraceError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn real_simulation_exports_and_reloads() {
+        use primepar_graph::ModelConfig;
+        use primepar_search::megatron_layer_plan;
+        use primepar_topology::Cluster;
+
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        let report = crate::simulate_layer(&cluster, &graph, &megatron_layer_plan(&graph, 1, 4));
+        let text = render_chrome_trace(&report.timeline);
+        assert_eq!(parse_chrome_trace(&text).unwrap(), report.timeline);
+
+        let m = layer_report_metrics(&report);
+        assert!(m.counter("sim.timeline.events") > 0);
+        assert!(m.gauge_value("sim.breakdown.total_seconds").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_json_carries_components() {
+        let b = Breakdown {
+            compute: 2.0,
+            collective: 1.0,
+            ring_total: 0.5,
+            ring_exposed: 0.25,
+            redistribution: 0.75,
+        };
+        let doc = breakdown_json(&b);
+        assert_eq!(doc.get("total").and_then(Json::as_f64), Some(4.0));
+        assert_eq!(doc.get("ring_exposed").and_then(Json::as_f64), Some(0.25));
+    }
+}

@@ -15,7 +15,9 @@ fn cost_model_totals_equal_simulated_layer_time() {
     for plan in [
         megatron_layer_plan(&graph, 2, 2),
         megatron_layer_plan(&graph, 1, 4),
-        Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1).seqs,
+        Planner::new(&cluster, &graph, PlannerOptions::default())
+            .optimize(1)
+            .seqs,
     ] {
         let ctx = CostCtx::new(&cluster, 0.0);
         let intra_total: f64 = graph
@@ -28,7 +30,14 @@ fn cost_model_totals_equal_simulated_layer_time() {
             .edges
             .iter()
             .map(|e| {
-                inter_cost(&ctx, e, &graph.ops[e.src], &graph.ops[e.dst], &plan[e.src], &plan[e.dst])
+                inter_cost(
+                    &ctx,
+                    e,
+                    &graph.ops[e.src],
+                    &graph.ops[e.dst],
+                    &plan[e.src],
+                    &plan[e.dst],
+                )
             })
             .sum();
         let sim = simulate_layer(&cluster, &graph, &plan);

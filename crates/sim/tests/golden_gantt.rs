@@ -1,0 +1,67 @@
+//! Golden-snapshot test for `render_gantt` (ISSUE 1 satellite b).
+//!
+//! Same recipe as the search crate's `golden_explain` test: a deterministic
+//! cluster + graph + closed-form Megatron plan, so the ASCII Gantt chart must
+//! be byte-identical across runs and platforms. Regenerate after a legitimate
+//! simulator change with:
+//!
+//! ```text
+//! cargo test -p primepar-sim --test golden_gantt -- --nocapture
+//! ```
+//!
+//! and copy the printed actual output over `tests/golden/gantt_opt67b_tp4.txt`.
+
+use primepar_graph::ModelConfig;
+use primepar_search::megatron_layer_plan;
+use primepar_sim::{render_gantt, simulate_layer};
+use primepar_topology::Cluster;
+
+const GOLDEN: &str = include_str!("golden/gantt_opt67b_tp4.txt");
+
+fn timeline() -> primepar_sim::Timeline {
+    let cluster = Cluster::v100_like(4);
+    let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+    let plan = megatron_layer_plan(&graph, 2, 2);
+    simulate_layer(&cluster, &graph, &plan).timeline
+}
+
+#[test]
+fn render_gantt_matches_golden_snapshot() {
+    let actual = render_gantt(&timeline(), 72);
+    if actual != GOLDEN {
+        println!("--- actual output ---\n{actual}--- end actual ---");
+    }
+    assert_eq!(
+        actual, GOLDEN,
+        "render_gantt drifted from the golden snapshot"
+    );
+}
+
+#[test]
+fn gantt_lane_order_matches_chrome_trace_lane_order() {
+    // The ASCII chart and the Chrome trace must tell the same story: lanes
+    // appear in first-appearance order of (operator, kind) in both exports.
+    let timeline = timeline();
+    let chart = render_gantt(&timeline, 72);
+    let events = primepar_sim::chrome_trace(&timeline);
+    let mut seen_tids = std::collections::HashSet::new();
+    let mut trace_lanes = Vec::new();
+    for ev in &events {
+        if seen_tids.insert(ev.tid) {
+            trace_lanes.push(ev.name.clone());
+        }
+    }
+    // The chart pads each op name to `label_width` and appends a 3-char kind
+    // tag; the header is `label_width` spaces, two spaces, then the axis.
+    let header = chart.lines().next().expect("axis header");
+    let label_width = header.find('|').expect("axis start") - 2;
+    let chart_lanes: Vec<String> = chart
+        .lines()
+        .skip(1)
+        .map(|l| l[..label_width].trim_end().to_string())
+        .collect();
+    assert_eq!(chart_lanes.len(), trace_lanes.len(), "lane count mismatch");
+    for (chart_op, trace_op) in chart_lanes.iter().zip(&trace_lanes) {
+        assert_eq!(chart_op, trace_op, "lane order diverged between exports");
+    }
+}

@@ -47,15 +47,25 @@ impl fmt::Display for TensorError {
                 write!(f, "shape mismatch in `{op}`: lhs {lhs:?} vs rhs {rhs:?}")
             }
             TensorError::LengthMismatch { expected, actual } => {
-                write!(f, "data length {actual} does not match shape volume {expected}")
+                write!(
+                    f,
+                    "data length {actual} does not match shape volume {expected}"
+                )
             }
             TensorError::OutOfBounds { dim, range, extent } => write!(
                 f,
                 "range {}..{} out of bounds for dimension {dim} of extent {extent}",
                 range.0, range.1
             ),
-            TensorError::RankMismatch { op, expected, actual } => {
-                write!(f, "rank mismatch in `{op}`: expected {expected}, got {actual}")
+            TensorError::RankMismatch {
+                op,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "rank mismatch in `{op}`: expected {expected}, got {actual}"
+                )
             }
         }
     }

@@ -114,7 +114,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] for rank-0 tensors.
     pub fn softmax_last_dim(&self) -> Result<Tensor> {
         if self.rank() == 0 {
-            return Err(TensorError::RankMismatch { op: "softmax", expected: 1, actual: 0 });
+            return Err(TensorError::RankMismatch {
+                op: "softmax",
+                expected: 1,
+                actual: 0,
+            });
         }
         let last = self.shape().dim(self.rank() - 1);
         let rows = self.shape().volume() / last;
@@ -170,7 +174,12 @@ impl Tensor {
     /// # Errors
     ///
     /// Returns an error if parameter extents do not match the last dimension.
-    pub fn layer_norm(&self, gamma: &Tensor, beta: &Tensor, eps: f32) -> Result<(Tensor, Tensor, Tensor)> {
+    pub fn layer_norm(
+        &self,
+        gamma: &Tensor,
+        beta: &Tensor,
+        eps: f32,
+    ) -> Result<(Tensor, Tensor, Tensor)> {
         let last = self.shape().dim(self.rank() - 1);
         if gamma.shape().volume() != last || beta.shape().volume() != last {
             return Err(TensorError::ShapeMismatch {

@@ -29,12 +29,25 @@ impl Tensor {
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`], applied to the transposed views.
-    pub fn matmul_ex(&self, rhs: &Tensor, transpose_lhs: bool, transpose_rhs: bool) -> Result<Tensor> {
+    pub fn matmul_ex(
+        &self,
+        rhs: &Tensor,
+        transpose_lhs: bool,
+        transpose_rhs: bool,
+    ) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         if rhs.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: rhs.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "matmul",
+                expected: 2,
+                actual: rhs.rank(),
+            });
         }
         let (lm, lk) = (self.shape().dim(0), self.shape().dim(1));
         let (rm, rk) = (rhs.shape().dim(0), rhs.shape().dim(1));
@@ -56,7 +69,11 @@ impl Tensor {
         // (no-transpose) case and is easily adapted for the transposed cases.
         for i in 0..m {
             for p in 0..inner {
-                let av = if transpose_lhs { a[p * lk + i] } else { a[i * lk + p] };
+                let av = if transpose_lhs {
+                    a[p * lk + i]
+                } else {
+                    a[i * lk + p]
+                };
                 if av == 0.0 {
                     continue;
                 }
@@ -94,7 +111,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch {
                 op: "batched_matmul",
                 expected: 3,
-                actual: if self.rank() != 3 { self.rank() } else { rhs.rank() },
+                actual: if self.rank() != 3 {
+                    self.rank()
+                } else {
+                    rhs.rank()
+                },
             });
         }
         if self.shape().dim(0) != rhs.shape().dim(0) {
@@ -129,7 +150,11 @@ impl Tensor {
     /// Returns [`TensorError::RankMismatch`] unless the tensor is rank 2.
     pub fn transpose(&self) -> Result<Tensor> {
         if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: self.rank() });
+            return Err(TensorError::RankMismatch {
+                op: "transpose",
+                expected: 2,
+                actual: self.rank(),
+            });
         }
         let (m, n) = (self.shape().dim(0), self.shape().dim(1));
         let mut out = Tensor::zeros(vec![n, m]);
@@ -212,8 +237,12 @@ impl Tensor {
             });
         }
         let dims = self.shape().dims();
-        let out_dims: Vec<usize> =
-            dims.iter().enumerate().filter(|&(i, _)| i != axis).map(|(_, &d)| d).collect();
+        let out_dims: Vec<usize> = dims
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != axis)
+            .map(|(_, &d)| d)
+            .collect();
         let outer: usize = dims[..axis].iter().product();
         let mid = dims[axis];
         let inner: usize = dims[axis + 1..].iter().product();
@@ -232,7 +261,12 @@ impl Tensor {
         Ok(out)
     }
 
-    fn zip_with(&self, rhs: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn zip_with(
+        &self,
+        rhs: &Tensor,
+        op: &'static str,
+        f: impl Fn(f32, f32) -> f32,
+    ) -> Result<Tensor> {
         if self.shape() != rhs.shape() {
             return Err(TensorError::ShapeMismatch {
                 op,
@@ -240,7 +274,12 @@ impl Tensor {
                 rhs: rhs.shape().dims().to_vec(),
             });
         }
-        let data = self.data().iter().zip(rhs.data()).map(|(&a, &b)| f(a, b)).collect();
+        let data = self
+            .data()
+            .iter()
+            .zip(rhs.data())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
         Tensor::from_vec(self.shape().clone(), data)
     }
 }
@@ -270,9 +309,15 @@ mod tests {
     fn matmul_shape_errors() {
         let a = Tensor::zeros(vec![2, 3]);
         let b = Tensor::zeros(vec![2, 3]);
-        assert!(matches!(a.matmul(&b), Err(TensorError::ShapeMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(TensorError::ShapeMismatch { .. })
+        ));
         let v = Tensor::zeros(vec![3]);
-        assert!(matches!(a.matmul(&v), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&v),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -299,9 +344,21 @@ mod tests {
         let c = a.batched_matmul(&b, false, false).unwrap();
         assert_eq!(c.shape().dims(), &[3, 2, 5]);
         for batch in 0..3 {
-            let ab = a.slice(&[batch..batch + 1, 0..2, 0..4]).unwrap().reshape(vec![2, 4]).unwrap();
-            let bb = b.slice(&[batch..batch + 1, 0..4, 0..5]).unwrap().reshape(vec![4, 5]).unwrap();
-            let cb = c.slice(&[batch..batch + 1, 0..2, 0..5]).unwrap().reshape(vec![2, 5]).unwrap();
+            let ab = a
+                .slice(&[batch..batch + 1, 0..2, 0..4])
+                .unwrap()
+                .reshape(vec![2, 4])
+                .unwrap();
+            let bb = b
+                .slice(&[batch..batch + 1, 0..4, 0..5])
+                .unwrap()
+                .reshape(vec![4, 5])
+                .unwrap();
+            let cb = c
+                .slice(&[batch..batch + 1, 0..2, 0..5])
+                .unwrap()
+                .reshape(vec![2, 5])
+                .unwrap();
             assert!(cb.allclose(&ab.matmul(&bb).unwrap(), 1e-5));
         }
     }

@@ -79,7 +79,10 @@ impl Tensor {
     /// deterministic test fixtures.
     pub fn arange(n: usize, step: f32) -> Self {
         let data = (0..n).map(|i| i as f32 * step).collect();
-        Tensor { shape: Shape::new(vec![n]), data }
+        Tensor {
+            shape: Shape::new(vec![n]),
+            data,
+        }
     }
 
     /// The tensor's shape.
@@ -134,7 +137,10 @@ impl Tensor {
                 actual: self.data.len(),
             });
         }
-        Ok(Tensor { shape, data: self.data.clone() })
+        Ok(Tensor {
+            shape,
+            data: self.data.clone(),
+        })
     }
 
     /// Extracts the sub-block covered by per-dimension half-open ranges.
@@ -246,7 +252,10 @@ impl Tensor {
     ///
     /// Panics if the shapes differ.
     pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
-        assert_eq!(self.shape, other.shape, "max_abs_diff requires equal shapes");
+        assert_eq!(
+            self.shape, other.shape,
+            "max_abs_diff requires equal shapes"
+        );
         self.data
             .iter()
             .zip(&other.data)
@@ -416,7 +425,10 @@ mod tests {
         ));
         #[allow(clippy::single_range_in_vec_init)] // deliberately wrong rank
         let short: [std::ops::Range<usize>; 1] = [0..1];
-        assert!(matches!(t.slice(&short), Err(TensorError::RankMismatch { .. })));
+        assert!(matches!(
+            t.slice(&short),
+            Err(TensorError::RankMismatch { .. })
+        ));
     }
 
     #[test]
@@ -448,8 +460,7 @@ mod tests {
 
     #[test]
     fn slice_3d_block() {
-        let t =
-            Tensor::from_vec(vec![2, 3, 4], (0..24).map(|x| x as f32).collect()).unwrap();
+        let t = Tensor::from_vec(vec![2, 3, 4], (0..24).map(|x| x as f32).collect()).unwrap();
         let b = t.slice(&[1..2, 1..3, 2..4]).unwrap();
         assert_eq!(b.shape().dims(), &[1, 2, 2]);
         assert_eq!(b.data(), &[18.0, 19.0, 22.0, 23.0]);
@@ -469,7 +480,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(42);
         let t = Tensor::randn(vec![10_000], 1.0, &mut rng);
         let mean = t.sum() / 10_000.0;
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / 10_000.0;
+        let var = t
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / 10_000.0;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!((var - 1.0).abs() < 0.1, "var {var}");
     }

@@ -78,7 +78,10 @@ impl fmt::Display for ClusterError {
         match self {
             ClusterError::NotPowerOfTwo(n) => write!(f, "device count {n} is not a power of two"),
             ClusterError::BadNodeSize { devices, per_node } => {
-                write!(f, "devices per node {per_node} does not divide device count {devices}")
+                write!(
+                    f,
+                    "devices per node {per_node} does not divide device count {devices}"
+                )
             }
         }
     }
@@ -115,11 +118,17 @@ impl Cluster {
             num_devices,
             per_node,
             // NVLink 300 GB/s aggregate → ~150 GB/s effective per direction.
-            LinkModel { latency_s: 5e-6, bandwidth: 150e9 },
+            LinkModel {
+                latency_s: 5e-6,
+                bandwidth: 150e9,
+            },
             // "100 GB/s InfiniBand" per node (§6); NIC sharing between
             // concurrent flows is modeled per-call via the `concurrent_flows`
             // argument of the timing functions.
-            LinkModel { latency_s: 12e-6, bandwidth: 100e9 },
+            LinkModel {
+                latency_s: 12e-6,
+                bandwidth: 100e9,
+            },
             DeviceModel {
                 // V100 deep-learning throughput (mixed precision) and HBM2.
                 flops: 112e12,
@@ -139,7 +148,10 @@ impl Cluster {
     ///
     /// Panics if `num_devices` is not a power of two.
     pub fn torus_like(num_devices: usize) -> Self {
-        let link = LinkModel { latency_s: 4e-6, bandwidth: 100e9 };
+        let link = LinkModel {
+            latency_s: 4e-6,
+            bandwidth: 100e9,
+        };
         Cluster::new(
             num_devices,
             num_devices, // a torus has no node hierarchy
@@ -174,7 +186,10 @@ impl Cluster {
             return Err(ClusterError::NotPowerOfTwo(num_devices));
         }
         if devices_per_node == 0 || !num_devices.is_multiple_of(devices_per_node) {
-            return Err(ClusterError::BadNodeSize { devices: num_devices, per_node: devices_per_node });
+            return Err(ClusterError::BadNodeSize {
+                devices: num_devices,
+                per_node: devices_per_node,
+            });
         }
         Ok(Cluster {
             space: DeviceSpace::for_devices(num_devices),
@@ -230,7 +245,10 @@ impl Cluster {
     /// The link model for a class; [`LinkClass::Loopback`] is free.
     pub fn link(&self, class: LinkClass) -> LinkModel {
         match class {
-            LinkClass::Loopback => LinkModel { latency_s: 0.0, bandwidth: f64::INFINITY },
+            LinkClass::Loopback => LinkModel {
+                latency_s: 0.0,
+                bandwidth: f64::INFINITY,
+            },
             LinkClass::IntraNode => self.intra,
             LinkClass::InterNode => self.inter,
         }
@@ -336,8 +354,16 @@ mod tests {
 
     #[test]
     fn new_validates_inputs() {
-        let lm = LinkModel { latency_s: 1e-6, bandwidth: 1e9 };
-        let dm = DeviceModel { flops: 1e12, mem_bandwidth: 1e11, memory_bytes: 1e9, kernel_overhead_s: 1e-6 };
+        let lm = LinkModel {
+            latency_s: 1e-6,
+            bandwidth: 1e9,
+        };
+        let dm = DeviceModel {
+            flops: 1e12,
+            mem_bandwidth: 1e11,
+            memory_bytes: 1e9,
+            kernel_overhead_s: 1e-6,
+        };
         assert!(matches!(
             Cluster::new(6, 2, lm, lm, dm, Topology::Hierarchical),
             Err(ClusterError::NotPowerOfTwo(6))
@@ -377,7 +403,10 @@ mod tests {
         assert!(t4 > 3.0 * t1 && t4 < 4.5 * t1, "t1={t1}, t4={t4}");
         // Intra-node groups are not affected by NIC sharing.
         let intra: Vec<DeviceId> = vec![DeviceId(0), DeviceId(1)];
-        assert_eq!(c.allreduce_time(1e7, &intra, 1), c.allreduce_time(1e7, &intra, 4));
+        assert_eq!(
+            c.allreduce_time(1e7, &intra, 1),
+            c.allreduce_time(1e7, &intra, 4)
+        );
     }
 
     #[test]
@@ -393,7 +422,10 @@ mod tests {
         let spanning: Vec<DeviceId> = vec![DeviceId(0), DeviceId(12)];
         assert_eq!(c.group_bottleneck(&spanning), LinkClass::IntraNode);
         // No NIC sharing penalty on the torus.
-        assert_eq!(c.allreduce_time(1e7, &spanning, 1), c.allreduce_time(1e7, &spanning, 8));
+        assert_eq!(
+            c.allreduce_time(1e7, &spanning, 1),
+            c.allreduce_time(1e7, &spanning, 8)
+        );
     }
 
     #[test]
@@ -407,7 +439,9 @@ mod tests {
     #[test]
     fn p2p_time_depends_on_link_class() {
         let c = Cluster::v100_like(8);
-        assert!(c.p2p_time(1e6, DeviceId(0), DeviceId(4)) > c.p2p_time(1e6, DeviceId(0), DeviceId(1)));
+        assert!(
+            c.p2p_time(1e6, DeviceId(0), DeviceId(4)) > c.p2p_time(1e6, DeviceId(0), DeviceId(1))
+        );
         assert_eq!(c.p2p_time(1e6, DeviceId(0), DeviceId(0)), 0.0);
     }
 }

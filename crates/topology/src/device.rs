@@ -53,7 +53,10 @@ impl DeviceSpace {
     ///
     /// Panics if `n_bits > 30` (absurdly large spaces).
     pub fn new(n_bits: usize) -> Self {
-        assert!(n_bits <= 30, "device space of 2^{n_bits} devices is not supported");
+        assert!(
+            n_bits <= 30,
+            "device space of 2^{n_bits} devices is not supported"
+        );
         DeviceSpace { n_bits }
     }
 
@@ -86,7 +89,11 @@ impl DeviceSpace {
     ///
     /// Panics if `pos` is zero or exceeds `n_bits`.
     pub fn bit(&self, device: DeviceId, pos: usize) -> usize {
-        assert!(pos >= 1 && pos <= self.n_bits, "bit position {pos} out of 1..={}", self.n_bits);
+        assert!(
+            pos >= 1 && pos <= self.n_bits,
+            "bit position {pos} out of 1..={}",
+            self.n_bits
+        );
         (device.0 >> (self.n_bits - pos)) & 1
     }
 
@@ -107,7 +114,10 @@ impl DeviceSpace {
     /// Panics if any indicator position is out of range.
     pub fn groups(&self, indicator: &GroupIndicator) -> Vec<Vec<DeviceId>> {
         for &pos in &indicator.positions {
-            assert!(pos >= 1 && pos <= self.n_bits, "indicator bit {pos} out of range");
+            assert!(
+                pos >= 1 && pos <= self.n_bits,
+                "indicator bit {pos} out of range"
+            );
         }
         let mask: usize = indicator
             .positions
@@ -168,7 +178,9 @@ impl GroupIndicator {
 
     /// An indicator selecting no bits.
     pub fn empty() -> Self {
-        GroupIndicator { positions: Vec::new() }
+        GroupIndicator {
+            positions: Vec::new(),
+        }
     }
 
     /// The sorted bit positions.
@@ -235,8 +247,10 @@ mod tests {
         let s = DeviceSpace::new(3);
         let g = s.groups(&GroupIndicator::new(vec![1, 3]));
         assert_eq!(g.len(), 2);
-        let flat: Vec<Vec<usize>> =
-            g.iter().map(|grp| grp.iter().map(|d| d.0).collect()).collect();
+        let flat: Vec<Vec<usize>> = g
+            .iter()
+            .map(|grp| grp.iter().map(|d| d.0).collect())
+            .collect();
         // Group with d2 = 0: devices {000, 001, 100, 101} = {0,1,4,5}
         assert_eq!(flat[0], vec![0, 1, 4, 5]);
         // Group with d2 = 1: {010, 011, 110, 111} = {2,3,6,7}
@@ -248,8 +262,10 @@ mod tests {
         // Ablation §6.3: indicator (d1) on 8 GPUs → (0,4), (1,5), (2,6), (3,7).
         let s = DeviceSpace::new(3);
         let g = s.groups(&GroupIndicator::new(vec![1]));
-        let flat: Vec<Vec<usize>> =
-            g.iter().map(|grp| grp.iter().map(|d| d.0).collect()).collect();
+        let flat: Vec<Vec<usize>> = g
+            .iter()
+            .map(|grp| grp.iter().map(|d| d.0).collect())
+            .collect();
         assert_eq!(flat, vec![vec![0, 4], vec![1, 5], vec![2, 6], vec![3, 7]]);
     }
 
@@ -258,8 +274,10 @@ mod tests {
         // Ablation §6.3: indicator (d2, d3) → intra-node groups (0..3), (4..7).
         let s = DeviceSpace::new(3);
         let g = s.groups(&GroupIndicator::new(vec![2, 3]));
-        let flat: Vec<Vec<usize>> =
-            g.iter().map(|grp| grp.iter().map(|d| d.0).collect()).collect();
+        let flat: Vec<Vec<usize>> = g
+            .iter()
+            .map(|grp| grp.iter().map(|d| d.0).collect())
+            .collect();
         assert_eq!(flat, vec![vec![0, 1, 2, 3], vec![4, 5, 6, 7]]);
     }
 
@@ -288,8 +306,7 @@ mod tests {
             GroupIndicator::new(vec![1, 3, 4]),
         ] {
             let groups = s.groups(&ind);
-            let mut all: Vec<usize> =
-                groups.iter().flatten().map(|d| d.index()).collect();
+            let mut all: Vec<usize> = groups.iter().flatten().map(|d| d.index()).collect();
             all.sort_unstable();
             assert_eq!(all, (0..16).collect::<Vec<_>>());
             for grp in &groups {

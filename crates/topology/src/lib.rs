@@ -37,6 +37,5 @@ mod profile;
 pub use cluster::{Cluster, ClusterError, DeviceModel, LinkClass, LinkModel, Topology};
 pub use device::{DeviceId, DeviceSpace, GroupIndicator};
 pub use profile::{
-    all_indicators, fit_linear, fit_linear2, CommProfile, ComputeProfile, LinearModel,
-    LinearModel2,
+    all_indicators, fit_linear, fit_linear2, CommProfile, ComputeProfile, LinearModel, LinearModel2,
 };

@@ -51,14 +51,20 @@ impl LinearModel2 {
 ///
 /// Panics if fewer than two samples are supplied or all `x` are identical.
 pub fn fit_linear(xs: &[f64], ys: &[f64]) -> LinearModel {
-    assert!(xs.len() >= 2 && xs.len() == ys.len(), "need >= 2 paired samples");
+    assert!(
+        xs.len() >= 2 && xs.len() == ys.len(),
+        "need >= 2 paired samples"
+    );
     let n = xs.len() as f64;
     let sx: f64 = xs.iter().sum();
     let sy: f64 = ys.iter().sum();
     let sxx: f64 = xs.iter().map(|x| x * x).sum();
     let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| x * y).sum();
     let denom = n * sxx - sx * sx;
-    assert!(denom.abs() > f64::EPSILON * n * sxx.max(1.0), "degenerate regressor");
+    assert!(
+        denom.abs() > f64::EPSILON * n * sxx.max(1.0),
+        "degenerate regressor"
+    );
     let slope = (n * sxy - sx * sy) / denom;
     let intercept = (sy - slope * sx) / n;
     LinearModel { intercept, slope }
@@ -88,14 +94,21 @@ pub fn fit_linear2(x1: &[f64], x2: &[f64], ys: &[f64]) -> LinearModel2 {
     let a = [[n, s1, s2], [s1, s11, s12], [s2, s12, s22]];
     let b = [sy, s1y, s2y];
     let c = solve3(a, b).expect("collinear regressors in fit_linear2");
-    LinearModel2 { c0: c[0], c1: c[1], c2: c[2] }
+    LinearModel2 {
+        c0: c[0],
+        c1: c[1],
+        c2: c[2],
+    }
 }
 
 /// Solves a 3×3 linear system by Gaussian elimination with partial pivoting.
 fn solve3(mut a: [[f64; 3]; 3], mut b: [f64; 3]) -> Option<[f64; 3]> {
     for col in 0..3 {
         let pivot = (col..3).max_by(|&i, &j| {
-            a[i][col].abs().partial_cmp(&a[j][col].abs()).expect("finite")
+            a[i][col]
+                .abs()
+                .partial_cmp(&a[j][col].abs())
+                .expect("finite")
         })?;
         if a[pivot][col].abs() < 1e-300 {
             return None;
@@ -139,7 +152,9 @@ impl CommProfile {
         let space = cluster.space();
         let groups = space.groups(indicator);
         let flows = concurrent_internode_flows(cluster, &groups);
-        let sizes: Vec<f64> = (0..8).map(|i| 64.0 * 1024.0 * (1 << (2 * i)) as f64).collect();
+        let sizes: Vec<f64> = (0..8)
+            .map(|i| 64.0 * 1024.0 * (1 << (2 * i)) as f64)
+            .collect();
         let mut ar = Vec::new();
         let mut rs = Vec::new();
         for &bytes in &sizes {
@@ -187,8 +202,14 @@ impl CommProfile {
 
 /// Number of simultaneous inter-node flows induced when every group in
 /// `groups` communicates at once: node-spanning groups contend for the NICs.
-pub(crate) fn concurrent_internode_flows(cluster: &Cluster, groups: &[Vec<crate::DeviceId>]) -> usize {
-    let spanning = groups.iter().filter(|g| cluster.group_spans_nodes(g)).count();
+pub(crate) fn concurrent_internode_flows(
+    cluster: &Cluster,
+    groups: &[Vec<crate::DeviceId>],
+) -> usize {
+    let spanning = groups
+        .iter()
+        .filter(|g| cluster.group_spans_nodes(g))
+        .count();
     // Each spanning group crosses each involved node boundary; spread over the
     // number of nodes, the per-NIC flow count is roughly the number of
     // spanning groups per node pair.
@@ -224,7 +245,9 @@ impl ComputeProfile {
                 times.push(device.kernel_time(f, b));
             }
         }
-        ComputeProfile { model: fit_linear2(&flops, &bytes, &times) }
+        ComputeProfile {
+            model: fit_linear2(&flops, &bytes, &times),
+        }
     }
 
     /// Predicted kernel latency for `flops` floating-point operations over
@@ -270,7 +293,11 @@ mod tests {
     fn fit_linear2_recovers_exact_plane() {
         let x1 = [1.0, 2.0, 3.0, 5.0, 7.0];
         let x2 = [2.0, 1.0, 5.0, 2.0, 9.0];
-        let ys: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| 1.5 + 0.5 * a - 2.0 * b).collect();
+        let ys: Vec<f64> = x1
+            .iter()
+            .zip(&x2)
+            .map(|(a, b)| 1.5 + 0.5 * a - 2.0 * b)
+            .collect();
         let m = fit_linear2(&x1, &x2, &ys);
         assert!((m.c0 - 1.5).abs() < 1e-8);
         assert!((m.c1 - 0.5).abs() < 1e-8);
@@ -296,7 +323,10 @@ mod tests {
                 .map(|g| cluster.allreduce_time(bytes, g, 1))
                 .fold(0.0, f64::max);
             let got = profile.allreduce_time(bytes);
-            assert!((got - expect).abs() < 0.05 * expect + 1e-6, "bytes {bytes}: {got} vs {expect}");
+            assert!(
+                (got - expect).abs() < 0.05 * expect + 1e-6,
+                "bytes {bytes}: {got} vs {expect}"
+            );
         }
     }
 

@@ -2,9 +2,7 @@
 
 use proptest::prelude::*;
 
-use primepar_topology::{
-    fit_linear, fit_linear2, Cluster, DeviceId, DeviceSpace, GroupIndicator,
-};
+use primepar_topology::{fit_linear, fit_linear2, Cluster, DeviceId, DeviceSpace, GroupIndicator};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

@@ -10,11 +10,17 @@ use primepar::{compare_systems, plan_summary};
 fn main() {
     let model = ModelConfig::opt_6_7b();
     let (devices, batch, seq) = (4, 8, 2048);
-    println!("planning {} on {devices} GPUs (batch {batch}, seq {seq})\n", model.name);
+    println!(
+        "planning {} on {devices} GPUs (batch {batch}, seq {seq})\n",
+        model.name
+    );
 
     let rows = compare_systems(&model, devices, batch, seq);
     let base = rows[0].tokens_per_second;
-    println!("{:<10} {:>14} {:>10} {:>12} {:>12}", "system", "tokens/s", "speedup", "peak mem", "search");
+    println!(
+        "{:<10} {:>14} {:>10} {:>12} {:>12}",
+        "system", "tokens/s", "speedup", "peak mem", "search"
+    );
     for r in &rows {
         println!(
             "{:<10} {:>14.0} {:>9.2}x {:>10.2}GB {:>10.1?}",
@@ -26,7 +32,10 @@ fn main() {
         );
     }
 
-    let prime = rows.iter().find(|r| r.system == "PrimePar").expect("PrimePar row");
+    let prime = rows
+        .iter()
+        .find(|r| r.system == "PrimePar")
+        .expect("PrimePar row");
     println!("\nPrimePar layer strategy:");
     println!("{}", plan_summary(&model, batch, seq, &prime.plan));
     println!("\nlayer latency breakdown: {}", prime.breakdown);

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let p2x2 = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }])?;
     let dist = train_distributed(&input, &target, &w1, &w2, lr, iters, p2x2.clone(), p2x2)?;
 
-    println!("{:>5} {:>14} {:>14} {:>12}", "iter", "serial loss", "P2x2 loss", "|diff|");
+    println!(
+        "{:>5} {:>14} {:>14} {:>12}",
+        "iter", "serial loss", "P2x2 loss", "|diff|"
+    );
     for (i, (a, b)) in serial.losses.iter().zip(&dist.losses).enumerate() {
         println!("{i:>5} {a:>14.6} {b:>14.6} {:>12.2e}", (a - b).abs());
     }
@@ -31,7 +34,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let w1_diff = serial.w1.max_abs_diff(&dist.w1);
     let w2_diff = serial.w2.max_abs_diff(&dist.w2);
     println!("\nfinal weight max |diff|: w1 {w1_diff:.2e}, w2 {w2_diff:.2e}");
-    assert!(w1_diff < 1e-3 && w2_diff < 1e-3, "distributed training diverged from serial");
+    assert!(
+        w1_diff < 1e-3 && w2_diff < 1e-3,
+        "distributed training diverged from serial"
+    );
     println!("spatial-temporal training is numerically identical to serial training.");
     Ok(())
 }

@@ -47,13 +47,22 @@ fn temporal_plan() -> BlockPlan {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let shape = BlockShape { batch: 2, seq: 8, hidden: 16, heads: 4, ffn: 32 };
+    let shape = BlockShape {
+        batch: 2,
+        seq: 8,
+        hidden: 16,
+        heads: 4,
+        ffn: 32,
+    };
     let mut rng = StdRng::seed_from_u64(2024);
     let x = Tensor::randn(vec![2, 8, 16], 0.5, &mut rng);
     let d_out = Tensor::randn(vec![2, 8, 16], 0.5, &mut rng);
 
     println!("transformer block on 4 simulated devices: serial vs partitioned training\n");
-    for (name, plan) in [("Megatron-style", megatron_plan()), ("PrimePar P2x2", temporal_plan())] {
+    for (name, plan) in [
+        ("Megatron-style", megatron_plan()),
+        ("PrimePar P2x2", temporal_plan()),
+    ] {
         let mut w_serial = BlockWeights::random(shape, 0.2, &mut StdRng::seed_from_u64(9));
         let mut w_dist = w_serial.clone();
         println!("── {name} plan ──");

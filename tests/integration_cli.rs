@@ -26,8 +26,15 @@ fn models_lists_the_zoo() {
 
 #[test]
 fn plan_explains_and_simulates() {
-    let (ok, stdout, _) =
-        primepar(&["plan", "--model", "opt-6.7b", "--devices", "2", "--seq", "512"]);
+    let (ok, stdout, _) = primepar(&[
+        "plan",
+        "--model",
+        "opt-6.7b",
+        "--devices",
+        "2",
+        "--seq",
+        "512",
+    ]);
     assert!(ok, "{stdout}");
     assert!(stdout.contains("fc2"));
     assert!(stdout.contains("tokens/s"));
@@ -39,11 +46,27 @@ fn plan_save_and_reload_roundtrip() {
     let path = std::env::temp_dir().join("primepar_cli_plan_test.txt");
     let path = path.to_str().expect("utf-8 temp path");
     let (ok, _, stderr) = primepar(&[
-        "plan", "--model", "llama2-7b", "--devices", "2", "--seq", "512", "--save", path,
+        "plan",
+        "--model",
+        "llama2-7b",
+        "--devices",
+        "2",
+        "--seq",
+        "512",
+        "--save",
+        path,
     ]);
     assert!(ok, "{stderr}");
     let (ok, stdout, stderr) = primepar(&[
-        "plan", "--model", "llama2-7b", "--devices", "2", "--seq", "512", "--plan", path,
+        "plan",
+        "--model",
+        "llama2-7b",
+        "--devices",
+        "2",
+        "--seq",
+        "512",
+        "--plan",
+        path,
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("plan from"));
@@ -53,8 +76,17 @@ fn plan_save_and_reload_roundtrip() {
 #[test]
 fn manual_strategy_override_applies() {
     let (ok, stdout, stderr) = primepar(&[
-        "plan", "--model", "opt-6.7b", "--devices", "8", "--seq", "512", "--system",
-        "megatron", "--set", "fc2=N.P2x2",
+        "plan",
+        "--model",
+        "opt-6.7b",
+        "--devices",
+        "8",
+        "--seq",
+        "512",
+        "--system",
+        "megatron",
+        "--set",
+        "fc2=N.P2x2",
     ]);
     assert!(ok, "{stderr}");
     assert!(stdout.contains("[N P2x2]"), "override missing:\n{stdout}");
@@ -65,6 +97,134 @@ fn verify_reports_equivalence() {
     let (ok, stdout, _) = primepar(&["verify", "--k", "1", "--iters", "2"]);
     assert!(ok);
     assert!(stdout.contains("numerically identical"), "{stdout}");
+}
+
+#[test]
+fn metrics_json_flag_reports_planner_and_sim_sections() {
+    // ISSUE 1 acceptance: `--metrics-json` must report the per-segment DP
+    // sweep wall time, total intra/edge cost evaluations, space size per
+    // operator and the sim breakdown totals — with counts > 0.
+    let path = std::env::temp_dir().join("primepar_cli_metrics_test.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = primepar(&[
+        "plan",
+        "--model",
+        "opt-6.7b",
+        "--devices",
+        "2",
+        "--seq",
+        "512",
+        "--metrics-json",
+        path_str,
+    ]);
+    assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("metrics written to"), "{stdout}");
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let doc = primepar::obs::parse_json(&text).expect("metrics file is valid JSON");
+    let num = |key: &str| {
+        doc.get(key)
+            .unwrap_or_else(|| panic!("missing metric `{key}` in:\n{text}"))
+            .as_f64()
+            .unwrap_or_else(|| panic!("metric `{key}` is not numeric"))
+    };
+    // Planner counters are positive.
+    assert!(num("planner.intra_evaluations") > 0.0);
+    assert!(num("planner.edge_evaluations") > 0.0);
+    // Per-segment DP telemetry: table shape, relaxations and sweep wall time.
+    for key in [
+        "planner.segment.00.rows",
+        "planner.segment.00.cols",
+        "planner.segment.00.bellman_relaxations",
+    ] {
+        assert!(num(key) > 0.0, "`{key}` should be positive");
+    }
+    assert!(
+        doc.get("planner.segment.00.sweep_seconds")
+            .and_then(|t| t.get("seconds"))
+            .and_then(primepar::obs::Json::as_f64)
+            .is_some(),
+        "missing per-segment sweep timer in:\n{text}"
+    );
+    // Stage timers exist as {seconds, spans} objects.
+    assert!(
+        doc.get("planner.stage.segment_dp_seconds")
+            .and_then(|t| t.get("spans"))
+            .is_some(),
+        "missing stage timer in:\n{text}"
+    );
+    // Per-operator space sizes: one gauge per operator, all positive.
+    let spaces: Vec<&String> = doc
+        .as_object()
+        .expect("flat object")
+        .iter()
+        .filter(|(k, _)| k.starts_with("planner.space.") && k.ends_with(".size"))
+        .map(|(k, _)| k)
+        .collect();
+    assert!(
+        !spaces.is_empty(),
+        "no planner.space.*.size gauges in:\n{text}"
+    );
+    for key in spaces {
+        assert!(num(key) > 0.0, "space size `{key}` should be positive");
+    }
+    // Sim breakdown totals and run identity.
+    assert!(num("sim.breakdown.total_seconds") > 0.0);
+    assert!(num("sim.breakdown.compute_seconds") > 0.0);
+    assert!(num("sim.tokens_per_second") > 0.0);
+    assert_eq!(num("run.devices"), 2.0);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn chrome_trace_flag_writes_perfetto_loadable_spans() {
+    // ISSUE 1 acceptance: `--chrome-trace` must produce a JSON array of
+    // complete X-phase events with name/ph/ts/dur/pid/tid, verified by
+    // parsing the file back.
+    let path = std::env::temp_dir().join("primepar_cli_trace_test.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let (ok, stdout, stderr) = primepar(&[
+        "plan",
+        "--model",
+        "opt-6.7b",
+        "--devices",
+        "2",
+        "--seq",
+        "512",
+        "--chrome-trace",
+        path_str,
+    ]);
+    assert!(ok, "stdout:\n{stdout}\nstderr:\n{stderr}");
+    assert!(stdout.contains("chrome trace written to"), "{stdout}");
+
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    // Raw shape: a JSON array whose members all carry the Perfetto fields.
+    let doc = primepar::obs::parse_json(&text).expect("trace file is valid JSON");
+    let items = doc.as_array().expect("trace is a JSON array");
+    assert!(!items.is_empty(), "trace should contain spans");
+    for item in items {
+        assert_eq!(
+            item.get("ph").and_then(primepar::obs::Json::as_str),
+            Some("X")
+        );
+        for key in ["name", "cat", "pid", "tid", "ts", "dur"] {
+            assert!(item.get(key).is_some(), "span missing `{key}` in:\n{text}");
+        }
+    }
+    // Typed parse-back: the exporter's own reader accepts the file and
+    // reconstructs a non-empty timeline with sane span extents.
+    let timeline = primepar::sim::parse_chrome_trace(&text).expect("trace parses back");
+    assert_eq!(timeline.len(), items.len());
+    let end = timeline
+        .iter()
+        .map(|e| e.start + e.duration)
+        .fold(0.0f64, f64::max);
+    assert!(end > 0.0);
+    for ev in &timeline {
+        assert!(ev.start >= 0.0 && ev.duration >= 0.0);
+        assert!(ev.start + ev.duration <= end * (1.0 + 1e-12));
+    }
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]

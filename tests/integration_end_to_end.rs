@@ -30,25 +30,38 @@ fn plan_simulate_and_train_functionally() {
     let w1 = Tensor::randn(vec![16, 16], 0.4, &mut rng);
     let w2 = Tensor::randn(vec![16, 16], 0.4, &mut rng);
     let serial = train_serial(&input, &target, &w1, &w2, 0.05, 6).unwrap();
-    let dist =
-        train_distributed(&input, &target, &w1, &w2, 0.05, 6, fc1_seq, fc2_seq).unwrap();
+    let dist = train_distributed(&input, &target, &w1, &w2, 0.05, 6, fc1_seq, fc2_seq).unwrap();
     for (a, b) in serial.losses.iter().zip(&dist.losses) {
-        assert!((a - b).abs() < 1e-3 * (1.0 + a.abs()), "loss diverged: {a} vs {b}");
+        assert!(
+            (a - b).abs() < 1e-3 * (1.0 + a.abs()),
+            "loss diverged: {a} vs {b}"
+        );
     }
 }
 
 #[test]
 fn three_d_parallelism_composes_with_both_planners() {
-    let model = ModelConfig { layers: 8, ..ModelConfig::opt_6_7b() };
+    let model = ModelConfig {
+        layers: 8,
+        ..ModelConfig::opt_6_7b()
+    };
     let graph = model.layer_graph(4, 512);
-    let cfg = ThreeDConfig { p: 2, d: 1, m: 2, micro_batches: 4 };
+    let cfg = ThreeDConfig {
+        p: 2,
+        d: 1,
+        m: 2,
+        micro_batches: 4,
+    };
 
     let mega_plan = megatron_layer_plan(&graph, 1, 2);
     let mega = simulate_3d(&model, &graph, &mega_plan, cfg, 8, 512);
 
     let cluster_m = Cluster::v100_like(2);
     let opts = PlannerOptions {
-        space: SpaceOptions { allow_batch_split: false, ..SpaceOptions::default() },
+        space: SpaceOptions {
+            allow_batch_split: false,
+            ..SpaceOptions::default()
+        },
         alpha: 0.0,
         ..PlannerOptions::default()
     };
@@ -70,7 +83,10 @@ fn controlled_batch_mode_excludes_batch_splits() {
     let cluster = Cluster::v100_like(4);
     let graph = model.layer_graph(8, 512);
     let opts = PlannerOptions {
-        space: SpaceOptions { allow_batch_split: false, ..SpaceOptions::default() },
+        space: SpaceOptions {
+            allow_batch_split: false,
+            ..SpaceOptions::default()
+        },
         alpha: 0.0,
         ..PlannerOptions::default()
     };
@@ -78,7 +94,8 @@ fn controlled_batch_mode_excludes_batch_splits() {
     for (op, seq) in graph.ops.iter().zip(&plan.seqs) {
         if op.sample_batch_dim() == primepar::partition::Dim::B {
             assert!(
-                !seq.primitives().contains(&Primitive::Split(primepar::partition::Dim::B)),
+                !seq.primitives()
+                    .contains(&Primitive::Split(primepar::partition::Dim::B)),
                 "{}: batch split leaked into controlled-d plan ({seq})",
                 op.name
             );
@@ -96,9 +113,18 @@ fn torus_cluster_supports_the_full_flow() {
     let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
     let report = simulate_model(&cluster, &graph, &plan.seqs, 1, 8.0 * 512.0);
     assert!(report.tokens_per_second > 0.0);
-    let temporal_ops =
-        plan.seqs.iter().filter(|s| s.temporal_k().is_some()).count();
+    let temporal_ops = plan
+        .seqs
+        .iter()
+        .filter(|s| s.temporal_k().is_some())
+        .count();
     // On a torus the collective-free strategies should be attractive.
-    assert!(temporal_ops > 0, "expected temporal primitives on the torus: {:?}",
-        plan.seqs.iter().map(PartitionSeq::to_string).collect::<Vec<_>>());
+    assert!(
+        temporal_ops > 0,
+        "expected temporal primitives on the torus: {:?}",
+        plan.seqs
+            .iter()
+            .map(PartitionSeq::to_string)
+            .collect::<Vec<_>>()
+    );
 }

@@ -33,8 +33,8 @@ fn full_model_cost_exceeds_bare_layers() {
     let layers = 2usize;
 
     let layer_graph = model.layer_graph(8, 256);
-    let bare = Planner::new(&cluster, &layer_graph, PlannerOptions::default())
-        .optimize(layers as u64);
+    let bare =
+        Planner::new(&cluster, &layer_graph, PlannerOptions::default()).optimize(layers as u64);
 
     let full_graph = model.full_graph(8, 256, layers);
     let full = Planner::new(&cluster, &full_graph, PlannerOptions::default()).optimize(1);
@@ -58,5 +58,8 @@ fn full_model_rejects_multi_layer_composition() {
     let result = std::panic::catch_unwind(|| {
         Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4)
     });
-    assert!(result.is_err(), "expected a panic for non-repeating stacking");
+    assert!(
+        result.is_err(),
+        "expected a panic for non-repeating stacking"
+    );
 }

@@ -3,9 +3,7 @@
 //! headline invariants (PrimePar ≥ conventional space, sane breakdowns).
 
 use primepar::graph::ModelConfig;
-use primepar::search::{
-    alpa_plan, best_megatron, Planner, PlannerOptions,
-};
+use primepar::search::{alpa_plan, best_megatron, Planner, PlannerOptions};
 use primepar::sim::{simulate_layer, simulate_model};
 use primepar::topology::Cluster;
 use rand::rngs::StdRng;
@@ -49,7 +47,8 @@ fn random_models_preserve_system_ordering() {
         let mega = simulate_model(&cluster, &graph, &mega_plan, model.layers, tokens);
         let alpa = alpa_plan(&cluster, &graph, model.layers, 0.0);
         let alpa_r = simulate_model(&cluster, &graph, &alpa.seqs, model.layers, tokens);
-        let prime = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        let prime =
+            Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
         let prime_r = simulate_model(&cluster, &graph, &prime.seqs, model.layers, tokens);
         assert!(
             prime_r.tokens_per_second >= alpa_r.tokens_per_second * 0.99,
@@ -80,5 +79,8 @@ fn gqa_random_models_have_consistent_qkv() {
             found_gqa = true;
         }
     }
-    assert!(found_gqa, "generator never produced a GQA model in 40 draws");
+    assert!(
+        found_gqa,
+        "generator never produced a GQA model in 40 draws"
+    );
 }

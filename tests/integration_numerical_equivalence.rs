@@ -15,13 +15,20 @@ use rand::SeedableRng;
 /// Runs one functional training step of a linear operator under `seq` at a
 /// scaled-down shape and compares all four outputs to the serial reference.
 fn check_seq_numerically(seq: &PartitionSeq) {
-    let shape = LinearShape { b: 8, m: 8, n: 16, k: 16 };
+    let shape = LinearShape {
+        b: 8,
+        m: 8,
+        n: 16,
+        k: 16,
+    };
     let mut rng = StdRng::seed_from_u64(99);
     let i = Tensor::randn(vec![shape.b, shape.m, shape.n], 1.0, &mut rng);
     let w = Tensor::randn(vec![shape.n, shape.k], 1.0, &mut rng);
     let d_o = Tensor::randn(vec![shape.b, shape.m, shape.k], 1.0, &mut rng);
     let mut dist = DistLinear::new(seq.clone(), shape).expect("divisible test shape");
-    let (o, d_i, d_w, w_new) = dist.train_step(&i, &w, &d_o, 0.01).expect("distributed step");
+    let (o, d_i, d_w, w_new) = dist
+        .train_step(&i, &w, &d_o, 0.01)
+        .expect("distributed step");
     let (o_r, d_i_r, d_w_r, w_r) = reference::train_step(&i, &w, &d_o, 0.01).expect("serial step");
     assert!(o.allclose(&o_r, 1e-3), "{seq}: O mismatch");
     assert!(d_i.allclose(&d_i_r, 1e-3), "{seq}: dI mismatch");

@@ -65,7 +65,10 @@ fn memory_optimization_trades_latency() {
     let lean = Planner::new(
         &cluster,
         &graph,
-        PlannerOptions { alpha: 1e-6, ..PlannerOptions::default() },
+        PlannerOptions {
+            alpha: 1e-6,
+            ..PlannerOptions::default()
+        },
     )
     .optimize(1);
     let mem = |seqs: &[primepar::partition::PartitionSeq]| {

@@ -40,14 +40,18 @@ fn attention_head_embed_is_never_partitioned() {
     for model in [ModelConfig::llama2_7b(), ModelConfig::bloom_176b()] {
         let cluster = Cluster::v100_like(4);
         let graph = model.layer_graph(8, 1024);
-        let plan =
-            Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
         let qk = &plan.seqs[3];
         let av = &plan.seqs[5];
         assert_eq!(qk.num_slices(Dim::N), 1, "{}: qk embed split", model.name);
         assert_eq!(av.num_slices(Dim::K), 1, "{}: av embed split", model.name);
         let softmax = &plan.seqs[4];
-        assert_eq!(softmax.num_slices(Dim::K), 1, "{}: softmax dim split", model.name);
+        assert_eq!(
+            softmax.num_slices(Dim::K),
+            1,
+            "{}: softmax dim split",
+            model.name
+        );
     }
 }
 
