@@ -83,7 +83,7 @@ fn usage() -> &'static str {
      \x20 models                       list the model zoo\n\
      \x20 plan    --model M --devices N   search and explain a partition plan\n\
      \x20         [--system primepar|alpa|megatron] [--batch B] [--seq S]\n\
-     \x20         [--alpha A] [--no-batch-split] [--gantt]\n\
+     \x20         [--alpha A] [--no-batch-split] [--no-memoize] [--gantt]\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
      \x20 verify  [--k 1|2] [--iters N]   functional equivalence check of P_{2^k x 2^k}\n\
@@ -176,6 +176,7 @@ fn run() -> Result<(), String> {
                         },
                         alpha,
                         threads: args.parse("--threads", 0)?,
+                        memoize: !args.flag("--no-memoize"),
                     };
                     let (p, tm) =
                         Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);

@@ -1,0 +1,733 @@
+//! Structural memoization of the inter-operator cost model (Eqs. 8–9).
+//!
+//! [`edge_cost_matrix`](crate::edge_cost_matrix) rebuilds each endpoint's
+//! boundary profiles from scratch per edge and evaluates every `(row, col)`
+//! cell as a per-device product of eight axis-interval intersections. Both
+//! are heavily redundant on a real transformer graph:
+//!
+//! * structurally identical operators (equal [`OpSignature`]s) produce the
+//!   *same* profile vectors, so one build per unique `(signature, tensor
+//!   role)` suffices — the [`EdgeCostCache`] interns them;
+//! * within one side's profile vector, most per-device holdings repeat (a
+//!   coarse split leaves many devices with identical slices), so the dense
+//!   intervals are deduplicated and each cell becomes a handful of table
+//!   lookups instead of axis-interval products — see [`PreparedEdge::matrix`];
+//! * whole matrices repeat across edges whose endpoints share signatures and
+//!   edge parameters (the residual adds, the stacked-layer boundary), keyed
+//!   by [`MatrixKey`].
+//!
+//! Everything here is *bitwise-identical* to the direct path: deduplication
+//! only reuses values that would have been recomputed from identical inputs,
+//! and every floating-point accumulation keeps the original operation order
+//! (ascending device order, `(v − overlap).max(0)` per device).
+//!
+//! [`OpSignature`]: primepar_graph::OpSignature
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use primepar_graph::{Axis, Edge, Operator};
+use primepar_partition::{PartitionSeq, Phase, TensorKind};
+use primepar_topology::DeviceSpace;
+
+use crate::inter::{profile_dedup, side_dims, Side};
+use crate::{CostCtx, DenseIntervals};
+
+/// Hit/miss telemetry of an [`EdgeCostCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Side-profile vectors served from the cache.
+    pub profile_hits: u64,
+    /// Side-profile vectors built from scratch.
+    pub profile_misses: u64,
+    /// Whole edge matrices reused via [`MatrixKey`] equality.
+    pub matrix_hits: u64,
+    /// Whole edge matrices actually computed.
+    pub matrix_misses: u64,
+}
+
+/// Interning key of one side's profile vector: the operator signature id,
+/// the tensor role and DSI phase/side, and the edge parameters that shape
+/// the holdings. Valid within one planner run (fixed device count and
+/// partition-space options).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ProfileKey {
+    sig: usize,
+    kind: TensorKind,
+    phase: Phase,
+    side: Side,
+    renames: Vec<(Axis, Axis)>,
+    /// Selector endpoints as IEEE-754 bits (`f64` is not `Hash`).
+    selector: Option<(u64, u64)>,
+}
+
+/// Identity of a whole edge-cost matrix: `(left signature, right signature,
+/// tensor kind)` plus the edge's selector/rename parameters. Two edges with
+/// equal keys have bitwise-identical matrices (given one shared
+/// partition-space enumeration per signature).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MatrixKey {
+    src_sig: usize,
+    dst_sig: usize,
+    dst_kind: TensorKind,
+    renames: Vec<(Axis, Axis)>,
+    selector: Option<(u64, u64)>,
+}
+
+impl MatrixKey {
+    /// The key of `edge` between operators with the given signature ids.
+    pub fn new(edge: &Edge, src_sig: usize, dst_sig: usize) -> Self {
+        MatrixKey {
+            src_sig,
+            dst_sig,
+            dst_kind: edge.dst_kind,
+            renames: edge.renames.clone(),
+            selector: selector_bits(edge.selector),
+        }
+    }
+}
+
+fn selector_bits(selector: Option<(f64, f64)>) -> Option<(u64, u64)> {
+    selector.map(|(a, b)| (a.to_bits(), b.to_bits()))
+}
+
+/// One side's boundary profiles over a whole partition-space vector, with
+/// per-device holdings deduplicated: `ids[seq * devices + d]` indexes into
+/// `uniques`, the distinct dense interval sets observed on this side.
+#[derive(Debug, Clone)]
+pub struct SideProfiles {
+    /// Per-sequence block volume fraction (the `V` of Eq. 9, as a fraction).
+    volume_fraction: Vec<f64>,
+    /// Distinct per-device holdings, in first-seen order.
+    uniques: Vec<DenseIntervals>,
+    /// `[seq][device]` (row-major) indices into `uniques`.
+    ids: Vec<u32>,
+    devices: usize,
+}
+
+impl SideProfiles {
+    /// Builds and deduplicates the holdings of every sequence on one side.
+    ///
+    /// `base` is an already-built profile vector over the *same* operator,
+    /// sequence list, dimension family, renames and selector (the caller
+    /// guarantees this — in practice the forward twin of a backward side).
+    /// Sequences without temporal primitives have phase- and step-invariant
+    /// DSIs, so their rows are copied from `base` instead of rebuilt; only
+    /// temporal sequences are profiled from scratch.
+    #[allow(clippy::too_many_arguments)]
+    fn build(
+        op: &Operator,
+        seqs: &[PartitionSeq],
+        space: DeviceSpace,
+        kind: TensorKind,
+        phase: Phase,
+        side: Side,
+        renames: &[(Axis, Axis)],
+        selector: Option<(f64, f64)>,
+        base: Option<&SideProfiles>,
+    ) -> Self {
+        let devices = space.devices().count();
+        let mut volume_fraction = Vec::with_capacity(seqs.len());
+        let mut uniques: Vec<DenseIntervals> = Vec::new();
+        let mut ids = Vec::with_capacity(seqs.len() * devices);
+        let mut by_bits: HashMap<[u64; 2 * Axis::COUNT], u32> = HashMap::new();
+        // base unique id → this build's unique id, filled on demand.
+        let mut translate = vec![u32::MAX; base.map_or(0, |b| b.uniques.len())];
+        for (i, seq) in seqs.iter().enumerate() {
+            if let Some(b) = base.filter(|_| seq.temporal_steps() == 1) {
+                volume_fraction.push(b.volume_fraction[i]);
+                for d in 0..devices {
+                    let g = b.ids[i * devices + d] as usize;
+                    if translate[g] == u32::MAX {
+                        let dense = b.uniques[g];
+                        translate[g] = *by_bits.entry(dense_bits(&dense)).or_insert_with(|| {
+                            uniques.push(dense);
+                            (uniques.len() - 1) as u32
+                        });
+                    }
+                    ids.push(translate[g]);
+                }
+                continue;
+            }
+            // `profile_dedup` computes each distinct DSI-tuple holding once;
+            // only those few are densified, hashed and interned.
+            let p = profile_dedup(op, seq, space, kind, phase, side, renames, selector);
+            volume_fraction.push(p.volume_fraction);
+            let global: Vec<u32> = p
+                .locals
+                .iter()
+                .map(|holding| {
+                    let dense = holding.to_dense();
+                    *by_bits.entry(dense_bits(&dense)).or_insert_with(|| {
+                        uniques.push(dense);
+                        (uniques.len() - 1) as u32
+                    })
+                })
+                .collect();
+            for &l in &p.device_local {
+                ids.push(global[l as usize]);
+            }
+        }
+        SideProfiles {
+            volume_fraction,
+            uniques,
+            ids,
+            devices,
+        }
+    }
+
+    /// Number of sequences profiled.
+    pub fn len(&self) -> usize {
+        self.volume_fraction.len()
+    }
+
+    /// `true` for an empty profile vector.
+    pub fn is_empty(&self) -> bool {
+        self.volume_fraction.is_empty()
+    }
+
+    /// Number of distinct per-device holdings (vs `len() × devices` built).
+    pub fn unique_holdings(&self) -> usize {
+        self.uniques.len()
+    }
+
+    /// Per-sequence local ranks of this side's holdings at device `d`:
+    /// `(rank per sequence, local → global unique index)`. Locals are in
+    /// ascending global-id order — canonical, so devices observing the same
+    /// unique *set* produce identical `(locals, table)` blocks no matter in
+    /// which sequence order they first saw each holding.
+    fn local_ranks(&self, d: usize) -> (Vec<usize>, Vec<u32>) {
+        let mut seen = vec![false; self.uniques.len()];
+        for s in 0..self.len() {
+            seen[self.ids[s * self.devices + d] as usize] = true;
+        }
+        let mut rank_of = vec![u32::MAX; self.uniques.len()];
+        let mut locals = Vec::new();
+        for (g, &was_seen) in seen.iter().enumerate() {
+            if was_seen {
+                rank_of[g] = locals.len() as u32;
+                locals.push(g as u32);
+            }
+        }
+        let ranks = (0..self.len())
+            .map(|s| rank_of[self.ids[s * self.devices + d] as usize] as usize)
+            .collect();
+        (ranks, locals)
+    }
+}
+
+/// Exact bit pattern of a dense interval set, for hashing.
+fn dense_bits(d: &DenseIntervals) -> [u64; 2 * Axis::COUNT] {
+    let mut bits = [0u64; 2 * Axis::COUNT];
+    for (i, (lo, hi)) in d.0.iter().enumerate() {
+        bits[2 * i] = lo.to_bits();
+        bits[2 * i + 1] = hi.to_bits();
+    }
+    bits
+}
+
+/// One edge's precomputed cell-pricing state — `Send + Sync`, so unique
+/// matrices compute on worker threads against one shared [`CostCtx`].
+#[derive(Debug, Clone)]
+pub struct PreparedEdge {
+    /// Forward direction: consumer needs vs producer holds.
+    fwd: Arc<DirectionTables>,
+    /// Backward direction: gradient needs vs gradient holds.
+    bwd: Arc<DirectionTables>,
+    /// Per-column needed volume (`V` of Eq. 9, elements) — forward.
+    vc: Vec<f64>,
+    /// Per-row needed volume — backward.
+    vg: Vec<f64>,
+    devices: usize,
+    /// `|src_seqs|` — the matrix row count.
+    pub rows: usize,
+    /// `|dst_seqs|` — the matrix column count.
+    pub cols: usize,
+}
+
+impl PreparedEdge {
+    /// Computes the dense `rows × cols` edge-cost matrix, bitwise-identical
+    /// to [`edge_cost_matrix`](crate::edge_cost_matrix) on the same inputs.
+    ///
+    /// The sweep writes each cell exactly once, accumulating both directions
+    /// over devices ascending (the direct path's order) from the prepared
+    /// overlap tables — a single pass over the output instead of one
+    /// read-modify-write pass per device and direction.
+    pub fn matrix(&self, ctx: &CostCtx<'_>) -> Vec<f64> {
+        let (rows, cols, d) = (self.rows, self.cols, self.devices);
+        ctx.note_inter_evals((rows * cols) as u64);
+        let (fwd, bwd) = (&*self.fwd, &*self.bwd);
+        let mut out = vec![0.0; rows * cols];
+        for (i, out_row) in out.chunks_mut(cols).enumerate() {
+            let f_hold = &fwd.hold_rank[i * d..(i + 1) * d];
+            let b_pre = &bwd.need_pre[i * d..(i + 1) * d];
+            let vgi = self.vg[i];
+            for (j, slot) in out_row.iter_mut().enumerate() {
+                let f_pre = &fwd.need_pre[j * d..(j + 1) * d];
+                let b_hold = &bwd.hold_rank[j * d..(j + 1) * d];
+                let vcj = self.vc[j];
+                let mut f = 0.0;
+                let mut b = 0.0;
+                for k in 0..d {
+                    f += (vcj - fwd.table[(f_pre[k] + f_hold[k]) as usize]).max(0.0);
+                    b += (vgi - bwd.table[(b_pre[k] + b_hold[k]) as usize]).max(0.0);
+                }
+                *slot = ctx.redistribution_time(4.0 * (f + b));
+            }
+        }
+        out
+    }
+}
+
+/// One direction's lookup state: the per-device `total · overlap(need,
+/// hold)` tables flattened into one array, plus per-sequence per-device
+/// precomputed indices into it. `need_pre[s · devices + d]` carries the
+/// device's table base *and* the need rank row offset, so a cell's product
+/// is `table[need_pre + hold_rank]`.
+#[derive(Debug)]
+struct DirectionTables {
+    table: Vec<f64>,
+    need_pre: Vec<u32>,
+    hold_rank: Vec<u32>,
+}
+
+impl DirectionTables {
+    fn build(total_elems: f64, needs: &SideProfiles, holds: &SideProfiles) -> Self {
+        let devices = needs.devices;
+        let mut table = Vec::new();
+        let mut need_pre = vec![0u32; needs.len() * devices];
+        let mut hold_rank = vec![0u32; holds.len() * devices];
+        // Devices that observe the same local unique sets (common — a
+        // symmetric split makes device groups interchangeable) share one
+        // table block; only their rank arrays stay per-device. Within
+        // distinct blocks, each global (need, hold) pair's overlap is still
+        // computed only once, via the pair memo.
+        let mut block_of: HashMap<(Vec<u32>, Vec<u32>), (usize, usize)> = HashMap::new();
+        let mut memo = PairMemo::new(needs.uniques.len() * 4);
+        for d in 0..devices {
+            let (need_ranks, need_locals) = needs.local_ranks(d);
+            let (hold_ranks, hold_locals) = holds.local_ranks(d);
+            let key = (need_locals, hold_locals);
+            let (base, nh) = match block_of.get(&key) {
+                Some(&block) => block,
+                None => {
+                    // The argument order matches the direct path's
+                    // `need.overlap_fraction(hold)`.
+                    let base = table.len();
+                    let nh = key.1.len();
+                    for &ng in &key.0 {
+                        for &hg in &key.1 {
+                            table.push(memo.get_or_insert(ng, hg, || {
+                                total_elems
+                                    * needs.uniques[ng as usize]
+                                        .overlap_fraction(&holds.uniques[hg as usize])
+                            }));
+                        }
+                    }
+                    block_of.insert(key.clone(), (base, nh));
+                    (base, nh)
+                }
+            };
+            for (s, &nr) in need_ranks.iter().enumerate() {
+                need_pre[s * devices + d] = (base + nr * nh) as u32;
+            }
+            for (s, &hr) in hold_ranks.iter().enumerate() {
+                hold_rank[s * devices + d] = hr as u32;
+            }
+        }
+        DirectionTables {
+            table,
+            need_pre,
+            hold_rank,
+        }
+    }
+}
+
+/// Open-addressed `(need id, hold id) → value` memo with a multiplicative
+/// hash — a `HashMap` here would spend more time hashing than the overlap
+/// products it saves.
+struct PairMemo {
+    /// Packed key + 1 (`0` = empty slot).
+    keys: Vec<u64>,
+    vals: Vec<f64>,
+    mask: usize,
+    len: usize,
+}
+
+impl PairMemo {
+    fn new(capacity_hint: usize) -> Self {
+        let cap = capacity_hint.next_power_of_two().max(64);
+        PairMemo {
+            keys: vec![0; cap],
+            vals: vec![0.0; cap],
+            mask: cap - 1,
+            len: 0,
+        }
+    }
+
+    fn get_or_insert(&mut self, ng: u32, hg: u32, compute: impl FnOnce() -> f64) -> f64 {
+        let key = (((ng as u64) << 32) | hg as u64) + 1;
+        let mut slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask;
+        loop {
+            let k = self.keys[slot];
+            if k == key {
+                return self.vals[slot];
+            }
+            if k == 0 {
+                let v = compute();
+                self.keys[slot] = key;
+                self.vals[slot] = v;
+                self.len += 1;
+                if self.len * 2 > self.keys.len() {
+                    self.grow();
+                }
+                return v;
+            }
+            slot = (slot + 1) & self.mask;
+        }
+    }
+
+    fn grow(&mut self) {
+        let cap = self.keys.len() * 2;
+        let (old_keys, old_vals) = (
+            std::mem::replace(&mut self.keys, vec![0; cap]),
+            std::mem::replace(&mut self.vals, vec![0.0; cap]),
+        );
+        self.mask = cap - 1;
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key == 0 {
+                continue;
+            }
+            let mut slot = (key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize & self.mask;
+            while self.keys[slot] != 0 {
+                slot = (slot + 1) & self.mask;
+            }
+            self.keys[slot] = key;
+            self.vals[slot] = val;
+        }
+    }
+}
+
+/// Interning cache of side profiles and whole edge matrices, keyed by
+/// operator signature ids. One cache serves one planner run (the keys assume
+/// a fixed device count and one shared space enumeration per signature).
+#[derive(Debug, Default)]
+pub struct EdgeCostCache {
+    profiles: HashMap<ProfileKey, Arc<SideProfiles>>,
+    /// Direction tables keyed by the interned profile pair's identity plus
+    /// the edge's element count — profile interning makes `Arc` pointer
+    /// equality equivalent to [`ProfileKey`] equality within one cache.
+    tables: HashMap<(usize, usize, u64), Arc<DirectionTables>>,
+    stats: CacheStats,
+}
+
+impl EdgeCostCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        EdgeCostCache::default()
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Records a whole-matrix reuse (`hit`) or computation (miss) — the
+    /// caller owns the [`MatrixKey`]-level dedup so it can batch the misses.
+    pub fn note_matrix(&mut self, hit: bool) {
+        if hit {
+            self.stats.matrix_hits += 1;
+        } else {
+            self.stats.matrix_misses += 1;
+        }
+    }
+
+    /// Interns the four side profiles of `edge` and returns the prepared
+    /// cell evaluator. Profile builds are shared across edges whose endpoint
+    /// signatures and edge parameters agree.
+    #[allow(clippy::too_many_arguments)]
+    pub fn prepare(
+        &mut self,
+        edge: &Edge,
+        src_op: &Operator,
+        dst_op: &Operator,
+        src_seqs: &[PartitionSeq],
+        dst_seqs: &[PartitionSeq],
+        src_sig: usize,
+        dst_sig: usize,
+    ) -> PreparedEdge {
+        let space = DeviceSpace::new(src_seqs[0].bits());
+        assert_eq!(
+            src_seqs[0].bits(),
+            dst_seqs[0].bits(),
+            "both operators span the same devices"
+        );
+        let total_elems: f64 = side_dims(dst_op, edge.dst_kind)
+            .iter()
+            .map(|&d| dst_op.extent(d).max(1) as f64)
+            .product();
+        let grad_kind = match edge.dst_kind {
+            TensorKind::Weight => TensorKind::GradWeight,
+            _ => TensorKind::GradInput,
+        };
+        let grad_phase = match grad_kind {
+            TensorKind::GradWeight => Phase::Gradient,
+            _ => Phase::Backward,
+        };
+        let produce = self.side(
+            src_sig,
+            src_op,
+            src_seqs,
+            space,
+            TensorKind::Output,
+            Phase::Forward,
+            Side::Produce,
+            &[],
+            edge.selector,
+            None,
+        );
+        let consume = self.side(
+            dst_sig,
+            dst_op,
+            dst_seqs,
+            space,
+            edge.dst_kind,
+            Phase::Forward,
+            Side::Consume,
+            &edge.renames,
+            None,
+            None,
+        );
+        let g_produce = self.side(
+            dst_sig,
+            dst_op,
+            dst_seqs,
+            space,
+            grad_kind,
+            grad_phase,
+            Side::Produce,
+            &edge.renames,
+            None,
+            Some(&consume),
+        );
+        let g_consume = self.side(
+            src_sig,
+            src_op,
+            src_seqs,
+            space,
+            TensorKind::GradOutput,
+            Phase::Backward,
+            Side::Consume,
+            &[],
+            edge.selector,
+            Some(&produce),
+        );
+        // Forward traffic: consumer needs (varies by column) vs producer
+        // holds (varies by row). Backward: producer-side needs (rows) vs
+        // consumer-side holds (cols).
+        let vc = consume
+            .volume_fraction
+            .iter()
+            .map(|f| total_elems * f)
+            .collect();
+        let vg = g_consume
+            .volume_fraction
+            .iter()
+            .map(|f| total_elems * f)
+            .collect();
+        let fwd = self.direction(total_elems, &consume, &produce);
+        let bwd = self.direction(total_elems, &g_consume, &g_produce);
+        PreparedEdge {
+            fwd,
+            bwd,
+            vc,
+            vg,
+            devices: produce.devices,
+            rows: src_seqs.len(),
+            cols: dst_seqs.len(),
+        }
+    }
+
+    /// Interned [`DirectionTables`] for one `(needs, holds, total)` triple.
+    fn direction(
+        &mut self,
+        total_elems: f64,
+        needs: &Arc<SideProfiles>,
+        holds: &Arc<SideProfiles>,
+    ) -> Arc<DirectionTables> {
+        let key = (
+            Arc::as_ptr(needs) as usize,
+            Arc::as_ptr(holds) as usize,
+            total_elems.to_bits(),
+        );
+        if let Some(tables) = self.tables.get(&key) {
+            return tables.clone();
+        }
+        let built = Arc::new(DirectionTables::build(total_elems, needs, holds));
+        self.tables.insert(key, built.clone());
+        built
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn side(
+        &mut self,
+        sig: usize,
+        op: &Operator,
+        seqs: &[PartitionSeq],
+        space: DeviceSpace,
+        kind: TensorKind,
+        phase: Phase,
+        side: Side,
+        renames: &[(Axis, Axis)],
+        selector: Option<(f64, f64)>,
+        base: Option<&Arc<SideProfiles>>,
+    ) -> Arc<SideProfiles> {
+        let key = ProfileKey {
+            sig,
+            kind,
+            phase,
+            side,
+            renames: renames.to_vec(),
+            selector: selector_bits(selector),
+        };
+        if let Some(cached) = self.profiles.get(&key) {
+            self.stats.profile_hits += 1;
+            return cached.clone();
+        }
+        self.stats.profile_misses += 1;
+        let built = Arc::new(SideProfiles::build(
+            op,
+            seqs,
+            space,
+            kind,
+            phase,
+            side,
+            renames,
+            selector,
+            base.map(Arc::as_ref),
+        ));
+        self.profiles.insert(key, built.clone());
+        built
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge_cost_matrix;
+    use primepar_graph::ModelConfig;
+    use primepar_partition::{Dim, Primitive};
+    use primepar_topology::Cluster;
+
+    /// Every 2-bit spatial sequence plus the temporal primitive — a dense
+    /// slice through the real 4-device partition space.
+    fn seqs_4dev() -> Vec<PartitionSeq> {
+        let dims = [Dim::B, Dim::M, Dim::N, Dim::K];
+        let mut out = Vec::new();
+        for a in dims {
+            for b in dims {
+                out.push(
+                    PartitionSeq::new(vec![Primitive::Split(a), Primitive::Split(b)]).unwrap(),
+                );
+            }
+        }
+        out.push(PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap());
+        out
+    }
+
+    #[test]
+    fn prepared_matrix_is_bitwise_identical_to_direct() {
+        let cluster = Cluster::v100_like(4);
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let sig_ids = g.signature_ids();
+        let seqs = seqs_4dev();
+        let mut cache = EdgeCostCache::new();
+        for edge in &g.edges {
+            let (src, dst) = (&g.ops[edge.src], &g.ops[edge.dst]);
+            let direct_ctx = CostCtx::new(&cluster, 0.0);
+            let direct = edge_cost_matrix(&direct_ctx, edge, src, dst, &seqs, &seqs);
+            let prepared = cache.prepare(
+                edge,
+                src,
+                dst,
+                &seqs,
+                &seqs,
+                sig_ids[edge.src],
+                sig_ids[edge.dst],
+            );
+            let ctx = CostCtx::new(&cluster, 0.0);
+            let fast = prepared.matrix(&ctx);
+            assert_eq!(direct.len(), fast.len());
+            for (i, (a, b)) in direct.iter().zip(&fast).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "edge ({}, {}) cell {i}: {a} vs {b}",
+                    edge.src,
+                    edge.dst
+                );
+            }
+            assert_eq!(ctx.inter_evaluations(), (seqs.len() * seqs.len()) as u64);
+        }
+    }
+
+    #[test]
+    fn profiles_are_shared_across_structurally_equal_edges() {
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let sig_ids = g.signature_ids();
+        let seqs = seqs_4dev();
+        let mut cache = EdgeCostCache::new();
+        // anchor→norm1 and add1→norm2 have equal endpoint signatures and
+        // parameters: the second prepare must hit all four profile slots.
+        let e01 = g.edges.iter().find(|e| e.src == 0 && e.dst == 1).unwrap();
+        let e78 = g.edges.iter().find(|e| e.src == 7 && e.dst == 8).unwrap();
+        assert_eq!(MatrixKey::new(e01, 0, 1), MatrixKey::new(e78, 0, 1));
+        cache.prepare(e01, &g.ops[0], &g.ops[1], &seqs, &seqs, 0, 1);
+        assert_eq!(cache.stats().profile_misses, 4);
+        cache.prepare(e78, &g.ops[7], &g.ops[8], &seqs, &seqs, 0, 1);
+        assert_eq!(cache.stats().profile_misses, 4);
+        assert_eq!(cache.stats().profile_hits, 4);
+        // QKV selector edges must NOT collide despite equal signatures.
+        let q = g
+            .edges
+            .iter()
+            .find(|e| e.src == 2 && e.dst == 3 && e.dst_kind == TensorKind::Input)
+            .unwrap();
+        let k = g
+            .edges
+            .iter()
+            .find(|e| e.src == 2 && e.dst == 3 && e.dst_kind == TensorKind::Weight)
+            .unwrap();
+        assert_ne!(
+            MatrixKey::new(q, sig_ids[2], sig_ids[3]),
+            MatrixKey::new(k, sig_ids[2], sig_ids[3])
+        );
+    }
+
+    #[test]
+    fn deduplication_shrinks_holdings() {
+        // A coarse B-split leaves many devices with repeated slices; the
+        // interned uniques must be far fewer than len() × devices.
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let seqs = seqs_4dev();
+        let space = DeviceSpace::new(2);
+        let side = SideProfiles::build(
+            &g.ops[9],
+            &seqs,
+            space,
+            TensorKind::Output,
+            Phase::Forward,
+            Side::Produce,
+            &[],
+            None,
+            None,
+        );
+        assert_eq!(side.len(), seqs.len());
+        assert!(
+            side.unique_holdings() < seqs.len() * 4 / 2,
+            "expected ≥2× dedup, got {} of {}",
+            side.unique_holdings(),
+            seqs.len() * 4
+        );
+    }
+}

@@ -1,5 +1,6 @@
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 use primepar_topology::{Cluster, CommProfile, ComputeProfile, GroupIndicator};
 
@@ -7,16 +8,21 @@ use primepar_topology::{Cluster, CommProfile, ComputeProfile, GroupIndicator};
 /// trade-off coefficient `α` of Eq. 7, and a cache of fitted communication
 /// profiles (one per group indicator, mirroring the paper's profiling
 /// methodology, §4.1).
+///
+/// The context is `Sync`: the profile cache sits behind an `RwLock` (reads
+/// dominate once the handful of group indicators is fitted) and the telemetry
+/// counters are atomics, so the planner's worker threads share one context
+/// instead of each rebuilding its own fitted-latency cache.
 #[derive(Debug)]
 pub struct CostCtx<'a> {
     cluster: &'a Cluster,
     alpha: f64,
-    profiles: RefCell<HashMap<GroupIndicator, CommProfile>>,
+    profiles: RwLock<HashMap<GroupIndicator, CommProfile>>,
     compute: ComputeProfile,
     /// Telemetry: Eq. 7 evaluations performed through this context.
-    intra_evals: Cell<u64>,
+    intra_evals: AtomicU64,
     /// Telemetry: Eq. 8-9 pair evaluations performed through this context.
-    inter_evals: Cell<u64>,
+    inter_evals: AtomicU64,
 }
 
 impl<'a> CostCtx<'a> {
@@ -26,31 +32,31 @@ impl<'a> CostCtx<'a> {
         CostCtx {
             cluster,
             alpha,
-            profiles: RefCell::new(HashMap::new()),
+            profiles: RwLock::new(HashMap::new()),
             compute: ComputeProfile::profile(cluster.device_model()),
-            intra_evals: Cell::new(0),
-            inter_evals: Cell::new(0),
+            intra_evals: AtomicU64::new(0),
+            inter_evals: AtomicU64::new(0),
         }
     }
 
     /// Number of intra-operator (Eq. 7) cost evaluations charged so far.
     pub fn intra_evaluations(&self) -> u64 {
-        self.intra_evals.get()
+        self.intra_evals.load(Ordering::Relaxed)
     }
 
     /// Number of inter-operator (Eqs. 8-9) pair evaluations charged so far —
     /// each cell of an [`edge_cost_matrix`](crate::edge_cost_matrix) counts
     /// as one.
     pub fn inter_evaluations(&self) -> u64 {
-        self.inter_evals.get()
+        self.inter_evals.load(Ordering::Relaxed)
     }
 
     pub(crate) fn note_intra_eval(&self) {
-        self.intra_evals.set(self.intra_evals.get() + 1);
+        self.intra_evals.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn note_inter_evals(&self, n: u64) {
-        self.inter_evals.set(self.inter_evals.get() + n);
+        self.inter_evals.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Predicted kernel latency from the fitted compute profile (§4.1's
@@ -107,10 +113,17 @@ impl<'a> CostCtx<'a> {
     }
 
     fn with_profile<R>(&self, indicator: &GroupIndicator, f: impl FnOnce(&CommProfile) -> R) -> R {
-        let mut cache = self.profiles.borrow_mut();
-        let profile = cache
-            .entry(indicator.clone())
-            .or_insert_with(|| CommProfile::profile(self.cluster, indicator));
+        {
+            let cache = self.profiles.read().expect("profile cache poisoned");
+            if let Some(profile) = cache.get(indicator) {
+                return f(profile);
+            }
+        }
+        // Fit outside the write lock; a racing thread's duplicate fit is
+        // discarded by `or_insert` (fits are deterministic, so either wins).
+        let fitted = CommProfile::profile(self.cluster, indicator);
+        let mut cache = self.profiles.write().expect("profile cache poisoned");
+        let profile = cache.entry(indicator.clone()).or_insert(fitted);
         f(profile)
     }
 }
@@ -128,8 +141,30 @@ mod tests {
         let a = ctx.allreduce_time(&ind, 1e6);
         let b = ctx.allreduce_time(&ind, 1e6);
         assert_eq!(a, b);
-        assert_eq!(ctx.profiles.borrow().len(), 1);
+        assert_eq!(ctx.profiles.read().unwrap().len(), 1);
         assert_eq!(ctx.alpha(), 0.5);
+    }
+
+    #[test]
+    fn context_is_shareable_across_threads() {
+        // The planner hands one &CostCtx to every worker: Sync is load-bearing.
+        fn assert_sync<T: Sync + Send>() {}
+        assert_sync::<CostCtx<'_>>();
+
+        let cluster = Cluster::v100_like(8);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let ind = GroupIndicator::new(vec![1, 2]);
+        let expect = ctx.allreduce_time(&ind, 1e6);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    ctx.note_intra_eval();
+                    assert_eq!(ctx.allreduce_time(&ind, 1e6), expect);
+                });
+            }
+        });
+        assert_eq!(ctx.intra_evaluations(), 4);
+        assert_eq!(ctx.profiles.read().unwrap().len(), 1);
     }
 
     #[test]

@@ -15,8 +15,8 @@ use primepar_topology::DeviceSpace;
 use crate::{AxisIntervals, CostCtx};
 
 /// Which side of the edge a profile describes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Side {
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum Side {
     /// Producer of the tensor: holdings at the phase's last temporal step.
     Produce,
     /// Consumer of the tensor: needs at the phase's first temporal step.
@@ -45,7 +45,7 @@ impl BoundaryProfile {
 }
 
 /// The dimensions an operator exposes on an edge for the given operand role.
-fn side_dims(op: &Operator, kind: TensorKind) -> Vec<Dim> {
+pub(crate) fn side_dims(op: &Operator, kind: TensorKind) -> Vec<Dim> {
     if op.is_matmul_like() {
         kind.dims(op.weight_has_batch()).to_vec()
     } else {
@@ -62,7 +62,7 @@ fn side_dims(op: &Operator, kind: TensorKind) -> Vec<Dim> {
 ///   and the consumer's step 0).
 /// * `renames` — destination-side axis renames from the edge.
 /// * `selector` — source-side `Qkv` sub-range from the edge.
-fn profile(
+pub(crate) fn profile(
     op: &Operator,
     seq: &PartitionSeq,
     space: DeviceSpace,
@@ -117,6 +117,91 @@ fn profile(
         .collect();
     BoundaryProfile {
         holdings,
+        volume_fraction,
+    }
+}
+
+/// [`profile`] with per-device deduplication: devices whose DSI index
+/// tuples coincide hold bitwise-identical axis intervals (the projection
+/// depends on the sequence and the per-dimension slice indices only), so
+/// the intervals are computed once per distinct tuple.
+#[derive(Debug)]
+pub(crate) struct DedupProfile {
+    /// Distinct holdings, in first-seen device order.
+    pub locals: Vec<AxisIntervals>,
+    /// Per-device index into `locals`.
+    pub device_local: Vec<u32>,
+    pub volume_fraction: f64,
+}
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn profile_dedup(
+    op: &Operator,
+    seq: &PartitionSeq,
+    space: DeviceSpace,
+    kind: TensorKind,
+    phase: Phase,
+    side: Side,
+    renames: &[(primepar_graph::Axis, primepar_graph::Axis)],
+    selector: Option<(f64, f64)>,
+) -> DedupProfile {
+    let t = match side {
+        Side::Produce => seq.temporal_steps() - 1,
+        Side::Consume => 0,
+    };
+    let dims = side_dims(op, kind);
+    let rename = |a: primepar_graph::Axis| {
+        renames
+            .iter()
+            .find(|&&(from, _)| from == a)
+            .map(|&(_, to)| to)
+            .unwrap_or(a)
+    };
+    let mut volume_fraction = 1.0;
+    for &dim in &dims {
+        let extent = op.extent(dim).max(1) as f64;
+        let slices = seq.num_slices(dim) as f64;
+        volume_fraction /= slices.min(extent);
+    }
+    assert!(dims.len() <= 4, "DSI tuple key holds at most four dims");
+    let mut of_tuple: std::collections::HashMap<[usize; 4], u32> = std::collections::HashMap::new();
+    let mut locals: Vec<AxisIntervals> = Vec::new();
+    let mut idxs = [0usize; 4];
+    let device_local = space
+        .devices()
+        .map(|device| {
+            idxs = [0; 4];
+            for (slot, &dim) in idxs.iter_mut().zip(&dims) {
+                *slot = seq.dsi(space, phase, dim, device, t);
+            }
+            *of_tuple.entry(idxs).or_insert_with(|| {
+                let mut iv = AxisIntervals::full();
+                let mut alive = true;
+                for (&idx, &dim) in idxs.iter().zip(&dims) {
+                    let slices = seq.num_slices(dim);
+                    let lo = idx as f64 / slices as f64;
+                    let hi = (idx + 1) as f64 / slices as f64;
+                    iv.project(&op.axes[dim.index()], lo, hi, rename);
+                }
+                if let Some((s0, s1)) = selector {
+                    alive = iv.select(primepar_graph::Axis::Qkv, s0, s1);
+                }
+                let holding = if alive {
+                    iv
+                } else {
+                    // Holds nothing of the selected sub-tensor.
+                    let mut empty = AxisIntervals::full();
+                    empty.narrow(primepar_graph::Axis::Qkv, 0.0, 0.0);
+                    empty
+                };
+                locals.push(holding);
+                (locals.len() - 1) as u32
+            })
+        })
+        .collect();
+    DedupProfile {
+        locals,
+        device_local,
         volume_fraction,
     }
 }

@@ -34,11 +34,13 @@
 
 // Loops indexed by device id / wide internal signatures are deliberate.
 #![allow(clippy::too_many_arguments)]
+mod cache;
 mod ctx;
 mod inter;
 mod intervals;
 mod intra;
 
+pub use cache::{CacheStats, EdgeCostCache, MatrixKey, PreparedEdge, SideProfiles};
 pub use ctx::CostCtx;
 pub use inter::{edge_cost_matrix, inter_cost, inter_traffic_bytes, BoundaryProfile};
 pub use intervals::{AxisIntervals, DenseIntervals};

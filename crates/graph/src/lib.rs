@@ -34,10 +34,12 @@ mod axes;
 mod graph;
 mod models;
 mod op;
+mod sig;
 mod transformer;
 
 pub use axes::Axis;
 pub use graph::{Edge, Graph};
 pub use models::ModelConfig;
 pub use op::{ActKind, NormKind, OpKind, Operator};
+pub use sig::OpSignature;
 pub use transformer::transformer_layer_graph;

@@ -1,0 +1,116 @@
+//! Canonical structural operator signatures for cost-model memoization.
+//!
+//! A transformer layer graph is dominated by *structurally identical*
+//! operators: the residual adds, the two norms, the per-layer repeats. The
+//! planner's per-operator work (partition-space enumeration, intra-cost
+//! vectors, edge-cost profiles) depends only on an operator's kind, extents
+//! and axis decomposition — never its name — so structurally identical
+//! operators can share one computation. [`OpSignature`] captures exactly the
+//! cost-relevant structure, and [`Graph::signature_ids`] assigns each node a
+//! dense id (first-seen order) for array-indexed memo tables.
+
+use crate::{Axis, Graph, OpKind, Operator};
+
+/// The cost-relevant structure of an [`Operator`]: everything except its
+/// name. Two operators with equal signatures have identical partition
+/// spaces, intra-operator costs and boundary profiles.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct OpSignature {
+    /// Operator class (determines allowed splits and temporal eligibility).
+    pub kind: OpKind,
+    /// Extents of `[B, M, N, K]`.
+    pub extents: [u64; 4],
+    /// Axis decomposition of each dimension.
+    pub axes: [Vec<(Axis, u64)>; 4],
+}
+
+impl Operator {
+    /// This operator's structural signature (name excluded).
+    pub fn signature(&self) -> OpSignature {
+        OpSignature {
+            kind: self.kind,
+            extents: self.extents,
+            axes: self.axes.clone(),
+        }
+    }
+}
+
+impl Graph {
+    /// Dense signature id per node, indexed like `ops`: equal signatures get
+    /// equal ids, numbered `0..` in first-seen order. The number of unique
+    /// signatures is `ids.iter().max() + 1`.
+    pub fn signature_ids(&self) -> Vec<usize> {
+        let mut seen: Vec<(OpSignature, usize)> = Vec::new();
+        self.ops
+            .iter()
+            .map(|op| {
+                let sig = op.signature();
+                if let Some(&(_, id)) = seen.iter().find(|(s, _)| *s == sig) {
+                    id
+                } else {
+                    let id = seen.len();
+                    seen.push((sig, id));
+                    id
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ModelConfig;
+
+    #[test]
+    fn signature_ignores_the_name() {
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        // anchor, add1, add2 are three distinctly-named residual adds with
+        // one shared structure.
+        assert_ne!(g.ops[0].name, g.ops[7].name);
+        assert_eq!(g.ops[0].signature(), g.ops[7].signature());
+        assert_eq!(g.ops[7].signature(), g.ops[12].signature());
+        // norm1 / norm2 share a signature; qkv does not match fc1.
+        assert_eq!(g.ops[1].signature(), g.ops[8].signature());
+        assert_ne!(g.ops[2].signature(), g.ops[9].signature());
+    }
+
+    #[test]
+    fn signature_distinguishes_extents() {
+        let a = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let b = ModelConfig::opt_6_7b().layer_graph(8, 1024);
+        assert_ne!(a.ops[9].signature(), b.ops[9].signature());
+    }
+
+    #[test]
+    fn signature_ids_are_dense_and_first_seen() {
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let ids = g.signature_ids();
+        assert_eq!(ids.len(), g.ops.len());
+        assert_eq!(ids[0], 0, "first node claims id 0");
+        // Dense: every id below the max occurs.
+        let max = *ids.iter().max().unwrap();
+        for want in 0..=max {
+            assert!(ids.contains(&want), "id {want} missing");
+        }
+        // Ids agree exactly with signature equality.
+        for (i, op_i) in g.ops.iter().enumerate() {
+            for (j, op_j) in g.ops.iter().enumerate() {
+                assert_eq!(
+                    ids[i] == ids[j],
+                    op_i.signature() == op_j.signature(),
+                    "ops {i} and {j}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fig6_layer_has_ten_unique_signatures() {
+        // 13 ops: the 3 residual adds share one signature and the 2 norms
+        // share one — 13 − 2 − 1 = 10 unique (qkv/proj/fc1/fc2 all differ in
+        // extents; attention ops and the activation are singletons).
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let ids = g.signature_ids();
+        assert_eq!(ids.iter().max().unwrap() + 1, 10);
+    }
+}

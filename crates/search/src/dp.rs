@@ -6,14 +6,24 @@
 //! subtracting the shared node), and finally composes `log₂(#layers)` min-plus
 //! doublings across the stacked identical layers per Eq. 14.
 
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use primepar_cost::{edge_cost_matrix, intra_cost, CostCtx, IntraCost};
+use primepar_cost::{
+    edge_cost_matrix, intra_cost, CostCtx, EdgeCostCache, IntraCost, MatrixKey, PreparedEdge,
+};
 use primepar_graph::Graph;
 use primepar_partition::PartitionSeq;
 use primepar_topology::Cluster;
 
-use crate::{operator_space, PlannerMetrics, SegmentMetrics, SpaceOptions};
+use crate::{minplus, operator_space, PlannerMetrics, SegmentMetrics, SpaceCache, SpaceOptions};
+
+/// Per-node partition spaces, shared by `Arc` between structurally equal nodes.
+type SharedSpaces = Vec<Arc<Vec<PartitionSeq>>>;
+/// Per-node intra-cost vectors, shared the same way.
+type SharedIntra = Vec<Arc<Vec<f64>>>;
 
 /// Emits a `[dp] stage: duration` line when `PRIMEPAR_DP_TRACE` is set.
 fn dp_trace(stage: &str, elapsed: Duration) {
@@ -23,7 +33,7 @@ fn dp_trace(stage: &str, elapsed: Duration) {
 }
 
 /// Planner configuration.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PlannerOptions {
     /// The per-operator space to search.
     pub space: SpaceOptions,
@@ -33,6 +43,24 @@ pub struct PlannerOptions {
     /// parallelism §5.3 observes is available in Eqs. 11–14. `0` (default)
     /// runs single-threaded, matching the paper's Table 2 measurement setup.
     pub threads: usize,
+    /// Structural memoization (on by default): one space enumeration and one
+    /// intra-cost vector per unique operator signature, interned edge-side
+    /// profiles with whole-matrix reuse, and the blocked min-plus kernels
+    /// for Eqs. 11–14. `false` runs the seed per-operator/per-edge path;
+    /// plans and costs are bitwise-identical either way (the equivalence
+    /// suite pins this).
+    pub memoize: bool,
+}
+
+impl Default for PlannerOptions {
+    fn default() -> Self {
+        PlannerOptions {
+            space: SpaceOptions::default(),
+            alpha: 0.0,
+            threads: 0,
+            memoize: true,
+        }
+    }
 }
 
 /// An optimized model plan.
@@ -133,42 +161,141 @@ impl<'a> Planner<'a> {
         let n_bits = self.cluster.space().n_bits();
         let ctx = CostCtx::new(self.cluster, self.opts.alpha);
         let threads_used = self.opts.threads.max(1);
+        let sig_ids = self.graph.signature_ids();
         let mut tm = PlannerMetrics {
             threads_requested: self.opts.threads,
             threads_used,
             thread_busy_seconds: vec![0.0; threads_used],
+            unique_signatures: sig_ids.iter().max().map_or(0, |m| m + 1),
             ..PlannerMetrics::default()
         };
 
         let t0 = Instant::now();
-        // 1. Per-operator spaces and intra-cost vectors.
-        let spaces: Vec<Vec<PartitionSeq>> = self
-            .graph
-            .ops
-            .iter()
-            .map(|op| {
-                let s = operator_space(op, n_bits, &self.opts.space);
+        // 1. Per-operator spaces and intra-cost vectors. Memoized: one
+        // enumeration and one Eq. 7 vector per unique structural signature,
+        // shared by every node carrying it. Unmemoized: per node, as seeded.
+        let (spaces, intra): (SharedSpaces, SharedIntra) = if self.opts.memoize {
+            let mut space_cache = SpaceCache::new();
+            let mut intra_by_sig: Vec<Option<Arc<Vec<f64>>>> = vec![None; tm.unique_signatures];
+            let mut spaces = Vec::with_capacity(self.graph.ops.len());
+            let mut intra = Vec::with_capacity(self.graph.ops.len());
+            for (op, &sig) in self.graph.ops.iter().zip(&sig_ids) {
+                let s = space_cache.get(op, n_bits, &self.opts.space);
                 assert!(!s.is_empty(), "empty partition space for {}", op.name);
-                s
-            })
-            .collect();
-        let intra: Vec<Vec<f64>> = self
-            .graph
-            .ops
-            .iter()
-            .zip(&spaces)
-            .map(|(op, space)| space.iter().map(|s| intra_cost(&ctx, op, s).cost).collect())
-            .collect();
+                let v = intra_by_sig[sig]
+                    .get_or_insert_with(|| {
+                        Arc::new(s.iter().map(|q| intra_cost(&ctx, op, q).cost).collect())
+                    })
+                    .clone();
+                spaces.push(s);
+                intra.push(v);
+            }
+            tm.space_cache_hits = space_cache.hits();
+            tm.space_cache_misses = space_cache.misses();
+            (spaces, intra)
+        } else {
+            let spaces: Vec<Arc<Vec<PartitionSeq>>> = self
+                .graph
+                .ops
+                .iter()
+                .map(|op| {
+                    let s = operator_space(op, n_bits, &self.opts.space);
+                    assert!(!s.is_empty(), "empty partition space for {}", op.name);
+                    Arc::new(s)
+                })
+                .collect();
+            let intra = self
+                .graph
+                .ops
+                .iter()
+                .zip(&spaces)
+                .map(|(op, space)| {
+                    Arc::new(
+                        space
+                            .iter()
+                            .map(|s| intra_cost(&ctx, op, s).cost)
+                            .collect::<Vec<f64>>(),
+                    )
+                })
+                .collect();
+            (spaces, intra)
+        };
         tm.op_names = self.graph.ops.iter().map(|op| op.name.clone()).collect();
-        tm.space_sizes = spaces.iter().map(Vec::len).collect();
+        tm.space_sizes = spaces.iter().map(|s| s.len()).collect();
         tm.intra_evaluations = ctx.intra_evaluations();
         tm.spaces_intra_seconds = t0.elapsed().as_secs_f64();
 
         dp_trace("spaces+intra", t0.elapsed());
         let t1 = Instant::now();
-        // 2. Edge-cost matrices, summed per (src, dst) pair. Independent per
-        // edge, so they parallelize trivially when threads are requested.
-        let matrices: Vec<Vec<f64>> = if self.opts.threads > 1 {
+        // 2. Edge-cost matrices, summed per (src, dst) pair. Memoized:
+        // whole matrices dedup by `MatrixKey` *before* any parallelism (so
+        // cache telemetry is thread-count-invariant), then each unique
+        // matrix computes once against the one shared `Sync` context.
+        // Unmemoized: the seed per-edge path, also on the shared context.
+        let matrices: Vec<Vec<f64>> = if self.opts.memoize {
+            let mut cache = EdgeCostCache::new();
+            let mut job_of_key: HashMap<MatrixKey, usize> = HashMap::new();
+            let mut jobs: Vec<PreparedEdge> = Vec::new();
+            let mut edge_jobs = Vec::with_capacity(self.graph.edges.len());
+            for edge in &self.graph.edges {
+                let key = MatrixKey::new(edge, sig_ids[edge.src], sig_ids[edge.dst]);
+                let job = match job_of_key.entry(key) {
+                    Entry::Occupied(o) => {
+                        cache.note_matrix(true);
+                        *o.get()
+                    }
+                    Entry::Vacant(v) => {
+                        cache.note_matrix(false);
+                        let prepared = cache.prepare(
+                            edge,
+                            &self.graph.ops[edge.src],
+                            &self.graph.ops[edge.dst],
+                            &spaces[edge.src],
+                            &spaces[edge.dst],
+                            sig_ids[edge.src],
+                            sig_ids[edge.dst],
+                        );
+                        let idx = jobs.len();
+                        jobs.push(prepared);
+                        *v.insert(idx)
+                    }
+                };
+                edge_jobs.push(job);
+            }
+            let unique: Vec<Vec<f64>> = if self.opts.threads > 1 {
+                let threads = self.opts.threads;
+                let mut results: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
+                std::thread::scope(|scope| {
+                    let chunk = jobs.len().div_ceil(threads).max(1);
+                    let mut handles = Vec::new();
+                    for (band, out) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                        let ctx = &ctx;
+                        handles.push(scope.spawn(move || {
+                            let busy = Instant::now();
+                            for (job, slot) in band.iter().zip(out.iter_mut()) {
+                                *slot = Some(job.matrix(ctx));
+                            }
+                            busy.elapsed().as_secs_f64()
+                        }));
+                    }
+                    for (slot, handle) in handles.into_iter().enumerate() {
+                        tm.thread_busy_seconds[slot] += handle.join().expect("edge-matrix worker");
+                    }
+                });
+                results.into_iter().map(|m| m.expect("computed")).collect()
+            } else {
+                let sweep = Instant::now();
+                let out = jobs.iter().map(|job| job.matrix(&ctx)).collect();
+                tm.thread_busy_seconds[0] += sweep.elapsed().as_secs_f64();
+                out
+            };
+            let stats = cache.stats();
+            tm.profile_cache_hits = stats.profile_hits;
+            tm.profile_cache_misses = stats.profile_misses;
+            tm.edge_matrix_cache_hits = stats.matrix_hits;
+            tm.edge_matrix_cache_misses = stats.matrix_misses;
+            edge_jobs.into_iter().map(|j| unique[j].clone()).collect()
+        } else if self.opts.threads > 1 {
             let threads = self.opts.threads;
             let mut results: Vec<Option<Vec<f64>>> = vec![None; self.graph.edges.len()];
             std::thread::scope(|scope| {
@@ -181,13 +308,12 @@ impl<'a> Planner<'a> {
                     .zip(results.chunks_mut(chunk))
                 {
                     let spaces = &spaces;
+                    let ctx = &ctx;
                     handles.push(scope.spawn(move || {
                         let busy = Instant::now();
-                        // Per-thread context: the profile cache is not Sync.
-                        let local = CostCtx::new(self.cluster, self.opts.alpha);
                         for (edge, slot) in edges.iter().zip(out.iter_mut()) {
                             *slot = Some(edge_cost_matrix(
-                                &local,
+                                ctx,
                                 edge,
                                 &self.graph.ops[edge.src],
                                 &self.graph.ops[edge.dst],
@@ -195,13 +321,11 @@ impl<'a> Planner<'a> {
                                 &spaces[edge.dst],
                             ));
                         }
-                        (busy.elapsed().as_secs_f64(), local.inter_evaluations())
+                        busy.elapsed().as_secs_f64()
                     }));
                 }
                 for (slot, handle) in handles.into_iter().enumerate() {
-                    let (busy, evals) = handle.join().expect("edge-matrix worker");
-                    tm.thread_busy_seconds[slot] += busy;
-                    tm.edge_evaluations += evals;
+                    tm.thread_busy_seconds[slot] += handle.join().expect("edge-matrix worker");
                 }
             });
             results.into_iter().map(|m| m.expect("computed")).collect()
@@ -221,12 +345,11 @@ impl<'a> Planner<'a> {
                     )
                 })
                 .collect();
-            tm.edge_evaluations = ctx.inter_evaluations();
             tm.thread_busy_seconds[0] += t1.elapsed().as_secs_f64();
             out
         };
-        let mut edge_cost: std::collections::HashMap<(usize, usize), Vec<f64>> =
-            std::collections::HashMap::new();
+        tm.edge_evaluations = ctx.inter_evaluations();
+        let mut edge_cost: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
         for (edge, m) in self.graph.edges.iter().zip(matrices) {
             edge_cost
                 .entry((edge.src, edge.dst))
@@ -269,6 +392,9 @@ impl<'a> Planner<'a> {
                 span.1,
                 &intra[seg.0],
                 edge_cost.get(&(span.0, seg.1)),
+                self.opts.threads,
+                self.opts.memoize,
+                &mut tm.thread_busy_seconds,
             );
             span = (span.0, seg.1);
         }
@@ -284,8 +410,14 @@ impl<'a> Planner<'a> {
         let stackable = spaces[first] == spaces[last];
         let (total_cost, row_star, col_star, layer_cost);
         if stackable {
-            let boundary_intra = &intra[last];
-            total_cost = minplus_chain(&merged, boundary_intra, layers);
+            let boundary_intra: &[f64] = &intra[last];
+            total_cost = minplus_chain(
+                &merged,
+                boundary_intra,
+                layers,
+                self.opts.threads,
+                &mut tm.thread_busy_seconds,
+            );
             // Steady-state representative layer: the boundary state with the
             // best marginal per-layer cost.
             let nb = spaces[first].len();
@@ -351,9 +483,9 @@ impl<'a> Planner<'a> {
         &self,
         s: usize,
         e: usize,
-        spaces: &[Vec<PartitionSeq>],
-        intra: &[Vec<f64>],
-        edge_cost: &std::collections::HashMap<(usize, usize), Vec<f64>>,
+        spaces: &[Arc<Vec<PartitionSeq>>],
+        intra: &[Arc<Vec<f64>>],
+        edge_cost: &HashMap<(usize, usize), Vec<f64>>,
         busy: &mut [f64],
     ) -> (Table, SegmentMetrics) {
         let mut relaxations = 0u64;
@@ -376,67 +508,20 @@ impl<'a> Planner<'a> {
             let new_cols = spaces[j].len();
             relaxations += (rows * new_cols * cols) as u64;
             let chain = edge_cost.get(&(j - 1, j)).expect("chain edge present");
-            let head = edge_cost.get(&(s, j));
-            let mut new_cost = vec![f64::INFINITY; rows * new_cols];
-            let mut choice = vec![0u32; rows * new_cols];
-            let bellman_row = |r: usize, out_cost: &mut [f64], out_choice: &mut [u32]| {
-                let row = &cost[r * cols..(r + 1) * cols];
-                for nc in 0..new_cols {
-                    let mut best = f64::INFINITY;
-                    let mut best_p = 0u32;
-                    for (p, &base) in row.iter().enumerate() {
-                        let v = base + chain[p * new_cols + nc];
-                        if v < best {
-                            best = v;
-                            best_p = p as u32;
-                        }
-                    }
-                    let mut v = best + intra[j][nc];
-                    if let Some(h) = head {
-                        v += h[r * new_cols + nc]; // Eq. 12's e_{i,j+1} term
-                    }
-                    out_cost[nc] = v;
-                    out_choice[nc] = best_p;
-                }
-            };
-            if self.opts.threads > 1 {
-                let threads = self.opts.threads;
-                std::thread::scope(|scope| {
-                    let chunk = rows.div_ceil(threads).max(1);
-                    let mut handles = Vec::new();
-                    for (band, (cost_band, choice_band)) in new_cost
-                        .chunks_mut(chunk * new_cols)
-                        .zip(choice.chunks_mut(chunk * new_cols))
-                        .enumerate()
-                    {
-                        let bellman_row = &bellman_row;
-                        handles.push(scope.spawn(move || {
-                            let sweep = Instant::now();
-                            for (i, (oc, och)) in cost_band
-                                .chunks_mut(new_cols)
-                                .zip(choice_band.chunks_mut(new_cols))
-                                .enumerate()
-                            {
-                                bellman_row(band * chunk + i, oc, och);
-                            }
-                            sweep.elapsed().as_secs_f64()
-                        }));
-                    }
-                    for (slot, handle) in handles.into_iter().enumerate() {
-                        busy[slot] += handle.join().expect("bellman worker");
-                    }
-                });
-            } else {
-                let sweep = Instant::now();
-                for r in 0..rows {
-                    let (oc, och) = (
-                        &mut new_cost[r * new_cols..(r + 1) * new_cols],
-                        &mut choice[r * new_cols..(r + 1) * new_cols],
-                    );
-                    bellman_row(r, oc, och);
-                }
-                busy[0] += sweep.elapsed().as_secs_f64();
-            }
+            // Eq. 12's e_{i,j+1} term.
+            let head = edge_cost.get(&(s, j)).map(|h| h.as_slice());
+            let (new_cost, choice) = minplus::bellman_extend(
+                self.opts.threads,
+                self.opts.memoize,
+                rows,
+                cols,
+                new_cols,
+                &cost,
+                chain,
+                &intra[j],
+                head,
+                busy,
+            );
             steps.push(BacktrackStep::Extend {
                 node: j,
                 prev_node: j - 1,
@@ -467,38 +552,35 @@ impl<'a> Planner<'a> {
 
 /// Eq. 13: merge `left` (span `a..mid`) and `right` (span `mid..c`),
 /// subtracting the shared node's intra cost and adding any direct `a → c`
-/// edge.
+/// edge. Routed through the min-plus kernels: blocked when memoizing,
+/// row-parallel when threads are requested — bitwise-identical either way.
+#[allow(clippy::too_many_arguments)]
 fn merge(
     left: Table,
     right: Table,
     mid: usize,
     mid_intra: &[f64],
     span_edge: Option<&Vec<f64>>,
+    threads: usize,
+    blocked: bool,
+    busy: &mut [f64],
 ) -> Table {
     assert_eq!(left.cols, right.rows, "merge point spaces must agree");
     let rows = left.rows;
     let cols = right.cols;
     let k = left.cols;
-    let mut cost = vec![f64::INFINITY; rows * cols];
-    let mut choice = vec![0u32; rows * cols];
-    for r in 0..rows {
-        for c in 0..cols {
-            let mut best = f64::INFINITY;
-            let mut best_m = 0u32;
-            for m in 0..k {
-                let v = left.cost[r * k + m] + right.cost[m * cols + c] - mid_intra[m];
-                if v < best {
-                    best = v;
-                    best_m = m as u32;
-                }
-            }
-            if let Some(edge) = span_edge {
-                best += edge[r * cols + c];
-            }
-            cost[r * cols + c] = best;
-            choice[r * cols + c] = best_m;
-        }
-    }
+    let (cost, choice) = minplus::merge_tables(
+        threads,
+        blocked,
+        rows,
+        k,
+        cols,
+        &left.cost,
+        &right.cost,
+        mid_intra,
+        span_edge.map(|e| e.as_slice()),
+        busy,
+    );
     let steps = vec![BacktrackStep::Merge {
         mid,
         left_steps: left.steps,
@@ -515,28 +597,19 @@ fn merge(
 }
 
 /// Eq. 14 generalized: exact cost of `layers` stacked copies of the layer
-/// table `t` sharing boundary nodes, via min-plus doubling.
-fn minplus_chain(t: &Table, boundary_intra: &[f64], layers: u64) -> f64 {
+/// table `t` sharing boundary nodes, via min-plus doubling (row-parallel
+/// joins when threads are requested).
+fn minplus_chain(
+    t: &Table,
+    boundary_intra: &[f64],
+    layers: u64,
+    threads: usize,
+    busy: &mut [f64],
+) -> f64 {
     assert_eq!(t.rows, t.cols, "layer table must be square");
     let n = t.rows;
-    let join = |a: &Vec<f64>, b: &Vec<f64>| -> Vec<f64> {
-        let mut out = vec![f64::INFINITY; n * n];
-        for r in 0..n {
-            for q in 0..n {
-                let lead = a[r * n + q] - boundary_intra[q];
-                if !lead.is_finite() {
-                    continue;
-                }
-                for c in 0..n {
-                    let v = lead + b[q * n + c];
-                    if v < out[r * n + c] {
-                        out[r * n + c] = v;
-                    }
-                }
-            }
-        }
-        out
-    };
+    let mut join =
+        |a: &[f64], b: &[f64]| minplus::minplus_join(threads, n, a, b, boundary_intra, busy);
     let mut result: Option<Vec<f64>> = None;
     let mut power = t.cost.clone();
     let mut remaining = layers.max(1);
@@ -745,6 +818,26 @@ mod tests {
         assert_eq!(single_tm.intra_evaluations, multi_tm.intra_evaluations);
         assert_eq!(single_tm.edge_evaluations, multi_tm.edge_evaluations);
         assert_eq!(single_tm.merge_relaxations, multi_tm.merge_relaxations);
+        // ISSUE 2: cache telemetry is deterministic too — the matrix dedup
+        // happens before any work is parallelized.
+        assert_eq!(single_tm.unique_signatures, multi_tm.unique_signatures);
+        assert_eq!(single_tm.space_cache_hits, multi_tm.space_cache_hits);
+        assert_eq!(single_tm.space_cache_misses, multi_tm.space_cache_misses);
+        assert_eq!(single_tm.profile_cache_hits, multi_tm.profile_cache_hits);
+        assert_eq!(
+            single_tm.profile_cache_misses,
+            multi_tm.profile_cache_misses
+        );
+        assert_eq!(
+            single_tm.edge_matrix_cache_hits,
+            multi_tm.edge_matrix_cache_hits
+        );
+        assert_eq!(
+            single_tm.edge_matrix_cache_misses,
+            multi_tm.edge_matrix_cache_misses
+        );
+        assert!(single_tm.unique_signatures > 0);
+        assert!(single_tm.edge_matrix_cache_hits > 0, "residual adds repeat");
         assert_eq!(single_tm.segments.len(), multi_tm.segments.len());
         for (s, m) in single_tm.segments.iter().zip(&multi_tm.segments) {
             assert_eq!(s.span, m.span);

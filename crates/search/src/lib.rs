@@ -32,6 +32,7 @@
 #![allow(clippy::needless_range_loop)]
 mod baselines;
 mod dp;
+mod minplus;
 mod plan_io;
 mod report;
 mod space;
@@ -41,5 +42,5 @@ pub use baselines::{alpa_plan, best_megatron, evaluate_layer_plan, megatron_laye
 pub use dp::{ModelPlan, Planner, PlannerOptions};
 pub use plan_io::{parse_plan, render_plan, PlanIoError};
 pub use report::explain_plan;
-pub use space::{operator_space, SpaceOptions};
+pub use space::{operator_space, SpaceCache, SpaceOptions};
 pub use telemetry::{PlannerMetrics, SegmentMetrics};

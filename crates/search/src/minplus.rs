@@ -1,0 +1,467 @@
+//! Blocked, multi-threaded min-plus kernels for the segmented DP.
+//!
+//! The Bellman extension (Eq. 12), the segment merge (Eq. 13) and the layer
+//! doubling (Eq. 14) are all min-plus matrix products. The seed planner's
+//! inner loops walk the chain matrix column-wise (`chain[p·C + nc]` with `p`
+//! innermost), touching one cache line per element; the blocked variants
+//! interchange the loops so both the streamed matrix row and the running
+//! minima are contiguous. The candidate *order* per output cell is unchanged
+//! (ascending interior state, strict `<`), and every sum keeps the original
+//! association — results and argmin choices are bitwise-identical to the
+//! scalar path, which the tests pin down.
+//!
+//! All three products parallelize over output rows; per-worker busy seconds
+//! accumulate into the planner's `thread_busy_seconds` slots.
+
+use std::time::Instant;
+
+/// Runs `row_fn(r, cost_row, choice_row)` for every row, chunked across
+/// `threads` scoped workers (serial when `threads <= 1`), adding per-worker
+/// busy seconds into `busy`.
+fn drive(
+    threads: usize,
+    rows: usize,
+    width: usize,
+    cost: &mut [f64],
+    choice: &mut [u32],
+    busy: &mut [f64],
+    row_fn: impl Fn(usize, &mut [f64], &mut [u32]) + Sync,
+) {
+    if threads > 1 && rows > 1 {
+        std::thread::scope(|scope| {
+            let chunk = rows.div_ceil(threads).max(1);
+            let mut handles = Vec::new();
+            for (band, (cost_band, choice_band)) in cost
+                .chunks_mut(chunk * width)
+                .zip(choice.chunks_mut(chunk * width))
+                .enumerate()
+            {
+                let row_fn = &row_fn;
+                handles.push(scope.spawn(move || {
+                    let sweep = Instant::now();
+                    for (i, (oc, och)) in cost_band
+                        .chunks_mut(width)
+                        .zip(choice_band.chunks_mut(width))
+                        .enumerate()
+                    {
+                        row_fn(band * chunk + i, oc, och);
+                    }
+                    sweep.elapsed().as_secs_f64()
+                }));
+            }
+            for (slot, handle) in handles.into_iter().enumerate() {
+                busy[slot] += handle.join().expect("min-plus worker");
+            }
+        });
+    } else {
+        let sweep = Instant::now();
+        for (r, (oc, och)) in cost
+            .chunks_mut(width)
+            .zip(choice.chunks_mut(width))
+            .enumerate()
+        {
+            row_fn(r, oc, och);
+        }
+        busy[0] += sweep.elapsed().as_secs_f64();
+    }
+}
+
+/// One Bellman chain extension (Eq. 12): from the `rows × cols` table against
+/// the `cols × new_cols` chain-edge matrix, adding the new endpoint's intra
+/// cost and the optional segment-head edge. Returns `(cost, choice)` with
+/// `choice[r·new_cols + nc]` the argmin previous-endpoint state.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn bellman_extend(
+    threads: usize,
+    blocked: bool,
+    rows: usize,
+    cols: usize,
+    new_cols: usize,
+    cost: &[f64],
+    chain: &[f64],
+    intra_j: &[f64],
+    head: Option<&[f64]>,
+    busy: &mut [f64],
+) -> (Vec<f64>, Vec<u32>) {
+    let mut new_cost = vec![f64::INFINITY; rows * new_cols];
+    let mut choice = vec![0u32; rows * new_cols];
+    drive(
+        threads,
+        rows,
+        new_cols,
+        &mut new_cost,
+        &mut choice,
+        busy,
+        |r, out_cost, out_choice| {
+            let row = &cost[r * cols..(r + 1) * cols];
+            let head_row = head.map(|h| &h[r * new_cols..(r + 1) * new_cols]);
+            if blocked {
+                extend_row_blocked(row, chain, intra_j, head_row, out_cost, out_choice);
+            } else {
+                extend_row_scalar(row, chain, intra_j, head_row, out_cost, out_choice);
+            }
+        },
+    );
+    (new_cost, choice)
+}
+
+/// The seed planner's per-row extension loop, verbatim.
+fn extend_row_scalar(
+    row: &[f64],
+    chain: &[f64],
+    intra_j: &[f64],
+    head_row: Option<&[f64]>,
+    out_cost: &mut [f64],
+    out_choice: &mut [u32],
+) {
+    let new_cols = out_cost.len();
+    for nc in 0..new_cols {
+        let mut best = f64::INFINITY;
+        let mut best_p = 0u32;
+        for (p, &base) in row.iter().enumerate() {
+            let v = base + chain[p * new_cols + nc];
+            if v < best {
+                best = v;
+                best_p = p as u32;
+            }
+        }
+        let mut v = best + intra_j[nc];
+        if let Some(h) = head_row {
+            v += h[nc];
+        }
+        out_cost[nc] = v;
+        out_choice[nc] = best_p;
+    }
+}
+
+/// Loop-interchanged extension: streams each chain row contiguously against
+/// running minima. Candidates arrive per output cell in the same ascending-`p`
+/// order with the same strict `<`, so cost and argmin match the scalar path.
+fn extend_row_blocked(
+    row: &[f64],
+    chain: &[f64],
+    intra_j: &[f64],
+    head_row: Option<&[f64]>,
+    out_cost: &mut [f64],
+    out_choice: &mut [u32],
+) {
+    let new_cols = out_cost.len();
+    out_cost.fill(f64::INFINITY);
+    out_choice.fill(0);
+    for (p, &base) in row.iter().enumerate() {
+        let chain_row = &chain[p * new_cols..(p + 1) * new_cols];
+        for (nc, &c) in chain_row.iter().enumerate() {
+            let v = base + c;
+            if v < out_cost[nc] {
+                out_cost[nc] = v;
+                out_choice[nc] = p as u32;
+            }
+        }
+    }
+    match head_row {
+        Some(h) => {
+            for nc in 0..new_cols {
+                // Same association as the scalar path: (best + intra) + head.
+                let v = out_cost[nc] + intra_j[nc];
+                out_cost[nc] = v + h[nc];
+            }
+        }
+        None => {
+            for nc in 0..new_cols {
+                out_cost[nc] += intra_j[nc];
+            }
+        }
+    }
+}
+
+/// One segment merge (Eq. 13): `out[r, c] = min_m (left[r, m] + right[m, c] −
+/// mid_intra[m])`, plus the optional direct span edge added after the argmin.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn merge_tables(
+    threads: usize,
+    blocked: bool,
+    rows: usize,
+    k: usize,
+    cols: usize,
+    left: &[f64],
+    right: &[f64],
+    mid_intra: &[f64],
+    span_edge: Option<&[f64]>,
+    busy: &mut [f64],
+) -> (Vec<f64>, Vec<u32>) {
+    let mut cost = vec![f64::INFINITY; rows * cols];
+    let mut choice = vec![0u32; rows * cols];
+    drive(
+        threads,
+        rows,
+        cols,
+        &mut cost,
+        &mut choice,
+        busy,
+        |r, out_cost, out_choice| {
+            let left_row = &left[r * k..(r + 1) * k];
+            let edge_row = span_edge.map(|e| &e[r * cols..(r + 1) * cols]);
+            if blocked {
+                merge_row_blocked(left_row, right, mid_intra, edge_row, out_cost, out_choice);
+            } else {
+                merge_row_scalar(left_row, right, mid_intra, edge_row, out_cost, out_choice);
+            }
+        },
+    );
+    (cost, choice)
+}
+
+/// The seed planner's per-row merge loop, verbatim.
+fn merge_row_scalar(
+    left_row: &[f64],
+    right: &[f64],
+    mid_intra: &[f64],
+    edge_row: Option<&[f64]>,
+    out_cost: &mut [f64],
+    out_choice: &mut [u32],
+) {
+    let cols = out_cost.len();
+    for c in 0..cols {
+        let mut best = f64::INFINITY;
+        let mut best_m = 0u32;
+        for (m, &l) in left_row.iter().enumerate() {
+            let v = l + right[m * cols + c] - mid_intra[m];
+            if v < best {
+                best = v;
+                best_m = m as u32;
+            }
+        }
+        if let Some(e) = edge_row {
+            best += e[c];
+        }
+        out_cost[c] = best;
+        out_choice[c] = best_m;
+    }
+}
+
+/// Loop-interchanged merge; same candidate order and association
+/// (`(l + r) − mid`), bitwise-identical to the scalar row.
+fn merge_row_blocked(
+    left_row: &[f64],
+    right: &[f64],
+    mid_intra: &[f64],
+    edge_row: Option<&[f64]>,
+    out_cost: &mut [f64],
+    out_choice: &mut [u32],
+) {
+    let cols = out_cost.len();
+    out_cost.fill(f64::INFINITY);
+    out_choice.fill(0);
+    for (m, &l) in left_row.iter().enumerate() {
+        let right_row = &right[m * cols..(m + 1) * cols];
+        let mid = mid_intra[m];
+        for (c, &r) in right_row.iter().enumerate() {
+            let v = l + r - mid;
+            if v < out_cost[c] {
+                out_cost[c] = v;
+                out_choice[c] = m as u32;
+            }
+        }
+    }
+    if let Some(e) = edge_row {
+        for c in 0..cols {
+            out_cost[c] += e[c];
+        }
+    }
+}
+
+/// One layer-doubling join (Eq. 14): `out[r, c] = min_q (a[r, q] −
+/// boundary_intra[q] + b[q, c])` over the shared `n × n` boundary space. The
+/// per-row loop is already stream-friendly; the win here is row parallelism.
+pub(crate) fn minplus_join(
+    threads: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    boundary_intra: &[f64],
+    busy: &mut [f64],
+) -> Vec<f64> {
+    let mut out = vec![f64::INFINITY; n * n];
+    if threads > 1 && n > 1 {
+        std::thread::scope(|scope| {
+            let chunk = n.div_ceil(threads).max(1);
+            let mut handles = Vec::new();
+            for (band, out_band) in out.chunks_mut(chunk * n).enumerate() {
+                handles.push(scope.spawn(move || {
+                    let sweep = Instant::now();
+                    for (i, out_row) in out_band.chunks_mut(n).enumerate() {
+                        join_row((band * chunk + i) * n, a, b, boundary_intra, out_row);
+                    }
+                    sweep.elapsed().as_secs_f64()
+                }));
+            }
+            for (slot, handle) in handles.into_iter().enumerate() {
+                busy[slot] += handle.join().expect("join worker");
+            }
+        });
+    } else {
+        let sweep = Instant::now();
+        for (r, out_row) in out.chunks_mut(n).enumerate() {
+            join_row(r * n, a, b, boundary_intra, out_row);
+        }
+        busy[0] += sweep.elapsed().as_secs_f64();
+    }
+    out
+}
+
+/// The seed planner's join row, verbatim (`a_off = r · n`).
+fn join_row(a_off: usize, a: &[f64], b: &[f64], boundary_intra: &[f64], out_row: &mut [f64]) {
+    let n = out_row.len();
+    for q in 0..n {
+        let lead = a[a_off + q] - boundary_intra[q];
+        if !lead.is_finite() {
+            continue;
+        }
+        let b_row = &b[q * n..(q + 1) * n];
+        for (c, &bv) in b_row.iter().enumerate() {
+            let v = lead + bv;
+            if v < out_row[c] {
+                out_row[c] = v;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random doubles in `[0, 1)` (an LCG; no RNG dep).
+    fn noise(len: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn assert_bitwise(a: &[f64], b: &[f64]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "cell {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn blocked_extension_matches_scalar_bitwise() {
+        let (rows, cols, new_cols) = (7, 11, 5);
+        let cost = noise(rows * cols, 1);
+        let chain = noise(cols * new_cols, 2);
+        let intra = noise(new_cols, 3);
+        let head = noise(rows * new_cols, 4);
+        for (head_opt, threads) in [(None, 0usize), (Some(&head), 0), (Some(&head), 3)] {
+            let mut busy_a = vec![0.0; 4];
+            let mut busy_b = vec![0.0; 4];
+            let head_opt = head_opt.map(|h: &Vec<f64>| h.as_slice());
+            let (c_scalar, ch_scalar) = bellman_extend(
+                1,
+                false,
+                rows,
+                cols,
+                new_cols,
+                &cost,
+                &chain,
+                &intra,
+                head_opt,
+                &mut busy_a,
+            );
+            let (c_blocked, ch_blocked) = bellman_extend(
+                threads,
+                true,
+                rows,
+                cols,
+                new_cols,
+                &cost,
+                &chain,
+                &intra,
+                head_opt,
+                &mut busy_b,
+            );
+            assert_bitwise(&c_scalar, &c_blocked);
+            assert_eq!(ch_scalar, ch_blocked);
+        }
+    }
+
+    #[test]
+    fn extension_ties_pick_the_earliest_state() {
+        // A constant landscape makes every interior state tie: the argmin
+        // must stay at p = 0 in both variants (strict `<` discipline).
+        let (rows, cols, new_cols) = (2, 6, 3);
+        let cost = vec![1.0; rows * cols];
+        let chain = vec![2.0; cols * new_cols];
+        let intra = vec![0.5; new_cols];
+        let mut busy = vec![0.0; 1];
+        for blocked in [false, true] {
+            let (c, ch) = bellman_extend(
+                1, blocked, rows, cols, new_cols, &cost, &chain, &intra, None, &mut busy,
+            );
+            assert!(ch.iter().all(|&p| p == 0));
+            assert!(c.iter().all(|&v| v == 3.5));
+        }
+    }
+
+    #[test]
+    fn blocked_merge_matches_scalar_bitwise() {
+        let (rows, k, cols) = (6, 9, 8);
+        let left = noise(rows * k, 10);
+        let right = noise(k * cols, 11);
+        let mid = noise(k, 12);
+        let span = noise(rows * cols, 13);
+        for (span_opt, threads) in [(None, 0usize), (Some(&span), 0), (Some(&span), 4)] {
+            let mut busy_a = vec![0.0; 4];
+            let mut busy_b = vec![0.0; 4];
+            let span_opt = span_opt.map(|s: &Vec<f64>| s.as_slice());
+            let (c_scalar, ch_scalar) = merge_tables(
+                1,
+                false,
+                rows,
+                k,
+                cols,
+                &left,
+                &right,
+                &mid,
+                span_opt,
+                &mut busy_a,
+            );
+            let (c_blocked, ch_blocked) = merge_tables(
+                threads,
+                true,
+                rows,
+                k,
+                cols,
+                &left,
+                &right,
+                &mid,
+                span_opt,
+                &mut busy_b,
+            );
+            assert_bitwise(&c_scalar, &c_blocked);
+            assert_eq!(ch_scalar, ch_blocked);
+        }
+    }
+
+    #[test]
+    fn parallel_join_matches_serial_and_skips_infinities() {
+        let n = 9;
+        let mut a = noise(n * n, 20);
+        let b = noise(n * n, 21);
+        let intra = noise(n, 22);
+        a[3] = f64::INFINITY; // an unreachable boundary state
+        let mut busy_a = vec![0.0; 4];
+        let mut busy_b = vec![0.0; 4];
+        let serial = minplus_join(1, n, &a, &b, &intra, &mut busy_a);
+        let parallel = minplus_join(4, n, &a, &b, &intra, &mut busy_b);
+        assert_bitwise(&serial, &parallel);
+        assert!(serial.iter().all(|v| v.is_finite()));
+        assert!(busy_b.iter().sum::<f64>() >= 0.0);
+    }
+}

@@ -37,10 +37,29 @@ pub struct PlannerMetrics {
     pub space_sizes: Vec<usize>,
     /// One entry per segment of `graph.segments()`, in order.
     pub segments: Vec<SegmentMetrics>,
-    /// Eq. 7 evaluations (stage 1's per-operator intra-cost vectors).
+    /// Eq. 7 evaluations (stage 1's per-operator intra-cost vectors). With
+    /// memoization these drop by the structural-dedup factor: one vector per
+    /// unique signature instead of per node.
     pub intra_evaluations: u64,
-    /// Eqs. 8-9 pair evaluations (stage 2's edge-cost matrix cells).
+    /// Eqs. 8-9 pair evaluations (stage 2's edge-cost matrix cells). With
+    /// memoization each *unique* matrix is charged once, so duplicate edges
+    /// add nothing.
     pub edge_evaluations: u64,
+    /// Distinct structural operator signatures in the graph (vs `op_names
+    /// .len()` nodes).
+    pub unique_signatures: usize,
+    /// Stage 1 space enumerations served from the signature-keyed cache.
+    pub space_cache_hits: u64,
+    /// Stage 1 space enumerations actually run.
+    pub space_cache_misses: u64,
+    /// Stage 2 side-profile vectors reused across edges.
+    pub profile_cache_hits: u64,
+    /// Stage 2 side-profile vectors built from scratch.
+    pub profile_cache_misses: u64,
+    /// Stage 2 whole edge matrices reused via structural keys.
+    pub edge_matrix_cache_hits: u64,
+    /// Stage 2 whole edge matrices actually computed.
+    pub edge_matrix_cache_misses: u64,
     /// Inner-loop candidate evaluations of the Eq. 13 segment merges.
     pub merge_relaxations: u64,
     /// Stage 1 (spaces + intra vectors) wall seconds.
@@ -59,17 +78,22 @@ pub struct PlannerMetrics {
     pub threads_requested: usize,
     /// Worker count actually used (1 when running single-threaded).
     pub threads_used: usize,
-    /// Per-worker busy seconds across the two parallelizable stages
-    /// (edge matrices and Bellman sweeps), indexed by worker slot.
+    /// Per-worker busy seconds across the parallelizable stages (edge
+    /// matrices, Bellman sweeps, merges and min-plus joins), indexed by
+    /// worker slot.
     pub thread_busy_seconds: Vec<f64>,
 }
 
 impl PlannerMetrics {
     /// Fraction of the parallel stages' wall time the workers were busy:
-    /// `Σ busy / (threads_used × (edge + segment_dp seconds))`, in `0..=1`
-    /// for an ideal measurement (scheduling noise can nudge it past 1).
+    /// `Σ busy / (threads_used × (edge + segment_dp + merge + compose
+    /// seconds))`, in `0..=1` for an ideal measurement (scheduling noise can
+    /// nudge it past 1).
     pub fn thread_utilization(&self) -> f64 {
-        let wall = self.edge_matrices_seconds + self.segment_dp_seconds;
+        let wall = self.edge_matrices_seconds
+            + self.segment_dp_seconds
+            + self.merge_seconds
+            + self.compose_seconds;
         let capacity = self.threads_used as f64 * wall;
         if capacity <= 0.0 {
             return 0.0;
@@ -95,6 +119,19 @@ impl PlannerMetrics {
         m.incr("planner.intra_evaluations", self.intra_evaluations);
         m.incr("planner.edge_evaluations", self.edge_evaluations);
         m.incr("planner.merge_relaxations", self.merge_relaxations);
+        m.gauge("planner.unique_signatures", self.unique_signatures as f64);
+        m.incr("planner.cache.space.hits", self.space_cache_hits);
+        m.incr("planner.cache.space.misses", self.space_cache_misses);
+        m.incr("planner.cache.profile.hits", self.profile_cache_hits);
+        m.incr("planner.cache.profile.misses", self.profile_cache_misses);
+        m.incr(
+            "planner.cache.edge_matrix.hits",
+            self.edge_matrix_cache_hits,
+        );
+        m.incr(
+            "planner.cache.edge_matrix.misses",
+            self.edge_matrix_cache_misses,
+        );
         m.gauge("planner.threads.requested", self.threads_requested as f64);
         m.gauge("planner.threads.used", self.threads_used as f64);
         for &busy in &self.thread_busy_seconds {
@@ -140,6 +177,13 @@ mod tests {
             intra_evaluations: 21,
             edge_evaluations: 68,
             merge_relaxations: 0,
+            unique_signatures: 2,
+            space_cache_hits: 3,
+            space_cache_misses: 2,
+            profile_cache_hits: 4,
+            profile_cache_misses: 8,
+            edge_matrix_cache_hits: 5,
+            edge_matrix_cache_misses: 12,
             spaces_intra_seconds: 0.5,
             edge_matrices_seconds: 1.0,
             segment_dp_seconds: 1.0,
@@ -165,6 +209,10 @@ mod tests {
         let m = sample().to_metrics();
         assert_eq!(m.counter("planner.intra_evaluations"), 21);
         assert_eq!(m.counter("planner.edge_evaluations"), 68);
+        assert_eq!(m.gauge_value("planner.unique_signatures"), Some(2.0));
+        assert_eq!(m.counter("planner.cache.space.hits"), 3);
+        assert_eq!(m.counter("planner.cache.profile.misses"), 8);
+        assert_eq!(m.counter("planner.cache.edge_matrix.hits"), 5);
         assert!(m.timer_seconds("planner.stage.segment_dp_seconds") > 0.0);
         assert_eq!(m.gauge_value("planner.space.01.fc1.size"), Some(17.0));
         assert_eq!(m.gauge_value("planner.segment.00.rows"), Some(4.0));

@@ -16,4 +16,10 @@ cargo build --release --workspace --offline
 echo "== cargo test =="
 cargo test -q --workspace --offline
 
+echo "== planner smoke timing (OPT-6.7B, 16 devices) =="
+# The memoized planner finishes this point in well under a second; the 60 s
+# budget is a generous regression tripwire, not a tight perf gate.
+timeout 60 ./target/release/primepar plan --model opt-6.7b --devices 16 \
+    >/dev/null || { echo "planner smoke run failed or exceeded 60 s" >&2; exit 1; }
+
 echo "CI gate passed."
