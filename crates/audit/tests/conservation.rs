@@ -1,0 +1,92 @@
+//! The two conservation laws of the cluster accounting, pinned across plans:
+//!
+//! 1. every device's `busy + idle` seconds equal the simulated makespan, and
+//! 2. the simulator's per-link wire bytes sum to the plan's analytically
+//!    derived communication volume, component by component.
+
+use primepar_audit::plan_comm_volume;
+use primepar_graph::ModelConfig;
+use primepar_partition::PartitionSeq;
+use primepar_search::{megatron_layer_plan, Planner, PlannerOptions};
+use primepar_sim::{simulate_layer, EventKind};
+use primepar_topology::Cluster;
+
+fn plans(cluster: &Cluster, graph: &primepar_graph::Graph) -> Vec<Vec<PartitionSeq>> {
+    let n = cluster.num_devices();
+    vec![
+        megatron_layer_plan(graph, 1, n),
+        megatron_layer_plan(graph, 2, n / 2),
+        Planner::new(cluster, graph, PlannerOptions::default())
+            .optimize(1)
+            .seqs,
+    ]
+}
+
+#[test]
+fn busy_plus_idle_is_the_makespan_for_every_plan() {
+    let cluster = Cluster::v100_like(8);
+    let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
+    for plan in plans(&cluster, &graph) {
+        let report = simulate_layer(&cluster, &graph, &plan);
+        let acct = &report.accounting;
+        acct.validate().expect("busy+idle must equal makespan");
+        assert_eq!(acct.devices.len(), 8);
+        let tol = 1e-9 * (1.0 + report.layer_time);
+        for d in &acct.devices {
+            // The SPMD walk never idles: every device is on the critical path.
+            assert!(d.idle_seconds.abs() <= tol);
+            assert!((d.busy_seconds() - report.layer_time).abs() <= tol);
+        }
+        assert!((acct.makespan - report.layer_time).abs() <= tol);
+    }
+}
+
+#[test]
+fn link_bytes_sum_to_the_plan_volume_per_component() {
+    let cluster = Cluster::v100_like(8);
+    let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
+    for plan in plans(&cluster, &graph) {
+        let report = simulate_layer(&cluster, &graph, &plan);
+        let acct = &report.accounting;
+        let volume = plan_comm_volume(&cluster, &graph, &plan);
+        let tol = 1e-6 * (1.0 + volume.total());
+        assert!(
+            (acct.wire_bytes_of(EventKind::Ring) - volume.ring_bytes).abs() <= tol,
+            "ring: sim {} vs plan {}",
+            acct.wire_bytes_of(EventKind::Ring),
+            volume.ring_bytes
+        );
+        assert!(
+            (acct.wire_bytes_of(EventKind::AllReduce) - volume.collective_bytes).abs() <= tol,
+            "allreduce: sim {} vs plan {}",
+            acct.wire_bytes_of(EventKind::AllReduce),
+            volume.collective_bytes
+        );
+        assert!(
+            (acct.wire_bytes_of(EventKind::Redistribution) - volume.redistribution_bytes).abs()
+                <= tol,
+            "redistribution: sim {} vs plan {}",
+            acct.wire_bytes_of(EventKind::Redistribution),
+            volume.redistribution_bytes
+        );
+        assert!((acct.total_wire_bytes() - volume.total()).abs() <= tol);
+        // Something must actually move under tensor parallelism.
+        assert!(volume.total() > 0.0, "plan moved no bytes at all");
+    }
+}
+
+#[test]
+fn memory_timeline_peak_matches_the_report() {
+    let cluster = Cluster::v100_like(8);
+    let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
+    for plan in plans(&cluster, &graph) {
+        let report = simulate_layer(&cluster, &graph, &plan);
+        let acct = &report.accounting;
+        assert!(!acct.memory_timeline.is_empty());
+        assert_eq!(acct.peak_memory_bytes(), report.peak_memory_bytes);
+        // Samples are chronological.
+        for w in acct.memory_timeline.windows(2) {
+            assert!(w[1].time_s >= w[0].time_s - 1e-12);
+        }
+    }
+}

@@ -225,5 +225,6 @@ fn main() {
     }
     println!("question answered: does the temporal primitive's per-step ring coupling make");
     println!("PrimePar more straggler-sensitive than collective-based strategies?");
+    primepar_bench::merge_drift_summary(&mut metrics, &cluster, &graph, &prime_plan);
     write_run_metrics("ablations", &metrics);
 }

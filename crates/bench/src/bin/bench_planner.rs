@@ -141,6 +141,7 @@ fn main() {
         "bench.warm.edge_matrix_cache_misses",
         warm_tm.edge_matrix_cache_misses as f64,
     );
+    primepar_bench::merge_drift_summary(&mut m, &cluster, &graph, &warm_plan.seqs);
     let path = results_dir().join("bench_planner.json");
     match primepar::write_metrics_json(&path, &m) {
         Ok(()) => println!("\nsnapshot written to {}", path.display()),

@@ -9,7 +9,7 @@ use primepar::obs::Metrics;
 use primepar::search::{megatron_layer_plan, Planner, PlannerOptions, SpaceOptions};
 use primepar::sim::{simulate_3d, ThreeDConfig};
 use primepar::topology::Cluster;
-use primepar_bench::{slug, write_run_metrics};
+use primepar_bench::{merge_drift_summary, slug, write_run_metrics};
 
 fn main() {
     let total_devices = 32usize;
@@ -118,5 +118,13 @@ fn main() {
     }
     println!("paper reference: (p=2,d=4,m=4) best around 7B; (p=2,d=1,m=16) best for >100B;");
     println!("PrimePar's best beats Megatron's best by up to 1.46x (OPT 175B).");
+    // Drift audit of one representative stage (the m = 8 OPT-6.7B stage a
+    // (p, d, 8) configuration pipelines): does the per-stage simulation the
+    // 3D composition builds on still match the cost model?
+    let model = ModelConfig::opt_6_7b();
+    let graph = model.layer_graph(1, seq);
+    let cluster = Cluster::v100_like(8);
+    let plan = megatron_layer_plan(&graph, 1, 8);
+    merge_drift_summary(&mut metrics, &cluster, &graph, &plan);
     write_run_metrics("fig10_3d", &metrics);
 }

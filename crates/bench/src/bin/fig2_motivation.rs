@@ -11,7 +11,7 @@ use primepar::obs::Metrics;
 use primepar::search::best_megatron;
 use primepar::sim::{ideal_memory_bytes, simulate_model};
 use primepar::topology::Cluster;
-use primepar_bench::{device_scales, slug, write_run_metrics};
+use primepar_bench::{device_scales, merge_drift_summary, slug, write_run_metrics};
 
 fn main() {
     let (batch, seq) = (8u64, 2048u64);
@@ -77,5 +77,11 @@ fn main() {
         );
     }
     println!("\npaper reference: the replication-induced gap widens as parallelism grows");
+    // Drift audit of the Fig. 2(a) OPT-6.7B Megatron point on 16 GPUs.
+    let model = ModelConfig::opt_6_7b();
+    let cluster = Cluster::v100_like(16);
+    let graph = model.layer_graph(batch, seq);
+    let (plan, _, _) = best_megatron(&cluster, &graph, 0.0);
+    merge_drift_summary(&mut metrics, &cluster, &graph, &plan);
     write_run_metrics("fig2_motivation", &metrics);
 }

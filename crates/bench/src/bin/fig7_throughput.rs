@@ -7,7 +7,9 @@
 use primepar::compare_systems;
 use primepar::graph::ModelConfig;
 use primepar::obs::Metrics;
-use primepar_bench::{device_scales, geomean, slug, write_run_metrics};
+use primepar::search::{Planner, PlannerOptions};
+use primepar::topology::Cluster;
+use primepar_bench::{device_scales, geomean, merge_drift_summary, slug, write_run_metrics};
 
 fn main() {
     let scales = device_scales(&[4, 8, 16, 32]);
@@ -55,5 +57,13 @@ fn main() {
     metrics.gauge(&format!("geomean_speedup_at_{max_scale}"), geo);
     println!("geo-mean PrimePar speedup over Megatron at {max_scale} GPUs: {geo:.2}x");
     println!("paper reference: 1.30x geo-mean at 32 GPUs; up to 1.68x on >100B models");
+    // Drift audit of one representative point (OPT 6.7B at the smallest
+    // scale): did the simulated timeline stay attributable to Eq. 7/8–9?
+    let model = ModelConfig::opt_6_7b();
+    let devices = *scales.iter().min().expect("non-empty scales");
+    let cluster = Cluster::v100_like(devices);
+    let graph = model.layer_graph(batch, seq);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+    merge_drift_summary(&mut metrics, &cluster, &graph, &plan.seqs);
     write_run_metrics("fig7_throughput", &metrics);
 }

@@ -7,7 +7,9 @@
 use primepar::compare_systems;
 use primepar::graph::ModelConfig;
 use primepar::obs::Metrics;
-use primepar_bench::{device_scales, slug, write_run_metrics};
+use primepar::search::{Planner, PlannerOptions};
+use primepar::topology::Cluster;
+use primepar_bench::{device_scales, merge_drift_summary, slug, write_run_metrics};
 
 fn main() {
     let scales = device_scales(&[4, 8, 16, 32]);
@@ -48,5 +50,13 @@ fn main() {
         println!();
     }
     println!("paper reference: ~0.90x around 7B; down to 0.68x for BLOOM 176B at 16/32 GPUs");
+    // Drift audit of one representative point — the memory figure leans on
+    // the peak-memory attribution, which the audit's peak_memory row pins.
+    let model = ModelConfig::opt_6_7b();
+    let devices = *scales.iter().min().expect("non-empty scales");
+    let cluster = Cluster::v100_like(devices);
+    let graph = model.layer_graph(batch, seq);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+    merge_drift_summary(&mut metrics, &cluster, &graph, &plan.seqs);
     write_run_metrics("fig8_memory", &metrics);
 }

@@ -10,7 +10,9 @@ use primepar::obs::Metrics;
 use primepar::search::{megatron_layer_plan, Planner, PlannerOptions};
 use primepar::sim::simulate_layer;
 use primepar::topology::Cluster;
-use primepar_bench::{mlp_block_graph, results_dir, slug, strategies, write_run_metrics};
+use primepar_bench::{
+    merge_drift_summary, mlp_block_graph, results_dir, slug, strategies, write_run_metrics,
+};
 
 fn main() {
     let model = ModelConfig::opt_175b();
@@ -91,6 +93,7 @@ fn main() {
         Err(e) => eprintln!("warning: cannot write {}: {e}", trace_path.display()),
     }
     metrics.merge(&primepar::sim::layer_report_metrics(&report));
+    merge_drift_summary(&mut metrics, &cluster, &graph, &prime.seqs);
     write_run_metrics("fig9_ablation", &metrics);
     for ev in report
         .timeline

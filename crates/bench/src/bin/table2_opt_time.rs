@@ -8,7 +8,7 @@ use primepar::graph::ModelConfig;
 use primepar::obs::Metrics;
 use primepar::search::{Planner, PlannerOptions};
 use primepar::topology::Cluster;
-use primepar_bench::{device_scales, slug, write_run_metrics};
+use primepar_bench::{device_scales, merge_drift_summary, slug, write_run_metrics};
 
 fn main() {
     let scales = device_scales(&[4, 8, 16, 32]);
@@ -56,5 +56,14 @@ fn main() {
         "\npaper reference (ms): OPT 85/87/171/5357, Llama2 87/89/186/6070, Bloom 85/80/166/4153"
     );
     println!("(the shape to reproduce: flat up to 16 devices, a jump at 32 as P³ bites)");
+    // Drift audit of the OPT-175B plan at the smallest scale: the timing
+    // table is only meaningful if the plans it times still match the
+    // simulated timeline.
+    let model = ModelConfig::opt_175b();
+    let devices = *scales.iter().min().expect("non-empty scales");
+    let cluster = Cluster::v100_like(devices);
+    let graph = model.layer_graph(batch, seq);
+    let plan = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(model.layers);
+    merge_drift_summary(&mut metrics, &cluster, &graph, &plan.seqs);
     write_run_metrics("table2_opt_time", &metrics);
 }

@@ -19,6 +19,7 @@ use std::path::PathBuf;
 use primepar::graph::{Graph, ModelConfig};
 use primepar::obs::Metrics;
 use primepar::partition::PartitionSeq;
+use primepar::topology::Cluster;
 
 /// Geometric mean of a non-empty slice.
 ///
@@ -86,24 +87,25 @@ pub fn write_run_metrics(name: &str, metrics: &Metrics) {
     }
 }
 
-/// The paper's Fig. 9 MLP block as a standalone graph: `add1` (anchor),
-/// `norm2`, `fc1`, `act`, `fc2`, `add2` with the residual skip — nodes 7..=12
-/// of the full layer, reindexed.
+/// Runs the cost-model drift auditor on one representative plan of the
+/// figure and folds the one-line summary (`audit.layer.rel_drift`,
+/// `audit.max_rel_drift`, worst component, conservation verdict) into the
+/// figure's metrics record.
+pub fn merge_drift_summary(
+    metrics: &mut Metrics,
+    cluster: &Cluster,
+    graph: &Graph,
+    plan: &[PartitionSeq],
+) {
+    let audit = primepar::audit::audit_layer(cluster, graph, plan, 0.0);
+    metrics.merge(&primepar::audit::summary_metrics(&audit));
+}
+
+/// The paper's Fig. 9 MLP block as a standalone graph — delegates to
+/// [`ModelConfig::mlp_block_graph`], kept for the figure binaries' call
+/// sites.
 pub fn mlp_block_graph(model: &ModelConfig, batch: u64, seq: u64) -> Graph {
-    let layer = model.layer_graph(batch, seq);
-    let ops = layer.ops[7..=12].to_vec();
-    let edges = layer
-        .edges
-        .iter()
-        .filter(|e| e.src >= 7 && e.dst <= 12 && e.dst >= 7)
-        .map(|e| {
-            let mut e = e.clone();
-            e.src -= 7;
-            e.dst -= 7;
-            e
-        })
-        .collect();
-    Graph { ops, edges }
+    model.mlp_block_graph(batch, seq)
 }
 
 /// Pretty-prints a plan as a one-line strategy string for an operator subset.
@@ -144,6 +146,19 @@ mod tests {
         assert!(g.edges.iter().any(|e| e.src == 0 && e.dst == 5));
         assert_eq!(g.segments(), vec![(0, 5)]);
         g.validate_segmentation();
+    }
+
+    #[test]
+    fn drift_summary_merges_the_audit_keys() {
+        let model = ModelConfig::opt_6_7b();
+        let g = model.mlp_block_graph(8, 256);
+        let cluster = Cluster::v100_like(4);
+        let plan = primepar::search::megatron_layer_plan(&g, 1, 4);
+        let mut m = Metrics::new();
+        merge_drift_summary(&mut m, &cluster, &g, &plan);
+        assert!(m.gauge_value("audit.layer.rel_drift").is_some());
+        assert!(m.gauge_value("audit.max_rel_drift").is_some());
+        assert_eq!(m.text_value("audit.conservation"), Some("ok"));
     }
 
     #[test]

@@ -9,12 +9,18 @@
 //!                  [--metrics-json out.json]   # planner + sim telemetry as JSON
 //!                  [--chrome-trace out.json]   # Fig. 9 timeline for chrome://tracing
 //! primepar compare --model llama2-70b --devices 16 [--batch 8] [--seq 2048]
+//!                  [--metrics-json out.json] [--chrome-trace out.json]
 //! primepar verify  [--k 1] [--iters 8]
 //! primepar sweep   --model bloom-176b [--devices 2,4,8,16]
+//!                  [--metrics-json out.json] [--chrome-trace out.json]
+//! primepar audit   --model opt-175b --devices 8 [--mlp-block] [--batch 8] [--seq 2048]
+//!                  [--system primepar|alpa|megatron] [--alpha 0] [--metrics-json out.json]
+//! primepar validate [--dir results]...   # strict re-parse of emitted artifacts
 //! ```
 
 use std::process::ExitCode;
 
+use primepar::audit::{audit_layer, audit_metrics, render_audit};
 use primepar::exec::{train_distributed, train_serial};
 use primepar::graph::ModelConfig;
 use primepar::partition::{PartitionSeq, Primitive};
@@ -26,7 +32,9 @@ use primepar::sim::ModelReport;
 use primepar::sim::{render_gantt, simulate_layer, simulate_model};
 use primepar::tensor::Tensor;
 use primepar::topology::Cluster;
-use primepar::{compare_systems, plan_summary, run_metrics, RunInfo};
+use primepar::{
+    compare_metrics, compare_systems, plan_summary, run_metrics, validate_artifacts, RunInfo,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -86,8 +94,14 @@ fn usage() -> &'static str {
      \x20         [--alpha A] [--no-batch-split] [--no-memoize] [--gantt]\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
+     \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 verify  [--k 1|2] [--iters N]   functional equivalence check of P_{2^k x 2^k}\n\
-     \x20 sweep   --model M [--devices 2,4,8,16]  scaling study\n"
+     \x20 sweep   --model M [--devices 2,4,8,16]  scaling study\n\
+     \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
+     \x20 audit   --model M --devices N   cost-model drift report (predicted vs simulated)\n\
+     \x20         [--mlp-block] [--system primepar|alpa|megatron] [--alpha A]\n\
+     \x20         [--batch B] [--seq S] [--metrics-json PATH]\n\
+     \x20 validate [--dir DIR]...         strict re-parse of *.metrics.json / *.trace.json\n"
 }
 
 fn main() -> ExitCode {
@@ -266,6 +280,26 @@ fn run() -> Result<(), String> {
                 "\nPrimePar strategy:\n{}",
                 plan_summary(&model, batch, seq, &prime.plan)
             );
+            let run = RunInfo {
+                model: model.name,
+                system: "compare",
+                devices,
+                batch,
+                seq,
+            };
+            if let Some(path) = args.value("--metrics-json") {
+                primepar::write_metrics_json(path, &compare_metrics(&run, &rows))
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
+            if let Some(path) = args.value("--chrome-trace") {
+                let cluster = Cluster::v100_like(devices);
+                let graph = model.layer_graph(batch, seq);
+                let layer = simulate_layer(&cluster, &graph, &prime.plan);
+                primepar::write_layer_chrome_trace(path, &layer)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("chrome trace written to {path}");
+            }
             Ok(())
         }
         "verify" => {
@@ -319,6 +353,12 @@ fn run() -> Result<(), String> {
                 "{:>8} {:>14} {:>14} {:>9}",
                 "devices", "megatron t/s", "primepar t/s", "speedup"
             );
+            let mut metrics = primepar::obs::Metrics::new();
+            metrics.text("run.model", model.name);
+            metrics.text("run.system", "sweep");
+            metrics.gauge("run.batch", batch as f64);
+            metrics.gauge("run.seq", seq as f64);
+            let mut last_prime_layer = None;
             for tok in list.split(',') {
                 let devices: usize = tok
                     .trim()
@@ -349,6 +389,95 @@ fn run() -> Result<(), String> {
                     prime.tokens_per_second,
                     prime.tokens_per_second / mega.tokens_per_second
                 );
+                let p = format!("sweep.{devices:02}");
+                metrics.gauge(
+                    &format!("{p}.megatron_tokens_per_second"),
+                    mega.tokens_per_second,
+                );
+                metrics.gauge(
+                    &format!("{p}.primepar_tokens_per_second"),
+                    prime.tokens_per_second,
+                );
+                metrics.gauge(
+                    &format!("{p}.speedup"),
+                    prime.tokens_per_second / mega.tokens_per_second,
+                );
+                last_prime_layer = Some(prime.layer);
+            }
+            if let Some(path) = args.value("--metrics-json") {
+                primepar::write_metrics_json(path, &metrics)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
+            if let Some(path) = args.value("--chrome-trace") {
+                let layer = last_prime_layer.ok_or("empty --devices list")?;
+                primepar::write_layer_chrome_trace(path, &layer)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("chrome trace written to {path}");
+            }
+            Ok(())
+        }
+        "audit" => {
+            let model = required_model(&args)?;
+            let devices: usize = args.parse("--devices", 4)?;
+            let batch: u64 = args.parse("--batch", 8)?;
+            let seq: u64 = args.parse("--seq", 2048)?;
+            let alpha: f64 = args.parse("--alpha", 0.0)?;
+            let system = args.value("--system").unwrap_or("primepar").to_lowercase();
+            let cluster = Cluster::v100_like(devices);
+            let graph = if args.flag("--mlp-block") {
+                model.mlp_block_graph(batch, seq)
+            } else {
+                model.layer_graph(batch, seq)
+            };
+            let seqs = match system.as_str() {
+                "megatron" => best_megatron(&cluster, &graph, alpha).0,
+                "alpa" => primepar::search::alpa_plan(&cluster, &graph, 1, alpha).seqs,
+                "primepar" => {
+                    let opts = PlannerOptions {
+                        alpha,
+                        ..PlannerOptions::default()
+                    };
+                    Planner::new(&cluster, &graph, opts).optimize(1).seqs
+                }
+                other => return Err(format!("unknown system: {other}")),
+            };
+            let block = if args.flag("--mlp-block") {
+                "MLP block"
+            } else {
+                "layer"
+            };
+            println!("{} {block} on {devices} GPUs — {system} plan\n", model.name);
+            let audit = audit_layer(&cluster, &graph, &seqs, alpha);
+            print!("{}", render_audit(&audit));
+            if let Some(path) = args.value("--metrics-json") {
+                let mut m = primepar::obs::Metrics::new();
+                m.text("run.model", model.name);
+                m.text("run.system", &system);
+                m.gauge("run.devices", devices as f64);
+                m.gauge("run.batch", batch as f64);
+                m.gauge("run.seq", seq as f64);
+                m.merge(&audit_metrics(&audit));
+                m.merge(&primepar::sim::accounting_metrics(&audit.sim.accounting));
+                primepar::write_metrics_json(path, &m)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
+            Ok(())
+        }
+        "validate" => {
+            let dirs = args.values("--dir");
+            let dirs: Vec<&str> = if dirs.is_empty() {
+                vec!["results"]
+            } else {
+                dirs
+            };
+            for dir in dirs {
+                let summary = validate_artifacts(dir)?;
+                println!(
+                    "{dir}: {} metrics document(s), {} trace(s) parsed cleanly",
+                    summary.metrics_files, summary.trace_files
+                );
             }
             Ok(())
         }
@@ -375,7 +504,7 @@ fn write_observability(
         println!("metrics written to {path}");
     }
     if let Some(path) = args.value("--chrome-trace") {
-        primepar::write_chrome_trace(path, &report.layer.timeline)
+        primepar::write_layer_chrome_trace(path, &report.layer)
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("chrome trace written to {path}");
     }

@@ -18,6 +18,7 @@
 //! | [`cost`] | `primepar-cost` | Eq. 7 intra-operator and Eqs. 8–9 inter-operator cost models |
 //! | [`search`] | `primepar-search` | segmented DP optimizer (Eqs. 11–14), Megatron/Alpa baselines |
 //! | [`sim`] | `primepar-sim` | discrete-event cluster simulator, 3D-parallelism composition |
+//! | [`audit`] | `primepar-audit` | cost-model drift auditor: predicted vs simulated attribution |
 //! | [`topology`] | `primepar-topology` | device spaces, group indicators, cluster models, profiling |
 //! | [`tensor`] | `primepar-tensor` | dense f32 tensors backing the executor |
 //!
@@ -33,6 +34,7 @@
 //! assert!(prime.tokens_per_second >= mega.tokens_per_second * 0.99);
 //! ```
 
+pub use primepar_audit as audit;
 pub use primepar_cost as cost;
 pub use primepar_exec as exec;
 pub use primepar_graph as graph;
@@ -48,4 +50,7 @@ pub mod obsreport;
 pub mod tutorial;
 
 pub use compare::{compare_systems, plan_summary, system_report, SystemKind, SystemReport};
-pub use obsreport::{run_metrics, write_chrome_trace, write_metrics_json, RunInfo};
+pub use obsreport::{
+    compare_metrics, run_metrics, validate_artifacts, write_chrome_trace, write_layer_chrome_trace,
+    write_metrics_json, ArtifactSummary, RunInfo,
+};

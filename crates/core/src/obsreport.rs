@@ -13,7 +13,12 @@ use std::path::Path;
 
 use primepar_obs::Metrics;
 use primepar_search::PlannerMetrics;
-use primepar_sim::{layer_report_metrics, render_chrome_trace, ModelReport, Timeline};
+use primepar_sim::{
+    layer_report_metrics, render_chrome_trace, render_chrome_trace_with_accounting, LayerReport,
+    ModelReport, Timeline,
+};
+
+use crate::SystemReport;
 
 /// Identity of one planning/simulation run.
 #[derive(Debug, Clone, Copy)]
@@ -56,6 +61,83 @@ pub fn run_metrics(
     m
 }
 
+/// Folds a `compare` run — all systems on one configuration — into a
+/// registry: `run.*` identifies the configuration, `compare.<system>.*` the
+/// per-system throughput, memory and breakdown.
+pub fn compare_metrics(run: &RunInfo<'_>, rows: &[SystemReport]) -> Metrics {
+    let mut m = Metrics::new();
+    m.text("run.model", run.model);
+    m.text("run.system", run.system);
+    m.gauge("run.devices", run.devices as f64);
+    m.gauge("run.batch", run.batch as f64);
+    m.gauge("run.seq", run.seq as f64);
+    for r in rows {
+        let p = format!("compare.{}", r.system.to_lowercase());
+        m.gauge(&format!("{p}.tokens_per_second"), r.tokens_per_second);
+        m.gauge(&format!("{p}.peak_memory_bytes"), r.peak_memory_bytes);
+        m.gauge(&format!("{p}.compute_seconds"), r.breakdown.compute);
+        m.gauge(&format!("{p}.collective_seconds"), r.breakdown.collective);
+        m.gauge(
+            &format!("{p}.ring_exposed_seconds"),
+            r.breakdown.ring_exposed,
+        );
+        m.gauge(
+            &format!("{p}.redistribution_seconds"),
+            r.breakdown.redistribution,
+        );
+        m.gauge(&format!("{p}.search_seconds"), r.search_time.as_secs_f64());
+    }
+    m
+}
+
+/// What [`validate_artifacts`] found in one directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ArtifactSummary {
+    /// `*.metrics.json` files parsed.
+    pub metrics_files: usize,
+    /// `*.trace.json` files parsed.
+    pub trace_files: usize,
+}
+
+/// Re-parses every `*.metrics.json` and `*.trace.json` under `dir` with the
+/// strict `obs` parsers: metrics documents must be valid JSON objects, trace
+/// documents valid Chrome `trace_event` arrays.
+///
+/// # Errors
+///
+/// Returns the first unreadable or malformed artifact with its parse error.
+pub fn validate_artifacts(dir: impl AsRef<Path>) -> Result<ArtifactSummary, String> {
+    let dir = dir.as_ref();
+    let mut entries: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    let mut summary = ArtifactSummary::default();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if name.ends_with(".metrics.json") {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            let doc =
+                primepar_obs::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            if !matches!(doc, primepar_obs::Json::Obj(_)) {
+                return Err(format!("{}: not a metrics object", path.display()));
+            }
+            summary.metrics_files += 1;
+        } else if name.ends_with(".trace.json") {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+            primepar_obs::parse_trace(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            summary.trace_files += 1;
+        }
+    }
+    Ok(summary)
+}
+
 fn ensure_parent(path: &Path) -> io::Result<()> {
     match path.parent() {
         Some(dir) if !dir.as_os_str().is_empty() => std::fs::create_dir_all(dir),
@@ -86,6 +168,21 @@ pub fn write_chrome_trace(path: impl AsRef<Path>, timeline: &Timeline) -> io::Re
     let path = path.as_ref();
     ensure_parent(path)?;
     let mut doc = render_chrome_trace(timeline);
+    doc.push('\n');
+    std::fs::write(path, doc)
+}
+
+/// Like [`write_chrome_trace`], but from a full [`LayerReport`]: the kernel
+/// spans plus the cluster-accounting counter lanes (live memory, cumulative
+/// per-link wire bytes).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_layer_chrome_trace(path: impl AsRef<Path>, report: &LayerReport) -> io::Result<()> {
+    let path = path.as_ref();
+    ensure_parent(path)?;
+    let mut doc = render_chrome_trace_with_accounting(report);
     doc.push('\n');
     std::fs::write(path, doc)
 }

@@ -55,16 +55,48 @@ fn work_fraction(op: &Operator, seq: &PartitionSeq) -> f64 {
         .product()
 }
 
+/// One end-of-phase collective with enough detail for cluster accounting:
+/// which group pattern it runs over and how many payload bytes each device
+/// contributes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CollectiveEvent {
+    /// Group pattern the all-reduce runs over.
+    pub indicator: GroupIndicator,
+    /// Per-device payload bytes entering the all-reduce.
+    pub bytes: f64,
+    /// Modeled latency of this collective (seconds).
+    pub seconds: f64,
+}
+
+impl CollectiveEvent {
+    /// Cluster-wide wire bytes of a ring all-reduce over groups of size `g`
+    /// spanning `n` devices: every device sends `2(g−1)/g · bytes`.
+    pub fn wire_bytes(&self, num_devices: usize) -> f64 {
+        let g = self.indicator.group_size() as f64;
+        num_devices as f64 * 2.0 * (g - 1.0) / g * self.bytes
+    }
+}
+
 /// Per-phase event parameters of one operator under one partition sequence —
 /// the building blocks both Eq. 7 and the discrete-event simulator consume.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PhaseEvents {
     /// Kernel latency of one temporal step on one device.
     pub compute_step: f64,
+    /// Group pattern of the per-step ring shifts (empty when no temporal
+    /// primitive is present).
+    pub ring_indicator: GroupIndicator,
     /// Ring-shift latency overlapping each step (one entry per step).
     pub ring_steps: Vec<f64>,
-    /// End-of-phase collective latency (0 when the phase is collective-free).
+    /// Per-device bytes each ring shift moves (one entry per step, aligned
+    /// with `ring_steps`; 0 when the step has no transfer).
+    pub ring_bytes_steps: Vec<f64>,
+    /// End-of-phase collective latency (0 when the phase is collective-free);
+    /// always equals the sum of `collectives[..].seconds`.
     pub allreduce: f64,
+    /// The individual collectives behind `allreduce`, for per-event
+    /// accounting (counts, volumes, link classes).
+    pub collectives: Vec<CollectiveEvent>,
 }
 
 impl PhaseEvents {
@@ -75,6 +107,20 @@ impl PhaseEvents {
             .map(|&r| r.max(self.compute_step))
             .sum::<f64>()
             + self.allreduce
+    }
+
+    /// Cluster-wide wire bytes of all ring shifts in this phase: every one of
+    /// the `num_devices` devices sends its block each step.
+    pub fn ring_wire_bytes(&self, num_devices: usize) -> f64 {
+        num_devices as f64 * self.ring_bytes_steps.iter().sum::<f64>()
+    }
+
+    /// Cluster-wide wire bytes of all collectives in this phase.
+    pub fn collective_wire_bytes(&self, num_devices: usize) -> f64 {
+        self.collectives
+            .iter()
+            .map(|c| c.wire_bytes(num_devices))
+            .sum()
     }
 }
 
@@ -127,21 +173,36 @@ pub fn phase_events(
         0.0
     };
 
-    let ring_steps: Vec<f64> = (0..steps)
-        .map(|t| {
-            let ring_bytes: f64 = ring_transfers(seq, phase, t)
-                .iter()
-                .map(|tr| 4.0 * tensor_block_elems(op, seq, tr.tensor))
-                .sum();
-            ctx.ring_shift_time(&ring_ind, ring_bytes)
-        })
-        .collect();
+    let mut ring_steps = Vec::with_capacity(steps);
+    let mut ring_bytes_steps = Vec::with_capacity(steps);
+    for t in 0..steps {
+        let ring_bytes: f64 = ring_transfers(seq, phase, t)
+            .iter()
+            .map(|tr| 4.0 * tensor_block_elems(op, seq, tr.tensor))
+            .sum();
+        let t_ring = ctx.ring_shift_time(&ring_ind, ring_bytes);
+        ring_steps.push(t_ring);
+        // A free shift moved nothing: keep byte accounting aligned with time.
+        ring_bytes_steps.push(if t_ring > 0.0 { ring_bytes } else { 0.0 });
+    }
 
     let mut allreduce = 0.0;
+    let mut collectives = Vec::new();
+    let mut collective = |indicator: GroupIndicator, bytes: f64, seconds: f64| {
+        if seconds > 0.0 {
+            allreduce += seconds;
+            collectives.push(CollectiveEvent {
+                indicator,
+                bytes,
+                seconds,
+            });
+        }
+    };
     if op.is_matmul_like() {
         let indicator = seq.allreduce_indicator(phase, op.weight_has_batch());
         let bytes = 4.0 * tensor_block_elems(op, seq, phase.output_tensor());
-        allreduce += ctx.allreduce_time(&indicator, bytes);
+        let t = ctx.allreduce_time(&indicator, bytes);
+        collective(indicator, bytes, t);
     }
     // Norm operators: small collectives for statistics (hidden split, charged
     // in forward) and for γ/β gradients (batch/sequence splits, charged in
@@ -153,8 +214,10 @@ pub fn phase_events(
                 let rows = (op.extent(Dim::B).max(1) as f64 / seq.num_slices(Dim::B) as f64)
                     .max(1.0)
                     * (op.extent(Dim::M).max(1) as f64 / seq.num_slices(Dim::M) as f64).max(1.0);
-                allreduce +=
-                    ctx.allreduce_time(&GroupIndicator::new(k_positions), 4.0 * 2.0 * rows);
+                let indicator = GroupIndicator::new(k_positions);
+                let bytes = 4.0 * 2.0 * rows;
+                let t = ctx.allreduce_time(&indicator, bytes);
+                collective(indicator, bytes, t);
             }
         }
         if phase == Phase::Gradient {
@@ -162,14 +225,19 @@ pub fn phase_events(
             bm_positions.extend(seq.split_positions(Dim::M));
             if !bm_positions.is_empty() {
                 let grad_bytes = 4.0 * op.weight_elems() / seq.num_slices(Dim::K) as f64;
-                allreduce += ctx.allreduce_time(&GroupIndicator::new(bm_positions), grad_bytes);
+                let indicator = GroupIndicator::new(bm_positions);
+                let t = ctx.allreduce_time(&indicator, grad_bytes);
+                collective(indicator, grad_bytes, t);
             }
         }
     }
     PhaseEvents {
         compute_step,
+        ring_indicator: ring_ind,
         ring_steps,
+        ring_bytes_steps,
         allreduce,
+        collectives,
     }
 }
 

@@ -45,5 +45,6 @@ pub use ctx::CostCtx;
 pub use inter::{edge_cost_matrix, inter_cost, inter_traffic_bytes, BoundaryProfile};
 pub use intervals::{AxisIntervals, DenseIntervals};
 pub use intra::{
-    intra_cost, memory_bytes, phase_events, tensor_block_elems, IntraCost, MemoryBytes, PhaseEvents,
+    intra_cost, memory_bytes, phase_events, tensor_block_elems, CollectiveEvent, IntraCost,
+    MemoryBytes, PhaseEvents,
 };

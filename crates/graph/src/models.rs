@@ -189,6 +189,26 @@ impl ModelConfig {
         transformer_layer_graph(self, batch, seq)
     }
 
+    /// The paper's Fig. 9 MLP block as a standalone graph: `add1` (anchor),
+    /// `norm2`, `fc1`, `act`, `fc2`, `add2` with the residual skip — nodes
+    /// 7..=12 of [`Self::layer_graph`], reindexed.
+    pub fn mlp_block_graph(&self, batch: u64, seq: u64) -> Graph {
+        let layer = self.layer_graph(batch, seq);
+        let ops = layer.ops[7..=12].to_vec();
+        let edges = layer
+            .edges
+            .iter()
+            .filter(|e| e.src >= 7 && e.dst <= 12 && e.dst >= 7)
+            .map(|e| {
+                let mut e = e.clone();
+                e.src -= 7;
+                e.dst -= 7;
+                e
+            })
+            .collect();
+        Graph { ops, edges }
+    }
+
     /// Vocabulary size (the paper's evaluation partitions transformer layers
     /// only; the endcaps below extend the zoo to a full deployable model).
     pub fn vocab(&self) -> u64 {

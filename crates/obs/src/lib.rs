@@ -37,5 +37,5 @@ pub mod metrics;
 pub mod trace;
 
 pub use json::{parse_json, Json, JsonError};
-pub use metrics::{Metrics, Span};
-pub use trace::{parse_trace, render_trace, TraceError, TraceEvent};
+pub use metrics::{HistogramStats, Metrics, Span};
+pub use trace::{parse_trace, render_trace, TraceError, TraceEvent, TracePhase};

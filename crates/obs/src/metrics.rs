@@ -8,7 +8,8 @@ use std::time::Instant;
 
 use crate::json::Json;
 
-/// Histogram summary statistics (count / sum / min / max; mean derived).
+/// Histogram summary statistics: count / sum / min / max plus the
+/// nearest-rank p50/p95/p99 percentiles (mean derived).
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct HistogramStats {
     /// Number of observations.
@@ -19,21 +20,15 @@ pub struct HistogramStats {
     pub min: f64,
     /// Largest observation (0 when empty).
     pub max: f64,
+    /// Median (nearest-rank, 0 when empty).
+    pub p50: f64,
+    /// 95th percentile (nearest-rank, 0 when empty).
+    pub p95: f64,
+    /// 99th percentile (nearest-rank, 0 when empty).
+    pub p99: f64,
 }
 
 impl HistogramStats {
-    fn observe(&mut self, value: f64) {
-        if self.count == 0 {
-            self.min = value;
-            self.max = value;
-        } else {
-            self.min = self.min.min(value);
-            self.max = self.max.max(value);
-        }
-        self.count += 1;
-        self.sum += value;
-    }
-
     /// Mean of the observations (0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -44,11 +39,51 @@ impl HistogramStats {
     }
 }
 
+/// Raw histogram state: every observation is retained so merged registries
+/// report exact percentiles instead of approximations.
+#[derive(Debug, Clone, PartialEq, Default)]
+struct HistogramData {
+    samples: Vec<f64>,
+}
+
+impl HistogramData {
+    fn observe(&mut self, value: f64) {
+        self.samples.push(value);
+    }
+
+    /// Nearest-rank percentile: the smallest observation such that at least
+    /// `q` percent of the data is ≤ it (`⌈q/100 · n⌉`-th order statistic).
+    fn percentile(sorted: &[f64], q: f64) -> f64 {
+        if sorted.is_empty() {
+            return 0.0;
+        }
+        let rank = (q / 100.0 * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    fn stats(&self) -> HistogramStats {
+        if self.samples.is_empty() {
+            return HistogramStats::default();
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+        HistogramStats {
+            count: sorted.len() as u64,
+            sum: sorted.iter().sum(),
+            min: sorted[0],
+            max: sorted[sorted.len() - 1],
+            p50: Self::percentile(&sorted, 50.0),
+            p95: Self::percentile(&sorted, 95.0),
+            p99: Self::percentile(&sorted, 99.0),
+        }
+    }
+}
+
 #[derive(Debug, Clone, PartialEq)]
 enum Value {
     Counter(u64),
     Gauge(f64),
-    Histogram(HistogramStats),
+    Histogram(HistogramData),
     /// Accumulated span time: total seconds and number of completed spans.
     Timer {
         seconds: f64,
@@ -74,6 +109,11 @@ impl Metrics {
     /// An empty registry.
     pub fn new() -> Self {
         Metrics::default()
+    }
+
+    /// True when no metric has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 
     fn slot(&mut self, name: &str, default: Value) -> &mut Value {
@@ -105,7 +145,7 @@ impl Metrics {
 
     /// Records one observation into the histogram `name`.
     pub fn observe(&mut self, name: &str, value: f64) {
-        match self.slot(name, Value::Histogram(HistogramStats::default())) {
+        match self.slot(name, Value::Histogram(HistogramData::default())) {
             Value::Histogram(h) => h.observe(value),
             other => panic!("metric `{name}` is not a histogram: {other:?}"),
         }
@@ -169,6 +209,14 @@ impl Metrics {
         }
     }
 
+    /// The text field's current value, if set.
+    pub fn text_value(&self, name: &str) -> Option<&str> {
+        match self.lookup(name) {
+            Some(Value::Text(t)) => Some(t.as_str()),
+            _ => None,
+        }
+    }
+
     /// Total accumulated seconds of the timer `name` (0 if absent).
     pub fn timer_seconds(&self, name: &str) -> f64 {
         match self.lookup(name) {
@@ -180,7 +228,7 @@ impl Metrics {
     /// The histogram's summary, if any observations were recorded.
     pub fn histogram(&self, name: &str) -> Option<HistogramStats> {
         match self.lookup(name) {
-            Some(Value::Histogram(h)) => Some(*h),
+            Some(Value::Histogram(h)) if !h.samples.is_empty() => Some(h.stats()),
             _ => None,
         }
     }
@@ -196,6 +244,11 @@ impl Metrics {
 
     /// Folds another registry into this one: counters/timers/histograms
     /// accumulate, gauges/text take the other's value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a key exists in both registries under different metric
+    /// types — a cross-type collision is a schema bug, not mergeable data.
     pub fn merge(&mut self, other: &Metrics) {
         for (name, value) in &other.entries {
             match value {
@@ -221,19 +274,8 @@ impl Metrics {
                     }
                 }
                 Value::Histogram(h) => {
-                    match self.slot(name, Value::Histogram(HistogramStats::default())) {
-                        Value::Histogram(mine) => {
-                            if h.count > 0 {
-                                if mine.count == 0 {
-                                    *mine = *h;
-                                } else {
-                                    mine.count += h.count;
-                                    mine.sum += h.sum;
-                                    mine.min = mine.min.min(h.min);
-                                    mine.max = mine.max.max(h.max);
-                                }
-                            }
-                        }
+                    match self.slot(name, Value::Histogram(HistogramData::default())) {
+                        Value::Histogram(mine) => mine.samples.extend_from_slice(&h.samples),
                         other => panic!("metric `{name}` is not a histogram: {other:?}"),
                     }
                 }
@@ -243,7 +285,7 @@ impl Metrics {
 
     /// Renders the registry as a flat JSON object: counters and gauges as
     /// numbers, timers as `{seconds, spans}`, histograms as
-    /// `{count, sum, min, max, mean}`.
+    /// `{count, sum, min, max, mean, p50, p95, p99}`.
     pub fn to_json(&self) -> Json {
         let mut doc = Json::obj();
         for (name, value) in &self.entries {
@@ -254,12 +296,18 @@ impl Metrics {
                 Value::Timer { seconds, spans } => {
                     Json::obj().with("seconds", *seconds).with("spans", *spans)
                 }
-                Value::Histogram(h) => Json::obj()
-                    .with("count", h.count)
-                    .with("sum", h.sum)
-                    .with("min", h.min)
-                    .with("max", h.max)
-                    .with("mean", h.mean()),
+                Value::Histogram(data) => {
+                    let h = data.stats();
+                    Json::obj()
+                        .with("count", h.count)
+                        .with("sum", h.sum)
+                        .with("min", h.min)
+                        .with("max", h.max)
+                        .with("mean", h.mean())
+                        .with("p50", h.p50)
+                        .with("p95", h.p95)
+                        .with("p99", h.p99)
+                }
             };
             doc.set(name, v);
         }
@@ -294,6 +342,55 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_pin_nearest_rank_on_known_distribution() {
+        // 1..=100 inserted in reverse: p-th percentile is exactly p.
+        let mut m = Metrics::new();
+        for v in (1..=100).rev() {
+            m.observe("h", v as f64);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(h.p50, 50.0);
+        assert_eq!(h.p95, 95.0);
+        assert_eq!(h.p99, 99.0);
+        assert_eq!((h.min, h.max), (1.0, 100.0));
+    }
+
+    #[test]
+    fn percentiles_of_small_histograms() {
+        // Single observation: every percentile is that value.
+        let mut m = Metrics::new();
+        m.observe("one", 7.5);
+        let h = m.histogram("one").unwrap();
+        assert_eq!((h.p50, h.p95, h.p99), (7.5, 7.5, 7.5));
+        // Two observations: nearest-rank p50 is the lower one (⌈0.5·2⌉ = 1st).
+        let mut m = Metrics::new();
+        m.observe("two", 10.0);
+        m.observe("two", 4.0);
+        let h = m.histogram("two").unwrap();
+        assert_eq!(h.p50, 4.0);
+        assert_eq!(h.p95, 10.0);
+        assert_eq!(h.p99, 10.0);
+    }
+
+    #[test]
+    fn percentiles_survive_merge() {
+        // Percentiles of a merged registry equal percentiles of the union of
+        // the raw samples — the registry retains samples, not summaries.
+        let mut a = Metrics::new();
+        let mut b = Metrics::new();
+        for v in 1..=50 {
+            a.observe("h", v as f64);
+        }
+        for v in 51..=100 {
+            b.observe("h", v as f64);
+        }
+        a.merge(&b);
+        let h = a.histogram("h").unwrap();
+        assert_eq!(h.count, 100);
+        assert_eq!((h.p50, h.p95, h.p99), (50.0, 95.0, 99.0));
+    }
+
+    #[test]
     fn spans_accumulate_time() {
         let mut m = Metrics::new();
         let r = m.time("t", || {
@@ -323,6 +420,59 @@ mod tests {
     }
 
     #[test]
+    fn merging_empty_registries_is_identity() {
+        // empty ⊕ empty stays empty.
+        let mut empty = Metrics::new();
+        empty.merge(&Metrics::new());
+        assert!(empty.is_empty());
+        assert_eq!(empty, Metrics::new());
+
+        // populated ⊕ empty is unchanged.
+        let mut a = Metrics::new();
+        a.incr("c", 2);
+        a.observe("h", 1.5);
+        let before = a.clone();
+        a.merge(&Metrics::new());
+        assert_eq!(a, before);
+
+        // empty ⊕ populated copies everything, including histogram samples.
+        let mut fresh = Metrics::new();
+        fresh.merge(&before);
+        assert_eq!(fresh, before);
+        assert_eq!(fresh.histogram("h").unwrap().count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a counter")]
+    fn merge_panics_on_counter_gauge_collision() {
+        let mut a = Metrics::new();
+        a.gauge("k", 1.0);
+        let mut b = Metrics::new();
+        b.incr("k", 1);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a histogram")]
+    fn merge_panics_on_histogram_timer_collision() {
+        let mut a = Metrics::new();
+        a.record_seconds("k", 1.0);
+        let mut b = Metrics::new();
+        b.observe("k", 1.0);
+        a.merge(&b);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not a timer")]
+    fn merge_panics_on_timer_text_collision() {
+        let mut a = Metrics::new();
+        a.text("k", "hello");
+        let mut b = Metrics::new();
+        b.record_seconds("k", 1.0);
+        a.merge(&b);
+    }
+
+    #[test]
     fn json_rendering_is_stable_and_parsable() {
         let mut m = Metrics::new();
         m.incr("z.count", 1);
@@ -346,5 +496,20 @@ mod tests {
                 .and_then(Json::as_f64),
             Some(0.25)
         );
+    }
+
+    #[test]
+    fn json_histograms_carry_percentiles() {
+        let mut m = Metrics::new();
+        for v in 1..=20 {
+            m.observe("h", v as f64);
+        }
+        let doc = m.to_json();
+        let h = doc.get("h").unwrap();
+        assert_eq!(h.get("count").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(h.get("p50").and_then(Json::as_f64), Some(10.0));
+        assert_eq!(h.get("p95").and_then(Json::as_f64), Some(19.0));
+        assert_eq!(h.get("p99").and_then(Json::as_f64), Some(20.0));
+        assert_eq!(h.get("mean").and_then(Json::as_f64), Some(10.5));
     }
 }

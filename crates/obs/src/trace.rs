@@ -1,30 +1,55 @@
-//! Chrome `trace_event` export: complete (`"ph": "X"`) duration spans in the
-//! JSON-array format that `chrome://tracing` and Perfetto load directly.
+//! Chrome `trace_event` export: complete (`"ph": "X"`) duration spans and
+//! counter (`"ph": "C"`) samples in the JSON-array format that
+//! `chrome://tracing` and Perfetto load directly.
 //!
 //! Timestamps and durations are microseconds per the trace-event spec; `pid`
 //! groups a whole export and `tid` carries the lane (e.g. one lane per
-//! operator × event-kind in the simulator's timeline export).
+//! operator × event-kind in the simulator's timeline export). Counter events
+//! render their `args` as the plotted series and carry no duration.
 
 use std::fmt;
 
 use crate::json::{parse_json, Json};
 
-/// One complete (`X`-phase) span.
+/// Which `trace_event` phase an event renders as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TracePhase {
+    /// A complete duration span (`"ph": "X"`).
+    #[default]
+    Complete,
+    /// A counter sample (`"ph": "C"`): the viewer plots each numeric `args`
+    /// entry as a stacked series at `ts`.
+    Counter,
+}
+
+impl TracePhase {
+    fn as_str(self) -> &'static str {
+        match self {
+            TracePhase::Complete => "X",
+            TracePhase::Counter => "C",
+        }
+    }
+}
+
+/// One trace event: a complete (`X`) span or a counter (`C`) sample.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TraceEvent {
-    /// Span name (rendered on the block).
+    /// Span name (rendered on the block; counter lane name for `C` events).
     pub name: String,
     /// Category string (comma-separated in the spec; used for filtering).
     pub cat: String,
+    /// Event phase: complete span or counter sample.
+    pub ph: TracePhase,
     /// Process id lane group.
     pub pid: u64,
     /// Thread id — the lane within the process group.
     pub tid: u64,
     /// Start, microseconds.
     pub ts_us: f64,
-    /// Duration, microseconds.
+    /// Duration, microseconds (0 for counter samples; they have no extent).
     pub dur_us: f64,
-    /// Extra key/value payload (`args` in the viewer).
+    /// Extra key/value payload (`args` in the viewer; the plotted series of
+    /// a counter event).
     pub args: Vec<(String, Json)>,
 }
 
@@ -34,13 +59,17 @@ impl TraceEvent {
         for (k, v) in &self.args {
             args.set(k, v.clone());
         }
-        Json::obj()
+        let doc = Json::obj()
             .with("name", self.name.as_str())
             .with("cat", self.cat.as_str())
-            .with("ph", "X")
-            .with("ts", self.ts_us)
-            .with("dur", self.dur_us)
-            .with("pid", self.pid)
+            .with("ph", self.ph.as_str())
+            .with("ts", self.ts_us);
+        // Counter events carry no `dur` per the trace-event spec.
+        let doc = match self.ph {
+            TracePhase::Complete => doc.with("dur", self.dur_us),
+            TracePhase::Counter => doc,
+        };
+        doc.with("pid", self.pid)
             .with("tid", self.tid)
             .with("args", args)
     }
@@ -73,7 +102,8 @@ impl std::error::Error for TraceError {}
 
 /// Parses a JSON-array trace back into events, validating the `trace_event`
 /// contract: every element must be an object with string `name`/`cat`,
-/// `"ph": "X"`, and numeric `ts`/`dur`/`pid`/`tid`.
+/// `"ph"` either `"X"` (with numeric `dur`) or `"C"` (no duration), and
+/// numeric `ts`/`pid`/`tid`.
 ///
 /// # Errors
 ///
@@ -94,16 +124,24 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
             .and_then(Json::as_str)
             .ok_or_else(|| fail("missing string `name`"))?;
         let cat = item.get("cat").and_then(Json::as_str).unwrap_or_default();
-        match item.get("ph").and_then(Json::as_str) {
-            Some("X") => {}
-            _ => return Err(fail("`ph` must be \"X\"")),
-        }
+        let ph = match item.get("ph").and_then(Json::as_str) {
+            Some("X") => TracePhase::Complete,
+            Some("C") => TracePhase::Counter,
+            _ => return Err(fail("`ph` must be \"X\" or \"C\"")),
+        };
         let num = |key: &str| {
             item.get(key)
                 .and_then(Json::as_f64)
                 .ok_or_else(|| fail(&format!("missing numeric `{key}`")))
         };
-        let (ts_us, dur_us, pid, tid) = (num("ts")?, num("dur")?, num("pid")?, num("tid")?);
+        let (ts_us, pid, tid) = (num("ts")?, num("pid")?, num("tid")?);
+        let dur_us = match ph {
+            TracePhase::Complete => num("dur")?,
+            TracePhase::Counter => match item.get("dur") {
+                None => 0.0,
+                Some(_) => return Err(fail("counter events must not carry `dur`")),
+            },
+        };
         if !(ts_us.is_finite() && dur_us.is_finite() && dur_us >= 0.0) {
             return Err(fail("non-finite or negative ts/dur"));
         }
@@ -115,6 +153,7 @@ pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
         events.push(TraceEvent {
             name: name.to_string(),
             cat: cat.to_string(),
+            ph,
             pid: pid as u64,
             tid: tid as u64,
             ts_us,
@@ -133,11 +172,25 @@ mod tests {
         TraceEvent {
             name: name.into(),
             cat: "compute".into(),
+            ph: TracePhase::Complete,
             pid: 1,
             tid,
             ts_us: ts,
             dur_us: dur,
             args: vec![("phase".into(), Json::Str("fwd".into()))],
+        }
+    }
+
+    fn counter(name: &str, ts: f64, value: f64) -> TraceEvent {
+        TraceEvent {
+            name: name.into(),
+            cat: "memory".into(),
+            ph: TracePhase::Counter,
+            pid: 1,
+            tid: 99,
+            ts_us: ts,
+            dur_us: 0.0,
+            args: vec![("bytes".into(), Json::Num(value))],
         }
     }
 
@@ -161,6 +214,23 @@ mod tests {
     }
 
     #[test]
+    fn counter_events_roundtrip_without_dur() {
+        let events = vec![
+            counter("live_bytes", 0.0, 1.5e9),
+            ev("fc1", 0, 0.0, 12.5),
+            counter("live_bytes", 12.5, 2.0e9),
+        ];
+        let text = render_trace(&events);
+        // Counter samples render as `"ph": "C"` with no `dur` field.
+        let doc = parse_json(&text).unwrap();
+        let items = doc.as_array().unwrap();
+        assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("C"));
+        assert!(items[0].get("dur").is_none());
+        assert!(items[1].get("dur").is_some());
+        assert_eq!(parse_trace(&text).unwrap(), events);
+    }
+
+    #[test]
     fn parser_rejects_non_traces() {
         assert!(matches!(parse_trace("{}"), Err(TraceError::Shape(_))));
         assert!(matches!(parse_trace("not json"), Err(TraceError::Json(_))));
@@ -170,6 +240,11 @@ mod tests {
         ));
         assert!(matches!(
             parse_trace("[{\"name\":\"a\",\"ph\":\"X\",\"ts\":0,\"dur\":-1,\"pid\":0,\"tid\":0}]"),
+            Err(TraceError::Shape(_))
+        ));
+        // A counter smuggling a duration violates the spec.
+        assert!(matches!(
+            parse_trace("[{\"name\":\"a\",\"ph\":\"C\",\"ts\":0,\"dur\":1,\"pid\":0,\"tid\":0}]"),
             Err(TraceError::Shape(_))
         ));
     }

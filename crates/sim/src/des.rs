@@ -32,6 +32,10 @@ pub struct DesReport {
     pub iteration_time: f64,
     /// Final clock per device.
     pub device_clocks: Vec<f64>,
+    /// Seconds each device spent working (kernels, ring shifts, collectives,
+    /// redistribution) as opposed to waiting at a barrier or for a ring
+    /// sender. `busy + idle = iteration_time` per device.
+    pub device_busy: Vec<f64>,
 }
 
 impl DesReport {
@@ -43,6 +47,13 @@ impl DesReport {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite clocks"))
             .map(|(i, _)| i)
             .expect("at least one device")
+    }
+
+    /// Seconds device `d` spent waiting: barrier arrivals before the group's
+    /// latest, ring-sender stalls, and time after its last kernel until the
+    /// slowest device finishes.
+    pub fn idle_seconds(&self, d: usize) -> f64 {
+        self.iteration_time - self.device_busy[d]
     }
 }
 
@@ -67,6 +78,7 @@ pub fn simulate_layer_des(
     let ctx = CostCtx::new(cluster, 0.0);
     let space = cluster.space();
     let mut clocks = vec![0.0f64; n];
+    let mut busy = vec![0.0f64; n];
     let slow = |device: usize, t: f64| -> f64 {
         match options.straggler {
             Some((d, f)) if d == device => t * f,
@@ -74,56 +86,66 @@ pub fn simulate_layer_des(
         }
     };
 
-    let run_op_phase = |clocks: &mut Vec<f64>, op_index: usize, phase: Phase| {
-        let op = &graph.ops[op_index];
-        let seq = &seqs[op_index];
-        let ev = phase_events(&ctx, op, seq, phase);
-        let steps = seq.temporal_steps();
-        for t in 0..steps {
-            let ring = ev.ring_steps[t];
-            if ring > 0.0 && seq.temporal_k().is_some() {
-                // Ring handoff: each receiver waits for its sender of this
-                // step before the overlapped (compute ‖ shift) completes.
-                let transfers = ring_transfers(seq, phase, t);
-                let mut next = clocks.clone();
-                for d in 0..n {
-                    let mut ready = clocks[d];
-                    for tr in &transfers {
-                        let sender = ring_peer(seq, space, d, tr.delta);
-                        ready = ready.max(clocks[sender]);
+    let run_op_phase =
+        |clocks: &mut Vec<f64>, busy: &mut Vec<f64>, op_index: usize, phase: Phase| {
+            let op = &graph.ops[op_index];
+            let seq = &seqs[op_index];
+            let ev = phase_events(&ctx, op, seq, phase);
+            let steps = seq.temporal_steps();
+            for t in 0..steps {
+                let ring = ev.ring_steps[t];
+                if ring > 0.0 && seq.temporal_k().is_some() {
+                    // Ring handoff: each receiver waits for its sender of this
+                    // step before the overlapped (compute ‖ shift) completes.
+                    let transfers = ring_transfers(seq, phase, t);
+                    let mut next = clocks.clone();
+                    for d in 0..n {
+                        let mut ready = clocks[d];
+                        for tr in &transfers {
+                            let sender = ring_peer(seq, space, d, tr.delta);
+                            ready = ready.max(clocks[sender]);
+                        }
+                        let step = slow(d, ev.compute_step).max(ring);
+                        next[d] = ready + step;
+                        busy[d] += step;
                     }
-                    next[d] = ready + slow(d, ev.compute_step).max(ring);
-                }
-                *clocks = next;
-            } else {
-                for (d, c) in clocks.iter_mut().enumerate() {
-                    *c += slow(d, ev.compute_step).max(ring);
-                }
-            }
-        }
-        if ev.allreduce > 0.0 {
-            // Collectives barrier their groups: everyone leaves at the
-            // group's latest arrival plus the collective time.
-            let indicator = seq.allreduce_indicator(phase, op.weight_has_batch());
-            if indicator.is_empty() {
-                // Norm statistics collectives (charged without an indicator
-                // path here) — treat as a global barrier, conservatively.
-                let latest = clocks.iter().cloned().fold(0.0, f64::max);
-                for c in clocks.iter_mut() {
-                    *c = latest + ev.allreduce;
-                }
-            } else {
-                for group in space.groups(&indicator) {
-                    let latest = group.iter().map(|d| clocks[d.index()]).fold(0.0, f64::max);
-                    for d in &group {
-                        clocks[d.index()] = latest + ev.allreduce;
+                    *clocks = next;
+                } else {
+                    for (d, c) in clocks.iter_mut().enumerate() {
+                        let step = slow(d, ev.compute_step).max(ring);
+                        *c += step;
+                        busy[d] += step;
                     }
                 }
             }
-        }
-    };
+            if ev.allreduce > 0.0 {
+                // Collectives barrier their groups: everyone leaves at the
+                // group's latest arrival plus the collective time.
+                let indicator = seq.allreduce_indicator(phase, op.weight_has_batch());
+                if indicator.is_empty() {
+                    // Norm statistics collectives (charged without an indicator
+                    // path here) — treat as a global barrier, conservatively.
+                    let latest = clocks.iter().cloned().fold(0.0, f64::max);
+                    for c in clocks.iter_mut() {
+                        *c = latest + ev.allreduce;
+                    }
+                } else {
+                    for group in space.groups(&indicator) {
+                        let latest = group.iter().map(|d| clocks[d.index()]).fold(0.0, f64::max);
+                        for d in &group {
+                            clocks[d.index()] = latest + ev.allreduce;
+                        }
+                    }
+                }
+                // The collective itself is work; the wait to the group's latest
+                // arrival was idle.
+                for b in busy.iter_mut() {
+                    *b += ev.allreduce;
+                }
+            }
+        };
 
-    let redistribute = |clocks: &mut Vec<f64>, edge: &primepar_graph::Edge| {
+    let redistribute = |clocks: &mut Vec<f64>, busy: &mut Vec<f64>, edge: &primepar_graph::Edge| {
         let bytes = inter_traffic_bytes(
             edge,
             &graph.ops[edge.src],
@@ -138,27 +160,31 @@ pub fn simulate_layer_des(
             for c in clocks.iter_mut() {
                 *c = latest + t;
             }
+            for b in busy.iter_mut() {
+                *b += t;
+            }
         }
     };
 
     for i in 0..graph.ops.len() {
         for edge in graph.in_edges(i) {
-            redistribute(&mut clocks, edge);
+            redistribute(&mut clocks, &mut busy, edge);
         }
-        run_op_phase(&mut clocks, i, Phase::Forward);
+        run_op_phase(&mut clocks, &mut busy, i, Phase::Forward);
     }
     for i in (0..graph.ops.len()).rev() {
         for edge in graph.out_edges(i) {
-            redistribute(&mut clocks, edge);
+            redistribute(&mut clocks, &mut busy, edge);
         }
-        run_op_phase(&mut clocks, i, Phase::Backward);
-        run_op_phase(&mut clocks, i, Phase::Gradient);
+        run_op_phase(&mut clocks, &mut busy, i, Phase::Backward);
+        run_op_phase(&mut clocks, &mut busy, i, Phase::Gradient);
     }
 
     let iteration_time = clocks.iter().cloned().fold(0.0, f64::max);
     DesReport {
         iteration_time,
         device_clocks: clocks,
+        device_busy: busy,
     }
 }
 
@@ -214,6 +240,44 @@ mod tests {
             );
             let first = des.device_clocks[0];
             assert!(des.device_clocks.iter().all(|&c| (c - first).abs() < 1e-12));
+        }
+    }
+
+    #[test]
+    fn busy_plus_idle_covers_the_iteration() {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let plan = megatron_layer_plan(&graph, 2, 2);
+        for options in [
+            DesOptions::default(),
+            DesOptions {
+                straggler: Some((1, 1.5)),
+            },
+        ] {
+            let des = simulate_layer_des(&cluster, &graph, &plan, &options);
+            let tol = 1e-9 * (1.0 + des.iteration_time);
+            for d in 0..4 {
+                let accounted = des.device_busy[d] + des.idle_seconds(d);
+                assert!(
+                    (accounted - des.iteration_time).abs() <= tol,
+                    "device {d}: busy+idle {accounted} != {}",
+                    des.iteration_time
+                );
+                assert!(des.idle_seconds(d) >= -tol, "negative idle on {d}");
+            }
+        }
+        // Homogeneous: no barrier drags anyone, so busy == makespan and the
+        // per-device busy matches the SPMD walk's device accounts.
+        let des = simulate_layer_des(&cluster, &graph, &plan, &DesOptions::default());
+        let spmd = crate::simulate_layer(&cluster, &graph, &plan);
+        for d in 0..4 {
+            assert!(
+                (des.device_busy[d] - spmd.accounting.devices[d].busy_seconds()).abs()
+                    <= 1e-9 * (1.0 + des.iteration_time),
+                "device {d}: DES busy {} vs SPMD busy {}",
+                des.device_busy[d],
+                spmd.accounting.devices[d].busy_seconds()
+            );
         }
     }
 

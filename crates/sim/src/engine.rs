@@ -5,6 +5,7 @@ use primepar_graph::Graph;
 use primepar_partition::{PartitionSeq, Phase};
 use primepar_topology::Cluster;
 
+use crate::accounting::{indicator_link_class, redistribution_link_class, AccountingBuilder};
 use crate::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
 
 /// Simulation knobs.
@@ -43,6 +44,7 @@ pub fn simulate_layer_with(
 ) -> LayerReport {
     assert_eq!(seqs.len(), graph.ops.len(), "one sequence per operator");
     let ctx = CostCtx::new(cluster, 0.0);
+    let n_devices = cluster.num_devices();
     let mut now = 0.0f64;
     let mut breakdown = Breakdown::default();
     let mut timeline: Timeline = Vec::new();
@@ -56,15 +58,19 @@ pub fn simulate_layer_with(
     let persistent_bytes: f64 = mems.iter().map(|m| m.params + m.grads).sum();
     let mut live = persistent_bytes;
     let mut peak = live;
+    let mut acct = AccountingBuilder::new(cluster);
+    acct.on_memory(0.0, live);
 
     let run_phase = |now: &mut f64,
                      breakdown: &mut Breakdown,
                      timeline: &mut Timeline,
+                     acct: &mut AccountingBuilder,
                      op_index: usize,
                      phase: Phase| {
         let op = &graph.ops[op_index];
         let ev = phase_events(&ctx, op, &seqs[op_index], phase);
-        for &ring in &ev.ring_steps {
+        let ring_class = indicator_link_class(cluster, &ev.ring_indicator);
+        for (t, &ring) in ev.ring_steps.iter().enumerate() {
             if ev.compute_step > 0.0 {
                 timeline.push(TimelineEvent {
                     op: op.name.clone(),
@@ -86,6 +92,13 @@ pub fn simulate_layer_with(
             breakdown.compute += ev.compute_step;
             breakdown.ring_total += ring;
             breakdown.ring_exposed += (ring - ev.compute_step).max(0.0);
+            acct.on_step(
+                ev.compute_step,
+                ring,
+                ring_class,
+                n_devices as f64 * ev.ring_bytes_steps[t],
+                *now + ev.compute_step.max(ring),
+            );
             *now += ev.compute_step.max(ring);
         }
         if ev.allreduce > 0.0 {
@@ -97,6 +110,16 @@ pub fn simulate_layer_with(
                 duration: ev.allreduce,
             });
             breakdown.collective += ev.allreduce;
+            let mut end = *now;
+            for c in &ev.collectives {
+                end += c.seconds;
+                acct.on_collective(
+                    c.seconds,
+                    indicator_link_class(cluster, &c.indicator),
+                    c.wire_bytes(n_devices),
+                    end,
+                );
+            }
             *now += ev.allreduce;
         }
     };
@@ -104,6 +127,7 @@ pub fn simulate_layer_with(
     let redistribute = |now: &mut f64,
                         breakdown: &mut Breakdown,
                         timeline: &mut Timeline,
+                        acct: &mut AccountingBuilder,
                         edge: &primepar_graph::Edge,
                         direction: &str| {
         let bytes = inter_traffic_bytes(
@@ -130,6 +154,7 @@ pub fn simulate_layer_with(
                 duration: t,
             });
             breakdown.redistribution += t;
+            acct.on_redistribution(t, redistribution_link_class(cluster), bytes, *now + t);
             *now += t;
         }
     };
@@ -141,41 +166,90 @@ pub fn simulate_layer_with(
     // Forward sweep.
     for i in 0..graph.ops.len() {
         for edge in graph.in_edges(i) {
-            redistribute(&mut now, &mut breakdown, &mut timeline, edge, "fwd");
+            redistribute(
+                &mut now,
+                &mut breakdown,
+                &mut timeline,
+                &mut acct,
+                edge,
+                "fwd",
+            );
         }
         // Double buffers and stash become live while the operator runs.
         live += mems[i].double_buffer + mems[i].stash;
         peak = peak.max(live);
-        run_phase(&mut now, &mut breakdown, &mut timeline, i, Phase::Forward);
+        acct.on_memory(now, live);
+        run_phase(
+            &mut now,
+            &mut breakdown,
+            &mut timeline,
+            &mut acct,
+            i,
+            Phase::Forward,
+        );
         live -= mems[i].double_buffer;
         if options.recompute_activations {
             live -= mems[i].stash; // dropped immediately; recomputed later
         }
+        acct.on_memory(now, live);
     }
     if options.recompute_activations {
         live += boundary_stash;
         peak = peak.max(live);
+        acct.on_memory(now, live);
     }
 
     // Backward + gradient sweep, reverse topological order.
     for i in (0..graph.ops.len()).rev() {
         for edge in graph.out_edges(i) {
-            redistribute(&mut now, &mut breakdown, &mut timeline, edge, "bwd");
+            redistribute(
+                &mut now,
+                &mut breakdown,
+                &mut timeline,
+                &mut acct,
+                edge,
+                "bwd",
+            );
         }
         live += mems[i].double_buffer;
         if options.recompute_activations {
             // Re-run this operator's forward to rebuild its stash.
             live += mems[i].stash;
             peak = peak.max(live);
-            run_phase(&mut now, &mut breakdown, &mut timeline, i, Phase::Forward);
+            acct.on_memory(now, live);
+            run_phase(
+                &mut now,
+                &mut breakdown,
+                &mut timeline,
+                &mut acct,
+                i,
+                Phase::Forward,
+            );
         }
         peak = peak.max(live);
-        run_phase(&mut now, &mut breakdown, &mut timeline, i, Phase::Backward);
-        run_phase(&mut now, &mut breakdown, &mut timeline, i, Phase::Gradient);
+        acct.on_memory(now, live);
+        run_phase(
+            &mut now,
+            &mut breakdown,
+            &mut timeline,
+            &mut acct,
+            i,
+            Phase::Backward,
+        );
+        run_phase(
+            &mut now,
+            &mut breakdown,
+            &mut timeline,
+            &mut acct,
+            i,
+            Phase::Gradient,
+        );
         live -= mems[i].double_buffer + mems[i].stash;
+        acct.on_memory(now, live);
     }
     if options.recompute_activations {
         live -= boundary_stash;
+        acct.on_memory(now, live);
     }
     let _ = live;
 
@@ -191,6 +265,7 @@ pub fn simulate_layer_with(
         persistent_bytes,
         stash_bytes,
         timeline,
+        accounting: acct.finish(now),
     }
 }
 

@@ -32,6 +32,7 @@
 
 // Loops indexed by device id / wide internal signatures are deliberate.
 #![allow(clippy::needless_range_loop)]
+mod accounting;
 mod des;
 mod engine;
 mod gantt;
@@ -39,6 +40,10 @@ mod pipeline;
 mod report;
 mod trace;
 
+pub use accounting::{
+    indicator_link_class, redistribution_link_class, ByteSample, ClusterAccounting,
+    CollectiveAccount, DeviceAccount, LinkAccount,
+};
 pub use des::{simulate_layer_des, DesOptions, DesReport};
 pub use engine::{
     ideal_memory_bytes, simulate_layer, simulate_layer_with, simulate_model, simulate_model_with,
@@ -48,6 +53,7 @@ pub use gantt::render_gantt;
 pub use pipeline::{simulate_3d, simulate_3d_with, PipelineSchedule, ThreeDConfig, ThreeDReport};
 pub use report::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
 pub use trace::{
-    breakdown_json, chrome_trace, layer_report_metrics, parse_chrome_trace, render_chrome_trace,
-    timeline_from_trace,
+    accounting_metrics, breakdown_json, chrome_trace, chrome_trace_with_accounting,
+    layer_report_metrics, parse_chrome_trace, render_chrome_trace,
+    render_chrome_trace_with_accounting, timeline_from_trace,
 };

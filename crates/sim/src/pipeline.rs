@@ -57,6 +57,20 @@ pub struct ThreeDReport {
     pub tokens_per_second: f64,
     /// Per-device peak memory (bytes).
     pub peak_memory_bytes: f64,
+    /// Pipeline fill/drain bubble: `(p − 1) · stage_time` seconds of the
+    /// iteration no stage overlaps with useful work.
+    pub bubble_seconds: f64,
+    /// `bubble_seconds / iteration_time` — the GPipe bubble fraction.
+    pub bubble_fraction: f64,
+    /// Full (pre-overlap) data-parallel gradient all-reduce seconds.
+    pub dp_allreduce_seconds: f64,
+    /// The part of the gradient all-reduce not hidden behind the backward
+    /// half of the pipeline.
+    pub exposed_dp_allreduce_seconds: f64,
+    /// Serialized inter-stage activation point-to-point seconds.
+    pub p2p_seconds: f64,
+    /// Inter-stage activation bytes sent per device over the iteration.
+    pub p2p_bytes: f64,
     /// The per-micro-batch stage report underlying the pipeline math.
     pub stage: LayerReport,
 }
@@ -213,11 +227,19 @@ pub fn simulate_3d_with(
     let peak_memory_bytes =
         layers_per_stage as f64 * (stage.persistent_bytes + in_flight * stage.stash_bytes);
 
+    let bubble_seconds = (p - 1) as f64 * stage_time;
+    let p2p_seconds = (p - 1) as f64 * micro_batches as f64 * p2p;
     ThreeDReport {
         config,
         iteration_time,
         tokens_per_second: tokens / iteration_time,
         peak_memory_bytes,
+        bubble_seconds,
+        bubble_fraction: bubble_seconds / iteration_time,
+        dp_allreduce_seconds: dp_allreduce,
+        exposed_dp_allreduce_seconds: exposed_allreduce,
+        p2p_seconds,
+        p2p_bytes: (p - 1) as f64 * micro_batches as f64 * activation_bytes,
         stage,
     }
 }
@@ -352,5 +374,52 @@ mod tests {
         let r = simulate_3d(&model, &graph, &plan.seqs, cfg, 8, 512);
         assert!(r.tokens_per_second > 0.0);
         assert_eq!(r.config.devices(), 8);
+    }
+
+    #[test]
+    fn pipeline_accounting_is_consistent() {
+        let model = small_model();
+        let graph = model.layer_graph(8, 512);
+        let plan = megatron_layer_plan(&graph, 1, 2);
+        let cfg = ThreeDConfig {
+            p: 2,
+            d: 2,
+            m: 2,
+            micro_batches: 4,
+        };
+        let r = simulate_3d(&model, &graph, &plan, cfg, 16, 512);
+        // One stage slot of fill plus one of drain: bubble = (p-1)·stage.
+        let stage_time = r.stage.layer_time * (model.layers / 2) as f64;
+        assert!((r.bubble_seconds - stage_time).abs() < 1e-12 * (1.0 + stage_time));
+        assert!(r.bubble_fraction > 0.0 && r.bubble_fraction < 1.0);
+        assert!(r.dp_allreduce_seconds > 0.0, "d=2 must pay an all-reduce");
+        assert!(r.exposed_dp_allreduce_seconds <= r.dp_allreduce_seconds);
+        assert!(r.p2p_seconds > 0.0 && r.p2p_bytes > 0.0);
+        // The iteration decomposes into slots + p2p + exposed all-reduce.
+        let slots = (cfg.micro_batches + cfg.p - 1) as f64 * stage_time;
+        let rebuilt = slots + r.p2p_seconds + r.exposed_dp_allreduce_seconds;
+        assert!(
+            (rebuilt - r.iteration_time).abs() <= 1e-9 * (1.0 + r.iteration_time),
+            "{rebuilt} vs {}",
+            r.iteration_time
+        );
+
+        // p=1: no pipeline, no bubble, no p2p.
+        let flat = simulate_3d(
+            &model,
+            &graph,
+            &plan,
+            ThreeDConfig {
+                p: 1,
+                d: 2,
+                m: 2,
+                micro_batches: 4,
+            },
+            16,
+            512,
+        );
+        assert_eq!(flat.bubble_seconds, 0.0);
+        assert_eq!(flat.p2p_seconds, 0.0);
+        assert_eq!(flat.p2p_bytes, 0.0);
     }
 }

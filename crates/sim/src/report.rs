@@ -2,6 +2,8 @@ use std::fmt;
 
 use primepar_partition::Phase;
 
+use crate::accounting::ClusterAccounting;
+
 /// What a timeline event represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EventKind {
@@ -96,6 +98,10 @@ pub struct LayerReport {
     pub stash_bytes: f64,
     /// Kernel timeline (forward, then backward/gradient).
     pub timeline: Timeline,
+    /// Cluster-level accounting: per-device busy/idle/overlap seconds,
+    /// per-link-class byte volumes and occupancy, per-collective-kind
+    /// counts, and the per-device live-memory timeline.
+    pub accounting: ClusterAccounting,
 }
 
 #[cfg(test)]

@@ -9,13 +9,18 @@
 //! shortest-round-trip form), so export → parse reproduces every
 //! [`TimelineEvent`] bit for bit.
 
-use primepar_obs::{Json, Metrics, TraceError, TraceEvent};
+use primepar_obs::{Json, Metrics, TraceError, TraceEvent, TracePhase};
 use primepar_partition::Phase;
+use primepar_topology::LinkClass;
 
-use crate::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
+use crate::{Breakdown, ClusterAccounting, EventKind, LayerReport, Timeline, TimelineEvent};
 
 /// `pid` used for all simulator spans (one simulated device timeline).
 const SIM_PID: u64 = 1;
+
+/// First `tid` of the counter lanes emitted by
+/// [`chrome_trace_with_accounting`] — far above any span lane.
+const COUNTER_TID_BASE: u64 = 1000;
 
 fn kind_name(kind: EventKind) -> &'static str {
     match kind {
@@ -72,6 +77,7 @@ pub fn chrome_trace(timeline: &Timeline) -> Vec<TraceEvent> {
             TraceEvent {
                 name: ev.op.clone(),
                 cat: kind_name(ev.kind).to_string(),
+                ph: TracePhase::Complete,
                 pid: SIM_PID,
                 tid: lane as u64,
                 ts_us: ev.start * 1e6,
@@ -95,7 +101,9 @@ pub fn render_chrome_trace(timeline: &Timeline) -> String {
 }
 
 /// Reconstructs the timeline from exported spans — the exact inverse of
-/// [`chrome_trace`] thanks to the `start_s`/`dur_s` args.
+/// [`chrome_trace`] thanks to the `start_s`/`dur_s` args. Counter lanes
+/// (the accounting series added by [`chrome_trace_with_accounting`]) are
+/// skipped: they carry no kernel spans.
 ///
 /// # Errors
 ///
@@ -105,6 +113,7 @@ pub fn timeline_from_trace(events: &[TraceEvent]) -> Result<Timeline, TraceError
     events
         .iter()
         .enumerate()
+        .filter(|(_, ev)| ev.ph != TracePhase::Counter)
         .map(|(i, ev)| {
             let fail = |m: &str| TraceError::Shape(format!("event {i}: {m}"));
             let kind = kind_from_name(&ev.cat)
@@ -139,6 +148,94 @@ pub fn timeline_from_trace(events: &[TraceEvent]) -> Result<Timeline, TraceError
 /// or spans that are not simulator exports.
 pub fn parse_chrome_trace(text: &str) -> Result<Timeline, TraceError> {
     timeline_from_trace(&primepar_obs::parse_trace(text)?)
+}
+
+fn link_class_name(class: LinkClass) -> &'static str {
+    match class {
+        LinkClass::Loopback => "loopback",
+        LinkClass::IntraNode => "intra_node",
+        LinkClass::InterNode => "inter_node",
+    }
+}
+
+fn counter_event(name: &str, tid: u64, time_s: f64, key: &str, value: f64) -> TraceEvent {
+    TraceEvent {
+        name: name.to_string(),
+        cat: "counter".to_string(),
+        ph: TracePhase::Counter,
+        pid: SIM_PID,
+        tid,
+        ts_us: time_s * 1e6,
+        dur_us: 0.0,
+        args: vec![(key.to_string(), Json::Num(value))],
+    }
+}
+
+/// The kernel spans of [`chrome_trace`] plus counter lanes from the cluster
+/// accounting: per-device live memory (`sim.memory.live_bytes`) and one
+/// cumulative-wire-bytes lane per link class (`sim.link.<class>.bytes`).
+/// [`timeline_from_trace`] skips the counter lanes, so the span round-trip
+/// is unchanged.
+pub fn chrome_trace_with_accounting(report: &LayerReport) -> Vec<TraceEvent> {
+    let mut events = chrome_trace(&report.timeline);
+    let acct = &report.accounting;
+    for s in &acct.memory_timeline {
+        events.push(counter_event(
+            "sim.memory.live_bytes",
+            COUNTER_TID_BASE,
+            s.time_s,
+            "bytes",
+            s.bytes,
+        ));
+    }
+    for (i, link) in acct.links.iter().enumerate() {
+        let name = format!("sim.link.{}.bytes", link_class_name(link.class));
+        for s in &link.cumulative {
+            events.push(counter_event(
+                &name,
+                COUNTER_TID_BASE + 1 + i as u64,
+                s.time_s,
+                "bytes",
+                s.bytes,
+            ));
+        }
+    }
+    events
+}
+
+/// Renders the spans-plus-counters trace of [`chrome_trace_with_accounting`].
+pub fn render_chrome_trace_with_accounting(report: &LayerReport) -> String {
+    primepar_obs::render_trace(&chrome_trace_with_accounting(report))
+}
+
+/// Folds a [`ClusterAccounting`] into an observability registry under
+/// `sim.device.*`, `sim.link.*`, `sim.collective.*` and `sim.memory.*`.
+pub fn accounting_metrics(acct: &ClusterAccounting) -> Metrics {
+    let mut m = Metrics::new();
+    m.gauge("sim.makespan_seconds", acct.makespan);
+    for d in &acct.devices {
+        let p = format!("sim.device.{:02}", d.device);
+        m.gauge(&format!("{p}.busy_seconds"), d.busy_seconds());
+        m.gauge(&format!("{p}.idle_seconds"), d.idle_seconds);
+        m.gauge(&format!("{p}.overlap_seconds"), d.overlap_seconds);
+        m.observe("sim.device.busy_seconds", d.busy_seconds());
+    }
+    for link in &acct.links {
+        let p = format!("sim.link.{}", link_class_name(link.class));
+        m.gauge(&format!("{p}.bytes"), link.bytes);
+        m.incr(&format!("{p}.transfers"), link.transfers);
+        m.gauge(&format!("{p}.busy_seconds"), link.busy_seconds);
+        m.gauge(&format!("{p}.occupancy"), link.occupancy(acct.makespan));
+    }
+    for c in &acct.collectives {
+        let p = format!("sim.collective.{}", kind_name(c.kind));
+        m.incr(&format!("{p}.count"), c.count);
+        m.gauge(&format!("{p}.wire_bytes"), c.wire_bytes);
+        m.gauge(&format!("{p}.seconds"), c.seconds);
+    }
+    m.gauge("sim.memory.peak_bytes", acct.peak_memory_bytes());
+    m.incr("sim.memory.samples", acct.memory_timeline.len() as u64);
+    m
 }
 
 /// Renders an iteration breakdown as a JSON object (`compute`, `collective`,
@@ -187,6 +284,7 @@ pub fn layer_report_metrics(report: &LayerReport) -> Metrics {
             ev.duration,
         );
     }
+    m.merge(&accounting_metrics(&report.accounting));
     m
 }
 
@@ -270,6 +368,63 @@ mod tests {
         let m = layer_report_metrics(&report);
         assert!(m.counter("sim.timeline.events") > 0);
         assert!(m.gauge_value("sim.breakdown.total_seconds").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn empty_timeline_traces_to_empty_array() {
+        let tl: Timeline = Vec::new();
+        assert!(chrome_trace(&tl).is_empty());
+        let text = render_chrome_trace(&tl);
+        assert_eq!(parse_chrome_trace(&text).unwrap(), tl);
+    }
+
+    #[test]
+    fn counter_lanes_are_skipped_by_timeline_roundtrip() {
+        use primepar_graph::ModelConfig;
+        use primepar_search::megatron_layer_plan;
+        use primepar_topology::Cluster;
+
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        let report = crate::simulate_layer(&cluster, &graph, &megatron_layer_plan(&graph, 1, 4));
+
+        let events = chrome_trace_with_accounting(&report);
+        let counters = events
+            .iter()
+            .filter(|e| e.ph == TracePhase::Counter)
+            .count();
+        assert!(counters > 0, "accounting should add counter lanes");
+        assert!(events.iter().any(|e| e.name == "sim.memory.live_bytes"));
+
+        // The full spans-plus-counters document still parses back to the
+        // exact timeline: counters are skipped, spans are untouched.
+        let text = render_chrome_trace_with_accounting(&report);
+        assert_eq!(parse_chrome_trace(&text).unwrap(), report.timeline);
+    }
+
+    #[test]
+    fn accounting_metrics_report_devices_and_links() {
+        use primepar_graph::ModelConfig;
+        use primepar_search::megatron_layer_plan;
+        use primepar_topology::Cluster;
+
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        let report = crate::simulate_layer(&cluster, &graph, &megatron_layer_plan(&graph, 1, 4));
+
+        let m = layer_report_metrics(&report);
+        let busy = m.gauge_value("sim.device.00.busy_seconds").unwrap();
+        let idle = m.gauge_value("sim.device.00.idle_seconds").unwrap();
+        let makespan = m.gauge_value("sim.makespan_seconds").unwrap();
+        assert!((busy + idle - makespan).abs() <= 1e-9 * (1.0 + makespan));
+        assert!(m.gauge_value("sim.link.intra_node.bytes").unwrap() > 0.0);
+        assert!(m.counter("sim.collective.allreduce.count") > 0);
+        assert_eq!(
+            m.gauge_value("sim.memory.peak_bytes").unwrap(),
+            report.peak_memory_bytes
+        );
+        let stats = m.histogram("sim.device.busy_seconds").unwrap();
+        assert_eq!(stats.count, 4);
     }
 
     #[test]

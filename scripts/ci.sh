@@ -22,4 +22,30 @@ echo "== planner smoke timing (OPT-6.7B, 16 devices) =="
 timeout 60 ./target/release/primepar plan --model opt-6.7b --devices 16 \
     >/dev/null || { echo "planner smoke run failed or exceeded 60 s" >&2; exit 1; }
 
+echo "== artifact validation (strict metrics/trace re-parse) =="
+# Regenerate one plan's artifacts into a scratch dir and re-parse them with
+# the strict obs parsers; also sweep results/ if previous figure runs left
+# artifacts behind.
+artifacts="$(mktemp -d)"
+trap 'rm -rf "$artifacts"' EXIT
+./target/release/primepar plan --model opt-6.7b --devices 2 --seq 512 \
+    --metrics-json "$artifacts/plan.metrics.json" \
+    --chrome-trace "$artifacts/plan.trace.json" >/dev/null
+./target/release/primepar validate --dir "$artifacts"
+if [ -d results ]; then
+    ./target/release/primepar validate --dir results
+fi
+
+echo "== drift audit smoke (Fig. 9 workload: OPT-175B MLP block, 8 GPUs) =="
+# Must be deterministic: two runs, identical bytes.
+./target/release/primepar audit --model opt-175b --devices 8 --mlp-block \
+    >"$artifacts/audit1.txt"
+./target/release/primepar audit --model opt-175b --devices 8 --mlp-block \
+    >"$artifacts/audit2.txt"
+cmp "$artifacts/audit1.txt" "$artifacts/audit2.txt" \
+    || { echo "audit output is not deterministic" >&2; exit 1; }
+grep -q "conservation: busy+idle = makespan on 8 devices: ok" \
+    "$artifacts/audit1.txt" \
+    || { echo "audit conservation check violated" >&2; exit 1; }
+
 echo "CI gate passed."

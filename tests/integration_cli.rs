@@ -198,23 +198,42 @@ fn chrome_trace_flag_writes_perfetto_loadable_spans() {
     assert!(stdout.contains("chrome trace written to"), "{stdout}");
 
     let text = std::fs::read_to_string(&path).expect("trace file written");
-    // Raw shape: a JSON array whose members all carry the Perfetto fields.
+    // Raw shape: a JSON array of X-phase spans (with `dur`) plus the cluster
+    // accounting's C-phase counter lanes (no `dur`).
     let doc = primepar::obs::parse_json(&text).expect("trace file is valid JSON");
     let items = doc.as_array().expect("trace is a JSON array");
     assert!(!items.is_empty(), "trace should contain spans");
+    let mut spans = 0;
+    let mut counters = 0;
     for item in items {
-        assert_eq!(
-            item.get("ph").and_then(primepar::obs::Json::as_str),
-            Some("X")
-        );
-        for key in ["name", "cat", "pid", "tid", "ts", "dur"] {
-            assert!(item.get(key).is_some(), "span missing `{key}` in:\n{text}");
+        let ph = item.get("ph").and_then(primepar::obs::Json::as_str);
+        match ph {
+            Some("X") => {
+                spans += 1;
+                for key in ["name", "cat", "pid", "tid", "ts", "dur"] {
+                    assert!(item.get(key).is_some(), "span missing `{key}` in:\n{text}");
+                }
+            }
+            Some("C") => {
+                counters += 1;
+                assert!(item.get("dur").is_none(), "counter must not carry `dur`");
+                for key in ["name", "pid", "tid", "ts"] {
+                    assert!(item.get(key).is_some(), "counter missing `{key}`");
+                }
+            }
+            other => panic!("unexpected ph {other:?} in:\n{text}"),
         }
     }
+    assert!(spans > 0, "trace should contain kernel spans");
+    assert!(
+        counters > 0,
+        "trace should contain accounting counter lanes"
+    );
     // Typed parse-back: the exporter's own reader accepts the file and
-    // reconstructs a non-empty timeline with sane span extents.
+    // reconstructs a non-empty timeline with sane span extents (counters
+    // are skipped).
     let timeline = primepar::sim::parse_chrome_trace(&text).expect("trace parses back");
-    assert_eq!(timeline.len(), items.len());
+    assert_eq!(timeline.len(), spans);
     let end = timeline
         .iter()
         .map(|e| e.start + e.duration)
