@@ -3,13 +3,18 @@
 //! 1. every device's `busy + idle` seconds equal the simulated makespan, and
 //! 2. the simulator's per-link wire bytes sum to the plan's analytically
 //!    derived communication volume, component by component.
+//!
+//! Both laws are checked on the ideal cluster *and* under seeded fault &
+//! variance scenarios: perturbation rescales time, never invents or destroys
+//! it, and moves no extra bytes, so the identities must hold for any
+//! scenario.
 
 use primepar_audit::plan_comm_volume;
 use primepar_graph::ModelConfig;
 use primepar_partition::PartitionSeq;
 use primepar_search::{megatron_layer_plan, Planner, PlannerOptions};
 use primepar_sim::{simulate_layer, EventKind};
-use primepar_topology::Cluster;
+use primepar_topology::{Cluster, PerturbationModel};
 
 fn plans(cluster: &Cluster, graph: &primepar_graph::Graph) -> Vec<Vec<PartitionSeq>> {
     let n = cluster.num_devices();
@@ -22,71 +27,105 @@ fn plans(cluster: &Cluster, graph: &primepar_graph::Graph) -> Vec<Vec<PartitionS
     ]
 }
 
+/// The ideal cluster plus a mild and a harsh perturbed derivation of it.
+fn clusters() -> Vec<Cluster> {
+    let base = Cluster::v100_like(8);
+    vec![
+        base.perturbed(&PerturbationModel::mild(), 7),
+        base.perturbed(&PerturbationModel::harsh(), 11),
+        base,
+    ]
+}
+
 #[test]
 fn busy_plus_idle_is_the_makespan_for_every_plan() {
-    let cluster = Cluster::v100_like(8);
     let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
-    for plan in plans(&cluster, &graph) {
-        let report = simulate_layer(&cluster, &graph, &plan);
-        let acct = &report.accounting;
-        acct.validate().expect("busy+idle must equal makespan");
-        assert_eq!(acct.devices.len(), 8);
-        let tol = 1e-9 * (1.0 + report.layer_time);
-        for d in &acct.devices {
-            // The SPMD walk never idles: every device is on the critical path.
-            assert!(d.idle_seconds.abs() <= tol);
-            assert!((d.busy_seconds() - report.layer_time).abs() <= tol);
+    for cluster in clusters() {
+        for plan in plans(&cluster, &graph) {
+            let report = simulate_layer(&cluster, &graph, &plan);
+            let acct = &report.accounting;
+            acct.validate().expect("busy+idle must equal makespan");
+            assert_eq!(acct.devices.len(), 8);
+            let tol = 1e-9 * (1.0 + report.layer_time);
+            for d in &acct.devices {
+                // The SPMD walk never idles: every device is on the critical path.
+                assert!(d.idle_seconds.abs() <= tol);
+                assert!((d.busy_seconds() - report.layer_time).abs() <= tol);
+            }
+            assert!((acct.makespan - report.layer_time).abs() <= tol);
         }
-        assert!((acct.makespan - report.layer_time).abs() <= tol);
     }
 }
 
 #[test]
 fn link_bytes_sum_to_the_plan_volume_per_component() {
-    let cluster = Cluster::v100_like(8);
     let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
-    for plan in plans(&cluster, &graph) {
-        let report = simulate_layer(&cluster, &graph, &plan);
-        let acct = &report.accounting;
-        let volume = plan_comm_volume(&cluster, &graph, &plan);
-        let tol = 1e-6 * (1.0 + volume.total());
-        assert!(
-            (acct.wire_bytes_of(EventKind::Ring) - volume.ring_bytes).abs() <= tol,
-            "ring: sim {} vs plan {}",
-            acct.wire_bytes_of(EventKind::Ring),
-            volume.ring_bytes
-        );
-        assert!(
-            (acct.wire_bytes_of(EventKind::AllReduce) - volume.collective_bytes).abs() <= tol,
-            "allreduce: sim {} vs plan {}",
-            acct.wire_bytes_of(EventKind::AllReduce),
-            volume.collective_bytes
-        );
-        assert!(
-            (acct.wire_bytes_of(EventKind::Redistribution) - volume.redistribution_bytes).abs()
-                <= tol,
-            "redistribution: sim {} vs plan {}",
-            acct.wire_bytes_of(EventKind::Redistribution),
-            volume.redistribution_bytes
-        );
-        assert!((acct.total_wire_bytes() - volume.total()).abs() <= tol);
-        // Something must actually move under tensor parallelism.
-        assert!(volume.total() > 0.0, "plan moved no bytes at all");
+    for cluster in clusters() {
+        for plan in plans(&cluster, &graph) {
+            let report = simulate_layer(&cluster, &graph, &plan);
+            let acct = &report.accounting;
+            let volume = plan_comm_volume(&cluster, &graph, &plan);
+            let tol = 1e-6 * (1.0 + volume.total());
+            assert!(
+                (acct.wire_bytes_of(EventKind::Ring) - volume.ring_bytes).abs() <= tol,
+                "ring: sim {} vs plan {}",
+                acct.wire_bytes_of(EventKind::Ring),
+                volume.ring_bytes
+            );
+            assert!(
+                (acct.wire_bytes_of(EventKind::AllReduce) - volume.collective_bytes).abs() <= tol,
+                "allreduce: sim {} vs plan {}",
+                acct.wire_bytes_of(EventKind::AllReduce),
+                volume.collective_bytes
+            );
+            assert!(
+                (acct.wire_bytes_of(EventKind::Redistribution) - volume.redistribution_bytes).abs()
+                    <= tol,
+                "redistribution: sim {} vs plan {}",
+                acct.wire_bytes_of(EventKind::Redistribution),
+                volume.redistribution_bytes
+            );
+            assert!((acct.total_wire_bytes() - volume.total()).abs() <= tol);
+            // Something must actually move under tensor parallelism.
+            assert!(volume.total() > 0.0, "plan moved no bytes at all");
+        }
     }
 }
 
 #[test]
 fn memory_timeline_peak_matches_the_report() {
-    let cluster = Cluster::v100_like(8);
     let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
-    for plan in plans(&cluster, &graph) {
-        let report = simulate_layer(&cluster, &graph, &plan);
-        let acct = &report.accounting;
-        assert!(!acct.memory_timeline.is_empty());
-        assert_eq!(acct.peak_memory_bytes(), report.peak_memory_bytes);
-        // Samples are chronological.
-        for w in acct.memory_timeline.windows(2) {
-            assert!(w[1].time_s >= w[0].time_s - 1e-12);
+    for cluster in clusters() {
+        for plan in plans(&cluster, &graph) {
+            let report = simulate_layer(&cluster, &graph, &plan);
+            let acct = &report.accounting;
+            assert!(!acct.memory_timeline.is_empty());
+            assert_eq!(acct.peak_memory_bytes(), report.peak_memory_bytes);
+            // Samples are chronological.
+            for w in acct.memory_timeline.windows(2) {
+                assert!(w[1].time_s >= w[0].time_s - 1e-12);
+            }
         }
+    }
+}
+
+#[test]
+fn perturbation_dilates_time_but_conserves_bytes() {
+    let base = Cluster::v100_like(8);
+    let perturbed = base.perturbed(&PerturbationModel::harsh(), 42);
+    let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
+    for plan in plans(&base, &graph) {
+        let ideal = simulate_layer(&base, &graph, &plan);
+        let hurt = simulate_layer(&perturbed, &graph, &plan);
+        assert!(
+            hurt.layer_time >= ideal.layer_time,
+            "a slowdown-only scenario cannot speed the plan up"
+        );
+        // The same plan moves the same bytes regardless of the scenario.
+        let tol = 1e-6 * (1.0 + ideal.accounting.total_wire_bytes());
+        assert!(
+            (hurt.accounting.total_wire_bytes() - ideal.accounting.total_wire_bytes()).abs() <= tol,
+            "perturbation must not change wire-byte volume"
+        );
     }
 }

@@ -135,6 +135,7 @@ fn main() {
             tokens,
             &primepar::sim::SimOptions {
                 recompute_activations: recompute,
+                ..primepar::sim::SimOptions::default()
             },
         );
         metrics.gauge(

@@ -9,10 +9,15 @@
 //!                  [--metrics-json out.json]   # planner + sim telemetry as JSON
 //!                  [--chrome-trace out.json]   # Fig. 9 timeline for chrome://tracing
 //! primepar compare --model llama2-70b --devices 16 [--batch 8] [--seq 2048]
+//!                  [--perturb-scenarios 8] [--perturb-seed 42] [--perturb-profile mild]
 //!                  [--metrics-json out.json] [--chrome-trace out.json]
 //! primepar verify  [--k 1] [--iters 8]
 //! primepar sweep   --model bloom-176b [--devices 2,4,8,16]
+//!                  [--perturb-scenarios 8] [--perturb-seed 42] [--perturb-profile mild]
 //!                  [--metrics-json out.json] [--chrome-trace out.json]
+//! primepar robustness --model opt-175b --devices 8 [--mlp-block] [--batch 8] [--seq 2048]
+//!                  [--perturb-scenarios 16] [--perturb-seed 42] [--perturb-profile mild]
+//!                  [--metrics-json out.json] [--report-json robustness.json]
 //! primepar audit   --model opt-175b --devices 8 [--mlp-block] [--batch 8] [--seq 2048]
 //!                  [--system primepar|alpa|megatron] [--alpha 0] [--metrics-json out.json]
 //! primepar validate [--dir results]...   # strict re-parse of emitted artifacts
@@ -26,12 +31,16 @@ use primepar::graph::ModelConfig;
 use primepar::partition::{PartitionSeq, Primitive};
 use primepar::search::PlannerMetrics;
 use primepar::search::{
-    best_megatron, explain_plan, parse_plan, render_plan, Planner, PlannerOptions, SpaceOptions,
+    best_megatron, explain_plan, parse_plan, render_plan, score_robustness, Planner,
+    PlannerOptions, SpaceOptions,
 };
 use primepar::sim::ModelReport;
-use primepar::sim::{render_gantt, simulate_layer, simulate_model};
+use primepar::sim::{
+    render_gantt, robustness_json, robustness_metrics, simulate_layer, simulate_model,
+    RobustnessOptions,
+};
 use primepar::tensor::Tensor;
-use primepar::topology::Cluster;
+use primepar::topology::{Cluster, PerturbationModel};
 use primepar::{
     compare_metrics, compare_systems, plan_summary, run_metrics, validate_artifacts, RunInfo,
 };
@@ -94,10 +103,16 @@ fn usage() -> &'static str {
      \x20         [--alpha A] [--no-batch-split] [--no-memoize] [--gantt]\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
+     \x20         [--perturb-scenarios N] [--perturb-seed S] [--perturb-profile ideal|mild|harsh]\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 verify  [--k 1|2] [--iters N]   functional equivalence check of P_{2^k x 2^k}\n\
      \x20 sweep   --model M [--devices 2,4,8,16]  scaling study\n\
+     \x20         [--perturb-scenarios N] [--perturb-seed S] [--perturb-profile ideal|mild|harsh]\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
+     \x20 robustness --model M --devices N   plan ranking under seeded fault & variance sweeps\n\
+     \x20         [--mlp-block] [--batch B] [--seq S] [--perturb-scenarios 16]\n\
+     \x20         [--perturb-seed 42] [--perturb-profile ideal|mild|harsh]\n\
+     \x20         [--metrics-json PATH] [--report-json PATH]\n\
      \x20 audit   --model M --devices N   cost-model drift report (predicted vs simulated)\n\
      \x20         [--mlp-block] [--system primepar|alpa|megatron] [--alpha A]\n\
      \x20         [--batch B] [--seq S] [--metrics-json PATH]\n\
@@ -280,6 +295,54 @@ fn run() -> Result<(), String> {
                 "\nPrimePar strategy:\n{}",
                 plan_summary(&model, batch, seq, &prime.plan)
             );
+            // Optional robustness re-ranking under seeded fault & variance
+            // scenarios (--perturb-scenarios enables it).
+            let scenarios: usize = args.parse("--perturb-scenarios", 0)?;
+            let mut robust = primepar::obs::Metrics::new();
+            if scenarios > 0 {
+                let (profile, perturb) = perturb_profile(&args)?;
+                let opts = RobustnessOptions {
+                    model: perturb,
+                    scenarios,
+                    base_seed: args.parse("--perturb-seed", 42)?,
+                    ..RobustnessOptions::default()
+                };
+                let cluster = Cluster::v100_like(devices);
+                let graph = model.layer_graph(batch, seq);
+                println!(
+                    "\nrobustness under the {profile} variance model \
+                     ({scenarios} scenarios, seed {}):",
+                    opts.base_seed
+                );
+                println!(
+                    "{:<10} {:>11} {:>11} {:>14}",
+                    "system", "ideal ms", "p95 ms", "mean slowdown"
+                );
+                robust.text("sim.robustness.profile", profile);
+                for r in &rows {
+                    let s = score_robustness(&cluster, &graph, &r.plan, &opts);
+                    println!(
+                        "{:<10} {:>11.2} {:>11.2} {:>13.2}x",
+                        r.system,
+                        s.ideal_makespan * 1e3,
+                        s.p95_makespan * 1e3,
+                        s.mean_slowdown
+                    );
+                    let key = r.system.to_lowercase();
+                    robust.gauge(
+                        &format!("sim.robustness.compare.{key}.ideal_makespan_s"),
+                        s.ideal_makespan,
+                    );
+                    robust.gauge(
+                        &format!("sim.robustness.compare.{key}.p95_makespan_s"),
+                        s.p95_makespan,
+                    );
+                    robust.gauge(
+                        &format!("sim.robustness.compare.{key}.mean_slowdown"),
+                        s.mean_slowdown,
+                    );
+                }
+            }
             let run = RunInfo {
                 model: model.name,
                 system: "compare",
@@ -288,7 +351,9 @@ fn run() -> Result<(), String> {
                 seq,
             };
             if let Some(path) = args.value("--metrics-json") {
-                primepar::write_metrics_json(path, &compare_metrics(&run, &rows))
+                let mut metrics = compare_metrics(&run, &rows);
+                metrics.merge(&robust);
+                primepar::write_metrics_json(path, &metrics)
                     .map_err(|e| format!("cannot write {path}: {e}"))?;
                 println!("metrics written to {path}");
             }
@@ -348,11 +413,31 @@ fn run() -> Result<(), String> {
             let list = args.value("--devices").unwrap_or("2,4,8,16");
             let batch: u64 = args.parse("--batch", 8)?;
             let seq: u64 = args.parse("--seq", 2048)?;
+            let scenarios: usize = args.parse("--perturb-scenarios", 0)?;
+            let perturb_seed: u64 = args.parse("--perturb-seed", 42)?;
             println!("{} scaling sweep\n", model.name);
-            println!(
-                "{:>8} {:>14} {:>14} {:>9}",
-                "devices", "megatron t/s", "primepar t/s", "speedup"
-            );
+            if scenarios > 0 {
+                let (profile, _) = perturb_profile(&args)?;
+                println!(
+                    "(robustness columns: {profile} variance model, \
+                     {scenarios} scenarios, seed {perturb_seed})\n"
+                );
+                println!(
+                    "{:>8} {:>14} {:>14} {:>9} {:>13} {:>13} {:>12}",
+                    "devices",
+                    "megatron t/s",
+                    "primepar t/s",
+                    "speedup",
+                    "mega p95 ms",
+                    "prime p95 ms",
+                    "p95 speedup"
+                );
+            } else {
+                println!(
+                    "{:>8} {:>14} {:>14} {:>9}",
+                    "devices", "megatron t/s", "primepar t/s", "speedup"
+                );
+            }
             let mut metrics = primepar::obs::Metrics::new();
             metrics.text("run.model", model.name);
             metrics.text("run.system", "sweep");
@@ -383,13 +468,43 @@ fn run() -> Result<(), String> {
                     model.layers,
                     (batch * seq) as f64,
                 );
-                println!(
-                    "{devices:>8} {:>14.0} {:>14.0} {:>8.2}x",
-                    mega.tokens_per_second,
-                    prime.tokens_per_second,
-                    prime.tokens_per_second / mega.tokens_per_second
-                );
                 let p = format!("sweep.{devices:02}");
+                if scenarios > 0 {
+                    let (_, perturb) = perturb_profile(&args)?;
+                    let opts = RobustnessOptions {
+                        model: perturb,
+                        scenarios,
+                        base_seed: perturb_seed,
+                        ..RobustnessOptions::default()
+                    };
+                    let mega_s = score_robustness(&cluster, &graph, &mega_plan, &opts);
+                    let prime_s = score_robustness(&cluster, &graph, &plan.seqs, &opts);
+                    println!(
+                        "{devices:>8} {:>14.0} {:>14.0} {:>8.2}x {:>13.2} {:>13.2} {:>11.2}x",
+                        mega.tokens_per_second,
+                        prime.tokens_per_second,
+                        prime.tokens_per_second / mega.tokens_per_second,
+                        mega_s.p95_makespan * 1e3,
+                        prime_s.p95_makespan * 1e3,
+                        mega_s.p95_makespan / prime_s.p95_makespan
+                    );
+                    metrics.gauge(&format!("{p}.megatron_p95_makespan_s"), mega_s.p95_makespan);
+                    metrics.gauge(
+                        &format!("{p}.primepar_p95_makespan_s"),
+                        prime_s.p95_makespan,
+                    );
+                    metrics.gauge(
+                        &format!("{p}.p95_speedup"),
+                        mega_s.p95_makespan / prime_s.p95_makespan,
+                    );
+                } else {
+                    println!(
+                        "{devices:>8} {:>14.0} {:>14.0} {:>8.2}x",
+                        mega.tokens_per_second,
+                        prime.tokens_per_second,
+                        prime.tokens_per_second / mega.tokens_per_second
+                    );
+                }
                 metrics.gauge(
                     &format!("{p}.megatron_tokens_per_second"),
                     mega.tokens_per_second,
@@ -465,6 +580,123 @@ fn run() -> Result<(), String> {
             }
             Ok(())
         }
+        "robustness" => {
+            let model = required_model(&args)?;
+            let devices: usize = args.parse("--devices", 8)?;
+            let batch: u64 = args.parse("--batch", 8)?;
+            let seq: u64 = args.parse("--seq", 2048)?;
+            let scenarios: usize = args.parse("--perturb-scenarios", 16)?;
+            if scenarios == 0 {
+                return Err("--perturb-scenarios must be > 0".into());
+            }
+            let (profile, perturb) = perturb_profile(&args)?;
+            let opts = RobustnessOptions {
+                model: perturb,
+                scenarios,
+                base_seed: args.parse("--perturb-seed", 42)?,
+                ..RobustnessOptions::default()
+            };
+            let cluster = Cluster::v100_like(devices);
+            let (graph, block) = if args.flag("--mlp-block") {
+                (model.mlp_block_graph(batch, seq), "MLP block")
+            } else {
+                (model.layer_graph(batch, seq), "layer")
+            };
+            println!(
+                "{} {block} on {devices} GPUs — {profile} variance model, \
+                 {scenarios} scenarios (seed {})\n",
+                model.name, opts.base_seed
+            );
+            let (mega_plan, (d, m), _) = best_megatron(&cluster, &graph, 0.0);
+            let prime_plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+                .optimize(model.layers)
+                .seqs;
+            let mega = score_robustness(&cluster, &graph, &mega_plan, &opts);
+            let prime = score_robustness(&cluster, &graph, &prime_plan, &opts);
+            println!(
+                "{:<22} {:>10} {:>10} {:>10} {:>10} {:>10} {:>14}",
+                "system", "ideal ms", "min ms", "median ms", "p95 ms", "max ms", "mean slowdown"
+            );
+            for (name, s) in [
+                (format!("Megatron (d={d}, m={m})"), &mega),
+                ("PrimePar".to_string(), &prime),
+            ] {
+                println!(
+                    "{name:<22} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>10.2} {:>13.2}x",
+                    s.ideal_makespan * 1e3,
+                    s.report.min_makespan * 1e3,
+                    s.report.median_makespan * 1e3,
+                    s.p95_makespan * 1e3,
+                    s.report.max_makespan * 1e3,
+                    s.mean_slowdown
+                );
+            }
+            let ideal_prime_wins = prime.ideal_makespan < mega.ideal_makespan;
+            let perturbed_prime_wins = prime.score < mega.score;
+            println!(
+                "\nideal ranking:      {}  ({:.2}x)",
+                if ideal_prime_wins {
+                    "PrimePar < Megatron"
+                } else {
+                    "Megatron <= PrimePar"
+                },
+                mega.ideal_makespan / prime.ideal_makespan
+            );
+            println!(
+                "perturbed (p95):    {}  ({:.2}x)",
+                if perturbed_prime_wins {
+                    "PrimePar < Megatron"
+                } else {
+                    "Megatron <= PrimePar"
+                },
+                mega.score / prime.score
+            );
+            let flipped = ideal_prime_wins != perturbed_prime_wins;
+            if flipped {
+                println!(
+                    "note: the variance sweep flips the ideal ranking — temporal rings \
+                     serialize\nthrough the group's worst link every step, while collectives \
+                     pay it once per\nphase (DESIGN.md §9)."
+                );
+            }
+            if let Some(path) = args.value("--metrics-json") {
+                let mut metrics = primepar::obs::Metrics::new();
+                metrics.text("run.model", model.name);
+                metrics.text("run.system", "robustness");
+                metrics.gauge("run.devices", devices as f64);
+                metrics.gauge("run.batch", batch as f64);
+                metrics.gauge("run.seq", seq as f64);
+                metrics.text("sim.robustness.profile", profile);
+                metrics.text(
+                    "sim.robustness.ranking_flipped",
+                    if flipped { "yes" } else { "no" },
+                );
+                for (key, s) in [("megatron", &mega), ("primepar", &prime)] {
+                    metrics.gauge(
+                        &format!("sim.robustness.compare.{key}.ideal_makespan_s"),
+                        s.ideal_makespan,
+                    );
+                    metrics.gauge(
+                        &format!("sim.robustness.compare.{key}.p95_makespan_s"),
+                        s.p95_makespan,
+                    );
+                    metrics.gauge(
+                        &format!("sim.robustness.compare.{key}.mean_slowdown"),
+                        s.mean_slowdown,
+                    );
+                }
+                metrics.merge(&robustness_metrics(&prime.report));
+                primepar::write_metrics_json(path, &metrics)
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("metrics written to {path}");
+            }
+            if let Some(path) = args.value("--report-json") {
+                std::fs::write(path, robustness_json(&prime.report).render())
+                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                println!("robustness report written to {path}");
+            }
+            Ok(())
+        }
         "validate" => {
             let dirs = args.values("--dir");
             let dirs: Vec<&str> = if dirs.is_empty() {
@@ -509,6 +741,18 @@ fn write_observability(
         println!("chrome trace written to {path}");
     }
     Ok(())
+}
+
+/// Resolves `--perturb-profile` (default `mild`) to a named variance model.
+fn perturb_profile(args: &Args) -> Result<(&str, PerturbationModel), String> {
+    match args.value("--perturb-profile").unwrap_or("mild") {
+        "ideal" => Ok(("ideal", PerturbationModel::ideal())),
+        "mild" => Ok(("mild", PerturbationModel::mild())),
+        "harsh" => Ok(("harsh", PerturbationModel::harsh())),
+        other => Err(format!(
+            "unknown perturbation profile: {other} (expected ideal|mild|harsh)"
+        )),
+    }
 }
 
 fn required_model(args: &Args) -> Result<ModelConfig, String> {

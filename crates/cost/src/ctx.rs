@@ -109,7 +109,10 @@ impl<'a> CostCtx<'a> {
         } else {
             primepar_topology::LinkClass::IntraNode
         };
-        self.cluster.link(class).transfer_time(per_device)
+        // All-to-all finishes with its slowest participant: under a fault /
+        // variance scenario the worst per-device link factor gates the
+        // exchange (the class-wide factor is already in `link`).
+        self.cluster.link(class).transfer_time(per_device) * self.cluster.worst_link_factor()
     }
 
     fn with_profile<R>(&self, indicator: &GroupIndicator, f: impl FnOnce(&CommProfile) -> R) -> R {
@@ -185,5 +188,17 @@ mod tests {
         let small = Cluster::v100_like(4);
         let ctx_small = CostCtx::new(&small, 0.0);
         assert!(ctx_small.redistribution_time(1e6) < ctx.redistribution_time(1e6));
+    }
+
+    #[test]
+    fn perturbed_cluster_never_cheapens_costs() {
+        let cluster = Cluster::v100_like(8);
+        let perturbed = cluster.perturbed(&primepar_topology::PerturbationModel::harsh(), 5);
+        let base = CostCtx::new(&cluster, 0.0);
+        let pert = CostCtx::new(&perturbed, 0.0);
+        assert!(pert.redistribution_time(1e7) >= base.redistribution_time(1e7));
+        let ind = GroupIndicator::new(vec![1]);
+        assert!(pert.allreduce_time(&ind, 1e7) >= base.allreduce_time(&ind, 1e7));
+        assert!(pert.ring_shift_time(&ind, 1e6) >= base.ring_shift_time(&ind, 1e6));
     }
 }

@@ -1,0 +1,136 @@
+//! End-to-end coverage of the routing-fault injection path
+//! ([`primepar_exec::FaultSpec`]): arming a fault mis-wires device 0's
+//! incoming ring transfer, and the executor's DSI identity checks must
+//! surface [`ExecError::MisroutedBlock`] with fields naming the actual
+//! detection point — not merely *some* error.
+
+use primepar_exec::{reference, DistLinear, ExecError, FaultSpec, LinearShape};
+use primepar_partition::{PartitionSeq, Phase, Primitive, TensorKind};
+use primepar_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const SHAPE: LinearShape = LinearShape {
+    b: 4,
+    m: 8,
+    n: 8,
+    k: 8,
+};
+
+fn fixtures(seed: u64) -> (Tensor, Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let i = Tensor::randn(vec![SHAPE.b, SHAPE.m, SHAPE.n], 1.0, &mut rng);
+    let w = Tensor::randn(vec![SHAPE.n, SHAPE.k], 1.0, &mut rng);
+    let d_o = Tensor::randn(vec![SHAPE.b, SHAPE.m, SHAPE.k], 1.0, &mut rng);
+    (i, w, d_o)
+}
+
+fn temporal_dist() -> DistLinear {
+    let seq = PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap();
+    DistLinear::new(seq, SHAPE).unwrap()
+}
+
+/// A corrupted transfer at step `t` is caught when the stale block is next
+/// used — the following step of the same phase (or the same step when the
+/// fault hits the phase's last transfer). The error must name the injected
+/// phase and tensor, the detecting device (0, the mis-wired receiver), and
+/// carry a genuine DSI mismatch.
+#[test]
+fn misrouted_block_reports_the_detection_point() {
+    let (i, w, d_o) = fixtures(7);
+    let cases = [
+        // (armed fault, step at which the stale block is detected)
+        (
+            FaultSpec {
+                phase: Phase::Forward,
+                step: 0,
+                tensor: TensorKind::Input,
+            },
+            1,
+        ),
+        (
+            FaultSpec {
+                phase: Phase::Backward,
+                step: 0,
+                tensor: TensorKind::Weight,
+            },
+            1,
+        ),
+        (
+            FaultSpec {
+                phase: Phase::Gradient,
+                step: 1,
+                tensor: TensorKind::GradWeight,
+            },
+            1,
+        ),
+    ];
+    for (fault, detect_step) in cases {
+        let mut dist = temporal_dist();
+        dist.inject_fault(fault);
+        let err = dist.train_step(&i, &w, &d_o, 0.01).unwrap_err();
+        let ExecError::MisroutedBlock {
+            phase,
+            step,
+            tensor,
+            device,
+            expected,
+            actual,
+        } = err
+        else {
+            panic!("fault {fault:?} surfaced the wrong error kind");
+        };
+        assert_eq!(phase, fault.phase, "detected in the injected phase");
+        assert_eq!(tensor, fault.tensor, "the corrupted tensor is named");
+        assert_eq!(step, detect_step, "detected where the stale block is used");
+        assert_eq!(device, 0, "device 0 is the mis-wired receiver");
+        assert_ne!(expected, actual, "a real DSI mismatch, not a false alarm");
+        assert_eq!(expected.len(), actual.len(), "same DSI arity");
+        // The rendered message names the detecting device.
+        let msg = ExecError::MisroutedBlock {
+            phase,
+            step,
+            tensor,
+            device,
+            expected,
+            actual,
+        }
+        .to_string();
+        assert!(msg.contains('0'), "message names the device: {msg}");
+    }
+}
+
+/// A fault aimed at a transfer that never happens (weights do not move during
+/// forward under `P_{2×2}`) must not misfire: the step runs to completion and
+/// matches the serial reference.
+#[test]
+fn fault_on_a_nonexistent_transfer_is_inert() {
+    let (i, w, d_o) = fixtures(7);
+    let mut dist = temporal_dist();
+    dist.inject_fault(FaultSpec {
+        phase: Phase::Forward,
+        step: 1,
+        tensor: TensorKind::Weight,
+    });
+    let (o, _, _, _) = dist.train_step(&i, &w, &d_o, 0.01).expect("inert fault");
+    assert!(o.allclose(&reference::forward(&i, &w).unwrap(), 1e-4));
+}
+
+/// Detection does not poison later runs: after a faulty executor errors, a
+/// fresh executor over the same inputs produces reference-exact results.
+#[test]
+fn rerun_after_detection_recovers() {
+    let (i, w, d_o) = fixtures(13);
+    let mut dist = temporal_dist();
+    dist.inject_fault(FaultSpec {
+        phase: Phase::Forward,
+        step: 0,
+        tensor: TensorKind::Input,
+    });
+    assert!(dist.train_step(&i, &w, &d_o, 0.01).is_err());
+    let mut clean = temporal_dist();
+    let (o, d_i, d_w, _w_new) = clean.train_step(&i, &w, &d_o, 0.01).expect("clean run");
+    assert!(o.allclose(&reference::forward(&i, &w).unwrap(), 1e-4));
+    assert!(d_i.allclose(&reference::backward(&d_o, &w).unwrap(), 1e-4));
+    assert!(d_w.allclose(&reference::gradient(&i, &d_o).unwrap(), 1e-4));
+}

@@ -13,6 +13,8 @@
 //!   (§6.1's enumeration).
 //! * [`alpa_plan`] — the Alpa stand-in: the same optimal search restricted to
 //!   the conventional (spatial-only) partition space.
+//! * [`score_robustness`] — re-rank finished plans under seeded fault &
+//!   variance sweeps (tail-latency score over [`primepar_sim`] scenarios).
 //!
 //! # Example
 //!
@@ -35,6 +37,7 @@ mod dp;
 mod minplus;
 mod plan_io;
 mod report;
+mod robustness;
 mod space;
 mod telemetry;
 
@@ -42,5 +45,6 @@ pub use baselines::{alpa_plan, best_megatron, evaluate_layer_plan, megatron_laye
 pub use dp::{ModelPlan, Planner, PlannerOptions};
 pub use plan_io::{parse_plan, render_plan, PlanIoError};
 pub use report::explain_plan;
+pub use robustness::{score_robustness, RobustnessScore};
 pub use space::{operator_space, SpaceCache, SpaceOptions};
 pub use telemetry::{PlannerMetrics, SegmentMetrics};

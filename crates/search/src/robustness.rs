@@ -1,0 +1,126 @@
+//! Robustness scoring of candidate plans (an evaluation pass over the
+//! simulator's fault & variance sweeps).
+//!
+//! The planner optimizes the ideal-hardware cost (Eq. 7); this module asks
+//! the follow-up question the paper leaves open: *how does a plan hold up
+//! when the hardware misbehaves?* [`score_robustness`] sweeps seeded
+//! scenarios over a finished plan and condenses them into a single
+//! tail-latency score, so callers can re-rank candidate plans (e.g.
+//! conventional vs. `P_{2^k×2^k}`-bearing) under jitter rather than on the
+//! ideal cluster alone.
+
+use primepar_graph::Graph;
+use primepar_partition::PartitionSeq;
+use primepar_sim::{robustness_sweep, RobustnessOptions, RobustnessReport};
+use primepar_topology::Cluster;
+
+/// A plan's robustness under a scenario sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessScore {
+    /// Makespan on the unperturbed cluster (s).
+    pub ideal_makespan: f64,
+    /// 95th-percentile scenario makespan (s) — the score's tail term.
+    pub p95_makespan: f64,
+    /// Mean slowdown versus ideal across scenarios.
+    pub mean_slowdown: f64,
+    /// The ranking score: p95 scenario makespan. Lower is better; it charges
+    /// a plan for its sensitivity to stragglers and degraded links on top of
+    /// its ideal latency.
+    pub score: f64,
+    /// The full underlying sweep.
+    pub report: RobustnessReport,
+}
+
+/// Scores `seqs` by sweeping `opts.scenarios` seeded fault/variance
+/// scenarios (see [`primepar_sim::robustness_sweep`]).
+///
+/// Identical `(plan, cluster, opts)` inputs yield bitwise-identical scores.
+///
+/// # Panics
+///
+/// Panics if `seqs.len() != graph.ops.len()` or `opts.scenarios == 0`.
+pub fn score_robustness(
+    cluster: &Cluster,
+    graph: &Graph,
+    seqs: &[PartitionSeq],
+    opts: &RobustnessOptions,
+) -> RobustnessScore {
+    let report = robustness_sweep(cluster, graph, seqs, opts);
+    RobustnessScore {
+        ideal_makespan: report.ideal_makespan,
+        p95_makespan: report.p95_makespan,
+        mean_slowdown: report.mean_slowdown,
+        score: report.p95_makespan,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{megatron_layer_plan, Planner, PlannerOptions};
+    use primepar_graph::ModelConfig;
+    use primepar_topology::PerturbationModel;
+
+    #[test]
+    fn score_is_deterministic_and_bounded_below_by_ideal() {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let plan = megatron_layer_plan(&graph, 1, 4);
+        let opts = RobustnessOptions {
+            scenarios: 5,
+            ..RobustnessOptions::default()
+        };
+        let a = score_robustness(&cluster, &graph, &plan, &opts);
+        let b = score_robustness(&cluster, &graph, &plan, &opts);
+        assert_eq!(a, b);
+        assert!(a.score >= a.ideal_makespan * (1.0 - 1e-9));
+        assert_eq!(a.score, a.p95_makespan);
+        assert!(a.mean_slowdown >= 1.0 - 1e-9);
+    }
+
+    /// The acceptance-criterion ranking check on the Fig. 9 workload
+    /// (OPT-175B MLP block on 8 GPUs): on ideal hardware the planner's
+    /// `P_{2^k×2^k}`-bearing plan beats Megatron, but under the mild and
+    /// harsh variance models the ranking **flips** — a Cannon-style ring
+    /// shifts the full shard over the group's worst link on *every* temporal
+    /// step, so a single severely degraded NIC taxes the temporal plan
+    /// repeatedly, while Megatron's all-reduces pay the degraded member once
+    /// per phase on `bytes/g`-sized chunks. The flip is seed-independent
+    /// (checked across three base seeds per model); see DESIGN.md §9.
+    #[test]
+    fn perturbation_flips_the_fig9_ranking() {
+        let cluster = Cluster::v100_like(8);
+        let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
+        let mega = megatron_layer_plan(&graph, 1, 8);
+        let prime = Planner::new(&cluster, &graph, PlannerOptions::default())
+            .optimize(1)
+            .seqs;
+        assert!(
+            prime.iter().any(|s| s.temporal_k().is_some()),
+            "the PrimePar plan must carry a temporal primitive for this study"
+        );
+        for model in [PerturbationModel::mild(), PerturbationModel::harsh()] {
+            for seed in [42u64, 7, 1234] {
+                let opts = RobustnessOptions {
+                    model,
+                    scenarios: 8,
+                    base_seed: seed,
+                    ..RobustnessOptions::default()
+                };
+                let mega_score = score_robustness(&cluster, &graph, &mega, &opts);
+                let prime_score = score_robustness(&cluster, &graph, &prime, &opts);
+                assert!(
+                    prime_score.ideal_makespan < mega_score.ideal_makespan,
+                    "ideal ranking must favor the PrimePar plan"
+                );
+                assert!(
+                    prime_score.score > mega_score.score,
+                    "expected the perturbed ranking to flip: prime p95 {} vs mega p95 {} (seed {seed})",
+                    prime_score.score,
+                    mega_score.score
+                );
+            }
+        }
+    }
+}

@@ -79,10 +79,15 @@ pub fn simulate_layer_des(
     let space = cluster.space();
     let mut clocks = vec![0.0f64; n];
     let mut busy = vec![0.0f64; n];
+    // Kernel times from the cost context are paced by the cluster's slowest
+    // device (bulk-synchronous bottleneck); rescaling by each device's
+    // relative pace recovers genuine per-device heterogeneity under an
+    // applied perturbation. On an ideal cluster the pace is exactly 1.
     let slow = |device: usize, t: f64| -> f64 {
+        let paced = t * cluster.relative_compute_pace(DeviceId(device));
         match options.straggler {
-            Some((d, f)) if d == device => t * f,
-            _ => t,
+            Some((d, f)) if d == device => paced * f,
+            _ => paced,
         }
     };
 

@@ -3,7 +3,7 @@
 use primepar_cost::{inter_traffic_bytes, memory_bytes, phase_events, CostCtx};
 use primepar_graph::Graph;
 use primepar_partition::{PartitionSeq, Phase};
-use primepar_topology::Cluster;
+use primepar_topology::{Cluster, Perturbation};
 
 use crate::accounting::{indicator_link_class, redistribution_link_class, AccountingBuilder};
 use crate::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
@@ -16,6 +16,10 @@ pub struct SimOptions {
     /// after the forward pass — only the layer-boundary activation is kept —
     /// and the backward sweep re-runs each operator's forward first.
     pub recompute_activations: bool,
+    /// Seeded fault/variance scenario applied to the cluster before
+    /// simulating (see [`primepar_topology::perturb`]); `None` simulates the
+    /// ideal hardware.
+    pub perturbation: Option<Perturbation>,
 }
 
 /// Simulates one training iteration of one transformer layer under the
@@ -43,6 +47,16 @@ pub fn simulate_layer_with(
     options: &SimOptions,
 ) -> LayerReport {
     assert_eq!(seqs.len(), graph.ops.len(), "one sequence per operator");
+    // Applying a perturbation derives a degraded cluster; every downstream
+    // consumer (profiles, cost context, accounting) sees it transparently.
+    let derived;
+    let cluster = match &options.perturbation {
+        Some(p) => {
+            derived = cluster.perturbed(&p.model, p.seed);
+            &derived
+        }
+        None => cluster,
+    };
     let ctx = CostCtx::new(cluster, 0.0);
     let n_devices = cluster.num_devices();
     let mut now = 0.0f64;
@@ -266,6 +280,7 @@ pub fn simulate_layer_with(
         stash_bytes,
         timeline,
         accounting: acct.finish(now),
+        robustness: None,
     }
 }
 
@@ -445,6 +460,7 @@ mod tests {
             8.0 * 512.0,
             &super::SimOptions {
                 recompute_activations: true,
+                ..SimOptions::default()
             },
         );
         assert!(

@@ -12,7 +12,11 @@
 //!   high-water-mark trace (Figs. 2b, 8),
 //! * [`simulate_3d`] — GPipe-style pipeline composition for the (p, d, m)
 //!   3D-parallelism study (Fig. 10),
-//! * [`ideal_memory_bytes`] — the replication-free lower bound of Fig. 2(b).
+//! * [`ideal_memory_bytes`] — the replication-free lower bound of Fig. 2(b),
+//! * [`robustness_sweep`] / [`simulate_layer_robust`] — seeded fault &
+//!   variance scenarios ([`primepar_topology::perturb`]) folded into a
+//!   [`RobustnessReport`] (min/median/p95 makespan, slowdown-vs-ideal,
+//!   critical-device histogram).
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@ mod engine;
 mod gantt;
 mod pipeline;
 mod report;
+mod robustness;
 mod trace;
 
 pub use accounting::{
@@ -52,6 +57,10 @@ pub use engine::{
 pub use gantt::render_gantt;
 pub use pipeline::{simulate_3d, simulate_3d_with, PipelineSchedule, ThreeDConfig, ThreeDReport};
 pub use report::{Breakdown, EventKind, LayerReport, Timeline, TimelineEvent};
+pub use robustness::{
+    parse_robustness, robustness_json, robustness_metrics, robustness_sweep, simulate_layer_robust,
+    simulate_model_robust, RobustnessOptions, RobustnessReport, ScenarioOutcome, ROBUSTNESS_SCHEMA,
+};
 pub use trace::{
     accounting_metrics, breakdown_json, chrome_trace, chrome_trace_with_accounting,
     layer_report_metrics, parse_chrome_trace, render_chrome_trace,

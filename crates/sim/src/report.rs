@@ -102,6 +102,10 @@ pub struct LayerReport {
     /// per-link-class byte volumes and occupancy, per-collective-kind
     /// counts, and the per-device live-memory timeline.
     pub accounting: ClusterAccounting,
+    /// Robustness sweep results when the report was produced by
+    /// [`crate::simulate_layer_robust`] / [`crate::simulate_model_robust`];
+    /// `None` for plain simulations.
+    pub robustness: Option<crate::RobustnessReport>,
 }
 
 #[cfg(test)]

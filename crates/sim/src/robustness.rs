@@ -1,0 +1,513 @@
+//! Robustness sweeps: how a plan's makespan degrades under seeded fault &
+//! variance scenarios.
+//!
+//! The paper compares partition strategies on ideal hardware, but its
+//! headline trade-off — the temporal primitive's P2P-only rings versus the
+//! conventional partitions' collectives — has very different *sensitivity*
+//! to stragglers and degraded links: a Cannon-style ring serializes through
+//! its slowest hop on every temporal step, while an all-reduce pays the
+//! group's worst member once per phase. This module quantifies that: it draws
+//! `N` scenarios from a [`PerturbationModel`] (seeds `base_seed + i`), runs
+//! both the SPMD walk and the per-device DES under each, and folds the
+//! results into a [`RobustnessReport`] — min/median/p95/max makespan,
+//! slowdown versus the ideal cluster, and a critical-device histogram.
+//!
+//! Everything is bit-reproducible: identical `(model, base_seed, scenarios)`
+//! inputs produce identical reports, and [`robustness_json`] /
+//! [`parse_robustness`] round-trip a report exactly.
+
+use primepar_graph::Graph;
+use primepar_obs::{Json, Metrics};
+use primepar_partition::PartitionSeq;
+use primepar_topology::{Cluster, PerturbationModel};
+
+use crate::des::{simulate_layer_des, DesOptions};
+use crate::engine::{simulate_layer_with, simulate_model_with, ModelReport, SimOptions};
+use crate::LayerReport;
+
+/// Schema tag of the robustness-report JSON document.
+pub const ROBUSTNESS_SCHEMA: &str = "primepar.robustness.v1";
+
+/// Knobs of a robustness sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RobustnessOptions {
+    /// Distribution the scenarios are drawn from.
+    pub model: PerturbationModel,
+    /// Number of seeded scenarios (> 0).
+    pub scenarios: usize,
+    /// Scenario `i` is drawn with seed `base_seed.wrapping_add(i)`.
+    pub base_seed: u64,
+    /// Simulator options shared by the ideal run and every scenario; its
+    /// `perturbation` field is ignored (the sweep applies its own).
+    pub sim: SimOptions,
+}
+
+impl Default for RobustnessOptions {
+    fn default() -> Self {
+        RobustnessOptions {
+            model: PerturbationModel::mild(),
+            scenarios: 16,
+            base_seed: 42,
+            sim: SimOptions::default(),
+        }
+    }
+}
+
+/// One scenario's outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Scenario index within the sweep.
+    pub scenario: usize,
+    /// Seed the scenario was drawn with.
+    pub seed: u64,
+    /// Bulk-synchronous (SPMD walk) makespan under the scenario (s).
+    pub makespan: f64,
+    /// Per-device discrete-event makespan under the scenario (s); at most
+    /// `makespan`, since the DES lets fast devices run ahead where the
+    /// communication pattern permits.
+    pub des_makespan: f64,
+    /// `makespan / ideal_makespan`.
+    pub slowdown: f64,
+    /// Device finishing last in the DES run.
+    pub critical_device: usize,
+    /// The scenario's worst per-device compute slowdown factor.
+    pub max_compute_slowdown: f64,
+    /// The scenario's worst per-device link slowdown factor.
+    pub worst_link_factor: f64,
+    /// Dead (failed-over) devices in the scenario.
+    pub dead_devices: usize,
+}
+
+/// Folded results of a robustness sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RobustnessReport {
+    /// Base seed of the sweep.
+    pub base_seed: u64,
+    /// Number of scenarios swept.
+    pub scenarios: usize,
+    /// Makespan on the unperturbed cluster (s).
+    pub ideal_makespan: f64,
+    /// Best-case scenario makespan (s).
+    pub min_makespan: f64,
+    /// Median scenario makespan (nearest-rank, s).
+    pub median_makespan: f64,
+    /// 95th-percentile scenario makespan (nearest-rank, s).
+    pub p95_makespan: f64,
+    /// Worst-case scenario makespan (s).
+    pub max_makespan: f64,
+    /// Mean of the per-scenario slowdowns versus ideal.
+    pub mean_slowdown: f64,
+    /// Worst per-scenario slowdown versus ideal.
+    pub max_slowdown: f64,
+    /// How often each device was the DES critical device, indexed by device.
+    pub critical_device_histogram: Vec<u64>,
+    /// Per-scenario outcomes, in scenario order.
+    pub outcomes: Vec<ScenarioOutcome>,
+}
+
+/// Nearest-rank percentile of an unsorted sample (`q` in `[0, 100]`).
+fn percentile(values: &[f64], q: f64) -> f64 {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite makespans"));
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Sweeps `opts.scenarios` seeded fault/variance scenarios over the plan and
+/// folds the outcomes. Every scenario's accounting is validated — the
+/// busy+idle==makespan and byte-conservation identities must hold under
+/// perturbation, not just on ideal hardware.
+///
+/// # Panics
+///
+/// Panics if `opts.scenarios == 0`, the perturbation model is invalid, or an
+/// accounting identity breaks.
+pub fn robustness_sweep(
+    cluster: &Cluster,
+    graph: &Graph,
+    seqs: &[PartitionSeq],
+    opts: &RobustnessOptions,
+) -> RobustnessReport {
+    assert!(opts.scenarios > 0, "robustness sweep needs >= 1 scenario");
+    let mut sim = opts.sim;
+    sim.perturbation = None;
+    let ideal = simulate_layer_with(cluster, graph, seqs, &sim);
+    let ideal_makespan = ideal.layer_time;
+
+    let mut outcomes = Vec::with_capacity(opts.scenarios);
+    let mut histogram = vec![0u64; cluster.num_devices()];
+    for scenario in 0..opts.scenarios {
+        let seed = opts.base_seed.wrapping_add(scenario as u64);
+        let perturbed = cluster.perturbed(&opts.model, seed);
+        let spmd = simulate_layer_with(&perturbed, graph, seqs, &sim);
+        spmd.accounting
+            .validate()
+            .expect("accounting identities must hold under perturbation");
+        let des = simulate_layer_des(&perturbed, graph, seqs, &DesOptions::default());
+        let critical_device = des.critical_device();
+        histogram[critical_device] += 1;
+        outcomes.push(ScenarioOutcome {
+            scenario,
+            seed,
+            makespan: spmd.layer_time,
+            des_makespan: des.iteration_time,
+            slowdown: spmd.layer_time / ideal_makespan,
+            critical_device,
+            max_compute_slowdown: perturbed.max_compute_slowdown(),
+            worst_link_factor: perturbed.worst_link_factor(),
+            dead_devices: perturbed.perturbation().map_or(0, |p| p.dead_devices()),
+        });
+    }
+
+    let makespans: Vec<f64> = outcomes.iter().map(|o| o.makespan).collect();
+    let slowdowns: Vec<f64> = outcomes.iter().map(|o| o.slowdown).collect();
+    RobustnessReport {
+        base_seed: opts.base_seed,
+        scenarios: opts.scenarios,
+        ideal_makespan,
+        min_makespan: makespans.iter().copied().fold(f64::INFINITY, f64::min),
+        median_makespan: percentile(&makespans, 50.0),
+        p95_makespan: percentile(&makespans, 95.0),
+        max_makespan: makespans.iter().copied().fold(0.0, f64::max),
+        mean_slowdown: slowdowns.iter().sum::<f64>() / slowdowns.len() as f64,
+        max_slowdown: slowdowns.iter().copied().fold(0.0, f64::max),
+        critical_device_histogram: histogram,
+        outcomes,
+    }
+}
+
+/// [`crate::simulate_layer_with`] on the ideal cluster, with a robustness
+/// sweep attached to [`LayerReport::robustness`].
+pub fn simulate_layer_robust(
+    cluster: &Cluster,
+    graph: &Graph,
+    seqs: &[PartitionSeq],
+    opts: &RobustnessOptions,
+) -> LayerReport {
+    let mut sim = opts.sim;
+    sim.perturbation = None;
+    let mut report = simulate_layer_with(cluster, graph, seqs, &sim);
+    report.robustness = Some(robustness_sweep(cluster, graph, seqs, opts));
+    report
+}
+
+/// [`crate::simulate_model_with`] with a per-layer robustness sweep attached
+/// to the underlying [`LayerReport`].
+pub fn simulate_model_robust(
+    cluster: &Cluster,
+    graph: &Graph,
+    seqs: &[PartitionSeq],
+    layers: u64,
+    tokens_per_iteration: f64,
+    opts: &RobustnessOptions,
+) -> ModelReport {
+    let mut sim = opts.sim;
+    sim.perturbation = None;
+    let mut report = simulate_model_with(cluster, graph, seqs, layers, tokens_per_iteration, &sim);
+    report.layer.robustness = Some(robustness_sweep(cluster, graph, seqs, opts));
+    report
+}
+
+/// Flattens a report into `sim.robustness.*` metrics. Purely derived from the
+/// report — no wall-clock — so metrics JSON is deterministic under a fixed
+/// seed.
+pub fn robustness_metrics(report: &RobustnessReport) -> Metrics {
+    let mut m = Metrics::new();
+    m.incr("sim.robustness.scenarios", report.scenarios as u64);
+    m.text("sim.robustness.base_seed", &report.base_seed.to_string());
+    m.gauge("sim.robustness.ideal_makespan_s", report.ideal_makespan);
+    m.gauge("sim.robustness.makespan.min_s", report.min_makespan);
+    m.gauge("sim.robustness.makespan.median_s", report.median_makespan);
+    m.gauge("sim.robustness.makespan.p95_s", report.p95_makespan);
+    m.gauge("sim.robustness.makespan.max_s", report.max_makespan);
+    m.gauge("sim.robustness.slowdown.mean", report.mean_slowdown);
+    m.gauge("sim.robustness.slowdown.max", report.max_slowdown);
+    for o in &report.outcomes {
+        m.observe("sim.robustness.makespan_s", o.makespan);
+        m.observe("sim.robustness.des_makespan_s", o.des_makespan);
+        m.observe(
+            "sim.robustness.max_compute_slowdown",
+            o.max_compute_slowdown,
+        );
+        m.observe("sim.robustness.worst_link_factor", o.worst_link_factor);
+        m.incr("sim.robustness.dead_devices", o.dead_devices as u64);
+    }
+    for (d, &count) in report.critical_device_histogram.iter().enumerate() {
+        m.incr(&format!("sim.robustness.critical_device.{d}"), count);
+    }
+    m
+}
+
+/// Renders a report as a JSON document that [`parse_robustness`] re-parses
+/// exactly (seeds are carried as strings so 64-bit values survive the `f64`
+/// number model).
+pub fn robustness_json(report: &RobustnessReport) -> Json {
+    let outcomes: Vec<Json> = report
+        .outcomes
+        .iter()
+        .map(|o| {
+            Json::obj()
+                .with("scenario", o.scenario as f64)
+                .with("seed", o.seed.to_string())
+                .with("makespan", o.makespan)
+                .with("des_makespan", o.des_makespan)
+                .with("slowdown", o.slowdown)
+                .with("critical_device", o.critical_device as f64)
+                .with("max_compute_slowdown", o.max_compute_slowdown)
+                .with("worst_link_factor", o.worst_link_factor)
+                .with("dead_devices", o.dead_devices as f64)
+        })
+        .collect();
+    Json::obj()
+        .with("schema", ROBUSTNESS_SCHEMA)
+        .with("base_seed", report.base_seed.to_string())
+        .with("scenarios", report.scenarios as f64)
+        .with("ideal_makespan", report.ideal_makespan)
+        .with(
+            "makespan",
+            Json::obj()
+                .with("min", report.min_makespan)
+                .with("median", report.median_makespan)
+                .with("p95", report.p95_makespan)
+                .with("max", report.max_makespan),
+        )
+        .with(
+            "slowdown",
+            Json::obj()
+                .with("mean", report.mean_slowdown)
+                .with("max", report.max_slowdown),
+        )
+        .with(
+            "critical_device_histogram",
+            Json::Arr(
+                report
+                    .critical_device_histogram
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        )
+        .with("outcomes", Json::Arr(outcomes))
+}
+
+fn field<'a>(doc: &'a Json, key: &str) -> Result<&'a Json, String> {
+    doc.get(key).ok_or_else(|| format!("missing field `{key}`"))
+}
+
+fn num(doc: &Json, key: &str) -> Result<f64, String> {
+    field(doc, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field `{key}` is not a number"))
+}
+
+fn seed_str(doc: &Json, key: &str) -> Result<u64, String> {
+    field(doc, key)?
+        .as_str()
+        .ok_or_else(|| format!("field `{key}` is not a string"))?
+        .parse::<u64>()
+        .map_err(|e| format!("field `{key}`: {e}"))
+}
+
+/// Parses a document produced by [`robustness_json`].
+///
+/// # Errors
+///
+/// Returns a description of the first structural mismatch (wrong schema tag,
+/// missing field, wrong type).
+pub fn parse_robustness(doc: &Json) -> Result<RobustnessReport, String> {
+    match field(doc, "schema")?.as_str() {
+        Some(ROBUSTNESS_SCHEMA) => {}
+        other => return Err(format!("bad schema tag {other:?}")),
+    }
+    let makespan = field(doc, "makespan")?;
+    let slowdown = field(doc, "slowdown")?;
+    let histogram = field(doc, "critical_device_histogram")?
+        .as_array()
+        .ok_or("critical_device_histogram is not an array")?
+        .iter()
+        .map(|v| {
+            v.as_f64()
+                .map(|f| f as u64)
+                .ok_or_else(|| "histogram entry is not a number".to_string())
+        })
+        .collect::<Result<Vec<u64>, String>>()?;
+    let outcomes = field(doc, "outcomes")?
+        .as_array()
+        .ok_or("outcomes is not an array")?
+        .iter()
+        .map(|o| {
+            Ok(ScenarioOutcome {
+                scenario: num(o, "scenario")? as usize,
+                seed: seed_str(o, "seed")?,
+                makespan: num(o, "makespan")?,
+                des_makespan: num(o, "des_makespan")?,
+                slowdown: num(o, "slowdown")?,
+                critical_device: num(o, "critical_device")? as usize,
+                max_compute_slowdown: num(o, "max_compute_slowdown")?,
+                worst_link_factor: num(o, "worst_link_factor")?,
+                dead_devices: num(o, "dead_devices")? as usize,
+            })
+        })
+        .collect::<Result<Vec<ScenarioOutcome>, String>>()?;
+    Ok(RobustnessReport {
+        base_seed: seed_str(doc, "base_seed")?,
+        scenarios: num(doc, "scenarios")? as usize,
+        ideal_makespan: num(doc, "ideal_makespan")?,
+        min_makespan: num(makespan, "min")?,
+        median_makespan: num(makespan, "median")?,
+        p95_makespan: num(makespan, "p95")?,
+        max_makespan: num(makespan, "max")?,
+        mean_slowdown: num(slowdown, "mean")?,
+        max_slowdown: num(slowdown, "max")?,
+        critical_device_histogram: histogram,
+        outcomes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_graph::ModelConfig;
+    use primepar_search::megatron_layer_plan;
+
+    fn sweep(scenarios: usize, seed: u64) -> RobustnessReport {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let plan = megatron_layer_plan(&graph, 1, 4);
+        robustness_sweep(
+            &cluster,
+            &graph,
+            &plan,
+            &RobustnessOptions {
+                model: PerturbationModel::harsh(),
+                scenarios,
+                base_seed: seed,
+                sim: SimOptions::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn sweep_bounds_and_shapes() {
+        let r = sweep(6, 11);
+        assert_eq!(r.outcomes.len(), 6);
+        assert_eq!(r.critical_device_histogram.len(), 4);
+        assert_eq!(
+            r.critical_device_histogram.iter().sum::<u64>(),
+            6,
+            "every scenario names one critical device"
+        );
+        // Perturbations only slow things down.
+        let tol = 1e-9 * (1.0 + r.ideal_makespan);
+        assert!(r.min_makespan >= r.ideal_makespan - tol);
+        assert!(r.median_makespan >= r.min_makespan);
+        assert!(r.p95_makespan >= r.median_makespan);
+        assert!(r.max_makespan >= r.p95_makespan);
+        assert!(r.max_slowdown >= r.mean_slowdown && r.mean_slowdown >= 1.0 - 1e-9);
+        for o in &r.outcomes {
+            assert!(o.des_makespan <= o.makespan * (1.0 + 1e-9));
+            assert!(o.max_compute_slowdown >= 1.0 && o.worst_link_factor >= 1.0);
+        }
+    }
+
+    #[test]
+    fn identical_inputs_give_bitwise_identical_reports() {
+        let a = sweep(5, 99);
+        let b = sweep(5, 99);
+        assert_eq!(a, b);
+        assert_eq!(
+            robustness_json(&a).render(),
+            robustness_json(&b).render(),
+            "rendered JSON must match byte-for-byte"
+        );
+        let c = sweep(5, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn json_round_trips_exactly() {
+        let r = sweep(4, 7);
+        let doc = robustness_json(&r);
+        let text = doc.render();
+        let back = primepar_obs::parse_json(&text).expect("renders valid JSON");
+        assert_eq!(back, doc);
+        let parsed = parse_robustness(&back).expect("parses back");
+        assert_eq!(parsed, r, "round-trip must be exact, not approximate");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse_robustness(&Json::obj()).is_err());
+        let bad = robustness_json(&sweep(2, 1)).with("schema", "nope");
+        assert!(parse_robustness(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn layer_and_model_reports_carry_the_sweep() {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let plan = megatron_layer_plan(&graph, 1, 4);
+        let opts = RobustnessOptions {
+            scenarios: 3,
+            ..RobustnessOptions::default()
+        };
+        let layer = simulate_layer_robust(&cluster, &graph, &plan, &opts);
+        let r = layer.robustness.as_ref().expect("attached");
+        assert_eq!(r.outcomes.len(), 3);
+        assert_eq!(r.ideal_makespan, layer.layer_time);
+        let model = simulate_model_robust(&cluster, &graph, &plan, 4, 8.0 * 512.0, &opts);
+        assert_eq!(model.layer.robustness.as_ref().expect("attached"), r);
+    }
+
+    #[test]
+    fn metrics_expose_the_sweep() {
+        let r = sweep(3, 5);
+        let m = robustness_metrics(&r);
+        assert_eq!(m.counter("sim.robustness.scenarios"), 3);
+        assert_eq!(
+            m.gauge_value("sim.robustness.makespan.p95_s"),
+            Some(r.p95_makespan)
+        );
+        assert_eq!(m.text_value("sim.robustness.base_seed"), Some("5"));
+        let hist = m.histogram("sim.robustness.makespan_s").expect("observed");
+        assert_eq!(hist.count, 3);
+        let critical: u64 = (0..4)
+            .map(|d| m.counter(&format!("sim.robustness.critical_device.{d}")))
+            .sum();
+        assert_eq!(critical, 3);
+    }
+
+    #[test]
+    fn sim_options_perturbation_matches_direct_cluster_perturbation() {
+        // `SimOptions::perturbation` and a pre-perturbed cluster are the same
+        // code path — bitwise-identical reports.
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let plan = megatron_layer_plan(&graph, 1, 4);
+        let model = PerturbationModel::mild();
+        let via_options = simulate_layer_with(
+            &cluster,
+            &graph,
+            &plan,
+            &SimOptions {
+                perturbation: Some(primepar_topology::Perturbation { model, seed: 17 }),
+                ..SimOptions::default()
+            },
+        );
+        let via_cluster = simulate_layer_with(
+            &cluster.perturbed(&model, 17),
+            &graph,
+            &plan,
+            &SimOptions::default(),
+        );
+        assert_eq!(via_options, via_cluster);
+        assert!(
+            via_options.layer_time
+                >= simulate_layer_with(&cluster, &graph, &plan, &SimOptions::default()).layer_time
+        );
+        via_options.accounting.validate().expect("valid accounting");
+    }
+}

@@ -81,7 +81,10 @@ proptest! {
             &cluster,
             &graph,
             &plan,
-            &SimOptions { recompute_activations: true },
+            &SimOptions {
+                recompute_activations: true,
+                ..SimOptions::default()
+            },
         );
         prop_assert!(rc.peak_memory_bytes <= base.peak_memory_bytes * 1.0001);
         prop_assert!(rc.layer_time >= base.layer_time * 0.9999);

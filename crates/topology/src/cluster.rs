@@ -1,6 +1,7 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::perturb::{AppliedPerturbation, PerturbationModel};
 use crate::{DeviceId, DeviceSpace};
 
 /// Interconnect class between a pair of devices.
@@ -102,7 +103,11 @@ pub struct Cluster {
     intra: LinkModel,
     inter: LinkModel,
     device: DeviceModel,
+    /// Bottleneck-paced device model: `device` scaled by the scenario's
+    /// slowest device (`== device` when unperturbed).
+    effective_device: DeviceModel,
     topology: Topology,
+    perturbation: Option<AppliedPerturbation>,
 }
 
 impl Cluster {
@@ -197,8 +202,106 @@ impl Cluster {
             intra,
             inter,
             device,
+            effective_device: device,
             topology,
+            perturbation: None,
         })
+    }
+
+    /// Derives a cluster with one seeded fault/variance scenario applied (see
+    /// [`crate::perturb`]): same topology shape, but the timing functions and
+    /// [`Cluster::device_model`] answer as the degraded hardware would.
+    ///
+    /// Perturbing an already-perturbed cluster replaces the previous scenario
+    /// (it does not compose); the scenario is always drawn against the base
+    /// hardware models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails [`PerturbationModel::validate`].
+    pub fn perturbed(&self, model: &PerturbationModel, seed: u64) -> Cluster {
+        let applied = AppliedPerturbation::draw(model, seed, self.num_devices());
+        let mut out = self.clone();
+        // The SPMD walk is bulk-synchronous: every step waits for the slowest
+        // device, so the effective (profiled) device model is the base model
+        // paced by the scenario's worst compute factor.
+        let f = applied.max_compute_factor();
+        out.effective_device = DeviceModel {
+            flops: self.device.flops / f,
+            mem_bandwidth: self.device.mem_bandwidth / f,
+            memory_bytes: self.device.memory_bytes,
+            kernel_overhead_s: self.device.kernel_overhead_s * f,
+        };
+        out.perturbation = Some(applied);
+        out
+    }
+
+    /// The applied fault/variance scenario, if any.
+    pub fn perturbation(&self) -> Option<&AppliedPerturbation> {
+        self.perturbation.as_ref()
+    }
+
+    /// `true` when a fault/variance scenario is applied.
+    pub fn is_perturbed(&self) -> bool {
+        self.perturbation.is_some()
+    }
+
+    /// The unperturbed per-device performance model.
+    pub fn base_device_model(&self) -> &DeviceModel {
+        &self.device
+    }
+
+    /// Compute slowdown factor of `device` under the applied scenario (1 when
+    /// unperturbed).
+    pub fn compute_slowdown_of(&self, device: DeviceId) -> f64 {
+        self.perturbation
+            .as_ref()
+            .map_or(1.0, |p| p.compute_factors[device.index()])
+    }
+
+    /// The scenario's worst per-device compute slowdown (1 when unperturbed).
+    pub fn max_compute_slowdown(&self) -> f64 {
+        self.perturbation
+            .as_ref()
+            .map_or(1.0, AppliedPerturbation::max_compute_factor)
+    }
+
+    /// `device`'s pace relative to the scenario's slowest device, in `(0, 1]`
+    /// — exactly `1.0` on an unperturbed cluster. Multiplying a kernel time
+    /// from the (bottleneck-paced) [`Cluster::device_model`] by this yields
+    /// the device's own kernel time.
+    pub fn relative_compute_pace(&self, device: DeviceId) -> f64 {
+        match &self.perturbation {
+            None => 1.0,
+            Some(p) => p.compute_factors[device.index()] / p.max_compute_factor(),
+        }
+    }
+
+    /// Link slowdown factor of `device` under the applied scenario, excluding
+    /// the per-class factor (1 when unperturbed).
+    pub fn link_factor_of(&self, device: DeviceId) -> f64 {
+        self.perturbation
+            .as_ref()
+            .map_or(1.0, |p| p.link_factors[device.index()])
+    }
+
+    /// The scenario's worst per-device link slowdown (1 when unperturbed).
+    pub fn worst_link_factor(&self) -> f64 {
+        self.perturbation
+            .as_ref()
+            .map_or(1.0, AppliedPerturbation::max_link_factor)
+    }
+
+    /// The worst per-device link slowdown within `group` (1 when unperturbed
+    /// or the group is empty).
+    pub fn group_link_factor(&self, group: &[DeviceId]) -> f64 {
+        match &self.perturbation {
+            None => 1.0,
+            Some(p) => group
+                .iter()
+                .map(|d| p.link_factors[d.index()])
+                .fold(1.0, f64::max),
+        }
     }
 
     /// The device address space.
@@ -216,9 +319,13 @@ impl Cluster {
         self.devices_per_node
     }
 
-    /// The per-device performance model.
+    /// The per-device performance model. Under an applied perturbation this
+    /// is the *bottleneck-paced* model (the slowest device's pace — what a
+    /// bulk-synchronous schedule observes); see
+    /// [`Cluster::base_device_model`] for the unperturbed hardware and
+    /// [`Cluster::relative_compute_pace`] for per-device pacing.
     pub fn device_model(&self) -> &DeviceModel {
-        &self.device
+        &self.effective_device
     }
 
     /// The physical topology.
@@ -242,15 +349,32 @@ impl Cluster {
         }
     }
 
-    /// The link model for a class; [`LinkClass::Loopback`] is free.
+    /// The link model for a class; [`LinkClass::Loopback`] is free. Under an
+    /// applied perturbation the class-wide degradation factor is folded in
+    /// (per-device factors are applied by the group/pair timing functions).
     pub fn link(&self, class: LinkClass) -> LinkModel {
-        match class {
-            LinkClass::Loopback => LinkModel {
-                latency_s: 0.0,
-                bandwidth: f64::INFINITY,
-            },
+        let base = match class {
+            LinkClass::Loopback => {
+                return LinkModel {
+                    latency_s: 0.0,
+                    bandwidth: f64::INFINITY,
+                }
+            }
             LinkClass::IntraNode => self.intra,
             LinkClass::InterNode => self.inter,
+        };
+        match &self.perturbation {
+            None => base,
+            Some(p) => {
+                let f = match class {
+                    LinkClass::IntraNode => p.intra_link_factor,
+                    _ => p.inter_link_factor,
+                };
+                LinkModel {
+                    latency_s: base.latency_s * f,
+                    bandwidth: base.bandwidth / f,
+                }
+            }
         }
     }
 
@@ -319,13 +443,26 @@ impl Cluster {
         if bytes <= 0.0 {
             return 0.0;
         }
-        self.link(self.link_class(a, b)).transfer_time(bytes)
+        let mut link = self.link(self.link_class(a, b));
+        let f = self.link_factor_of(a).max(self.link_factor_of(b));
+        if f > 1.0 {
+            link.latency_s *= f;
+            link.bandwidth /= f;
+        }
+        link.transfer_time(bytes)
     }
 
     fn effective_link(&self, group: &[DeviceId], concurrent_flows: usize) -> LinkModel {
         let mut link = self.link(self.group_bottleneck(group));
         if self.group_bottleneck(group) == LinkClass::InterNode {
             link.bandwidth /= concurrent_flows.max(1) as f64;
+        }
+        // Ring and tree schedules serialize through the group's slowest
+        // member: charge the group-worst per-device link factor.
+        let f = self.group_link_factor(group);
+        if f > 1.0 {
+            link.latency_s *= f;
+            link.bandwidth /= f;
         }
         link
     }
@@ -434,6 +571,69 @@ mod tests {
         let d = c.device_model();
         assert!(d.kernel_time(1e12, 1e9) > d.kernel_time(1e9, 1e6));
         assert!(d.kernel_time(0.0, 0.0) >= d.kernel_overhead_s);
+    }
+
+    #[test]
+    fn perturbed_cluster_is_slower_never_faster() {
+        let c = Cluster::v100_like(8);
+        let p = c.perturbed(&PerturbationModel::harsh(), 42);
+        assert!(p.is_perturbed() && !c.is_perturbed());
+        assert_eq!(p.num_devices(), c.num_devices());
+        assert_eq!(p.devices_per_node(), c.devices_per_node());
+        assert_eq!(p.topology(), c.topology());
+        assert_eq!(p.base_device_model(), c.device_model());
+        let group: Vec<DeviceId> = (0..8).map(DeviceId).collect();
+        assert!(p.allreduce_time(1e7, &group, 1) >= c.allreduce_time(1e7, &group, 1));
+        assert!(p.ring_shift_time(1e6, &group, 1) >= c.ring_shift_time(1e6, &group, 1));
+        assert!(
+            p.p2p_time(1e6, DeviceId(0), DeviceId(4)) >= c.p2p_time(1e6, DeviceId(0), DeviceId(4))
+        );
+        assert!(p.device_model().kernel_time(1e12, 1e9) >= c.device_model().kernel_time(1e12, 1e9));
+        // Loopback stays free under any scenario.
+        assert_eq!(p.p2p_time(1e6, DeviceId(3), DeviceId(3)), 0.0);
+    }
+
+    #[test]
+    fn perturbed_same_seed_is_bitwise_identical() {
+        let c = Cluster::v100_like(8);
+        let a = c.perturbed(&PerturbationModel::mild(), 7);
+        let b = c.perturbed(&PerturbationModel::mild(), 7);
+        assert_eq!(a, b);
+        let group: Vec<DeviceId> = vec![DeviceId(0), DeviceId(4)];
+        assert_eq!(
+            a.allreduce_time(1e7, &group, 2),
+            b.allreduce_time(1e7, &group, 2)
+        );
+    }
+
+    #[test]
+    fn ideal_perturbation_preserves_all_timings() {
+        let c = Cluster::v100_like(8);
+        let p = c.perturbed(&PerturbationModel::ideal(), 9);
+        let group: Vec<DeviceId> = (0..4).map(DeviceId).collect();
+        assert_eq!(
+            p.allreduce_time(1e7, &group, 1),
+            c.allreduce_time(1e7, &group, 1)
+        );
+        assert_eq!(p.device_model(), c.device_model());
+        assert_eq!(p.relative_compute_pace(DeviceId(2)), 1.0);
+        assert_eq!(p.max_compute_slowdown(), 1.0);
+        assert_eq!(p.worst_link_factor(), 1.0);
+    }
+
+    #[test]
+    fn relative_pace_is_one_for_the_bottleneck() {
+        let c = Cluster::v100_like(8);
+        let p = c.perturbed(&PerturbationModel::harsh(), 3);
+        let paces: Vec<f64> = (0..8)
+            .map(|d| p.relative_compute_pace(DeviceId(d)))
+            .collect();
+        assert!(paces.iter().all(|&f| f > 0.0 && f <= 1.0));
+        assert!(paces.contains(&1.0), "bottleneck pace is 1");
+        for d in 0..8 {
+            let via_pace = paces[d] * p.max_compute_slowdown();
+            assert!((p.compute_slowdown_of(DeviceId(d)) - via_pace).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   torus variant for the §7 discussion,
 //! * [`LinearModel`] and profiling helpers — the paper fits communication and
 //!   compute latency as linear functions via profiling + regression (§4.1); we
-//!   reproduce that methodology against the simulated substrate.
+//!   reproduce that methodology against the simulated substrate,
+//! * [`PerturbationModel`] / [`Cluster::perturbed`] — seeded fault & variance
+//!   scenarios (straggling devices, degraded links, dead-device failover) for
+//!   robustness studies.
 //!
 //! # Example
 //!
@@ -32,10 +35,12 @@
 #![allow(clippy::needless_range_loop)]
 mod cluster;
 mod device;
+pub mod perturb;
 mod profile;
 
 pub use cluster::{Cluster, ClusterError, DeviceModel, LinkClass, LinkModel, Topology};
 pub use device::{DeviceId, DeviceSpace, GroupIndicator};
+pub use perturb::{AppliedPerturbation, Perturbation, PerturbationError, PerturbationModel};
 pub use profile::{
     all_indicators, fit_linear, fit_linear2, CommProfile, ComputeProfile, LinearModel, LinearModel2,
 };

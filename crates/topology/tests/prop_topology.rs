@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 
-use primepar_topology::{fit_linear, fit_linear2, Cluster, DeviceId, DeviceSpace, GroupIndicator};
+use primepar_topology::{
+    fit_linear, fit_linear2, Cluster, DeviceId, DeviceSpace, GroupIndicator, PerturbationModel,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -84,6 +86,92 @@ proptest! {
         prop_assert!((m.c0 - c0).abs() < 1e-6 * (1.0 + c0.abs()));
         prop_assert!((m.c1 - c1).abs() < 1e-6 * (1.0 + c1.abs()));
         prop_assert!((m.c2 - c2).abs() < 1e-6 * (1.0 + c2.abs()));
+    }
+
+    /// For arbitrary models and seeds, `Cluster::perturbed` preserves the
+    /// topology shape and never produces non-positive throughput.
+    #[test]
+    fn perturbed_preserves_shape_and_throughput(
+        n_bits in 1usize..6,
+        seed in 0u64..1_000_000,
+        compute_jitter in 0.0f64..2.0,
+        link_class_jitter in 0.0f64..2.0,
+        device_link_jitter in 0.0f64..2.0,
+        degraded_link_prob in 0.0f64..1.0,
+        degraded_link_factor in 1.0f64..32.0,
+        dead_device_prob in 0.0f64..1.0,
+    ) {
+        let model = PerturbationModel {
+            compute_jitter,
+            link_class_jitter,
+            device_link_jitter,
+            degraded_link_prob,
+            degraded_link_factor,
+            dead_device_prob,
+        };
+        prop_assert!(model.validate().is_ok());
+        let n = 1usize << n_bits;
+        let base = Cluster::v100_like(n);
+        let p = base.perturbed(&model, seed);
+        // Topology shape is untouched.
+        prop_assert_eq!(p.num_devices(), base.num_devices());
+        prop_assert_eq!(p.devices_per_node(), base.devices_per_node());
+        prop_assert_eq!(p.topology(), base.topology());
+        prop_assert_eq!(p.space().num_devices(), base.space().num_devices());
+        for d in 0..n {
+            for e in 0..n {
+                prop_assert_eq!(
+                    p.link_class(DeviceId(d), DeviceId(e)),
+                    base.link_class(DeviceId(d), DeviceId(e))
+                );
+            }
+        }
+        // Throughput stays strictly positive and finite everywhere.
+        let dm = p.device_model();
+        prop_assert!(dm.flops > 0.0 && dm.flops.is_finite());
+        prop_assert!(dm.mem_bandwidth > 0.0 && dm.mem_bandwidth.is_finite());
+        prop_assert!(dm.kernel_overhead_s >= 0.0 && dm.kernel_overhead_s.is_finite());
+        for class in [
+            primepar_topology::LinkClass::IntraNode,
+            primepar_topology::LinkClass::InterNode,
+        ] {
+            let link = p.link(class);
+            prop_assert!(link.bandwidth > 0.0 && link.bandwidth.is_finite());
+            prop_assert!(link.latency_s >= 0.0 && link.latency_s.is_finite());
+        }
+        let group: Vec<DeviceId> = (0..n).map(DeviceId).collect();
+        let t = p.allreduce_time(1e7, &group, 1);
+        if n > 1 {
+            prop_assert!(t > 0.0 && t.is_finite());
+            prop_assert!(t >= base.allreduce_time(1e7, &group, 1), "never faster than ideal");
+        }
+        // Per-device factors are slowdowns, never speedups.
+        for d in 0..n {
+            prop_assert!(p.compute_slowdown_of(DeviceId(d)) >= 1.0);
+            prop_assert!(p.link_factor_of(DeviceId(d)) >= 1.0);
+            let pace = p.relative_compute_pace(DeviceId(d));
+            prop_assert!(pace > 0.0 && pace <= 1.0);
+        }
+    }
+
+    /// Identical (model, seed) pairs yield bitwise-identical scenarios;
+    /// perturbation composes deterministically with all timing functions.
+    #[test]
+    fn perturbed_is_deterministic(seed in 0u64..1_000_000, bytes in 1.0e3f64..1.0e9) {
+        let base = Cluster::v100_like(8);
+        let model = PerturbationModel::harsh();
+        let a = base.perturbed(&model, seed);
+        let b = base.perturbed(&model, seed);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.perturbation(), b.perturbation());
+        let group: Vec<DeviceId> = (0..8).map(DeviceId).collect();
+        // Bitwise-equal timing answers, not merely approximately equal.
+        prop_assert_eq!(a.allreduce_time(bytes, &group, 2), b.allreduce_time(bytes, &group, 2));
+        prop_assert_eq!(a.ring_shift_time(bytes, &group, 1), b.ring_shift_time(bytes, &group, 1));
+        prop_assert_eq!(
+            a.p2p_time(bytes, DeviceId(1), DeviceId(6)),
+            b.p2p_time(bytes, DeviceId(1), DeviceId(6))
+        );
     }
 
     /// Torus clusters never pay inter-node penalties; hierarchical clusters

@@ -48,4 +48,22 @@ grep -q "conservation: busy+idle = makespan on 8 devices: ok" \
     "$artifacts/audit1.txt" \
     || { echo "audit conservation check violated" >&2; exit 1; }
 
+echo "== robustness determinism smoke (Fig. 9 workload, seeded variance sweep) =="
+# Same seed twice must give byte-identical console output, metrics JSON and
+# robustness-report JSON.
+for run in 1 2; do
+    ./target/release/primepar robustness --model opt-175b --devices 8 --mlp-block \
+        --perturb-scenarios 6 --perturb-seed 42 \
+        --metrics-json "$artifacts/robustness$run.metrics.json" \
+        --report-json "$artifacts/robustness$run.report.json" \
+        | grep -v ' written to ' >"$artifacts/robustness$run.txt"
+done
+cmp "$artifacts/robustness1.metrics.json" "$artifacts/robustness2.metrics.json" \
+    || { echo "robustness metrics are not deterministic" >&2; exit 1; }
+cmp "$artifacts/robustness1.report.json" "$artifacts/robustness2.report.json" \
+    || { echo "robustness report is not deterministic" >&2; exit 1; }
+cmp "$artifacts/robustness1.txt" "$artifacts/robustness2.txt" \
+    || { echo "robustness output is not deterministic" >&2; exit 1; }
+./target/release/primepar validate --dir "$artifacts"
+
 echo "CI gate passed."

@@ -1,13 +1,20 @@
 //! Fuzzing the full pipeline with randomly generated transformer
 //! architectures: every random model must plan, simulate and satisfy the
-//! headline invariants (PrimePar ≥ conventional space, sane breakdowns).
+//! headline invariants (PrimePar ≥ conventional space, sane breakdowns),
+//! and the textual artifacts (plan files, robustness-report JSON) must
+//! round-trip exactly.
 
 use primepar::graph::ModelConfig;
-use primepar::search::{alpa_plan, best_megatron, Planner, PlannerOptions};
-use primepar::sim::{simulate_layer, simulate_model};
-use primepar::topology::Cluster;
+use primepar::search::{
+    alpa_plan, best_megatron, parse_plan, render_plan, Planner, PlannerOptions,
+};
+use primepar::sim::{
+    parse_robustness, robustness_json, robustness_sweep, simulate_layer, simulate_model,
+    RobustnessOptions,
+};
+use primepar::topology::{Cluster, PerturbationModel};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 #[test]
 fn random_models_plan_and_simulate() {
@@ -62,6 +69,54 @@ fn random_models_preserve_system_ordering() {
             prime_r.tokens_per_second,
             mega.tokens_per_second
         );
+    }
+}
+
+/// Serialized artifacts re-parse *exactly* for random models: the textual
+/// plan (operator: sequence lines) reconstructs the same `PartitionSeq`s,
+/// and robustness-report JSON survives a render → parse → render cycle
+/// byte-for-byte — including the new robustness fields (seeds, histograms,
+/// per-scenario outcomes).
+#[test]
+fn random_plans_and_robustness_reports_round_trip_exactly() {
+    for seed in 20..25u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let model = ModelConfig::random(&mut rng);
+        let cluster = Cluster::v100_like(4);
+        let graph = model.layer_graph(8, 256);
+        let plan = Planner::new(&cluster, &graph, PlannerOptions::default())
+            .optimize(model.layers)
+            .seqs;
+        // Plan text round-trip.
+        let text = render_plan(&graph, &plan);
+        let parsed = parse_plan(&graph, &text).expect("rendered plan re-parses");
+        assert_eq!(parsed, plan, "seed {seed}: plan text round-trip drifted");
+        assert_eq!(render_plan(&graph, &parsed), text, "seed {seed}");
+        // Robustness-report JSON round-trip, with a fuzzed base seed so the
+        // full u64 range is exercised (seeds are carried as strings).
+        let base_seed: u64 = rng.gen_range(0..u64::MAX);
+        let report = robustness_sweep(
+            &cluster,
+            &graph,
+            &plan,
+            &RobustnessOptions {
+                model: PerturbationModel::harsh(),
+                scenarios: 3,
+                base_seed,
+                ..RobustnessOptions::default()
+            },
+        );
+        let doc = robustness_json(&report);
+        let rendered = doc.render();
+        let reparsed_doc = primepar::obs::parse_json(&rendered).expect("valid JSON");
+        assert_eq!(reparsed_doc, doc, "seed {seed}: JSON value drifted");
+        assert_eq!(
+            reparsed_doc.render(),
+            rendered,
+            "seed {seed}: bytes drifted"
+        );
+        let back = parse_robustness(&reparsed_doc).expect("robustness doc re-parses");
+        assert_eq!(back, report, "seed {seed}: report round-trip not exact");
     }
 }
 
