@@ -1,0 +1,169 @@
+//! The stable typed entry point of the workspace (PR 5).
+//!
+//! Everything a consumer needs funnels through this module: build a
+//! [`PlanRequest`], call [`PlanRequest::run`] (one-shot, process-wide warm
+//! cache) or hand it to a [`PlannerService`] (bounded worker pool), and read
+//! the [`PlanResponse`]. Simulation rides the same shapes via [`SimRequest`]
+//! / [`SimResponse`]. Every failure is the one typed [`Error`]
+//! (enum {config, topology, protocol, cancelled, internal}), which the CLI
+//! maps onto distinct exit codes.
+//!
+//! ```
+//! use primepar::api::PlanRequest;
+//!
+//! let resp = PlanRequest::builder("opt-6.7b")
+//!     .devices(4)
+//!     .seq(512)
+//!     .layers(Some(2))
+//!     .build()
+//!     .run()
+//!     .expect("valid request");
+//! assert!(resp.plan.total_cost.is_finite());
+//! ```
+//!
+//! The free functions at the bottom are the **deprecated** pre-service entry
+//! points, kept as thin shims so downstream callers migrate on their own
+//! schedule; each forwards to the engine it always wrapped and documents its
+//! replacement.
+
+use primepar_graph::Graph;
+use primepar_search::{ModelPlan, Planner, PlannerMetrics, PlannerOptions};
+use primepar_sim::{LayerReport, ModelReport, RobustnessOptions, SimOptions};
+use primepar_topology::Cluster;
+
+#[cfg(unix)]
+pub use primepar_service::serve_unix_socket;
+pub use primepar_service::{
+    error_json, parse_frame, plan_response_json, request_json, serve_lines, sim_request_json,
+    sim_response_json, CacheOutcome, CachedPlan, CancelToken, Error, Frame, ParsedFrame, Pending,
+    PlanRequest, PlanRequestBuilder, PlanResponse, PlannerService, ResolvedPlan, ServeEnd,
+    ServeOptions, ServiceCacheStats, ServiceClient, ServiceOptions, SimRequest, SimResponse,
+    WarmCache, SERVICE_SCHEMA,
+};
+
+// Re-exported domain types, so facade users need no sub-crate imports.
+pub use primepar_graph::ModelConfig;
+pub use primepar_partition::PartitionSeq;
+pub use primepar_search::{render_plan, SpaceOptions};
+pub use primepar_sim::RobustnessReport;
+pub use primepar_topology::PerturbationModel;
+
+/// Plans `layers` stacked copies of `graph` on `cluster`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use primepar::api::PlanRequest::builder(..).build().run(), or \
+            primepar::search::Planner::new(..).optimize(..) for borrowed inputs"
+)]
+pub fn optimize(cluster: &Cluster, graph: &Graph, opts: PlannerOptions, layers: u64) -> ModelPlan {
+    Planner::new(cluster, graph, opts).optimize(layers)
+}
+
+/// [`optimize`] plus the planner's telemetry.
+#[deprecated(
+    since = "0.1.0",
+    note = "use primepar::api::PlanRequest (responses embed PlannerMetrics), or \
+            primepar::search::Planner::new(..).optimize_instrumented(..)"
+)]
+pub fn optimize_instrumented(
+    cluster: &Cluster,
+    graph: &Graph,
+    opts: PlannerOptions,
+    layers: u64,
+) -> (ModelPlan, PlannerMetrics) {
+    Planner::new(cluster, graph, opts).optimize_instrumented(layers)
+}
+
+/// Simulates one training iteration of one layer under `seqs`.
+#[deprecated(
+    since = "0.1.0",
+    note = "use primepar::api::SimRequest, or primepar::sim::simulate_layer_with \
+            for borrowed inputs"
+)]
+pub fn simulate_layer_with(
+    cluster: &Cluster,
+    graph: &Graph,
+    seqs: &[PartitionSeq],
+    options: &SimOptions,
+) -> LayerReport {
+    primepar_sim::simulate_layer_with(cluster, graph, seqs, options)
+}
+
+/// Simulates a stacked model under a seeded fault/variance sweep.
+#[deprecated(
+    since = "0.1.0",
+    note = "use primepar::api::SimRequest::with_sweep(..), or \
+            primepar::sim::simulate_model_robust for borrowed inputs"
+)]
+pub fn simulate_model_robust(
+    cluster: &Cluster,
+    graph: &Graph,
+    seqs: &[PartitionSeq],
+    layers: u64,
+    tokens_per_iteration: f64,
+    opts: &RobustnessOptions,
+) -> ModelReport {
+    primepar_sim::simulate_model_robust(cluster, graph, seqs, layers, tokens_per_iteration, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shims must keep answering exactly like the engines they wrap.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_forward_to_the_engines() {
+        let cluster = Cluster::v100_like(4);
+        let model = ModelConfig::opt_6_7b();
+        let graph = model.layer_graph(8, 512);
+
+        let shim = optimize(&cluster, &graph, PlannerOptions::default(), 2);
+        let (inst, tm) = optimize_instrumented(&cluster, &graph, PlannerOptions::default(), 2);
+        let direct = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(2);
+        assert_eq!(shim.seqs, direct.seqs);
+        assert_eq!(inst.seqs, direct.seqs);
+        assert_eq!(shim.total_cost.to_bits(), direct.total_cost.to_bits());
+        assert!(tm.intra_evaluations > 0);
+
+        let layer = simulate_layer_with(&cluster, &graph, &shim.seqs, &SimOptions::default());
+        assert!(layer.layer_time > 0.0);
+
+        let robust = simulate_model_robust(
+            &cluster,
+            &graph,
+            &shim.seqs,
+            2,
+            (8 * 512) as f64,
+            &RobustnessOptions {
+                scenarios: 2,
+                ..RobustnessOptions::default()
+            },
+        );
+        assert_eq!(
+            robust
+                .layer
+                .robustness
+                .expect("sweep attached")
+                .outcomes
+                .len(),
+            2
+        );
+    }
+
+    /// The facade request path answers the same plan as the engines.
+    #[test]
+    fn facade_request_matches_direct_planner_call() {
+        let req = PlanRequest::builder("opt-6.7b")
+            .devices(4)
+            .seq(512)
+            .layers(Some(2))
+            .build();
+        let resp = req.run().expect("valid request");
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let direct = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(2);
+        assert_eq!(resp.plan.seqs, direct.seqs);
+        assert_eq!(resp.plan.total_cost.to_bits(), direct.total_cost.to_bits());
+        assert_eq!(resp.plan_text, render_plan(&graph, &direct.seqs));
+    }
+}

@@ -23,8 +23,10 @@
 //! primepar validate [--dir results]...   # strict re-parse of emitted artifacts
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
+use primepar::api::{serve_lines, ServeOptions};
 use primepar::audit::{audit_layer, audit_metrics, render_audit};
 use primepar::exec::{train_distributed, train_serial};
 use primepar::graph::ModelConfig;
@@ -41,6 +43,7 @@ use primepar::sim::{
 };
 use primepar::tensor::Tensor;
 use primepar::topology::{Cluster, PerturbationModel};
+use primepar::Error;
 use primepar::{
     compare_metrics, compare_systems, plan_summary, run_metrics, validate_artifacts, RunInfo,
 };
@@ -62,12 +65,12 @@ impl Args {
             .map(String::as_str)
     }
 
-    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    fn parse<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, Error> {
         match self.value(name) {
             None => Ok(default),
             Some(v) => v
                 .parse()
-                .map_err(|_| format!("invalid value for {name}: {v}")),
+                .map_err(|_| Error::config(format!("invalid value for {name}: {v}"))),
         }
     }
 
@@ -83,14 +86,15 @@ impl Args {
     }
 }
 
-fn model_by_name(name: &str) -> Option<ModelConfig> {
-    let canon = name.to_lowercase().replace(['-', '_', ' '], "");
-    ModelConfig::all().into_iter().find(|m| {
-        m.name
-            .to_lowercase()
-            .replace([' ', '.'], "")
-            .contains(&canon.replace('.', ""))
-    })
+/// The CLI's cluster model, with the topology contract checked up front so
+/// bad device counts answer [`Error::Topology`] instead of panicking.
+fn cluster_for(devices: usize) -> Result<Cluster, Error> {
+    if devices == 0 || !devices.is_power_of_two() {
+        return Err(Error::topology(format!(
+            "devices must be a power of two, got {devices}"
+        )));
+    }
+    Ok(Cluster::v100_like(devices))
 }
 
 fn usage() -> &'static str {
@@ -116,23 +120,29 @@ fn usage() -> &'static str {
      \x20 audit   --model M --devices N   cost-model drift report (predicted vs simulated)\n\
      \x20         [--mlp-block] [--system primepar|alpa|megatron] [--alpha A]\n\
      \x20         [--batch B] [--seq S] [--metrics-json PATH]\n\
-     \x20 validate [--dir DIR]...         strict re-parse of *.metrics.json / *.trace.json\n"
+     \x20 serve   [--workers N] [--plan-dir DIR] [--socket PATH]\n\
+     \x20         long-lived planner service: line-delimited JSON requests on\n\
+     \x20         stdin (or a Unix socket), responses on stdout, warm cache\n\
+     \x20 validate [--dir DIR]...         strict re-parse of *.metrics.json /\n\
+     \x20         *.trace.json / *.report.json (warns on untagged legacy docs)\n\
+     \n\
+     exit codes: 0 ok, 2 config, 3 topology, 4 protocol, 5 cancelled, 6 internal\n"
 }
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("error: {msg}\n\n{}", usage());
-            ExitCode::FAILURE
+        Err(err) => {
+            eprintln!("error: {err}\n\n{}", usage());
+            ExitCode::from(err.exit_code())
         }
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<(), Error> {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = argv.first().cloned() else {
-        return Err("missing command".into());
+        return Err(Error::config("missing command"));
     };
     let args = Args(argv);
     match command.as_str() {
@@ -161,13 +171,13 @@ fn run() -> Result<(), String> {
             let seq: u64 = args.parse("--seq", 2048)?;
             let alpha: f64 = args.parse("--alpha", 0.0)?;
             let system = args.value("--system").unwrap_or("primepar").to_lowercase();
-            let cluster = Cluster::v100_like(devices);
+            let cluster = cluster_for(devices)?;
             let graph = model.layer_graph(batch, seq);
             if let Some(path) = args.value("--plan") {
                 // Load a saved plan instead of searching.
                 let text = std::fs::read_to_string(path)
-                    .map_err(|e| format!("cannot read {path}: {e}"))?;
-                let seqs = parse_plan(&graph, &text).map_err(|e| e.to_string())?;
+                    .map_err(|e| Error::internal(format!("cannot read {path}: {e}")))?;
+                let seqs = parse_plan(&graph, &text).map_err(|e| Error::protocol(e.to_string()))?;
                 println!("{} on {devices} GPUs — plan from {path}\n", model.name);
                 println!("{}", explain_plan(&cluster, &graph, &seqs));
                 let report =
@@ -212,28 +222,30 @@ fn run() -> Result<(), String> {
                     planner_tm = Some(tm);
                     (p.seqs, format!("PrimePar ({:?} search)", p.search_time))
                 }
-                other => return Err(format!("unknown system: {other}")),
+                other => return Err(Error::config(format!("unknown system: {other}"))),
             };
             let mut seqs = seqs;
             // Manual strategy overrides: --set fc2=N.P2x2 ('.' separates tokens).
             for spec in args.values("--set") {
                 let (op_name, text) = spec
                     .split_once('=')
-                    .ok_or_else(|| format!("--set expects op=SEQ, got {spec}"))?;
+                    .ok_or_else(|| Error::config(format!("--set expects op=SEQ, got {spec}")))?;
                 let idx = graph
                     .ops
                     .iter()
                     .position(|op| op.name == op_name)
-                    .ok_or_else(|| format!("unknown operator in --set: {op_name}"))?;
+                    .ok_or_else(|| {
+                        Error::config(format!("unknown operator in --set: {op_name}"))
+                    })?;
                 let parsed: PartitionSeq = text
                     .replace('.', " ")
                     .parse()
-                    .map_err(|e| format!("--set {op_name}: {e}"))?;
+                    .map_err(|e| Error::config(format!("--set {op_name}: {e}")))?;
                 if parsed.num_devices() != devices {
-                    return Err(format!(
+                    return Err(Error::config(format!(
                         "--set {op_name}: sequence spans {} devices, cluster has {devices}",
                         parsed.num_devices()
-                    ));
+                    )));
                 }
                 seqs[idx] = parsed;
             }
@@ -248,7 +260,7 @@ fn run() -> Result<(), String> {
             );
             if let Some(path) = args.value("--save") {
                 std::fs::write(path, render_plan(&graph, &seqs))
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("plan saved to {path}");
             }
             if args.flag("--gantt") {
@@ -307,7 +319,7 @@ fn run() -> Result<(), String> {
                     base_seed: args.parse("--perturb-seed", 42)?,
                     ..RobustnessOptions::default()
                 };
-                let cluster = Cluster::v100_like(devices);
+                let cluster = cluster_for(devices)?;
                 let graph = model.layer_graph(batch, seq);
                 println!(
                     "\nrobustness under the {profile} variance model \
@@ -354,15 +366,15 @@ fn run() -> Result<(), String> {
                 let mut metrics = compare_metrics(&run, &rows);
                 metrics.merge(&robust);
                 primepar::write_metrics_json(path, &metrics)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("metrics written to {path}");
             }
             if let Some(path) = args.value("--chrome-trace") {
-                let cluster = Cluster::v100_like(devices);
+                let cluster = cluster_for(devices)?;
                 let graph = model.layer_graph(batch, seq);
                 let layer = simulate_layer(&cluster, &graph, &prime.plan);
                 primepar::write_layer_chrome_trace(path, &layer)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("chrome trace written to {path}");
             }
             Ok(())
@@ -371,7 +383,7 @@ fn run() -> Result<(), String> {
             let k: u32 = args.parse("--k", 1)?;
             let iters: usize = args.parse("--iters", 8)?;
             if !(1..=2).contains(&k) {
-                return Err("--k must be 1 or 2".into());
+                return Err(Error::config("--k must be 1 or 2"));
             }
             let devices = 1usize << (2 * k);
             println!(
@@ -384,12 +396,12 @@ fn run() -> Result<(), String> {
             let target = Tensor::randn(vec![4, 8, width], 1.0, &mut rng);
             let w1 = Tensor::randn(vec![width, width], 0.4, &mut rng);
             let w2 = Tensor::randn(vec![width, width], 0.4, &mut rng);
-            let serial =
-                train_serial(&input, &target, &w1, &w2, 0.05, iters).map_err(|e| e.to_string())?;
-            let seq =
-                PartitionSeq::new(vec![Primitive::Temporal { k }]).map_err(|e| e.to_string())?;
+            let serial = train_serial(&input, &target, &w1, &w2, 0.05, iters)
+                .map_err(|e| Error::internal(e.to_string()))?;
+            let seq = PartitionSeq::new(vec![Primitive::Temporal { k }])
+                .map_err(|e| Error::internal(e.to_string()))?;
             let dist = train_distributed(&input, &target, &w1, &w2, 0.05, iters, seq.clone(), seq)
-                .map_err(|e| e.to_string())?;
+                .map_err(|e| Error::internal(e.to_string()))?;
             for (i, (a, b)) in serial.losses.iter().zip(&dist.losses).enumerate() {
                 println!(
                     "  iter {i:>2}: serial loss {a:.6}, distributed {b:.6}, |diff| {:.2e}",
@@ -405,7 +417,9 @@ fn run() -> Result<(), String> {
                 println!("OK: spatial-temporal training is numerically identical to serial.");
                 Ok(())
             } else {
-                Err(format!("verification failed: weight divergence {diff}"))
+                Err(Error::internal(format!(
+                    "verification failed: weight divergence {diff}"
+                )))
             }
         }
         "sweep" => {
@@ -448,8 +462,8 @@ fn run() -> Result<(), String> {
                 let devices: usize = tok
                     .trim()
                     .parse()
-                    .map_err(|_| format!("bad device count: {tok}"))?;
-                let cluster = Cluster::v100_like(devices);
+                    .map_err(|_| Error::config(format!("bad device count: {tok}")))?;
+                let cluster = cluster_for(devices)?;
                 let graph = model.layer_graph(batch, seq);
                 let (mega_plan, _, _) = best_megatron(&cluster, &graph, 0.0);
                 let mega = simulate_model(
@@ -521,13 +535,14 @@ fn run() -> Result<(), String> {
             }
             if let Some(path) = args.value("--metrics-json") {
                 primepar::write_metrics_json(path, &metrics)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("metrics written to {path}");
             }
             if let Some(path) = args.value("--chrome-trace") {
-                let layer = last_prime_layer.ok_or("empty --devices list")?;
+                let layer =
+                    last_prime_layer.ok_or_else(|| Error::config("empty --devices list"))?;
                 primepar::write_layer_chrome_trace(path, &layer)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("chrome trace written to {path}");
             }
             Ok(())
@@ -539,7 +554,7 @@ fn run() -> Result<(), String> {
             let seq: u64 = args.parse("--seq", 2048)?;
             let alpha: f64 = args.parse("--alpha", 0.0)?;
             let system = args.value("--system").unwrap_or("primepar").to_lowercase();
-            let cluster = Cluster::v100_like(devices);
+            let cluster = cluster_for(devices)?;
             let graph = if args.flag("--mlp-block") {
                 model.mlp_block_graph(batch, seq)
             } else {
@@ -555,7 +570,7 @@ fn run() -> Result<(), String> {
                     };
                     Planner::new(&cluster, &graph, opts).optimize(1).seqs
                 }
-                other => return Err(format!("unknown system: {other}")),
+                other => return Err(Error::config(format!("unknown system: {other}"))),
             };
             let block = if args.flag("--mlp-block") {
                 "MLP block"
@@ -575,7 +590,7 @@ fn run() -> Result<(), String> {
                 m.merge(&audit_metrics(&audit));
                 m.merge(&primepar::sim::accounting_metrics(&audit.sim.accounting));
                 primepar::write_metrics_json(path, &m)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("metrics written to {path}");
             }
             Ok(())
@@ -587,7 +602,7 @@ fn run() -> Result<(), String> {
             let seq: u64 = args.parse("--seq", 2048)?;
             let scenarios: usize = args.parse("--perturb-scenarios", 16)?;
             if scenarios == 0 {
-                return Err("--perturb-scenarios must be > 0".into());
+                return Err(Error::config("--perturb-scenarios must be > 0"));
             }
             let (profile, perturb) = perturb_profile(&args)?;
             let opts = RobustnessOptions {
@@ -596,7 +611,7 @@ fn run() -> Result<(), String> {
                 base_seed: args.parse("--perturb-seed", 42)?,
                 ..RobustnessOptions::default()
             };
-            let cluster = Cluster::v100_like(devices);
+            let cluster = cluster_for(devices)?;
             let (graph, block) = if args.flag("--mlp-block") {
                 (model.mlp_block_graph(batch, seq), "MLP block")
             } else {
@@ -687,12 +702,12 @@ fn run() -> Result<(), String> {
                 }
                 metrics.merge(&robustness_metrics(&prime.report));
                 primepar::write_metrics_json(path, &metrics)
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("metrics written to {path}");
             }
             if let Some(path) = args.value("--report-json") {
                 std::fs::write(path, robustness_json(&prime.report).render())
-                    .map_err(|e| format!("cannot write {path}: {e}"))?;
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("robustness report written to {path}");
             }
             Ok(())
@@ -707,17 +722,61 @@ fn run() -> Result<(), String> {
             for dir in dirs {
                 let summary = validate_artifacts(dir)?;
                 println!(
-                    "{dir}: {} metrics document(s), {} trace(s) parsed cleanly",
-                    summary.metrics_files, summary.trace_files
+                    "{dir}: {} metrics document(s), {} trace(s), {} report(s) parsed cleanly",
+                    summary.metrics_files, summary.trace_files, summary.report_files
                 );
+                if summary.legacy_files > 0 {
+                    eprintln!(
+                        "warning: {dir}: {} legacy document(s) without schema_version; \
+                         re-emit to tag them",
+                        summary.legacy_files
+                    );
+                }
             }
+            Ok(())
+        }
+        "serve" => {
+            let workers: usize = args.parse("--workers", 2)?;
+            let plan_dir = args.value("--plan-dir").map(PathBuf::from);
+            if let Some(dir) = &plan_dir {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    Error::internal(format!("cannot create {}: {e}", dir.display()))
+                })?;
+            }
+            let opts = ServeOptions { workers, plan_dir };
+            if let Some(path) = args.value("--socket") {
+                #[cfg(unix)]
+                {
+                    eprintln!("primepar serve: listening on {path} ({workers} workers)");
+                    let end = primepar::api::serve_unix_socket(std::path::Path::new(path), &opts)?;
+                    eprintln!(
+                        "primepar serve: {} request(s), {} error(s)",
+                        end.requests, end.errors
+                    );
+                    return Ok(());
+                }
+                #[cfg(not(unix))]
+                {
+                    let _ = path;
+                    return Err(Error::config("--socket requires a unix platform"));
+                }
+            }
+            let stdin = std::io::stdin();
+            let stdout = std::io::stdout();
+            let end = serve_lines(stdin.lock(), &mut stdout.lock(), &opts)?;
+            eprintln!(
+                "primepar serve: {} request(s), {} error(s){}",
+                end.requests,
+                end.errors,
+                if end.shutdown { ", shutdown" } else { "" }
+            );
             Ok(())
         }
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
         }
-        other => Err(format!("unknown command: {other}")),
+        other => Err(Error::config(format!("unknown command: {other}"))),
     }
 }
 
@@ -728,39 +787,41 @@ fn write_observability(
     run: &RunInfo<'_>,
     planner: Option<&PlannerMetrics>,
     report: &ModelReport,
-) -> Result<(), String> {
+) -> Result<(), Error> {
     if let Some(path) = args.value("--metrics-json") {
         let metrics = run_metrics(run, planner, Some(report));
         primepar::write_metrics_json(path, &metrics)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
         println!("metrics written to {path}");
     }
     if let Some(path) = args.value("--chrome-trace") {
         primepar::write_layer_chrome_trace(path, &report.layer)
-            .map_err(|e| format!("cannot write {path}: {e}"))?;
+            .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
         println!("chrome trace written to {path}");
     }
     Ok(())
 }
 
 /// Resolves `--perturb-profile` (default `mild`) to a named variance model.
-fn perturb_profile(args: &Args) -> Result<(&str, PerturbationModel), String> {
+fn perturb_profile(args: &Args) -> Result<(&str, PerturbationModel), Error> {
     match args.value("--perturb-profile").unwrap_or("mild") {
         "ideal" => Ok(("ideal", PerturbationModel::ideal())),
         "mild" => Ok(("mild", PerturbationModel::mild())),
         "harsh" => Ok(("harsh", PerturbationModel::harsh())),
-        other => Err(format!(
+        other => Err(Error::config(format!(
             "unknown perturbation profile: {other} (expected ideal|mild|harsh)"
-        )),
+        ))),
     }
 }
 
-fn required_model(args: &Args) -> Result<ModelConfig, String> {
-    let name = args.value("--model").ok_or("missing --model")?;
-    model_by_name(name).ok_or_else(|| {
-        format!(
+fn required_model(args: &Args) -> Result<ModelConfig, Error> {
+    let name = args
+        .value("--model")
+        .ok_or_else(|| Error::config("missing --model"))?;
+    ModelConfig::by_name(name).ok_or_else(|| {
+        Error::config(format!(
             "unknown model: {name} (known: {})",
             ModelConfig::all().map(|m| m.name).join(", ")
-        )
+        ))
     })
 }

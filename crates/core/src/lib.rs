@@ -19,6 +19,7 @@
 //! | [`search`] | `primepar-search` | segmented DP optimizer (Eqs. 11–14), Megatron/Alpa baselines |
 //! | [`sim`] | `primepar-sim` | discrete-event cluster simulator, 3D-parallelism composition |
 //! | [`audit`] | `primepar-audit` | cost-model drift auditor: predicted vs simulated attribution |
+//! | [`api`] / [`service`] | `primepar-service` | typed plan/sim API, planner service (worker pool, warm cache, line protocol) |
 //! | [`topology`] | `primepar-topology` | device spaces, group indicators, cluster models, profiling |
 //! | [`tensor`] | `primepar-tensor` | dense f32 tensors backing the executor |
 //!
@@ -41,10 +42,12 @@ pub use primepar_graph as graph;
 pub use primepar_obs as obs;
 pub use primepar_partition as partition;
 pub use primepar_search as search;
+pub use primepar_service as service;
 pub use primepar_sim as sim;
 pub use primepar_tensor as tensor;
 pub use primepar_topology as topology;
 
+pub mod api;
 mod compare;
 pub mod obsreport;
 pub mod tutorial;
@@ -52,5 +55,6 @@ pub mod tutorial;
 pub use compare::{compare_systems, plan_summary, system_report, SystemKind, SystemReport};
 pub use obsreport::{
     compare_metrics, run_metrics, validate_artifacts, write_chrome_trace, write_layer_chrome_trace,
-    write_metrics_json, ArtifactSummary, RunInfo,
+    write_metrics_json, ArtifactSummary, RunInfo, METRICS_SCHEMA,
 };
+pub use primepar_service::Error;

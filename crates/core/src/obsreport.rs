@@ -3,7 +3,7 @@
 //! One run — a planner search plus a simulated iteration — folds into a
 //! single [`Metrics`] registry: `run.*` identifies the configuration,
 //! `planner.*` carries the search telemetry
-//! ([`PlannerMetrics`](crate::search::PlannerMetrics)), and `sim.*` the
+//! ([`PlannerMetrics`]), and `sim.*` the
 //! iteration breakdown. [`write_metrics_json`] / [`write_chrome_trace`]
 //! drop the artifacts next to the figure outputs (creating parent
 //! directories), so every figure script leaves a diffable JSON record.
@@ -11,8 +11,9 @@
 use std::io;
 use std::path::Path;
 
-use primepar_obs::Metrics;
+use primepar_obs::{Json, Metrics};
 use primepar_search::PlannerMetrics;
+use primepar_service::Error;
 use primepar_sim::{
     layer_report_metrics, render_chrome_trace, render_chrome_trace_with_accounting, LayerReport,
     ModelReport, Timeline,
@@ -90,6 +91,9 @@ pub fn compare_metrics(run: &RunInfo<'_>, rows: &[SystemReport]) -> Metrics {
     m
 }
 
+/// Schema tag carried by every emitted metrics document (`schema_version`).
+pub const METRICS_SCHEMA: &str = "primepar.metrics.v1";
+
 /// What [`validate_artifacts`] found in one directory.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ArtifactSummary {
@@ -97,19 +101,34 @@ pub struct ArtifactSummary {
     pub metrics_files: usize,
     /// `*.trace.json` files parsed.
     pub trace_files: usize,
+    /// `*.report.json` robustness reports parsed.
+    pub report_files: usize,
+    /// Documents accepted without a `schema_version` tag (pre-versioning
+    /// emitters); the CLI warns when this is nonzero.
+    pub legacy_files: usize,
 }
 
-/// Re-parses every `*.metrics.json` and `*.trace.json` under `dir` with the
-/// strict `obs` parsers: metrics documents must be valid JSON objects, trace
-/// documents valid Chrome `trace_event` arrays.
+fn read_artifact(path: &Path) -> Result<String, Error> {
+    std::fs::read_to_string(path)
+        .map_err(|e| Error::internal(format!("cannot read {}: {e}", path.display())))
+}
+
+/// Re-parses every `*.metrics.json`, `*.trace.json` and `*.report.json`
+/// under `dir` with the strict `obs`/`sim` parsers: metrics documents must
+/// be valid JSON objects, trace documents valid Chrome `trace_event` arrays,
+/// report documents valid robustness sweeps. Versioned documents must carry
+/// the right `schema_version`; untagged (legacy) documents are accepted and
+/// counted in [`ArtifactSummary::legacy_files`].
 ///
 /// # Errors
 ///
-/// Returns the first unreadable or malformed artifact with its parse error.
-pub fn validate_artifacts(dir: impl AsRef<Path>) -> Result<ArtifactSummary, String> {
+/// [`Error::Internal`] for an unreadable directory or file,
+/// [`Error::Protocol`] for the first malformed or wrongly-versioned
+/// artifact.
+pub fn validate_artifacts(dir: impl AsRef<Path>) -> Result<ArtifactSummary, Error> {
     let dir = dir.as_ref();
     let mut entries: Vec<_> = std::fs::read_dir(dir)
-        .map_err(|e| format!("cannot read {}: {e}", dir.display()))?
+        .map_err(|e| Error::internal(format!("cannot read {}: {e}", dir.display())))?
         .filter_map(Result::ok)
         .map(|e| e.path())
         .collect();
@@ -119,20 +138,42 @@ pub fn validate_artifacts(dir: impl AsRef<Path>) -> Result<ArtifactSummary, Stri
         let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
             continue;
         };
+        let bad = |msg: String| Error::protocol(format!("{}: {msg}", path.display()));
         if name.ends_with(".metrics.json") {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
             let doc =
-                primepar_obs::parse_json(&text).map_err(|e| format!("{}: {e}", path.display()))?;
-            if !matches!(doc, primepar_obs::Json::Obj(_)) {
-                return Err(format!("{}: not a metrics object", path.display()));
+                primepar_obs::parse_json(&read_artifact(&path)?).map_err(|e| bad(e.to_string()))?;
+            if !matches!(doc, Json::Obj(_)) {
+                return Err(bad("not a metrics object".into()));
+            }
+            match doc.get("schema_version") {
+                None => summary.legacy_files += 1,
+                Some(tag) => {
+                    if tag.as_str() != Some(METRICS_SCHEMA) {
+                        return Err(bad(format!(
+                            "bad schema_version (expected {METRICS_SCHEMA})"
+                        )));
+                    }
+                }
             }
             summary.metrics_files += 1;
         } else if name.ends_with(".trace.json") {
-            let text = std::fs::read_to_string(&path)
-                .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
-            primepar_obs::parse_trace(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+            let text = read_artifact(&path)?;
+            primepar_obs::parse_trace(&text).map_err(|e| bad(e.to_string()))?;
+            // The pre-versioning export was a bare array (`get` on a
+            // non-object answers None).
+            let doc = primepar_obs::parse_json(&text).map_err(|e| bad(e.to_string()))?;
+            if doc.get("schema_version").is_none() {
+                summary.legacy_files += 1;
+            }
             summary.trace_files += 1;
+        } else if name.ends_with(".report.json") {
+            let doc =
+                primepar_obs::parse_json(&read_artifact(&path)?).map_err(|e| bad(e.to_string()))?;
+            primepar_sim::parse_robustness(&doc).map_err(bad)?;
+            if doc.get("schema_version").is_none() {
+                summary.legacy_files += 1;
+            }
+            summary.report_files += 1;
         }
     }
     Ok(summary)
@@ -145,7 +186,9 @@ fn ensure_parent(path: &Path) -> io::Result<()> {
     }
 }
 
-/// Writes the registry as pretty JSON at `path`, creating parent directories.
+/// Writes the registry as pretty JSON at `path`, creating parent
+/// directories. The document leads with `schema_version`
+/// ([`METRICS_SCHEMA`]), which [`validate_artifacts`] checks on re-parse.
 ///
 /// # Errors
 ///
@@ -153,9 +196,13 @@ fn ensure_parent(path: &Path) -> io::Result<()> {
 pub fn write_metrics_json(path: impl AsRef<Path>, metrics: &Metrics) -> io::Result<()> {
     let path = path.as_ref();
     ensure_parent(path)?;
-    let mut doc = metrics.to_json().render_pretty();
-    doc.push('\n');
-    std::fs::write(path, doc)
+    let mut doc = metrics.to_json();
+    if let Json::Obj(entries) = &mut doc {
+        entries.insert(0, ("schema_version".into(), Json::from(METRICS_SCHEMA)));
+    }
+    let mut text = doc.render_pretty();
+    text.push('\n');
+    std::fs::write(path, text)
 }
 
 /// Writes the timeline as a Chrome/Perfetto-loadable `trace_event` JSON
@@ -239,6 +286,65 @@ mod tests {
         write_chrome_trace(&trace_path, &Vec::new()).unwrap();
         let text = std::fs::read_to_string(&trace_path).unwrap();
         assert!(primepar_obs::parse_trace(&text).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn emitted_metrics_lead_with_the_schema_version() {
+        let dir = std::env::temp_dir().join("primepar-obsreport-schema-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("run.metrics.json");
+        let mut m = Metrics::new();
+        m.incr("x", 1);
+        write_metrics_json(&path, &m).unwrap();
+        let doc = primepar_obs::parse_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        let entries = doc.as_object().expect("object");
+        assert_eq!(entries[0].0, "schema_version", "tag must be the first key");
+        assert_eq!(entries[0].1.as_str(), Some(METRICS_SCHEMA));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn validate_counts_legacy_and_rejects_wrong_versions() {
+        use primepar_sim::{robustness_json, robustness_sweep, RobustnessOptions};
+        let dir = std::env::temp_dir().join("primepar-obsreport-validate-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        let mut m = Metrics::new();
+        m.incr("x", 1);
+        write_metrics_json(dir.join("a.metrics.json"), &m).unwrap();
+        std::fs::write(dir.join("b.metrics.json"), "{\"x\": 1}\n").unwrap();
+
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 256);
+        let plan = primepar_search::megatron_layer_plan(&graph, 1, 4);
+        let report = robustness_sweep(
+            &cluster,
+            &graph,
+            &plan,
+            &RobustnessOptions {
+                scenarios: 1,
+                ..RobustnessOptions::default()
+            },
+        );
+        std::fs::write(dir.join("c.report.json"), robustness_json(&report).render()).unwrap();
+
+        let summary = validate_artifacts(&dir).unwrap();
+        assert_eq!(summary.metrics_files, 2);
+        assert_eq!(summary.report_files, 1);
+        assert_eq!(summary.legacy_files, 1, "b.metrics.json has no tag");
+
+        std::fs::write(
+            dir.join("d.metrics.json"),
+            "{\"schema_version\": \"primepar.metrics.v999\"}\n",
+        )
+        .unwrap();
+        let verdict = validate_artifacts(&dir);
+        assert!(
+            matches!(verdict, Err(Error::Protocol(_))),
+            "wrong versions must be rejected: {verdict:?}"
+        );
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -243,9 +243,19 @@ pub struct PreparedEdge {
     pub rows: usize,
     /// `|dst_seqs|` — the matrix column count.
     pub cols: usize,
+    /// Structural identity of the matrix this job computes.
+    key: MatrixKey,
 }
 
 impl PreparedEdge {
+    /// The structural [`MatrixKey`] this prepared job computes the matrix
+    /// for. Keys are graph-order-relative (they embed first-seen signature
+    /// ids), so they identify matrices across planner runs over graphs with
+    /// the same ordered signature list — the handle cross-request warm
+    /// caches index by.
+    pub fn key(&self) -> &MatrixKey {
+        &self.key
+    }
     /// Computes the dense `rows × cols` edge-cost matrix, bitwise-identical
     /// to [`edge_cost_matrix`](crate::edge_cost_matrix) on the same inputs.
     ///
@@ -545,6 +555,7 @@ impl EdgeCostCache {
             devices: produce.devices,
             rows: src_seqs.len(),
             cols: dst_seqs.len(),
+            key: MatrixKey::new(edge, src_sig, dst_sig),
         }
     }
 

@@ -172,6 +172,27 @@ impl ModelConfig {
         ]
     }
 
+    /// Looks a zoo member up by a user-facing name. Matching is
+    /// case-insensitive and ignores punctuation/whitespace, so `"opt-6.7b"`,
+    /// `"OPT 6.7B"` and `"opt_6_7b"` all resolve to
+    /// [`ModelConfig::opt_6_7b`]. Returns `None` for an empty or unknown
+    /// name.
+    pub fn by_name(name: &str) -> Option<ModelConfig> {
+        fn canon(s: &str) -> String {
+            s.chars()
+                .filter(char::is_ascii_alphanumeric)
+                .map(|c| c.to_ascii_lowercase())
+                .collect()
+        }
+        let needle = canon(name);
+        if needle.is_empty() {
+            return None;
+        }
+        ModelConfig::all()
+            .into_iter()
+            .find(|m| canon(m.name).contains(&needle))
+    }
+
     /// Per-head embedding dimension.
     pub fn embed(&self) -> u64 {
         self.hidden / self.heads
@@ -306,6 +327,22 @@ impl ModelConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn by_name_matches_cli_spellings() {
+        for (spelling, expect) in [
+            ("opt-6.7b", ModelConfig::opt_6_7b()),
+            ("OPT 6.7B", ModelConfig::opt_6_7b()),
+            ("opt_175b", ModelConfig::opt_175b()),
+            ("llama2-70b", ModelConfig::llama2_70b()),
+            ("bloom-7b1", ModelConfig::bloom_7b1()),
+        ] {
+            assert_eq!(ModelConfig::by_name(spelling), Some(expect), "{spelling}");
+        }
+        assert_eq!(ModelConfig::by_name("gpt-j"), None);
+        assert_eq!(ModelConfig::by_name(""), None);
+        assert_eq!(ModelConfig::by_name("--"), None);
+    }
 
     #[test]
     fn parameter_counts_match_model_names() {

@@ -95,6 +95,26 @@ impl Json {
         }
     }
 
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact non-negative integer: a number that is finite,
+    /// an integer, and within `u64` range. Protocol fields carrying counts
+    /// (devices, batch, seeds below 2^53) go through this accessor.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
     /// Renders compact JSON.
     pub fn render(&self) -> String {
         let mut out = String::new();
@@ -455,6 +475,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn typed_accessors_reject_other_variants() {
+        assert_eq!(Json::Bool(true).as_bool(), Some(true));
+        assert_eq!(Json::Num(1.0).as_bool(), None);
+        assert_eq!(Json::Num(16.0).as_u64(), Some(16));
+        assert_eq!(Json::Num(-1.0).as_u64(), None);
+        assert_eq!(Json::Num(0.5).as_u64(), None);
+        assert_eq!(Json::Str("16".into()).as_u64(), None);
+    }
 
     #[test]
     fn roundtrip_nested_document() {

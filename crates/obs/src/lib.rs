@@ -38,4 +38,4 @@ pub mod trace;
 
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::{HistogramStats, Metrics, Span};
-pub use trace::{parse_trace, render_trace, TraceError, TraceEvent, TracePhase};
+pub use trace::{parse_trace, render_trace, TraceError, TraceEvent, TracePhase, TRACE_SCHEMA};

@@ -1,6 +1,8 @@
 //! Chrome `trace_event` export: complete (`"ph": "X"`) duration spans and
-//! counter (`"ph": "C"`) samples in the JSON-array format that
-//! `chrome://tracing` and Perfetto load directly.
+//! counter (`"ph": "C"`) samples in the JSON object format that
+//! `chrome://tracing` and Perfetto load directly (a `traceEvents` array plus
+//! top-level metadata — here the [`TRACE_SCHEMA`] version tag). The legacy
+//! bare-array form is still accepted on parse.
 //!
 //! Timestamps and durations are microseconds per the trace-event spec; `pid`
 //! groups a whole export and `tid` carries the lane (e.g. one lane per
@@ -10,6 +12,9 @@
 use std::fmt;
 
 use crate::json::{parse_json, Json};
+
+/// Version tag stamped on every emitted trace document.
+pub const TRACE_SCHEMA: &str = "primepar.trace.v1";
 
 /// Which `trace_event` phase an event renders as.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -75,9 +80,16 @@ impl TraceEvent {
     }
 }
 
-/// Renders events as a Chrome-loadable JSON array.
+/// Renders events as a Chrome-loadable JSON object: a `schema_version` tag
+/// plus the `traceEvents` array (the viewer ignores unknown metadata keys).
 pub fn render_trace(events: &[TraceEvent]) -> String {
-    Json::Arr(events.iter().map(TraceEvent::to_json).collect()).render_pretty()
+    Json::obj()
+        .with("schema_version", TRACE_SCHEMA)
+        .with(
+            "traceEvents",
+            Json::Arr(events.iter().map(TraceEvent::to_json).collect()),
+        )
+        .render_pretty()
 }
 
 /// Why a trace failed to parse.
@@ -110,8 +122,25 @@ impl std::error::Error for TraceError {}
 /// Returns [`TraceError`] on invalid JSON or a non-conforming event.
 pub fn parse_trace(text: &str) -> Result<Vec<TraceEvent>, TraceError> {
     let doc = parse_json(text).map_err(TraceError::Json)?;
-    let Some(items) = doc.as_array() else {
-        return Err(TraceError::Shape("top level must be a JSON array".into()));
+    // Versioned documents are objects carrying `traceEvents`; the legacy
+    // export was the bare array. A present-but-wrong tag is a hard error.
+    let items = if doc.as_object().is_some() {
+        if let Some(tag) = doc.get("schema_version") {
+            if tag.as_str() != Some(TRACE_SCHEMA) {
+                return Err(TraceError::Shape(format!(
+                    "bad schema_version (expected {TRACE_SCHEMA})"
+                )));
+            }
+        }
+        doc.get("traceEvents")
+            .and_then(Json::as_array)
+            .ok_or_else(|| TraceError::Shape("missing `traceEvents` array".into()))?
+    } else if let Some(items) = doc.as_array() {
+        items
+    } else {
+        return Err(TraceError::Shape(
+            "top level must be a trace object or a JSON array".into(),
+        ));
     };
     let mut events = Vec::with_capacity(items.len());
     for (i, item) in items.iter().enumerate() {
@@ -202,15 +231,32 @@ mod tests {
     }
 
     #[test]
-    fn rendered_trace_is_an_array_of_x_events() {
+    fn rendered_trace_is_a_tagged_object_of_x_events() {
         let text = render_trace(&[ev("a", 0, 0.0, 1.0)]);
         let doc = parse_json(&text).unwrap();
-        let items = doc.as_array().unwrap();
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_str),
+            Some(TRACE_SCHEMA)
+        );
+        let items = doc.get("traceEvents").and_then(Json::as_array).unwrap();
         assert_eq!(items.len(), 1);
         assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("X"));
         for key in ["name", "ts", "dur", "pid", "tid"] {
             assert!(items[0].get(key).is_some(), "missing {key}");
         }
+    }
+
+    #[test]
+    fn parser_accepts_legacy_arrays_and_rejects_wrong_versions() {
+        let events = vec![ev("fc1", 0, 0.0, 12.5)];
+        let tagged = render_trace(&events);
+        let doc = parse_json(&tagged).unwrap();
+        // The legacy export was the bare array: still parses.
+        let legacy = doc.get("traceEvents").unwrap().render();
+        assert_eq!(parse_trace(&legacy).unwrap(), events);
+        // A present-but-wrong tag is a hard error.
+        let wrong = tagged.replace(TRACE_SCHEMA, "primepar.trace.v0");
+        assert!(matches!(parse_trace(&wrong), Err(TraceError::Shape(_))));
     }
 
     #[test]
@@ -223,7 +269,7 @@ mod tests {
         let text = render_trace(&events);
         // Counter samples render as `"ph": "C"` with no `dur` field.
         let doc = parse_json(&text).unwrap();
-        let items = doc.as_array().unwrap();
+        let items = doc.get("traceEvents").and_then(Json::as_array).unwrap();
         assert_eq!(items[0].get("ph").and_then(Json::as_str), Some("C"));
         assert!(items[0].get("dur").is_none());
         assert!(items[1].get("dur").is_some());

@@ -18,7 +18,10 @@ use primepar_graph::Graph;
 use primepar_partition::PartitionSeq;
 use primepar_topology::Cluster;
 
-use crate::{minplus, operator_space, PlannerMetrics, SegmentMetrics, SpaceCache, SpaceOptions};
+use crate::{
+    minplus, operator_space, PlannerMetrics, PlannerWarmCache, SegmentMetrics, SpaceCache,
+    SpaceOptions,
+};
 
 /// Per-node partition spaces, shared by `Arc` between structurally equal nodes.
 type SharedSpaces = Vec<Arc<Vec<PartitionSeq>>>;
@@ -157,6 +160,67 @@ impl<'a> Planner<'a> {
     /// Panics if any operator's partition space is empty for this cluster
     /// size (an operator too small to split that far).
     pub fn optimize_instrumented(&self, layers: u64) -> (ModelPlan, PlannerMetrics) {
+        self.optimize_inner(layers, None)
+    }
+
+    /// [`optimize`](Planner::optimize) against a cross-run
+    /// [`PlannerWarmCache`]: stage-2 edge-cost matrices whose `(scope,
+    /// MatrixKey)` is already interned are reused instead of recomputed, and
+    /// fresh ones are interned for later runs. Plans are bitwise-identical
+    /// to the cold path (equal scopes imply equal bytes); the warm path only
+    /// applies when [`PlannerOptions::memoize`] is on — without structural
+    /// keys there is nothing sound to share.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator's partition space is empty for this cluster
+    /// size (an operator too small to split that far).
+    pub fn optimize_warm(&self, layers: u64, warm: &PlannerWarmCache) -> ModelPlan {
+        self.optimize_warm_instrumented(layers, warm).0
+    }
+
+    /// [`optimize_warm`](Planner::optimize_warm) with full
+    /// [`PlannerMetrics`], including the warm-cache hit/miss counters of
+    /// this run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any operator's partition space is empty for this cluster
+    /// size (an operator too small to split that far).
+    pub fn optimize_warm_instrumented(
+        &self,
+        layers: u64,
+        warm: &PlannerWarmCache,
+    ) -> (ModelPlan, PlannerMetrics) {
+        self.optimize_inner(layers, Some(warm))
+    }
+
+    /// Everything an edge-cost matrix's bytes depend on besides its
+    /// [`MatrixKey`]: the ordered operator-signature list (matrix keys embed
+    /// graph-relative first-seen signature ids), the full cluster model
+    /// (link latencies/bandwidths, device profile, perturbations), `α`, and
+    /// the space options. `DefaultHasher` uses fixed SipHash keys, so the
+    /// scope is stable across processes.
+    fn warm_scope(&self, n_bits: usize) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        n_bits.hash(&mut h);
+        format!("{:?}", self.cluster).hash(&mut h);
+        self.opts.alpha.to_bits().hash(&mut h);
+        self.opts.space.allow_temporal.hash(&mut h);
+        self.opts.space.allow_batch_split.hash(&mut h);
+        self.opts.space.max_temporal_k.hash(&mut h);
+        for op in &self.graph.ops {
+            op.signature().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    fn optimize_inner(
+        &self,
+        layers: u64,
+        warm: Option<&PlannerWarmCache>,
+    ) -> (ModelPlan, PlannerMetrics) {
         let start = Instant::now();
         let n_bits = self.cluster.space().n_bits();
         let ctx = CostCtx::new(self.cluster, self.opts.alpha);
@@ -262,18 +326,40 @@ impl<'a> Planner<'a> {
                 };
                 edge_jobs.push(job);
             }
-            let unique: Vec<Vec<f64>> = if self.opts.threads > 1 {
+            // Warm pre-fill: matrices a previous run interned under the same
+            // scope are reused byte-for-byte; only the rest compute. With no
+            // warm cache every slot is pending and this is the seeded sweep.
+            let mut unique: Vec<Option<Arc<Vec<f64>>>> = vec![None; jobs.len()];
+            let warm_scope = warm.map(|_| self.warm_scope(n_bits));
+            if let (Some(w), Some(sc)) = (warm, warm_scope) {
+                for (slot, job) in jobs.iter().enumerate() {
+                    if let Some(m) = w.lookup(sc, job.key()) {
+                        unique[slot] = Some(m);
+                        tm.warm_matrix_hits += 1;
+                    } else {
+                        tm.warm_matrix_misses += 1;
+                    }
+                }
+            }
+            let pending: Vec<usize> = unique
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.is_none())
+                .map(|(i, _)| i)
+                .collect();
+            if self.opts.threads > 1 {
                 let threads = self.opts.threads;
-                let mut results: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
+                let mut computed: Vec<Option<Arc<Vec<f64>>>> = vec![None; pending.len()];
                 std::thread::scope(|scope| {
-                    let chunk = jobs.len().div_ceil(threads).max(1);
+                    let chunk = pending.len().div_ceil(threads).max(1);
                     let mut handles = Vec::new();
-                    for (band, out) in jobs.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                    for (band, out) in pending.chunks(chunk).zip(computed.chunks_mut(chunk)) {
                         let ctx = &ctx;
+                        let jobs = &jobs;
                         handles.push(scope.spawn(move || {
                             let busy = Instant::now();
-                            for (job, slot) in band.iter().zip(out.iter_mut()) {
-                                *slot = Some(job.matrix(ctx));
+                            for (&slot, cell) in band.iter().zip(out.iter_mut()) {
+                                *cell = Some(Arc::new(jobs[slot].matrix(ctx)));
                             }
                             busy.elapsed().as_secs_f64()
                         }));
@@ -282,19 +368,31 @@ impl<'a> Planner<'a> {
                         tm.thread_busy_seconds[slot] += handle.join().expect("edge-matrix worker");
                     }
                 });
-                results.into_iter().map(|m| m.expect("computed")).collect()
+                for (&slot, m) in pending.iter().zip(computed) {
+                    unique[slot] = Some(m.expect("computed"));
+                }
             } else {
                 let sweep = Instant::now();
-                let out = jobs.iter().map(|job| job.matrix(&ctx)).collect();
+                for &slot in &pending {
+                    unique[slot] = Some(Arc::new(jobs[slot].matrix(&ctx)));
+                }
                 tm.thread_busy_seconds[0] += sweep.elapsed().as_secs_f64();
-                out
-            };
+            }
+            if let (Some(w), Some(sc)) = (warm, warm_scope) {
+                for &slot in &pending {
+                    let m = unique[slot].as_ref().expect("computed").clone();
+                    w.insert(sc, jobs[slot].key().clone(), m);
+                }
+            }
             let stats = cache.stats();
             tm.profile_cache_hits = stats.profile_hits;
             tm.profile_cache_misses = stats.profile_misses;
             tm.edge_matrix_cache_hits = stats.matrix_hits;
             tm.edge_matrix_cache_misses = stats.matrix_misses;
-            edge_jobs.into_iter().map(|j| unique[j].clone()).collect()
+            edge_jobs
+                .into_iter()
+                .map(|j| unique[j].as_ref().expect("computed").as_ref().clone())
+                .collect()
         } else if self.opts.threads > 1 {
             let threads = self.opts.threads;
             let mut results: Vec<Option<Vec<f64>>> = vec![None; self.graph.edges.len()];

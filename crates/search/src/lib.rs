@@ -40,6 +40,7 @@ mod report;
 mod robustness;
 mod space;
 mod telemetry;
+mod warm;
 
 pub use baselines::{alpa_plan, best_megatron, evaluate_layer_plan, megatron_layer_plan};
 pub use dp::{ModelPlan, Planner, PlannerOptions};
@@ -48,3 +49,4 @@ pub use report::explain_plan;
 pub use robustness::{score_robustness, RobustnessScore};
 pub use space::{operator_space, SpaceCache, SpaceOptions};
 pub use telemetry::{PlannerMetrics, SegmentMetrics};
+pub use warm::{PlannerWarmCache, WarmStats};

@@ -60,6 +60,13 @@ pub struct PlannerMetrics {
     pub edge_matrix_cache_hits: u64,
     /// Stage 2 whole edge matrices actually computed.
     pub edge_matrix_cache_misses: u64,
+    /// Stage 2 unique matrices served from a cross-run
+    /// [`PlannerWarmCache`](crate::PlannerWarmCache) (always 0 on the cold
+    /// [`optimize`](crate::Planner::optimize) path).
+    pub warm_matrix_hits: u64,
+    /// Stage 2 unique matrices the warm cache did not hold yet (0 unless
+    /// running [`optimize_warm`](crate::Planner::optimize_warm)).
+    pub warm_matrix_misses: u64,
     /// Inner-loop candidate evaluations of the Eq. 13 segment merges.
     pub merge_relaxations: u64,
     /// Stage 1 (spaces + intra vectors) wall seconds.
@@ -132,6 +139,8 @@ impl PlannerMetrics {
             "planner.cache.edge_matrix.misses",
             self.edge_matrix_cache_misses,
         );
+        m.incr("planner.cache.warm_matrix.hits", self.warm_matrix_hits);
+        m.incr("planner.cache.warm_matrix.misses", self.warm_matrix_misses);
         m.gauge("planner.threads.requested", self.threads_requested as f64);
         m.gauge("planner.threads.used", self.threads_used as f64);
         for &busy in &self.thread_busy_seconds {
@@ -184,6 +193,8 @@ mod tests {
             profile_cache_misses: 8,
             edge_matrix_cache_hits: 5,
             edge_matrix_cache_misses: 12,
+            warm_matrix_hits: 9,
+            warm_matrix_misses: 3,
             spaces_intra_seconds: 0.5,
             edge_matrices_seconds: 1.0,
             segment_dp_seconds: 1.0,
@@ -213,6 +224,8 @@ mod tests {
         assert_eq!(m.counter("planner.cache.space.hits"), 3);
         assert_eq!(m.counter("planner.cache.profile.misses"), 8);
         assert_eq!(m.counter("planner.cache.edge_matrix.hits"), 5);
+        assert_eq!(m.counter("planner.cache.warm_matrix.hits"), 9);
+        assert_eq!(m.counter("planner.cache.warm_matrix.misses"), 3);
         assert!(m.timer_seconds("planner.stage.segment_dp_seconds") > 0.0);
         assert_eq!(m.gauge_value("planner.space.01.fc1.size"), Some(17.0));
         assert_eq!(m.gauge_value("planner.segment.00.rows"), Some(4.0));

@@ -1,0 +1,122 @@
+//! Cross-request warm state for the planner (service tentpole, PR 5).
+//!
+//! A [`PlannerWarmCache`] outlives individual [`Planner`](crate::Planner)
+//! runs and interns the expensive stage-2 products — whole edge-cost
+//! matrices — keyed by `(scope, MatrixKey)`. The *scope* is a fingerprint of
+//! everything a matrix's bytes depend on besides its structural key: the
+//! graph's ordered signature list (signature ids inside a
+//! [`MatrixKey`](primepar_cost::MatrixKey) are first-seen graph-relative),
+//! the cluster model, `α`, and the space options. Two planner runs with
+//! equal scopes therefore agree bitwise on every matrix a shared key names,
+//! so a warm hit returns exactly the bytes the cold path would recompute —
+//! [`Planner::optimize_warm`](crate::Planner::optimize_warm) stays
+//! bitwise-identical to [`Planner::optimize`](crate::Planner::optimize),
+//! pinned by `tests/warm_equivalence.rs`.
+//!
+//! The cache is `Sync`: the matrix map sits behind a `Mutex` (lookups and
+//! inserts are short; the planning work happens outside the lock) and the
+//! hit/miss counters are atomics, so one cache serves a whole worker pool.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use primepar_cost::MatrixKey;
+
+/// One warm scope's interned matrices.
+type ScopeMatrices = HashMap<MatrixKey, Arc<Vec<f64>>>;
+
+/// Cumulative counters of a [`PlannerWarmCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WarmStats {
+    /// Matrices currently interned (across all scopes).
+    pub entries: usize,
+    /// Lookups answered from the cache since creation.
+    pub hits: u64,
+    /// Lookups that had to compute since creation.
+    pub misses: u64,
+}
+
+/// A cross-run edge-cost-matrix cache shared between planner invocations.
+#[derive(Debug, Default)]
+pub struct PlannerWarmCache {
+    /// `scope → (matrix key → matrix)`, scopes as computed by the planner.
+    matrices: Mutex<HashMap<u64, ScopeMatrices>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl PlannerWarmCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PlannerWarmCache::default()
+    }
+
+    /// The interned matrix for `key` under `scope`, counting a hit or miss.
+    pub(crate) fn lookup(&self, scope: u64, key: &MatrixKey) -> Option<Arc<Vec<f64>>> {
+        let found = self
+            .matrices
+            .lock()
+            .expect("warm cache lock")
+            .get(&scope)
+            .and_then(|m| m.get(key))
+            .cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Interns a freshly computed matrix. Concurrent inserts under the same
+    /// key are benign: equal scopes guarantee equal bytes, so first-in wins.
+    pub(crate) fn insert(&self, scope: u64, key: MatrixKey, matrix: Arc<Vec<f64>>) {
+        self.matrices
+            .lock()
+            .expect("warm cache lock")
+            .entry(scope)
+            .or_default()
+            .entry(key)
+            .or_insert(matrix);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> WarmStats {
+        WarmStats {
+            entries: self
+                .matrices
+                .lock()
+                .expect("warm cache lock")
+                .values()
+                .map(HashMap::len)
+                .sum(),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_graph::ModelConfig;
+
+    #[test]
+    fn stats_track_lookups_and_entries() {
+        let cache = PlannerWarmCache::new();
+        assert_eq!(cache.stats(), WarmStats::default());
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let sig = graph.signature_ids();
+        let edge = &graph.edges[0];
+        let key = MatrixKey::new(edge, sig[edge.src], sig[edge.dst]);
+        assert!(cache.lookup(7, &key).is_none());
+        cache.insert(7, key.clone(), Arc::new(vec![1.0, 2.0]));
+        let hit = cache.lookup(7, &key).expect("interned");
+        assert_eq!(*hit, vec![1.0, 2.0]);
+        // Same key under another scope is a distinct entry.
+        assert!(cache.lookup(8, &key).is_none());
+        let s = cache.stats();
+        assert_eq!((s.entries, s.hits, s.misses), (1, 1, 2));
+    }
+}

@@ -1,0 +1,569 @@
+//! Typed requests and responses of the planner service and the
+//! `primepar::api` facade (PR 5).
+//!
+//! A [`PlanRequest`] names a workload (zoo model, cluster size,
+//! micro-batch/sequence shape) plus planner options; executing one — through
+//! [`WarmCache::execute_plan`](crate::WarmCache::execute_plan), a
+//! [`ServiceClient`](crate::ServiceClient), or the line protocol — yields a
+//! [`PlanResponse`] carrying the [`ModelPlan`], its canonical text rendering,
+//! the run's [`PlannerMetrics`] and the cache outcome. Validation happens in
+//! [`PlanRequest::resolve`]; nothing in this crate panics on bad input.
+//!
+//! Requests have a *canonical fingerprint* naming the plan they produce:
+//! everything that changes the optimizer's output is included (model,
+//! devices, batch, seq, layers, `α`, space options) and everything proven
+//! not to is excluded (`threads` and `memoize` — the equivalence suites pin
+//! both to bitwise-identical plans; `id` and `deadline_ms` — delivery
+//! concerns). Whole-plan memoization keys on this fingerprint.
+
+use std::time::Duration;
+
+use primepar_graph::ModelConfig;
+use primepar_search::{ModelPlan, PlannerMetrics, PlannerOptions, SpaceOptions};
+use primepar_sim::{ModelReport, RobustnessOptions, SimOptions};
+use primepar_topology::PerturbationModel;
+
+use crate::Error;
+
+/// Schema tag carried by every service protocol frame (`schema_version`).
+pub const SERVICE_SCHEMA: &str = "primepar.service.v1";
+
+/// A plan request: one workload to optimize.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanRequest {
+    /// Caller-chosen request id, echoed in the response (and naming the
+    /// `--plan-dir` artifact in protocol mode).
+    pub id: String,
+    /// Zoo model name, resolved via [`ModelConfig::by_name`] — any CLI
+    /// spelling (`"opt-6.7b"`, `"OPT 6.7B"`) works.
+    pub model: String,
+    /// Cluster size (must be a power of two).
+    pub devices: usize,
+    /// Micro-batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Stacked layer count; `None` uses the zoo model's depth.
+    pub layers: Option<u64>,
+    /// Eq. 7 latency/memory trade-off `α`.
+    pub alpha: f64,
+    /// Planner worker threads (`0` = single-threaded).
+    pub threads: usize,
+    /// Structural memoization (`PlannerOptions::memoize`).
+    pub memoize: bool,
+    /// Include the temporal `P_{2^k×2^k}` primitives in the space.
+    pub allow_temporal: bool,
+    /// Include batch splits in the space.
+    pub allow_batch_split: bool,
+    /// Largest temporal primitive, as `k`.
+    pub max_temporal_k: u32,
+    /// Also simulate one training iteration of the planned model.
+    pub simulate: bool,
+    /// Relative deadline: the request is cancelled if a worker has not
+    /// picked it up within this budget.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for PlanRequest {
+    fn default() -> Self {
+        let space = SpaceOptions::default();
+        PlanRequest {
+            id: String::new(),
+            model: String::new(),
+            devices: 4,
+            batch: 8,
+            seq: 2048,
+            layers: None,
+            alpha: 0.0,
+            threads: 0,
+            memoize: true,
+            allow_temporal: space.allow_temporal,
+            allow_batch_split: space.allow_batch_split,
+            max_temporal_k: space.max_temporal_k,
+            simulate: false,
+            deadline_ms: None,
+        }
+    }
+}
+
+impl PlanRequest {
+    /// A builder pre-loaded with the CLI defaults (4 devices, batch 8,
+    /// sequence 2048, full space, memoization on).
+    pub fn builder(model: impl Into<String>) -> PlanRequestBuilder {
+        PlanRequestBuilder(PlanRequest {
+            model: model.into(),
+            ..PlanRequest::default()
+        })
+    }
+
+    /// Validates the request and resolves names to domain objects.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for an unknown model or degenerate shape;
+    /// [`Error::Topology`] for a device count that is not a power of two.
+    pub fn resolve(&self) -> Result<ResolvedPlan, Error> {
+        let model = ModelConfig::by_name(&self.model).ok_or_else(|| {
+            Error::config(format!(
+                "unknown model: {} (known: {})",
+                self.model,
+                ModelConfig::all().map(|m| m.name).join(", ")
+            ))
+        })?;
+        if self.devices == 0 || !self.devices.is_power_of_two() {
+            return Err(Error::topology(format!(
+                "devices must be a power of two, got {}",
+                self.devices
+            )));
+        }
+        if self.batch == 0 || self.seq == 0 {
+            return Err(Error::config(format!(
+                "batch and seq must be positive, got batch={} seq={}",
+                self.batch, self.seq
+            )));
+        }
+        let layers = self.layers.unwrap_or(model.layers);
+        if layers == 0 {
+            return Err(Error::config("layers must be positive, got 0"));
+        }
+        Ok(ResolvedPlan {
+            model,
+            devices: self.devices,
+            batch: self.batch,
+            seq: self.seq,
+            layers,
+            opts: PlannerOptions {
+                space: SpaceOptions {
+                    allow_temporal: self.allow_temporal,
+                    allow_batch_split: self.allow_batch_split,
+                    max_temporal_k: self.max_temporal_k,
+                },
+                alpha: self.alpha,
+                threads: self.threads,
+                memoize: self.memoize,
+            },
+        })
+    }
+
+    /// The canonical fingerprint of the plan this request produces (see the
+    /// module docs for what is included and why).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`resolve`](PlanRequest::resolve) failures — an invalid
+    /// request names no plan.
+    pub fn fingerprint(&self) -> Result<String, Error> {
+        Ok(self.resolve()?.fingerprint())
+    }
+
+    /// Executes this request against the process-wide warm cache — the
+    /// one-call facade entry point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`resolve`](PlanRequest::resolve) failures.
+    pub fn run(&self) -> Result<PlanResponse, Error> {
+        crate::WarmCache::global().execute_plan(self)
+    }
+}
+
+/// Fluent constructor for [`PlanRequest`].
+#[derive(Debug, Clone)]
+pub struct PlanRequestBuilder(PlanRequest);
+
+macro_rules! setter {
+    ($(#[$doc:meta])* $name:ident: $ty:ty) => {
+        $(#[$doc])*
+        #[must_use]
+        pub fn $name(mut self, value: $ty) -> Self {
+            self.0.$name = value.into();
+            self
+        }
+    };
+}
+
+impl PlanRequestBuilder {
+    setter!(
+        /// Sets the request id echoed in the response.
+        id: impl Into<String>
+    );
+    setter!(
+        /// Sets the cluster size (validated to a power of two at resolve).
+        devices: usize
+    );
+    setter!(
+        /// Sets the micro-batch size.
+        batch: u64
+    );
+    setter!(
+        /// Sets the sequence length.
+        seq: u64
+    );
+    setter!(
+        /// Overrides the stacked layer count.
+        layers: Option<u64>
+    );
+    setter!(
+        /// Sets Eq. 7's `α`.
+        alpha: f64
+    );
+    setter!(
+        /// Sets the planner thread count.
+        threads: usize
+    );
+    setter!(
+        /// Toggles structural memoization.
+        memoize: bool
+    );
+    setter!(
+        /// Toggles the temporal primitives.
+        allow_temporal: bool
+    );
+    setter!(
+        /// Toggles batch splits.
+        allow_batch_split: bool
+    );
+    setter!(
+        /// Caps the temporal primitive size.
+        max_temporal_k: u32
+    );
+    setter!(
+        /// Requests an iteration simulation alongside the plan.
+        simulate: bool
+    );
+    setter!(
+        /// Sets the pickup deadline in milliseconds.
+        deadline_ms: Option<u64>
+    );
+
+    /// The finished request (validation happens at execution).
+    pub fn build(self) -> PlanRequest {
+        self.0
+    }
+}
+
+/// A validated [`PlanRequest`] with names resolved to domain objects.
+#[derive(Debug, Clone)]
+pub struct ResolvedPlan {
+    /// The zoo model.
+    pub model: ModelConfig,
+    /// Cluster size (power of two).
+    pub devices: usize,
+    /// Micro-batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Stacked layer count.
+    pub layers: u64,
+    /// Planner configuration.
+    pub opts: PlannerOptions,
+}
+
+impl ResolvedPlan {
+    /// The canonical plan fingerprint (see [`PlanRequest::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        let canon: String = self
+            .model
+            .name
+            .chars()
+            .filter(char::is_ascii_alphanumeric)
+            .map(|c| c.to_ascii_lowercase())
+            .collect();
+        let s = &self.opts.space;
+        format!(
+            "plan:{canon}:d{}:b{}:s{}:l{}:a{:016x}:t{}:bs{}:k{}",
+            self.devices,
+            self.batch,
+            self.seq,
+            self.layers,
+            self.opts.alpha.to_bits(),
+            u8::from(s.allow_temporal),
+            u8::from(s.allow_batch_split),
+            s.max_temporal_k,
+        )
+    }
+}
+
+/// How the caches treated one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheOutcome {
+    /// This response was served from the whole-plan memo.
+    pub plan_cache_hit: bool,
+    /// Cumulative whole-plan memo hits of the serving cache.
+    pub plan_cache_hits: u64,
+    /// Cumulative whole-plan memo misses of the serving cache.
+    pub plan_cache_misses: u64,
+    /// This run's edge matrices served warm (0 on a memo hit — no planner
+    /// ran at all).
+    pub warm_matrix_hits: u64,
+    /// This run's edge matrices computed cold.
+    pub warm_matrix_misses: u64,
+    /// Plans currently interned by the serving cache.
+    pub plans_interned: usize,
+    /// Clusters currently interned by the serving cache.
+    pub clusters_interned: usize,
+}
+
+/// The answer to a [`PlanRequest`].
+#[derive(Debug, Clone)]
+pub struct PlanResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Canonical plan fingerprint (the memo key).
+    pub fingerprint: String,
+    /// Canonical zoo model name.
+    pub model: String,
+    /// Cluster size.
+    pub devices: usize,
+    /// Micro-batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Stacked layer count actually planned.
+    pub layers: u64,
+    /// The optimized plan — bitwise-identical to a direct
+    /// [`Planner::optimize`](primepar_search::Planner::optimize) call on the
+    /// same inputs.
+    pub plan: ModelPlan,
+    /// [`render_plan`](primepar_search::render_plan) text of the plan — the
+    /// byte-for-byte comparison and `--plan-dir` artifact format.
+    pub plan_text: String,
+    /// Planner telemetry of the run that produced the plan (the original
+    /// cold run's, when served from the memo).
+    pub metrics: PlannerMetrics,
+    /// Iteration simulation, when the request asked for one.
+    pub sim: Option<ModelReport>,
+    /// Cache accounting for this request.
+    pub cache: CacheOutcome,
+    /// Wall-clock service time of this request (memo hits are microseconds;
+    /// cold plans are the full search).
+    pub elapsed: Duration,
+}
+
+/// A simulation request: price an optimized plan on the cluster simulator,
+/// optionally under a seeded fault/variance sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRequest {
+    /// Caller-chosen request id, echoed in the response.
+    pub id: String,
+    /// The workload to plan and simulate (its `simulate` flag is ignored;
+    /// this request always simulates).
+    pub plan: PlanRequest,
+    /// Activation recomputation (gradient checkpointing).
+    pub recompute_activations: bool,
+    /// Robustness scenarios; `0` simulates ideal hardware only.
+    pub scenarios: usize,
+    /// Variance profile: `ideal`, `mild` or `harsh`.
+    pub profile: String,
+    /// Base seed of the scenario sweep.
+    pub seed: u64,
+    /// Relative pickup deadline, like [`PlanRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+}
+
+impl SimRequest {
+    /// A simulation of `plan` on ideal hardware (no sweep).
+    pub fn of(plan: PlanRequest) -> Self {
+        SimRequest {
+            id: plan.id.clone(),
+            deadline_ms: plan.deadline_ms,
+            plan,
+            recompute_activations: false,
+            scenarios: 0,
+            profile: "mild".into(),
+            seed: 42,
+        }
+    }
+
+    /// Adds a seeded robustness sweep to the simulation.
+    #[must_use]
+    pub fn with_sweep(mut self, profile: impl Into<String>, scenarios: usize, seed: u64) -> Self {
+        self.profile = profile.into();
+        self.scenarios = scenarios;
+        self.seed = seed;
+        self
+    }
+
+    /// Validates the sweep configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Config`] for an unknown profile name or an invalid embedded
+    /// plan request.
+    pub fn resolve(&self) -> Result<(ResolvedPlan, SimOptions, Option<RobustnessOptions>), Error> {
+        let resolved = self.plan.resolve()?;
+        let sim = SimOptions {
+            recompute_activations: self.recompute_activations,
+            perturbation: None,
+        };
+        let sweep = if self.scenarios == 0 {
+            None
+        } else {
+            let model = match self.profile.as_str() {
+                "ideal" => PerturbationModel::ideal(),
+                "mild" => PerturbationModel::mild(),
+                "harsh" => PerturbationModel::harsh(),
+                other => {
+                    return Err(Error::config(format!(
+                        "unknown perturbation profile: {other} (expected ideal|mild|harsh)"
+                    )))
+                }
+            };
+            Some(RobustnessOptions {
+                model,
+                scenarios: self.scenarios,
+                base_seed: self.seed,
+                sim,
+            })
+        };
+        Ok((resolved, sim, sweep))
+    }
+
+    /// Executes this request against the process-wide warm cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`resolve`](SimRequest::resolve) failures.
+    pub fn run(&self) -> Result<SimResponse, Error> {
+        crate::WarmCache::global().execute_sim(self)
+    }
+}
+
+/// The answer to a [`SimRequest`].
+#[derive(Debug, Clone)]
+pub struct SimResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Fingerprint of the plan that was simulated.
+    pub fingerprint: String,
+    /// The simulated iteration; `report.layer.robustness` carries the sweep
+    /// when one was requested.
+    pub report: ModelReport,
+    /// Cache accounting of the underlying plan lookup.
+    pub cache: CacheOutcome,
+    /// Wall-clock service time of this request.
+    pub elapsed: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_round_trips_every_knob() {
+        let req = PlanRequest::builder("opt-6.7b")
+            .id("r1")
+            .devices(16)
+            .batch(4)
+            .seq(1024)
+            .layers(Some(2))
+            .alpha(1e-12)
+            .threads(3)
+            .memoize(false)
+            .allow_temporal(false)
+            .allow_batch_split(false)
+            .max_temporal_k(1)
+            .simulate(true)
+            .deadline_ms(Some(50))
+            .build();
+        assert_eq!(req.id, "r1");
+        assert_eq!(req.devices, 16);
+        assert_eq!(req.layers, Some(2));
+        assert!(!req.memoize && !req.allow_temporal && !req.allow_batch_split);
+        assert_eq!(req.deadline_ms, Some(50));
+        let resolved = req.resolve().expect("valid");
+        assert_eq!(resolved.model.name, "OPT 6.7B");
+        assert_eq!(resolved.layers, 2);
+        assert_eq!(resolved.opts.threads, 3);
+    }
+
+    #[test]
+    fn resolve_classifies_failures() {
+        let unknown = PlanRequest::builder("gpt-j").build().resolve();
+        assert!(matches!(unknown, Err(Error::Config(_))), "{unknown:?}");
+        let lopsided = PlanRequest::builder("opt-6.7b")
+            .devices(6)
+            .build()
+            .resolve();
+        assert!(matches!(lopsided, Err(Error::Topology(_))), "{lopsided:?}");
+        let empty = PlanRequest::builder("opt-6.7b").batch(0).build().resolve();
+        assert!(matches!(empty, Err(Error::Config(_))), "{empty:?}");
+    }
+
+    #[test]
+    fn fingerprint_ignores_delivery_knobs_only() {
+        let base = PlanRequest::builder("opt-6.7b").devices(16).build();
+        let fp = base.fingerprint().expect("valid");
+        // Delivery/bitwise-invariant knobs do not change the plan identity…
+        for twin in [
+            PlanRequest {
+                id: "other".into(),
+                ..base.clone()
+            },
+            PlanRequest {
+                threads: 8,
+                ..base.clone()
+            },
+            PlanRequest {
+                memoize: false,
+                ..base.clone()
+            },
+            PlanRequest {
+                deadline_ms: Some(1),
+                ..base.clone()
+            },
+            PlanRequest {
+                model: "OPT 6.7B".into(),
+                ..base.clone()
+            },
+        ] {
+            assert_eq!(twin.fingerprint().expect("valid"), fp);
+        }
+        // …while anything the optimizer sees does.
+        for (label, other) in [
+            (
+                "devices",
+                PlanRequest {
+                    devices: 8,
+                    ..base.clone()
+                },
+            ),
+            (
+                "batch",
+                PlanRequest {
+                    batch: 4,
+                    ..base.clone()
+                },
+            ),
+            (
+                "alpha",
+                PlanRequest {
+                    alpha: 1e-9,
+                    ..base.clone()
+                },
+            ),
+            (
+                "temporal",
+                PlanRequest {
+                    allow_temporal: false,
+                    ..base.clone()
+                },
+            ),
+            (
+                "layers",
+                PlanRequest {
+                    layers: Some(1),
+                    ..base.clone()
+                },
+            ),
+        ] {
+            assert_ne!(other.fingerprint().expect("valid"), fp, "{label}");
+        }
+    }
+
+    #[test]
+    fn sim_request_rejects_unknown_profile() {
+        let sim = SimRequest::of(PlanRequest::builder("opt-6.7b").build()).with_sweep("wild", 4, 1);
+        assert!(matches!(sim.resolve(), Err(Error::Config(_))));
+    }
+}

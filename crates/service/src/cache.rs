@@ -1,0 +1,308 @@
+//! Cross-request warm state of the planner service (PR 5 tentpole).
+//!
+//! A [`WarmCache`] owns three layers of reuse, coarsest first:
+//!
+//! 1. **Whole-plan memo** — finished plans keyed by the request's canonical
+//!    [fingerprint](crate::PlanRequest::fingerprint). A repeat request skips
+//!    planning entirely and answers in microseconds.
+//! 2. **Edge-matrix warm cache** — a
+//!    [`PlannerWarmCache`](primepar_search::PlannerWarmCache) shared by
+//!    every planner run, so *similar* requests (same model/cluster/α, a
+//!    different layer count, say) reuse the expensive stage-2 DP inputs even
+//!    on a memo miss.
+//! 3. **Interned clusters** — one [`Cluster`] handle per device count,
+//!    shared by `Arc`. A `CostCtx` borrows its cluster and carries interior
+//!    counters, so contexts themselves are rebuilt per request (cheap); the
+//!    costly products they feed — the edge matrices — are what layer 2
+//!    interns.
+//!
+//! Everything is `Sync` and lock-light: lookups and inserts are short
+//! critical sections, with the planning work outside any lock, so a worker
+//! pool shares one cache without serializing.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+use primepar_search::{
+    render_plan, ModelPlan, Planner, PlannerMetrics, PlannerWarmCache, WarmStats,
+};
+use primepar_sim::{robustness_sweep, simulate_model_with, SimOptions};
+use primepar_topology::Cluster;
+
+use crate::api::{CacheOutcome, PlanRequest, PlanResponse, ResolvedPlan, SimRequest, SimResponse};
+use crate::Error;
+
+/// One memoized plan: everything a repeat request needs.
+#[derive(Debug)]
+pub struct CachedPlan {
+    /// The optimized plan.
+    pub plan: ModelPlan,
+    /// Telemetry of the cold run that produced it.
+    pub metrics: PlannerMetrics,
+    /// Canonical text rendering (the byte-comparison format).
+    pub plan_text: String,
+}
+
+/// Point-in-time counters of a [`WarmCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceCacheStats {
+    /// Whole-plan memo hits since creation.
+    pub plan_hits: u64,
+    /// Whole-plan memo misses since creation.
+    pub plan_misses: u64,
+    /// Plans currently interned.
+    pub plans_interned: usize,
+    /// Clusters currently interned.
+    pub clusters_interned: usize,
+    /// Edge-matrix warm-cache counters.
+    pub warm: WarmStats,
+}
+
+/// The cross-request warm state shared by a service's workers.
+#[derive(Debug, Default)]
+pub struct WarmCache {
+    clusters: Mutex<HashMap<usize, Arc<Cluster>>>,
+    plans: Mutex<HashMap<String, Arc<CachedPlan>>>,
+    warm: PlannerWarmCache,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
+}
+
+impl WarmCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        WarmCache::default()
+    }
+
+    /// The process-wide cache behind [`PlanRequest::run`] and the
+    /// `primepar::api` facade.
+    pub fn global() -> &'static WarmCache {
+        static GLOBAL: OnceLock<WarmCache> = OnceLock::new();
+        GLOBAL.get_or_init(WarmCache::new)
+    }
+
+    /// The interned cluster handle for `devices` (insert on first use).
+    fn cluster(&self, devices: usize) -> Arc<Cluster> {
+        self.clusters
+            .lock()
+            .expect("cluster intern lock")
+            .entry(devices)
+            .or_insert_with(|| Arc::new(Cluster::v100_like(devices)))
+            .clone()
+    }
+
+    /// The memoized plan for a resolved request, planning on a miss.
+    fn plan_for(&self, resolved: &ResolvedPlan) -> (Arc<CachedPlan>, bool) {
+        let fingerprint = resolved.fingerprint();
+        if let Some(hit) = self
+            .plans
+            .lock()
+            .expect("plan memo lock")
+            .get(&fingerprint)
+            .cloned()
+        {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return (hit, true);
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let cluster = self.cluster(resolved.devices);
+        let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+        let planner = Planner::new(&cluster, &graph, resolved.opts);
+        // The warm path piggybacks on structural memoization; without it
+        // there are no sound cross-run keys, so plan exactly as seeded.
+        let (plan, metrics) = if resolved.opts.memoize {
+            planner.optimize_warm_instrumented(resolved.layers, &self.warm)
+        } else {
+            planner.optimize_instrumented(resolved.layers)
+        };
+        let entry = Arc::new(CachedPlan {
+            plan_text: render_plan(&graph, &plan.seqs),
+            plan,
+            metrics,
+        });
+        // Concurrent cold twins race benignly: plans are deterministic, so
+        // whichever insert wins carries the same bytes.
+        self.plans
+            .lock()
+            .expect("plan memo lock")
+            .entry(fingerprint)
+            .or_insert_with(|| entry.clone());
+        (entry, false)
+    }
+
+    fn outcome(&self, hit: bool, metrics: &PlannerMetrics) -> CacheOutcome {
+        let stats = self.stats();
+        CacheOutcome {
+            plan_cache_hit: hit,
+            plan_cache_hits: stats.plan_hits,
+            plan_cache_misses: stats.plan_misses,
+            warm_matrix_hits: if hit { 0 } else { metrics.warm_matrix_hits },
+            warm_matrix_misses: if hit { 0 } else { metrics.warm_matrix_misses },
+            plans_interned: stats.plans_interned,
+            clusters_interned: stats.clusters_interned,
+        }
+    }
+
+    /// Executes a plan request against the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanRequest::resolve`] failures; never panics on bad
+    /// input.
+    pub fn execute_plan(&self, req: &PlanRequest) -> Result<PlanResponse, Error> {
+        let start = Instant::now();
+        let resolved = req.resolve()?;
+        let (cached, hit) = self.plan_for(&resolved);
+        let sim = if req.simulate {
+            let cluster = self.cluster(resolved.devices);
+            let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+            Some(simulate_model_with(
+                &cluster,
+                &graph,
+                &cached.plan.seqs,
+                resolved.layers,
+                (resolved.batch * resolved.seq) as f64,
+                &SimOptions::default(),
+            ))
+        } else {
+            None
+        };
+        Ok(PlanResponse {
+            id: req.id.clone(),
+            fingerprint: resolved.fingerprint(),
+            model: resolved.model.name.to_string(),
+            devices: resolved.devices,
+            batch: resolved.batch,
+            seq: resolved.seq,
+            layers: resolved.layers,
+            plan: cached.plan.clone(),
+            plan_text: cached.plan_text.clone(),
+            metrics: cached.metrics.clone(),
+            sim,
+            cache: self.outcome(hit, &cached.metrics),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Executes a simulation request: plans (or recalls) the workload, then
+    /// prices it on the simulator, optionally under a robustness sweep.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimRequest::resolve`] failures.
+    pub fn execute_sim(&self, req: &SimRequest) -> Result<SimResponse, Error> {
+        let start = Instant::now();
+        let (resolved, sim_opts, sweep) = req.resolve()?;
+        let (cached, hit) = self.plan_for(&resolved);
+        let cluster = self.cluster(resolved.devices);
+        let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+        let mut report = simulate_model_with(
+            &cluster,
+            &graph,
+            &cached.plan.seqs,
+            resolved.layers,
+            (resolved.batch * resolved.seq) as f64,
+            &sim_opts,
+        );
+        if let Some(sweep) = sweep {
+            report.layer.robustness = Some(robustness_sweep(
+                &cluster,
+                &graph,
+                &cached.plan.seqs,
+                &sweep,
+            ));
+        }
+        Ok(SimResponse {
+            id: req.id.clone(),
+            fingerprint: resolved.fingerprint(),
+            report,
+            cache: self.outcome(hit, &cached.metrics),
+            elapsed: start.elapsed(),
+        })
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ServiceCacheStats {
+        ServiceCacheStats {
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
+            plans_interned: self.plans.lock().expect("plan memo lock").len(),
+            clusters_interned: self.clusters.lock().expect("cluster intern lock").len(),
+            warm: self.warm.stats(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_request(id: &str) -> PlanRequest {
+        PlanRequest::builder("opt-6.7b")
+            .id(id)
+            .devices(4)
+            .batch(8)
+            .seq(512)
+            .layers(Some(4))
+            .build()
+    }
+
+    #[test]
+    fn repeat_requests_hit_the_plan_memo() {
+        let cache = WarmCache::new();
+        let cold = cache.execute_plan(&small_request("cold")).expect("plans");
+        assert!(!cold.cache.plan_cache_hit);
+        assert!(cold.cache.warm_matrix_misses > 0);
+        let warm = cache.execute_plan(&small_request("warm")).expect("plans");
+        assert!(warm.cache.plan_cache_hit);
+        assert_eq!(warm.cache.plan_cache_hits, 1);
+        assert_eq!(warm.id, "warm", "id echoes the request, not the memo");
+        assert_eq!(warm.plan_text, cold.plan_text);
+        assert_eq!(
+            warm.plan.total_cost.to_bits(),
+            cold.plan.total_cost.to_bits()
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.plan_hits, stats.plan_misses), (1, 1));
+        assert_eq!(stats.plans_interned, 1);
+        assert_eq!(stats.clusters_interned, 1);
+    }
+
+    #[test]
+    fn memo_miss_with_shared_scope_still_reuses_matrices() {
+        let cache = WarmCache::new();
+        cache.execute_plan(&small_request("a")).expect("plans");
+        // Different layer count → different fingerprint, same warm scope.
+        let sibling = PlanRequest {
+            layers: Some(2),
+            ..small_request("b")
+        };
+        let resp = cache.execute_plan(&sibling).expect("plans");
+        assert!(!resp.cache.plan_cache_hit);
+        assert!(resp.cache.warm_matrix_hits > 0, "stage-2 inputs reused");
+        assert_eq!(resp.cache.warm_matrix_misses, 0);
+    }
+
+    #[test]
+    fn sim_requests_ride_the_same_memo() {
+        let cache = WarmCache::new();
+        let sim = SimRequest::of(small_request("s1")).with_sweep("mild", 2, 7);
+        let first = cache.execute_sim(&sim).expect("simulates");
+        assert!(!first.cache.plan_cache_hit);
+        let sweep = first.report.layer.robustness.as_ref().expect("sweep ran");
+        assert_eq!(sweep.outcomes.len(), 2);
+        let second = cache.execute_sim(&sim).expect("simulates");
+        assert!(second.cache.plan_cache_hit);
+        assert!(second.report.iteration_time > 0.0);
+    }
+
+    #[test]
+    fn errors_pass_through_without_caching() {
+        let cache = WarmCache::new();
+        let bad = PlanRequest::builder("nope").build();
+        assert!(matches!(cache.execute_plan(&bad), Err(Error::Config(_))));
+        assert_eq!(cache.stats().plans_interned, 0);
+    }
+}

@@ -1,0 +1,42 @@
+//! The PrimePar planner **service** (PR 5 tentpole): a long-lived process
+//! that answers plan/simulation requests from a warm cache.
+//!
+//! Three layers, each usable on its own:
+//!
+//! * the typed API — [`PlanRequest`]/[`PlanResponse`] (and sim twins) with a
+//!   builder, validation and canonical plan fingerprints. One-shot callers
+//!   use [`PlanRequest::run`], which hits the process-wide [`WarmCache`].
+//! * the server — a bounded worker pool ([`PlannerService`]) sharing one
+//!   [`WarmCache`]; submissions return a [`Pending`] handle carrying a
+//!   [`CancelToken`], and deadlines/cancellations surface as
+//!   [`Error::Cancelled`] without poisoning the pool.
+//! * the wire protocol — the line-delimited JSON format behind
+//!   `primepar serve`: [`parse_frame`] / response builders /
+//!   [`serve_lines`], every emitted document tagged with
+//!   [`SERVICE_SCHEMA`] as `schema_version`.
+//!
+//! Determinism contract: a served plan is **bitwise-identical** to a direct
+//! [`Planner::optimize`](primepar_search::Planner::optimize) call on the
+//! same inputs, whether it was computed cold, assembled from warm DP
+//! matrices, or replayed from the whole-plan memo. The equivalence and
+//! concurrency suites pin this.
+
+mod api;
+mod cache;
+mod error;
+mod protocol;
+mod server;
+
+pub use api::{
+    CacheOutcome, PlanRequest, PlanRequestBuilder, PlanResponse, ResolvedPlan, SimRequest,
+    SimResponse, SERVICE_SCHEMA,
+};
+pub use cache::{CachedPlan, ServiceCacheStats, WarmCache};
+pub use error::Error;
+#[cfg(unix)]
+pub use protocol::serve_unix_socket;
+pub use protocol::{
+    error_json, parse_frame, plan_response_json, request_json, serve_lines, sim_request_json,
+    sim_response_json, Frame, ParsedFrame, ServeEnd, ServeOptions,
+};
+pub use server::{CancelToken, Pending, PlannerService, ServiceClient, ServiceOptions};

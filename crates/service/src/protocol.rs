@@ -1,0 +1,759 @@
+//! The line-delimited JSON wire protocol of `primepar serve`.
+//!
+//! One frame per line, one JSON object per frame. Every frame the service
+//! *emits* carries `schema_version` ([`SERVICE_SCHEMA`]) as its first key;
+//! frames it *accepts* may omit the tag (legacy clients), in which case the
+//! response carries a `warning` field, but a present-and-wrong tag is a
+//! protocol error. Responses come back in submission order.
+//!
+//! ```text
+//! → {"schema_version":"primepar.service.v1","type":"plan","id":"r1","model":"opt-6.7b","devices":16}
+//! ← {"schema_version":"primepar.service.v1","type":"plan_response","id":"r1","ok":true,...}
+//! ```
+//!
+//! Frame types: `plan`, `sim`, `cancel` (by request id), `ping`
+//! (answered with `pong` immediately, ahead of queued work), `shutdown`
+//! (drain and exit).
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::path::PathBuf;
+
+use primepar_obs::{parse_json, Json};
+use primepar_sim::robustness_json;
+
+use crate::cache::WarmCache;
+use crate::server::{Pending, PlannerService, ServiceOptions};
+use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse, SERVICE_SCHEMA};
+
+/// One parsed request frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Plan a workload.
+    Plan(PlanRequest),
+    /// Plan and simulate a workload.
+    Sim(SimRequest),
+    /// Cancel the in-flight request with this id.
+    Cancel {
+        /// Id of the request to cancel.
+        id: String,
+    },
+    /// Liveness probe; answered out of band with `pong`.
+    Ping,
+    /// Drain outstanding work and exit.
+    Shutdown,
+}
+
+/// A [`Frame`] plus how it was tagged.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedFrame {
+    /// The decoded frame.
+    pub frame: Frame,
+    /// The frame omitted `schema_version` (accepted, but the response warns).
+    pub legacy: bool,
+}
+
+fn field<'j>(obj: &'j Json, key: &str) -> Option<&'j Json> {
+    match obj.get(key) {
+        None | Some(Json::Null) => None,
+        Some(value) => Some(value),
+    }
+}
+
+fn field_str(obj: &Json, key: &str) -> Result<Option<String>, Error> {
+    field(obj, key)
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| Error::protocol(format!("field {key} must be a string")))
+        })
+        .transpose()
+}
+
+fn field_u64(obj: &Json, key: &str) -> Result<Option<u64>, Error> {
+    field(obj, key)
+        .map(|v| {
+            v.as_u64().ok_or_else(|| {
+                Error::protocol(format!("field {key} must be a non-negative integer"))
+            })
+        })
+        .transpose()
+}
+
+fn field_f64(obj: &Json, key: &str) -> Result<Option<f64>, Error> {
+    field(obj, key)
+        .map(|v| {
+            v.as_f64()
+                .ok_or_else(|| Error::protocol(format!("field {key} must be a number")))
+        })
+        .transpose()
+}
+
+fn field_bool(obj: &Json, key: &str) -> Result<Option<bool>, Error> {
+    field(obj, key)
+        .map(|v| {
+            v.as_bool()
+                .ok_or_else(|| Error::protocol(format!("field {key} must be a boolean")))
+        })
+        .transpose()
+}
+
+fn parse_plan_request(obj: &Json) -> Result<PlanRequest, Error> {
+    let defaults = PlanRequest::default();
+    Ok(PlanRequest {
+        id: field_str(obj, "id")?.unwrap_or_default(),
+        model: field_str(obj, "model")?.unwrap_or_default(),
+        devices: field_u64(obj, "devices")?.map_or(defaults.devices, |n| n as usize),
+        batch: field_u64(obj, "batch")?.unwrap_or(defaults.batch),
+        seq: field_u64(obj, "seq")?.unwrap_or(defaults.seq),
+        layers: field_u64(obj, "layers")?,
+        alpha: field_f64(obj, "alpha")?.unwrap_or(defaults.alpha),
+        threads: field_u64(obj, "threads")?.map_or(defaults.threads, |n| n as usize),
+        memoize: field_bool(obj, "memoize")?.unwrap_or(defaults.memoize),
+        allow_temporal: field_bool(obj, "allow_temporal")?.unwrap_or(defaults.allow_temporal),
+        allow_batch_split: field_bool(obj, "allow_batch_split")?
+            .unwrap_or(defaults.allow_batch_split),
+        max_temporal_k: field_u64(obj, "max_temporal_k")?
+            .map_or(defaults.max_temporal_k, |n| n as u32),
+        simulate: field_bool(obj, "simulate")?.unwrap_or(defaults.simulate),
+        deadline_ms: field_u64(obj, "deadline_ms")?,
+    })
+}
+
+fn parse_sim_request(obj: &Json) -> Result<SimRequest, Error> {
+    let plan = parse_plan_request(obj)?;
+    let base = SimRequest::of(plan);
+    Ok(SimRequest {
+        recompute_activations: field_bool(obj, "recompute_activations")?
+            .unwrap_or(base.recompute_activations),
+        scenarios: field_u64(obj, "scenarios")?.map_or(base.scenarios, |n| n as usize),
+        profile: field_str(obj, "profile")?.unwrap_or_else(|| base.profile.clone()),
+        seed: field_u64(obj, "seed")?.unwrap_or(base.seed),
+        deadline_ms: base.plan.deadline_ms,
+        id: base.id.clone(),
+        plan: base.plan,
+    })
+}
+
+/// Decodes one request line.
+///
+/// # Errors
+///
+/// [`Error::Protocol`] for non-JSON input, a non-object frame, a wrong
+/// `schema_version`, a missing/unknown `type`, or a mistyped field.
+pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
+    let doc = parse_json(line).map_err(|e| Error::protocol(format!("bad frame: {e}")))?;
+    if doc.as_object().is_none() {
+        return Err(Error::protocol("frame must be a JSON object"));
+    }
+    let legacy = match field(&doc, "schema_version") {
+        None => true,
+        Some(tag) => {
+            let tag = tag
+                .as_str()
+                .ok_or_else(|| Error::protocol("schema_version must be a string"))?;
+            if tag != SERVICE_SCHEMA {
+                return Err(Error::protocol(format!(
+                    "unsupported schema_version: {tag} (expected {SERVICE_SCHEMA})"
+                )));
+            }
+            false
+        }
+    };
+    let kind = field_str(&doc, "type")?
+        .ok_or_else(|| Error::protocol("frame is missing its type field"))?;
+    let frame = match kind.as_str() {
+        "plan" => Frame::Plan(parse_plan_request(&doc)?),
+        "sim" => Frame::Sim(parse_sim_request(&doc)?),
+        "cancel" => Frame::Cancel {
+            id: field_str(&doc, "id")?
+                .ok_or_else(|| Error::protocol("cancel frame is missing its id"))?,
+        },
+        "ping" => Frame::Ping,
+        "shutdown" => Frame::Shutdown,
+        other => {
+            return Err(Error::protocol(format!(
+                "unknown frame type: {other} (expected plan|sim|cancel|ping|shutdown)"
+            )))
+        }
+    };
+    Ok(ParsedFrame { frame, legacy })
+}
+
+fn tagged(kind: &str) -> Json {
+    Json::obj()
+        .with("schema_version", SERVICE_SCHEMA)
+        .with("type", kind)
+}
+
+/// Encodes a [`PlanRequest`] as a `plan` frame (the client side of the
+/// protocol; also the transcript format of the README quickstart).
+pub fn request_json(req: &PlanRequest) -> Json {
+    let mut doc = tagged("plan")
+        .with("id", req.id.as_str())
+        .with("model", req.model.as_str())
+        .with("devices", req.devices)
+        .with("batch", req.batch)
+        .with("seq", req.seq);
+    if let Some(layers) = req.layers {
+        doc.set("layers", layers);
+    }
+    doc = doc
+        .with("alpha", req.alpha)
+        .with("threads", req.threads)
+        .with("memoize", req.memoize)
+        .with("allow_temporal", req.allow_temporal)
+        .with("allow_batch_split", req.allow_batch_split)
+        .with("max_temporal_k", req.max_temporal_k)
+        .with("simulate", req.simulate);
+    if let Some(ms) = req.deadline_ms {
+        doc.set("deadline_ms", ms);
+    }
+    doc
+}
+
+/// Encodes a [`SimRequest`] as a `sim` frame.
+pub fn sim_request_json(req: &SimRequest) -> Json {
+    let mut doc = request_json(&req.plan).with("id", req.id.as_str());
+    doc.set("type", "sim");
+    doc.set("recompute_activations", req.recompute_activations);
+    doc.set("scenarios", req.scenarios);
+    doc.set("profile", req.profile.as_str());
+    doc.set("seed", req.seed);
+    doc
+}
+
+fn cache_json(resp: &crate::CacheOutcome) -> Json {
+    Json::obj()
+        .with("plan_cache_hit", resp.plan_cache_hit)
+        .with("plan_cache_hits", resp.plan_cache_hits)
+        .with("plan_cache_misses", resp.plan_cache_misses)
+        .with("warm_matrix_hits", resp.warm_matrix_hits)
+        .with("warm_matrix_misses", resp.warm_matrix_misses)
+        .with("plans_interned", resp.plans_interned)
+        .with("clusters_interned", resp.clusters_interned)
+}
+
+const LEGACY_WARNING: &str =
+    "legacy frame: missing schema_version; tag requests with primepar.service.v1";
+
+/// Encodes a [`PlanResponse`] as a `plan_response` frame.
+pub fn plan_response_json(resp: &PlanResponse, legacy: bool) -> Json {
+    let mut doc = tagged("plan_response")
+        .with("id", resp.id.as_str())
+        .with("ok", true)
+        .with("fingerprint", resp.fingerprint.as_str())
+        .with("model", resp.model.as_str())
+        .with("devices", resp.devices)
+        .with("batch", resp.batch)
+        .with("seq", resp.seq)
+        .with("layers", resp.layers)
+        .with("elapsed_us", resp.elapsed.as_micros() as u64)
+        .with("layer_cost", resp.plan.layer_cost)
+        .with("total_cost", resp.plan.total_cost)
+        .with("plan_text", resp.plan_text.as_str())
+        .with("cache", cache_json(&resp.cache))
+        .with("metrics", resp.metrics.to_metrics().to_json());
+    if let Some(sim) = &resp.sim {
+        doc.set(
+            "sim",
+            Json::obj()
+                .with("iteration_time", sim.iteration_time)
+                .with("peak_memory_bytes", sim.peak_memory_bytes)
+                .with("tokens_per_second", sim.tokens_per_second),
+        );
+    }
+    if legacy {
+        doc.set("warning", LEGACY_WARNING);
+    }
+    doc
+}
+
+/// Encodes a [`SimResponse`] as a `sim_response` frame.
+pub fn sim_response_json(resp: &SimResponse, legacy: bool) -> Json {
+    let report = &resp.report;
+    let mut doc = tagged("sim_response")
+        .with("id", resp.id.as_str())
+        .with("ok", true)
+        .with("fingerprint", resp.fingerprint.as_str())
+        .with("elapsed_us", resp.elapsed.as_micros() as u64)
+        .with("iteration_time", report.iteration_time)
+        .with("peak_memory_bytes", report.peak_memory_bytes)
+        .with("tokens_per_second", report.tokens_per_second)
+        .with("cache", cache_json(&resp.cache));
+    if let Some(sweep) = &report.layer.robustness {
+        doc.set("robustness", robustness_json(sweep));
+    }
+    if legacy {
+        doc.set("warning", LEGACY_WARNING);
+    }
+    doc
+}
+
+/// Encodes a failure as an `error` frame.
+pub fn error_json(id: &str, err: &Error) -> Json {
+    tagged("error").with("id", id).with("ok", false).with(
+        "error",
+        Json::obj()
+            .with("kind", err.kind())
+            .with("message", err.message()),
+    )
+}
+
+/// `primepar serve` configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ServeOptions {
+    /// Worker threads of the underlying pool (0 = pool default).
+    pub workers: usize,
+    /// When set, each successful plan response is also written to
+    /// `<dir>/<id>.plan.txt` in the canonical text format.
+    pub plan_dir: Option<PathBuf>,
+}
+
+/// How a serve loop ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServeEnd {
+    /// Plan/sim requests submitted.
+    pub requests: u64,
+    /// Error frames emitted (parse failures and failed requests).
+    pub errors: u64,
+    /// The stream ended with an explicit `shutdown` frame (vs EOF).
+    pub shutdown: bool,
+}
+
+enum Reply {
+    Plan {
+        id: String,
+        legacy: bool,
+        pending: Pending<PlanResponse>,
+    },
+    Sim {
+        id: String,
+        legacy: bool,
+        pending: Pending<SimResponse>,
+    },
+}
+
+enum Verdict {
+    Plan(Box<Result<PlanResponse, Error>>),
+    Sim(Box<Result<SimResponse, Error>>),
+}
+
+impl Reply {
+    fn id(&self) -> &str {
+        match self {
+            Reply::Plan { id, .. } | Reply::Sim { id, .. } => id,
+        }
+    }
+
+    fn legacy(&self) -> bool {
+        match self {
+            Reply::Plan { legacy, .. } | Reply::Sim { legacy, .. } => *legacy,
+        }
+    }
+
+    fn cancel(&self) {
+        match self {
+            Reply::Plan { pending, .. } => pending.cancel(),
+            Reply::Sim { pending, .. } => pending.cancel(),
+        }
+    }
+
+    /// The verdict if it has already arrived — the caller must then pop and
+    /// emit this reply, since the arrival is consumed from the channel.
+    fn try_verdict(&self) -> Option<Verdict> {
+        match self {
+            Reply::Plan { pending, .. } => pending.try_wait().map(|r| Verdict::Plan(Box::new(r))),
+            Reply::Sim { pending, .. } => pending.try_wait().map(|r| Verdict::Sim(Box::new(r))),
+        }
+    }
+
+    fn wait_verdict(self) -> Verdict {
+        match self {
+            Reply::Plan { pending, .. } => Verdict::Plan(Box::new(pending.wait())),
+            Reply::Sim { pending, .. } => Verdict::Sim(Box::new(pending.wait())),
+        }
+    }
+}
+
+fn sanitize_artifact_id(id: &str) -> String {
+    let cleaned: String = id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if cleaned.is_empty() {
+        "plan".to_string()
+    } else {
+        cleaned
+    }
+}
+
+fn emit(
+    writer: &mut impl Write,
+    end: &mut ServeEnd,
+    opts: &ServeOptions,
+    id: &str,
+    legacy: bool,
+    verdict: Verdict,
+) -> Result<(), Error> {
+    let doc = match verdict {
+        Verdict::Plan(result) => match *result {
+            Ok(resp) => {
+                if let Some(dir) = &opts.plan_dir {
+                    let path = dir.join(format!("{}.plan.txt", sanitize_artifact_id(id)));
+                    std::fs::write(&path, &resp.plan_text)
+                        .map_err(|e| Error::internal(format!("--plan-dir write failed: {e}")))?;
+                }
+                plan_response_json(&resp, legacy)
+            }
+            Err(err) => {
+                end.errors += 1;
+                error_json(id, &err)
+            }
+        },
+        Verdict::Sim(result) => match *result {
+            Ok(resp) => sim_response_json(&resp, legacy),
+            Err(err) => {
+                end.errors += 1;
+                error_json(id, &err)
+            }
+        },
+    };
+    writeln!(writer, "{}", doc.render()).map_err(|e| Error::internal(format!("write failed: {e}")))
+}
+
+/// Serves the line protocol from `reader` to `writer` over a private
+/// [`WarmCache`] until EOF or a `shutdown` frame.
+///
+/// # Errors
+///
+/// [`Error::Internal`] when the transport itself fails (read/write errors);
+/// malformed frames and failed requests are answered in-band as `error`
+/// frames, never escalated.
+pub fn serve_lines(
+    reader: impl BufRead,
+    writer: &mut impl Write,
+    opts: &ServeOptions,
+) -> Result<ServeEnd, Error> {
+    let cache = WarmCache::new();
+    serve_lines_with_cache(reader, writer, &cache, opts)
+}
+
+/// [`serve_lines`] over a caller-owned cache — the shape multi-connection
+/// hosts use so warm state survives across sessions.
+///
+/// # Errors
+///
+/// See [`serve_lines`].
+pub fn serve_lines_with_cache(
+    reader: impl BufRead,
+    writer: &mut impl Write,
+    cache: &WarmCache,
+    opts: &ServeOptions,
+) -> Result<ServeEnd, Error> {
+    let pool = ServiceOptions {
+        workers: if opts.workers == 0 {
+            ServiceOptions::default().workers
+        } else {
+            opts.workers
+        },
+    };
+    PlannerService::run_with_cache(pool, cache, |client| {
+        let io = |e: std::io::Error| Error::internal(format!("transport failed: {e}"));
+        let mut end = ServeEnd::default();
+        let mut queue: VecDeque<Reply> = VecDeque::new();
+        for line in reader.lines() {
+            let line = line.map_err(io)?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            match parse_frame(&line) {
+                Err(err) => {
+                    end.errors += 1;
+                    writeln!(writer, "{}", error_json("", &err).render()).map_err(io)?;
+                }
+                Ok(ParsedFrame { frame, legacy }) => match frame {
+                    Frame::Plan(req) => {
+                        end.requests += 1;
+                        queue.push_back(Reply::Plan {
+                            id: req.id.clone(),
+                            legacy,
+                            pending: client.submit_plan(req),
+                        });
+                    }
+                    Frame::Sim(req) => {
+                        end.requests += 1;
+                        queue.push_back(Reply::Sim {
+                            id: req.id.clone(),
+                            legacy,
+                            pending: client.submit_sim(req),
+                        });
+                    }
+                    Frame::Cancel { id } => {
+                        for reply in queue.iter().filter(|r| r.id() == id) {
+                            reply.cancel();
+                        }
+                    }
+                    Frame::Ping => {
+                        writeln!(writer, "{}", tagged("pong").render()).map_err(io)?;
+                    }
+                    Frame::Shutdown => {
+                        end.shutdown = true;
+                        break;
+                    }
+                },
+            }
+            // Opportunistically flush finished responses, preserving
+            // submission order.
+            while let Some(front) = queue.front() {
+                let Some(verdict) = front.try_verdict() else {
+                    break;
+                };
+                let reply = queue.pop_front().expect("front exists");
+                let (id, legacy) = (reply.id().to_string(), reply.legacy());
+                emit(writer, &mut end, opts, &id, legacy, verdict)?;
+            }
+            writer.flush().map_err(io)?;
+        }
+        // Drain: block on everything still in flight, in order.
+        while let Some(reply) = queue.pop_front() {
+            let (id, legacy) = (reply.id().to_string(), reply.legacy());
+            emit(writer, &mut end, opts, &id, legacy, reply.wait_verdict())?;
+        }
+        writeln!(writer, "{}", tagged("bye").render()).map_err(io)?;
+        writer.flush().map_err(io)?;
+        Ok(end)
+    })
+}
+
+/// Hosts the line protocol on a Unix domain socket, one connection at a
+/// time, sharing one [`WarmCache`] across connections. A `shutdown` frame
+/// ends the whole server; a disconnect only ends that connection.
+///
+/// # Errors
+///
+/// [`Error::Internal`] when binding or accepting fails.
+#[cfg(unix)]
+pub fn serve_unix_socket(path: &std::path::Path, opts: &ServeOptions) -> Result<ServeEnd, Error> {
+    use std::io::BufReader;
+    use std::os::unix::net::UnixListener;
+
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)
+        .map_err(|e| Error::internal(format!("bind {} failed: {e}", path.display())))?;
+    let cache = WarmCache::new();
+    let mut total = ServeEnd::default();
+    loop {
+        let (stream, _) = listener
+            .accept()
+            .map_err(|e| Error::internal(format!("accept failed: {e}")))?;
+        let reader = BufReader::new(
+            stream
+                .try_clone()
+                .map_err(|e| Error::internal(format!("socket clone failed: {e}")))?,
+        );
+        let mut writer = stream;
+        let end = serve_lines_with_cache(reader, &mut writer, &cache, opts)?;
+        total.requests += end.requests;
+        total.errors += end.errors;
+        if end.shutdown {
+            total.shutdown = true;
+            let _ = std::fs::remove_file(path);
+            return Ok(total);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line(json: &str) -> String {
+        format!("{json}\n")
+    }
+
+    #[test]
+    fn frames_round_trip_through_their_builders() {
+        let req = PlanRequest::builder("opt-6.7b")
+            .id("r1")
+            .devices(16)
+            .layers(Some(2))
+            .deadline_ms(Some(250))
+            .build();
+        let parsed = parse_frame(&request_json(&req).render()).expect("parses");
+        assert!(!parsed.legacy);
+        assert_eq!(parsed.frame, Frame::Plan(req.clone()));
+
+        let sim = SimRequest::of(req).with_sweep("harsh", 3, 9);
+        let parsed = parse_frame(&sim_request_json(&sim).render()).expect("parses");
+        assert_eq!(parsed.frame, Frame::Sim(sim));
+    }
+
+    #[test]
+    fn legacy_frames_are_accepted_and_flagged() {
+        let parsed = parse_frame(r#"{"type":"plan","model":"opt-6.7b"}"#).expect("parses");
+        assert!(parsed.legacy);
+        assert!(matches!(parsed.frame, Frame::Plan(_)));
+        // Control frames parse too.
+        assert_eq!(
+            parse_frame(r#"{"type":"cancel","id":"r9"}"#)
+                .expect("parses")
+                .frame,
+            Frame::Cancel { id: "r9".into() }
+        );
+        assert_eq!(
+            parse_frame(r#"{"type":"ping"}"#).expect("parses").frame,
+            Frame::Ping
+        );
+    }
+
+    #[test]
+    fn bad_frames_are_protocol_errors() {
+        for (label, input) in [
+            ("not json", "{nope"),
+            ("not an object", "[1,2]"),
+            (
+                "wrong schema",
+                r#"{"schema_version":"primepar.service.v999","type":"ping"}"#,
+            ),
+            (
+                "missing type",
+                r#"{"schema_version":"primepar.service.v1"}"#,
+            ),
+            ("unknown type", r#"{"type":"dance"}"#),
+            (
+                "mistyped field",
+                r#"{"type":"plan","model":"opt-6.7b","devices":"many"}"#,
+            ),
+            ("cancel without id", r#"{"type":"cancel"}"#),
+        ] {
+            let verdict = parse_frame(input);
+            assert!(
+                matches!(verdict, Err(Error::Protocol(_))),
+                "{label}: {verdict:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn serve_lines_answers_in_order_and_reports_cache_hits() {
+        let request = r#"{"schema_version":"primepar.service.v1","type":"plan","id":"ID","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#;
+        let input = format!(
+            "{}{}{}",
+            line(&request.replace("ID", "r1")),
+            line(&request.replace("ID", "r2")),
+            line(r#"{"schema_version":"primepar.service.v1","type":"shutdown"}"#),
+        );
+        let mut out = Vec::new();
+        let end = serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        assert_eq!((end.requests, end.errors, end.shutdown), (2, 0, true));
+        let lines: Vec<Json> = String::from_utf8(out)
+            .expect("utf8")
+            .lines()
+            .map(|l| parse_json(l).expect("frame json"))
+            .collect();
+        assert_eq!(lines.len(), 3, "r1, r2, bye");
+        for doc in &lines {
+            assert_eq!(
+                doc.get("schema_version").and_then(Json::as_str),
+                Some(SERVICE_SCHEMA)
+            );
+        }
+        let (r1, r2) = (&lines[0], &lines[1]);
+        assert_eq!(r1.get("id").and_then(Json::as_str), Some("r1"));
+        assert_eq!(r2.get("id").and_then(Json::as_str), Some("r2"));
+        assert_eq!(
+            r1.get("cache")
+                .and_then(|c| c.get("plan_cache_hit"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            r2.get("cache")
+                .and_then(|c| c.get("plan_cache_hit"))
+                .and_then(Json::as_bool),
+            Some(true)
+        );
+        assert_eq!(
+            r1.get("plan_text").and_then(Json::as_str),
+            r2.get("plan_text").and_then(Json::as_str),
+            "served plans are byte-identical"
+        );
+        assert!(r1.get("warning").is_none(), "tagged frames draw no warning");
+    }
+
+    #[test]
+    fn expired_deadline_answers_in_band_and_spares_the_pool() {
+        let input = format!(
+            "{}{}",
+            line(
+                r#"{"type":"plan","id":"late","model":"opt-6.7b","devices":4,"seq":512,"layers":2,"deadline_ms":0}"#
+            ),
+            line(
+                r#"{"type":"plan","id":"fine","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#
+            ),
+        );
+        let mut out = Vec::new();
+        let end = serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        assert_eq!((end.requests, end.errors, end.shutdown), (2, 1, false));
+        let text = String::from_utf8(out).expect("utf8");
+        let late = parse_json(text.lines().next().expect("first line")).expect("json");
+        assert_eq!(late.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            late.get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("cancelled")
+        );
+        let fine = parse_json(text.lines().nth(1).expect("second line")).expect("json");
+        assert_eq!(fine.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            fine.get("warning").and_then(Json::as_str),
+            Some(LEGACY_WARNING),
+            "untagged frames are answered with a warning"
+        );
+    }
+
+    #[test]
+    fn malformed_lines_answer_errors_without_ending_the_session() {
+        let input = format!("{}{}", line("{broken"), line(r#"{"type":"ping"}"#),);
+        let mut out = Vec::new();
+        let end =
+            serve_lines(input.as_bytes(), &mut out, &ServeOptions::default()).expect("serves");
+        assert_eq!((end.requests, end.errors), (0, 1));
+        let text = String::from_utf8(out).expect("utf8");
+        let first = parse_json(text.lines().next().expect("line")).expect("json");
+        assert_eq!(first.get("type").and_then(Json::as_str), Some("error"));
+        let second = parse_json(text.lines().nth(1).expect("line")).expect("json");
+        assert_eq!(second.get("type").and_then(Json::as_str), Some("pong"));
+    }
+
+    #[test]
+    fn artifact_ids_are_sanitized() {
+        assert_eq!(sanitize_artifact_id("r1"), "r1");
+        assert_eq!(sanitize_artifact_id("../evil name"), "___evil_name");
+        assert_eq!(sanitize_artifact_id(""), "plan");
+    }
+}

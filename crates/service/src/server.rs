@@ -1,0 +1,372 @@
+//! The bounded worker pool behind a running planner service.
+//!
+//! [`PlannerService::run`] spawns `workers` scoped threads draining one
+//! job queue into a shared [`WarmCache`] and hands the closure a
+//! [`ServiceClient`]. Submissions return immediately with a [`Pending`]
+//! handle; the caller waits, polls, or cancels.
+//!
+//! The pool is unpoisonable by construction: every job runs under
+//! [`catch_unwind`], a cancelled or deadline-expired ticket short-circuits
+//! to [`Error::Cancelled`] *before* any planning happens, and a worker that
+//! answered one request — however it ended — is immediately back on the
+//! queue for the next.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crate::cache::{ServiceCacheStats, WarmCache};
+use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse};
+
+/// Pool configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceOptions {
+    /// Worker threads draining the request queue (minimum 1).
+    pub workers: usize,
+}
+
+impl Default for ServiceOptions {
+    fn default() -> Self {
+        ServiceOptions { workers: 2 }
+    }
+}
+
+/// Shared cancellation flag of one submitted request.
+///
+/// Cloning shares the flag; any clone can cancel. A request cancelled
+/// before a worker picks it up is never planned; one cancelled mid-flight
+/// still completes the planning work (the DP is not interruptible) but
+/// answers [`Error::Cancelled`].
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Delivery constraints travelling with a job.
+#[derive(Debug, Clone)]
+struct Ticket {
+    cancel: CancelToken,
+    deadline: Option<Instant>,
+}
+
+impl Ticket {
+    fn for_deadline(cancel: CancelToken, deadline_ms: Option<u64>) -> Ticket {
+        Ticket {
+            cancel,
+            deadline: deadline_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+}
+
+enum Job {
+    Plan {
+        req: PlanRequest,
+        ticket: Ticket,
+        reply: Sender<Result<PlanResponse, Error>>,
+    },
+    Sim {
+        req: SimRequest,
+        ticket: Ticket,
+        reply: Sender<Result<SimResponse, Error>>,
+    },
+}
+
+/// Handle to one in-flight request.
+#[derive(Debug)]
+pub struct Pending<T> {
+    rx: Receiver<Result<T, Error>>,
+    cancel: CancelToken,
+}
+
+impl<T> Pending<T> {
+    /// Blocks until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// The worker's verdict, or [`Error::Internal`] if the pool went away
+    /// without answering.
+    pub fn wait(self) -> Result<T, Error> {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Err(Error::internal("service dropped the reply channel")))
+    }
+
+    /// The response if it has already arrived, `None` otherwise.
+    pub fn try_wait(&self) -> Option<Result<T, Error>> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Requests cancellation of this request.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
+    }
+
+    /// A clone of this request's cancellation token.
+    pub fn token(&self) -> CancelToken {
+        self.cancel.clone()
+    }
+}
+
+/// Submission handle the service lends to its driver closure.
+///
+/// Cheap to clone (it is a queue sender plus a cache reference); all clones
+/// must be dropped for the service's workers to shut down, so do not smuggle
+/// one out of the [`PlannerService::run`] closure.
+#[derive(Debug)]
+pub struct ServiceClient<'c> {
+    tx: Sender<Job>,
+    cache: &'c WarmCache,
+}
+
+impl Clone for ServiceClient<'_> {
+    fn clone(&self) -> Self {
+        ServiceClient {
+            tx: self.tx.clone(),
+            cache: self.cache,
+        }
+    }
+}
+
+impl ServiceClient<'_> {
+    /// Enqueues a plan request; returns immediately.
+    pub fn submit_plan(&self, req: PlanRequest) -> Pending<PlanResponse> {
+        let (reply, rx) = mpsc::channel();
+        let cancel = CancelToken::new();
+        let ticket = Ticket::for_deadline(cancel.clone(), req.deadline_ms);
+        let job = Job::Plan { req, ticket, reply };
+        self.dispatch(job);
+        Pending { rx, cancel }
+    }
+
+    /// Plans synchronously on the pool.
+    ///
+    /// # Errors
+    ///
+    /// The worker's verdict for this request.
+    pub fn plan(&self, req: PlanRequest) -> Result<PlanResponse, Error> {
+        self.submit_plan(req).wait()
+    }
+
+    /// Enqueues a simulation request; returns immediately.
+    pub fn submit_sim(&self, req: SimRequest) -> Pending<SimResponse> {
+        let (reply, rx) = mpsc::channel();
+        let cancel = CancelToken::new();
+        let ticket = Ticket::for_deadline(cancel.clone(), req.deadline_ms);
+        let job = Job::Sim { req, ticket, reply };
+        self.dispatch(job);
+        Pending { rx, cancel }
+    }
+
+    /// Simulates synchronously on the pool.
+    ///
+    /// # Errors
+    ///
+    /// The worker's verdict for this request.
+    pub fn sim(&self, req: SimRequest) -> Result<SimResponse, Error> {
+        self.submit_sim(req).wait()
+    }
+
+    /// Counters of the cache this service plans against.
+    pub fn stats(&self) -> ServiceCacheStats {
+        self.cache.stats()
+    }
+
+    fn dispatch(&self, job: Job) {
+        // A send can only fail once every worker is gone; answer through the
+        // job's own reply channel so the Pending handle still resolves.
+        if let Err(failed) = self.tx.send(job) {
+            const GONE: &str = "service workers are gone";
+            match failed.0 {
+                Job::Plan { reply, .. } => drop(reply.send(Err(Error::internal(GONE)))),
+                Job::Sim { reply, .. } => drop(reply.send(Err(Error::internal(GONE)))),
+            }
+        }
+    }
+}
+
+/// A scoped worker pool over a [`WarmCache`].
+pub struct PlannerService;
+
+impl PlannerService {
+    /// Runs `f` against a fresh pool with its own private cache.
+    pub fn run<R>(opts: ServiceOptions, f: impl FnOnce(&ServiceClient<'_>) -> R) -> R {
+        let cache = WarmCache::new();
+        PlannerService::run_with_cache(opts, &cache, f)
+    }
+
+    /// Runs `f` against a pool planning into `cache` — the shape long-lived
+    /// hosts use so warm state survives across connections.
+    pub fn run_with_cache<R>(
+        opts: ServiceOptions,
+        cache: &WarmCache,
+        f: impl FnOnce(&ServiceClient<'_>) -> R,
+    ) -> R {
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Mutex::new(rx);
+        thread::scope(|scope| {
+            for _ in 0..opts.workers.max(1) {
+                scope.spawn(|| worker_loop(&rx, cache));
+            }
+            let client = ServiceClient { tx, cache };
+            // `f` borrows the client; dropping it afterwards closes the
+            // queue, so the workers drain what is left and join at scope
+            // exit.
+            f(&client)
+        })
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, cache: &WarmCache) {
+    loop {
+        // Lock only around the recv so a worker deep in a plan never blocks
+        // its siblings' pickups.
+        let job = match rx.lock().expect("job queue lock").recv() {
+            Ok(job) => job,
+            Err(_) => return, // queue closed: service is shutting down
+        };
+        match job {
+            Job::Plan { req, ticket, reply } => {
+                drop(reply.send(guarded(&ticket, || cache.execute_plan(&req))));
+            }
+            Job::Sim { req, ticket, reply } => {
+                drop(reply.send(guarded(&ticket, || cache.execute_sim(&req))));
+            }
+        }
+    }
+}
+
+/// Runs one job under the pool's survival guarantees.
+fn guarded<T>(ticket: &Ticket, job: impl FnOnce() -> Result<T, Error>) -> Result<T, Error> {
+    if ticket.cancel.is_cancelled() {
+        return Err(Error::cancelled("request cancelled before pickup"));
+    }
+    if let Some(deadline) = ticket.deadline {
+        if Instant::now() >= deadline {
+            return Err(Error::cancelled("deadline expired before pickup"));
+        }
+    }
+    match catch_unwind(AssertUnwindSafe(job)) {
+        Ok(_) if ticket.cancel.is_cancelled() => {
+            Err(Error::cancelled("request cancelled while in flight"))
+        }
+        Ok(result) => result,
+        Err(payload) => Err(Error::internal(format!(
+            "worker panicked: {}",
+            panic_message(payload.as_ref())
+        ))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(id: &str) -> PlanRequest {
+        PlanRequest::builder("opt-6.7b")
+            .id(id)
+            .devices(4)
+            .batch(8)
+            .seq(512)
+            .layers(Some(2))
+            .build()
+    }
+
+    #[test]
+    fn pool_answers_and_shares_the_cache() {
+        let (a, b, stats) = PlannerService::run(ServiceOptions::default(), |client| {
+            let a = client.plan(tiny("a")).expect("plans");
+            let b = client.plan(tiny("b")).expect("plans");
+            (a, b, client.stats())
+        });
+        assert_eq!(a.plan_text, b.plan_text);
+        assert!(b.cache.plan_cache_hit);
+        assert_eq!((stats.plan_hits, stats.plan_misses), (1, 1));
+    }
+
+    #[test]
+    fn expired_deadline_cancels_without_poisoning_the_pool() {
+        PlannerService::run(ServiceOptions { workers: 1 }, |client| {
+            let doomed = client.plan(PlanRequest {
+                deadline_ms: Some(0),
+                ..tiny("doomed")
+            });
+            assert!(matches!(doomed, Err(Error::Cancelled(_))), "{doomed:?}");
+            // The same (sole) worker still serves the next request.
+            let after = client.plan(tiny("after")).expect("pool survived");
+            assert!(!after.cache.plan_cache_hit, "doomed request never planned");
+        });
+    }
+
+    #[test]
+    fn explicit_cancel_skips_queued_work() {
+        PlannerService::run(ServiceOptions { workers: 1 }, |client| {
+            // Occupy the only worker, then cancel the request queued behind.
+            let busy = client.submit_plan(tiny("busy"));
+            let queued = client.submit_plan(tiny("queued"));
+            queued.cancel();
+            assert!(queued.token().is_cancelled());
+            assert!(busy.wait().is_ok());
+            let verdict = queued.wait();
+            assert!(matches!(verdict, Err(Error::Cancelled(_))), "{verdict:?}");
+            // Nothing poisoned: a fresh request still plans.
+            assert!(client.plan(tiny("fresh")).is_ok());
+        });
+    }
+
+    #[test]
+    fn guarded_maps_panics_to_internal() {
+        let ticket = Ticket::for_deadline(CancelToken::new(), None);
+        let verdict: Result<(), Error> = guarded(&ticket, || panic!("kaboom"));
+        match verdict {
+            Err(Error::Internal(msg)) => assert!(msg.contains("kaboom"), "{msg}"),
+            other => panic!("expected internal error, got {other:?}"),
+        }
+        // The post-run cancel check wins over a successful result.
+        let ticket = Ticket::for_deadline(CancelToken::new(), None);
+        ticket.cancel.cancel();
+        let verdict: Result<(), Error> = guarded(&ticket, || Ok(()));
+        assert!(matches!(verdict, Err(Error::Cancelled(_))));
+    }
+
+    #[test]
+    fn pending_try_wait_polls_without_blocking() {
+        PlannerService::run(ServiceOptions::default(), |client| {
+            let pending = client.submit_plan(tiny("poll"));
+            loop {
+                if let Some(verdict) = pending.try_wait() {
+                    assert!(verdict.is_ok());
+                    break;
+                }
+                thread::yield_now();
+            }
+        });
+    }
+}

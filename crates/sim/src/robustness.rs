@@ -262,6 +262,9 @@ pub fn robustness_json(report: &RobustnessReport) -> Json {
         })
         .collect();
     Json::obj()
+        // `schema_version` is the workspace-wide artifact tag (PR 5); the
+        // bare `schema` key is kept for readers of the original format.
+        .with("schema_version", ROBUSTNESS_SCHEMA)
         .with("schema", ROBUSTNESS_SCHEMA)
         .with("base_seed", report.base_seed.to_string())
         .with("scenarios", report.scenarios as f64)
@@ -316,11 +319,19 @@ fn seed_str(doc: &Json, key: &str) -> Result<u64, String> {
 /// # Errors
 ///
 /// Returns a description of the first structural mismatch (wrong schema tag,
-/// missing field, wrong type).
+/// missing field, wrong type). Documents may carry the workspace-wide
+/// `schema_version` tag, the legacy `schema` tag, or both — at least one is
+/// required, and any tag present must match [`ROBUSTNESS_SCHEMA`].
 pub fn parse_robustness(doc: &Json) -> Result<RobustnessReport, String> {
-    match field(doc, "schema")?.as_str() {
-        Some(ROBUSTNESS_SCHEMA) => {}
-        other => return Err(format!("bad schema tag {other:?}")),
+    let tags = [doc.get("schema_version"), doc.get("schema")];
+    if tags.iter().all(Option::is_none) {
+        return Err("missing schema tag (`schema_version` or legacy `schema`)".into());
+    }
+    for tag in tags.into_iter().flatten() {
+        match tag.as_str() {
+            Some(ROBUSTNESS_SCHEMA) => {}
+            other => return Err(format!("bad schema tag {other:?}")),
+        }
     }
     let makespan = field(doc, "makespan")?;
     let slowdown = field(doc, "slowdown")?;
@@ -443,6 +454,47 @@ mod tests {
         assert!(parse_robustness(&Json::obj()).is_err());
         let bad = robustness_json(&sweep(2, 1)).with("schema", "nope");
         assert!(parse_robustness(&bad).unwrap_err().contains("schema"));
+    }
+
+    #[test]
+    fn parse_accepts_versioned_and_legacy_tags() {
+        let report = sweep(2, 3);
+        let doc = robustness_json(&report);
+        // Emitted documents carry both tags.
+        assert_eq!(
+            doc.get("schema_version").and_then(Json::as_str),
+            Some(ROBUSTNESS_SCHEMA)
+        );
+        assert_eq!(
+            doc.get("schema").and_then(Json::as_str),
+            Some(ROBUSTNESS_SCHEMA)
+        );
+        // Either tag alone is enough…
+        let strip = |doc: &Json, drop: &str| {
+            let Json::Obj(entries) = doc else {
+                unreachable!()
+            };
+            Json::Obj(entries.iter().filter(|(k, _)| k != drop).cloned().collect())
+        };
+        let legacy_only = strip(&doc, "schema_version");
+        assert_eq!(
+            parse_robustness(&legacy_only).expect("legacy accepted"),
+            report
+        );
+        let versioned_only = strip(&doc, "schema");
+        assert_eq!(
+            parse_robustness(&versioned_only).expect("versioned accepted"),
+            report
+        );
+        // …but a wrong `schema_version` is rejected even with a good legacy
+        // tag, and an untagged document is rejected outright.
+        let wrong = doc.with("schema_version", "primepar.robustness.v999");
+        assert!(parse_robustness(&wrong).unwrap_err().contains("schema"));
+        let untagged = strip(
+            &strip(&robustness_json(&report), "schema"),
+            "schema_version",
+        );
+        assert!(parse_robustness(&untagged).unwrap_err().contains("schema"));
     }
 
     #[test]

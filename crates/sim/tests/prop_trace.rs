@@ -38,8 +38,9 @@ fn timeline_from(raw: Vec<RawEvent>) -> Timeline {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
-    /// The rendered export is a syntactically valid JSON array of objects,
-    /// every one an `X`-phase span with the fields Perfetto requires.
+    /// The rendered export is a syntactically valid trace object — a
+    /// `schema_version` tag over a `traceEvents` array of objects, every one
+    /// an `X`-phase span with the fields Perfetto requires.
     #[test]
     fn export_is_structurally_valid_json(
         raw in proptest::collection::vec(
@@ -50,7 +51,14 @@ proptest! {
         let timeline = timeline_from(raw);
         let text = render_chrome_trace(&timeline);
         let doc = parse_json(&text).expect("export must be valid JSON");
-        let items = doc.as_array().expect("export must be a JSON array");
+        prop_assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_str()),
+            Some(primepar_obs::TRACE_SCHEMA)
+        );
+        let items = doc
+            .get("traceEvents")
+            .and_then(|v| v.as_array())
+            .expect("export must carry a traceEvents array");
         prop_assert_eq!(items.len(), timeline.len());
         for item in items {
             prop_assert_eq!(item.get("ph").and_then(|v| v.as_str()), Some("X"));

@@ -66,4 +66,37 @@ cmp "$artifacts/robustness1.txt" "$artifacts/robustness2.txt" \
     || { echo "robustness output is not deterministic" >&2; exit 1; }
 ./target/release/primepar validate --dir "$artifacts"
 
+echo "== service smoke (Table 2 point: OPT-6.7B, 16 devices) =="
+# Two identical requests through one `primepar serve` session: the second
+# must be answered from the whole-plan memo, and both served plans must be
+# byte-identical to a direct `plan --save` of the same point.
+./target/release/primepar plan --model opt-6.7b --devices 16 \
+    --save "$artifacts/direct.plan.txt" >/dev/null
+frame='{"schema_version":"primepar.service.v1","type":"plan","id":"ID","model":"opt-6.7b","devices":16,"batch":8,"seq":2048}'
+{
+    printf '%s\n' "${frame/ID/r1}"
+    printf '%s\n' "${frame/ID/r2}"
+    printf '{"schema_version":"primepar.service.v1","type":"shutdown"}\n'
+} | ./target/release/primepar serve --workers 1 --plan-dir "$artifacts/served" \
+    >"$artifacts/serve.out" 2>"$artifacts/serve.err"
+cmp "$artifacts/direct.plan.txt" "$artifacts/served/r1.plan.txt" \
+    || { echo "served r1 plan differs from direct optimize()" >&2; exit 1; }
+cmp "$artifacts/direct.plan.txt" "$artifacts/served/r2.plan.txt" \
+    || { echo "served r2 plan differs from direct optimize()" >&2; exit 1; }
+r1_line="$(sed -n 1p "$artifacts/serve.out")"
+r2_line="$(sed -n 2p "$artifacts/serve.out")"
+echo "$r1_line" | grep -q '"plan_cache_hit":false' \
+    || { echo "first request should plan cold" >&2; exit 1; }
+echo "$r2_line" | grep -q '"plan_cache_hit":true' \
+    || { echo "repeat request did not hit the plan memo" >&2; exit 1; }
+r1_us="$(echo "$r1_line" | sed 's/.*"elapsed_us":\([0-9]*\).*/\1/')"
+r2_us="$(echo "$r2_line" | sed 's/.*"elapsed_us":\([0-9]*\).*/\1/')"
+[ "$r1_us" -ge $((r2_us * 2)) ] \
+    || { echo "warm repeat not >=2x faster (cold ${r1_us}us, warm ${r2_us}us)" >&2; exit 1; }
+echo "cold ${r1_us}us, warm ${r2_us}us (memo hit)"
+
+echo "== cargo doc (facade + service, -D warnings) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
+    -p primepar-service -p primepar >/dev/null
+
 echo "CI gate passed."

@@ -178,9 +178,10 @@ fn metrics_json_flag_reports_planner_and_sim_sections() {
 
 #[test]
 fn chrome_trace_flag_writes_perfetto_loadable_spans() {
-    // ISSUE 1 acceptance: `--chrome-trace` must produce a JSON array of
-    // complete X-phase events with name/ph/ts/dur/pid/tid, verified by
-    // parsing the file back.
+    // ISSUE 1 acceptance: `--chrome-trace` must produce a Chrome-loadable
+    // trace of complete X-phase events with name/ph/ts/dur/pid/tid, verified
+    // by parsing the file back. Since PR 5 the export is the object format:
+    // a `schema_version` tag plus the `traceEvents` array.
     let path = std::env::temp_dir().join("primepar_cli_trace_test.json");
     let path_str = path.to_str().expect("utf-8 temp path");
     let (ok, stdout, stderr) = primepar(&[
@@ -198,10 +199,19 @@ fn chrome_trace_flag_writes_perfetto_loadable_spans() {
     assert!(stdout.contains("chrome trace written to"), "{stdout}");
 
     let text = std::fs::read_to_string(&path).expect("trace file written");
-    // Raw shape: a JSON array of X-phase spans (with `dur`) plus the cluster
-    // accounting's C-phase counter lanes (no `dur`).
+    // Raw shape: a tagged object whose `traceEvents` array holds X-phase
+    // spans (with `dur`) plus the cluster accounting's C-phase counter lanes
+    // (no `dur`).
     let doc = primepar::obs::parse_json(&text).expect("trace file is valid JSON");
-    let items = doc.as_array().expect("trace is a JSON array");
+    assert_eq!(
+        doc.get("schema_version")
+            .and_then(primepar::obs::Json::as_str),
+        Some(primepar::obs::TRACE_SCHEMA)
+    );
+    let items = doc
+        .get("traceEvents")
+        .and_then(primepar::obs::Json::as_array)
+        .expect("trace carries a traceEvents array");
     assert!(!items.is_empty(), "trace should contain spans");
     let mut spans = 0;
     let mut counters = 0;

@@ -1,0 +1,189 @@
+//! End-to-end tests of `primepar serve` and the typed exit codes, invoking
+//! the actual binary and speaking the line protocol over stdin/stdout.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use primepar::api::{request_json, PlanRequest};
+use primepar::obs::{parse_json, Json};
+
+/// Runs `primepar serve` with `input` piped to stdin, returning
+/// (exit-ok, stdout, stderr).
+fn serve(input: &str, extra: &[&str]) -> (bool, String, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_primepar"))
+        .arg("serve")
+        .args(extra)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary runs");
+    child
+        .stdin
+        .take()
+        .expect("piped stdin")
+        .write_all(input.as_bytes())
+        .expect("write requests");
+    let out = child.wait_with_output().expect("serve exits");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+fn exit_code(args: &[&str]) -> i32 {
+    Command::new(env!("CARGO_BIN_EXE_primepar"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+        .status
+        .code()
+        .expect("exit code")
+}
+
+fn small_request(id: &str) -> PlanRequest {
+    PlanRequest::builder("opt-6.7b")
+        .id(id)
+        .devices(4)
+        .seq(512)
+        .layers(Some(2))
+        .build()
+}
+
+fn response_lines(stdout: &str) -> Vec<Json> {
+    stdout
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| parse_json(l).expect("response frame parses"))
+        .collect()
+}
+
+fn str_field<'j>(doc: &'j Json, key: &str) -> &'j str {
+    doc.get(key).and_then(Json::as_str).unwrap_or_default()
+}
+
+#[test]
+fn serve_answers_repeats_from_the_plan_memo_bitwise_identically() {
+    let mut input = String::new();
+    for id in ["r1", "r2"] {
+        input.push_str(&request_json(&small_request(id)).render());
+        input.push('\n');
+    }
+    input.push_str("{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}\n");
+
+    let (ok, stdout, stderr) = serve(&input, &["--workers", "1"]);
+    assert!(ok, "serve failed: {stderr}");
+    let frames = response_lines(&stdout);
+    assert_eq!(frames.len(), 3, "r1 + r2 + bye, got:\n{stdout}");
+
+    let (r1, r2) = (&frames[0], &frames[1]);
+    assert_eq!(str_field(r1, "id"), "r1");
+    assert_eq!(str_field(r2, "id"), "r2");
+    for frame in [r1, r2] {
+        assert_eq!(str_field(frame, "schema_version"), "primepar.service.v1");
+        assert_eq!(frame.get("ok").and_then(Json::as_bool), Some(true));
+    }
+    let hit = |f: &Json| {
+        f.get("cache")
+            .and_then(|c| c.get("plan_cache_hit"))
+            .and_then(Json::as_bool)
+    };
+    assert_eq!(hit(r1), Some(false), "first request must plan cold");
+    assert_eq!(hit(r2), Some(true), "identical repeat must hit the memo");
+    let plan_text = str_field(r1, "plan_text");
+    assert!(!plan_text.is_empty());
+    assert_eq!(
+        plan_text.as_bytes(),
+        str_field(r2, "plan_text").as_bytes(),
+        "served repeats must be byte-identical"
+    );
+    assert_eq!(str_field(&frames[2], "type"), "bye");
+    assert!(
+        stderr.contains("2 request(s)"),
+        "summary on stderr: {stderr}"
+    );
+}
+
+#[test]
+fn legacy_frames_are_answered_with_a_warning() {
+    let frame = request_json(&small_request("old"));
+    let legacy = match frame {
+        Json::Obj(entries) => Json::Obj(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "schema_version")
+                .collect(),
+        ),
+        other => other,
+    };
+    let input = format!(
+        "{}\n{{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}}\n",
+        legacy.render()
+    );
+    let (ok, stdout, stderr) = serve(&input, &["--workers", "1"]);
+    assert!(ok, "serve failed: {stderr}");
+    let frames = response_lines(&stdout);
+    assert_eq!(frames[0].get("ok").and_then(Json::as_bool), Some(true));
+    assert!(
+        str_field(&frames[0], "warning").contains("legacy frame"),
+        "untagged request must be warned, got:\n{stdout}"
+    );
+}
+
+#[test]
+fn protocol_errors_stay_in_band_and_the_session_survives() {
+    let mut input = String::from("this is not json\n");
+    input.push_str(&request_json(&small_request("after")).render());
+    input.push('\n');
+    input.push_str("{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}\n");
+    let (ok, stdout, stderr) = serve(&input, &["--workers", "1"]);
+    assert!(ok, "serve failed: {stderr}");
+    let frames = response_lines(&stdout);
+    let error = &frames[0];
+    assert_eq!(error.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        error
+            .get("error")
+            .map(|e| str_field(e, "kind").to_owned())
+            .unwrap_or_default(),
+        "protocol"
+    );
+    assert_eq!(str_field(&frames[1], "id"), "after");
+    assert_eq!(frames[1].get("ok").and_then(Json::as_bool), Some(true));
+}
+
+#[test]
+fn error_variants_map_to_distinct_exit_codes() {
+    // config: unknown model.
+    assert_eq!(
+        exit_code(&["plan", "--model", "noop-13b", "--devices", "4"]),
+        2
+    );
+    // config: unknown command.
+    assert_eq!(exit_code(&["frobnicate"]), 2);
+    // topology: non-power-of-two device count.
+    assert_eq!(
+        exit_code(&["plan", "--model", "opt-6.7b", "--devices", "3"]),
+        3
+    );
+    // protocol: loading a plan file that does not parse.
+    let bad = std::env::temp_dir().join("primepar_service_cli_bad_plan.txt");
+    std::fs::write(&bad, "not a plan").expect("temp write");
+    assert_eq!(
+        exit_code(&[
+            "plan",
+            "--model",
+            "opt-6.7b",
+            "--devices",
+            "4",
+            "--seq",
+            "512",
+            "--plan",
+            bad.to_str().expect("utf-8 temp path"),
+        ]),
+        4
+    );
+    // success path still exits 0.
+    assert_eq!(exit_code(&["models"]), 0);
+}
