@@ -1,0 +1,76 @@
+//! Service scaling study: the seeded load-test harness at a few worker
+//! counts, snapshotting latency percentiles, throughput and warm-cache hit
+//! rates to `results/loadtest.metrics.json`.
+//!
+//! The workload is the standard two-phase mix — distinct keys planned cold,
+//! then seeded repeats with a slice of in-band cancellations — driven over
+//! the real line protocol (in-memory pipe). Same seed, same request
+//! sequence, run to run.
+//!
+//! `cargo run --release -p primepar-bench --bin loadtest`
+
+use primepar::api::{run_loadtest, LoadtestOptions};
+use primepar::obs::Metrics;
+use primepar_bench::write_run_metrics;
+
+fn main() {
+    let mut metrics = Metrics::new();
+    println!("Service loadtest — 48 requests (6 unique), seed 42\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "workers", "req/s", "p50 ms", "p95 ms", "p99 ms", "hit rate"
+    );
+    for workers in [1usize, 2, 4] {
+        let opts = LoadtestOptions {
+            requests: 48,
+            unique: 6,
+            workers,
+            seed: 42,
+            cancel_fraction: 0.125,
+        };
+        let report = match run_loadtest(&opts) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadtest with {workers} worker(s) failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "{workers:>8} {:>10.0} {:>10.2} {:>10.2} {:>10.2} {:>10.2}",
+            report.throughput_rps,
+            report.latency_us.p50 / 1e3,
+            report.latency_us.p95 / 1e3,
+            report.latency_us.p99 / 1e3,
+            report.repeat.hit_rate
+        );
+        // Namespace each sweep point's headline numbers.
+        let mut prefixed = Metrics::new();
+        prefixed.gauge(
+            &format!("loadtest.w{workers:02}.throughput_rps"),
+            report.throughput_rps,
+        );
+        prefixed.gauge(
+            &format!("loadtest.w{workers:02}.latency_p50_us"),
+            report.latency_us.p50,
+        );
+        prefixed.gauge(
+            &format!("loadtest.w{workers:02}.latency_p95_us"),
+            report.latency_us.p95,
+        );
+        prefixed.gauge(
+            &format!("loadtest.w{workers:02}.latency_p99_us"),
+            report.latency_us.p99,
+        );
+        prefixed.gauge(
+            &format!("loadtest.w{workers:02}.repeat_hit_rate"),
+            report.repeat.hit_rate,
+        );
+        metrics.merge(&prefixed);
+        // The widest run also contributes the full loadtest.* registry
+        // (histograms included) so the artifact carries exact percentiles.
+        if workers == 4 {
+            metrics.merge(&report.metrics);
+        }
+    }
+    write_run_metrics("loadtest", &metrics);
+}

@@ -6,7 +6,11 @@
 //! the [`PlanResponse`]. Simulation rides the same shapes via [`SimRequest`]
 //! / [`SimResponse`]. Every failure is the one typed [`Error`]
 //! (enum {config, topology, protocol, cancelled, internal}), which the CLI
-//! maps onto distinct exit codes.
+//! maps onto distinct exit codes. The service internals ride along for
+//! hosts that need them: the sharded warm cache ([`WarmCache`] /
+//! [`CacheConfig`] / [`ShardedMap`]), `primepar.cache.v1` persistence
+//! ([`CACHE_SCHEMA`], [`validate_cache_doc`]) and the load-test harness
+//! ([`run_loadtest`]).
 //!
 //! ```
 //! use primepar::api::PlanRequest;
@@ -31,15 +35,17 @@ use primepar_search::{ModelPlan, Planner, PlannerMetrics, PlannerOptions};
 use primepar_sim::{LayerReport, ModelReport, RobustnessOptions, SimOptions};
 use primepar_topology::Cluster;
 
-#[cfg(unix)]
-pub use primepar_service::serve_unix_socket;
 pub use primepar_service::{
-    error_json, parse_frame, plan_response_json, request_json, serve_lines, sim_request_json,
-    sim_response_json, CacheOutcome, CachedPlan, CancelToken, Error, Frame, ParsedFrame, Pending,
+    cache_to_json, cancel_json, error_json, parse_frame, plan_response_json, request_json,
+    run_loadtest, serve_lines, serve_lines_with_cache, sim_request_json, sim_response_json,
+    validate_cache_doc, CacheConfig, CacheOutcome, CachedPlan, CancelToken, Error, Frame,
+    LoadtestOptions, LoadtestReport, Outcome, ParsedFrame, Pending, PhaseReport, PlanKey,
     PlanRequest, PlanRequestBuilder, PlanResponse, PlannerService, ResolvedPlan, ServeEnd,
-    ServeOptions, ServiceCacheStats, ServiceClient, ServiceOptions, SimRequest, SimResponse,
-    WarmCache, SERVICE_SCHEMA,
+    ServeOptions, ServiceCacheStats, ServiceClient, ServiceOptions, ShardStats, ShardedMap,
+    SimRequest, SimResponse, WarmCache, CACHE_SCHEMA, SERVICE_SCHEMA,
 };
+#[cfg(unix)]
+pub use primepar_service::{run_loadtest_socket, serve_unix_socket};
 
 // Re-exported domain types, so facade users need no sub-crate imports.
 pub use primepar_graph::ModelConfig;

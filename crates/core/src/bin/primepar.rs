@@ -20,13 +20,17 @@
 //!                  [--metrics-json out.json] [--report-json robustness.json]
 //! primepar audit   --model opt-175b --devices 8 [--mlp-block] [--batch 8] [--seq 2048]
 //!                  [--system primepar|alpa|megatron] [--alpha 0] [--metrics-json out.json]
+//! primepar serve   [--workers 2] [--plan-dir DIR] [--socket PATH] [--cache-file PATH]
+//! primepar loadtest [--requests 24] [--unique 4] [--workers 4] [--seed 42]
+//!                  [--cancel-fraction 0.125] [--socket PATH]
+//!                  [--metrics-json results/loadtest.metrics.json]
 //! primepar validate [--dir results]...   # strict re-parse of emitted artifacts
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use primepar::api::{serve_lines, ServeOptions};
+use primepar::api::{run_loadtest, serve_lines, LoadtestOptions, ServeOptions};
 use primepar::audit::{audit_layer, audit_metrics, render_audit};
 use primepar::exec::{train_distributed, train_serial};
 use primepar::graph::ModelConfig;
@@ -120,11 +124,20 @@ fn usage() -> &'static str {
      \x20 audit   --model M --devices N   cost-model drift report (predicted vs simulated)\n\
      \x20         [--mlp-block] [--system primepar|alpa|megatron] [--alpha A]\n\
      \x20         [--batch B] [--seq S] [--metrics-json PATH]\n\
-     \x20 serve   [--workers N] [--plan-dir DIR] [--socket PATH]\n\
+     \x20 serve   [--workers N] [--plan-dir DIR] [--socket PATH] [--cache-file PATH]\n\
      \x20         long-lived planner service: line-delimited JSON requests on\n\
-     \x20         stdin (or a Unix socket), responses on stdout, warm cache\n\
+     \x20         stdin (or a Unix socket), out-of-order responses tagged with\n\
+     \x20         request_id on stdout; --cache-file persists the warm cache\n\
+     \x20         across restarts as a primepar.cache.v1 artifact\n\
+     \x20 loadtest [--requests N] [--unique K] [--workers W] [--seed S]\n\
+     \x20         [--cancel-fraction F] [--socket PATH] [--metrics-json PATH]\n\
+     \x20         [--min-repeat-hit-rate R]\n\
+     \x20         seeded mixed repeat/unique/cancelled workload against the\n\
+     \x20         service; snapshots p50/p95/p99 latency + throughput\n\
+     \x20         (default results/loadtest.metrics.json)\n\
      \x20 validate [--dir DIR]...         strict re-parse of *.metrics.json /\n\
-     \x20         *.trace.json / *.report.json (warns on untagged legacy docs)\n\
+     \x20         *.trace.json / *.report.json / *.cache.json (warns on\n\
+     \x20         untagged legacy docs)\n\
      \n\
      exit codes: 0 ok, 2 config, 3 topology, 4 protocol, 5 cancelled, 6 internal\n"
 }
@@ -722,8 +735,12 @@ fn run() -> Result<(), Error> {
             for dir in dirs {
                 let summary = validate_artifacts(dir)?;
                 println!(
-                    "{dir}: {} metrics document(s), {} trace(s), {} report(s) parsed cleanly",
-                    summary.metrics_files, summary.trace_files, summary.report_files
+                    "{dir}: {} metrics document(s), {} trace(s), {} report(s), \
+                     {} cache dump(s) parsed cleanly",
+                    summary.metrics_files,
+                    summary.trace_files,
+                    summary.report_files,
+                    summary.cache_files
                 );
                 if summary.legacy_files > 0 {
                     eprintln!(
@@ -743,7 +760,12 @@ fn run() -> Result<(), Error> {
                     Error::internal(format!("cannot create {}: {e}", dir.display()))
                 })?;
             }
-            let opts = ServeOptions { workers, plan_dir };
+            let cache_file = args.value("--cache-file").map(PathBuf::from);
+            let opts = ServeOptions {
+                workers,
+                plan_dir,
+                cache_file,
+            };
             if let Some(path) = args.value("--socket") {
                 #[cfg(unix)]
                 {
@@ -761,15 +783,89 @@ fn run() -> Result<(), Error> {
                     return Err(Error::config("--socket requires a unix platform"));
                 }
             }
-            let stdin = std::io::stdin();
+            // Out-of-order emission reads input on a sibling thread, which
+            // needs a Send reader — Stdin itself, not the non-Send lock.
             let stdout = std::io::stdout();
-            let end = serve_lines(stdin.lock(), &mut stdout.lock(), &opts)?;
+            let reader = std::io::BufReader::new(std::io::stdin());
+            let end = serve_lines(reader, &mut stdout.lock(), &opts)?;
             eprintln!(
                 "primepar serve: {} request(s), {} error(s){}",
                 end.requests,
                 end.errors,
                 if end.shutdown { ", shutdown" } else { "" }
             );
+            Ok(())
+        }
+        "loadtest" => {
+            let opts = LoadtestOptions {
+                requests: args.parse("--requests", 24)?,
+                unique: args.parse("--unique", 4)?,
+                workers: args.parse("--workers", 4)?,
+                seed: args.parse("--seed", 42)?,
+                cancel_fraction: args.parse("--cancel-fraction", 0.125)?,
+            };
+            let report = match args.value("--socket") {
+                Some(path) => {
+                    #[cfg(unix)]
+                    {
+                        eprintln!("primepar loadtest: hammering {path}");
+                        primepar::api::run_loadtest_socket(std::path::Path::new(path), &opts)?
+                    }
+                    #[cfg(not(unix))]
+                    {
+                        let _ = path;
+                        return Err(Error::config("--socket requires a unix platform"));
+                    }
+                }
+                None => run_loadtest(&opts)?,
+            };
+            println!(
+                "loadtest: {} request(s) ({} unique, {} repeat) over {} worker(s), seed {}",
+                opts.requests,
+                opts.unique,
+                opts.requests - opts.unique,
+                opts.workers,
+                opts.seed
+            );
+            println!(
+                "  {} response(s) in {:.3}s — {:.0} req/s",
+                report.responses,
+                report.elapsed.as_secs_f64(),
+                report.throughput_rps
+            );
+            println!(
+                "  latency: p50 {:.1}ms p95 {:.1}ms p99 {:.1}ms (over {} ok)",
+                report.latency_us.p50 / 1e3,
+                report.latency_us.p95 / 1e3,
+                report.latency_us.p99 / 1e3,
+                report.latency_us.count
+            );
+            for (name, phase) in [("unique", &report.unique), ("repeat", &report.repeat)] {
+                println!(
+                    "  {name}: {} ok, {} cancelled, {} error(s), hit rate {:.2} \
+                     ({} hit(s), {} coalesced)",
+                    phase.ok,
+                    phase.cancelled,
+                    phase.errors,
+                    phase.hit_rate,
+                    phase.hits,
+                    phase.coalesced
+                );
+            }
+            let out = args
+                .value("--metrics-json")
+                .unwrap_or("results/loadtest.metrics.json");
+            primepar::write_metrics_json(out, &report.metrics)
+                .map_err(|e| Error::internal(format!("cannot write {out}: {e}")))?;
+            println!("metrics written to {out}");
+            // CI pins the repeat-phase hit rate with this floor.
+            let floor: f64 = args.parse("--min-repeat-hit-rate", 0.0)?;
+            if report.repeat.hit_rate < floor {
+                return Err(Error::internal(format!(
+                    "repeat-phase hit rate {:.3} below the --min-repeat-hit-rate floor {floor}",
+                    report.repeat.hit_rate
+                )));
+            }
             Ok(())
         }
         "--help" | "-h" | "help" => {

@@ -103,6 +103,8 @@ pub struct ArtifactSummary {
     pub trace_files: usize,
     /// `*.report.json` robustness reports parsed.
     pub report_files: usize,
+    /// `*.cache.json` warm-cache dumps parsed.
+    pub cache_files: usize,
     /// Documents accepted without a `schema_version` tag (pre-versioning
     /// emitters); the CLI warns when this is nonzero.
     pub legacy_files: usize,
@@ -113,12 +115,15 @@ fn read_artifact(path: &Path) -> Result<String, Error> {
         .map_err(|e| Error::internal(format!("cannot read {}: {e}", path.display())))
 }
 
-/// Re-parses every `*.metrics.json`, `*.trace.json` and `*.report.json`
-/// under `dir` with the strict `obs`/`sim` parsers: metrics documents must
-/// be valid JSON objects, trace documents valid Chrome `trace_event` arrays,
-/// report documents valid robustness sweeps. Versioned documents must carry
-/// the right `schema_version`; untagged (legacy) documents are accepted and
-/// counted in [`ArtifactSummary::legacy_files`].
+/// Re-parses every `*.metrics.json`, `*.trace.json`, `*.report.json` and
+/// `*.cache.json` under `dir` with the strict `obs`/`sim`/`service`
+/// parsers: metrics documents must be valid JSON objects, trace documents
+/// valid Chrome `trace_event` arrays, report documents valid robustness
+/// sweeps, cache documents valid `primepar.cache.v1` warm-cache dumps.
+/// Versioned documents must carry the right `schema_version`; untagged
+/// (legacy) documents are accepted and counted in
+/// [`ArtifactSummary::legacy_files`] — except cache dumps, which postdate
+/// versioning and must always be tagged.
 ///
 /// # Errors
 ///
@@ -174,6 +179,13 @@ pub fn validate_artifacts(dir: impl AsRef<Path>) -> Result<ArtifactSummary, Erro
                 summary.legacy_files += 1;
             }
             summary.report_files += 1;
+        } else if name.ends_with(".cache.json") {
+            // Warm-cache dumps postdate schema versioning: untagged documents
+            // are rejected, never counted as legacy.
+            let doc =
+                primepar_obs::parse_json(&read_artifact(&path)?).map_err(|e| bad(e.to_string()))?;
+            primepar_service::validate_cache_doc(&doc).map_err(|e| bad(e.to_string()))?;
+            summary.cache_files += 1;
         }
     }
     Ok(summary)
@@ -330,10 +342,34 @@ mod tests {
         );
         std::fs::write(dir.join("c.report.json"), robustness_json(&report).render()).unwrap();
 
+        let cache = primepar_service::WarmCache::new();
+        cache
+            .execute_plan(
+                &primepar_service::PlanRequest::builder("opt-6.7b")
+                    .id("v")
+                    .devices(4)
+                    .batch(8)
+                    .seq(256)
+                    .layers(Some(1))
+                    .build(),
+            )
+            .unwrap();
+        cache.save(dir.join("warm.cache.json")).unwrap();
+
         let summary = validate_artifacts(&dir).unwrap();
         assert_eq!(summary.metrics_files, 2);
         assert_eq!(summary.report_files, 1);
+        assert_eq!(summary.cache_files, 1);
         assert_eq!(summary.legacy_files, 1, "b.metrics.json has no tag");
+
+        // An untagged cache dump is malformed, not legacy.
+        std::fs::write(dir.join("bad.cache.json"), "{\"entries\": []}\n").unwrap();
+        let verdict = validate_artifacts(&dir);
+        assert!(
+            matches!(verdict, Err(Error::Protocol(_))),
+            "untagged cache dumps must be rejected: {verdict:?}"
+        );
+        std::fs::remove_file(dir.join("bad.cache.json")).unwrap();
 
         std::fs::write(
             dir.join("d.metrics.json"),

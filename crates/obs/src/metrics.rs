@@ -233,6 +233,21 @@ impl Metrics {
         }
     }
 
+    /// An arbitrary nearest-rank percentile of the histogram `name`
+    /// (`q` in percent, clamped to `[0, 100]`), beyond the fixed
+    /// p50/p95/p99 trio in [`HistogramStats`]. `None` when the histogram is
+    /// absent or empty.
+    pub fn histogram_quantile(&self, name: &str, q: f64) -> Option<f64> {
+        match self.lookup(name) {
+            Some(Value::Histogram(h)) if !h.samples.is_empty() => {
+                let mut sorted = h.samples.clone();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                Some(HistogramData::percentile(&sorted, q.clamp(0.0, 100.0)))
+            }
+            _ => None,
+        }
+    }
+
     fn lookup(&self, name: &str) -> Option<&Value> {
         self.entries.iter().find(|(k, _)| k == name).map(|(_, v)| v)
     }
@@ -353,6 +368,24 @@ mod tests {
         assert_eq!(h.p95, 95.0);
         assert_eq!(h.p99, 99.0);
         assert_eq!((h.min, h.max), (1.0, 100.0));
+    }
+
+    #[test]
+    fn histogram_quantile_matches_fixed_percentiles_and_extends_them() {
+        let mut m = Metrics::new();
+        for v in (1..=100).rev() {
+            m.observe("h", v as f64);
+        }
+        let h = m.histogram("h").unwrap();
+        assert_eq!(m.histogram_quantile("h", 50.0), Some(h.p50));
+        assert_eq!(m.histogram_quantile("h", 95.0), Some(h.p95));
+        assert_eq!(m.histogram_quantile("h", 99.0), Some(h.p99));
+        // Beyond the fixed trio: p90 and the clamped extremes.
+        assert_eq!(m.histogram_quantile("h", 90.0), Some(90.0));
+        assert_eq!(m.histogram_quantile("h", 100.0), Some(100.0));
+        assert_eq!(m.histogram_quantile("h", -5.0), Some(1.0));
+        assert_eq!(m.histogram_quantile("h", 400.0), Some(100.0));
+        assert_eq!(m.histogram_quantile("absent", 50.0), None);
     }
 
     #[test]

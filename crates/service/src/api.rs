@@ -260,26 +260,78 @@ pub struct ResolvedPlan {
 }
 
 impl ResolvedPlan {
+    /// The plan-identity key of this request: exactly the fields the
+    /// fingerprint hashes, detached from delivery concerns. This is what the
+    /// cache persists (`primepar.cache.v1`) so a restart can rebuild the
+    /// entry.
+    pub fn key(&self) -> PlanKey {
+        PlanKey {
+            model: self.model.name.to_string(),
+            devices: self.devices,
+            batch: self.batch,
+            seq: self.seq,
+            layers: self.layers,
+            alpha: self.opts.alpha,
+            allow_temporal: self.opts.space.allow_temporal,
+            allow_batch_split: self.opts.space.allow_batch_split,
+            max_temporal_k: self.opts.space.max_temporal_k,
+        }
+    }
+
     /// The canonical plan fingerprint (see [`PlanRequest::fingerprint`]).
+    pub fn fingerprint(&self) -> String {
+        self.key().fingerprint()
+    }
+}
+
+/// The identity of one plan: every request field the optimizer sees, and
+/// nothing else. Two requests with equal keys produce bitwise-identical
+/// plans; the canonical [fingerprint](PlanKey::fingerprint) is this key
+/// rendered as a string.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanKey {
+    /// Canonical zoo model name (as spelled by [`ModelConfig::name`]).
+    pub model: String,
+    /// Cluster size (power of two).
+    pub devices: usize,
+    /// Micro-batch size.
+    pub batch: u64,
+    /// Sequence length.
+    pub seq: u64,
+    /// Stacked layer count.
+    pub layers: u64,
+    /// Eq. 7's `α` (compared and fingerprinted by bit pattern).
+    pub alpha: f64,
+    /// Temporal primitives allowed.
+    pub allow_temporal: bool,
+    /// Batch splits allowed.
+    pub allow_batch_split: bool,
+    /// Largest temporal primitive, as `k`.
+    pub max_temporal_k: u32,
+}
+
+impl PlanKey {
+    /// The canonical fingerprint string. Model names canonicalize to their
+    /// lowercase alphanumeric spine, so every CLI spelling of a model
+    /// collides into the same memo slot; `α` is rendered by bit pattern so
+    /// distinct floats never alias.
     pub fn fingerprint(&self) -> String {
         let canon: String = self
             .model
-            .name
             .chars()
             .filter(char::is_ascii_alphanumeric)
             .map(|c| c.to_ascii_lowercase())
             .collect();
-        let s = &self.opts.space;
         format!(
             "plan:{canon}:d{}:b{}:s{}:l{}:a{:016x}:t{}:bs{}:k{}",
             self.devices,
             self.batch,
             self.seq,
             self.layers,
-            self.opts.alpha.to_bits(),
-            u8::from(s.allow_temporal),
-            u8::from(s.allow_batch_split),
-            s.max_temporal_k,
+            self.alpha.to_bits(),
+            u8::from(self.allow_temporal),
+            u8::from(self.allow_batch_split),
+            self.max_temporal_k,
         )
     }
 }
@@ -289,10 +341,19 @@ impl ResolvedPlan {
 pub struct CacheOutcome {
     /// This response was served from the whole-plan memo.
     pub plan_cache_hit: bool,
+    /// This response coalesced onto another request's in-flight planner run
+    /// (the plan was computed exactly once and shared).
+    pub coalesced: bool,
     /// Cumulative whole-plan memo hits of the serving cache.
     pub plan_cache_hits: u64,
     /// Cumulative whole-plan memo misses of the serving cache.
     pub plan_cache_misses: u64,
+    /// Cumulative coalesced requests of the serving cache.
+    pub plan_cache_coalesced: u64,
+    /// Cumulative plans evicted to respect the cache's memory budget.
+    pub plan_cache_evictions: u64,
+    /// Approximate resident bytes of the serving cache's plan memo.
+    pub plan_cache_bytes: u64,
     /// This run's edge matrices served warm (0 on a memo hit — no planner
     /// ran at all).
     pub warm_matrix_hits: u64,

@@ -1,27 +1,33 @@
-//! Cross-request warm state of the planner service (PR 5 tentpole).
+//! Cross-request warm state of the planner service.
 //!
 //! A [`WarmCache`] owns three layers of reuse, coarsest first:
 //!
 //! 1. **Whole-plan memo** — finished plans keyed by the request's canonical
-//!    [fingerprint](crate::PlanRequest::fingerprint). A repeat request skips
-//!    planning entirely and answers in microseconds.
+//!    [fingerprint](crate::PlanRequest::fingerprint), held in a
+//!    [`ShardedMap`]: per-shard hashmaps behind a shared-seed hasher
+//!    (rout3serv's `ThreadPartitionedMap` idiom), so concurrent tenants
+//!    touching different plans never contend on one lock. The map adds
+//!    **in-flight coalescing** — N identical concurrent requests plan once
+//!    and share the result — and **LRU eviction** under a configurable
+//!    memory budget ([`CacheConfig::memory_budget_bytes`]).
 //! 2. **Edge-matrix warm cache** — a
 //!    [`PlannerWarmCache`](primepar_search::PlannerWarmCache) shared by
 //!    every planner run, so *similar* requests (same model/cluster/α, a
 //!    different layer count, say) reuse the expensive stage-2 DP inputs even
 //!    on a memo miss.
 //! 3. **Interned clusters** — one [`Cluster`] handle per device count,
-//!    shared by `Arc`. A `CostCtx` borrows its cluster and carries interior
-//!    counters, so contexts themselves are rebuilt per request (cheap); the
-//!    costly products they feed — the edge matrices — are what layer 2
-//!    interns.
+//!    shared by `Arc`.
+//!
+//! The memo also **persists across restarts**: [`WarmCache::save`] writes a
+//! `primepar.cache.v1` JSON artifact and [`WarmCache::load`] rebuilds
+//! bitwise-identical entries from it (see [`crate::persist`]).
 //!
 //! Everything is `Sync` and lock-light: lookups and inserts are short
 //! critical sections, with the planning work outside any lock, so a worker
 //! pool shares one cache without serializing.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::mem::size_of;
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -31,18 +37,69 @@ use primepar_search::{
 use primepar_sim::{robustness_sweep, simulate_model_with, SimOptions};
 use primepar_topology::Cluster;
 
-use crate::api::{CacheOutcome, PlanRequest, PlanResponse, ResolvedPlan, SimRequest, SimResponse};
+use crate::api::{
+    CacheOutcome, PlanKey, PlanRequest, PlanResponse, ResolvedPlan, SimRequest, SimResponse,
+};
+use crate::shard::{Outcome, ShardedMap};
 use crate::Error;
 
 /// One memoized plan: everything a repeat request needs.
 #[derive(Debug)]
 pub struct CachedPlan {
+    /// The plan-identity key (what [`WarmCache::save`] persists so a restart
+    /// can rebuild the entry).
+    pub key: PlanKey,
     /// The optimized plan.
     pub plan: ModelPlan,
-    /// Telemetry of the cold run that produced it.
+    /// Telemetry of the cold run that produced it (defaulted on entries
+    /// restored from a cache artifact — the restart did not plan).
     pub metrics: PlannerMetrics,
     /// Canonical text rendering (the byte-comparison format).
     pub plan_text: String,
+}
+
+impl CachedPlan {
+    /// Rough resident size of this entry in bytes — the weight the memo's
+    /// LRU budget charges. Deterministic for identical plans, so eviction
+    /// order is reproducible under a fixed request sequence.
+    pub fn approx_bytes(&self) -> u64 {
+        let seqs: usize = self
+            .plan
+            .seqs
+            .iter()
+            .map(|s| size_of::<usize>() * 4 + s.primitives().len() * 16)
+            .sum();
+        let metrics = self.metrics.op_names.iter().map(String::len).sum::<usize>()
+            + self.metrics.space_sizes.len() * size_of::<usize>()
+            + self.metrics.segments.len() * 64
+            + self.metrics.thread_busy_seconds.len() * size_of::<f64>();
+        (size_of::<CachedPlan>() + self.key.model.len() + self.plan_text.len() + seqs + metrics)
+            as u64
+    }
+}
+
+fn weigh(entry: &CachedPlan) -> u64 {
+    entry.approx_bytes()
+}
+
+/// Sizing of a [`WarmCache`]'s whole-plan memo.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Shard count of the plan memo (rounded up to a power of two).
+    pub shards: usize,
+    /// Total memory budget of memoized plans in bytes; `0` = unlimited.
+    /// The budget is split evenly across shards and enforced LRU-first as a
+    /// hard invariant (see [`ShardedMap`]).
+    pub memory_budget_bytes: u64,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            shards: 16,
+            memory_budget_bytes: 0,
+        }
+    }
 }
 
 /// Point-in-time counters of a [`WarmCache`].
@@ -50,10 +107,16 @@ pub struct CachedPlan {
 pub struct ServiceCacheStats {
     /// Whole-plan memo hits since creation.
     pub plan_hits: u64,
-    /// Whole-plan memo misses since creation.
+    /// Whole-plan memo misses (planner invocations) since creation.
     pub plan_misses: u64,
+    /// Requests that coalesced onto another request's in-flight plan.
+    pub plan_coalesced: u64,
+    /// Plans evicted to respect the memory budget.
+    pub plan_evictions: u64,
     /// Plans currently interned.
     pub plans_interned: usize,
+    /// Resident bytes of the plan memo (approximate, the budget's unit).
+    pub plan_bytes: u64,
     /// Clusters currently interned.
     pub clusters_interned: usize,
     /// Edge-matrix warm-cache counters.
@@ -61,19 +124,39 @@ pub struct ServiceCacheStats {
 }
 
 /// The cross-request warm state shared by a service's workers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WarmCache {
     clusters: Mutex<HashMap<usize, Arc<Cluster>>>,
-    plans: Mutex<HashMap<String, Arc<CachedPlan>>>,
+    plans: ShardedMap<CachedPlan>,
     warm: PlannerWarmCache,
-    plan_hits: AtomicU64,
-    plan_misses: AtomicU64,
+    config: CacheConfig,
+}
+
+impl Default for WarmCache {
+    fn default() -> Self {
+        WarmCache::with_config(CacheConfig::default())
+    }
 }
 
 impl WarmCache {
-    /// An empty cache.
+    /// An empty cache with the default sizing (16 shards, no budget).
     pub fn new() -> Self {
         WarmCache::default()
+    }
+
+    /// An empty cache with explicit sharding/budget.
+    pub fn with_config(config: CacheConfig) -> Self {
+        WarmCache {
+            clusters: Mutex::new(HashMap::new()),
+            plans: ShardedMap::with_budget(config.shards, config.memory_budget_bytes, weigh),
+            warm: PlannerWarmCache::default(),
+            config,
+        }
+    }
+
+    /// The sizing this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
     }
 
     /// The process-wide cache behind [`PlanRequest::run`] and the
@@ -93,20 +176,9 @@ impl WarmCache {
             .clone()
     }
 
-    /// The memoized plan for a resolved request, planning on a miss.
-    fn plan_for(&self, resolved: &ResolvedPlan) -> (Arc<CachedPlan>, bool) {
-        let fingerprint = resolved.fingerprint();
-        if let Some(hit) = self
-            .plans
-            .lock()
-            .expect("plan memo lock")
-            .get(&fingerprint)
-            .cloned()
-        {
-            self.plan_hits.fetch_add(1, Ordering::Relaxed);
-            return (hit, true);
-        }
-        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+    /// Plans `key` from scratch (the memo-miss path, also used by restarts
+    /// to verify restored entries).
+    fn plan_cold(&self, resolved: &ResolvedPlan) -> CachedPlan {
         let cluster = self.cluster(resolved.devices);
         let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
         let planner = Planner::new(&cluster, &graph, resolved.opts);
@@ -117,29 +189,50 @@ impl WarmCache {
         } else {
             planner.optimize_instrumented(resolved.layers)
         };
-        let entry = Arc::new(CachedPlan {
+        CachedPlan {
+            key: resolved.key(),
             plan_text: render_plan(&graph, &plan.seqs),
             plan,
             metrics,
-        });
-        // Concurrent cold twins race benignly: plans are deterministic, so
-        // whichever insert wins carries the same bytes.
-        self.plans
-            .lock()
-            .expect("plan memo lock")
-            .entry(fingerprint)
-            .or_insert_with(|| entry.clone());
-        (entry, false)
+        }
     }
 
-    fn outcome(&self, hit: bool, metrics: &PlannerMetrics) -> CacheOutcome {
+    /// The memoized plan for a resolved request: a shard hit, a coalesced
+    /// wait on another request's in-flight plan, or a cold planner run.
+    fn plan_for(&self, resolved: &ResolvedPlan) -> (Arc<CachedPlan>, Outcome) {
+        let fingerprint = resolved.fingerprint();
+        self.plans
+            .get_or_compute(&fingerprint, || self.plan_cold(resolved))
+    }
+
+    /// Seeds the memo with an already-built entry (the restore path).
+    pub(crate) fn adopt(&self, entry: CachedPlan) {
+        let fingerprint = entry.key.fingerprint();
+        self.plans.insert(&fingerprint, Arc::new(entry));
+    }
+
+    /// Visits every resident memo entry.
+    pub(crate) fn each_plan(&self, f: impl FnMut(&str, &Arc<CachedPlan>)) {
+        self.plans.for_each(f);
+    }
+
+    fn outcome(&self, outcome: Outcome, metrics: &PlannerMetrics) -> CacheOutcome {
         let stats = self.stats();
+        let planned = outcome == Outcome::Miss;
         CacheOutcome {
-            plan_cache_hit: hit,
+            plan_cache_hit: outcome == Outcome::Hit,
+            coalesced: outcome == Outcome::Coalesced,
             plan_cache_hits: stats.plan_hits,
             plan_cache_misses: stats.plan_misses,
-            warm_matrix_hits: if hit { 0 } else { metrics.warm_matrix_hits },
-            warm_matrix_misses: if hit { 0 } else { metrics.warm_matrix_misses },
+            plan_cache_coalesced: stats.plan_coalesced,
+            plan_cache_evictions: stats.plan_evictions,
+            plan_cache_bytes: stats.plan_bytes,
+            warm_matrix_hits: if planned { metrics.warm_matrix_hits } else { 0 },
+            warm_matrix_misses: if planned {
+                metrics.warm_matrix_misses
+            } else {
+                0
+            },
             plans_interned: stats.plans_interned,
             clusters_interned: stats.clusters_interned,
         }
@@ -154,7 +247,7 @@ impl WarmCache {
     pub fn execute_plan(&self, req: &PlanRequest) -> Result<PlanResponse, Error> {
         let start = Instant::now();
         let resolved = req.resolve()?;
-        let (cached, hit) = self.plan_for(&resolved);
+        let (cached, outcome) = self.plan_for(&resolved);
         let sim = if req.simulate {
             let cluster = self.cluster(resolved.devices);
             let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
@@ -181,7 +274,7 @@ impl WarmCache {
             plan_text: cached.plan_text.clone(),
             metrics: cached.metrics.clone(),
             sim,
-            cache: self.outcome(hit, &cached.metrics),
+            cache: self.outcome(outcome, &cached.metrics),
             elapsed: start.elapsed(),
         })
     }
@@ -195,7 +288,7 @@ impl WarmCache {
     pub fn execute_sim(&self, req: &SimRequest) -> Result<SimResponse, Error> {
         let start = Instant::now();
         let (resolved, sim_opts, sweep) = req.resolve()?;
-        let (cached, hit) = self.plan_for(&resolved);
+        let (cached, outcome) = self.plan_for(&resolved);
         let cluster = self.cluster(resolved.devices);
         let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
         let mut report = simulate_model_with(
@@ -218,17 +311,21 @@ impl WarmCache {
             id: req.id.clone(),
             fingerprint: resolved.fingerprint(),
             report,
-            cache: self.outcome(hit, &cached.metrics),
+            cache: self.outcome(outcome, &cached.metrics),
             elapsed: start.elapsed(),
         })
     }
 
     /// Current counters.
     pub fn stats(&self) -> ServiceCacheStats {
+        let shard = self.plans.stats();
         ServiceCacheStats {
-            plan_hits: self.plan_hits.load(Ordering::Relaxed),
-            plan_misses: self.plan_misses.load(Ordering::Relaxed),
-            plans_interned: self.plans.lock().expect("plan memo lock").len(),
+            plan_hits: shard.hits,
+            plan_misses: shard.misses,
+            plan_coalesced: shard.coalesced,
+            plan_evictions: shard.evictions,
+            plans_interned: shard.len,
+            plan_bytes: shard.weight,
             clusters_interned: self.clusters.lock().expect("cluster intern lock").len(),
             warm: self.warm.stats(),
         }
@@ -254,6 +351,7 @@ mod tests {
         let cache = WarmCache::new();
         let cold = cache.execute_plan(&small_request("cold")).expect("plans");
         assert!(!cold.cache.plan_cache_hit);
+        assert!(!cold.cache.coalesced);
         assert!(cold.cache.warm_matrix_misses > 0);
         let warm = cache.execute_plan(&small_request("warm")).expect("plans");
         assert!(warm.cache.plan_cache_hit);
@@ -268,6 +366,7 @@ mod tests {
         assert_eq!((stats.plan_hits, stats.plan_misses), (1, 1));
         assert_eq!(stats.plans_interned, 1);
         assert_eq!(stats.clusters_interned, 1);
+        assert!(stats.plan_bytes > 0, "resident entries weigh something");
     }
 
     #[test]
@@ -304,5 +403,36 @@ mod tests {
         let bad = PlanRequest::builder("nope").build();
         assert!(matches!(cache.execute_plan(&bad), Err(Error::Config(_))));
         assert_eq!(cache.stats().plans_interned, 0);
+    }
+
+    #[test]
+    fn tiny_budget_evicts_lru_and_recomputes_identically() {
+        // Budget below two entries (one shard, so the split is the budget):
+        // the second distinct plan evicts the first.
+        let cache = WarmCache::with_config(CacheConfig {
+            shards: 1,
+            memory_budget_bytes: 3000,
+        });
+        let first = cache.execute_plan(&small_request("a")).expect("plans");
+        let sibling = PlanRequest {
+            layers: Some(2),
+            ..small_request("b")
+        };
+        cache.execute_plan(&sibling).expect("plans");
+        let stats = cache.stats();
+        assert!(
+            stats.plan_bytes <= 3000,
+            "budget is a hard invariant, got {} bytes",
+            stats.plan_bytes
+        );
+        assert!(stats.plan_evictions > 0, "{stats:?}");
+        // The evicted entry replans — and bitwise-identically.
+        let again = cache.execute_plan(&small_request("a2")).expect("plans");
+        assert!(!again.cache.plan_cache_hit, "entry was evicted");
+        assert_eq!(again.plan_text, first.plan_text);
+        assert_eq!(
+            again.plan.total_cost.to_bits(),
+            first.plan.total_cost.to_bits()
+        );
     }
 }

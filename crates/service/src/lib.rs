@@ -1,11 +1,17 @@
-//! The PrimePar planner **service** (PR 5 tentpole): a long-lived process
-//! that answers plan/simulation requests from a warm cache.
+//! The PrimePar planner **service**: a long-lived process that answers
+//! plan/simulation requests from a sharded warm cache.
 //!
-//! Three layers, each usable on its own:
+//! Layers, each usable on its own:
 //!
 //! * the typed API — [`PlanRequest`]/[`PlanResponse`] (and sim twins) with a
-//!   builder, validation and canonical plan fingerprints. One-shot callers
-//!   use [`PlanRequest::run`], which hits the process-wide [`WarmCache`].
+//!   builder, validation and canonical plan fingerprints ([`PlanKey`]).
+//!   One-shot callers use [`PlanRequest::run`], which hits the process-wide
+//!   [`WarmCache`].
+//! * the cache — a [`WarmCache`] whose whole-plan memo is a [`ShardedMap`]:
+//!   per-shard hashmaps behind a shared-seed hasher, with in-flight request
+//!   coalescing, LRU eviction under a memory budget ([`CacheConfig`]), and
+//!   persistence across restarts as `primepar.cache.v1` artifacts
+//!   ([`CACHE_SCHEMA`]).
 //! * the server — a bounded worker pool ([`PlannerService`]) sharing one
 //!   [`WarmCache`]; submissions return a [`Pending`] handle carrying a
 //!   [`CancelToken`], and deadlines/cancellations surface as
@@ -13,30 +19,44 @@
 //! * the wire protocol — the line-delimited JSON format behind
 //!   `primepar serve`: [`parse_frame`] / response builders /
 //!   [`serve_lines`], every emitted document tagged with
-//!   [`SERVICE_SCHEMA`] as `schema_version`.
+//!   [`SERVICE_SCHEMA`] as `schema_version`. Responses are out of order,
+//!   keyed by the echoed client `id` and a server-assigned `request_id`.
+//! * the load-test harness — [`run_loadtest`] drives the real wire protocol
+//!   with a seeded mixed repeat/unique/cancelled workload and snapshots
+//!   latency percentiles and throughput (`primepar loadtest`).
 //!
 //! Determinism contract: a served plan is **bitwise-identical** to a direct
 //! [`Planner::optimize`](primepar_search::Planner::optimize) call on the
 //! same inputs, whether it was computed cold, assembled from warm DP
-//! matrices, or replayed from the whole-plan memo. The equivalence and
+//! matrices, replayed from the whole-plan memo, coalesced onto a concurrent
+//! identical request, or restored from a cache artifact. The equivalence and
 //! concurrency suites pin this.
 
 mod api;
 mod cache;
 mod error;
+mod loadtest;
+mod persist;
 mod protocol;
 mod server;
+mod shard;
 
 pub use api::{
-    CacheOutcome, PlanRequest, PlanRequestBuilder, PlanResponse, ResolvedPlan, SimRequest,
+    CacheOutcome, PlanKey, PlanRequest, PlanRequestBuilder, PlanResponse, ResolvedPlan, SimRequest,
     SimResponse, SERVICE_SCHEMA,
 };
-pub use cache::{CachedPlan, ServiceCacheStats, WarmCache};
+pub use cache::{CacheConfig, CachedPlan, ServiceCacheStats, WarmCache};
 pub use error::Error;
+#[cfg(unix)]
+pub use loadtest::run_loadtest_socket;
+pub use loadtest::{run_loadtest, LoadtestOptions, LoadtestReport, PhaseReport};
+pub use persist::{cache_to_json, validate_cache_doc, CACHE_SCHEMA};
 #[cfg(unix)]
 pub use protocol::serve_unix_socket;
 pub use protocol::{
-    error_json, parse_frame, plan_response_json, request_json, serve_lines, sim_request_json,
-    sim_response_json, Frame, ParsedFrame, ServeEnd, ServeOptions,
+    cancel_json, error_json, parse_frame, plan_response_json, request_json, serve_lines,
+    serve_lines_with_cache, sim_request_json, sim_response_json, Frame, ParsedFrame, ServeEnd,
+    ServeOptions,
 };
 pub use server::{CancelToken, Pending, PlannerService, ServiceClient, ServiceOptions};
+pub use shard::{FixedSeedHasher, FixedSeedState, Outcome, ShardStats, ShardedMap};

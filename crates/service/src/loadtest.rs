@@ -1,0 +1,647 @@
+//! The service load-test harness behind `primepar loadtest`.
+//!
+//! [`run_loadtest`] drives the **real wire protocol** — the same
+//! [`serve_lines`] loop `primepar serve` runs — with a seeded, two-phase
+//! workload and snapshots latency percentiles and throughput:
+//!
+//! 1. **unique phase**: `unique` requests with distinct plan keys, all cold
+//!    planner runs (this also seeds the memo), then
+//! 2. **repeat phase**: the remaining `requests - unique` requests drawn
+//!    from the phase-1 keys by a seeded RNG — memo hits — with a
+//!    `cancel_fraction` of them immediately followed by a `cancel` frame
+//!    naming their `request_id`.
+//!
+//! The default transport is an in-memory pipe (channel-backed, no
+//! filesystem or network), so the harness measures the service stack —
+//! parsing, queueing, the sharded cache, response emission — not kernel
+//! buffers. On Unix, [`run_loadtest_socket`] points the same client at a
+//! live `primepar serve --socket` server instead.
+//!
+//! Results fold into a [`Metrics`] registry (`loadtest.*`) that the CLI
+//! writes as `results/loadtest.metrics.json`, making the harness the
+//! service-level perf baseline: latency is per-request wall time from
+//! writing the frame to reading its response, percentiles are exact
+//! (nearest-rank over all samples), and the workload is reproducible from
+//! its seed.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Read, Write};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use primepar_obs::{parse_json, HistogramStats, Json, Metrics};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::protocol::{cancel_json, request_json, serve_lines, ServeOptions};
+use crate::{Error, PlanRequest};
+
+/// Workload shape of one load-test run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadtestOptions {
+    /// Total plan requests across both phases.
+    pub requests: usize,
+    /// Distinct plan keys, all planned cold in the unique phase
+    /// (`requests - unique` repeat requests follow).
+    pub unique: usize,
+    /// Service worker threads.
+    pub workers: usize,
+    /// Workload seed: the request sequence is a pure function of it.
+    pub seed: u64,
+    /// Fraction of repeat-phase requests immediately followed by a `cancel`
+    /// frame naming their `request_id`. A cancelled request races its memo
+    /// hit: it answers either `ok` or a cancelled error, never nothing.
+    pub cancel_fraction: f64,
+}
+
+impl Default for LoadtestOptions {
+    fn default() -> Self {
+        LoadtestOptions {
+            requests: 24,
+            unique: 4,
+            workers: 4,
+            seed: 42,
+            cancel_fraction: 0.125,
+        }
+    }
+}
+
+impl LoadtestOptions {
+    fn validate(&self) -> Result<(), Error> {
+        if self.unique == 0 || self.requests < self.unique {
+            return Err(Error::config(format!(
+                "loadtest needs 1 <= unique <= requests, got unique={} requests={}",
+                self.unique, self.requests
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.cancel_fraction) {
+            return Err(Error::config(format!(
+                "cancel_fraction must be within [0, 1], got {}",
+                self.cancel_fraction
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Outcome tallies and latency summary of one workload phase.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseReport {
+    /// Requests submitted in this phase.
+    pub requests: usize,
+    /// `ok: true` responses.
+    pub ok: usize,
+    /// In-band cancelled-error responses.
+    pub cancelled: usize,
+    /// Other error responses.
+    pub errors: usize,
+    /// Ok responses served from the whole-plan memo.
+    pub hits: u64,
+    /// Ok responses coalesced onto an in-flight identical request.
+    pub coalesced: u64,
+    /// `(hits + coalesced) / ok` (0 when nothing answered ok).
+    pub hit_rate: f64,
+    /// Request latency in microseconds, over ok responses.
+    pub latency_us: HistogramStats,
+}
+
+/// The result of one load-test run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadtestReport {
+    /// Wall time from the first frame written to the final `bye`.
+    pub elapsed: Duration,
+    /// Responses received (one per request, every request answers).
+    pub responses: usize,
+    /// `responses / elapsed` in requests per second.
+    pub throughput_rps: f64,
+    /// The cold, distinct-key phase.
+    pub unique: PhaseReport,
+    /// The memo-hit phase (with cancels mixed in).
+    pub repeat: PhaseReport,
+    /// Request latency in microseconds, over all ok responses.
+    pub latency_us: HistogramStats,
+    /// The same numbers as a `loadtest.*` registry, ready for
+    /// `write_metrics_json` (→ `results/loadtest.metrics.json`).
+    pub metrics: Metrics,
+}
+
+// ---------------------------------------------------------------------------
+// In-memory pipe: channel-backed Read/Write halves connecting the client to
+// a serve_lines loop running on a sibling thread.
+
+struct PipeReader {
+    rx: Receiver<Vec<u8>>,
+    chunk: Vec<u8>,
+    pos: usize,
+}
+
+impl PipeReader {
+    fn new(rx: Receiver<Vec<u8>>) -> Self {
+        PipeReader {
+            rx,
+            chunk: Vec::new(),
+            pos: 0,
+        }
+    }
+
+    /// Blocks for the next non-empty chunk; false on EOF (sender dropped).
+    fn refill(&mut self) -> bool {
+        while self.pos >= self.chunk.len() {
+            match self.rx.recv() {
+                Ok(chunk) => {
+                    self.chunk = chunk;
+                    self.pos = 0;
+                }
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+}
+
+impl Read for PipeReader {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if buf.is_empty() || !self.refill() {
+            return Ok(0);
+        }
+        let n = buf.len().min(self.chunk.len() - self.pos);
+        buf[..n].copy_from_slice(&self.chunk[self.pos..self.pos + n]);
+        self.pos += n;
+        Ok(n)
+    }
+}
+
+impl BufRead for PipeReader {
+    fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+        if self.refill() {
+            Ok(&self.chunk[self.pos..])
+        } else {
+            Ok(&[])
+        }
+    }
+
+    fn consume(&mut self, amt: usize) {
+        self.pos += amt;
+    }
+}
+
+struct PipeWriter {
+    tx: Sender<Vec<u8>>,
+}
+
+impl Write for PipeWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        if !buf.is_empty() && self.tx.send(buf.to_vec()).is_err() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::BrokenPipe,
+                "loadtest client went away",
+            ));
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transport abstraction: the client engine is identical over the in-memory
+// pipe and a Unix socket.
+
+trait Wire {
+    fn send(&mut self, line: &str) -> Result<(), Error>;
+    /// The next response line; `None` on EOF.
+    fn recv(&mut self) -> Result<Option<String>, Error>;
+    /// Half-close: no more requests (the server drains and says `bye`).
+    fn finish_sending(&mut self) -> Result<(), Error>;
+}
+
+struct ChannelWire {
+    tx: Option<Sender<Vec<u8>>>,
+    rx: Receiver<Vec<u8>>,
+    buf: Vec<u8>,
+}
+
+impl Wire for ChannelWire {
+    fn send(&mut self, line: &str) -> Result<(), Error> {
+        let tx = self
+            .tx
+            .as_ref()
+            .ok_or_else(|| Error::internal("loadtest sent after finish"))?;
+        tx.send(format!("{line}\n").into_bytes())
+            .map_err(|_| Error::internal("loadtest server went away"))
+    }
+
+    fn recv(&mut self) -> Result<Option<String>, Error> {
+        loop {
+            if let Some(idx) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=idx).collect();
+                let text = String::from_utf8(line[..idx].to_vec())
+                    .map_err(|_| Error::protocol("loadtest response is not UTF-8"))?;
+                return Ok(Some(text));
+            }
+            match self.rx.recv() {
+                Ok(chunk) => self.buf.extend_from_slice(&chunk),
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+
+    fn finish_sending(&mut self) -> Result<(), Error> {
+        self.tx = None;
+        Ok(())
+    }
+}
+
+#[cfg(unix)]
+struct SocketWire {
+    stream: std::os::unix::net::UnixStream,
+    reader: std::io::BufReader<std::os::unix::net::UnixStream>,
+}
+
+#[cfg(unix)]
+impl Wire for SocketWire {
+    fn send(&mut self, line: &str) -> Result<(), Error> {
+        writeln!(self.stream, "{line}")
+            .map_err(|e| Error::internal(format!("socket write failed: {e}")))
+    }
+
+    fn recv(&mut self) -> Result<Option<String>, Error> {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .map_err(|e| Error::internal(format!("socket read failed: {e}")))?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    fn finish_sending(&mut self) -> Result<(), Error> {
+        self.stream
+            .shutdown(std::net::Shutdown::Write)
+            .map_err(|e| Error::internal(format!("socket half-close failed: {e}")))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The client engine.
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Unique,
+    Repeat,
+}
+
+#[derive(Debug, Default)]
+struct Tally {
+    requests: usize,
+    ok: usize,
+    cancelled: usize,
+    errors: usize,
+    hits: u64,
+    coalesced: u64,
+    latencies_us: Vec<f64>,
+}
+
+impl Tally {
+    fn report(&self, metrics: &mut Metrics, prefix: &str) -> PhaseReport {
+        metrics.incr(&format!("{prefix}.requests"), self.requests as u64);
+        metrics.incr(&format!("{prefix}.ok"), self.ok as u64);
+        metrics.incr(&format!("{prefix}.cancelled"), self.cancelled as u64);
+        metrics.incr(&format!("{prefix}.errors"), self.errors as u64);
+        metrics.incr(&format!("{prefix}.hits"), self.hits);
+        metrics.incr(&format!("{prefix}.coalesced"), self.coalesced);
+        let hit_rate = if self.ok == 0 {
+            0.0
+        } else {
+            (self.hits + self.coalesced) as f64 / self.ok as f64
+        };
+        metrics.gauge(&format!("{prefix}.hit_rate"), hit_rate);
+        let name = format!("{prefix}.latency_us");
+        for &us in &self.latencies_us {
+            metrics.observe(&name, us);
+        }
+        PhaseReport {
+            requests: self.requests,
+            ok: self.ok,
+            cancelled: self.cancelled,
+            errors: self.errors,
+            hits: self.hits,
+            coalesced: self.coalesced,
+            hit_rate,
+            latency_us: metrics.histogram(&name).unwrap_or_default(),
+        }
+    }
+}
+
+/// The fixed request shape: only the layer count varies between keys, so
+/// cold cost scales linearly with `unique` and the workload stays cheap
+/// enough for CI smoke runs.
+fn plan_request(id: &str, layers: u64) -> PlanRequest {
+    PlanRequest::builder("opt-6.7b")
+        .id(id)
+        .devices(4)
+        .batch(8)
+        .seq(256)
+        .layers(Some(layers))
+        .build()
+}
+
+fn drive(wire: &mut dyn Wire, opts: &LoadtestOptions) -> Result<LoadtestReport, Error> {
+    opts.validate()?;
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let started = Instant::now();
+    // request_id → (send time, phase); server ids count submissions from 1.
+    let mut in_flight: HashMap<u64, (Instant, Phase)> = HashMap::new();
+    let mut next_request_id = 0u64;
+    let mut unique = Tally::default();
+    let mut repeat = Tally::default();
+
+    // Phase 1: distinct keys, planned cold.
+    for i in 0..opts.unique {
+        next_request_id += 1;
+        let req = plan_request(&format!("u{i}"), 1 + i as u64);
+        in_flight.insert(next_request_id, (Instant::now(), Phase::Unique));
+        unique.requests += 1;
+        wire.send(&request_json(&req).render())?;
+    }
+    while in_flight.values().any(|(_, phase)| *phase == Phase::Unique) {
+        let line = wire
+            .recv()?
+            .ok_or_else(|| Error::internal("server closed during the unique phase"))?;
+        absorb(&line, &mut in_flight, &mut unique, &mut repeat)?;
+    }
+
+    // Phase 2: repeats drawn from the phase-1 keys, some cancelled.
+    for j in 0..opts.requests - opts.unique {
+        next_request_id += 1;
+        let layers = 1 + rng.gen_range(0..opts.unique as u64);
+        let req = plan_request(&format!("r{j}"), layers);
+        in_flight.insert(next_request_id, (Instant::now(), Phase::Repeat));
+        repeat.requests += 1;
+        wire.send(&request_json(&req).render())?;
+        if opts.cancel_fraction > 0.0 && rng.gen_bool(opts.cancel_fraction) {
+            wire.send(&cancel_json(None, Some(next_request_id)).render())?;
+        }
+    }
+    wire.finish_sending()?;
+    while let Some(line) = wire.recv()? {
+        if absorb(&line, &mut in_flight, &mut unique, &mut repeat)? == Absorbed::Bye {
+            break;
+        }
+    }
+    if !in_flight.is_empty() {
+        return Err(Error::internal(format!(
+            "server said bye with {} requests unanswered",
+            in_flight.len()
+        )));
+    }
+
+    let elapsed = started.elapsed();
+    let mut metrics = Metrics::new();
+    metrics.gauge("loadtest.seed", opts.seed as f64);
+    metrics.gauge("loadtest.requests", opts.requests as f64);
+    metrics.gauge("loadtest.unique_keys", opts.unique as f64);
+    metrics.gauge("loadtest.workers", opts.workers as f64);
+    metrics.gauge("loadtest.cancel_fraction", opts.cancel_fraction);
+    let unique_report = unique.report(&mut metrics, "loadtest.unique");
+    let repeat_report = repeat.report(&mut metrics, "loadtest.repeat");
+    for &us in unique.latencies_us.iter().chain(&repeat.latencies_us) {
+        metrics.observe("loadtest.latency_us", us);
+    }
+    let responses =
+        unique.ok + unique.cancelled + unique.errors + repeat.ok + repeat.cancelled + repeat.errors;
+    let throughput_rps = responses as f64 / elapsed.as_secs_f64().max(1e-9);
+    metrics.incr("loadtest.responses", responses as u64);
+    metrics.gauge("loadtest.elapsed_seconds", elapsed.as_secs_f64());
+    metrics.gauge("loadtest.throughput_rps", throughput_rps);
+    Ok(LoadtestReport {
+        elapsed,
+        responses,
+        throughput_rps,
+        unique: unique_report,
+        repeat: repeat_report,
+        latency_us: metrics.histogram("loadtest.latency_us").unwrap_or_default(),
+        metrics,
+    })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Absorbed {
+    Response,
+    Control,
+    Bye,
+}
+
+/// Folds one response line into the tallies.
+fn absorb(
+    line: &str,
+    in_flight: &mut HashMap<u64, (Instant, Phase)>,
+    unique: &mut Tally,
+    repeat: &mut Tally,
+) -> Result<Absorbed, Error> {
+    let doc = parse_json(line).map_err(|e| Error::protocol(format!("unparsable response: {e}")))?;
+    if doc.get("type").and_then(Json::as_str) == Some("bye") {
+        return Ok(Absorbed::Bye);
+    }
+    let Some(request_id) = doc.get("request_id").and_then(Json::as_u64) else {
+        // pong / out-of-band error frames carry no request id.
+        return Ok(Absorbed::Control);
+    };
+    let (sent_at, phase) = in_flight
+        .remove(&request_id)
+        .ok_or_else(|| Error::protocol(format!("unknown request_id {request_id} in response")))?;
+    let tally = match phase {
+        Phase::Unique => unique,
+        Phase::Repeat => repeat,
+    };
+    match doc.get("ok").and_then(Json::as_bool) {
+        Some(true) => {
+            tally.ok += 1;
+            tally
+                .latencies_us
+                .push(sent_at.elapsed().as_secs_f64() * 1e6);
+            let cache = doc.get("cache");
+            if cache
+                .and_then(|c| c.get("plan_cache_hit"))
+                .and_then(Json::as_bool)
+                == Some(true)
+            {
+                tally.hits += 1;
+            }
+            if cache
+                .and_then(|c| c.get("coalesced"))
+                .and_then(Json::as_bool)
+                == Some(true)
+            {
+                tally.coalesced += 1;
+            }
+        }
+        _ => {
+            let kind = doc
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str);
+            if kind == Some("cancelled") {
+                tally.cancelled += 1;
+            } else {
+                tally.errors += 1;
+            }
+        }
+    }
+    Ok(Absorbed::Response)
+}
+
+/// Runs the seeded workload against an in-process service over an in-memory
+/// pipe (the default `primepar loadtest` mode).
+///
+/// # Errors
+///
+/// [`Error::Config`] for a degenerate workload shape; [`Error::Internal`]
+/// when the service loop fails.
+pub fn run_loadtest(opts: &LoadtestOptions) -> Result<LoadtestReport, Error> {
+    opts.validate()?;
+    let serve = ServeOptions {
+        workers: opts.workers,
+        ..ServeOptions::default()
+    };
+    thread::scope(|scope| {
+        let (req_tx, req_rx) = mpsc::channel::<Vec<u8>>();
+        let (resp_tx, resp_rx) = mpsc::channel::<Vec<u8>>();
+        let server = scope.spawn(move || {
+            let reader = PipeReader::new(req_rx);
+            let mut writer = PipeWriter { tx: resp_tx };
+            serve_lines(reader, &mut writer, &serve)
+        });
+        let mut wire = ChannelWire {
+            tx: Some(req_tx),
+            rx: resp_rx,
+            buf: Vec::new(),
+        };
+        let report = drive(&mut wire, opts);
+        let end = server
+            .join()
+            .map_err(|_| Error::internal("loadtest server thread panicked"))?;
+        let report = report?;
+        end?;
+        Ok(report)
+    })
+}
+
+/// Runs the same workload as a client of a live `primepar serve --socket`
+/// server. Does **not** shut the server down: the client half-closes its
+/// connection, the server drains it and keeps listening.
+///
+/// # Errors
+///
+/// [`Error::Internal`] when connecting or talking to the socket fails.
+#[cfg(unix)]
+pub fn run_loadtest_socket(
+    path: &std::path::Path,
+    opts: &LoadtestOptions,
+) -> Result<LoadtestReport, Error> {
+    use std::os::unix::net::UnixStream;
+
+    opts.validate()?;
+    let stream = UnixStream::connect(path)
+        .map_err(|e| Error::internal(format!("connect {} failed: {e}", path.display())))?;
+    let reader = std::io::BufReader::new(
+        stream
+            .try_clone()
+            .map_err(|e| Error::internal(format!("socket clone failed: {e}")))?,
+    );
+    let mut wire = SocketWire { stream, reader };
+    drive(&mut wire, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(requests: usize, unique: usize, cancel_fraction: f64, seed: u64) -> LoadtestOptions {
+        LoadtestOptions {
+            requests,
+            unique,
+            workers: 2,
+            seed,
+            cancel_fraction,
+        }
+    }
+
+    #[test]
+    fn in_memory_run_answers_every_request_and_hits_on_repeats() {
+        let report = run_loadtest(&quick(8, 2, 0.0, 7)).expect("runs");
+        assert_eq!(report.responses, 8);
+        assert_eq!(report.unique.requests, 2);
+        assert_eq!(report.unique.ok, 2);
+        assert_eq!(report.unique.hits, 0, "unique keys plan cold");
+        assert_eq!(report.repeat.requests, 6);
+        assert_eq!(report.repeat.ok, 6);
+        assert_eq!(
+            report.repeat.hits + report.repeat.coalesced,
+            6,
+            "every repeat is served warm"
+        );
+        assert!((report.repeat.hit_rate - 1.0).abs() < 1e-12);
+        assert_eq!(report.latency_us.count, 8);
+        assert!(report.latency_us.p50 <= report.latency_us.p95);
+        assert!(report.latency_us.p95 <= report.latency_us.p99);
+        assert!(report.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn cancels_answer_in_band_and_never_lose_requests() {
+        let report = run_loadtest(&quick(10, 2, 1.0, 3)).expect("runs");
+        // Every repeat raced a cancel frame: each answers exactly once, as
+        // either a memo hit or an in-band cancelled error.
+        assert_eq!(report.responses, 10);
+        assert_eq!(
+            report.repeat.ok + report.repeat.cancelled,
+            report.repeat.requests
+        );
+        assert_eq!(report.repeat.errors, 0);
+        assert_eq!(
+            report.repeat.hits + report.repeat.coalesced,
+            report.repeat.ok as u64,
+            "answered repeats are warm"
+        );
+    }
+
+    #[test]
+    fn metrics_registry_carries_the_headline_numbers() {
+        let report = run_loadtest(&quick(6, 2, 0.0, 11)).expect("runs");
+        let m = &report.metrics;
+        assert_eq!(m.counter("loadtest.responses"), 6);
+        assert_eq!(m.counter("loadtest.repeat.ok"), 4);
+        assert_eq!(m.gauge_value("loadtest.repeat.hit_rate"), Some(1.0));
+        let latency = m.histogram("loadtest.latency_us").expect("histogram");
+        assert_eq!(latency.count, 6);
+        assert!(latency.p99 >= latency.p50);
+        let doc = m.to_json();
+        assert!(doc.get("loadtest.latency_us").is_some());
+        assert!(doc.get("loadtest.throughput_rps").is_some());
+    }
+
+    #[test]
+    fn degenerate_shapes_are_config_errors() {
+        assert!(matches!(
+            run_loadtest(&quick(2, 0, 0.0, 1)),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            run_loadtest(&quick(2, 3, 0.0, 1)),
+            Err(Error::Config(_))
+        ));
+        assert!(matches!(
+            run_loadtest(&quick(4, 2, 1.5, 1)),
+            Err(Error::Config(_))
+        ));
+    }
+}

@@ -1,0 +1,343 @@
+//! Warm-cache persistence: the `primepar.cache.v1` artifact.
+//!
+//! A service dumps its whole-plan memo on shutdown ([`WarmCache::save`]) and
+//! a restarted service reloads it ([`WarmCache::load`]) so repeat tenants
+//! get memo hits — byte-identical plan text, bit-identical costs — without
+//! re-planning. The artifact is a `schema_version`-tagged JSON document like
+//! every other observability file in this workspace, so `primepar validate`
+//! re-parses it through the same strict path.
+//!
+//! Each entry persists the [`PlanKey`] (plan identity), the canonical
+//! `plan_text`, and the plan costs with **f64 bit patterns rendered as hex
+//! strings** — JSON numbers round-trip through decimal and this artifact's
+//! contract is bitwise exactness. On load, every entry is rebuilt from its
+//! own key (`ModelConfig::by_name` → `layer_graph` → `parse_plan`) and its
+//! recomputed fingerprint must equal the recorded one; mismatches reject the
+//! whole artifact rather than serving a wrong plan. Planner telemetry is
+//! *not* persisted — a restored entry carries
+//! [`PlannerMetrics::default()`](primepar_search::PlannerMetrics), because
+//! the restart did not search.
+
+use std::path::Path;
+use std::time::Duration;
+
+use primepar_graph::ModelConfig;
+use primepar_obs::{parse_json, Json};
+use primepar_search::{parse_plan, ModelPlan, PlannerMetrics};
+
+use crate::api::PlanKey;
+use crate::cache::{CachedPlan, WarmCache};
+use crate::Error;
+
+/// Schema tag of persisted warm-cache artifacts (`*.cache.json`).
+pub const CACHE_SCHEMA: &str = "primepar.cache.v1";
+
+/// Renders `bits` as the artifact's exact-f64 encoding.
+fn f64_hex(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+/// Parses the artifact's exact-f64 encoding.
+fn parse_f64_hex(field: &str, value: &Json) -> Result<f64, Error> {
+    let text = value
+        .as_str()
+        .ok_or_else(|| Error::protocol(format!("cache entry field `{field}` must be a string")))?;
+    let bits = u64::from_str_radix(text, 16)
+        .map_err(|_| Error::protocol(format!("cache entry field `{field}` is not hex: {text}")))?;
+    Ok(f64::from_bits(bits))
+}
+
+fn entry_str<'a>(entry: &'a Json, field: &str) -> Result<&'a str, Error> {
+    entry
+        .get(field)
+        .and_then(Json::as_str)
+        .ok_or_else(|| Error::protocol(format!("cache entry missing string field `{field}`")))
+}
+
+fn entry_u64(entry: &Json, field: &str) -> Result<u64, Error> {
+    entry
+        .get(field)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| Error::protocol(format!("cache entry missing integer field `{field}`")))
+}
+
+fn entry_bool(entry: &Json, field: &str) -> Result<bool, Error> {
+    entry
+        .get(field)
+        .and_then(Json::as_bool)
+        .ok_or_else(|| Error::protocol(format!("cache entry missing boolean field `{field}`")))
+}
+
+fn entry_json(entry: &CachedPlan) -> Json {
+    let key = &entry.key;
+    Json::obj()
+        .with("fingerprint", key.fingerprint())
+        .with("model", key.model.as_str())
+        .with("devices", key.devices)
+        .with("batch", key.batch)
+        .with("seq", key.seq)
+        .with("layers", key.layers)
+        .with("alpha_bits", f64_hex(key.alpha))
+        .with("allow_temporal", key.allow_temporal)
+        .with("allow_batch_split", key.allow_batch_split)
+        .with("max_temporal_k", key.max_temporal_k)
+        .with("layer_cost_bits", f64_hex(entry.plan.layer_cost))
+        .with("total_cost_bits", f64_hex(entry.plan.total_cost))
+        .with("search_time_us", entry.plan.search_time.as_micros() as u64)
+        .with("plan_text", entry.plan_text.as_str())
+}
+
+/// Renders `cache`'s whole-plan memo as a `primepar.cache.v1` document.
+/// Entries are sorted by fingerprint so dumps of equal caches are
+/// byte-identical regardless of shard iteration order.
+pub fn cache_to_json(cache: &WarmCache) -> Json {
+    let mut entries: Vec<(String, Json)> = Vec::new();
+    cache.each_plan(|fingerprint, entry| {
+        entries.push((fingerprint.to_string(), entry_json(entry)));
+    });
+    entries.sort_by(|a, b| a.0.cmp(&b.0));
+    Json::obj().with("schema_version", CACHE_SCHEMA).with(
+        "entries",
+        Json::Arr(entries.into_iter().map(|e| e.1).collect()),
+    )
+}
+
+/// Rebuilds one memo entry from its persisted form.
+fn restore_entry(entry: &Json) -> Result<(String, CachedPlan), Error> {
+    let key = PlanKey {
+        model: entry_str(entry, "model")?.to_string(),
+        devices: entry_u64(entry, "devices")? as usize,
+        batch: entry_u64(entry, "batch")?,
+        seq: entry_u64(entry, "seq")?,
+        layers: entry_u64(entry, "layers")?,
+        alpha: parse_f64_hex(
+            "alpha_bits",
+            entry
+                .get("alpha_bits")
+                .ok_or_else(|| Error::protocol("cache entry missing `alpha_bits`"))?,
+        )?,
+        allow_temporal: entry_bool(entry, "allow_temporal")?,
+        allow_batch_split: entry_bool(entry, "allow_batch_split")?,
+        max_temporal_k: entry_u64(entry, "max_temporal_k")? as u32,
+    };
+    let recorded = entry_str(entry, "fingerprint")?;
+    let fingerprint = key.fingerprint();
+    if fingerprint != recorded {
+        return Err(Error::protocol(format!(
+            "cache entry fingerprint mismatch: recorded {recorded}, rebuilt {fingerprint}"
+        )));
+    }
+    let model = ModelConfig::by_name(&key.model)
+        .ok_or_else(|| Error::protocol(format!("cache entry names unknown model {}", key.model)))?;
+    let graph = model.layer_graph(key.batch, key.seq);
+    let plan_text = entry_str(entry, "plan_text")?.to_string();
+    let seqs = parse_plan(&graph, &plan_text)
+        .map_err(|e| Error::protocol(format!("cache entry plan text rejected: {e}")))?;
+    let plan = ModelPlan {
+        seqs,
+        layer_cost: parse_f64_hex(
+            "layer_cost_bits",
+            entry
+                .get("layer_cost_bits")
+                .ok_or_else(|| Error::protocol("cache entry missing `layer_cost_bits`"))?,
+        )?,
+        total_cost: parse_f64_hex(
+            "total_cost_bits",
+            entry
+                .get("total_cost_bits")
+                .ok_or_else(|| Error::protocol("cache entry missing `total_cost_bits`"))?,
+        )?,
+        search_time: Duration::from_micros(entry_u64(entry, "search_time_us")?),
+    };
+    Ok((
+        fingerprint,
+        CachedPlan {
+            key,
+            plan,
+            metrics: PlannerMetrics::default(),
+            plan_text,
+        },
+    ))
+}
+
+/// Structural validation of a parsed `primepar.cache.v1` document, as used
+/// by the `primepar validate` artifact sweep. Returns the entry count.
+///
+/// # Errors
+///
+/// A human-readable description of the first problem found.
+pub fn validate_cache_doc(doc: &Json) -> Result<usize, String> {
+    match doc.get("schema_version").and_then(Json::as_str) {
+        Some(CACHE_SCHEMA) => {}
+        Some(other) => return Err(format!("schema_version {other}, expected {CACHE_SCHEMA}")),
+        None => return Err("missing schema_version".into()),
+    }
+    let entries = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or("missing entries array")?;
+    for (i, entry) in entries.iter().enumerate() {
+        restore_entry(entry).map_err(|e| format!("entry {i}: {}", e.message()))?;
+    }
+    Ok(entries.len())
+}
+
+impl WarmCache {
+    /// Dumps the whole-plan memo to `path` as a `primepar.cache.v1`
+    /// artifact.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Internal`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<usize, Error> {
+        let path = path.as_ref();
+        let doc = cache_to_json(self);
+        let count = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .map_or(0, <[Json]>::len);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)
+                    .map_err(|e| Error::internal(format!("create {}: {e}", parent.display())))?;
+            }
+        }
+        std::fs::write(path, doc.render_pretty())
+            .map_err(|e| Error::internal(format!("write {}: {e}", path.display())))?;
+        Ok(count)
+    }
+
+    /// Loads a `primepar.cache.v1` artifact into this cache's memo.
+    /// Restored entries count as neither hits nor misses until served.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Internal`] on I/O failure; [`Error::Protocol`] for a
+    /// malformed or wrong-schema artifact. On error the cache is left as it
+    /// was (entries restored before the failure are kept — they are valid).
+    pub fn load(&self, path: impl AsRef<Path>) -> Result<usize, Error> {
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| Error::internal(format!("read {}: {e}", path.display())))?;
+        let doc =
+            parse_json(&text).map_err(|e| Error::protocol(format!("{}: {e}", path.display())))?;
+        match doc.get("schema_version").and_then(Json::as_str) {
+            Some(CACHE_SCHEMA) => {}
+            Some(other) => {
+                return Err(Error::protocol(format!(
+                    "{}: schema_version {other}, expected {CACHE_SCHEMA}",
+                    path.display()
+                )))
+            }
+            None => {
+                return Err(Error::protocol(format!(
+                    "{}: missing schema_version",
+                    path.display()
+                )))
+            }
+        }
+        let entries = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or_else(|| Error::protocol(format!("{}: missing entries array", path.display())))?;
+        let mut restored = 0usize;
+        for entry in entries {
+            let (_, cached) = restore_entry(entry)?;
+            self.adopt(cached);
+            restored += 1;
+        }
+        Ok(restored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::PlanRequest;
+
+    fn small_request(id: &str) -> PlanRequest {
+        PlanRequest::builder("opt-6.7b")
+            .id(id)
+            .devices(4)
+            .batch(8)
+            .seq(512)
+            .layers(Some(4))
+            .build()
+    }
+
+    #[test]
+    fn save_load_round_trips_bitwise() {
+        let dir = std::env::temp_dir().join(format!("primepar-persist-{}", std::process::id()));
+        let path = dir.join("warm.cache.json");
+        let first = WarmCache::new();
+        let cold = first.execute_plan(&small_request("cold")).expect("plans");
+        assert_eq!(first.save(&path).expect("saves"), 1);
+
+        let second = WarmCache::new();
+        assert_eq!(second.load(&path).expect("loads"), 1);
+        let warm = second.execute_plan(&small_request("warm")).expect("plans");
+        assert!(warm.cache.plan_cache_hit, "restored entry serves a hit");
+        assert_eq!(warm.plan_text, cold.plan_text);
+        assert_eq!(
+            warm.plan.total_cost.to_bits(),
+            cold.plan.total_cost.to_bits()
+        );
+        assert_eq!(
+            warm.plan.layer_cost.to_bits(),
+            cold.plan.layer_cost.to_bits()
+        );
+        assert_eq!(warm.plan.seqs, cold.plan.seqs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dump_is_deterministic_and_validates() {
+        let cache = WarmCache::new();
+        cache.execute_plan(&small_request("a")).expect("plans");
+        cache
+            .execute_plan(&PlanRequest {
+                layers: Some(2),
+                ..small_request("b")
+            })
+            .expect("plans");
+        let doc = cache_to_json(&cache);
+        assert_eq!(validate_cache_doc(&doc), Ok(2));
+        // Entry order is sorted by fingerprint, independent of insert order.
+        let text = doc.render_pretty();
+        let reparsed = parse_json(&text).expect("round-trips");
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn load_rejects_wrong_schema_and_tampering() {
+        let dir = std::env::temp_dir().join(format!("primepar-persist-bad-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let cache = WarmCache::new();
+        cache.execute_plan(&small_request("a")).expect("plans");
+
+        let wrong = dir.join("wrong.cache.json");
+        let doc = cache_to_json(&cache).with("schema_version", "primepar.metrics.v1");
+        std::fs::write(&wrong, doc.render_pretty()).expect("writes");
+        assert!(matches!(
+            WarmCache::new().load(&wrong),
+            Err(Error::Protocol(_))
+        ));
+
+        // Tampering with a key field breaks the fingerprint check.
+        let tampered = dir.join("tampered.cache.json");
+        let mut doc = cache_to_json(&cache);
+        if let Json::Obj(entries) = &mut doc {
+            let Some((_, Json::Arr(list))) = entries.iter_mut().find(|(k, _)| k == "entries")
+            else {
+                panic!("no entries")
+            };
+            list[0].set("devices", 8u64);
+        }
+        std::fs::write(&tampered, doc.render()).expect("writes");
+        assert!(matches!(
+            WarmCache::new().load(&tampered),
+            Err(Error::Protocol(_))
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

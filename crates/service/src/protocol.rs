@@ -4,20 +4,37 @@
 //! *emits* carries `schema_version` ([`SERVICE_SCHEMA`]) as its first key;
 //! frames it *accepts* may omit the tag (legacy clients), in which case the
 //! response carries a `warning` field, but a present-and-wrong tag is a
-//! protocol error. Responses come back in submission order.
+//! protocol error.
 //!
 //! ```text
 //! → {"schema_version":"primepar.service.v1","type":"plan","id":"r1","model":"opt-6.7b","devices":16}
-//! ← {"schema_version":"primepar.service.v1","type":"plan_response","id":"r1","ok":true,...}
+//! ← {"schema_version":"primepar.service.v1","type":"plan_response","id":"r1","ok":true,...,"request_id":1}
 //! ```
 //!
-//! Frame types: `plan`, `sim`, `cancel` (by request id), `ping`
-//! (answered with `pong` immediately, ahead of queued work), `shutdown`
-//! (drain and exit).
+//! Responses are **out of order**: each is emitted as soon as its worker
+//! finishes, so under parallel workers a cheap request overtakes an
+//! expensive one submitted earlier. Every plan/sim response carries two
+//! correlation keys: the echoed client `id` and a server-assigned
+//! `request_id` — a `u64` counting accepted plan/sim frames in submission
+//! order from 1, so a client that counts its own submissions can name any
+//! request without waiting for a response.
+//!
+//! Frame types: `plan`, `sim`, `cancel` (by client `id` or by
+//! `request_id`), `ping` (answered with `pong` immediately, ahead of queued
+//! work), `shutdown` (drain outstanding work and exit; input after
+//! `shutdown` is ignored).
+//!
+//! With [`ServeOptions::cache_file`] set, [`serve_lines`] and
+//! [`serve_unix_socket`] load the whole-plan memo from a
+//! `primepar.cache.v1` artifact on startup and dump it back on exit, so a
+//! restarted service serves memo hits for everything the previous run
+//! planned (see [`crate::persist`]).
 
-use std::collections::VecDeque;
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::thread;
+use std::time::Duration;
 
 use primepar_obs::{parse_json, Json};
 use primepar_sim::robustness_json;
@@ -33,10 +50,14 @@ pub enum Frame {
     Plan(PlanRequest),
     /// Plan and simulate a workload.
     Sim(SimRequest),
-    /// Cancel the in-flight request with this id.
+    /// Cancel in-flight requests by client `id`, server `request_id`, or
+    /// both (a frame carrying neither is a protocol error). Cancelling a
+    /// request that already answered is a no-op.
     Cancel {
-        /// Id of the request to cancel.
-        id: String,
+        /// Client id of the request(s) to cancel.
+        id: Option<String>,
+        /// Server-assigned request id of the request to cancel.
+        request_id: Option<u64>,
     },
     /// Liveness probe; answered out of band with `pong`.
     Ping,
@@ -140,7 +161,8 @@ fn parse_sim_request(obj: &Json) -> Result<SimRequest, Error> {
 /// # Errors
 ///
 /// [`Error::Protocol`] for non-JSON input, a non-object frame, a wrong
-/// `schema_version`, a missing/unknown `type`, or a mistyped field.
+/// `schema_version`, a missing/unknown `type`, a mistyped field, or a
+/// `cancel` naming neither an `id` nor a `request_id`.
 pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
     let doc = parse_json(line).map_err(|e| Error::protocol(format!("bad frame: {e}")))?;
     if doc.as_object().is_none() {
@@ -165,10 +187,14 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
     let frame = match kind.as_str() {
         "plan" => Frame::Plan(parse_plan_request(&doc)?),
         "sim" => Frame::Sim(parse_sim_request(&doc)?),
-        "cancel" => Frame::Cancel {
-            id: field_str(&doc, "id")?
-                .ok_or_else(|| Error::protocol("cancel frame is missing its id"))?,
-        },
+        "cancel" => {
+            let id = field_str(&doc, "id")?;
+            let request_id = field_u64(&doc, "request_id")?;
+            if id.is_none() && request_id.is_none() {
+                return Err(Error::protocol("cancel frame needs an id or a request_id"));
+            }
+            Frame::Cancel { id, request_id }
+        }
         "ping" => Frame::Ping,
         "shutdown" => Frame::Shutdown,
         other => {
@@ -223,11 +249,28 @@ pub fn sim_request_json(req: &SimRequest) -> Json {
     doc
 }
 
+/// Encodes a `cancel` frame naming a client `id` and/or a server
+/// `request_id`.
+pub fn cancel_json(id: Option<&str>, request_id: Option<u64>) -> Json {
+    let mut doc = tagged("cancel");
+    if let Some(id) = id {
+        doc.set("id", id);
+    }
+    if let Some(rid) = request_id {
+        doc.set("request_id", rid);
+    }
+    doc
+}
+
 fn cache_json(resp: &crate::CacheOutcome) -> Json {
     Json::obj()
         .with("plan_cache_hit", resp.plan_cache_hit)
+        .with("coalesced", resp.coalesced)
         .with("plan_cache_hits", resp.plan_cache_hits)
         .with("plan_cache_misses", resp.plan_cache_misses)
+        .with("plan_cache_coalesced", resp.plan_cache_coalesced)
+        .with("plan_cache_evictions", resp.plan_cache_evictions)
+        .with("plan_cache_bytes", resp.plan_cache_bytes)
         .with("warm_matrix_hits", resp.warm_matrix_hits)
         .with("warm_matrix_misses", resp.warm_matrix_misses)
         .with("plans_interned", resp.plans_interned)
@@ -308,6 +351,10 @@ pub struct ServeOptions {
     /// When set, each successful plan response is also written to
     /// `<dir>/<id>.plan.txt` in the canonical text format.
     pub plan_dir: Option<PathBuf>,
+    /// When set, [`serve_lines`] / [`serve_unix_socket`] load the warm
+    /// cache from this `primepar.cache.v1` artifact on startup (if it
+    /// exists) and dump it back on exit.
+    pub cache_file: Option<PathBuf>,
 }
 
 /// How a serve loop ended.
@@ -321,17 +368,17 @@ pub struct ServeEnd {
     pub shutdown: bool,
 }
 
-enum Reply {
-    Plan {
-        id: String,
-        legacy: bool,
-        pending: Pending<PlanResponse>,
-    },
-    Sim {
-        id: String,
-        legacy: bool,
-        pending: Pending<SimResponse>,
-    },
+enum PendingReply {
+    Plan(Pending<PlanResponse>),
+    Sim(Pending<SimResponse>),
+}
+
+/// One submitted request awaiting its worker.
+struct Reply {
+    request_id: u64,
+    id: String,
+    legacy: bool,
+    pending: PendingReply,
 }
 
 enum Verdict {
@@ -340,38 +387,19 @@ enum Verdict {
 }
 
 impl Reply {
-    fn id(&self) -> &str {
-        match self {
-            Reply::Plan { id, .. } | Reply::Sim { id, .. } => id,
-        }
-    }
-
-    fn legacy(&self) -> bool {
-        match self {
-            Reply::Plan { legacy, .. } | Reply::Sim { legacy, .. } => *legacy,
-        }
-    }
-
     fn cancel(&self) {
-        match self {
-            Reply::Plan { pending, .. } => pending.cancel(),
-            Reply::Sim { pending, .. } => pending.cancel(),
+        match &self.pending {
+            PendingReply::Plan(pending) => pending.cancel(),
+            PendingReply::Sim(pending) => pending.cancel(),
         }
     }
 
-    /// The verdict if it has already arrived — the caller must then pop and
-    /// emit this reply, since the arrival is consumed from the channel.
+    /// The verdict if it has already arrived — the caller must then emit
+    /// this reply, since the arrival is consumed from the channel.
     fn try_verdict(&self) -> Option<Verdict> {
-        match self {
-            Reply::Plan { pending, .. } => pending.try_wait().map(|r| Verdict::Plan(Box::new(r))),
-            Reply::Sim { pending, .. } => pending.try_wait().map(|r| Verdict::Sim(Box::new(r))),
-        }
-    }
-
-    fn wait_verdict(self) -> Verdict {
-        match self {
-            Reply::Plan { pending, .. } => Verdict::Plan(Box::new(pending.wait())),
-            Reply::Sim { pending, .. } => Verdict::Sim(Box::new(pending.wait())),
+        match &self.pending {
+            PendingReply::Plan(pending) => pending.try_wait().map(|r| Verdict::Plan(Box::new(r))),
+            PendingReply::Sim(pending) => pending.try_wait().map(|r| Verdict::Sim(Box::new(r))),
         }
     }
 }
@@ -398,61 +426,81 @@ fn emit(
     writer: &mut impl Write,
     end: &mut ServeEnd,
     opts: &ServeOptions,
-    id: &str,
-    legacy: bool,
+    reply: &Reply,
     verdict: Verdict,
 ) -> Result<(), Error> {
-    let doc = match verdict {
+    let mut doc = match verdict {
         Verdict::Plan(result) => match *result {
             Ok(resp) => {
                 if let Some(dir) = &opts.plan_dir {
-                    let path = dir.join(format!("{}.plan.txt", sanitize_artifact_id(id)));
+                    let path = dir.join(format!("{}.plan.txt", sanitize_artifact_id(&reply.id)));
                     std::fs::write(&path, &resp.plan_text)
                         .map_err(|e| Error::internal(format!("--plan-dir write failed: {e}")))?;
                 }
-                plan_response_json(&resp, legacy)
+                plan_response_json(&resp, reply.legacy)
             }
             Err(err) => {
                 end.errors += 1;
-                error_json(id, &err)
+                error_json(&reply.id, &err)
             }
         },
         Verdict::Sim(result) => match *result {
-            Ok(resp) => sim_response_json(&resp, legacy),
+            Ok(resp) => sim_response_json(&resp, reply.legacy),
             Err(err) => {
                 end.errors += 1;
-                error_json(id, &err)
+                error_json(&reply.id, &err)
             }
         },
     };
+    doc.set("request_id", reply.request_id);
     writeln!(writer, "{}", doc.render()).map_err(|e| Error::internal(format!("write failed: {e}")))
 }
 
 /// Serves the line protocol from `reader` to `writer` over a private
-/// [`WarmCache`] until EOF or a `shutdown` frame.
+/// [`WarmCache`] until EOF or a `shutdown` frame, honouring
+/// [`ServeOptions::cache_file`].
 ///
 /// # Errors
 ///
-/// [`Error::Internal`] when the transport itself fails (read/write errors);
-/// malformed frames and failed requests are answered in-band as `error`
-/// frames, never escalated.
+/// [`Error::Internal`] when the transport itself fails (read/write errors)
+/// or the cache file cannot be written; [`Error::Protocol`] for a corrupt
+/// cache file. Malformed frames and failed requests are answered in-band as
+/// `error` frames, never escalated.
 pub fn serve_lines(
-    reader: impl BufRead,
+    reader: impl BufRead + Send,
     writer: &mut impl Write,
     opts: &ServeOptions,
 ) -> Result<ServeEnd, Error> {
     let cache = WarmCache::new();
-    serve_lines_with_cache(reader, writer, &cache, opts)
+    if let Some(path) = &opts.cache_file {
+        if path.exists() {
+            cache.load(path)?;
+        }
+    }
+    let end = serve_lines_with_cache(reader, writer, &cache, opts)?;
+    if let Some(path) = &opts.cache_file {
+        cache.save(path)?;
+    }
+    Ok(end)
 }
 
+/// How often the serve loop polls in-flight replies while also watching for
+/// input (or draining after shutdown).
+const POLL: Duration = Duration::from_millis(1);
+
 /// [`serve_lines`] over a caller-owned cache — the shape multi-connection
-/// hosts use so warm state survives across sessions.
+/// hosts use so warm state survives across sessions. The caller also owns
+/// persistence ([`ServeOptions::cache_file`] is ignored here).
+///
+/// The loop returns once its input stream closes: a client that sent
+/// `shutdown` gets its drained responses and the `bye` frame immediately,
+/// but must close its write side for the call to return.
 ///
 /// # Errors
 ///
 /// See [`serve_lines`].
 pub fn serve_lines_with_cache(
-    reader: impl BufRead,
+    reader: impl BufRead + Send,
     writer: &mut impl Write,
     cache: &WarmCache,
     opts: &ServeOptions,
@@ -465,76 +513,132 @@ pub fn serve_lines_with_cache(
         },
     };
     PlannerService::run_with_cache(pool, cache, |client| {
-        let io = |e: std::io::Error| Error::internal(format!("transport failed: {e}"));
-        let mut end = ServeEnd::default();
-        let mut queue: VecDeque<Reply> = VecDeque::new();
-        for line in reader.lines() {
-            let line = line.map_err(io)?;
-            if line.trim().is_empty() {
-                continue;
-            }
-            match parse_frame(&line) {
-                Err(err) => {
-                    end.errors += 1;
-                    writeln!(writer, "{}", error_json("", &err).render()).map_err(io)?;
+        thread::scope(|scope| {
+            // A reader thread feeds lines through a channel so the main
+            // loop can emit finished responses while input is idle —
+            // without this, out-of-order completion would still be gated on
+            // the next input line arriving.
+            let (line_tx, lines) = mpsc::channel::<std::io::Result<String>>();
+            scope.spawn(move || {
+                for line in reader.lines() {
+                    let failed = line.is_err();
+                    if line_tx.send(line).is_err() || failed {
+                        return;
+                    }
                 }
-                Ok(ParsedFrame { frame, legacy }) => match frame {
-                    Frame::Plan(req) => {
-                        end.requests += 1;
-                        queue.push_back(Reply::Plan {
-                            id: req.id.clone(),
-                            legacy,
-                            pending: client.submit_plan(req),
-                        });
-                    }
-                    Frame::Sim(req) => {
-                        end.requests += 1;
-                        queue.push_back(Reply::Sim {
-                            id: req.id.clone(),
-                            legacy,
-                            pending: client.submit_sim(req),
-                        });
-                    }
-                    Frame::Cancel { id } => {
-                        for reply in queue.iter().filter(|r| r.id() == id) {
-                            reply.cancel();
+            });
+
+            let io = |e: std::io::Error| Error::internal(format!("transport failed: {e}"));
+            let mut end = ServeEnd::default();
+            let mut pending: Vec<Reply> = Vec::new();
+            let mut next_request_id: u64 = 0;
+            let mut input_open = true;
+            loop {
+                let message = if !input_open || end.shutdown {
+                    None
+                } else if pending.is_empty() {
+                    // Nothing in flight: block until the next line.
+                    match lines.recv() {
+                        Ok(message) => Some(message),
+                        Err(_) => {
+                            input_open = false;
+                            None
                         }
                     }
-                    Frame::Ping => {
-                        writeln!(writer, "{}", tagged("pong").render()).map_err(io)?;
+                } else {
+                    // Work in flight: poll for input, then for completions.
+                    match lines.recv_timeout(POLL) {
+                        Ok(message) => Some(message),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => {
+                            input_open = false;
+                            None
+                        }
                     }
-                    Frame::Shutdown => {
-                        end.shutdown = true;
-                        break;
-                    }
-                },
-            }
-            // Opportunistically flush finished responses, preserving
-            // submission order.
-            while let Some(front) = queue.front() {
-                let Some(verdict) = front.try_verdict() else {
-                    break;
                 };
-                let reply = queue.pop_front().expect("front exists");
-                let (id, legacy) = (reply.id().to_string(), reply.legacy());
-                emit(writer, &mut end, opts, &id, legacy, verdict)?;
+                if let Some(line) = message {
+                    let line = line.map_err(io)?;
+                    if !line.trim().is_empty() {
+                        match parse_frame(&line) {
+                            Err(err) => {
+                                end.errors += 1;
+                                writeln!(writer, "{}", error_json("", &err).render())
+                                    .map_err(io)?;
+                            }
+                            Ok(ParsedFrame { frame, legacy }) => match frame {
+                                Frame::Plan(req) => {
+                                    end.requests += 1;
+                                    next_request_id += 1;
+                                    pending.push(Reply {
+                                        request_id: next_request_id,
+                                        id: req.id.clone(),
+                                        legacy,
+                                        pending: PendingReply::Plan(client.submit_plan(req)),
+                                    });
+                                }
+                                Frame::Sim(req) => {
+                                    end.requests += 1;
+                                    next_request_id += 1;
+                                    pending.push(Reply {
+                                        request_id: next_request_id,
+                                        id: req.id.clone(),
+                                        legacy,
+                                        pending: PendingReply::Sim(client.submit_sim(req)),
+                                    });
+                                }
+                                Frame::Cancel { id, request_id } => {
+                                    for reply in pending.iter().filter(|r| {
+                                        id.as_deref() == Some(r.id.as_str())
+                                            || request_id == Some(r.request_id)
+                                    }) {
+                                        reply.cancel();
+                                    }
+                                }
+                                Frame::Ping => {
+                                    writeln!(writer, "{}", tagged("pong").render()).map_err(io)?;
+                                    writer.flush().map_err(io)?;
+                                }
+                                Frame::Shutdown => {
+                                    end.shutdown = true;
+                                }
+                            },
+                        }
+                    }
+                }
+                // Emit every finished reply, in completion (scan) order.
+                let mut emitted = false;
+                let mut i = 0;
+                while i < pending.len() {
+                    if let Some(verdict) = pending[i].try_verdict() {
+                        let reply = pending.remove(i);
+                        emit(writer, &mut end, opts, &reply, verdict)?;
+                        emitted = true;
+                    } else {
+                        i += 1;
+                    }
+                }
+                if emitted {
+                    writer.flush().map_err(io)?;
+                }
+                if pending.is_empty() && (!input_open || end.shutdown) {
+                    break;
+                }
+                // Draining without input: pace the completion polling.
+                if (!input_open || end.shutdown) && !emitted {
+                    thread::sleep(POLL);
+                }
             }
+            writeln!(writer, "{}", tagged("bye").render()).map_err(io)?;
             writer.flush().map_err(io)?;
-        }
-        // Drain: block on everything still in flight, in order.
-        while let Some(reply) = queue.pop_front() {
-            let (id, legacy) = (reply.id().to_string(), reply.legacy());
-            emit(writer, &mut end, opts, &id, legacy, reply.wait_verdict())?;
-        }
-        writeln!(writer, "{}", tagged("bye").render()).map_err(io)?;
-        writer.flush().map_err(io)?;
-        Ok(end)
+            Ok(end)
+        })
     })
 }
 
 /// Hosts the line protocol on a Unix domain socket, one connection at a
-/// time, sharing one [`WarmCache`] across connections. A `shutdown` frame
-/// ends the whole server; a disconnect only ends that connection.
+/// time, sharing one [`WarmCache`] across connections (and persisting it
+/// via [`ServeOptions::cache_file`]). A `shutdown` frame ends the whole
+/// server; a disconnect only ends that connection.
 ///
 /// # Errors
 ///
@@ -548,6 +652,11 @@ pub fn serve_unix_socket(path: &std::path::Path, opts: &ServeOptions) -> Result<
     let listener = UnixListener::bind(path)
         .map_err(|e| Error::internal(format!("bind {} failed: {e}", path.display())))?;
     let cache = WarmCache::new();
+    if let Some(file) = &opts.cache_file {
+        if file.exists() {
+            cache.load(file)?;
+        }
+    }
     let mut total = ServeEnd::default();
     loop {
         let (stream, _) = listener
@@ -565,6 +674,9 @@ pub fn serve_unix_socket(path: &std::path::Path, opts: &ServeOptions) -> Result<
         if end.shutdown {
             total.shutdown = true;
             let _ = std::fs::remove_file(path);
+            if let Some(file) = &opts.cache_file {
+                cache.save(file)?;
+            }
             return Ok(total);
         }
     }
@@ -576,6 +688,21 @@ mod tests {
 
     fn line(json: &str) -> String {
         format!("{json}\n")
+    }
+
+    fn by_id<'l>(lines: &'l [Json], id: &str) -> &'l Json {
+        lines
+            .iter()
+            .find(|doc| doc.get("id").and_then(Json::as_str) == Some(id))
+            .unwrap_or_else(|| panic!("no response with id {id}"))
+    }
+
+    fn parse_lines(out: Vec<u8>) -> Vec<Json> {
+        String::from_utf8(out)
+            .expect("utf8")
+            .lines()
+            .map(|l| parse_json(l).expect("frame json"))
+            .collect()
     }
 
     #[test]
@@ -593,6 +720,15 @@ mod tests {
         let sim = SimRequest::of(req).with_sweep("harsh", 3, 9);
         let parsed = parse_frame(&sim_request_json(&sim).render()).expect("parses");
         assert_eq!(parsed.frame, Frame::Sim(sim));
+
+        let cancel = cancel_json(Some("r1"), Some(7));
+        assert_eq!(
+            parse_frame(&cancel.render()).expect("parses").frame,
+            Frame::Cancel {
+                id: Some("r1".into()),
+                request_id: Some(7),
+            }
+        );
     }
 
     #[test]
@@ -600,12 +736,24 @@ mod tests {
         let parsed = parse_frame(r#"{"type":"plan","model":"opt-6.7b"}"#).expect("parses");
         assert!(parsed.legacy);
         assert!(matches!(parsed.frame, Frame::Plan(_)));
-        // Control frames parse too.
+        // Control frames parse too, by either cancellation key.
         assert_eq!(
             parse_frame(r#"{"type":"cancel","id":"r9"}"#)
                 .expect("parses")
                 .frame,
-            Frame::Cancel { id: "r9".into() }
+            Frame::Cancel {
+                id: Some("r9".into()),
+                request_id: None,
+            }
+        );
+        assert_eq!(
+            parse_frame(r#"{"type":"cancel","request_id":3}"#)
+                .expect("parses")
+                .frame,
+            Frame::Cancel {
+                id: None,
+                request_id: Some(3),
+            }
         );
         assert_eq!(
             parse_frame(r#"{"type":"ping"}"#).expect("parses").frame,
@@ -631,7 +779,11 @@ mod tests {
                 "mistyped field",
                 r#"{"type":"plan","model":"opt-6.7b","devices":"many"}"#,
             ),
-            ("cancel without id", r#"{"type":"cancel"}"#),
+            ("cancel without keys", r#"{"type":"cancel"}"#),
+            (
+                "cancel with mistyped request_id",
+                r#"{"type":"cancel","request_id":"three"}"#,
+            ),
         ] {
             let verdict = parse_frame(input);
             assert!(
@@ -642,7 +794,7 @@ mod tests {
     }
 
     #[test]
-    fn serve_lines_answers_in_order_and_reports_cache_hits() {
+    fn serve_lines_tags_request_ids_and_reports_cache_hits() {
         let request = r#"{"schema_version":"primepar.service.v1","type":"plan","id":"ID","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#;
         let input = format!(
             "{}{}{}",
@@ -661,21 +813,17 @@ mod tests {
         )
         .expect("serves");
         assert_eq!((end.requests, end.errors, end.shutdown), (2, 0, true));
-        let lines: Vec<Json> = String::from_utf8(out)
-            .expect("utf8")
-            .lines()
-            .map(|l| parse_json(l).expect("frame json"))
-            .collect();
+        let lines = parse_lines(out);
         assert_eq!(lines.len(), 3, "r1, r2, bye");
-        for doc in &lines {
+        for doc in &lines[..2] {
             assert_eq!(
                 doc.get("schema_version").and_then(Json::as_str),
                 Some(SERVICE_SCHEMA)
             );
         }
-        let (r1, r2) = (&lines[0], &lines[1]);
-        assert_eq!(r1.get("id").and_then(Json::as_str), Some("r1"));
-        assert_eq!(r2.get("id").and_then(Json::as_str), Some("r2"));
+        let (r1, r2) = (by_id(&lines, "r1"), by_id(&lines, "r2"));
+        assert_eq!(r1.get("request_id").and_then(Json::as_u64), Some(1));
+        assert_eq!(r2.get("request_id").and_then(Json::as_u64), Some(2));
         assert_eq!(
             r1.get("cache")
                 .and_then(|c| c.get("plan_cache_hit"))
@@ -694,6 +842,83 @@ mod tests {
             "served plans are byte-identical"
         );
         assert!(r1.get("warning").is_none(), "tagged frames draw no warning");
+    }
+
+    #[test]
+    fn cheap_responses_overtake_expensive_ones() {
+        // Two workers, an expensive request first, a cheap one second: the
+        // cheap response must come back first (out-of-order emission).
+        let input = format!(
+            "{}{}{}",
+            line(
+                r#"{"type":"plan","id":"slow","model":"opt-6.7b","devices":8,"seq":512,"layers":4}"#
+            ),
+            line(
+                r#"{"type":"plan","id":"fast","model":"opt-6.7b","devices":4,"seq":512,"layers":1}"#
+            ),
+            line(r#"{"type":"shutdown"}"#),
+        );
+        let mut out = Vec::new();
+        let end = serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 2,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        assert_eq!((end.requests, end.errors), (2, 0));
+        let lines = parse_lines(out);
+        assert_eq!(lines[0].get("id").and_then(Json::as_str), Some("fast"));
+        assert_eq!(lines[0].get("request_id").and_then(Json::as_u64), Some(2));
+        assert_eq!(lines[1].get("id").and_then(Json::as_str), Some("slow"));
+        assert_eq!(lines[1].get("request_id").and_then(Json::as_u64), Some(1));
+    }
+
+    #[test]
+    fn cancel_by_request_id_answers_in_band() {
+        // One worker: "busy" occupies it while "doomed" sits queued; the
+        // cancel frame names request_id 2 and must land before a worker
+        // picks "doomed" up.
+        let input = format!(
+            "{}{}{}{}",
+            line(
+                r#"{"type":"plan","id":"busy","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#
+            ),
+            line(
+                r#"{"type":"plan","id":"doomed","model":"opt-6.7b","devices":8,"seq":512,"layers":4}"#
+            ),
+            line(r#"{"type":"cancel","request_id":2}"#),
+            line(r#"{"type":"shutdown"}"#),
+        );
+        let mut out = Vec::new();
+        let end = serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        assert_eq!((end.requests, end.errors, end.shutdown), (2, 1, true));
+        let lines = parse_lines(out);
+        let doomed = by_id(&lines, "doomed");
+        assert_eq!(doomed.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            doomed
+                .get("error")
+                .and_then(|e| e.get("kind"))
+                .and_then(Json::as_str),
+            Some("cancelled")
+        );
+        assert_eq!(doomed.get("request_id").and_then(Json::as_u64), Some(2));
+        // The pool survived: "busy" answered fine.
+        assert_eq!(
+            by_id(&lines, "busy").get("ok").and_then(Json::as_bool),
+            Some(true)
+        );
     }
 
     #[test]
@@ -718,8 +943,8 @@ mod tests {
         )
         .expect("serves");
         assert_eq!((end.requests, end.errors, end.shutdown), (2, 1, false));
-        let text = String::from_utf8(out).expect("utf8");
-        let late = parse_json(text.lines().next().expect("first line")).expect("json");
+        let lines = parse_lines(out);
+        let late = by_id(&lines, "late");
         assert_eq!(late.get("ok").and_then(Json::as_bool), Some(false));
         assert_eq!(
             late.get("error")
@@ -727,7 +952,7 @@ mod tests {
                 .and_then(Json::as_str),
             Some("cancelled")
         );
-        let fine = parse_json(text.lines().nth(1).expect("second line")).expect("json");
+        let fine = by_id(&lines, "fine");
         assert_eq!(fine.get("ok").and_then(Json::as_bool), Some(true));
         assert_eq!(
             fine.get("warning").and_then(Json::as_str),
@@ -748,6 +973,59 @@ mod tests {
         assert_eq!(first.get("type").and_then(Json::as_str), Some("error"));
         let second = parse_json(text.lines().nth(1).expect("line")).expect("json");
         assert_eq!(second.get("type").and_then(Json::as_str), Some("pong"));
+    }
+
+    #[test]
+    fn cache_file_round_trips_across_serve_sessions() {
+        let dir = std::env::temp_dir().join(format!("primepar-serve-cache-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let opts = ServeOptions {
+            workers: 1,
+            cache_file: Some(dir.join("warm.cache.json")),
+            ..ServeOptions::default()
+        };
+        let request =
+            r#"{"type":"plan","id":"ID","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#;
+
+        let mut first_out = Vec::new();
+        serve_lines(
+            line(&request.replace("ID", "r1")).as_bytes(),
+            &mut first_out,
+            &opts,
+        )
+        .expect("first session serves");
+        let first = parse_lines(first_out);
+        assert_eq!(
+            by_id(&first, "r1")
+                .get("cache")
+                .and_then(|c| c.get("plan_cache_hit"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+
+        // A fresh serve session over the dumped cache starts warm.
+        let mut second_out = Vec::new();
+        serve_lines(
+            line(&request.replace("ID", "r2")).as_bytes(),
+            &mut second_out,
+            &opts,
+        )
+        .expect("second session serves");
+        let second = parse_lines(second_out);
+        let r2 = by_id(&second, "r2");
+        assert_eq!(
+            r2.get("cache")
+                .and_then(|c| c.get("plan_cache_hit"))
+                .and_then(Json::as_bool),
+            Some(true),
+            "restart serves a memo hit"
+        );
+        assert_eq!(
+            r2.get("plan_text").and_then(Json::as_str),
+            by_id(&first, "r1").get("plan_text").and_then(Json::as_str),
+            "restored plan text is byte-identical"
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

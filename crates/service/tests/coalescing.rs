@@ -1,0 +1,129 @@
+//! In-flight request coalescing (PR 6 acceptance).
+//!
+//! K identical concurrent plan requests must trigger **exactly one** planner
+//! invocation — pinned through the cache's miss counter, since every planner
+//! run is a miss — with every other client either coalescing onto the
+//! in-flight computation or hitting the freshly memoized entry. All K
+//! responses are bitwise-identical to a direct [`Planner::optimize`] call.
+
+use std::sync::Barrier;
+use std::thread;
+
+use primepar_search::{render_plan, ModelPlan, Planner};
+use primepar_service::{PlanRequest, PlanResponse, PlannerService, ServiceOptions, WarmCache};
+use primepar_topology::Cluster;
+
+const K: usize = 8;
+
+fn identical_request(id: &str) -> PlanRequest {
+    PlanRequest::builder("opt-6.7b")
+        .id(id)
+        .devices(8)
+        .batch(8)
+        .seq(1024)
+        .layers(Some(2))
+        .build()
+}
+
+fn direct_plan(req: &PlanRequest) -> (ModelPlan, String) {
+    let resolved = req.resolve().expect("valid request");
+    let cluster = Cluster::v100_like(resolved.devices);
+    let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+    let plan = Planner::new(&cluster, &graph, resolved.opts).optimize(resolved.layers);
+    let text = render_plan(&graph, &plan.seqs);
+    (plan, text)
+}
+
+#[test]
+fn identical_concurrent_requests_invoke_the_planner_once() {
+    let (expected, expected_text) = direct_plan(&identical_request("direct"));
+
+    let cache = WarmCache::new();
+    let responses: Vec<PlanResponse> =
+        PlannerService::run_with_cache(ServiceOptions { workers: K }, &cache, |client| {
+            // A barrier maximizes overlap: all K clients submit at once, so
+            // followers land while the leader's computation is in flight.
+            let barrier = Barrier::new(K);
+            thread::scope(|scope| {
+                let handles: Vec<_> = (0..K)
+                    .map(|i| {
+                        let client = client.clone();
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            barrier.wait();
+                            client
+                                .plan(identical_request(&format!("k{i}")))
+                                .expect("serves")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect()
+            })
+        });
+
+    // Exactly one planner invocation: one miss, K-1 coalesced-or-hit.
+    let stats = cache.stats();
+    assert_eq!(
+        stats.plan_misses, 1,
+        "planner ran more than once: {stats:?}"
+    );
+    assert_eq!(
+        stats.plan_hits + stats.plan_coalesced,
+        (K - 1) as u64,
+        "{stats:?}"
+    );
+    assert_eq!(stats.plans_interned, 1);
+
+    // The response-level flags tell the same story as the cache counters.
+    let cold = responses
+        .iter()
+        .filter(|r| !r.cache.plan_cache_hit && !r.cache.coalesced)
+        .count();
+    let warm = responses
+        .iter()
+        .filter(|r| r.cache.plan_cache_hit || r.cache.coalesced)
+        .count();
+    assert_eq!((cold, warm), (1, K - 1));
+
+    // Every client — leader, coalesced followers, late hits — gets the exact
+    // bytes a direct optimize produces.
+    for resp in &responses {
+        assert_eq!(resp.plan.seqs, expected.seqs);
+        assert_eq!(
+            resp.plan.layer_cost.to_bits(),
+            expected.layer_cost.to_bits()
+        );
+        assert_eq!(
+            resp.plan.total_cost.to_bits(),
+            expected.total_cost.to_bits()
+        );
+        assert_eq!(resp.plan_text.as_bytes(), expected_text.as_bytes());
+    }
+}
+
+#[test]
+fn coalescing_repeats_across_waves_without_replanning() {
+    // Three sequential waves of K identical requests: the planner still runs
+    // exactly once over the whole experiment, later waves are pure hits.
+    let cache = WarmCache::new();
+    PlannerService::run_with_cache(ServiceOptions { workers: 4 }, &cache, |client| {
+        for wave in 0..3 {
+            thread::scope(|scope| {
+                for i in 0..K {
+                    let client = client.clone();
+                    scope.spawn(move || {
+                        client
+                            .plan(identical_request(&format!("w{wave}-{i}")))
+                            .expect("serves")
+                    });
+                }
+            });
+        }
+    });
+    let stats = cache.stats();
+    assert_eq!(stats.plan_misses, 1);
+    assert_eq!(stats.plan_hits + stats.plan_coalesced, (3 * K - 1) as u64);
+}

@@ -1,0 +1,126 @@
+//! Warm-cache persistence across restarts (PR 6 acceptance).
+//!
+//! A service dumps its whole-plan memo as a `primepar.cache.v1` artifact on
+//! shutdown; a **fresh** cache — standing in for the next process — reloads
+//! it and serves the same requests as memo hits, byte-identical to what the
+//! first instance computed and to a direct [`Planner::optimize`] call.
+
+use std::fs;
+use std::path::PathBuf;
+
+use primepar_obs::parse_json;
+use primepar_search::Planner;
+use primepar_service::{
+    validate_cache_doc, PlanRequest, PlannerService, ServiceOptions, WarmCache, CACHE_SCHEMA,
+};
+use primepar_topology::Cluster;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("primepar-persistence-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("scratch dir");
+    dir.join(name)
+}
+
+fn workload() -> Vec<PlanRequest> {
+    [(4usize, 512u64, 1u64), (4, 512, 2), (8, 256, 1)]
+        .into_iter()
+        .enumerate()
+        .map(|(i, (devices, seq, layers))| {
+            PlanRequest::builder("opt-6.7b")
+                .id(format!("p{i}"))
+                .devices(devices)
+                .batch(8)
+                .seq(seq)
+                .layers(Some(layers))
+                .build()
+        })
+        .collect()
+}
+
+#[test]
+fn second_process_serves_restored_plans_byte_identically() {
+    let path = scratch("roundtrip.cache.json");
+    let requests = workload();
+
+    // First "process": plan everything cold, dump the memo on the way out.
+    let first_cache = WarmCache::new();
+    let first: Vec<_> =
+        PlannerService::run_with_cache(ServiceOptions::default(), &first_cache, |client| {
+            requests
+                .iter()
+                .map(|req| client.plan(req.clone()).expect("serves"))
+                .collect()
+        });
+    let dumped = first_cache.save(&path).expect("dump");
+    assert_eq!(dumped, requests.len());
+
+    // The artifact is a valid, schema-tagged document in its own right.
+    let doc = parse_json(&fs::read_to_string(&path).expect("artifact")).expect("json");
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_str()),
+        Some(CACHE_SCHEMA)
+    );
+    assert_eq!(validate_cache_doc(&doc).expect("validates"), requests.len());
+
+    // Second "process": a fresh cache restored from the artifact serves the
+    // same requests as hits, without a single planner invocation.
+    let second_cache = WarmCache::new();
+    assert_eq!(second_cache.load(&path).expect("restore"), requests.len());
+    let second: Vec<_> =
+        PlannerService::run_with_cache(ServiceOptions::default(), &second_cache, |client| {
+            requests
+                .iter()
+                .map(|req| client.plan(req.clone()).expect("serves"))
+                .collect()
+        });
+    let stats = second_cache.stats();
+    assert_eq!(
+        stats.plan_misses, 0,
+        "restored memo must absorb all requests"
+    );
+    assert_eq!(stats.plan_hits, requests.len() as u64);
+
+    for (req, (a, b)) in requests.iter().zip(first.iter().zip(&second)) {
+        assert!(!a.cache.plan_cache_hit);
+        assert!(b.cache.plan_cache_hit, "restored entry must hit");
+        assert_eq!(a.plan_text.as_bytes(), b.plan_text.as_bytes());
+        assert_eq!(a.plan.seqs, b.plan.seqs);
+        assert_eq!(a.plan.layer_cost.to_bits(), b.plan.layer_cost.to_bits());
+        assert_eq!(a.plan.total_cost.to_bits(), b.plan.total_cost.to_bits());
+
+        // Both agree with a direct optimize on the same inputs.
+        let resolved = req.resolve().expect("valid");
+        let cluster = Cluster::v100_like(resolved.devices);
+        let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+        let direct = Planner::new(&cluster, &graph, resolved.opts).optimize(resolved.layers);
+        assert_eq!(b.plan.total_cost.to_bits(), direct.total_cost.to_bits());
+    }
+
+    fs::remove_file(&path).ok();
+}
+
+#[test]
+fn dump_restore_dump_is_a_fixed_point() {
+    // Restoring a dump and dumping again yields the same bytes: entries are
+    // sorted by fingerprint and floats render by bit pattern, so the
+    // artifact is deterministic across processes.
+    let first = scratch("fixpoint-a.cache.json");
+    let second = scratch("fixpoint-b.cache.json");
+
+    let cache = WarmCache::new();
+    for req in workload() {
+        cache.execute_plan(&req).expect("serves");
+    }
+    cache.save(&first).expect("dump");
+
+    let restored = WarmCache::new();
+    restored.load(&first).expect("restore");
+    restored.save(&second).expect("re-dump");
+
+    let a = fs::read(&first).expect("first dump");
+    let b = fs::read(&second).expect("second dump");
+    assert_eq!(a, b, "dump → restore → dump must be byte-stable");
+
+    fs::remove_file(&first).ok();
+    fs::remove_file(&second).ok();
+}

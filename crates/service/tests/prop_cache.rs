@@ -1,0 +1,215 @@
+//! Property-based tests of the service cache layer (PR 6 acceptance).
+//!
+//! * Fingerprint canonicalization: every CLI spelling of a model name maps a
+//!   request to the same memo slot, and every optimizer-visible field
+//!   separates fingerprints.
+//! * [`ShardedMap`] stays consistent — len/get/weight — under real thread
+//!   contention, and key routing is a pure function of the shared seed.
+//! * LRU eviction never exceeds the memory budget, and evicted plans
+//!   recompute bitwise-identically.
+
+use std::thread;
+
+use proptest::prelude::*;
+
+use primepar_graph::ModelConfig;
+use primepar_service::{CacheConfig, PlanRequest, ShardedMap, WarmCache};
+
+/// A zoo model name respelled the way CLIs mangle it: random case flips and
+/// `-`/`_`/space separator swaps. `ModelConfig::by_name` and the fingerprint
+/// canonicalize to the lowercase alphanumeric spine, so all spellings must
+/// resolve and collide.
+fn respell(name: &str, flips: &[bool], sep: usize) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c == '-' {
+            out.push([' ', '_', '-'][sep % 3]);
+        } else if flips.get(i).copied().unwrap_or(false) {
+            out.push(c.to_ascii_uppercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn request_with(model: &str, devices: usize, batch: u64, seq: u64, layers: u64) -> PlanRequest {
+    PlanRequest::builder(model)
+        .id("prop")
+        .devices(devices)
+        .batch(batch)
+        .seq(seq)
+        .layers(Some(layers))
+        .build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Respelled model names produce identical fingerprints (and resolve to
+    /// the same model), so equivalent requests share one memo slot.
+    #[test]
+    fn fingerprints_canonicalize_model_spellings(
+        model_ix in 0usize..6,
+        dev_pow in 1u32..5,
+        batch in 1u64..9,
+        seq_pow in 5u32..11,
+        layers in 1u64..5,
+        flip_bits in proptest::collection::vec(0u8..2, 16usize),
+        sep in 0usize..3,
+    ) {
+        let flips: Vec<bool> = flip_bits.iter().map(|&b| b == 1).collect();
+        let canonical = ModelConfig::all()[model_ix].name;
+        let devices = 1usize << dev_pow;
+        let seq = 1u64 << seq_pow;
+        let base = request_with(canonical, devices, batch, seq, layers);
+        let respelled = request_with(&respell(canonical, &flips, sep), devices, batch, seq, layers);
+        prop_assert_eq!(
+            base.fingerprint().expect("resolves"),
+            respelled.fingerprint().expect("respelling resolves"),
+            "spelling must not change identity"
+        );
+    }
+
+    /// Every optimizer-visible field separates fingerprints: perturbing any
+    /// one of devices/batch/seq/layers/alpha/space flags yields a new slot.
+    #[test]
+    fn fingerprints_separate_every_planning_field(
+        model_ix in 0usize..6,
+        dev_pow in 1u32..4,
+        batch in 1u64..8,
+        seq_pow in 5u32..10,
+        layers in 1u64..4,
+        field in 0usize..7,
+    ) {
+        let model = ModelConfig::all()[model_ix].name;
+        let devices = 1usize << dev_pow;
+        let seq = 1u64 << seq_pow;
+        let base = request_with(model, devices, batch, seq, layers);
+        let mut other = base.clone();
+        match field {
+            0 => other.devices *= 2,
+            1 => other.batch += 1,
+            2 => other.seq *= 2,
+            3 => other.layers = Some(layers + 1),
+            4 => other.alpha += 1e-9,
+            5 => other.allow_temporal = !other.allow_temporal,
+            _ => other.allow_batch_split = !other.allow_batch_split,
+        }
+        prop_assert_ne!(
+            base.fingerprint().expect("resolves"),
+            other.fingerprint().expect("resolves"),
+            "field {} must be part of the plan identity", field
+        );
+    }
+
+    /// Concurrent inserts of disjoint key sets keep the map consistent:
+    /// every key readable, len/weight exact, routing shared across maps.
+    #[test]
+    fn sharded_map_is_consistent_under_contention(
+        shards in 1usize..9,
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..40),
+    ) {
+        // Distinct keys from random seeds (the suffix varies routing).
+        let mut keys: Vec<String> = seeds.iter().map(|s| format!("k{s:016x}")).collect();
+        keys.sort();
+        keys.dedup();
+        let map: ShardedMap<u64> = ShardedMap::with_budget(shards, 0, |_| 8);
+        thread::scope(|scope| {
+            for t in 0..4usize {
+                let map = &map;
+                let keys = &keys;
+                scope.spawn(move || {
+                    for (i, key) in keys.iter().enumerate() {
+                        if i % 4 == t {
+                            map.insert(key, std::sync::Arc::new((i as u64) * 3 + 1));
+                        }
+                    }
+                });
+            }
+        });
+        prop_assert_eq!(map.len(), keys.len());
+        prop_assert_eq!(map.weight(), 8 * keys.len() as u64);
+        let sibling: ShardedMap<u64> = ShardedMap::new(shards);
+        for (i, key) in keys.iter().enumerate() {
+            let resident = map.get(key);
+            prop_assert_eq!(resident.as_deref(), Some(&((i as u64) * 3 + 1)));
+            prop_assert!(map.shard_of(key) < map.num_shards());
+            prop_assert_eq!(
+                map.shard_of(key), sibling.shard_of(key),
+                "routing must be a pure function of the shared seed"
+            );
+        }
+    }
+
+    /// Under a memory budget the map never retains more than `budget` weight,
+    /// and previously evicted keys recompute (deterministically) as misses.
+    #[test]
+    fn lru_budget_is_never_exceeded(
+        budget_entries in 1u64..6,
+        accesses in proptest::collection::vec(0usize..12, 1..60),
+    ) {
+        // The weigher is a plain fn pointer, so the per-entry weight is a
+        // fixed 16 and the property varies how many entries fit.
+        let budget = 16 * budget_entries;
+        let map: ShardedMap<u64> = ShardedMap::with_budget(1, budget, |_| 16);
+        for &k in &accesses {
+            let key = format!("k{k}");
+            let (value, _) = map.get_or_compute(&key, || k as u64 + 7);
+            prop_assert_eq!(*value, k as u64 + 7, "recompute must be deterministic");
+            prop_assert!(
+                map.weight() <= budget,
+                "weight {} exceeds budget {}", map.weight(), budget
+            );
+        }
+    }
+}
+
+/// WarmCache-level LRU: a budget that holds roughly one plan forces
+/// eviction across a revisit sequence; the revisited plan recomputes
+/// bitwise-identically and `plan_bytes` never exceeds the budget.
+#[test]
+fn evicted_plans_recompute_bitwise_identically() {
+    let budget = 3_000u64;
+    let cache = WarmCache::with_config(CacheConfig {
+        shards: 1,
+        memory_budget_bytes: budget,
+    });
+    let req = |layers: u64| {
+        PlanRequest::builder("opt-6.7b")
+            .id(format!("l{layers}"))
+            .devices(4)
+            .batch(8)
+            .seq(256)
+            .layers(Some(layers))
+            .build()
+    };
+    let mut first_seen: Vec<(u64, String, u64, u64)> = Vec::new();
+    for layers in [1u64, 2, 3, 1, 2, 3, 1] {
+        let resp = cache.execute_plan(&req(layers)).expect("serves");
+        let stats = cache.stats();
+        assert!(
+            stats.plan_bytes <= budget,
+            "plan_bytes {} exceeds budget {budget}",
+            stats.plan_bytes
+        );
+        match first_seen.iter().find(|(l, ..)| *l == layers) {
+            None => first_seen.push((
+                layers,
+                resp.plan_text.clone(),
+                resp.plan.layer_cost.to_bits(),
+                resp.plan.total_cost.to_bits(),
+            )),
+            Some((_, text, layer_bits, total_bits)) => {
+                assert_eq!(resp.plan_text.as_bytes(), text.as_bytes());
+                assert_eq!(resp.plan.layer_cost.to_bits(), *layer_bits);
+                assert_eq!(resp.plan.total_cost.to_bits(), *total_bits);
+            }
+        }
+    }
+    assert!(
+        cache.stats().plan_evictions > 0,
+        "budget {budget} must force eviction: {:?}",
+        cache.stats()
+    );
+}

@@ -95,6 +95,40 @@ r2_us="$(echo "$r2_line" | sed 's/.*"elapsed_us":\([0-9]*\).*/\1/')"
     || { echo "warm repeat not >=2x faster (cold ${r1_us}us, warm ${r2_us}us)" >&2; exit 1; }
 echo "cold ${r1_us}us, warm ${r2_us}us (memo hit)"
 
+echo "== loadtest smoke (seeded mixed workload, hit-rate floor) =="
+# A short fixed-seed run over the real line protocol. The repeat phase reuses
+# keys planned in the unique phase, so its hit rate must clear a hard floor
+# (cancelled requests are excluded from the rate; 0.8 leaves slack only for
+# accounting changes, not for cache regressions). The emitted metrics
+# document must re-parse as a valid schema-tagged artifact.
+./target/release/primepar loadtest --requests 24 --unique 4 --workers 4 \
+    --seed 42 --cancel-fraction 0.125 --min-repeat-hit-rate 0.8 \
+    --metrics-json "$artifacts/loadtest.metrics.json" \
+    || { echo "loadtest smoke failed (or hit rate below floor)" >&2; exit 1; }
+for key in '"schema_version": "primepar.metrics.v1"' '"loadtest.latency_us"' \
+    '"p50"' '"p95"' '"p99"' '"loadtest.throughput_rps"' \
+    '"loadtest.repeat.hit_rate"'; do
+    grep -qF "$key" "$artifacts/loadtest.metrics.json" \
+        || { echo "loadtest metrics missing $key" >&2; exit 1; }
+done
+./target/release/primepar validate --dir "$artifacts"
+
+echo "== cache persistence smoke (warm memo across serve restarts) =="
+# Session 1 plans cold and dumps the memo; session 2 restores it and must
+# answer the same request as a memo hit with a byte-identical plan artifact.
+frame='{"schema_version":"primepar.service.v1","type":"plan","id":"ID","model":"opt-6.7b","devices":4,"seq":512,"layers":2}'
+printf '%s\n' "${frame/ID/c1}" \
+    | ./target/release/primepar serve --workers 1 --plan-dir "$artifacts/persist1" \
+        --cache-file "$artifacts/warm.cache.json" >"$artifacts/persist1.out"
+printf '%s\n' "${frame/ID/c2}" \
+    | ./target/release/primepar serve --workers 1 --plan-dir "$artifacts/persist2" \
+        --cache-file "$artifacts/warm.cache.json" >"$artifacts/persist2.out"
+grep -q '"plan_cache_hit":true' "$artifacts/persist2.out" \
+    || { echo "restored cache did not serve a memo hit" >&2; exit 1; }
+cmp "$artifacts/persist1/c1.plan.txt" "$artifacts/persist2/c2.plan.txt" \
+    || { echo "restored plan differs from the original" >&2; exit 1; }
+./target/release/primepar validate --dir "$artifacts"
+
 echo "== cargo doc (facade + service, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p primepar-service -p primepar >/dev/null

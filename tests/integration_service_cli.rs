@@ -153,6 +153,217 @@ fn protocol_errors_stay_in_band_and_the_session_survives() {
     assert_eq!(frames[1].get("ok").and_then(Json::as_bool), Some(true));
 }
 
+fn by_id<'j>(frames: &'j [Json], id: &str) -> &'j Json {
+    frames
+        .iter()
+        .find(|f| str_field(f, "id") == id)
+        .unwrap_or_else(|| panic!("no response for id {id}"))
+}
+
+fn u64_field(doc: &Json, key: &str) -> Option<u64> {
+    doc.get(key).and_then(Json::as_u64)
+}
+
+#[test]
+fn interleaved_cancels_stay_in_band_under_load() {
+    // One worker: "busy" occupies it while "doomed-rid" and "doomed-id" sit
+    // queued; one is cancelled by server-assigned request_id, the other by
+    // client id. Both must answer in-band as cancelled, and the session must
+    // keep serving afterwards.
+    let mut input = String::new();
+    for id in ["busy", "doomed-rid", "doomed-id"] {
+        input.push_str(&request_json(&small_request(id)).render());
+        input.push('\n');
+    }
+    // "busy" was accepted first, so the queued requests are ids 2 and 3.
+    input.push_str(
+        "{\"schema_version\":\"primepar.service.v1\",\"type\":\"cancel\",\"request_id\":2}\n",
+    );
+    input.push_str(
+        "{\"schema_version\":\"primepar.service.v1\",\"type\":\"cancel\",\"id\":\"doomed-id\"}\n",
+    );
+    input.push_str(&request_json(&small_request("after")).render());
+    input.push('\n');
+    input.push_str("{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}\n");
+
+    let (ok, stdout, stderr) = serve(&input, &["--workers", "1"]);
+    assert!(ok, "serve failed: {stderr}");
+    let frames = response_lines(&stdout);
+
+    for id in ["busy", "after"] {
+        let f = by_id(&frames, id);
+        assert_eq!(
+            f.get("ok").and_then(Json::as_bool),
+            Some(true),
+            "{id} must be served despite the surrounding cancels:\n{stdout}"
+        );
+    }
+    for id in ["doomed-rid", "doomed-id"] {
+        let f = by_id(&frames, id);
+        assert_eq!(f.get("ok").and_then(Json::as_bool), Some(false));
+        assert_eq!(
+            f.get("error").map(|e| str_field(e, "kind").to_owned()),
+            Some("cancelled".into()),
+            "{id} must answer an in-band cancelled error:\n{stdout}"
+        );
+    }
+    // Every plan response carries the server-assigned submission-order id.
+    assert_eq!(u64_field(by_id(&frames, "busy"), "request_id"), Some(1));
+    assert_eq!(
+        u64_field(by_id(&frames, "doomed-rid"), "request_id"),
+        Some(2)
+    );
+    assert_eq!(
+        u64_field(by_id(&frames, "doomed-id"), "request_id"),
+        Some(3)
+    );
+    assert_eq!(u64_field(by_id(&frames, "after"), "request_id"), Some(4));
+}
+
+#[test]
+fn cheap_requests_overtake_expensive_ones_out_of_order() {
+    // Two workers, an expensive request submitted before a cheap one: the
+    // cheap response must be emitted first, correlated by request_id.
+    let slow = PlanRequest::builder("opt-6.7b")
+        .id("slow")
+        .devices(8)
+        .seq(1024)
+        .layers(Some(4))
+        .build();
+    let mut input = String::new();
+    input.push_str(&request_json(&slow).render());
+    input.push('\n');
+    input.push_str(&request_json(&small_request("fast")).render());
+    input.push('\n');
+    input.push_str("{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}\n");
+
+    let (ok, stdout, stderr) = serve(&input, &["--workers", "2"]);
+    assert!(ok, "serve failed: {stderr}");
+    let frames = response_lines(&stdout);
+    assert_eq!(
+        str_field(&frames[0], "id"),
+        "fast",
+        "out-of-order:\n{stdout}"
+    );
+    assert_eq!(u64_field(&frames[0], "request_id"), Some(2));
+    assert_eq!(str_field(&frames[1], "id"), "slow");
+    assert_eq!(u64_field(&frames[1], "request_id"), Some(1));
+    for f in &frames[..2] {
+        assert_eq!(f.get("ok").and_then(Json::as_bool), Some(true));
+    }
+}
+
+#[test]
+fn cache_file_persists_warm_state_across_serve_restarts() {
+    let dir =
+        std::env::temp_dir().join(format!("primepar_service_cli_cache_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let cache = dir.join("warm.cache.json");
+    let cache_arg = cache.to_str().expect("utf-8 temp path");
+
+    let input = format!(
+        "{}\n{{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}}\n",
+        request_json(&small_request("first")).render()
+    );
+    let (ok, stdout1, stderr) = serve(&input, &["--workers", "1", "--cache-file", cache_arg]);
+    assert!(ok, "first session failed: {stderr}");
+    assert!(cache.exists(), "shutdown must dump the warm cache");
+
+    let input = format!(
+        "{}\n{{\"schema_version\":\"primepar.service.v1\",\"type\":\"shutdown\"}}\n",
+        request_json(&small_request("second")).render()
+    );
+    let (ok, stdout2, stderr) = serve(&input, &["--workers", "1", "--cache-file", cache_arg]);
+    assert!(ok, "second session failed: {stderr}");
+
+    let first = response_lines(&stdout1);
+    let second = response_lines(&stdout2);
+    let hit = |f: &Json| {
+        f.get("cache")
+            .and_then(|c| c.get("plan_cache_hit"))
+            .and_then(Json::as_bool)
+    };
+    assert_eq!(hit(by_id(&first, "first")), Some(false));
+    assert_eq!(
+        hit(by_id(&second, "second")),
+        Some(true),
+        "restored cache must serve a memo hit:\n{stdout2}"
+    );
+    assert_eq!(
+        str_field(by_id(&first, "first"), "plan_text").as_bytes(),
+        str_field(by_id(&second, "second"), "plan_text").as_bytes(),
+        "restored plan must be byte-identical"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn loadtest_subcommand_writes_a_valid_metrics_artifact() {
+    let path = std::env::temp_dir().join(format!(
+        "primepar_cli_loadtest_{}.metrics.json",
+        std::process::id()
+    ));
+    let out = Command::new(env!("CARGO_BIN_EXE_primepar"))
+        .args([
+            "loadtest",
+            "--requests",
+            "8",
+            "--unique",
+            "2",
+            "--workers",
+            "2",
+            "--seed",
+            "7",
+            "--cancel-fraction",
+            "0",
+            "--min-repeat-hit-rate",
+            "0.99",
+            "--metrics-json",
+            path.to_str().expect("utf-8 temp path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(
+        out.status.success(),
+        "loadtest failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = parse_json(&std::fs::read_to_string(&path).expect("artifact")).expect("json");
+    assert_eq!(
+        str_field(&doc, "schema_version"),
+        "primepar.metrics.v1",
+        "artifact must be schema-tagged"
+    );
+    let latency = doc.get("loadtest.latency_us").expect("latency histogram");
+    for q in ["p50", "p95", "p99"] {
+        assert!(
+            latency.get(q).and_then(Json::as_f64).is_some(),
+            "latency histogram missing {q}"
+        );
+    }
+    assert!(doc.get("loadtest.throughput_rps").is_some());
+    std::fs::remove_file(&path).ok();
+
+    // An unreachable hit-rate floor must fail with the internal exit code.
+    assert_eq!(
+        exit_code(&[
+            "loadtest",
+            "--requests",
+            "4",
+            "--unique",
+            "4",
+            "--workers",
+            "1",
+            "--min-repeat-hit-rate",
+            "0.5",
+            "--metrics-json",
+            "/dev/null",
+        ]),
+        6,
+        "all-unique workload has no repeats, so the floor must trip"
+    );
+}
+
 #[test]
 fn error_variants_map_to_distinct_exit_codes() {
     // config: unknown model.
