@@ -1,15 +1,25 @@
-//! ISSUE 2 acceptance artifact: cold (seed-path) vs warm (memoized) planner
-//! wall-clock on the Table-2 OPT-6.7B / 16-device point, single-threaded,
-//! with the cost-model evaluation and cache counters behind the speedup.
-//! Writes `results/bench_planner.json`.
+//! Planner wall-clock benchmarks, written to `results/bench_planner.json`.
+//!
+//! Two pinned points:
+//!
+//! * **Table 2** — cold (seed-path) vs warm (memoized) planner wall-clock on
+//!   the OPT-6.7B / 16-device point, single-threaded, with the cost-model
+//!   evaluation and cache counters behind the speedup.
+//! * **Scaling** — the ≥512-device synthetic chain
+//!   ([`primepar_bench::planner_scale_graph`]): optimizer wall time and peak
+//!   RSS with dominance pruning off vs on, plans asserted bitwise-identical.
 //!
 //! `cargo run --release -p primepar-bench --bin bench_planner`
+//!
+//! Flags: `--table2-only` / `--scale-only` restrict the sections;
+//! `--scale-smoke` runs a single pruned scaling rep (no JSON snapshot);
+//! `--plan-out PATH` writes the scaling plan for byte-identity checks.
 
 use primepar::graph::ModelConfig;
 use primepar::obs::Metrics;
-use primepar::search::{ModelPlan, Planner, PlannerMetrics, PlannerOptions};
+use primepar::search::{render_plan, ModelPlan, Planner, PlannerMetrics, PlannerOptions};
 use primepar::topology::Cluster;
-use primepar_bench::results_dir;
+use primepar_bench::{planner_scale_graph, results_dir};
 
 /// Best-of-`reps` instrumented run (minimum search time damps scheduler
 /// noise, matching how criterion treats its samples).
@@ -33,7 +43,8 @@ fn measure(
     best.expect("at least one rep")
 }
 
-fn main() {
+/// Table-2 point: cold vs warm on OPT-6.7B @ 16 devices.
+fn bench_table2(m: &mut Metrics) {
     let model = ModelConfig::opt_6_7b();
     let devices = 16;
     let cluster = Cluster::v100_like(devices);
@@ -90,7 +101,6 @@ fn main() {
         warm_tm.profile_cache_misses
     );
 
-    let mut m = Metrics::new();
     m.text("bench.model", model.name);
     m.gauge("bench.devices", devices as f64);
     m.gauge("bench.reps", reps as f64);
@@ -141,7 +151,118 @@ fn main() {
         "bench.warm.edge_matrix_cache_misses",
         warm_tm.edge_matrix_cache_misses as f64,
     );
-    primepar_bench::merge_drift_summary(&mut m, &cluster, &graph, &warm_plan.seqs);
+    primepar_bench::merge_drift_summary(m, &cluster, &graph, &warm_plan.seqs);
+}
+
+/// Scaling point: the synthetic ≥512-device chain, pruning off vs on.
+fn bench_scale(m: &mut Metrics, smoke: bool, plan_out: Option<&str>) {
+    let devices = 512;
+    let nodes = 97;
+    let cluster = Cluster::v100_like(devices);
+    let graph = planner_scale_graph(devices, nodes);
+    let reps = if smoke { 1 } else { 2 };
+    let pruned_opts = PlannerOptions {
+        prune: true,
+        ..PlannerOptions::default()
+    };
+
+    let (pruned_plan, pruned_tm) = measure(&cluster, &graph, 1, pruned_opts, reps);
+    let pruned_ms = pruned_plan.search_time.as_secs_f64() * 1e3;
+    let states = pruned_tm.space_sizes.iter().copied().max().unwrap_or(0);
+    println!(
+        "\nplanner scaling — {nodes}-op chain @ {devices} devices (largest space {states} states), 1 thread\n"
+    );
+    println!(
+        "pruned:   {pruned_ms:>10.1} ms   states pruned: {}   peak rss: {:.1} MB",
+        pruned_tm.states_pruned,
+        pruned_tm.peak_rss_bytes as f64 / 1e6
+    );
+
+    if let Some(path) = plan_out {
+        let text = render_plan(&graph, &pruned_plan.seqs);
+        match std::fs::write(path, text) {
+            Ok(()) => println!("plan written to {path}"),
+            Err(e) => eprintln!("warning: cannot write {path}: {e}"),
+        }
+    }
+    if smoke {
+        return;
+    }
+
+    let (base_plan, base_tm) = measure(&cluster, &graph, 1, PlannerOptions::default(), reps);
+    let base_ms = base_plan.search_time.as_secs_f64() * 1e3;
+    assert_eq!(base_plan.seqs, pruned_plan.seqs, "plans must be identical");
+    assert_eq!(
+        base_plan.total_cost.to_bits(),
+        pruned_plan.total_cost.to_bits(),
+        "costs must be bitwise-identical"
+    );
+    println!(
+        "unpruned: {base_ms:>10.1} ms   relaxations: {}   peak rss: {:.1} MB",
+        base_tm
+            .segments
+            .iter()
+            .map(|s| s.bellman_relaxations)
+            .sum::<u64>(),
+        base_tm.peak_rss_bytes as f64 / 1e6
+    );
+    println!("prune speedup: {:.2}x", base_ms / pruned_ms);
+
+    m.gauge("bench.scale.devices", devices as f64);
+    m.gauge("bench.scale.nodes", nodes as f64);
+    m.gauge("bench.scale.states_per_op", states as f64);
+    m.gauge("bench.scale.reps", reps as f64);
+    m.gauge("bench.scale.unpruned_ms", base_ms);
+    m.gauge("bench.scale.pruned_ms", pruned_ms);
+    m.gauge("bench.scale.prune_speedup", base_ms / pruned_ms);
+    m.gauge("bench.scale.states_pruned", pruned_tm.states_pruned as f64);
+    m.gauge(
+        "bench.scale.unpruned.bellman_relaxations",
+        base_tm
+            .segments
+            .iter()
+            .map(|s| s.bellman_relaxations)
+            .sum::<u64>() as f64,
+    );
+    m.gauge(
+        "bench.scale.pruned.bellman_relaxations",
+        pruned_tm
+            .segments
+            .iter()
+            .map(|s| s.bellman_relaxations)
+            .sum::<u64>() as f64,
+    );
+    m.gauge(
+        "bench.scale.peak_rss_bytes",
+        primepar::obs::peak_rss_bytes() as f64,
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let table2_only = args.iter().any(|a| a == "--table2-only");
+    let scale_only = args.iter().any(|a| a == "--scale-only");
+    let smoke = args.iter().any(|a| a == "--scale-smoke");
+    let plan_out = args
+        .iter()
+        .position(|a| a == "--plan-out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+
+    let mut m = Metrics::new();
+    if !scale_only && !smoke {
+        bench_table2(&mut m);
+    }
+    if !table2_only {
+        bench_scale(&mut m, smoke, plan_out.as_deref());
+    }
+    if smoke {
+        return; // deterministic artifact only; no timing snapshot
+    }
+    m.gauge(
+        "bench.peak_rss_bytes",
+        primepar::obs::peak_rss_bytes() as f64,
+    );
     let path = results_dir().join("bench_planner.json");
     match primepar::write_metrics_json(&path, &m) {
         Ok(()) => println!("\nsnapshot written to {}", path.display()),

@@ -108,6 +108,75 @@ pub fn mlp_block_graph(model: &ModelConfig, batch: u64, seq: u64) -> Graph {
     model.mlp_block_graph(batch, seq)
 }
 
+/// The planner-scaling point: an alternating linear/pointwise chain, linears
+/// at the endpoints, whose partition spaces stay enumerable at
+/// `devices >= 512` because the feature dimensions are narrow (extent 2 caps
+/// each of M/N/K at one split).
+///
+/// Two deliberate asymmetries make this the dominance-pruning showcase:
+///
+/// * The linears cap their batch axis at 64, so at 512 devices (9 bits)
+///   every linear state is forced to spend three bits on `M`, `N` and `K` —
+///   a 504-state space of positional arrangements in which nearly half the
+///   states are dominated (for each arrangement, swapping the `N` and `K`
+///   positions gives a state that is no better anywhere the DP can see).
+/// * The pointwise glue ops carry the full 512-way batch but have no `N`
+///   dimension and no temporal primitive (~90 states) — poor-space
+///   neighbours whose boundary columns cannot distinguish the dominated
+///   linear states. (The differing batch granularity across an edge is fine:
+///   the inter-operator cost compares fractional per-axis intervals, which
+///   are exact for both extents.)
+///
+/// The chain length then scales the `O(P³)` Bellman volume — the regime the
+/// pruning and vectorized-kernel work targets — against the fixed
+/// edge-matrix setup, which is signature-memoized down to two unique planes.
+///
+/// # Panics
+///
+/// Panics if `devices` is not a power of two below 64, or if `nodes` is even
+/// or `< 3` (the endpoints must both be linears).
+pub fn planner_scale_graph(devices: usize, nodes: usize) -> Graph {
+    use primepar::graph::{Axis, Edge, OpKind, Operator};
+    assert!(devices.is_power_of_two(), "devices must be a power of two");
+    assert!(devices >= 64, "the linear batch axis holds 64 of the bits");
+    assert!(
+        nodes >= 3 && nodes % 2 == 1,
+        "the chain needs linear endpoints and at least one interior operator"
+    );
+    let batch = devices as u64;
+    let ops = (0..nodes)
+        .map(|i| {
+            if i % 2 == 1 {
+                Operator {
+                    name: format!("pw{i}"),
+                    kind: OpKind::Elementwise,
+                    extents: [batch, 2, 1, 2],
+                    axes: [
+                        vec![(Axis::Batch, batch)],
+                        vec![(Axis::Seq, 2)],
+                        vec![],
+                        vec![(Axis::Hidden, 2)],
+                    ],
+                }
+            } else {
+                Operator {
+                    name: format!("lin{i}"),
+                    kind: OpKind::Linear,
+                    extents: [64, 2, 2, 2],
+                    axes: [
+                        vec![(Axis::Batch, 64)],
+                        vec![(Axis::Seq, 2)],
+                        vec![(Axis::Hidden, 2)],
+                        vec![(Axis::Hidden, 2)],
+                    ],
+                }
+            }
+        })
+        .collect();
+    let edges = (1..nodes).map(|i| Edge::plain(i - 1, i)).collect();
+    Graph { ops, edges }
+}
+
 /// Pretty-prints a plan as a one-line strategy string for an operator subset.
 pub fn strategies(graph: &Graph, plan: &[PartitionSeq], names: &[&str]) -> String {
     graph

@@ -108,7 +108,7 @@ fn usage() -> &'static str {
      \x20 models                       list the model zoo\n\
      \x20 plan    --model M --devices N   search and explain a partition plan\n\
      \x20         [--system primepar|alpa|megatron] [--batch B] [--seq S]\n\
-     \x20         [--alpha A] [--no-batch-split] [--no-memoize] [--gantt]\n\
+     \x20         [--alpha A] [--no-batch-split] [--no-memoize] [--prune] [--gantt]\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
      \x20         [--perturb-scenarios N] [--perturb-seed S] [--perturb-profile ideal|mild|harsh]\n\
@@ -229,6 +229,7 @@ fn run() -> Result<(), Error> {
                         alpha,
                         threads: args.parse("--threads", 0)?,
                         memoize: !args.flag("--no-memoize"),
+                        prune: args.flag("--prune"),
                     };
                     let (p, tm) =
                         Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);

@@ -91,6 +91,34 @@ fn selector_bits(selector: Option<(f64, f64)>) -> Option<(u64, u64)> {
     selector.map(|(a, b)| (a.to_bits(), b.to_bits()))
 }
 
+/// Dense first-seen matrix-job ids per edge: `ids[e] == ids[f]` exactly when
+/// the two edges' [`MatrixKey`]s are equal. Building a `MatrixKey` per edge
+/// clones the rename list and hashes it on every dedup lookup; this instead
+/// interns the edge parameters `(dst_kind, renames, selector)` once by a
+/// linear scan (edge lists are short) and dedups the remaining `Copy` tuple
+/// `(src_sig, dst_sig, param_id)` the same way — no hashing, no clones.
+pub fn matrix_job_ids(edges: &[Edge], sig_ids: &[usize]) -> Vec<usize> {
+    type EdgeParams<'a> = (TensorKind, &'a [(Axis, Axis)], Option<(u64, u64)>);
+    let mut params: Vec<EdgeParams> = Vec::new();
+    let mut jobs: Vec<(usize, usize, usize)> = Vec::new();
+    edges
+        .iter()
+        .map(|edge| {
+            let sel = selector_bits(edge.selector);
+            let p = (edge.dst_kind, edge.renames.as_slice(), sel);
+            let param_id = params.iter().position(|&q| q == p).unwrap_or_else(|| {
+                params.push(p);
+                params.len() - 1
+            });
+            let job = (sig_ids[edge.src], sig_ids[edge.dst], param_id);
+            jobs.iter().position(|&j| j == job).unwrap_or_else(|| {
+                jobs.push(job);
+                jobs.len() - 1
+            })
+        })
+        .collect()
+}
+
 /// One side's boundary profiles over a whole partition-space vector, with
 /// per-device holdings deduplicated: `ids[seq * devices + d]` indexes into
 /// `uniques`, the distinct dense interval sets observed on this side.
@@ -644,6 +672,31 @@ mod tests {
         }
         out.push(PartitionSeq::new(vec![Primitive::Temporal { k: 1 }]).unwrap());
         out
+    }
+
+    #[test]
+    fn matrix_job_ids_match_matrix_key_dedup() {
+        // The interned ids must reproduce the first-seen dense numbering a
+        // `HashMap<MatrixKey, usize>` dedup would assign, edge for edge —
+        // including the QKV selector edges that share signatures but must
+        // not collide.
+        let g = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let sig_ids = g.signature_ids();
+        let ids = matrix_job_ids(&g.edges, &sig_ids);
+        assert_eq!(ids.len(), g.edges.len());
+        let mut by_key: HashMap<MatrixKey, usize> = HashMap::new();
+        let mut next = 0usize;
+        for (edge, &id) in g.edges.iter().zip(&ids) {
+            let key = MatrixKey::new(edge, sig_ids[edge.src], sig_ids[edge.dst]);
+            let expect = *by_key.entry(key).or_insert_with(|| {
+                let fresh = next;
+                next += 1;
+                fresh
+            });
+            assert_eq!(id, expect);
+        }
+        assert_eq!(ids.iter().max().map(|m| m + 1), Some(next));
+        assert!(next < g.edges.len(), "residual adds must dedup");
     }
 
     #[test]

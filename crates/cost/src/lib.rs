@@ -40,7 +40,7 @@ mod inter;
 mod intervals;
 mod intra;
 
-pub use cache::{CacheStats, EdgeCostCache, MatrixKey, PreparedEdge, SideProfiles};
+pub use cache::{matrix_job_ids, CacheStats, EdgeCostCache, MatrixKey, PreparedEdge, SideProfiles};
 pub use ctx::CostCtx;
 pub use inter::{edge_cost_matrix, inter_cost, inter_traffic_bytes, BoundaryProfile};
 pub use intervals::{AxisIntervals, DenseIntervals};

@@ -34,8 +34,10 @@
 
 pub mod json;
 pub mod metrics;
+pub mod rss;
 pub mod trace;
 
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::{HistogramStats, Metrics, Span};
+pub use rss::peak_rss_bytes;
 pub use trace::{parse_trace, render_trace, TraceError, TraceEvent, TracePhase, TRACE_SCHEMA};

@@ -1,0 +1,77 @@
+//! Process peak-memory probe for planner benchmarks.
+//!
+//! The planner's DP tables are the dominant allocation at large device
+//! counts, so every planner metrics artifact reports the process high-water
+//! mark next to the wall time. Linux exposes it as `VmHWM` in
+//! `/proc/self/status` (kilobytes); other platforms report 0 rather than
+//! guessing.
+
+/// Peak resident-set size of the current process in bytes (`VmHWM`), or 0
+/// when the platform does not expose it.
+///
+/// The value is a high-water mark, so a reading *after* an `optimize()` call
+/// bounds that call's table footprint from above (plus whatever the process
+/// had already touched). Some kernels shave a few pages off `VmHWM` when
+/// memory is returned, so treat it as an estimate, not a strictly monotone
+/// counter.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            return parse_vm_hwm(&status).unwrap_or(0);
+        }
+        0
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        0
+    }
+}
+
+/// Extracts `VmHWM` (kB) from a `/proc/self/status` document as bytes.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|v| v.parse().ok())?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_vm_hwm_line() {
+        let status = "Name:\tprimepar\nVmPeak:\t  200 kB\nVmHWM:\t   1536 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(1536 * 1024));
+        assert_eq!(parse_vm_hwm("Name:\tx\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[test]
+    fn probe_is_sane_on_this_platform() {
+        let rss = peak_rss_bytes();
+        if cfg!(target_os = "linux") {
+            // A running test process has touched at least a megabyte.
+            assert!(rss > 1 << 20, "implausible VmHWM: {rss}");
+        } else {
+            assert_eq!(rss, 0);
+        }
+    }
+
+    #[test]
+    fn probe_sees_allocations() {
+        let before = peak_rss_bytes();
+        // Touch a few megabytes; the high-water mark must not decrease
+        // across the allocation. (No assertion after the `drop`: some
+        // kernels shave a few pages off VmHWM when memory is returned, so
+        // strict lifetime monotonicity is not portable.)
+        let v = vec![1u8; 4 << 20];
+        let after = peak_rss_bytes();
+        assert!(after >= before, "{after} < {before}");
+        drop(v);
+    }
+}

@@ -6,18 +6,19 @@
 //! subtracting the shared node), and finally composes `log₂(#layers)` min-plus
 //! doublings across the stacked identical layers per Eq. 14.
 
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use primepar_cost::{
-    edge_cost_matrix, intra_cost, CostCtx, EdgeCostCache, IntraCost, MatrixKey, PreparedEdge,
+    edge_cost_matrix, intra_cost, matrix_job_ids, CostCtx, EdgeCostCache, IntraCost, PreparedEdge,
 };
 use primepar_graph::Graph;
 use primepar_partition::PartitionSeq;
 use primepar_topology::Cluster;
 
+use crate::arena::{ChoiceArena, EdgeTables};
+use crate::prune::{dominance_prune, PruneKey};
 use crate::{
     minplus, operator_space, PlannerMetrics, PlannerWarmCache, SegmentMetrics, SpaceCache,
     SpaceOptions,
@@ -25,8 +26,8 @@ use crate::{
 
 /// Per-node partition spaces, shared by `Arc` between structurally equal nodes.
 type SharedSpaces = Vec<Arc<Vec<PartitionSeq>>>;
-/// Per-node intra-cost vectors, shared the same way.
-type SharedIntra = Vec<Arc<Vec<f64>>>;
+/// Per-node per-state vectors (intra cost, memory), shared the same way.
+type SharedVecs = Vec<Arc<Vec<f64>>>;
 
 /// Emits a `[dp] stage: duration` line when `PRIMEPAR_DP_TRACE` is set.
 fn dp_trace(stage: &str, elapsed: Duration) {
@@ -48,11 +49,20 @@ pub struct PlannerOptions {
     pub threads: usize,
     /// Structural memoization (on by default): one space enumeration and one
     /// intra-cost vector per unique operator signature, interned edge-side
-    /// profiles with whole-matrix reuse, and the blocked min-plus kernels
+    /// profiles with whole-matrix reuse, and the vectorized min-plus kernels
     /// for Eqs. 11–14. `false` runs the seed per-operator/per-edge path;
     /// plans and costs are bitwise-identical either way (the equivalence
     /// suite pins this).
     pub memoize: bool,
+    /// Dominance pruning (off by default, matching the seed path): before
+    /// the Bellman sweeps, drop interior partition states that some
+    /// earlier state beats on intra cost, memory *and* every incident
+    /// edge-cost column/row. Because every DP recursion only *adds* an
+    /// interior state's contributions and IEEE-754 addition is monotone,
+    /// a dominated state can never be the strict argmin — plans and costs
+    /// stay bitwise-identical (pinned by the equivalence suite) while the
+    /// `O(P³)` sweep volume shrinks with the surviving state count.
+    pub prune: bool,
 }
 
 impl Default for PlannerOptions {
@@ -62,6 +72,7 @@ impl Default for PlannerOptions {
             alpha: 0.0,
             threads: 0,
             memoize: true,
+            prune: false,
         }
     }
 }
@@ -95,21 +106,22 @@ struct Table {
 enum BacktrackStep {
     /// Initial two-node table `(left, right)`.
     Base { left: usize, right: usize },
-    /// Chain extension to a new right endpoint `node`: `choice[row * cols +
-    /// new_col]` is the argmin state of the previous endpoint `prev_node`.
+    /// Chain extension to a new right endpoint `node`: the
+    /// [`ChoiceArena`] plane at `choice` holds, at `row * cols + new_col`,
+    /// the argmin state of the previous endpoint `prev_node`.
     Extend {
         node: usize,
         prev_node: usize,
-        choice: Vec<u32>,
+        choice: usize,
         cols: usize,
     },
-    /// Merge of two tables at node `mid`: `choice[row * cols + col]` is the
-    /// argmin mid state.
+    /// Merge of two tables at node `mid`: the arena plane at `choice` holds,
+    /// at `row * cols + col`, the argmin mid state.
     Merge {
         mid: usize,
         left_steps: Vec<BacktrackStep>,
         right_steps: Vec<BacktrackStep>,
-        choice: Vec<u32>,
+        choice: usize,
         cols: usize,
     },
 }
@@ -196,11 +208,12 @@ impl<'a> Planner<'a> {
     }
 
     /// Everything an edge-cost matrix's bytes depend on besides its
-    /// [`MatrixKey`]: the ordered operator-signature list (matrix keys embed
-    /// graph-relative first-seen signature ids), the full cluster model
-    /// (link latencies/bandwidths, device profile, perturbations), `α`, and
-    /// the space options. `DefaultHasher` uses fixed SipHash keys, so the
-    /// scope is stable across processes.
+    /// [`MatrixKey`](primepar_cost::MatrixKey): the ordered
+    /// operator-signature list (matrix keys embed graph-relative first-seen
+    /// signature ids), the full cluster model (link latencies/bandwidths,
+    /// device profile, perturbations), `α`, and the space options.
+    /// `DefaultHasher` uses fixed SipHash keys, so the scope is stable
+    /// across processes.
     fn warm_scope(&self, n_bits: usize) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -235,55 +248,62 @@ impl<'a> Planner<'a> {
         };
 
         let t0 = Instant::now();
-        // 1. Per-operator spaces and intra-cost vectors. Memoized: one
-        // enumeration and one Eq. 7 vector per unique structural signature,
-        // shared by every node carrying it. Unmemoized: per node, as seeded.
-        let (spaces, intra): (SharedSpaces, SharedIntra) = if self.opts.memoize {
-            let mut space_cache = SpaceCache::new();
-            let mut intra_by_sig: Vec<Option<Arc<Vec<f64>>>> = vec![None; tm.unique_signatures];
-            let mut spaces = Vec::with_capacity(self.graph.ops.len());
-            let mut intra = Vec::with_capacity(self.graph.ops.len());
-            for (op, &sig) in self.graph.ops.iter().zip(&sig_ids) {
-                let s = space_cache.get(op, n_bits, &self.opts.space);
-                assert!(!s.is_empty(), "empty partition space for {}", op.name);
-                let v = intra_by_sig[sig]
-                    .get_or_insert_with(|| {
-                        Arc::new(s.iter().map(|q| intra_cost(&ctx, op, q).cost).collect())
-                    })
-                    .clone();
-                spaces.push(s);
-                intra.push(v);
-            }
-            tm.space_cache_hits = space_cache.hits();
-            tm.space_cache_misses = space_cache.misses();
-            (spaces, intra)
-        } else {
-            let spaces: Vec<Arc<Vec<PartitionSeq>>> = self
-                .graph
-                .ops
+        // 1. Per-operator spaces plus per-state intra-cost and memory
+        // vectors (both unzipped from the *same* Eq. 7 evaluation, so the
+        // call count is unchanged). Memoized: one enumeration and one vector
+        // pair per unique structural signature, shared by every node carrying
+        // it. Unmemoized: per node, as seeded.
+        let unzip_intra = |op: &primepar_graph::Operator, space: &[PartitionSeq]| {
+            let (cost, mem): (Vec<f64>, Vec<f64>) = space
                 .iter()
-                .map(|op| {
-                    let s = operator_space(op, n_bits, &self.opts.space);
-                    assert!(!s.is_empty(), "empty partition space for {}", op.name);
-                    Arc::new(s)
+                .map(|q| {
+                    let ic = intra_cost(&ctx, op, q);
+                    (ic.cost, ic.memory_bytes)
                 })
-                .collect();
-            let intra = self
-                .graph
-                .ops
-                .iter()
-                .zip(&spaces)
-                .map(|(op, space)| {
-                    Arc::new(
-                        space
-                            .iter()
-                            .map(|s| intra_cost(&ctx, op, s).cost)
-                            .collect::<Vec<f64>>(),
-                    )
-                })
-                .collect();
-            (spaces, intra)
+                .unzip();
+            (Arc::new(cost), Arc::new(mem))
         };
+        let (mut spaces, mut intra, mem): (SharedSpaces, SharedVecs, SharedVecs) =
+            if self.opts.memoize {
+                let mut space_cache = SpaceCache::new();
+                type VecPair = (Arc<Vec<f64>>, Arc<Vec<f64>>);
+                let mut by_sig: Vec<Option<VecPair>> = vec![None; tm.unique_signatures];
+                let mut spaces = Vec::with_capacity(self.graph.ops.len());
+                let mut intra = Vec::with_capacity(self.graph.ops.len());
+                let mut mem = Vec::with_capacity(self.graph.ops.len());
+                for (op, &sig) in self.graph.ops.iter().zip(&sig_ids) {
+                    let s = space_cache.get(op, n_bits, &self.opts.space);
+                    assert!(!s.is_empty(), "empty partition space for {}", op.name);
+                    let (c, m) = by_sig[sig]
+                        .get_or_insert_with(|| unzip_intra(op, &s))
+                        .clone();
+                    spaces.push(s);
+                    intra.push(c);
+                    mem.push(m);
+                }
+                tm.space_cache_hits = space_cache.hits();
+                tm.space_cache_misses = space_cache.misses();
+                (spaces, intra, mem)
+            } else {
+                let spaces: SharedSpaces = self
+                    .graph
+                    .ops
+                    .iter()
+                    .map(|op| {
+                        let s = operator_space(op, n_bits, &self.opts.space);
+                        assert!(!s.is_empty(), "empty partition space for {}", op.name);
+                        Arc::new(s)
+                    })
+                    .collect();
+                let (intra, mem) = self
+                    .graph
+                    .ops
+                    .iter()
+                    .zip(&spaces)
+                    .map(|(op, space)| unzip_intra(op, space))
+                    .unzip();
+                (spaces, intra, mem)
+            };
         tm.op_names = self.graph.ops.iter().map(|op| op.name.clone()).collect();
         tm.space_sizes = spaces.iter().map(|s| s.len()).collect();
         tm.intra_evaluations = ctx.intra_evaluations();
@@ -291,40 +311,35 @@ impl<'a> Planner<'a> {
 
         dp_trace("spaces+intra", t0.elapsed());
         let t1 = Instant::now();
-        // 2. Edge-cost matrices, summed per (src, dst) pair. Memoized:
-        // whole matrices dedup by `MatrixKey` *before* any parallelism (so
-        // cache telemetry is thread-count-invariant), then each unique
-        // matrix computes once against the one shared `Sync` context.
-        // Unmemoized: the seed per-edge path, also on the shared context.
-        let matrices: Vec<Vec<f64>> = if self.opts.memoize {
+        // 2. Edge-cost matrices, summed per (src, dst) pair into the flat
+        // columnar arena. Memoized: whole matrices dedup by the precomputed
+        // interned job ids (structural keys over `signature_ids`) *before*
+        // any parallelism — so cache telemetry is thread-count-invariant —
+        // then each unique matrix computes once against the one shared
+        // `Sync` context. Unmemoized: the seed per-edge path.
+        let sizes: Vec<usize> = spaces.iter().map(|s| s.len()).collect();
+        let edge_tables: EdgeTables = if self.opts.memoize {
             let mut cache = EdgeCostCache::new();
-            let mut job_of_key: HashMap<MatrixKey, usize> = HashMap::new();
+            // Interned job ids: dense first-seen over (src sig, dst sig,
+            // edge parameters) — index arithmetic instead of hashing a
+            // MatrixKey per edge.
+            let edge_jobs = matrix_job_ids(&self.graph.edges, &sig_ids);
             let mut jobs: Vec<PreparedEdge> = Vec::new();
-            let mut edge_jobs = Vec::with_capacity(self.graph.edges.len());
-            for edge in &self.graph.edges {
-                let key = MatrixKey::new(edge, sig_ids[edge.src], sig_ids[edge.dst]);
-                let job = match job_of_key.entry(key) {
-                    Entry::Occupied(o) => {
-                        cache.note_matrix(true);
-                        *o.get()
-                    }
-                    Entry::Vacant(v) => {
-                        cache.note_matrix(false);
-                        let prepared = cache.prepare(
-                            edge,
-                            &self.graph.ops[edge.src],
-                            &self.graph.ops[edge.dst],
-                            &spaces[edge.src],
-                            &spaces[edge.dst],
-                            sig_ids[edge.src],
-                            sig_ids[edge.dst],
-                        );
-                        let idx = jobs.len();
-                        jobs.push(prepared);
-                        *v.insert(idx)
-                    }
-                };
-                edge_jobs.push(job);
+            for (edge, &job) in self.graph.edges.iter().zip(&edge_jobs) {
+                if job == jobs.len() {
+                    cache.note_matrix(false);
+                    jobs.push(cache.prepare(
+                        edge,
+                        &self.graph.ops[edge.src],
+                        &self.graph.ops[edge.dst],
+                        &spaces[edge.src],
+                        &spaces[edge.dst],
+                        sig_ids[edge.src],
+                        sig_ids[edge.dst],
+                    ));
+                } else {
+                    cache.note_matrix(true);
+                }
             }
             // Warm pre-fill: matrices a previous run interned under the same
             // scope are reused byte-for-byte; only the rest compute. With no
@@ -389,10 +404,9 @@ impl<'a> Planner<'a> {
             tm.profile_cache_misses = stats.profile_misses;
             tm.edge_matrix_cache_hits = stats.matrix_hits;
             tm.edge_matrix_cache_misses = stats.matrix_misses;
-            edge_jobs
-                .into_iter()
-                .map(|j| unique[j].as_ref().expect("computed").as_ref().clone())
-                .collect()
+            EdgeTables::build(&self.graph.edges, &sizes, |e| {
+                unique[edge_jobs[e]].as_ref().expect("computed").as_slice()
+            })
         } else if self.opts.threads > 1 {
             let threads = self.opts.threads;
             let mut results: Vec<Option<Vec<f64>>> = vec![None; self.graph.edges.len()];
@@ -426,9 +440,11 @@ impl<'a> Planner<'a> {
                     tm.thread_busy_seconds[slot] += handle.join().expect("edge-matrix worker");
                 }
             });
-            results.into_iter().map(|m| m.expect("computed")).collect()
+            let matrices: Vec<Vec<f64>> =
+                results.into_iter().map(|m| m.expect("computed")).collect();
+            EdgeTables::build(&self.graph.edges, &sizes, |e| matrices[e].as_slice())
         } else {
-            let out: Vec<Vec<f64>> = self
+            let matrices: Vec<Vec<f64>> = self
                 .graph
                 .edges
                 .iter()
@@ -444,34 +460,98 @@ impl<'a> Planner<'a> {
                 })
                 .collect();
             tm.thread_busy_seconds[0] += t1.elapsed().as_secs_f64();
-            out
+            EdgeTables::build(&self.graph.edges, &sizes, |e| matrices[e].as_slice())
         };
         tm.edge_evaluations = ctx.inter_evaluations();
-        let mut edge_cost: HashMap<(usize, usize), Vec<f64>> = HashMap::new();
-        for (edge, m) in self.graph.edges.iter().zip(matrices) {
-            edge_cost
-                .entry((edge.src, edge.dst))
-                .and_modify(|acc| acc.iter_mut().zip(&m).for_each(|(a, b)| *a += b))
-                .or_insert(m);
-        }
         tm.edge_matrices_seconds = t1.elapsed().as_secs_f64();
 
         dp_trace("edge matrices", t1.elapsed());
-        let t2 = Instant::now();
-        // 3. Segment DP (Eqs. 11-12).
         let segments = self.graph.segments();
+        let tp = Instant::now();
+        // 2b. Optional dominance pruning: drop interior states an earlier
+        // state dominates on (intra, memory, every incident edge row/column),
+        // then compact the spaces, intra vectors and edge planes to the
+        // survivors. A dominated state can never be a strict argmin, so the
+        // plan and every cost are bitwise-unchanged.
+        let mut seg_pruned = vec![0u64; segments.len()];
+        let edge_tables = if self.opts.prune {
+            // Structural prune keys: nodes with the same operator signature
+            // and the same incident unique matrices (interned job id, per
+            // coalesced slot and direction) share one survivor scan.
+            let prune_keys: Vec<PruneKey> = {
+                let edge_jobs = matrix_job_ids(&self.graph.edges, &sig_ids);
+                (0..sizes.len())
+                    .map(|n| {
+                        let mut slots: HashMap<(usize, bool), Vec<usize>> = HashMap::new();
+                        for (e, edge) in self.graph.edges.iter().enumerate() {
+                            if edge.dst == n {
+                                slots
+                                    .entry((edge.src, true))
+                                    .or_default()
+                                    .push(edge_jobs[e]);
+                            } else if edge.src == n {
+                                slots
+                                    .entry((edge.dst, false))
+                                    .or_default()
+                                    .push(edge_jobs[e]);
+                            }
+                        }
+                        let mut slots: Vec<(bool, Vec<usize>)> = slots
+                            .into_iter()
+                            .map(|((_, inc), mut jobs)| {
+                                jobs.sort_unstable();
+                                (inc, jobs)
+                            })
+                            .collect();
+                        slots.sort_unstable();
+                        (sig_ids[n], slots)
+                    })
+                    .collect()
+            };
+            let report =
+                dominance_prune(&segments, &sizes, &intra, &mem, &edge_tables, &prune_keys);
+            tm.states_pruned = report.total();
+            for (slot, &(s, e)) in seg_pruned.iter_mut().zip(&segments) {
+                *slot = report.pruned_in_segment(s, e);
+            }
+            if tm.states_pruned > 0 {
+                for (n, kept) in report.kept.iter().enumerate() {
+                    if let Some(k) = kept {
+                        let space: Vec<PartitionSeq> =
+                            k.iter().map(|&i| spaces[n][i as usize].clone()).collect();
+                        let cost: Vec<f64> = k.iter().map(|&i| intra[n][i as usize]).collect();
+                        spaces[n] = Arc::new(space);
+                        intra[n] = Arc::new(cost);
+                    }
+                }
+                edge_tables.compact(&report.kept)
+            } else {
+                edge_tables
+            }
+        } else {
+            edge_tables
+        };
+        tm.prune_seconds = tp.elapsed().as_secs_f64();
+
+        dp_trace("prune", tp.elapsed());
+        let t2 = Instant::now();
+        // 3. Segment DP (Eqs. 11-12). Backtrack choice planes append-allocate
+        // from one shared arena.
+        let mut choices = ChoiceArena::new();
         let mut tables: Vec<Table> = Vec::with_capacity(segments.len());
-        for &(s, e) in &segments {
+        for (&(s, e), &pruned) in segments.iter().zip(&seg_pruned) {
             let sweep = Instant::now();
             let (table, mut seg_tm) = self.segment_dp(
                 s,
                 e,
                 &spaces,
                 &intra,
-                &edge_cost,
+                &edge_tables,
+                &mut choices,
                 &mut tm.thread_busy_seconds,
             );
             seg_tm.sweep_seconds = sweep.elapsed().as_secs_f64();
+            seg_tm.states_pruned = pruned;
             tm.segments.push(seg_tm);
             tables.push(table);
         }
@@ -489,9 +569,10 @@ impl<'a> Planner<'a> {
                 table,
                 span.1,
                 &intra[seg.0],
-                edge_cost.get(&(span.0, seg.1)),
+                edge_tables.get(span.0, seg.1),
                 self.opts.threads,
                 self.opts.memoize,
+                &mut choices,
                 &mut tm.thread_busy_seconds,
             );
             span = (span.0, seg.1);
@@ -514,6 +595,7 @@ impl<'a> Planner<'a> {
                 boundary_intra,
                 layers,
                 self.opts.threads,
+                self.opts.memoize,
                 &mut tm.thread_busy_seconds,
             );
             // Steady-state representative layer: the boundary state with the
@@ -550,7 +632,7 @@ impl<'a> Planner<'a> {
         let mut states = vec![usize::MAX; self.graph.ops.len()];
         states[first] = row_star;
         states[last] = col_star;
-        extract(&merged.steps, row_star, col_star, &mut states);
+        extract(&merged.steps, row_star, col_star, &choices, &mut states);
         let seqs: Vec<PartitionSeq> = states
             .iter()
             .enumerate()
@@ -561,6 +643,7 @@ impl<'a> Planner<'a> {
             .collect();
 
         tm.compose_seconds = t4.elapsed().as_secs_f64();
+        tm.peak_rss_bytes = primepar_obs::peak_rss_bytes();
         tm.total_seconds = start.elapsed().as_secs_f64();
         (
             ModelPlan {
@@ -573,28 +656,34 @@ impl<'a> Planner<'a> {
         )
     }
 
-    /// Bellman iteration over segment `(s, e)` (Eqs. 11-12). Worker busy
-    /// time is accumulated into `busy` (indexed by worker slot); the
-    /// returned [`SegmentMetrics`] carries table dimensions and relaxation
-    /// counts — the caller stamps `sweep_seconds`.
+    /// Bellman iteration over segment `(s, e)` (Eqs. 11-12), ping-ponging
+    /// between two arena-backed cost planes (no allocation per extension)
+    /// and appending every argmin plane to the shared [`ChoiceArena`].
+    /// Worker busy time is accumulated into `busy` (indexed by worker slot);
+    /// the returned [`SegmentMetrics`] carries table dimensions and
+    /// relaxation counts — the caller stamps `sweep_seconds`.
+    #[allow(clippy::too_many_arguments)]
     fn segment_dp(
         &self,
         s: usize,
         e: usize,
         spaces: &[Arc<Vec<PartitionSeq>>],
         intra: &[Arc<Vec<f64>>],
-        edge_cost: &HashMap<(usize, usize), Vec<f64>>,
+        edge_tables: &EdgeTables,
+        choices: &mut ChoiceArena,
         busy: &mut [f64],
     ) -> (Table, SegmentMetrics) {
         let mut relaxations = 0u64;
         let rows = spaces[s].len();
+        let max_cols = (s + 1..=e).map(|j| spaces[j].len()).max().expect("span");
+        let mut cur = vec![0.0; rows * max_cols];
+        let mut next = vec![0.0; rows * max_cols];
         // Base: Model_{s, s+1}.
         let mut cols = spaces[s + 1].len();
-        let chain = edge_cost.get(&(s, s + 1)).expect("chain edge present");
-        let mut cost = vec![0.0; rows * cols];
+        let chain = edge_tables.get(s, s + 1).expect("chain edge present");
         for r in 0..rows {
             for c in 0..cols {
-                cost[r * cols + c] = intra[s][r] + intra[s + 1][c] + chain[r * cols + c];
+                cur[r * cols + c] = intra[s][r] + intra[s + 1][c] + chain[r * cols + c];
             }
         }
         let mut steps = vec![BacktrackStep::Base {
@@ -605,19 +694,22 @@ impl<'a> Planner<'a> {
         for j in (s + 2)..=e {
             let new_cols = spaces[j].len();
             relaxations += (rows * new_cols * cols) as u64;
-            let chain = edge_cost.get(&(j - 1, j)).expect("chain edge present");
+            let chain = edge_tables.get(j - 1, j).expect("chain edge present");
             // Eq. 12's e_{i,j+1} term.
-            let head = edge_cost.get(&(s, j)).map(|h| h.as_slice());
-            let (new_cost, choice) = minplus::bellman_extend(
+            let head = edge_tables.get(s, j);
+            let choice = choices.alloc(rows * new_cols);
+            minplus::bellman_extend(
                 self.opts.threads,
                 self.opts.memoize,
                 rows,
                 cols,
                 new_cols,
-                &cost,
+                &cur[..rows * cols],
                 chain,
                 &intra[j],
                 head,
+                &mut next[..rows * new_cols],
+                choices.slice_mut(choice, rows * new_cols),
                 busy,
             );
             steps.push(BacktrackStep::Extend {
@@ -626,21 +718,23 @@ impl<'a> Planner<'a> {
                 choice,
                 cols: new_cols,
             });
-            cost = new_cost;
+            std::mem::swap(&mut cur, &mut next);
             cols = new_cols;
         }
+        cur.truncate(rows * cols);
         let seg_tm = SegmentMetrics {
             span: (s, e),
             rows,
             cols,
             bellman_relaxations: relaxations,
             sweep_seconds: 0.0,
+            states_pruned: 0,
         };
         (
             Table {
                 rows,
                 cols,
-                cost,
+                cost: cur,
                 steps,
             },
             seg_tm,
@@ -650,7 +744,7 @@ impl<'a> Planner<'a> {
 
 /// Eq. 13: merge `left` (span `a..mid`) and `right` (span `mid..c`),
 /// subtracting the shared node's intra cost and adding any direct `a → c`
-/// edge. Routed through the min-plus kernels: blocked when memoizing,
+/// edge. Routed through the min-plus kernels: vectorized when memoizing,
 /// row-parallel when threads are requested — bitwise-identical either way.
 #[allow(clippy::too_many_arguments)]
 fn merge(
@@ -658,25 +752,30 @@ fn merge(
     right: Table,
     mid: usize,
     mid_intra: &[f64],
-    span_edge: Option<&Vec<f64>>,
+    span_edge: Option<&[f64]>,
     threads: usize,
-    blocked: bool,
+    vectorized: bool,
+    choices: &mut ChoiceArena,
     busy: &mut [f64],
 ) -> Table {
     assert_eq!(left.cols, right.rows, "merge point spaces must agree");
     let rows = left.rows;
     let cols = right.cols;
     let k = left.cols;
-    let (cost, choice) = minplus::merge_tables(
+    let mut cost = vec![0.0; rows * cols];
+    let choice = choices.alloc(rows * cols);
+    minplus::merge_tables(
         threads,
-        blocked,
+        vectorized,
         rows,
         k,
         cols,
         &left.cost,
         &right.cost,
         mid_intra,
-        span_edge.map(|e| e.as_slice()),
+        span_edge,
+        &mut cost,
+        choices.slice_mut(choice, rows * cols),
         busy,
     );
     let steps = vec![BacktrackStep::Merge {
@@ -702,12 +801,14 @@ fn minplus_chain(
     boundary_intra: &[f64],
     layers: u64,
     threads: usize,
+    vectorized: bool,
     busy: &mut [f64],
 ) -> f64 {
     assert_eq!(t.rows, t.cols, "layer table must be square");
     let n = t.rows;
-    let mut join =
-        |a: &[f64], b: &[f64]| minplus::minplus_join(threads, n, a, b, boundary_intra, busy);
+    let mut join = |a: &[f64], b: &[f64]| {
+        minplus::minplus_join(threads, vectorized, n, a, b, boundary_intra, busy)
+    };
     let mut result: Option<Vec<f64>> = None;
     let mut power = t.cost.clone();
     let mut remaining = layers.max(1);
@@ -732,8 +833,14 @@ fn minplus_chain(
 }
 
 /// Recursively resolves the argmin interior states for endpoint states
-/// `(row, col)` into `states`.
-fn extract(steps: &[BacktrackStep], row: usize, col: usize, states: &mut [usize]) {
+/// `(row, col)` into `states`, reading choice planes from the arena.
+fn extract(
+    steps: &[BacktrackStep],
+    row: usize,
+    col: usize,
+    choices: &ChoiceArena,
+    states: &mut [usize],
+) {
     if let [BacktrackStep::Merge {
         mid,
         left_steps,
@@ -742,10 +849,10 @@ fn extract(steps: &[BacktrackStep], row: usize, col: usize, states: &mut [usize]
         cols,
     }] = steps
     {
-        let m = choice[row * cols + col] as usize;
+        let m = choices.at(*choice, row * cols + col) as usize;
         states[*mid] = m;
-        extract(left_steps, row, m, states);
-        extract(right_steps, m, col, states);
+        extract(left_steps, row, m, choices, states);
+        extract(right_steps, m, col, choices, states);
         return;
     }
     // A chain of Base + Extend steps: walk backwards from the right endpoint.
@@ -759,7 +866,7 @@ fn extract(steps: &[BacktrackStep], row: usize, col: usize, states: &mut [usize]
                 cols,
             } => {
                 states[*node] = current_col;
-                let prev = choice[row * cols + current_col] as usize;
+                let prev = choices.at(*choice, row * cols + current_col) as usize;
                 states[*prev_node] = prev;
                 current_col = prev;
             }
@@ -885,6 +992,31 @@ mod tests {
         assert!((single.total_cost - multi.total_cost).abs() < 1e-9 * single.total_cost);
         assert!((single.layer_cost - multi.layer_cost).abs() < 1e-9 * single.layer_cost);
         assert_eq!(single.seqs, multi.seqs);
+    }
+
+    #[test]
+    fn pruned_planner_matches_unpruned_bitwise() {
+        // The dominance relation only ever removes states that can never be
+        // a strict argmin: same plan, same costs, to the last bit.
+        let cluster = Cluster::v100_like(8);
+        let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
+        let base = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(4);
+        let (pruned, tm) = Planner::new(
+            &cluster,
+            &graph,
+            PlannerOptions {
+                prune: true,
+                ..PlannerOptions::default()
+            },
+        )
+        .optimize_instrumented(4);
+        assert_eq!(base.seqs, pruned.seqs);
+        assert_eq!(base.total_cost.to_bits(), pruned.total_cost.to_bits());
+        assert_eq!(base.layer_cost.to_bits(), pruned.layer_cost.to_bits());
+        assert_eq!(
+            tm.states_pruned,
+            tm.segments.iter().map(|s| s.states_pruned).sum::<u64>()
+        );
     }
 
     #[test]

@@ -32,10 +32,12 @@
 
 // Loops indexed by device id / wide internal signatures are deliberate.
 #![allow(clippy::needless_range_loop)]
+mod arena;
 mod baselines;
 mod dp;
 mod minplus;
 mod plan_io;
+mod prune;
 mod report;
 mod robustness;
 mod space;

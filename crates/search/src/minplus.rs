@@ -1,19 +1,27 @@
-//! Blocked, multi-threaded min-plus kernels for the segmented DP.
+//! Vectorizable, multi-threaded min-plus kernels for the segmented DP.
 //!
 //! The Bellman extension (Eq. 12), the segment merge (Eq. 13) and the layer
 //! doubling (Eq. 14) are all min-plus matrix products. The seed planner's
 //! inner loops walk the chain matrix column-wise (`chain[p·C + nc]` with `p`
-//! innermost), touching one cache line per element; the blocked variants
-//! interchange the loops so both the streamed matrix row and the running
-//! minima are contiguous. The candidate *order* per output cell is unchanged
+//! innermost), touching one cache line per element; the vectorized variants
+//! tile the output into fixed-width lanes of [`LANES`] `f64`s with a scalar
+//! tail, so the row-min reduction becomes `LANES` independent running minima
+//! the autovectorizer can keep in SIMD registers (compare + blend, no
+//! cross-lane dependency). The candidate *order* per output cell is unchanged
 //! (ascending interior state, strict `<`), and every sum keeps the original
 //! association — results and argmin choices are bitwise-identical to the
 //! scalar path, which the tests pin down.
 //!
-//! All three products parallelize over output rows; per-worker busy seconds
-//! accumulate into the planner's `thread_busy_seconds` slots.
+//! All three products parallelize over output rows and write into
+//! caller-provided planes (the DP's arena scratch), so the hot loop does no
+//! allocation. Per-worker busy seconds accumulate into the planner's
+//! `thread_busy_seconds` slots.
 
 use std::time::Instant;
+
+/// Fixed lane width of the vectorized kernels: 8 `f64`s — one 64-byte cache
+/// line, two AVX2 registers or one AVX-512 register.
+const LANES: usize = 8;
 
 /// Runs `row_fn(r, cost_row, choice_row)` for every row, chunked across
 /// `threads` scoped workers (serial when `threads <= 1`), adding per-worker
@@ -68,12 +76,13 @@ fn drive(
 
 /// One Bellman chain extension (Eq. 12): from the `rows × cols` table against
 /// the `cols × new_cols` chain-edge matrix, adding the new endpoint's intra
-/// cost and the optional segment-head edge. Returns `(cost, choice)` with
-/// `choice[r·new_cols + nc]` the argmin previous-endpoint state.
+/// cost and the optional segment-head edge. Writes into the caller's
+/// `rows × new_cols` planes: `out_choice[r·new_cols + nc]` is the argmin
+/// previous-endpoint state.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn bellman_extend(
     threads: usize,
-    blocked: bool,
+    vectorized: bool,
     rows: usize,
     cols: usize,
     new_cols: usize,
@@ -81,28 +90,29 @@ pub(crate) fn bellman_extend(
     chain: &[f64],
     intra_j: &[f64],
     head: Option<&[f64]>,
+    out_cost: &mut [f64],
+    out_choice: &mut [u32],
     busy: &mut [f64],
-) -> (Vec<f64>, Vec<u32>) {
-    let mut new_cost = vec![f64::INFINITY; rows * new_cols];
-    let mut choice = vec![0u32; rows * new_cols];
+) {
+    assert_eq!(out_cost.len(), rows * new_cols);
+    assert_eq!(out_choice.len(), rows * new_cols);
     drive(
         threads,
         rows,
         new_cols,
-        &mut new_cost,
-        &mut choice,
+        out_cost,
+        out_choice,
         busy,
         |r, out_cost, out_choice| {
             let row = &cost[r * cols..(r + 1) * cols];
             let head_row = head.map(|h| &h[r * new_cols..(r + 1) * new_cols]);
-            if blocked {
-                extend_row_blocked(row, chain, intra_j, head_row, out_cost, out_choice);
+            if vectorized {
+                extend_row_lanes(row, chain, intra_j, head_row, out_cost, out_choice);
             } else {
                 extend_row_scalar(row, chain, intra_j, head_row, out_cost, out_choice);
             }
         },
     );
-    (new_cost, choice)
 }
 
 /// The seed planner's per-row extension loop, verbatim.
@@ -134,10 +144,14 @@ fn extend_row_scalar(
     }
 }
 
-/// Loop-interchanged extension: streams each chain row contiguously against
-/// running minima. Candidates arrive per output cell in the same ascending-`p`
-/// order with the same strict `<`, so cost and argmin match the scalar path.
-fn extend_row_blocked(
+/// Lane-tiled extension: `LANES` output cells share one pass over the
+/// candidates, each lane keeping its own running (min, argmin) pair — the
+/// `if`-converted compare/select has no loop-carried cross-lane dependency,
+/// so the reduction vectorizes. Candidates arrive per cell in the same
+/// ascending-`p` order with the same strict `<`, and the final sums keep the
+/// `(best + intra) + head` association, so cost and argmin match the scalar
+/// path bitwise.
+fn extend_row_lanes(
     row: &[f64],
     chain: &[f64],
     intra_j: &[f64],
@@ -146,40 +160,59 @@ fn extend_row_blocked(
     out_choice: &mut [u32],
 ) {
     let new_cols = out_cost.len();
-    out_cost.fill(f64::INFINITY);
-    out_choice.fill(0);
-    for (p, &base) in row.iter().enumerate() {
-        let chain_row = &chain[p * new_cols..(p + 1) * new_cols];
-        for (nc, &c) in chain_row.iter().enumerate() {
-            let v = base + c;
-            if v < out_cost[nc] {
-                out_cost[nc] = v;
-                out_choice[nc] = p as u32;
+    let tiled = new_cols - new_cols % LANES;
+    let mut nc0 = 0;
+    while nc0 < tiled {
+        let mut min = [f64::INFINITY; LANES];
+        let mut arg = [0u32; LANES];
+        for (p, &base) in row.iter().enumerate() {
+            let c: &[f64; LANES] = chain[p * new_cols + nc0..][..LANES]
+                .try_into()
+                .expect("lane");
+            for l in 0..LANES {
+                let v = base + c[l];
+                let better = v < min[l];
+                min[l] = if better { v } else { min[l] };
+                arg[l] = if better { p as u32 } else { arg[l] };
             }
         }
+        for l in 0..LANES {
+            let mut v = min[l] + intra_j[nc0 + l];
+            if let Some(h) = head_row {
+                v += h[nc0 + l];
+            }
+            out_cost[nc0 + l] = v;
+            out_choice[nc0 + l] = arg[l];
+        }
+        nc0 += LANES;
     }
-    match head_row {
-        Some(h) => {
-            for nc in 0..new_cols {
-                // Same association as the scalar path: (best + intra) + head.
-                let v = out_cost[nc] + intra_j[nc];
-                out_cost[nc] = v + h[nc];
+    // Scalar tail: per-cell loop identical to the seed path.
+    for nc in tiled..new_cols {
+        let mut best = f64::INFINITY;
+        let mut best_p = 0u32;
+        for (p, &base) in row.iter().enumerate() {
+            let v = base + chain[p * new_cols + nc];
+            if v < best {
+                best = v;
+                best_p = p as u32;
             }
         }
-        None => {
-            for nc in 0..new_cols {
-                out_cost[nc] += intra_j[nc];
-            }
+        let mut v = best + intra_j[nc];
+        if let Some(h) = head_row {
+            v += h[nc];
         }
+        out_cost[nc] = v;
+        out_choice[nc] = best_p;
     }
 }
 
 /// One segment merge (Eq. 13): `out[r, c] = min_m (left[r, m] + right[m, c] −
 /// mid_intra[m])`, plus the optional direct span edge added after the argmin.
+/// Writes into the caller's `rows × cols` planes.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn merge_tables(
     threads: usize,
-    blocked: bool,
+    vectorized: bool,
     rows: usize,
     k: usize,
     cols: usize,
@@ -187,28 +220,29 @@ pub(crate) fn merge_tables(
     right: &[f64],
     mid_intra: &[f64],
     span_edge: Option<&[f64]>,
+    out_cost: &mut [f64],
+    out_choice: &mut [u32],
     busy: &mut [f64],
-) -> (Vec<f64>, Vec<u32>) {
-    let mut cost = vec![f64::INFINITY; rows * cols];
-    let mut choice = vec![0u32; rows * cols];
+) {
+    assert_eq!(out_cost.len(), rows * cols);
+    assert_eq!(out_choice.len(), rows * cols);
     drive(
         threads,
         rows,
         cols,
-        &mut cost,
-        &mut choice,
+        out_cost,
+        out_choice,
         busy,
         |r, out_cost, out_choice| {
             let left_row = &left[r * k..(r + 1) * k];
             let edge_row = span_edge.map(|e| &e[r * cols..(r + 1) * cols]);
-            if blocked {
-                merge_row_blocked(left_row, right, mid_intra, edge_row, out_cost, out_choice);
+            if vectorized {
+                merge_row_lanes(left_row, right, mid_intra, edge_row, out_cost, out_choice);
             } else {
                 merge_row_scalar(left_row, right, mid_intra, edge_row, out_cost, out_choice);
             }
         },
     );
-    (cost, choice)
 }
 
 /// The seed planner's per-row merge loop, verbatim.
@@ -239,9 +273,9 @@ fn merge_row_scalar(
     }
 }
 
-/// Loop-interchanged merge; same candidate order and association
+/// Lane-tiled merge; same candidate order and association
 /// (`(l + r) − mid`), bitwise-identical to the scalar row.
-fn merge_row_blocked(
+fn merge_row_lanes(
     left_row: &[f64],
     right: &[f64],
     mid_intra: &[f64],
@@ -250,31 +284,54 @@ fn merge_row_blocked(
     out_choice: &mut [u32],
 ) {
     let cols = out_cost.len();
-    out_cost.fill(f64::INFINITY);
-    out_choice.fill(0);
-    for (m, &l) in left_row.iter().enumerate() {
-        let right_row = &right[m * cols..(m + 1) * cols];
-        let mid = mid_intra[m];
-        for (c, &r) in right_row.iter().enumerate() {
-            let v = l + r - mid;
-            if v < out_cost[c] {
-                out_cost[c] = v;
-                out_choice[c] = m as u32;
+    let tiled = cols - cols % LANES;
+    let mut c0 = 0;
+    while c0 < tiled {
+        let mut min = [f64::INFINITY; LANES];
+        let mut arg = [0u32; LANES];
+        for (m, &l) in left_row.iter().enumerate() {
+            let mid = mid_intra[m];
+            let r: &[f64; LANES] = right[m * cols + c0..][..LANES].try_into().expect("lane");
+            for lane in 0..LANES {
+                let v = l + r[lane] - mid;
+                let better = v < min[lane];
+                min[lane] = if better { v } else { min[lane] };
+                arg[lane] = if better { m as u32 } else { arg[lane] };
             }
         }
-    }
-    if let Some(e) = edge_row {
-        for c in 0..cols {
-            out_cost[c] += e[c];
+        for lane in 0..LANES {
+            let mut best = min[lane];
+            if let Some(e) = edge_row {
+                best += e[c0 + lane];
+            }
+            out_cost[c0 + lane] = best;
+            out_choice[c0 + lane] = arg[lane];
         }
+        c0 += LANES;
+    }
+    for c in tiled..cols {
+        let mut best = f64::INFINITY;
+        let mut best_m = 0u32;
+        for (m, &l) in left_row.iter().enumerate() {
+            let v = l + right[m * cols + c] - mid_intra[m];
+            if v < best {
+                best = v;
+                best_m = m as u32;
+            }
+        }
+        if let Some(e) = edge_row {
+            best += e[c];
+        }
+        out_cost[c] = best;
+        out_choice[c] = best_m;
     }
 }
 
 /// One layer-doubling join (Eq. 14): `out[r, c] = min_q (a[r, q] −
-/// boundary_intra[q] + b[q, c])` over the shared `n × n` boundary space. The
-/// per-row loop is already stream-friendly; the win here is row parallelism.
+/// boundary_intra[q] + b[q, c])` over the shared `n × n` boundary space.
 pub(crate) fn minplus_join(
     threads: usize,
+    vectorized: bool,
     n: usize,
     a: &[f64],
     b: &[f64],
@@ -282,15 +339,23 @@ pub(crate) fn minplus_join(
     busy: &mut [f64],
 ) -> Vec<f64> {
     let mut out = vec![f64::INFINITY; n * n];
+    let join = |r: usize, out_row: &mut [f64]| {
+        if vectorized {
+            join_row_lanes(r * n, a, b, boundary_intra, out_row);
+        } else {
+            join_row(r * n, a, b, boundary_intra, out_row);
+        }
+    };
     if threads > 1 && n > 1 {
         std::thread::scope(|scope| {
             let chunk = n.div_ceil(threads).max(1);
             let mut handles = Vec::new();
             for (band, out_band) in out.chunks_mut(chunk * n).enumerate() {
+                let join = &join;
                 handles.push(scope.spawn(move || {
                     let sweep = Instant::now();
                     for (i, out_row) in out_band.chunks_mut(n).enumerate() {
-                        join_row((band * chunk + i) * n, a, b, boundary_intra, out_row);
+                        join(band * chunk + i, out_row);
                     }
                     sweep.elapsed().as_secs_f64()
                 }));
@@ -302,7 +367,7 @@ pub(crate) fn minplus_join(
     } else {
         let sweep = Instant::now();
         for (r, out_row) in out.chunks_mut(n).enumerate() {
-            join_row(r * n, a, b, boundary_intra, out_row);
+            join(r, out_row);
         }
         busy[0] += sweep.elapsed().as_secs_f64();
     }
@@ -324,6 +389,45 @@ fn join_row(a_off: usize, a: &[f64], b: &[f64], boundary_intra: &[f64], out_row:
                 out_row[c] = v;
             }
         }
+    }
+}
+
+/// Lane-tiled join: same per-cell candidate order (`q` ascending, non-finite
+/// leads skipped) and the same `fl(a − intra) + b` sums — bitwise-identical
+/// to [`join_row`]. No argmin here; the layer composition needs values only.
+fn join_row_lanes(a_off: usize, a: &[f64], b: &[f64], boundary_intra: &[f64], out_row: &mut [f64]) {
+    let n = out_row.len();
+    let tiled = n - n % LANES;
+    let mut c0 = 0;
+    while c0 < tiled {
+        let mut min = [f64::INFINITY; LANES];
+        for q in 0..n {
+            let lead = a[a_off + q] - boundary_intra[q];
+            if !lead.is_finite() {
+                continue;
+            }
+            let br: &[f64; LANES] = b[q * n + c0..][..LANES].try_into().expect("lane");
+            for l in 0..LANES {
+                let v = lead + br[l];
+                min[l] = if v < min[l] { v } else { min[l] };
+            }
+        }
+        out_row[c0..c0 + LANES].copy_from_slice(&min);
+        c0 += LANES;
+    }
+    for c in tiled..n {
+        let mut best = f64::INFINITY;
+        for q in 0..n {
+            let lead = a[a_off + q] - boundary_intra[q];
+            if !lead.is_finite() {
+                continue;
+            }
+            let v = lead + b[q * n + c];
+            if v < best {
+                best = v;
+            }
+        }
+        out_row[c] = best;
     }
 }
 
@@ -351,43 +455,91 @@ mod tests {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
+    fn extend(
+        threads: usize,
+        vectorized: bool,
+        rows: usize,
+        cols: usize,
+        new_cols: usize,
+        cost: &[f64],
+        chain: &[f64],
+        intra: &[f64],
+        head: Option<&[f64]>,
+    ) -> (Vec<f64>, Vec<u32>) {
+        let mut out_cost = vec![f64::NAN; rows * new_cols];
+        let mut out_choice = vec![u32::MAX; rows * new_cols];
+        let mut busy = vec![0.0; threads.max(1)];
+        bellman_extend(
+            threads,
+            vectorized,
+            rows,
+            cols,
+            new_cols,
+            cost,
+            chain,
+            intra,
+            head,
+            &mut out_cost,
+            &mut out_choice,
+            &mut busy,
+        );
+        (out_cost, out_choice)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn merge(
+        threads: usize,
+        vectorized: bool,
+        rows: usize,
+        k: usize,
+        cols: usize,
+        left: &[f64],
+        right: &[f64],
+        mid: &[f64],
+        span: Option<&[f64]>,
+    ) -> (Vec<f64>, Vec<u32>) {
+        let mut out_cost = vec![f64::NAN; rows * cols];
+        let mut out_choice = vec![u32::MAX; rows * cols];
+        let mut busy = vec![0.0; threads.max(1)];
+        merge_tables(
+            threads,
+            vectorized,
+            rows,
+            k,
+            cols,
+            left,
+            right,
+            mid,
+            span,
+            &mut out_cost,
+            &mut out_choice,
+            &mut busy,
+        );
+        (out_cost, out_choice)
+    }
+
     #[test]
-    fn blocked_extension_matches_scalar_bitwise() {
-        let (rows, cols, new_cols) = (7, 11, 5);
-        let cost = noise(rows * cols, 1);
-        let chain = noise(cols * new_cols, 2);
-        let intra = noise(new_cols, 3);
-        let head = noise(rows * new_cols, 4);
-        for (head_opt, threads) in [(None, 0usize), (Some(&head), 0), (Some(&head), 3)] {
-            let mut busy_a = vec![0.0; 4];
-            let mut busy_b = vec![0.0; 4];
-            let head_opt = head_opt.map(|h: &Vec<f64>| h.as_slice());
-            let (c_scalar, ch_scalar) = bellman_extend(
-                1,
-                false,
-                rows,
-                cols,
-                new_cols,
-                &cost,
-                &chain,
-                &intra,
-                head_opt,
-                &mut busy_a,
-            );
-            let (c_blocked, ch_blocked) = bellman_extend(
-                threads,
-                true,
-                rows,
-                cols,
-                new_cols,
-                &cost,
-                &chain,
-                &intra,
-                head_opt,
-                &mut busy_b,
-            );
-            assert_bitwise(&c_scalar, &c_blocked);
-            assert_eq!(ch_scalar, ch_blocked);
+    fn vectorized_extension_matches_scalar_bitwise() {
+        // Sizes straddle the lane width: 5 exercises the pure tail, 21 the
+        // tiled body plus a 5-cell tail.
+        for new_cols in [5usize, 16, 21] {
+            let (rows, cols) = (7, 11);
+            let cost = noise(rows * cols, 1);
+            let chain = noise(cols * new_cols, 2);
+            let intra = noise(new_cols, 3);
+            let head = noise(rows * new_cols, 4);
+            for (head_opt, threads) in [(None, 0usize), (Some(&head), 0), (Some(&head), 3)] {
+                let head_opt = head_opt.map(|h: &Vec<f64>| h.as_slice());
+                let (c_scalar, ch_scalar) = extend(
+                    1, false, rows, cols, new_cols, &cost, &chain, &intra, head_opt,
+                );
+                let (c_lanes, ch_lanes) = extend(
+                    threads, true, rows, cols, new_cols, &cost, &chain, &intra, head_opt,
+                );
+                assert_bitwise(&c_scalar, &c_lanes);
+                assert_eq!(ch_scalar, ch_lanes);
+            }
         }
     }
 
@@ -395,14 +547,13 @@ mod tests {
     fn extension_ties_pick_the_earliest_state() {
         // A constant landscape makes every interior state tie: the argmin
         // must stay at p = 0 in both variants (strict `<` discipline).
-        let (rows, cols, new_cols) = (2, 6, 3);
+        let (rows, cols, new_cols) = (2, 6, 19);
         let cost = vec![1.0; rows * cols];
         let chain = vec![2.0; cols * new_cols];
         let intra = vec![0.5; new_cols];
-        let mut busy = vec![0.0; 1];
-        for blocked in [false, true] {
-            let (c, ch) = bellman_extend(
-                1, blocked, rows, cols, new_cols, &cost, &chain, &intra, None, &mut busy,
+        for vectorized in [false, true] {
+            let (c, ch) = extend(
+                1, vectorized, rows, cols, new_cols, &cost, &chain, &intra, None,
             );
             assert!(ch.iter().all(|&p| p == 0));
             assert!(c.iter().all(|&v| v == 3.5));
@@ -410,58 +561,123 @@ mod tests {
     }
 
     #[test]
-    fn blocked_merge_matches_scalar_bitwise() {
-        let (rows, k, cols) = (6, 9, 8);
-        let left = noise(rows * k, 10);
-        let right = noise(k * cols, 11);
-        let mid = noise(k, 12);
-        let span = noise(rows * cols, 13);
-        for (span_opt, threads) in [(None, 0usize), (Some(&span), 0), (Some(&span), 4)] {
-            let mut busy_a = vec![0.0; 4];
-            let mut busy_b = vec![0.0; 4];
-            let span_opt = span_opt.map(|s: &Vec<f64>| s.as_slice());
-            let (c_scalar, ch_scalar) = merge_tables(
-                1,
-                false,
-                rows,
-                k,
-                cols,
-                &left,
-                &right,
-                &mid,
-                span_opt,
-                &mut busy_a,
-            );
-            let (c_blocked, ch_blocked) = merge_tables(
-                threads,
-                true,
-                rows,
-                k,
-                cols,
-                &left,
-                &right,
-                &mid,
-                span_opt,
-                &mut busy_b,
-            );
-            assert_bitwise(&c_scalar, &c_blocked);
-            assert_eq!(ch_scalar, ch_blocked);
+    fn vectorized_merge_matches_scalar_bitwise() {
+        for cols in [3usize, 8, 27] {
+            let (rows, k) = (6, 9);
+            let left = noise(rows * k, 10);
+            let right = noise(k * cols, 11);
+            let mid = noise(k, 12);
+            let span = noise(rows * cols, 13);
+            for (span_opt, threads) in [(None, 0usize), (Some(&span), 0), (Some(&span), 4)] {
+                let span_opt = span_opt.map(|s: &Vec<f64>| s.as_slice());
+                let (c_scalar, ch_scalar) =
+                    merge(1, false, rows, k, cols, &left, &right, &mid, span_opt);
+                let (c_lanes, ch_lanes) =
+                    merge(threads, true, rows, k, cols, &left, &right, &mid, span_opt);
+                assert_bitwise(&c_scalar, &c_lanes);
+                assert_eq!(ch_scalar, ch_lanes);
+            }
+        }
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// A pool of random positive cost entries, spanning magnitudes so
+        /// ties and near-ties both occur. Dimensions are drawn separately and
+        /// the pool is sliced to shape (the offline proptest shim has no
+        /// `prop_flat_map` for size-dependent strategies).
+        fn entries(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+            proptest::collection::vec(0.0f64..1e6, max_len)
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(48))]
+
+            /// Eq. 12: the lane-tiled Bellman extension is bitwise-identical
+            /// to the scalar sweep — costs and argmin choices — on random
+            /// cost matrices of random shapes, serial and threaded.
+            #[test]
+            fn vectorized_extension_is_bitwise_on_random_matrices(
+                rows in 1usize..8,
+                cols in 1usize..12,
+                new_cols in 1usize..24,
+                threads in 0usize..4,
+                pool in entries(7 * 11 + 11 * 23 + 23),
+            ) {
+                let (cost, rest) = pool.split_at(rows * cols);
+                let (chain, rest) = rest.split_at(cols * new_cols);
+                let intra = &rest[..new_cols];
+                let (c_scalar, ch_scalar) =
+                    extend(1, false, rows, cols, new_cols, cost, chain, intra, None);
+                let (c_lanes, ch_lanes) =
+                    extend(threads, true, rows, cols, new_cols, cost, chain, intra, None);
+                assert_bitwise(&c_scalar, &c_lanes);
+                prop_assert_eq!(ch_scalar, ch_lanes);
+            }
+
+            /// Eq. 13: the merge, with and without a span-edge plane.
+            #[test]
+            fn vectorized_merge_is_bitwise_on_random_matrices(
+                rows in 1usize..7,
+                k in 1usize..10,
+                cols in 1usize..20,
+                with_span in 0u8..2,
+                pool in entries(6 * 9 + 9 * 19 + 9 + 6 * 19),
+            ) {
+                let (left, rest) = pool.split_at(rows * k);
+                let (right, rest) = rest.split_at(k * cols);
+                let (mid, rest) = rest.split_at(k);
+                let span_opt = (with_span == 1).then_some(&rest[..rows * cols]);
+                let (c_scalar, ch_scalar) =
+                    merge(1, false, rows, k, cols, left, right, mid, span_opt);
+                let (c_lanes, ch_lanes) =
+                    merge(2, true, rows, k, cols, left, right, mid, span_opt);
+                assert_bitwise(&c_scalar, &c_lanes);
+                prop_assert_eq!(ch_scalar, ch_lanes);
+            }
+
+            /// Eq. 14: the layer-doubling join, including unreachable
+            /// (infinite) boundary states.
+            #[test]
+            fn vectorized_join_is_bitwise_on_random_matrices(
+                n in 1usize..24,
+                poison_at in 0usize..(23 * 23),
+                poison in 0u8..2,
+                pool in entries(2 * 23 * 23 + 23),
+            ) {
+                let (a, rest) = pool.split_at(n * n);
+                let (b, rest) = rest.split_at(n * n);
+                let intra = &rest[..n];
+                let mut a = a.to_vec();
+                if poison == 1 {
+                    a[poison_at % (n * n)] = f64::INFINITY;
+                }
+                let mut busy = vec![0.0; 4];
+                let serial = minplus_join(1, false, n, &a, b, intra, &mut busy);
+                let lanes = minplus_join(4, true, n, &a, b, intra, &mut busy);
+                assert_bitwise(&serial, &lanes);
+            }
         }
     }
 
     #[test]
     fn parallel_join_matches_serial_and_skips_infinities() {
-        let n = 9;
-        let mut a = noise(n * n, 20);
-        let b = noise(n * n, 21);
-        let intra = noise(n, 22);
-        a[3] = f64::INFINITY; // an unreachable boundary state
-        let mut busy_a = vec![0.0; 4];
-        let mut busy_b = vec![0.0; 4];
-        let serial = minplus_join(1, n, &a, &b, &intra, &mut busy_a);
-        let parallel = minplus_join(4, n, &a, &b, &intra, &mut busy_b);
-        assert_bitwise(&serial, &parallel);
-        assert!(serial.iter().all(|v| v.is_finite()));
-        assert!(busy_b.iter().sum::<f64>() >= 0.0);
+        // 9 is lane-tail-only; 19 covers one full tile plus a tail.
+        for n in [9usize, 19] {
+            let mut a = noise(n * n, 20);
+            let b = noise(n * n, 21);
+            let intra = noise(n, 22);
+            a[3] = f64::INFINITY; // an unreachable boundary state
+            let mut busy = vec![0.0; 4];
+            let serial = minplus_join(1, false, n, &a, &b, &intra, &mut busy);
+            for (threads, vectorized) in [(1, true), (4, false), (4, true)] {
+                let other = minplus_join(threads, vectorized, n, &a, &b, &intra, &mut busy);
+                assert_bitwise(&serial, &other);
+            }
+            assert!(serial.iter().all(|v| v.is_finite()));
+            assert!(busy.iter().sum::<f64>() >= 0.0);
+        }
     }
 }

@@ -26,6 +26,9 @@ pub struct SegmentMetrics {
     pub bellman_relaxations: u64,
     /// Wall-clock seconds of this segment's sweep.
     pub sweep_seconds: f64,
+    /// Interior states dominance pruning removed from this segment's nodes
+    /// (0 unless [`PlannerOptions::prune`](crate::PlannerOptions) is on).
+    pub states_pruned: u64,
 }
 
 /// Telemetry of one [`Planner::optimize`](crate::Planner::optimize) run.
@@ -69,8 +72,13 @@ pub struct PlannerMetrics {
     pub warm_matrix_misses: u64,
     /// Inner-loop candidate evaluations of the Eq. 13 segment merges.
     pub merge_relaxations: u64,
+    /// Interior partition states removed by dominance pruning across all
+    /// nodes (0 on the default no-prune path).
+    pub states_pruned: u64,
     /// Stage 1 (spaces + intra vectors) wall seconds.
     pub spaces_intra_seconds: f64,
+    /// Dominance-pruning stage wall seconds (0 when pruning is off).
+    pub prune_seconds: f64,
     /// Stage 2 (edge-cost matrices) wall seconds.
     pub edge_matrices_seconds: f64,
     /// Stage 3 (per-segment Bellman sweeps) wall seconds.
@@ -89,6 +97,9 @@ pub struct PlannerMetrics {
     /// matrices, Bellman sweeps, merges and min-plus joins), indexed by
     /// worker slot.
     pub thread_busy_seconds: Vec<f64>,
+    /// Process peak resident set size (`VmHWM`) sampled at the end of the
+    /// run, in bytes; 0 where the platform has no cheap probe.
+    pub peak_rss_bytes: u64,
 }
 
 impl PlannerMetrics {
@@ -116,6 +127,7 @@ impl PlannerMetrics {
             "planner.stage.spaces_intra_seconds",
             self.spaces_intra_seconds,
         );
+        m.record_seconds("planner.stage.prune_seconds", self.prune_seconds);
         m.record_seconds(
             "planner.stage.edge_matrices_seconds",
             self.edge_matrices_seconds,
@@ -126,6 +138,8 @@ impl PlannerMetrics {
         m.incr("planner.intra_evaluations", self.intra_evaluations);
         m.incr("planner.edge_evaluations", self.edge_evaluations);
         m.incr("planner.merge_relaxations", self.merge_relaxations);
+        m.incr("planner.prune.states_pruned", self.states_pruned);
+        m.gauge("planner.peak_rss_bytes", self.peak_rss_bytes as f64);
         m.gauge("planner.unique_signatures", self.unique_signatures as f64);
         m.incr("planner.cache.space.hits", self.space_cache_hits);
         m.incr("planner.cache.space.misses", self.space_cache_misses);
@@ -162,6 +176,7 @@ impl PlannerMetrics {
                 &format!("{prefix}.bellman_relaxations"),
                 seg.bellman_relaxations,
             );
+            m.incr(&format!("{prefix}.states_pruned"), seg.states_pruned);
             m.record_seconds(&format!("{prefix}.sweep_seconds"), seg.sweep_seconds);
         }
         m
@@ -182,10 +197,12 @@ mod tests {
                 cols: 17,
                 bellman_relaxations: 0,
                 sweep_seconds: 0.25,
+                states_pruned: 6,
             }],
             intra_evaluations: 21,
             edge_evaluations: 68,
             merge_relaxations: 0,
+            states_pruned: 6,
             unique_signatures: 2,
             space_cache_hits: 3,
             space_cache_misses: 2,
@@ -196,6 +213,7 @@ mod tests {
             warm_matrix_hits: 9,
             warm_matrix_misses: 3,
             spaces_intra_seconds: 0.5,
+            prune_seconds: 0.1,
             edge_matrices_seconds: 1.0,
             segment_dp_seconds: 1.0,
             merge_seconds: 0.0,
@@ -204,6 +222,7 @@ mod tests {
             threads_requested: 2,
             threads_used: 2,
             thread_busy_seconds: vec![1.0, 1.0],
+            peak_rss_bytes: 1 << 20,
         }
     }
 
@@ -226,6 +245,13 @@ mod tests {
         assert_eq!(m.counter("planner.cache.edge_matrix.hits"), 5);
         assert_eq!(m.counter("planner.cache.warm_matrix.hits"), 9);
         assert_eq!(m.counter("planner.cache.warm_matrix.misses"), 3);
+        assert_eq!(m.counter("planner.prune.states_pruned"), 6);
+        assert_eq!(m.counter("planner.segment.00.states_pruned"), 6);
+        assert_eq!(
+            m.gauge_value("planner.peak_rss_bytes"),
+            Some((1u64 << 20) as f64)
+        );
+        assert!(m.timer_seconds("planner.stage.prune_seconds") > 0.0);
         assert!(m.timer_seconds("planner.stage.segment_dp_seconds") > 0.0);
         assert_eq!(m.gauge_value("planner.space.01.fc1.size"), Some(17.0));
         assert_eq!(m.gauge_value("planner.segment.00.rows"), Some(4.0));

@@ -141,6 +141,7 @@ impl PlanRequest {
                 alpha: self.alpha,
                 threads: self.threads,
                 memoize: self.memoize,
+                ..PlannerOptions::default()
             },
         })
     }

@@ -22,6 +22,21 @@ echo "== planner smoke timing (OPT-6.7B, 16 devices) =="
 timeout 60 ./target/release/primepar plan --model opt-6.7b --devices 16 \
     >/dev/null || { echo "planner smoke run failed or exceeded 60 s" >&2; exit 1; }
 
+echo "== planner scaling smoke (512-device chain, pruning on) =="
+# One pruned rep of the >=512-device scaling point must land well inside the
+# wall-clock budget, and pruning must be deterministic: two same-seed runs
+# write byte-identical plan files.
+scaling="$(mktemp -d)"
+timeout 120 ./target/release/bench_planner --scale-smoke \
+    --plan-out "$scaling/scale1.plan.txt" >/dev/null \
+    || { echo "planner scaling smoke failed or exceeded 120 s" >&2; exit 1; }
+timeout 120 ./target/release/bench_planner --scale-smoke \
+    --plan-out "$scaling/scale2.plan.txt" >/dev/null \
+    || { echo "planner scaling smoke rerun failed" >&2; exit 1; }
+cmp "$scaling/scale1.plan.txt" "$scaling/scale2.plan.txt" \
+    || { echo "pruned scaling plan is not deterministic" >&2; exit 1; }
+rm -rf "$scaling"
+
 echo "== artifact validation (strict metrics/trace re-parse) =="
 # Regenerate one plan's artifacts into a scratch dir and re-parse them with
 # the strict obs parsers; also sweep results/ if previous figure runs left
