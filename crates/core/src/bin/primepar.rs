@@ -21,6 +21,8 @@
 //! primepar audit   --model opt-175b --devices 8 [--mlp-block] [--batch 8] [--seq 2048]
 //!                  [--system primepar|alpa|megatron] [--alpha 0] [--metrics-json out.json]
 //! primepar serve   [--workers 2] [--plan-dir DIR] [--socket PATH] [--cache-file PATH]
+//!                  [--event-log PATH] [--trace-out PATH] [--stats-out PATH]
+//!                  [--slow-ms 250] [--logical-clock]
 //! primepar loadtest [--requests 24] [--unique 4] [--workers 4] [--seed 42]
 //!                  [--cancel-fraction 0.125] [--socket PATH]
 //!                  [--metrics-json results/loadtest.metrics.json]
@@ -125,10 +127,17 @@ fn usage() -> &'static str {
      \x20         [--mlp-block] [--system primepar|alpa|megatron] [--alpha A]\n\
      \x20         [--batch B] [--seq S] [--metrics-json PATH]\n\
      \x20 serve   [--workers N] [--plan-dir DIR] [--socket PATH] [--cache-file PATH]\n\
+     \x20         [--event-log PATH] [--trace-out PATH] [--stats-out PATH]\n\
+     \x20         [--slow-ms N] [--logical-clock]\n\
      \x20         long-lived planner service: line-delimited JSON requests on\n\
      \x20         stdin (or a Unix socket), out-of-order responses tagged with\n\
      \x20         request_id on stdout; --cache-file persists the warm cache\n\
-     \x20         across restarts as a primepar.cache.v1 artifact\n\
+     \x20         across restarts as a primepar.cache.v1 artifact;\n\
+     \x20         --event-log appends primepar.events.v1 JSONL, --trace-out\n\
+     \x20         writes a per-session Chrome trace (one lane per worker),\n\
+     \x20         --stats-out dumps a primepar.stats.v1 snapshot on shutdown,\n\
+     \x20         --slow-ms logs a stage breakdown for slow requests, and\n\
+     \x20         --logical-clock makes event timestamps deterministic\n\
      \x20 loadtest [--requests N] [--unique K] [--workers W] [--seed S]\n\
      \x20         [--cancel-fraction F] [--socket PATH] [--metrics-json PATH]\n\
      \x20         [--min-repeat-hit-rate R]\n\
@@ -136,8 +145,8 @@ fn usage() -> &'static str {
      \x20         service; snapshots p50/p95/p99 latency + throughput\n\
      \x20         (default results/loadtest.metrics.json)\n\
      \x20 validate [--dir DIR]...         strict re-parse of *.metrics.json /\n\
-     \x20         *.trace.json / *.report.json / *.cache.json (warns on\n\
-     \x20         untagged legacy docs)\n\
+     \x20         *.trace.json / *.report.json / *.cache.json /\n\
+     \x20         *.events.jsonl / *.stats.json (warns on untagged legacy docs)\n\
      \n\
      exit codes: 0 ok, 2 config, 3 topology, 4 protocol, 5 cancelled, 6 internal\n"
 }
@@ -737,11 +746,14 @@ fn run() -> Result<(), Error> {
                 let summary = validate_artifacts(dir)?;
                 println!(
                     "{dir}: {} metrics document(s), {} trace(s), {} report(s), \
-                     {} cache dump(s) parsed cleanly",
+                     {} cache dump(s), {} event log(s), {} stats snapshot(s) \
+                     parsed cleanly",
                     summary.metrics_files,
                     summary.trace_files,
                     summary.report_files,
-                    summary.cache_files
+                    summary.cache_files,
+                    summary.events_files,
+                    summary.stats_files
                 );
                 if summary.legacy_files > 0 {
                     eprintln!(
@@ -762,10 +774,22 @@ fn run() -> Result<(), Error> {
                 })?;
             }
             let cache_file = args.value("--cache-file").map(PathBuf::from);
+            let slow_ms = match args.value("--slow-ms") {
+                None => None,
+                Some(v) => Some(
+                    v.parse()
+                        .map_err(|_| Error::config(format!("invalid value for --slow-ms: {v}")))?,
+                ),
+            };
             let opts = ServeOptions {
                 workers,
                 plan_dir,
                 cache_file,
+                event_log: args.value("--event-log").map(PathBuf::from),
+                trace_out: args.value("--trace-out").map(PathBuf::from),
+                stats_out: args.value("--stats-out").map(PathBuf::from),
+                slow_ms,
+                logical_clock: args.flag("--logical-clock"),
             };
             if let Some(path) = args.value("--socket") {
                 #[cfg(unix)]

@@ -105,6 +105,10 @@ pub struct ArtifactSummary {
     pub report_files: usize,
     /// `*.cache.json` warm-cache dumps parsed.
     pub cache_files: usize,
+    /// `*.events.jsonl` service event logs parsed.
+    pub events_files: usize,
+    /// `*.stats.json` service stats snapshots parsed.
+    pub stats_files: usize,
     /// Documents accepted without a `schema_version` tag (pre-versioning
     /// emitters); the CLI warns when this is nonzero.
     pub legacy_files: usize,
@@ -115,15 +119,17 @@ fn read_artifact(path: &Path) -> Result<String, Error> {
         .map_err(|e| Error::internal(format!("cannot read {}: {e}", path.display())))
 }
 
-/// Re-parses every `*.metrics.json`, `*.trace.json`, `*.report.json` and
-/// `*.cache.json` under `dir` with the strict `obs`/`sim`/`service`
-/// parsers: metrics documents must be valid JSON objects, trace documents
-/// valid Chrome `trace_event` arrays, report documents valid robustness
-/// sweeps, cache documents valid `primepar.cache.v1` warm-cache dumps.
-/// Versioned documents must carry the right `schema_version`; untagged
-/// (legacy) documents are accepted and counted in
-/// [`ArtifactSummary::legacy_files`] — except cache dumps, which postdate
-/// versioning and must always be tagged.
+/// Re-parses every `*.metrics.json`, `*.trace.json`, `*.report.json`,
+/// `*.cache.json`, `*.events.jsonl` and `*.stats.json` under `dir` with the
+/// strict `obs`/`sim`/`service` parsers: metrics documents must be valid
+/// JSON objects, trace documents valid Chrome `trace_event` arrays, report
+/// documents valid robustness sweeps, cache documents valid
+/// `primepar.cache.v1` warm-cache dumps, event logs valid
+/// `primepar.events.v1` JSONL, stats snapshots valid `primepar.stats.v1`
+/// documents. Versioned documents must carry the right `schema_version`;
+/// untagged (legacy) documents are accepted and counted in
+/// [`ArtifactSummary::legacy_files`] — except cache dumps, event logs and
+/// stats snapshots, which postdate versioning and must always be tagged.
 ///
 /// # Errors
 ///
@@ -186,6 +192,17 @@ pub fn validate_artifacts(dir: impl AsRef<Path>) -> Result<ArtifactSummary, Erro
                 primepar_obs::parse_json(&read_artifact(&path)?).map_err(|e| bad(e.to_string()))?;
             primepar_service::validate_cache_doc(&doc).map_err(|e| bad(e.to_string()))?;
             summary.cache_files += 1;
+        } else if name.ends_with(".events.jsonl") {
+            // Service event logs postdate versioning too: every line must
+            // carry the primepar.events.v1 tag.
+            primepar_obs::parse_event_log(&read_artifact(&path)?)
+                .map_err(|e| bad(e.to_string()))?;
+            summary.events_files += 1;
+        } else if name.ends_with(".stats.json") {
+            let doc =
+                primepar_obs::parse_json(&read_artifact(&path)?).map_err(|e| bad(e.to_string()))?;
+            primepar_service::validate_stats_doc(&doc).map_err(|e| bad(e.to_string()))?;
+            summary.stats_files += 1;
         }
     }
     Ok(summary)
@@ -356,10 +373,27 @@ mod tests {
             .unwrap();
         cache.save(dir.join("warm.cache.json")).unwrap();
 
+        let line = primepar_obs::render_event(
+            &primepar_obs::Event::new(primepar_obs::EventLevel::Info, "request.done")
+                .context("t-00000001", "s0")
+                .field("status", "ok"),
+        );
+        std::fs::write(dir.join("serve.events.jsonl"), format!("{line}\n")).unwrap();
+
+        let observer =
+            primepar_service::ServiceObserver::new(primepar_service::ObserveOptions::default());
+        std::fs::write(
+            dir.join("serve.stats.json"),
+            observer.stats_json(&cache).render_pretty(),
+        )
+        .unwrap();
+
         let summary = validate_artifacts(&dir).unwrap();
         assert_eq!(summary.metrics_files, 2);
         assert_eq!(summary.report_files, 1);
         assert_eq!(summary.cache_files, 1);
+        assert_eq!(summary.events_files, 1);
+        assert_eq!(summary.stats_files, 1);
         assert_eq!(summary.legacy_files, 1, "b.metrics.json has no tag");
 
         // An untagged cache dump is malformed, not legacy.
@@ -370,6 +404,23 @@ mod tests {
             "untagged cache dumps must be rejected: {verdict:?}"
         );
         std::fs::remove_file(dir.join("bad.cache.json")).unwrap();
+
+        // Same for event logs and stats snapshots: untagged is malformed.
+        std::fs::write(dir.join("bad.events.jsonl"), "{\"name\": \"x\"}\n").unwrap();
+        let verdict = validate_artifacts(&dir);
+        assert!(
+            matches!(verdict, Err(Error::Protocol(_))),
+            "untagged event lines must be rejected: {verdict:?}"
+        );
+        std::fs::remove_file(dir.join("bad.events.jsonl")).unwrap();
+
+        std::fs::write(dir.join("bad.stats.json"), "{\"uptime_us\": 0}\n").unwrap();
+        let verdict = validate_artifacts(&dir);
+        assert!(
+            matches!(verdict, Err(Error::Protocol(_))),
+            "untagged stats snapshots must be rejected: {verdict:?}"
+        );
+        std::fs::remove_file(dir.join("bad.stats.json")).unwrap();
 
         std::fs::write(
             dir.join("d.metrics.json"),

@@ -9,7 +9,10 @@
 //! * [`metrics`] — a lightweight registry of counters, gauges, histograms and
 //!   span timers that renders to a stable machine-readable JSON document,
 //! * [`trace`] — Chrome `trace_event` spans loadable in `chrome://tracing` /
-//!   Perfetto, with a parser so exports can be validated in tests.
+//!   Perfetto, with a parser so exports can be validated in tests,
+//! * [`events`] — an append-only JSONL structured-event log
+//!   (`primepar.events.v1`) with trace context on every line and a
+//!   logical-clock mode for byte-identical reruns.
 //!
 //! The crate is dependency-free by design: it sits below `search`, `sim` and
 //! `cost` in the workspace DAG, so all of them can report without cycles.
@@ -32,11 +35,16 @@
 // Loops indexed by device id / wide internal signatures are deliberate.
 #![allow(clippy::needless_range_loop)]
 
+pub mod events;
 pub mod json;
 pub mod metrics;
 pub mod rss;
 pub mod trace;
 
+pub use events::{
+    parse_event, parse_event_log, render_event, ClockMode, Event, EventError, EventLevel, EventLog,
+    FieldValue, EVENTS_SCHEMA,
+};
 pub use json::{parse_json, Json, JsonError};
 pub use metrics::{HistogramStats, Metrics, Span};
 pub use rss::peak_rss_bytes;

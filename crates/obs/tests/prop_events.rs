@@ -1,0 +1,111 @@
+//! Property tests for the `primepar.events.v1` JSONL line format: every
+//! constructible event renders to one line that parses back to an identical
+//! value — including field values exercising the full string-escape table
+//! and the canonical number line.
+
+use proptest::prelude::*;
+use proptest::strategy::boxed;
+
+use primepar_obs::{parse_event, parse_event_log, render_event, Event, EventLevel, FieldValue};
+
+fn any_level() -> impl Strategy<Value = EventLevel> {
+    prop_oneof![
+        Just(EventLevel::Debug),
+        Just(EventLevel::Info),
+        Just(EventLevel::Warn),
+        Just(EventLevel::Error),
+    ]
+}
+
+/// Strings biased toward escape-heavy content: quotes, backslashes, control
+/// characters, newlines, and non-ASCII scalars.
+fn nasty_string() -> impl Strategy<Value = String> {
+    let nasty_char = prop_oneof![
+        Just('"'),
+        Just('\\'),
+        Just('\n'),
+        Just('\r'),
+        Just('\t'),
+        Just('\u{0}'),
+        Just('\u{1}'),
+        Just('\u{1f}'),
+        Just('\u{7f}'),
+        Just('é'),
+        Just('漢'),
+        Just('/'),
+        (0x20u32..0x7fu32).prop_map(|c| char::from_u32(c).expect("printable ascii")),
+    ];
+    proptest::collection::vec(nasty_char, 0..16).prop_map(|chars| chars.into_iter().collect())
+}
+
+fn any_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        boxed((-1.0e9f64..1.0e9).prop_map(|x| x)),
+        boxed((-1.0f64..1.0).prop_map(|x| x * 1e-300)),
+        boxed((-1.0f64..1.0).prop_map(|x| x * 1e300)),
+        boxed(Just(0.0f64)),
+        boxed(Just(-0.0f64)),
+        boxed(Just(f64::NAN)),
+        boxed(Just(f64::INFINITY)),
+        boxed(Just(f64::NEG_INFINITY)),
+        boxed(Just(f64::MIN_POSITIVE)),
+        boxed(Just(f64::EPSILON)),
+    ]
+}
+
+fn any_field_value() -> impl Strategy<Value = FieldValue> {
+    prop_oneof![
+        boxed(nasty_string().prop_map(FieldValue::Str)),
+        boxed((0u64..u64::MAX).prop_map(FieldValue::from)),
+        boxed(any_f64().prop_map(FieldValue::num)),
+        boxed(prop_oneof![Just(true), Just(false)].prop_map(FieldValue::Bool)),
+    ]
+}
+
+fn any_event() -> impl Strategy<Value = Event> {
+    (
+        any_level(),
+        0u64..(1 << 53),
+        nasty_string(),
+        nasty_string(),
+        nasty_string(),
+        proptest::collection::vec((nasty_string(), any_field_value()), 0..6),
+    )
+        .prop_map(|(level, ts_us, trace_id, span_id, name, fields)| Event {
+            level,
+            ts_us,
+            trace_id,
+            span_id,
+            name,
+            fields,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn render_parse_round_trip_is_exact(event in any_event()) {
+        let line = render_event(&event);
+        prop_assert!(!line.contains('\n'), "event lines must be single lines");
+        let back = parse_event(&line).expect("rendered event must parse");
+        prop_assert_eq!(back, event);
+    }
+
+    #[test]
+    fn whole_logs_round_trip(events in proptest::collection::vec(any_event(), 0..8)) {
+        let text: String = events
+            .iter()
+            .map(|e| format!("{}\n", render_event(e)))
+            .collect();
+        let back = parse_event_log(&text).expect("rendered log must parse");
+        prop_assert_eq!(back, events);
+    }
+
+    #[test]
+    fn canonical_numbers_survive_the_wire(x in any_f64()) {
+        let event = Event::new(EventLevel::Debug, "n").field("v", FieldValue::num(x));
+        let back = parse_event(&render_event(&event)).expect("must parse");
+        prop_assert_eq!(back, event);
+    }
+}

@@ -119,6 +119,24 @@ impl PlannerMetrics {
         self.thread_busy_seconds.iter().sum::<f64>() / capacity
     }
 
+    /// The run's pipeline stages as ordered `(name, wall_seconds)` spans, in
+    /// execution order — the hook request-scoped tracing uses to synthesize
+    /// per-stage spans without threading callbacks through the DP itself.
+    /// Zero-duration stages (e.g. `prune` when pruning is off) are skipped.
+    pub fn stage_spans(&self) -> Vec<(&'static str, f64)> {
+        [
+            ("spaces_intra", self.spaces_intra_seconds),
+            ("prune", self.prune_seconds),
+            ("edge_matrices", self.edge_matrices_seconds),
+            ("segment_dp", self.segment_dp_seconds),
+            ("merge", self.merge_seconds),
+            ("compose", self.compose_seconds),
+        ]
+        .into_iter()
+        .filter(|&(_, seconds)| seconds > 0.0)
+        .collect()
+    }
+
     /// Renders the run into an observability registry under `planner.*`.
     pub fn to_metrics(&self) -> Metrics {
         let mut m = Metrics::new();
@@ -232,6 +250,19 @@ mod tests {
         // 2 seconds busy over 2 workers × 2 seconds of parallel-stage wall.
         assert!((tm.thread_utilization() - 0.5).abs() < 1e-12);
         assert_eq!(PlannerMetrics::default().thread_utilization(), 0.0);
+    }
+
+    #[test]
+    fn stage_spans_follow_execution_order_and_skip_idle_stages() {
+        let spans = sample().stage_spans();
+        let names: Vec<&str> = spans.iter().map(|(n, _)| *n).collect();
+        // merge/compose are 0.0 in the sample, so they must be absent.
+        assert_eq!(
+            names,
+            vec!["spaces_intra", "prune", "edge_matrices", "segment_dp"]
+        );
+        assert!(spans.iter().all(|&(_, s)| s > 0.0));
+        assert!(PlannerMetrics::default().stage_spans().is_empty());
     }
 
     #[test]

@@ -40,7 +40,8 @@ use primepar_topology::Cluster;
 use crate::api::{
     CacheOutcome, PlanKey, PlanRequest, PlanResponse, ResolvedPlan, SimRequest, SimResponse,
 };
-use crate::shard::{Outcome, ShardedMap};
+use crate::observe::RequestTrace;
+use crate::shard::{Outcome, ShardLoad, ShardedMap};
 use crate::Error;
 
 /// One memoized plan: everything a repeat request needs.
@@ -245,20 +246,48 @@ impl WarmCache {
     /// Propagates [`PlanRequest::resolve`] failures; never panics on bad
     /// input.
     pub fn execute_plan(&self, req: &PlanRequest) -> Result<PlanResponse, Error> {
+        self.execute_plan_traced(req, None)
+    }
+
+    /// [`WarmCache::execute_plan`] with request-scoped tracing: the cache
+    /// lookup becomes a span named by its outcome (`cache.hit` /
+    /// `cache.miss` / `cache.coalesced`), and a miss additionally gets
+    /// `planner.<stage>` child spans synthesized from the cold run's
+    /// [`PlannerMetrics`] — recorded after the fact, so tracing cannot
+    /// perturb planning.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WarmCache::execute_plan`].
+    pub fn execute_plan_traced(
+        &self,
+        req: &PlanRequest,
+        trace: Option<&RequestTrace>,
+    ) -> Result<PlanResponse, Error> {
         let start = Instant::now();
         let resolved = req.resolve()?;
+        let lookup_start = trace.map(RequestTrace::now_us);
         let (cached, outcome) = self.plan_for(&resolved);
+        if let (Some(trace), Some(lookup_start)) = (trace, lookup_start) {
+            record_lookup(trace, lookup_start, outcome, &cached.metrics);
+        }
         let sim = if req.simulate {
             let cluster = self.cluster(resolved.devices);
             let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
-            Some(simulate_model_with(
+            let sim_start = trace.map(RequestTrace::now_us);
+            let report = simulate_model_with(
                 &cluster,
                 &graph,
                 &cached.plan.seqs,
                 resolved.layers,
                 (resolved.batch * resolved.seq) as f64,
                 &SimOptions::default(),
-            ))
+            );
+            if let (Some(trace), Some(sim_start)) = (trace, sim_start) {
+                let dur = trace.now_us().saturating_sub(sim_start);
+                trace.span(trace.exec_span(), "sim.simulate", sim_start, dur);
+            }
+            Some(report)
         } else {
             None
         };
@@ -286,11 +315,30 @@ impl WarmCache {
     ///
     /// Propagates [`SimRequest::resolve`] failures.
     pub fn execute_sim(&self, req: &SimRequest) -> Result<SimResponse, Error> {
+        self.execute_sim_traced(req, None)
+    }
+
+    /// [`WarmCache::execute_sim`] with request-scoped tracing; see
+    /// [`WarmCache::execute_plan_traced`] for the span contract.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WarmCache::execute_sim`].
+    pub fn execute_sim_traced(
+        &self,
+        req: &SimRequest,
+        trace: Option<&RequestTrace>,
+    ) -> Result<SimResponse, Error> {
         let start = Instant::now();
         let (resolved, sim_opts, sweep) = req.resolve()?;
+        let lookup_start = trace.map(RequestTrace::now_us);
         let (cached, outcome) = self.plan_for(&resolved);
+        if let (Some(trace), Some(lookup_start)) = (trace, lookup_start) {
+            record_lookup(trace, lookup_start, outcome, &cached.metrics);
+        }
         let cluster = self.cluster(resolved.devices);
         let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+        let sim_start = trace.map(RequestTrace::now_us);
         let mut report = simulate_model_with(
             &cluster,
             &graph,
@@ -299,6 +347,10 @@ impl WarmCache {
             (resolved.batch * resolved.seq) as f64,
             &sim_opts,
         );
+        if let (Some(trace), Some(sim_start)) = (trace, sim_start) {
+            let dur = trace.now_us().saturating_sub(sim_start);
+            trace.span(trace.exec_span(), "sim.simulate", sim_start, dur);
+        }
         if let Some(sweep) = sweep {
             report.layer.robustness = Some(robustness_sweep(
                 &cluster,
@@ -316,6 +368,12 @@ impl WarmCache {
         })
     }
 
+    /// Per-shard occupancy of the whole-plan memo, for the live `stats`
+    /// snapshot.
+    pub fn plan_shard_loads(&self) -> Vec<ShardLoad> {
+        self.plans.shard_loads()
+    }
+
     /// Current counters.
     pub fn stats(&self) -> ServiceCacheStats {
         let shard = self.plans.stats();
@@ -328,6 +386,30 @@ impl WarmCache {
             plan_bytes: shard.weight,
             clusters_interned: self.clusters.lock().expect("cluster intern lock").len(),
             warm: self.warm.stats(),
+        }
+    }
+}
+
+/// Records the cache-lookup span (named by outcome) under the trace's
+/// execution span. A miss ran the planner inside the lookup window, so the
+/// already-collected per-stage timings are laid out sequentially as
+/// `planner.<stage>` children — the stages genuinely ran back-to-back, and
+/// [`RequestTrace::span`] clamps them into the closed lookup span, keeping
+/// the tree well-nested.
+fn record_lookup(trace: &RequestTrace, start_us: u64, outcome: Outcome, metrics: &PlannerMetrics) {
+    let dur_us = trace.now_us().saturating_sub(start_us);
+    let name = match outcome {
+        Outcome::Hit => "cache.hit",
+        Outcome::Miss => "cache.miss",
+        Outcome::Coalesced => "cache.coalesced",
+    };
+    let lookup = trace.span(trace.exec_span(), name, start_us, dur_us);
+    if outcome == Outcome::Miss {
+        let mut cursor = start_us;
+        for (stage, seconds) in metrics.stage_spans() {
+            let stage_us = (seconds * 1e6) as u64;
+            trace.span(lookup, &format!("planner.{stage}"), cursor, stage_us);
+            cursor = cursor.saturating_add(stage_us);
         }
     }
 }

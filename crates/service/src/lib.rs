@@ -36,6 +36,7 @@ mod api;
 mod cache;
 mod error;
 mod loadtest;
+mod observe;
 mod persist;
 mod protocol;
 mod server;
@@ -50,13 +51,17 @@ pub use error::Error;
 #[cfg(unix)]
 pub use loadtest::run_loadtest_socket;
 pub use loadtest::{run_loadtest, LoadtestOptions, LoadtestReport, PhaseReport};
+pub use observe::{
+    validate_stats_doc, FlightRecord, ObserveOptions, RequestTrace, ServiceObserver, SpanRecord,
+    STATS_SCHEMA,
+};
 pub use persist::{cache_to_json, validate_cache_doc, CACHE_SCHEMA};
 #[cfg(unix)]
 pub use protocol::serve_unix_socket;
 pub use protocol::{
     cancel_json, error_json, parse_frame, plan_response_json, request_json, serve_lines,
-    serve_lines_with_cache, sim_request_json, sim_response_json, Frame, ParsedFrame, ServeEnd,
-    ServeOptions,
+    serve_lines_with_cache, sim_request_json, sim_response_json, stats_request_json, Frame,
+    ParsedFrame, ServeEnd, ServeOptions,
 };
 pub use server::{CancelToken, Pending, PlannerService, ServiceClient, ServiceOptions};
-pub use shard::{FixedSeedHasher, FixedSeedState, Outcome, ShardStats, ShardedMap};
+pub use shard::{FixedSeedHasher, FixedSeedState, Outcome, ShardLoad, ShardStats, ShardedMap};

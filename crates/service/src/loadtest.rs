@@ -30,11 +30,11 @@ use std::sync::mpsc::{self, Receiver, Sender};
 use std::thread;
 use std::time::{Duration, Instant};
 
-use primepar_obs::{parse_json, HistogramStats, Json, Metrics};
+use primepar_obs::{parse_json, peak_rss_bytes, HistogramStats, Json, Metrics};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::protocol::{cancel_json, request_json, serve_lines, ServeOptions};
+use crate::protocol::{cancel_json, request_json, serve_lines, stats_request_json, ServeOptions};
 use crate::{Error, PlanRequest};
 
 /// Workload shape of one load-test run.
@@ -363,6 +363,7 @@ fn drive(wire: &mut dyn Wire, opts: &LoadtestOptions) -> Result<LoadtestReport, 
     let mut next_request_id = 0u64;
     let mut unique = Tally::default();
     let mut repeat = Tally::default();
+    let mut stats_snapshot: Option<Json> = None;
 
     // Phase 1: distinct keys, planned cold.
     for i in 0..opts.unique {
@@ -376,7 +377,13 @@ fn drive(wire: &mut dyn Wire, opts: &LoadtestOptions) -> Result<LoadtestReport, 
         let line = wire
             .recv()?
             .ok_or_else(|| Error::internal("server closed during the unique phase"))?;
-        absorb(&line, &mut in_flight, &mut unique, &mut repeat)?;
+        absorb(
+            &line,
+            &mut in_flight,
+            &mut unique,
+            &mut repeat,
+            &mut stats_snapshot,
+        )?;
     }
 
     // Phase 2: repeats drawn from the phase-1 keys, some cancelled.
@@ -391,9 +398,20 @@ fn drive(wire: &mut dyn Wire, opts: &LoadtestOptions) -> Result<LoadtestReport, 
             wire.send(&cancel_json(None, Some(next_request_id)).render())?;
         }
     }
+    // Probe the live stats frame while repeat-phase work is still in the
+    // service: the snapshot lands in the metrics as queue-depth and
+    // worker-utilization gauges.
+    wire.send(&stats_request_json(Some("loadtest-stats")).render())?;
     wire.finish_sending()?;
     while let Some(line) = wire.recv()? {
-        if absorb(&line, &mut in_flight, &mut unique, &mut repeat)? == Absorbed::Bye {
+        if absorb(
+            &line,
+            &mut in_flight,
+            &mut unique,
+            &mut repeat,
+            &mut stats_snapshot,
+        )? == Absorbed::Bye
+        {
             break;
         }
     }
@@ -422,6 +440,10 @@ fn drive(wire: &mut dyn Wire, opts: &LoadtestOptions) -> Result<LoadtestReport, 
     metrics.incr("loadtest.responses", responses as u64);
     metrics.gauge("loadtest.elapsed_seconds", elapsed.as_secs_f64());
     metrics.gauge("loadtest.throughput_rps", throughput_rps);
+    metrics.gauge("loadtest.peak_rss_bytes", peak_rss_bytes() as f64);
+    if let Some(snapshot) = &stats_snapshot {
+        fold_stats_snapshot(&mut metrics, snapshot);
+    }
     Ok(LoadtestReport {
         elapsed,
         responses,
@@ -440,16 +462,51 @@ enum Absorbed {
     Bye,
 }
 
+/// Folds the mid-run `stats` snapshot into `loadtest.stats.*` gauges: how
+/// deep the queue ran and how busy the workers were at probe time.
+fn fold_stats_snapshot(metrics: &mut Metrics, snapshot: &Json) {
+    if let Some(depth) = snapshot
+        .get("requests")
+        .and_then(|r| r.get("queue_depth"))
+        .and_then(Json::as_u64)
+    {
+        metrics.gauge("loadtest.stats.queue_depth", depth as f64);
+    }
+    let uptime_us = snapshot.get("uptime_us").and_then(Json::as_f64);
+    if let Some(workers) = snapshot.get("workers").and_then(Json::as_array) {
+        let busy_now = workers
+            .iter()
+            .filter(|w| w.get("busy").and_then(Json::as_bool) == Some(true))
+            .count();
+        metrics.gauge("loadtest.stats.workers_busy", busy_now as f64);
+        if let Some(uptime_us) = uptime_us.filter(|&t| t > 0.0 && !workers.is_empty()) {
+            let busy_us: f64 = workers
+                .iter()
+                .filter_map(|w| w.get("busy_us").and_then(Json::as_f64))
+                .sum();
+            metrics.gauge(
+                "loadtest.stats.worker_utilization",
+                (busy_us / (uptime_us * workers.len() as f64)).min(1.0),
+            );
+        }
+    }
+}
+
 /// Folds one response line into the tallies.
 fn absorb(
     line: &str,
     in_flight: &mut HashMap<u64, (Instant, Phase)>,
     unique: &mut Tally,
     repeat: &mut Tally,
+    stats_snapshot: &mut Option<Json>,
 ) -> Result<Absorbed, Error> {
     let doc = parse_json(line).map_err(|e| Error::protocol(format!("unparsable response: {e}")))?;
     if doc.get("type").and_then(Json::as_str) == Some("bye") {
         return Ok(Absorbed::Bye);
+    }
+    if doc.get("type").and_then(Json::as_str) == Some("stats") {
+        *stats_snapshot = doc.get("stats").cloned();
+        return Ok(Absorbed::Control);
     }
     let Some(request_id) = doc.get("request_id").and_then(Json::as_u64) else {
         // pong / out-of-band error frames carry no request id.
@@ -627,6 +684,27 @@ mod tests {
         let doc = m.to_json();
         assert!(doc.get("loadtest.latency_us").is_some());
         assert!(doc.get("loadtest.throughput_rps").is_some());
+    }
+
+    #[test]
+    fn stats_probe_lands_queue_and_utilization_gauges() {
+        let report = run_loadtest(&quick(8, 2, 0.0, 5)).expect("runs");
+        let m = &report.metrics;
+        assert!(
+            m.gauge_value("loadtest.stats.queue_depth").is_some(),
+            "the mid-run stats snapshot records queue depth"
+        );
+        assert!(
+            m.gauge_value("loadtest.stats.workers_busy").is_some(),
+            "the snapshot records busy-worker count"
+        );
+        if let Some(util) = m.gauge_value("loadtest.stats.worker_utilization") {
+            assert!((0.0..=1.0).contains(&util), "{util}");
+        }
+        let rss = m
+            .gauge_value("loadtest.peak_rss_bytes")
+            .expect("peak RSS is stamped into the metrics");
+        assert!(rss >= 0.0);
     }
 
     #[test]

@@ -20,9 +20,18 @@
 //! request without waiting for a response.
 //!
 //! Frame types: `plan`, `sim`, `cancel` (by client `id` or by
-//! `request_id`), `ping` (answered with `pong` immediately, ahead of queued
-//! work), `shutdown` (drain outstanding work and exit; input after
-//! `shutdown` is ignored).
+//! `request_id`), `stats` (answered immediately with a live
+//! `primepar.stats.v1` snapshot — queue depth, worker utilization, cache
+//! shards, latency quantiles, the flight recorder), `ping` (answered with
+//! `pong` immediately, ahead of queued work), `shutdown` (drain outstanding
+//! work and exit; input after `shutdown` is ignored).
+//!
+//! **Trace context**: any frame may carry a `trace_id`; plan/sim frames
+//! without one get a server-minted id (`t-<counter>`). The response echoes
+//! it, the event log ([`ServeOptions::event_log`]) stamps it on every
+//! request-lifecycle event, and the per-session Chrome trace
+//! ([`ServeOptions::trace_out`]) groups the request's spans under it — one
+//! lane per worker.
 //!
 //! With [`ServeOptions::cache_file`] set, [`serve_lines`] and
 //! [`serve_unix_socket`] load the whole-plan memo from a
@@ -33,13 +42,15 @@
 use std::io::{BufRead, Write};
 use std::path::PathBuf;
 use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::Arc;
 use std::thread;
 use std::time::Duration;
 
-use primepar_obs::{parse_json, Json};
+use primepar_obs::{parse_json, peak_rss_bytes, ClockMode, Event, EventLevel, EventLog, Json};
 use primepar_sim::robustness_json;
 
 use crate::cache::WarmCache;
+use crate::observe::{FlightRecord, ObserveOptions, RequestTrace, ServiceObserver};
 use crate::server::{Pending, PlannerService, ServiceOptions};
 use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse, SERVICE_SCHEMA};
 
@@ -59,6 +70,9 @@ pub enum Frame {
         /// Server-assigned request id of the request to cancel.
         request_id: Option<u64>,
     },
+    /// Live introspection probe; answered out of band with a
+    /// `primepar.stats.v1` snapshot.
+    Stats,
     /// Liveness probe; answered out of band with `pong`.
     Ping,
     /// Drain outstanding work and exit.
@@ -72,6 +86,9 @@ pub struct ParsedFrame {
     pub frame: Frame,
     /// The frame omitted `schema_version` (accepted, but the response warns).
     pub legacy: bool,
+    /// Client-supplied trace context, echoed on the response. Plan/sim
+    /// frames without one get a server-minted id.
+    pub trace_id: Option<String>,
 }
 
 fn field<'j>(obj: &'j Json, key: &str) -> Option<&'j Json> {
@@ -195,15 +212,20 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
             }
             Frame::Cancel { id, request_id }
         }
+        "stats" => Frame::Stats,
         "ping" => Frame::Ping,
         "shutdown" => Frame::Shutdown,
         other => {
             return Err(Error::protocol(format!(
-                "unknown frame type: {other} (expected plan|sim|cancel|ping|shutdown)"
+                "unknown frame type: {other} (expected plan|sim|cancel|stats|ping|shutdown)"
             )))
         }
     };
-    Ok(ParsedFrame { frame, legacy })
+    Ok(ParsedFrame {
+        frame,
+        legacy,
+        trace_id: field_str(&doc, "trace_id")?,
+    })
 }
 
 fn tagged(kind: &str) -> Json {
@@ -258,6 +280,16 @@ pub fn cancel_json(id: Option<&str>, request_id: Option<u64>) -> Json {
     }
     if let Some(rid) = request_id {
         doc.set("request_id", rid);
+    }
+    doc
+}
+
+/// Encodes a `stats` introspection frame, optionally carrying a trace id to
+/// be echoed on the snapshot response.
+pub fn stats_request_json(trace_id: Option<&str>) -> Json {
+    let mut doc = tagged("stats");
+    if let Some(trace_id) = trace_id {
+        doc.set("trace_id", trace_id);
     }
     doc
 }
@@ -355,6 +387,24 @@ pub struct ServeOptions {
     /// cache from this `primepar.cache.v1` artifact on startup (if it
     /// exists) and dump it back on exit.
     pub cache_file: Option<PathBuf>,
+    /// When set, the session appends a `primepar.events.v1` JSONL event log
+    /// here: serve lifecycle, every request received/done, rejections, and
+    /// slow-request breakdowns.
+    pub event_log: Option<PathBuf>,
+    /// When set, the session writes its Chrome trace (`primepar.trace.v1`,
+    /// one lane per worker) here on exit.
+    pub trace_out: Option<PathBuf>,
+    /// When set, the session dumps a `primepar.stats.v1` snapshot — flight
+    /// recorder included — here on shutdown and from the worker-pool panic
+    /// path.
+    pub stats_out: Option<PathBuf>,
+    /// Emit a `request.slow` event (stage-level breakdown) for any request
+    /// over this wall-clock threshold, milliseconds.
+    pub slow_ms: Option<u64>,
+    /// Stamp event timestamps from a logical clock (append sequence) instead
+    /// of wall time, and omit wall-derived event fields: two serve runs over
+    /// the same input then produce byte-identical event logs.
+    pub logical_clock: bool,
 }
 
 /// How a serve loop ended.
@@ -378,6 +428,7 @@ struct Reply {
     request_id: u64,
     id: String,
     legacy: bool,
+    trace: Arc<RequestTrace>,
     pending: PendingReply,
 }
 
@@ -422,13 +473,57 @@ fn sanitize_artifact_id(id: &str) -> String {
     }
 }
 
+/// Appends an event to the session log, if one is configured.
+fn log_event(events: &mut Option<EventLog>, event: Event) -> Result<(), Error> {
+    match events {
+        Some(log) => log
+            .emit(event)
+            .map_err(|e| Error::internal(format!("event log write failed: {e}"))),
+        None => Ok(()),
+    }
+}
+
+fn outcome_label(cache: &crate::CacheOutcome) -> &'static str {
+    if cache.plan_cache_hit {
+        "hit"
+    } else if cache.coalesced {
+        "coalesced"
+    } else {
+        "miss"
+    }
+}
+
 fn emit(
     writer: &mut impl Write,
     end: &mut ServeEnd,
     opts: &ServeOptions,
+    observer: &ServiceObserver,
+    events: &mut Option<EventLog>,
     reply: &Reply,
     verdict: Verdict,
 ) -> Result<(), Error> {
+    // Summarize for the flight recorder before the verdict is consumed
+    // building the response document.
+    let (status, outcome, fingerprint) = match &verdict {
+        Verdict::Plan(result) => match result.as_ref() {
+            Ok(resp) => (
+                "ok".to_string(),
+                outcome_label(&resp.cache).to_string(),
+                resp.fingerprint.clone(),
+            ),
+            Err(Error::Cancelled(_)) => ("cancelled".to_string(), "-".into(), String::new()),
+            Err(err) => (format!("error:{}", err.kind()), "-".into(), String::new()),
+        },
+        Verdict::Sim(result) => match result.as_ref() {
+            Ok(resp) => (
+                "ok".to_string(),
+                outcome_label(&resp.cache).to_string(),
+                resp.fingerprint.clone(),
+            ),
+            Err(Error::Cancelled(_)) => ("cancelled".to_string(), "-".into(), String::new()),
+            Err(err) => (format!("error:{}", err.kind()), "-".into(), String::new()),
+        },
+    };
     let mut doc = match verdict {
         Verdict::Plan(result) => match *result {
             Ok(resp) => {
@@ -453,7 +548,69 @@ fn emit(
         },
     };
     doc.set("request_id", reply.request_id);
-    writeln!(writer, "{}", doc.render()).map_err(|e| Error::internal(format!("write failed: {e}")))
+    doc.set("trace_id", reply.trace.trace_id());
+    doc.set("peak_rss_bytes", peak_rss_bytes());
+    writeln!(writer, "{}", doc.render())
+        .map_err(|e| Error::internal(format!("write failed: {e}")))?;
+
+    let trace = &reply.trace;
+    let elapsed_us = trace.elapsed_us();
+    let stages: Vec<(String, u64)> = trace
+        .spans()
+        .iter()
+        .skip(1) // the root `request` span is the elapsed time itself
+        .map(|span| (span.name.clone(), span.dur_us))
+        .collect();
+    let slow = observer.complete_request(
+        trace,
+        FlightRecord {
+            request_id: reply.request_id,
+            id: reply.id.clone(),
+            trace_id: trace.trace_id().to_string(),
+            kind: trace.kind().to_string(),
+            fingerprint,
+            outcome: outcome.clone(),
+            status: status.clone(),
+            elapsed_us,
+            worker: trace.worker(),
+            stages: stages.clone(),
+        },
+    );
+    let level = if status == "ok" {
+        EventLevel::Info
+    } else {
+        EventLevel::Error
+    };
+    let mut done = Event::new(level, "request.done")
+        .context(trace.trace_id(), "s0")
+        .field("kind", trace.kind())
+        .field("id", reply.id.as_str())
+        .field("request_id", reply.request_id)
+        .field("status", status.as_str())
+        .field("outcome", outcome.as_str());
+    // Wall-derived fields would break the logical clock's byte-identical
+    // same-input guarantee; the flight recorder still has them.
+    if !opts.logical_clock {
+        done = done.field("elapsed_us", elapsed_us);
+        if let Some(worker) = trace.worker() {
+            done = done.field("worker", worker as u64);
+        }
+    }
+    log_event(events, done)?;
+    if slow {
+        let mut warn = Event::new(EventLevel::Warn, "request.slow")
+            .context(trace.trace_id(), "s0")
+            .field("kind", trace.kind())
+            .field("id", reply.id.as_str())
+            .field("request_id", reply.request_id)
+            .field("elapsed_us", elapsed_us)
+            .field("threshold_ms", opts.slow_ms.unwrap_or(0));
+        for (name, dur_us) in &stages {
+            warn = warn.field(format!("stage.{name}"), *dur_us);
+        }
+        log_event(events, warn)?;
+    }
+    Ok(())
 }
 
 /// Serves the line protocol from `reader` to `writer` over a private
@@ -512,7 +669,31 @@ pub fn serve_lines_with_cache(
             opts.workers
         },
     };
-    PlannerService::run_with_cache(pool, cache, |client| {
+    let observer = ServiceObserver::new(ObserveOptions {
+        workers: pool.workers,
+        clock: if opts.logical_clock {
+            ClockMode::Logical
+        } else {
+            ClockMode::Wall
+        },
+        slow_ms: opts.slow_ms,
+        stats_out: opts.stats_out.clone(),
+        chrome: opts.trace_out.is_some(),
+        recorder_capacity: 0,
+    });
+    let observer = &observer;
+    let mut events = match &opts.event_log {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| Error::internal(format!("--event-log open failed: {e}")))?;
+            Some(EventLog::new(
+                std::io::BufWriter::new(file),
+                observer.clock(),
+            ))
+        }
+        None => None,
+    };
+    PlannerService::run_observed(pool, cache, Some(observer), |client| {
         thread::scope(|scope| {
             // A reader thread feeds lines through a channel so the main
             // loop can emit finished responses while input is idle —
@@ -533,6 +714,19 @@ pub fn serve_lines_with_cache(
             let mut pending: Vec<Reply> = Vec::new();
             let mut next_request_id: u64 = 0;
             let mut input_open = true;
+            log_event(
+                &mut events,
+                Event::new(EventLevel::Info, "serve.start")
+                    .field("workers", pool.workers as u64)
+                    .field(
+                        "clock",
+                        if opts.logical_clock {
+                            "logical"
+                        } else {
+                            "wall"
+                        },
+                    ),
+            )?;
             loop {
                 let message = if !input_open || end.shutdown {
                     None
@@ -562,28 +756,69 @@ pub fn serve_lines_with_cache(
                         match parse_frame(&line) {
                             Err(err) => {
                                 end.errors += 1;
+                                log_event(
+                                    &mut events,
+                                    Event::new(EventLevel::Error, "request.rejected")
+                                        .field("message", err.message()),
+                                )?;
                                 writeln!(writer, "{}", error_json("", &err).render())
                                     .map_err(io)?;
                             }
-                            Ok(ParsedFrame { frame, legacy }) => match frame {
+                            Ok(ParsedFrame {
+                                frame,
+                                legacy,
+                                trace_id,
+                            }) => match frame {
                                 Frame::Plan(req) => {
                                     end.requests += 1;
                                     next_request_id += 1;
+                                    let trace_id =
+                                        trace_id.unwrap_or_else(|| observer.gen_trace_id());
+                                    let trace =
+                                        observer.begin_request(trace_id, next_request_id, "plan");
+                                    log_event(
+                                        &mut events,
+                                        Event::new(EventLevel::Info, "request.received")
+                                            .context(trace.trace_id(), "s0")
+                                            .field("kind", "plan")
+                                            .field("id", req.id.as_str())
+                                            .field("request_id", next_request_id)
+                                            .field("legacy", legacy),
+                                    )?;
                                     pending.push(Reply {
                                         request_id: next_request_id,
                                         id: req.id.clone(),
                                         legacy,
-                                        pending: PendingReply::Plan(client.submit_plan(req)),
+                                        trace: trace.clone(),
+                                        pending: PendingReply::Plan(
+                                            client.submit_plan_traced(req, Some(trace)),
+                                        ),
                                     });
                                 }
                                 Frame::Sim(req) => {
                                     end.requests += 1;
                                     next_request_id += 1;
+                                    let trace_id =
+                                        trace_id.unwrap_or_else(|| observer.gen_trace_id());
+                                    let trace =
+                                        observer.begin_request(trace_id, next_request_id, "sim");
+                                    log_event(
+                                        &mut events,
+                                        Event::new(EventLevel::Info, "request.received")
+                                            .context(trace.trace_id(), "s0")
+                                            .field("kind", "sim")
+                                            .field("id", req.id.as_str())
+                                            .field("request_id", next_request_id)
+                                            .field("legacy", legacy),
+                                    )?;
                                     pending.push(Reply {
                                         request_id: next_request_id,
                                         id: req.id.clone(),
                                         legacy,
-                                        pending: PendingReply::Sim(client.submit_sim(req)),
+                                        trace: trace.clone(),
+                                        pending: PendingReply::Sim(
+                                            client.submit_sim_traced(req, Some(trace)),
+                                        ),
                                     });
                                 }
                                 Frame::Cancel { id, request_id } => {
@@ -594,8 +829,21 @@ pub fn serve_lines_with_cache(
                                         reply.cancel();
                                     }
                                 }
+                                Frame::Stats => {
+                                    let mut doc = tagged("stats").with("ok", true);
+                                    if let Some(trace_id) = &trace_id {
+                                        doc.set("trace_id", trace_id.as_str());
+                                    }
+                                    doc.set("stats", observer.stats_json(cache));
+                                    writeln!(writer, "{}", doc.render()).map_err(io)?;
+                                    writer.flush().map_err(io)?;
+                                }
                                 Frame::Ping => {
-                                    writeln!(writer, "{}", tagged("pong").render()).map_err(io)?;
+                                    let mut doc = tagged("pong");
+                                    if let Some(trace_id) = &trace_id {
+                                        doc.set("trace_id", trace_id.as_str());
+                                    }
+                                    writeln!(writer, "{}", doc.render()).map_err(io)?;
                                     writer.flush().map_err(io)?;
                                 }
                                 Frame::Shutdown => {
@@ -611,7 +859,15 @@ pub fn serve_lines_with_cache(
                 while i < pending.len() {
                     if let Some(verdict) = pending[i].try_verdict() {
                         let reply = pending.remove(i);
-                        emit(writer, &mut end, opts, &reply, verdict)?;
+                        emit(
+                            writer,
+                            &mut end,
+                            opts,
+                            observer,
+                            &mut events,
+                            &reply,
+                            verdict,
+                        )?;
                         emitted = true;
                     } else {
                         i += 1;
@@ -628,6 +884,22 @@ pub fn serve_lines_with_cache(
                     thread::sleep(POLL);
                 }
             }
+            log_event(
+                &mut events,
+                Event::new(EventLevel::Info, "serve.shutdown")
+                    .field("requests", end.requests)
+                    .field("errors", end.errors)
+                    .field("shutdown_frame", end.shutdown),
+            )?;
+            if let Some(log) = &mut events {
+                log.flush()
+                    .map_err(|e| Error::internal(format!("event log flush failed: {e}")))?;
+            }
+            if let Some(path) = &opts.trace_out {
+                std::fs::write(path, observer.chrome_trace())
+                    .map_err(|e| Error::internal(format!("--trace-out write failed: {e}")))?;
+            }
+            observer.dump_stats(cache, "shutdown")?;
             writeln!(writer, "{}", tagged("bye").render()).map_err(io)?;
             writer.flush().map_err(io)?;
             Ok(end)
@@ -1033,5 +1305,208 @@ mod tests {
         assert_eq!(sanitize_artifact_id("r1"), "r1");
         assert_eq!(sanitize_artifact_id("../evil name"), "___evil_name");
         assert_eq!(sanitize_artifact_id(""), "plan");
+    }
+
+    #[test]
+    fn responses_echo_client_trace_ids_and_mint_absent_ones() {
+        let input = format!(
+            "{}{}{}",
+            line(
+                r#"{"type":"plan","id":"tagged","trace_id":"abc-123","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#
+            ),
+            line(
+                r#"{"type":"plan","id":"bare","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#
+            ),
+            line(r#"{"type":"ping","trace_id":"ping-7"}"#),
+        );
+        let mut out = Vec::new();
+        let end = serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        assert_eq!(end.errors, 0);
+        let lines = parse_lines(out);
+        assert_eq!(
+            by_id(&lines, "tagged")
+                .get("trace_id")
+                .and_then(Json::as_str),
+            Some("abc-123"),
+            "client trace ids are echoed verbatim"
+        );
+        assert_eq!(
+            by_id(&lines, "bare").get("trace_id").and_then(Json::as_str),
+            Some("t-00000001"),
+            "absent trace ids are minted from the deterministic counter"
+        );
+        let pong = lines
+            .iter()
+            .find(|doc| doc.get("type").and_then(Json::as_str) == Some("pong"))
+            .expect("pong");
+        assert_eq!(pong.get("trace_id").and_then(Json::as_str), Some("ping-7"));
+        for doc in &lines {
+            if doc.get("type").and_then(Json::as_str) == Some("plan_response") {
+                assert!(
+                    doc.get("peak_rss_bytes").and_then(Json::as_u64).is_some(),
+                    "responses carry peak_rss_bytes"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stats_frame_answers_a_validating_live_snapshot() {
+        let input = format!(
+            "{}{}{}",
+            line(
+                r#"{"type":"plan","id":"warm","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#
+            ),
+            line(r#"{"type":"stats","trace_id":"probe-1"}"#),
+            line(r#"{"type":"shutdown"}"#),
+        );
+        let mut out = Vec::new();
+        serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        let lines = parse_lines(out);
+        let stats = lines
+            .iter()
+            .find(|doc| doc.get("type").and_then(Json::as_str) == Some("stats"))
+            .expect("stats response");
+        assert_eq!(
+            stats.get("trace_id").and_then(Json::as_str),
+            Some("probe-1")
+        );
+        let snapshot = stats.get("stats").expect("snapshot");
+        crate::observe::validate_stats_doc(snapshot).expect("snapshot validates");
+        // The stats frame is answered inline, ahead of queued work, so the
+        // plan may or may not have completed — but it was submitted.
+        let submitted = snapshot
+            .get("requests")
+            .and_then(|r| r.get("submitted"))
+            .and_then(Json::as_u64);
+        assert_eq!(submitted, Some(1));
+    }
+
+    #[test]
+    fn event_log_captures_the_request_lifecycle_deterministically() {
+        let dir = std::env::temp_dir().join(format!("primepar-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let input = format!(
+            "{}{}{}",
+            line(r#"{"type":"plan","id":"a","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#),
+            line("{broken"),
+            line(r#"{"type":"shutdown"}"#),
+        );
+        let serve = |path: &std::path::Path| {
+            let mut out = Vec::new();
+            serve_lines(
+                input.as_bytes(),
+                &mut out,
+                &ServeOptions {
+                    workers: 1,
+                    event_log: Some(path.to_path_buf()),
+                    logical_clock: true,
+                    ..ServeOptions::default()
+                },
+            )
+            .expect("serves");
+            std::fs::read_to_string(path).expect("event log written")
+        };
+        let first = serve(&dir.join("a.events.jsonl"));
+        let events = primepar_obs::parse_event_log(&first).expect("log parses");
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "serve.start",
+                "request.received",
+                "request.rejected",
+                "request.done",
+                "serve.shutdown"
+            ]
+        );
+        // Logical clock: timestamps are the append sequence.
+        assert_eq!(
+            events.iter().map(|e| e.ts_us).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
+        let done = &events[3];
+        assert_eq!(done.trace_id, "t-00000001");
+        assert_eq!(done.span_id, "s0");
+        // Same input, fresh session: the log is byte-identical.
+        let second = serve(&dir.join("b.events.jsonl"));
+        assert_eq!(first, second);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shutdown_dumps_trace_and_stats_artifacts() {
+        let dir = std::env::temp_dir().join(format!("primepar-dumps-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let trace_out = dir.join("session.trace.json");
+        let stats_out = dir.join("session.stats.json");
+        let input = format!(
+            "{}{}",
+            line(
+                r#"{"type":"plan","id":"a","trace_id":"tr-a","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#
+            ),
+            line(r#"{"type":"shutdown"}"#),
+        );
+        let mut out = Vec::new();
+        serve_lines(
+            input.as_bytes(),
+            &mut out,
+            &ServeOptions {
+                workers: 1,
+                trace_out: Some(trace_out.clone()),
+                stats_out: Some(stats_out.clone()),
+                ..ServeOptions::default()
+            },
+        )
+        .expect("serves");
+        let trace_text = std::fs::read_to_string(&trace_out).expect("trace written");
+        let events = primepar_obs::parse_trace(&trace_text).expect("trace parses");
+        assert!(events.iter().any(|e| e.name == "request"));
+        assert!(
+            events.iter().any(|e| e.name.starts_with("planner.")),
+            "cold plan synthesizes planner stage spans"
+        );
+        assert!(events.iter().all(|e| {
+            e.args
+                .iter()
+                .any(|(k, v)| k == "trace_id" && v.as_str() == Some("tr-a"))
+        }));
+        let stats_doc =
+            parse_json(&std::fs::read_to_string(&stats_out).expect("stats written")).expect("json");
+        crate::observe::validate_stats_doc(&stats_doc).expect("stats artifact validates");
+        assert_eq!(
+            stats_doc.get("dump_reason").and_then(Json::as_str),
+            Some("shutdown")
+        );
+        let recorder = stats_doc
+            .get("flight_recorder")
+            .and_then(Json::as_array)
+            .expect("recorder");
+        assert_eq!(recorder.len(), 1);
+        assert_eq!(
+            recorder[0].get("trace_id").and_then(Json::as_str),
+            Some("tr-a")
+        );
+        assert_eq!(
+            recorder[0].get("outcome").and_then(Json::as_str),
+            Some("miss")
+        );
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

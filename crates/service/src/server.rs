@@ -19,6 +19,7 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crate::cache::{ServiceCacheStats, WarmCache};
+use crate::observe::{RequestTrace, ServiceObserver};
 use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse};
 
 /// Pool configuration.
@@ -80,11 +81,13 @@ enum Job {
     Plan {
         req: PlanRequest,
         ticket: Ticket,
+        trace: Option<Arc<RequestTrace>>,
         reply: Sender<Result<PlanResponse, Error>>,
     },
     Sim {
         req: SimRequest,
         ticket: Ticket,
+        trace: Option<Arc<RequestTrace>>,
         reply: Sender<Result<SimResponse, Error>>,
     },
 }
@@ -148,10 +151,25 @@ impl Clone for ServiceClient<'_> {
 impl ServiceClient<'_> {
     /// Enqueues a plan request; returns immediately.
     pub fn submit_plan(&self, req: PlanRequest) -> Pending<PlanResponse> {
+        self.submit_plan_traced(req, None)
+    }
+
+    /// [`ServiceClient::submit_plan`] carrying a request trace: the worker
+    /// that picks the job up records its execution spans into `trace`.
+    pub fn submit_plan_traced(
+        &self,
+        req: PlanRequest,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Pending<PlanResponse> {
         let (reply, rx) = mpsc::channel();
         let cancel = CancelToken::new();
         let ticket = Ticket::for_deadline(cancel.clone(), req.deadline_ms);
-        let job = Job::Plan { req, ticket, reply };
+        let job = Job::Plan {
+            req,
+            ticket,
+            trace,
+            reply,
+        };
         self.dispatch(job);
         Pending { rx, cancel }
     }
@@ -167,10 +185,25 @@ impl ServiceClient<'_> {
 
     /// Enqueues a simulation request; returns immediately.
     pub fn submit_sim(&self, req: SimRequest) -> Pending<SimResponse> {
+        self.submit_sim_traced(req, None)
+    }
+
+    /// [`ServiceClient::submit_sim`] carrying a request trace; see
+    /// [`ServiceClient::submit_plan_traced`].
+    pub fn submit_sim_traced(
+        &self,
+        req: SimRequest,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Pending<SimResponse> {
         let (reply, rx) = mpsc::channel();
         let cancel = CancelToken::new();
         let ticket = Ticket::for_deadline(cancel.clone(), req.deadline_ms);
-        let job = Job::Sim { req, ticket, reply };
+        let job = Job::Sim {
+            req,
+            ticket,
+            trace,
+            reply,
+        };
         self.dispatch(job);
         Pending { rx, cancel }
     }
@@ -219,11 +252,25 @@ impl PlannerService {
         cache: &WarmCache,
         f: impl FnOnce(&ServiceClient<'_>) -> R,
     ) -> R {
+        PlannerService::run_observed(opts, cache, None, f)
+    }
+
+    /// [`PlannerService::run_with_cache`] reporting into a
+    /// [`ServiceObserver`]: each worker gets a stable lane index, announces
+    /// pickups/completions, records execution spans into job traces, and
+    /// dumps the flight recorder should a job panic.
+    pub fn run_observed<R>(
+        opts: ServiceOptions,
+        cache: &WarmCache,
+        observer: Option<&ServiceObserver>,
+        f: impl FnOnce(&ServiceClient<'_>) -> R,
+    ) -> R {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Mutex::new(rx);
+        let rx = &rx;
         thread::scope(|scope| {
-            for _ in 0..opts.workers.max(1) {
-                scope.spawn(|| worker_loop(&rx, cache));
+            for idx in 0..opts.workers.max(1) {
+                scope.spawn(move || worker_loop(idx, rx, cache, observer));
             }
             let client = ServiceClient { tx, cache };
             // `f` borrows the client; dropping it afterwards closes the
@@ -234,7 +281,12 @@ impl PlannerService {
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, cache: &WarmCache) {
+fn worker_loop(
+    idx: usize,
+    rx: &Mutex<Receiver<Job>>,
+    cache: &WarmCache,
+    observer: Option<&ServiceObserver>,
+) {
     loop {
         // Lock only around the recv so a worker deep in a plan never blocks
         // its siblings' pickups.
@@ -242,19 +294,62 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, cache: &WarmCache) {
             Ok(job) => job,
             Err(_) => return, // queue closed: service is shutting down
         };
+        let picked = Instant::now();
+        if let Some(obs) = observer {
+            obs.job_started(idx);
+        }
+        let panic_dump = observer.map(|obs| (obs, cache));
         match job {
-            Job::Plan { req, ticket, reply } => {
-                drop(reply.send(guarded(&ticket, || cache.execute_plan(&req))));
+            Job::Plan {
+                req,
+                ticket,
+                trace,
+                reply,
+            } => {
+                if let Some(trace) = &trace {
+                    trace.begin_exec(idx);
+                }
+                let verdict = guarded(&ticket, panic_dump, || {
+                    cache.execute_plan_traced(&req, trace.as_deref())
+                });
+                if let Some(trace) = &trace {
+                    trace.end_exec();
+                }
+                drop(reply.send(verdict));
             }
-            Job::Sim { req, ticket, reply } => {
-                drop(reply.send(guarded(&ticket, || cache.execute_sim(&req))));
+            Job::Sim {
+                req,
+                ticket,
+                trace,
+                reply,
+            } => {
+                if let Some(trace) = &trace {
+                    trace.begin_exec(idx);
+                }
+                let verdict = guarded(&ticket, panic_dump, || {
+                    cache.execute_sim_traced(&req, trace.as_deref())
+                });
+                if let Some(trace) = &trace {
+                    trace.end_exec();
+                }
+                drop(reply.send(verdict));
             }
+        }
+        if let Some(obs) = observer {
+            obs.job_finished(idx, picked.elapsed().as_micros() as u64);
         }
     }
 }
 
-/// Runs one job under the pool's survival guarantees.
-fn guarded<T>(ticket: &Ticket, job: impl FnOnce() -> Result<T, Error>) -> Result<T, Error> {
+/// Runs one job under the pool's survival guarantees. `panic_dump` is the
+/// observability hook of the panic path: the flight recorder is dumped
+/// *before* the panic verdict goes back, so the artifact survives even if
+/// the client hangs up on the error.
+fn guarded<T>(
+    ticket: &Ticket,
+    panic_dump: Option<(&ServiceObserver, &WarmCache)>,
+    job: impl FnOnce() -> Result<T, Error>,
+) -> Result<T, Error> {
     if ticket.cancel.is_cancelled() {
         return Err(Error::cancelled("request cancelled before pickup"));
     }
@@ -268,10 +363,15 @@ fn guarded<T>(ticket: &Ticket, job: impl FnOnce() -> Result<T, Error>) -> Result
             Err(Error::cancelled("request cancelled while in flight"))
         }
         Ok(result) => result,
-        Err(payload) => Err(Error::internal(format!(
-            "worker panicked: {}",
-            panic_message(payload.as_ref())
-        ))),
+        Err(payload) => {
+            if let Some((obs, cache)) = panic_dump {
+                obs.dump_on_panic(cache);
+            }
+            Err(Error::internal(format!(
+                "worker panicked: {}",
+                panic_message(payload.as_ref())
+            )))
+        }
     }
 }
 
@@ -344,7 +444,7 @@ mod tests {
     #[test]
     fn guarded_maps_panics_to_internal() {
         let ticket = Ticket::for_deadline(CancelToken::new(), None);
-        let verdict: Result<(), Error> = guarded(&ticket, || panic!("kaboom"));
+        let verdict: Result<(), Error> = guarded(&ticket, None, || panic!("kaboom"));
         match verdict {
             Err(Error::Internal(msg)) => assert!(msg.contains("kaboom"), "{msg}"),
             other => panic!("expected internal error, got {other:?}"),
@@ -352,7 +452,7 @@ mod tests {
         // The post-run cancel check wins over a successful result.
         let ticket = Ticket::for_deadline(CancelToken::new(), None);
         ticket.cancel.cancel();
-        let verdict: Result<(), Error> = guarded(&ticket, || Ok(()));
+        let verdict: Result<(), Error> = guarded(&ticket, None, || Ok(()));
         assert!(matches!(verdict, Err(Error::Cancelled(_))));
     }
 

@@ -469,6 +469,41 @@ impl<V> ShardedMap<V> {
             weight: self.weight(),
         }
     }
+
+    /// Per-shard occupancy, indexed by shard: resident entries, resident
+    /// weight, and in-flight computes. The `stats` protocol frame reports
+    /// this so hot-shard skew is visible live (hit/miss counters stay
+    /// map-global — routing makes per-shard attribution ambiguous once a
+    /// coalesced waiter lands).
+    pub fn shard_loads(&self) -> Vec<ShardLoad> {
+        self.shards
+            .iter()
+            .map(|s| {
+                let shard = s.lock().expect("shard lock");
+                let len = shard
+                    .entries
+                    .values()
+                    .filter(|slot| matches!(slot, Slot::Ready { .. }))
+                    .count();
+                ShardLoad {
+                    len,
+                    weight: shard.weight,
+                    in_flight: shard.entries.len() - len,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One shard's live occupancy, as reported by [`ShardedMap::shard_loads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardLoad {
+    /// Resident (ready) entries in the shard.
+    pub len: usize,
+    /// Total weight (bytes) of the shard's resident entries.
+    pub weight: u64,
+    /// Computes currently in flight in the shard.
+    pub in_flight: usize,
 }
 
 #[cfg(test)]
@@ -491,6 +526,19 @@ mod tests {
         assert_eq!(ShardedMap::<u8>::new(0).num_shards(), 1);
         assert_eq!(ShardedMap::<u8>::new(3).num_shards(), 4);
         assert_eq!(ShardedMap::<u8>::new(8).num_shards(), 8);
+    }
+
+    #[test]
+    fn shard_loads_partition_the_aggregate_view() {
+        let map: ShardedMap<u64> = ShardedMap::with_budget(4, 0, |_| 10);
+        for key in ["a", "b", "c", "d", "e"] {
+            map.insert(key, Arc::new(1));
+        }
+        let loads = map.shard_loads();
+        assert_eq!(loads.len(), map.num_shards());
+        assert_eq!(loads.iter().map(|l| l.len).sum::<usize>(), map.len());
+        assert_eq!(loads.iter().map(|l| l.weight).sum::<u64>(), map.weight());
+        assert!(loads.iter().all(|l| l.in_flight == 0));
     }
 
     #[test]

@@ -144,6 +144,46 @@ cmp "$artifacts/persist1/c1.plan.txt" "$artifacts/persist2/c2.plan.txt" \
     || { echo "restored plan differs from the original" >&2; exit 1; }
 ./target/release/primepar validate --dir "$artifacts"
 
+echo "== observability smoke (events, stats frame, Chrome trace, determinism) =="
+# One traced serve session: a client-tagged plan, a live `stats` probe, and a
+# shutdown. The event log, Chrome trace and shutdown stats snapshot must all
+# re-parse under `validate`, the response must echo the client trace id, and
+# the stats frame must answer with a tagged snapshot.
+frame='{"schema_version":"primepar.service.v1","type":"plan","id":"t1","model":"opt-6.7b","devices":4,"seq":512,"layers":2,"trace_id":"ci-trace-1"}'
+{
+    printf '%s\n' "$frame"
+    printf '{"schema_version":"primepar.service.v1","type":"stats","trace_id":"ci-stats-1"}\n'
+    printf '{"schema_version":"primepar.service.v1","type":"shutdown"}\n'
+} | ./target/release/primepar serve --workers 1 --slow-ms 30000 \
+    --plan-dir "$artifacts/traced" \
+    --event-log "$artifacts/serve.events.jsonl" \
+    --trace-out "$artifacts/serve.trace.json" \
+    --stats-out "$artifacts/serve.stats.json" >"$artifacts/traced.out"
+grep -q '"trace_id":"ci-trace-1"' "$artifacts/traced.out" \
+    || { echo "response did not echo the client trace id" >&2; exit 1; }
+# Tracing is inert: the traced session's plan (same point as the persistence
+# smoke, which ran untraced) must be byte-identical.
+cmp "$artifacts/persist1/c1.plan.txt" "$artifacts/traced/t1.plan.txt" \
+    || { echo "traced serve produced a different plan" >&2; exit 1; }
+grep -q '"schema_version":"primepar.stats.v1"' "$artifacts/traced.out" \
+    || { echo "stats frame did not answer with a tagged snapshot" >&2; exit 1; }
+grep -q '"peak_rss_bytes"' "$artifacts/traced.out" \
+    || { echo "responses must carry peak_rss_bytes" >&2; exit 1; }
+./target/release/primepar validate --dir "$artifacts"
+
+# Determinism: two same-input logical-clock single-worker sessions write
+# byte-identical event logs (counter trace ids, sequence timestamps).
+det_frame='{"schema_version":"primepar.service.v1","type":"plan","id":"d1","model":"opt-6.7b","devices":4,"seq":512,"layers":2}'
+for run in 1 2; do
+    {
+        printf '%s\n' "$det_frame"
+        printf '{"schema_version":"primepar.service.v1","type":"shutdown"}\n'
+    } | ./target/release/primepar serve --workers 1 --logical-clock \
+        --event-log "$artifacts/det$run.events.jsonl" >/dev/null
+done
+cmp "$artifacts/det1.events.jsonl" "$artifacts/det2.events.jsonl" \
+    || { echo "logical-clock event log is not deterministic" >&2; exit 1; }
+
 echo "== cargo doc (facade + service, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p primepar-service -p primepar >/dev/null
