@@ -9,6 +9,10 @@
 //!   ([`primepar_bench::planner_scale_graph`]): optimizer wall time and peak
 //!   RSS with dominance pruning off vs on, plans asserted bitwise-identical.
 //!
+//! Both sections also pin a **beam(8)** point: within 5% of the exact
+//! optimum on the Table-2 grid, and ≥10x faster than the exact sweep on the
+//! scaling chain (`bench.beam.*` / `bench.scale.beam.*` gauges).
+//!
 //! `cargo run --release -p primepar-bench --bin bench_planner`
 //!
 //! Flags: `--table2-only` / `--scale-only` restrict the sections;
@@ -17,7 +21,9 @@
 
 use primepar::graph::ModelConfig;
 use primepar::obs::Metrics;
-use primepar::search::{render_plan, ModelPlan, Planner, PlannerMetrics, PlannerOptions};
+use primepar::search::{
+    parse_plan, render_plan, ModelPlan, Planner, PlannerMetrics, PlannerOptions, SearchStrategy,
+};
 use primepar::topology::Cluster;
 use primepar_bench::{planner_scale_graph, results_dir};
 
@@ -151,6 +157,36 @@ fn bench_table2(m: &mut Metrics) {
         "bench.warm.edge_matrix_cache_misses",
         warm_tm.edge_matrix_cache_misses as f64,
     );
+
+    // Beam point: beam(8) must land within 5% of the exact optimum on this
+    // grid (ISSUE 9 acceptance) — the heuristic keeps the DP's winners.
+    let beam_opts = PlannerOptions {
+        strategy: SearchStrategy::Beam { width: 8 },
+        ..PlannerOptions::default()
+    };
+    let (beam_plan, beam_tm) = measure(&cluster, &graph, layers, beam_opts, reps);
+    let beam_ms = beam_plan.search_time.as_secs_f64() * 1e3;
+    let cost_ratio = beam_plan.total_cost / warm_plan.total_cost;
+    assert!(
+        cost_ratio >= 1.0,
+        "beam beat the exact optimum: {cost_ratio}"
+    );
+    assert!(
+        cost_ratio <= 1.05,
+        "beam(8) drifted {:.2}% above the exact optimum (allowed 5%)",
+        (cost_ratio - 1.0) * 100.0
+    );
+    println!(
+        "beam(8):  {beam_ms:>10.1} ms   cost ratio vs exact: {cost_ratio:.4}   gap ≤ {:.2}%   states beamed: {}",
+        beam_tm.optimality_gap * 100.0,
+        beam_tm.states_beamed
+    );
+    m.gauge("bench.beam.width", 8.0);
+    m.gauge("bench.beam.ms", beam_ms);
+    m.gauge("bench.beam.cost_ratio", cost_ratio);
+    m.gauge("bench.beam.optimality_gap", beam_tm.optimality_gap);
+    m.gauge("bench.beam.states_beamed", beam_tm.states_beamed as f64);
+
     primepar_bench::merge_drift_summary(m, &cluster, &graph, &warm_plan.seqs);
 }
 
@@ -180,10 +216,22 @@ fn bench_scale(m: &mut Metrics, smoke: bool, plan_out: Option<&str>) {
 
     if let Some(path) = plan_out {
         let text = render_plan(&graph, &pruned_plan.seqs);
-        match std::fs::write(path, text) {
+        match std::fs::write(path, &text) {
             Ok(()) => println!("plan written to {path}"),
             Err(e) => eprintln!("warning: cannot write {path}: {e}"),
         }
+        // The pruned-path artifact must round-trip: read the file back and
+        // re-parse it into the exact sequences that were planned (the smoke
+        // gate previously only re-parsed the unpruned artifact).
+        let read_back = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read back {path}: {e}"));
+        let reparsed = parse_plan(&graph, &read_back)
+            .unwrap_or_else(|e| panic!("pruned plan artifact does not re-parse: {e}"));
+        assert_eq!(
+            reparsed, pruned_plan.seqs,
+            "pruned plan artifact round-trip diverged"
+        );
+        println!("plan round-trip validated ({path})");
     }
     if smoke {
         return;
@@ -208,6 +256,30 @@ fn bench_scale(m: &mut Metrics, smoke: bool, plan_out: Option<&str>) {
     );
     println!("prune speedup: {:.2}x", base_ms / pruned_ms);
 
+    // Beam point: beam(8) skips the full edge-matrix + Bellman work on the
+    // big spaces, so it must clear ≥10x over the exact unpruned sweep
+    // (ISSUE 9 acceptance) while staying a valid (if bounded) plan.
+    let beam_opts = PlannerOptions {
+        strategy: SearchStrategy::Beam { width: 8 },
+        ..PlannerOptions::default()
+    };
+    let (beam_plan, beam_tm) = measure(&cluster, &graph, 1, beam_opts, reps);
+    let beam_ms = beam_plan.search_time.as_secs_f64() * 1e3;
+    let beam_speedup = base_ms / beam_ms;
+    assert!(
+        beam_plan.total_cost >= base_plan.total_cost,
+        "beam beat the exact optimum"
+    );
+    assert!(
+        beam_speedup >= 10.0,
+        "beam(8) must be >=10x faster than exact on the scaling chain, got {beam_speedup:.2}x ({beam_ms:.1} ms vs {base_ms:.1} ms)"
+    );
+    println!(
+        "beam(8):  {beam_ms:>10.1} ms   speedup vs exact: {beam_speedup:.2}x   gap ≤ {:.2}%   states beamed: {}",
+        beam_tm.optimality_gap * 100.0,
+        beam_tm.states_beamed
+    );
+
     m.gauge("bench.scale.devices", devices as f64);
     m.gauge("bench.scale.nodes", nodes as f64);
     m.gauge("bench.scale.states_per_op", states as f64);
@@ -231,6 +303,18 @@ fn bench_scale(m: &mut Metrics, smoke: bool, plan_out: Option<&str>) {
             .iter()
             .map(|s| s.bellman_relaxations)
             .sum::<u64>() as f64,
+    );
+    m.gauge("bench.scale.beam.width", 8.0);
+    m.gauge("bench.scale.beam.ms", beam_ms);
+    m.gauge("bench.scale.beam.speedup", beam_speedup);
+    m.gauge("bench.scale.beam.optimality_gap", beam_tm.optimality_gap);
+    m.gauge(
+        "bench.scale.beam.states_beamed",
+        beam_tm.states_beamed as f64,
+    );
+    m.gauge(
+        "bench.scale.beam.cost_ratio",
+        beam_plan.total_cost / base_plan.total_cost,
     );
     m.gauge(
         "bench.scale.peak_rss_bytes",

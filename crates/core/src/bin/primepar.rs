@@ -4,6 +4,8 @@
 //! primepar models
 //! primepar plan    --model opt-175b --devices 8 [--system primepar|alpa|megatron]
 //!                  [--batch 8] [--seq 2048] [--alpha 0] [--no-batch-split] [--gantt]
+//!                  [--strategy exact|beam:8|anytime:500ms]   # bounded-search modes
+
 //!                  [--set op=SEQ]...   # override strategies, e.g. --set fc2=N.P2x2
 //!                  [--save plan.txt] [--plan plan.txt]   # persist / reuse plans
 //!                  [--metrics-json out.json]   # planner + sim telemetry as JSON
@@ -40,7 +42,7 @@ use primepar::partition::{PartitionSeq, Primitive};
 use primepar::search::PlannerMetrics;
 use primepar::search::{
     best_megatron, explain_plan, parse_plan, render_plan, score_robustness, Planner,
-    PlannerOptions, SpaceOptions,
+    PlannerOptions, SearchStrategy, SpaceOptions,
 };
 use primepar::sim::ModelReport;
 use primepar::sim::{
@@ -111,6 +113,10 @@ fn usage() -> &'static str {
      \x20 plan    --model M --devices N   search and explain a partition plan\n\
      \x20         [--system primepar|alpa|megatron] [--batch B] [--seq S]\n\
      \x20         [--alpha A] [--no-batch-split] [--no-memoize] [--prune] [--gantt]\n\
+     \x20         [--strategy exact|beam:WIDTH|anytime:BUDGETms]\n\
+     \x20         exact (default) runs the full segment DP; beam:8 keeps the 8\n\
+     \x20         best-looking states per operator; anytime:500ms widens the\n\
+     \x20         beam until the budget runs out, reporting optimality gap\n\
      \x20         [--metrics-json PATH] [--chrome-trace PATH]\n\
      \x20 compare --model M --devices N   Megatron vs Alpa vs PrimePar\n\
      \x20         [--perturb-scenarios N] [--perturb-seed S] [--perturb-profile ideal|mild|harsh]\n\
@@ -193,6 +199,12 @@ fn run() -> Result<(), Error> {
             let seq: u64 = args.parse("--seq", 2048)?;
             let alpha: f64 = args.parse("--alpha", 0.0)?;
             let system = args.value("--system").unwrap_or("primepar").to_lowercase();
+            let strategy = match args.value("--strategy") {
+                None => SearchStrategy::default(),
+                Some(text) => text
+                    .parse::<SearchStrategy>()
+                    .map_err(|e| Error::config(format!("--strategy: {e}")))?,
+            };
             let cluster = cluster_for(devices)?;
             let graph = model.layer_graph(batch, seq);
             if let Some(path) = args.value("--plan") {
@@ -239,11 +251,21 @@ fn run() -> Result<(), Error> {
                         threads: args.parse("--threads", 0)?,
                         memoize: !args.flag("--no-memoize"),
                         prune: args.flag("--prune"),
+                        strategy,
                     };
                     let (p, tm) =
                         Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);
+                    let label = if strategy == SearchStrategy::Exact {
+                        format!("PrimePar ({:?} search)", p.search_time)
+                    } else {
+                        format!(
+                            "PrimePar ({strategy}, {:?} search, optimality gap ≤ {:.1}%)",
+                            p.search_time,
+                            tm.optimality_gap * 100.0
+                        )
+                    };
                     planner_tm = Some(tm);
-                    (p.seqs, format!("PrimePar ({:?} search)", p.search_time))
+                    (p.seqs, label)
                 }
                 other => return Err(Error::config(format!("unknown system: {other}"))),
             };

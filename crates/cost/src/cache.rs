@@ -30,7 +30,7 @@ use primepar_graph::{Axis, Edge, Operator};
 use primepar_partition::{PartitionSeq, Phase, TensorKind};
 use primepar_topology::DeviceSpace;
 
-use crate::inter::{profile_dedup, side_dims, Side};
+use crate::inter::{profile_dedup_into, side_dims, ShapeMemo, Side};
 use crate::{CostCtx, DenseIntervals};
 
 /// Hit/miss telemetry of an [`EdgeCostCache`].
@@ -161,6 +161,7 @@ impl SideProfiles {
         let mut by_bits: HashMap<[u64; 2 * Axis::COUNT], u32> = HashMap::new();
         // base unique id → this build's unique id, filled on demand.
         let mut translate = vec![u32::MAX; base.map_or(0, |b| b.uniques.len())];
+        let mut memo = ShapeMemo::new();
         for (i, seq) in seqs.iter().enumerate() {
             if let Some(b) = base.filter(|_| seq.temporal_steps() == 1) {
                 volume_fraction.push(b.volume_fraction[i]);
@@ -177,24 +178,29 @@ impl SideProfiles {
                 }
                 continue;
             }
-            // `profile_dedup` computes each distinct DSI-tuple holding once;
-            // only those few are densified, hashed and interned.
-            let p = profile_dedup(op, seq, space, kind, phase, side, renames, selector);
-            volume_fraction.push(p.volume_fraction);
-            let global: Vec<u32> = p
-                .locals
-                .iter()
-                .map(|holding| {
+            // `profile_dedup_into` computes each distinct DSI-tuple holding
+            // once per slice shape across the whole sequence list; only
+            // those few are densified, hashed and interned here.
+            let vf = profile_dedup_into(
+                op,
+                seq,
+                space,
+                kind,
+                phase,
+                side,
+                renames,
+                selector,
+                &mut memo,
+                &mut |holding| {
                     let dense = holding.to_dense();
                     *by_bits.entry(dense_bits(&dense)).or_insert_with(|| {
                         uniques.push(dense);
                         (uniques.len() - 1) as u32
                     })
-                })
-                .collect();
-            for &l in &p.device_local {
-                ids.push(global[l as usize]);
-            }
+                },
+                &mut ids,
+            );
+            volume_fraction.push(vf);
         }
         SideProfiles {
             volume_fraction,
@@ -219,28 +225,45 @@ impl SideProfiles {
         self.uniques.len()
     }
 
-    /// Per-sequence local ranks of this side's holdings at device `d`:
-    /// `(rank per sequence, local → global unique index)`. Locals are in
-    /// ascending global-id order — canonical, so devices observing the same
-    /// unique *set* produce identical `(locals, table)` blocks no matter in
-    /// which sequence order they first saw each holding.
-    fn local_ranks(&self, d: usize) -> (Vec<usize>, Vec<u32>) {
-        let mut seen = vec![false; self.uniques.len()];
-        for s in 0..self.len() {
-            seen[self.ids[s * self.devices + d] as usize] = true;
-        }
-        let mut rank_of = vec![u32::MAX; self.uniques.len()];
+    /// The distinct holdings observed at device `d`, in ascending global-id
+    /// order — canonical, so devices observing the same unique *set* produce
+    /// identical `(locals, table)` blocks no matter in which sequence order
+    /// they first saw each holding. On return `scratch.rank_of[g]` maps each
+    /// returned global id to its rank in the list; `scratch` is reusable
+    /// across devices without reallocation.
+    fn locals_at(&self, d: usize, scratch: &mut RankScratch) -> Vec<u32> {
         let mut locals = Vec::new();
-        for (g, &was_seen) in seen.iter().enumerate() {
-            if was_seen {
-                rank_of[g] = locals.len() as u32;
-                locals.push(g as u32);
+        for s in 0..self.len() {
+            let g = self.ids[s * self.devices + d];
+            if !scratch.seen[g as usize] {
+                scratch.seen[g as usize] = true;
+                locals.push(g);
             }
         }
-        let ranks = (0..self.len())
-            .map(|s| rank_of[self.ids[s * self.devices + d] as usize] as usize)
-            .collect();
-        (ranks, locals)
+        locals.sort_unstable();
+        for (r, &g) in locals.iter().enumerate() {
+            scratch.rank_of[g as usize] = r as u32;
+            scratch.seen[g as usize] = false;
+        }
+        locals
+    }
+}
+
+/// Reusable per-side scratch for [`SideProfiles::locals_at`] — sized to the
+/// side's unique count, cleared incrementally so building one direction
+/// table touches each buffer once per *observed* holding, not once per
+/// unique per device.
+struct RankScratch {
+    seen: Vec<bool>,
+    rank_of: Vec<u32>,
+}
+
+impl RankScratch {
+    fn for_side(side: &SideProfiles) -> Self {
+        RankScratch {
+            seen: vec![false; side.uniques.len()],
+            rank_of: vec![u32::MAX; side.uniques.len()],
+        }
     }
 }
 
@@ -342,9 +365,11 @@ impl DirectionTables {
         // computed only once, via the pair memo.
         let mut block_of: HashMap<(Vec<u32>, Vec<u32>), (usize, usize)> = HashMap::new();
         let mut memo = PairMemo::new(needs.uniques.len() * 4);
+        let mut need_scratch = RankScratch::for_side(needs);
+        let mut hold_scratch = RankScratch::for_side(holds);
         for d in 0..devices {
-            let (need_ranks, need_locals) = needs.local_ranks(d);
-            let (hold_ranks, hold_locals) = holds.local_ranks(d);
+            let need_locals = needs.locals_at(d, &mut need_scratch);
+            let hold_locals = holds.locals_at(d, &mut hold_scratch);
             let key = (need_locals, hold_locals);
             let (base, nh) = match block_of.get(&key) {
                 Some(&block) => block,
@@ -366,11 +391,13 @@ impl DirectionTables {
                     (base, nh)
                 }
             };
-            for (s, &nr) in need_ranks.iter().enumerate() {
+            for s in 0..needs.len() {
+                let nr = need_scratch.rank_of[needs.ids[s * devices + d] as usize] as usize;
                 need_pre[s * devices + d] = (base + nr * nh) as u32;
             }
-            for (s, &hr) in hold_ranks.iter().enumerate() {
-                hold_rank[s * devices + d] = hr as u32;
+            for s in 0..holds.len() {
+                hold_rank[s * devices + d] =
+                    hold_scratch.rank_of[holds.ids[s * devices + d] as usize];
             }
         }
         DirectionTables {

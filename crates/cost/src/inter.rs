@@ -121,21 +121,40 @@ pub(crate) fn profile(
     }
 }
 
-/// [`profile`] with per-device deduplication: devices whose DSI index
-/// tuples coincide hold bitwise-identical axis intervals (the projection
-/// depends on the sequence and the per-dimension slice indices only), so
-/// the intervals are computed once per distinct tuple.
-#[derive(Debug)]
-pub(crate) struct DedupProfile {
-    /// Distinct holdings, in first-seen device order.
-    pub locals: Vec<AxisIntervals>,
-    /// Per-device index into `locals`.
-    pub device_local: Vec<u32>,
-    pub volume_fraction: f64,
+/// Cross-sequence interning state for one side build. Within a side the
+/// operator, tensor kind, renames and selector are fixed, so a holding is
+/// fully determined by the per-dimension `(slice count, slice index)` pair —
+/// sequences that cut a dimension into the same number of slices share every
+/// holding, no matter how their primitives are ordered. The memo maps
+/// `(slice-shape id, DSI tuple) → interned unique id`, so repeat tuples
+/// across sequences skip interval construction and densification entirely.
+#[derive(Debug, Default)]
+pub(crate) struct ShapeMemo {
+    /// Per-dimension slice counts → dense shape id.
+    shapes: std::collections::HashMap<[usize; 4], u32>,
+    /// `(shape id, DSI tuple)` → the caller's interned unique id.
+    of_tuple: std::collections::HashMap<(u32, [usize; 4]), u32>,
 }
 
+impl ShapeMemo {
+    pub(crate) fn new() -> Self {
+        ShapeMemo::default()
+    }
+}
+
+/// [`profile`] with deduplication, appending per-device interned ids to
+/// `ids` (one per device, in device order) and returning the side's volume
+/// fraction. Devices whose DSI index tuples coincide hold bitwise-identical
+/// axis intervals (the projection depends on the sequence and the
+/// per-dimension slice indices only), so each distinct tuple is computed
+/// once: the compiled [`DsiProgram`](primepar_partition::DsiProgram) names
+/// the device-index bits the tuple can depend on, tuples are evaluated once
+/// per distinct *masked* index (every submask of the mask), resolved
+/// through `memo`, and fanned out to the full device list by a
+/// mask-and-lookup — the hot loop of whole-space profile builds. `intern`
+/// maps a freshly built holding to the caller's unique id.
 #[allow(clippy::too_many_arguments)]
-pub(crate) fn profile_dedup(
+pub(crate) fn profile_dedup_into(
     op: &Operator,
     seq: &PartitionSeq,
     space: DeviceSpace,
@@ -144,7 +163,10 @@ pub(crate) fn profile_dedup(
     side: Side,
     renames: &[(primepar_graph::Axis, primepar_graph::Axis)],
     selector: Option<(f64, f64)>,
-) -> DedupProfile {
+    memo: &mut ShapeMemo,
+    intern: &mut dyn FnMut(AxisIntervals) -> u32,
+    ids: &mut Vec<u32>,
+) -> f64 {
     let t = match side {
         Side::Produce => seq.temporal_steps() - 1,
         Side::Consume => 0,
@@ -158,52 +180,50 @@ pub(crate) fn profile_dedup(
             .unwrap_or(a)
     };
     let mut volume_fraction = 1.0;
-    for &dim in &dims {
+    let mut slices4 = [0usize; 4];
+    for (slot, &dim) in slices4.iter_mut().zip(&dims) {
         let extent = op.extent(dim).max(1) as f64;
-        let slices = seq.num_slices(dim) as f64;
-        volume_fraction /= slices.min(extent);
+        let slices = seq.num_slices(dim);
+        *slot = slices;
+        volume_fraction /= (slices as f64).min(extent);
     }
     assert!(dims.len() <= 4, "DSI tuple key holds at most four dims");
-    let mut of_tuple: std::collections::HashMap<[usize; 4], u32> = std::collections::HashMap::new();
-    let mut locals: Vec<AxisIntervals> = Vec::new();
-    let mut idxs = [0usize; 4];
-    let device_local = space
-        .devices()
-        .map(|device| {
-            idxs = [0; 4];
-            for (slot, &dim) in idxs.iter_mut().zip(&dims) {
-                *slot = seq.dsi(space, phase, dim, device, t);
+    let next_shape = memo.shapes.len() as u32;
+    let shape = *memo.shapes.entry(slices4).or_insert(next_shape);
+    let prog = seq.dsi_program(space, phase, &dims, t);
+    let mask = prog.relevant_mask();
+    let mut id_of_masked = vec![u32::MAX; space.num_devices()];
+    let mut sub = mask;
+    loop {
+        let idxs = prog.keys(sub);
+        id_of_masked[sub] = *memo.of_tuple.entry((shape, idxs)).or_insert_with(|| {
+            let mut iv = AxisIntervals::full();
+            let mut alive = true;
+            for ((&idx, &slices), &dim) in idxs.iter().zip(&slices4).zip(&dims) {
+                let lo = idx as f64 / slices as f64;
+                let hi = (idx + 1) as f64 / slices as f64;
+                iv.project(&op.axes[dim.index()], lo, hi, rename);
             }
-            *of_tuple.entry(idxs).or_insert_with(|| {
-                let mut iv = AxisIntervals::full();
-                let mut alive = true;
-                for (&idx, &dim) in idxs.iter().zip(&dims) {
-                    let slices = seq.num_slices(dim);
-                    let lo = idx as f64 / slices as f64;
-                    let hi = (idx + 1) as f64 / slices as f64;
-                    iv.project(&op.axes[dim.index()], lo, hi, rename);
-                }
-                if let Some((s0, s1)) = selector {
-                    alive = iv.select(primepar_graph::Axis::Qkv, s0, s1);
-                }
-                let holding = if alive {
-                    iv
-                } else {
-                    // Holds nothing of the selected sub-tensor.
-                    let mut empty = AxisIntervals::full();
-                    empty.narrow(primepar_graph::Axis::Qkv, 0.0, 0.0);
-                    empty
-                };
-                locals.push(holding);
-                (locals.len() - 1) as u32
-            })
-        })
-        .collect();
-    DedupProfile {
-        locals,
-        device_local,
-        volume_fraction,
+            if let Some((s0, s1)) = selector {
+                alive = iv.select(primepar_graph::Axis::Qkv, s0, s1);
+            }
+            let holding = if alive {
+                iv
+            } else {
+                // Holds nothing of the selected sub-tensor.
+                let mut empty = AxisIntervals::full();
+                empty.narrow(primepar_graph::Axis::Qkv, 0.0, 0.0);
+                empty
+            };
+            intern(holding)
+        });
+        if sub == 0 {
+            break;
+        }
+        sub = (sub - 1) & mask;
     }
+    ids.extend((0..space.num_devices()).map(|d| id_of_masked[d & mask]));
+    volume_fraction
 }
 
 /// Total redistribution traffic (bytes, forward + backward) of `edge` when

@@ -42,4 +42,4 @@ pub mod verify;
 pub use comm::{ring_transfers, RingTransfer, TransferReason};
 pub use dim::{Dim, Phase, TensorKind};
 pub use primitive::Primitive;
-pub use seq::{PartitionError, PartitionSeq};
+pub use seq::{DsiProgram, PartitionError, PartitionSeq};

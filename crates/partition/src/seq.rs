@@ -321,6 +321,174 @@ impl PartitionSeq {
             space.n_bits()
         );
     }
+
+    /// Precompiles [`dsi`](PartitionSeq::dsi) for a fixed `(phase, dims, t)`
+    /// over the whole device space: one walk of the primitive list captures
+    /// which device-index bits each queried dimension gathers and the
+    /// temporal primitive's modular contribution, so evaluating a device is
+    /// a handful of shifts instead of a primitive walk per `(dim, device)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics like `dsi` on a space/bit mismatch or `t` out of range, and if
+    /// `dims` holds more than [`DsiProgram::MAX_DIMS`] dimensions.
+    pub fn dsi_program(
+        &self,
+        space: DeviceSpace,
+        phase: Phase,
+        dims: &[Dim],
+        t: usize,
+    ) -> DsiProgram {
+        self.check_space(space);
+        assert!(t < self.temporal_steps(), "step {t} out of range");
+        assert!(dims.len() <= DsiProgram::MAX_DIMS, "too many dims");
+        let n_bits = space.n_bits();
+        let mut slots: Vec<Vec<DsiStep>> = vec![Vec::new(); dims.len()];
+        let mut r_shifts = Vec::new();
+        let mut c_shifts = Vec::new();
+        let mut relevant_mask = 0usize;
+        let mut bit_pos = 1usize; // next unconsumed device bit (1-based)
+        for prim in &self.prims {
+            match *prim {
+                Primitive::Split(d) => {
+                    let shift = n_bits - bit_pos;
+                    for (slot, &dim) in slots.iter_mut().zip(dims) {
+                        if d == dim {
+                            slot.push(DsiStep::Bit { shift });
+                            relevant_mask |= 1 << shift;
+                        }
+                    }
+                    bit_pos += 1;
+                }
+                Primitive::Temporal { k } => {
+                    let side = 1i64 << k;
+                    let ku = k as usize;
+                    for j in 0..ku {
+                        r_shifts.push(n_bits - (bit_pos + 2 * j));
+                        c_shifts.push(n_bits - (bit_pos + 2 * j + 1));
+                    }
+                    let t = t as i64;
+                    let delta = i64::from(t == side - 1);
+                    for (slot, &dim) in slots.iter_mut().zip(dims) {
+                        // The same `(phase, dim) → a_r·r + a_c·c + add`
+                        // table `dsi` evaluates, with the device-independent
+                        // part folded into `add`.
+                        let contribution: Option<(bool, bool, i64)> = match (phase, dim) {
+                            (_, Dim::B) => None,
+                            (Phase::Forward, Dim::M) => Some((true, false, 0)),
+                            (Phase::Forward, Dim::N) => Some((true, true, t)),
+                            (Phase::Forward, Dim::K) => Some((false, true, 0)),
+                            (Phase::Backward, Dim::M) => Some((true, false, 0)),
+                            (Phase::Backward, Dim::N) => Some((true, true, -1)),
+                            (Phase::Backward, Dim::K) => Some((false, true, t)),
+                            (Phase::Gradient, Dim::M) => Some((true, false, t)),
+                            (Phase::Gradient, Dim::N) => Some((true, true, -1 + delta)),
+                            (Phase::Gradient, Dim::K) => Some((false, true, -1 + delta)),
+                        };
+                        if let Some((use_r, use_c, add)) = contribution {
+                            slot.push(DsiStep::Temporal {
+                                k,
+                                use_r,
+                                use_c,
+                                add,
+                            });
+                            for j in 0..ku {
+                                relevant_mask |= 1 << (n_bits - (bit_pos + 2 * j));
+                                relevant_mask |= 1 << (n_bits - (bit_pos + 2 * j + 1));
+                            }
+                        }
+                    }
+                    bit_pos += 2 * ku;
+                }
+            }
+        }
+        let temporal = slots
+            .iter()
+            .flatten()
+            .any(|s| matches!(s, DsiStep::Temporal { .. }));
+        DsiProgram {
+            slots,
+            r_shifts: if temporal { r_shifts } else { Vec::new() },
+            c_shifts: if temporal { c_shifts } else { Vec::new() },
+            relevant_mask,
+        }
+    }
+}
+
+/// One composition step of a [`DsiProgram`] slot, in primitive order.
+#[derive(Debug, Clone, Copy)]
+enum DsiStep {
+    /// `dsi = 2·dsi + bit(device, shift)`.
+    Bit {
+        /// Right-shift of the device index selecting the split's bit.
+        shift: usize,
+    },
+    /// `dsi = (dsi << k) + (a_r·r + a_c·c + add) mod 2^k`.
+    Temporal {
+        k: u32,
+        use_r: bool,
+        use_c: bool,
+        add: i64,
+    },
+}
+
+/// A compiled DSI evaluator returned by [`PartitionSeq::dsi_program`]:
+/// [`keys`](DsiProgram::keys) reproduces `dsi` for every queried dimension
+/// at once, and [`relevant_mask`](DsiProgram::relevant_mask) names the
+/// device-index bits the result can depend on — devices equal under the
+/// mask share a DSI tuple, which callers exploit to deduplicate evaluation.
+#[derive(Debug, Clone)]
+pub struct DsiProgram {
+    slots: Vec<Vec<DsiStep>>,
+    r_shifts: Vec<usize>,
+    c_shifts: Vec<usize>,
+    relevant_mask: usize,
+}
+
+impl DsiProgram {
+    /// Upper bound on the `dims` list length a program compiles.
+    pub const MAX_DIMS: usize = 4;
+
+    /// Bit mask over the *device index* (not the 1-based `d_pos` numbering):
+    /// two devices with equal masked indices produce identical
+    /// [`keys`](DsiProgram::keys).
+    pub fn relevant_mask(&self) -> usize {
+        self.relevant_mask
+    }
+
+    /// The DSI of every compiled dimension for `device` (trailing slots of
+    /// the fixed-size array are zero), bit-identical to calling
+    /// [`PartitionSeq::dsi`] per dimension.
+    pub fn keys(&self, device: usize) -> [usize; Self::MAX_DIMS] {
+        let (mut r, mut c) = (0i64, 0i64);
+        for &shift in &self.r_shifts {
+            r = (r << 1) | ((device >> shift) & 1) as i64;
+        }
+        for &shift in &self.c_shifts {
+            c = (c << 1) | ((device >> shift) & 1) as i64;
+        }
+        let mut out = [0usize; Self::MAX_DIMS];
+        for (slot, o) in self.slots.iter().zip(&mut out) {
+            let mut dsi = 0usize;
+            for step in slot {
+                match *step {
+                    DsiStep::Bit { shift } => dsi = 2 * dsi + ((device >> shift) & 1),
+                    DsiStep::Temporal {
+                        k,
+                        use_r,
+                        use_c,
+                        add,
+                    } => {
+                        let side = 1i64 << k;
+                        let v = i64::from(use_r) * r + i64::from(use_c) * c + add;
+                        dsi = (dsi << k) + v.rem_euclid(side) as usize;
+                    }
+                }
+            }
+            *o = dsi;
+        }
+        out
+    }
 }
 
 impl std::str::FromStr for PartitionSeq {
@@ -637,6 +805,50 @@ mod tests {
             "P2x2 P2x2".parse::<PartitionSeq>(),
             Err(PartitionError::MultipleTemporal)
         ));
+    }
+
+    #[test]
+    fn dsi_program_matches_scalar_dsi_everywhere() {
+        // Every (phase, dim, step, device) of several representative
+        // sequences — with and without a temporal primitive, splits before
+        // and after it — must agree with Algorithm 1's scalar evaluator,
+        // and devices equal under the relevant mask must share tuples.
+        let seqs = [
+            PartitionSeq::new(vec![split(Dim::M), split(Dim::N)]).unwrap(),
+            PartitionSeq::new(vec![split(Dim::B), split(Dim::B), split(Dim::K)]).unwrap(),
+            PartitionSeq::new(vec![split(Dim::M), Primitive::Temporal { k: 1 }]).unwrap(),
+            PartitionSeq::new(vec![
+                Primitive::Temporal { k: 2 },
+                split(Dim::B),
+                split(Dim::N),
+            ])
+            .unwrap(),
+        ];
+        let dims = [Dim::B, Dim::M, Dim::N, Dim::K];
+        for seq in &seqs {
+            let space = DeviceSpace::new(seq.bits());
+            for phase in [Phase::Forward, Phase::Backward, Phase::Gradient] {
+                for t in 0..seq.temporal_steps() {
+                    let prog = seq.dsi_program(space, phase, &dims, t);
+                    let mask = prog.relevant_mask();
+                    for device in space.devices() {
+                        let keys = prog.keys(device.index());
+                        for (slot, &dim) in dims.iter().enumerate() {
+                            assert_eq!(
+                                keys[slot],
+                                seq.dsi(space, phase, dim, device, t),
+                                "{seq} {phase:?} {dim:?} t={t} {device}"
+                            );
+                        }
+                        assert_eq!(
+                            keys,
+                            prog.keys(device.index() & mask),
+                            "masked twin must share the tuple"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@ use primepar_topology::Cluster;
 
 use crate::arena::{ChoiceArena, EdgeTables};
 use crate::prune::{dominance_prune, PruneKey};
+use crate::strategy::{self, SearchInterrupt, SearchStrategy};
 use crate::{
     minplus, operator_space, PlannerMetrics, PlannerWarmCache, SegmentMetrics, SpaceCache,
     SpaceOptions,
@@ -34,6 +35,16 @@ fn dp_trace(stage: &str, elapsed: Duration) {
     if std::env::var("PRIMEPAR_DP_TRACE").is_ok() {
         eprintln!("[dp] {stage}: {elapsed:?}");
     }
+}
+
+/// Upper bound on the relative optimality gap from an intra-only lower
+/// bound: `lb ≤ exact ≤ best` gives `(best − exact)/best ≤ (best − lb)/best`,
+/// clamped into `[0, 1]` (degenerate bounds report the vacuous `1.0`).
+fn gap_upper_bound(best_total: f64, lower_bound: f64) -> f64 {
+    if !best_total.is_finite() || best_total <= 0.0 || !lower_bound.is_finite() {
+        return 1.0;
+    }
+    ((best_total - lower_bound) / best_total).clamp(0.0, 1.0)
 }
 
 /// Planner configuration.
@@ -63,6 +74,13 @@ pub struct PlannerOptions {
     /// stay bitwise-identical (pinned by the equivalence suite) while the
     /// `O(P³)` sweep volume shrinks with the surviving state count.
     pub prune: bool,
+    /// How the partition spaces are explored: the provably optimal
+    /// [`SearchStrategy::Exact`] sweep (default), a per-node
+    /// [`SearchStrategy::Beam`], or the width-doubling
+    /// [`SearchStrategy::Anytime`] driver (see `strategy.rs`). A beam wide
+    /// enough to cover every interior space runs the byte-for-byte exact
+    /// pipeline, pinned by `tests/strategy_equivalence.rs`.
+    pub strategy: SearchStrategy,
 }
 
 impl Default for PlannerOptions {
@@ -73,6 +91,7 @@ impl Default for PlannerOptions {
             threads: 0,
             memoize: true,
             prune: false,
+            strategy: SearchStrategy::Exact,
         }
     }
 }
@@ -126,6 +145,15 @@ enum BacktrackStep {
     },
 }
 
+/// One `plan_pass` run's outputs beyond the plan itself: the intra-only
+/// lower bound behind the reported optimality gap, and the widest interior
+/// space (a beam at least that wide is exact).
+struct PassOutcome {
+    plan: ModelPlan,
+    lower_bound: f64,
+    max_interior: usize,
+}
+
 /// The segmented-DP planner for one transformer layer graph stacked
 /// `layers` times.
 #[derive(Debug)]
@@ -133,6 +161,7 @@ pub struct Planner<'a> {
     cluster: &'a Cluster,
     graph: &'a Graph,
     opts: PlannerOptions,
+    interrupt: Option<SearchInterrupt>,
 }
 
 impl<'a> Planner<'a> {
@@ -142,7 +171,17 @@ impl<'a> Planner<'a> {
             cluster,
             graph,
             opts,
+            interrupt: None,
         }
+    }
+
+    /// Attaches a stop flag the [`SearchStrategy::Anytime`] driver polls
+    /// between beam rounds: once set, the search stops widening and returns
+    /// the best plan found so far. Exact and fixed-width beam runs ignore
+    /// it — their single pass is not interruptible.
+    pub fn with_interrupt(mut self, interrupt: SearchInterrupt) -> Self {
+        self.interrupt = Some(interrupt);
+        self
     }
 
     /// Intra-operator cost details of one operator under one sequence —
@@ -210,11 +249,15 @@ impl<'a> Planner<'a> {
     /// Everything an edge-cost matrix's bytes depend on besides its
     /// [`MatrixKey`](primepar_cost::MatrixKey): the ordered
     /// operator-signature list (matrix keys embed graph-relative first-seen
-    /// signature ids), the full cluster model (link latencies/bandwidths,
-    /// device profile, perturbations), `α`, and the space options.
-    /// `DefaultHasher` uses fixed SipHash keys, so the scope is stable
-    /// across processes.
-    fn warm_scope(&self, n_bits: usize) -> u64 {
+    /// signature ids), the edge wiring (a beam restricts spaces by each
+    /// node's *neighbourhood*, so identical keys under different wirings
+    /// would name different restricted matrices), the full cluster model
+    /// (link latencies/bandwidths, device profile, perturbations), `α`, the
+    /// space options, and the pass's effective beam width
+    /// (`usize::MAX` = unrestricted — restricted matrices must never leak
+    /// into an exact or wider run). `DefaultHasher` uses fixed SipHash keys,
+    /// so the scope is stable across processes.
+    fn warm_scope(&self, n_bits: usize, beam_width: usize) -> u64 {
         use std::hash::{Hash, Hasher};
         let mut h = std::collections::hash_map::DefaultHasher::new();
         n_bits.hash(&mut h);
@@ -223,8 +266,12 @@ impl<'a> Planner<'a> {
         self.opts.space.allow_temporal.hash(&mut h);
         self.opts.space.allow_batch_split.hash(&mut h);
         self.opts.space.max_temporal_k.hash(&mut h);
+        beam_width.hash(&mut h);
         for op in &self.graph.ops {
             op.signature().hash(&mut h);
+        }
+        for edge in &self.graph.edges {
+            format!("{edge:?}").hash(&mut h);
         }
         h.finish()
     }
@@ -235,17 +282,101 @@ impl<'a> Planner<'a> {
         warm: Option<&PlannerWarmCache>,
     ) -> (ModelPlan, PlannerMetrics) {
         let start = Instant::now();
-        let n_bits = self.cluster.space().n_bits();
-        let ctx = CostCtx::new(self.cluster, self.opts.alpha);
         let threads_used = self.opts.threads.max(1);
-        let sig_ids = self.graph.signature_ids();
         let mut tm = PlannerMetrics {
+            strategy: self.opts.strategy.to_string(),
             threads_requested: self.opts.threads,
             threads_used,
             thread_busy_seconds: vec![0.0; threads_used],
-            unique_signatures: sig_ids.iter().max().map_or(0, |m| m + 1),
             ..PlannerMetrics::default()
         };
+        let (mut plan, gap) = match self.opts.strategy {
+            SearchStrategy::Exact => {
+                let out = self.plan_pass(layers, warm, usize::MAX, &mut tm);
+                (out.plan, 0.0)
+            }
+            SearchStrategy::Beam { width } => {
+                let width = width.max(1);
+                let out = self.plan_pass(layers, warm, width, &mut tm);
+                tm.beam_width = width;
+                let gap = if width >= out.max_interior {
+                    0.0
+                } else {
+                    gap_upper_bound(out.plan.total_cost, out.lower_bound)
+                };
+                (out.plan, gap)
+            }
+            SearchStrategy::Anytime { budget_ms } => {
+                let budget = Duration::from_millis(budget_ms);
+                let mut width = 1usize;
+                let mut best: Option<ModelPlan> = None;
+                let mut lower_bound;
+                let mut converged = false;
+                loop {
+                    let out = self.plan_pass(layers, warm, width, &mut tm);
+                    tm.anytime_rounds += 1;
+                    tm.beam_width = width;
+                    lower_bound = out.lower_bound;
+                    // Strict improvement only: a wider round that merely
+                    // ties keeps the earlier plan, so the winner is a
+                    // deterministic function of the completed rounds.
+                    if best
+                        .as_ref()
+                        .is_none_or(|b| out.plan.total_cost < b.total_cost)
+                    {
+                        best = Some(out.plan);
+                    }
+                    if width >= out.max_interior {
+                        converged = true;
+                        break;
+                    }
+                    if self
+                        .interrupt
+                        .as_ref()
+                        .is_some_and(SearchInterrupt::is_interrupted)
+                    {
+                        break;
+                    }
+                    if start.elapsed() >= budget {
+                        break;
+                    }
+                    width = width.saturating_mul(2);
+                }
+                tm.anytime_converged = converged;
+                let best = best.expect("at least one anytime round");
+                let gap = if converged {
+                    0.0
+                } else {
+                    gap_upper_bound(best.total_cost, lower_bound)
+                };
+                (best, gap)
+            }
+        };
+        tm.optimality_gap = gap;
+        tm.peak_rss_bytes = primepar_obs::peak_rss_bytes();
+        tm.total_seconds = start.elapsed().as_secs_f64();
+        plan.search_time = start.elapsed();
+        (plan, tm)
+    }
+
+    /// One full pipeline pass — stages 1–6 — under an optional per-node
+    /// beam. `beam_width == usize::MAX` runs the unrestricted exact
+    /// pipeline. Counters and stage seconds *accumulate* into `tm` (the
+    /// anytime driver runs several passes); structural fields (`op_names`,
+    /// `space_sizes`, `segments`) describe the latest pass.
+    fn plan_pass(
+        &self,
+        layers: u64,
+        warm: Option<&PlannerWarmCache>,
+        beam_width: usize,
+        tm: &mut PlannerMetrics,
+    ) -> PassOutcome {
+        let start = Instant::now();
+        let n_bits = self.cluster.space().n_bits();
+        let ctx = CostCtx::new(self.cluster, self.opts.alpha);
+        let sig_ids = self.graph.signature_ids();
+        tm.unique_signatures = sig_ids.iter().max().map_or(0, |m| m + 1);
+        tm.segments.clear();
 
         let t0 = Instant::now();
         // 1. Per-operator spaces plus per-state intra-cost and memory
@@ -263,7 +394,7 @@ impl<'a> Planner<'a> {
                 .unzip();
             (Arc::new(cost), Arc::new(mem))
         };
-        let (mut spaces, mut intra, mem): (SharedSpaces, SharedVecs, SharedVecs) =
+        let (mut spaces, mut intra, mut mem): (SharedSpaces, SharedVecs, SharedVecs) =
             if self.opts.memoize {
                 let mut space_cache = SpaceCache::new();
                 type VecPair = (Arc<Vec<f64>>, Arc<Vec<f64>>);
@@ -281,8 +412,8 @@ impl<'a> Planner<'a> {
                     intra.push(c);
                     mem.push(m);
                 }
-                tm.space_cache_hits = space_cache.hits();
-                tm.space_cache_misses = space_cache.misses();
+                tm.space_cache_hits += space_cache.hits();
+                tm.space_cache_misses += space_cache.misses();
                 (spaces, intra, mem)
             } else {
                 let spaces: SharedSpaces = self
@@ -306,10 +437,98 @@ impl<'a> Planner<'a> {
             };
         tm.op_names = self.graph.ops.iter().map(|op| op.name.clone()).collect();
         tm.space_sizes = spaces.iter().map(|s| s.len()).collect();
-        tm.intra_evaluations = ctx.intra_evaluations();
-        tm.spaces_intra_seconds = t0.elapsed().as_secs_f64();
+        tm.intra_evaluations += ctx.intra_evaluations();
+        tm.spaces_intra_seconds += t0.elapsed().as_secs_f64();
 
         dp_trace("spaces+intra", t0.elapsed());
+        let segments = self.graph.segments();
+        let mut endpoint = vec![false; spaces.len()];
+        for &(s, e) in &segments {
+            endpoint[s] = true;
+            endpoint[e] = true;
+        }
+        // Intra-only lower bound on the *exact* optimum: each interior
+        // operator contributes its cheapest Eq. 7 cost in every stacked
+        // layer, and every other cost term (boundary intra, Eqs. 8-9 edge
+        // costs) is nonnegative. Computed on the full pre-beam vectors, so
+        // it bounds the exact plan, not just this pass's restricted one —
+        // which makes the reported gap an upper bound on the true gap.
+        let lower_bound = layers.max(1) as f64
+            * (0..spaces.len())
+                .filter(|&n| !endpoint[n])
+                .map(|n| intra[n].iter().copied().fold(f64::INFINITY, f64::min))
+                .sum::<f64>();
+        let max_interior = (0..spaces.len())
+            .filter(|&n| !endpoint[n])
+            .map(|n| spaces[n].len())
+            .max()
+            .unwrap_or(0);
+
+        let tb = Instant::now();
+        // One profile/matrix cache serves the whole pass: the beam stage's
+        // anchored probes intern the probed nodes' *full-space* side
+        // profiles under their original signature ids, and stage 2 reuses
+        // them verbatim for every node the beam left untouched (endpoints
+        // above all) instead of rebuilding the most expensive profiles.
+        let mut cache = EdgeCostCache::new();
+        // 1b. Beam restriction (strategy layer): interior nodes wider than
+        // the beam keep only their `beam_width` best states by the anchored
+        // probe heuristic — *before* the stage-2 matrices are built on them,
+        // so both the O(P²) matrix volume and the O(P³) sweeps shrink.
+        // Nodes already inside the beam are untouched, so a wide-enough
+        // beam leaves this stage a literal no-op and the pass stays
+        // bitwise-exact (pinned by `tests/strategy_equivalence.rs`).
+        let mut eff_sig_ids = sig_ids.clone();
+        if beam_width != usize::MAX {
+            let kept = strategy::beam_kept(
+                self.graph, &ctx, &mut cache, &segments, &spaces, &intra, &sig_ids, beam_width,
+            );
+            if kept.iter().any(Option::is_some) {
+                let mut dropped = 0u64;
+                for (n, k) in kept.iter().enumerate() {
+                    if let Some(k) = k {
+                        dropped += (spaces[n].len() - k.len()) as u64;
+                        let space: Vec<PartitionSeq> =
+                            k.iter().map(|&i| spaces[n][i as usize].clone()).collect();
+                        let cost: Vec<f64> = k.iter().map(|&i| intra[n][i as usize]).collect();
+                        let bytes: Vec<f64> = k.iter().map(|&i| mem[n][i as usize]).collect();
+                        spaces[n] = Arc::new(space);
+                        intra[n] = Arc::new(cost);
+                        mem[n] = Arc::new(bytes);
+                    }
+                }
+                tm.states_beamed = dropped;
+                // Refined signature ids: untouched nodes keep their original
+                // ids, so the full-space profiles the probes interned stay
+                // shared with stage 2. Equal-signature nodes may keep
+                // different state subsets (their neighbourhoods differ), so
+                // each distinct (signature, kept set) class of beamed nodes
+                // gets a fresh id above the original range — stage-2 matrix
+                // dedup and the prune keys then only identify nodes whose
+                // (signature, kept set) agree, and restricted-space profiles
+                // never collide with full-space ones.
+                let mut classes: Vec<(usize, &Vec<u32>)> = Vec::new();
+                eff_sig_ids = (0..kept.len())
+                    .map(|n| match kept[n].as_ref() {
+                        None => sig_ids[n],
+                        Some(k) => {
+                            let key = (sig_ids[n], k);
+                            let class =
+                                classes.iter().position(|c| *c == key).unwrap_or_else(|| {
+                                    classes.push(key);
+                                    classes.len() - 1
+                                });
+                            tm.unique_signatures + class
+                        }
+                    })
+                    .collect();
+            } else {
+                tm.states_beamed = 0;
+            }
+        }
+        tm.beam_seconds += tb.elapsed().as_secs_f64();
+
+        dp_trace("beam", tb.elapsed());
         let t1 = Instant::now();
         // 2. Edge-cost matrices, summed per (src, dst) pair into the flat
         // columnar arena. Memoized: whole matrices dedup by the precomputed
@@ -319,11 +538,10 @@ impl<'a> Planner<'a> {
         // `Sync` context. Unmemoized: the seed per-edge path.
         let sizes: Vec<usize> = spaces.iter().map(|s| s.len()).collect();
         let edge_tables: EdgeTables = if self.opts.memoize {
-            let mut cache = EdgeCostCache::new();
             // Interned job ids: dense first-seen over (src sig, dst sig,
             // edge parameters) — index arithmetic instead of hashing a
             // MatrixKey per edge.
-            let edge_jobs = matrix_job_ids(&self.graph.edges, &sig_ids);
+            let edge_jobs = matrix_job_ids(&self.graph.edges, &eff_sig_ids);
             let mut jobs: Vec<PreparedEdge> = Vec::new();
             for (edge, &job) in self.graph.edges.iter().zip(&edge_jobs) {
                 if job == jobs.len() {
@@ -334,8 +552,8 @@ impl<'a> Planner<'a> {
                         &self.graph.ops[edge.dst],
                         &spaces[edge.src],
                         &spaces[edge.dst],
-                        sig_ids[edge.src],
-                        sig_ids[edge.dst],
+                        eff_sig_ids[edge.src],
+                        eff_sig_ids[edge.dst],
                     ));
                 } else {
                     cache.note_matrix(true);
@@ -345,7 +563,7 @@ impl<'a> Planner<'a> {
             // scope are reused byte-for-byte; only the rest compute. With no
             // warm cache every slot is pending and this is the seeded sweep.
             let mut unique: Vec<Option<Arc<Vec<f64>>>> = vec![None; jobs.len()];
-            let warm_scope = warm.map(|_| self.warm_scope(n_bits));
+            let warm_scope = warm.map(|_| self.warm_scope(n_bits, beam_width));
             if let (Some(w), Some(sc)) = (warm, warm_scope) {
                 for (slot, job) in jobs.iter().enumerate() {
                     if let Some(m) = w.lookup(sc, job.key()) {
@@ -400,10 +618,10 @@ impl<'a> Planner<'a> {
                 }
             }
             let stats = cache.stats();
-            tm.profile_cache_hits = stats.profile_hits;
-            tm.profile_cache_misses = stats.profile_misses;
-            tm.edge_matrix_cache_hits = stats.matrix_hits;
-            tm.edge_matrix_cache_misses = stats.matrix_misses;
+            tm.profile_cache_hits += stats.profile_hits;
+            tm.profile_cache_misses += stats.profile_misses;
+            tm.edge_matrix_cache_hits += stats.matrix_hits;
+            tm.edge_matrix_cache_misses += stats.matrix_misses;
             EdgeTables::build(&self.graph.edges, &sizes, |e| {
                 unique[edge_jobs[e]].as_ref().expect("computed").as_slice()
             })
@@ -462,11 +680,10 @@ impl<'a> Planner<'a> {
             tm.thread_busy_seconds[0] += t1.elapsed().as_secs_f64();
             EdgeTables::build(&self.graph.edges, &sizes, |e| matrices[e].as_slice())
         };
-        tm.edge_evaluations = ctx.inter_evaluations();
-        tm.edge_matrices_seconds = t1.elapsed().as_secs_f64();
+        tm.edge_evaluations += ctx.inter_evaluations();
+        tm.edge_matrices_seconds += t1.elapsed().as_secs_f64();
 
         dp_trace("edge matrices", t1.elapsed());
-        let segments = self.graph.segments();
         let tp = Instant::now();
         // 2b. Optional dominance pruning: drop interior states an earlier
         // state dominates on (intra, memory, every incident edge row/column),
@@ -479,7 +696,7 @@ impl<'a> Planner<'a> {
             // and the same incident unique matrices (interned job id, per
             // coalesced slot and direction) share one survivor scan.
             let prune_keys: Vec<PruneKey> = {
-                let edge_jobs = matrix_job_ids(&self.graph.edges, &sig_ids);
+                let edge_jobs = matrix_job_ids(&self.graph.edges, &eff_sig_ids);
                 (0..sizes.len())
                     .map(|n| {
                         let mut slots: HashMap<(usize, bool), Vec<usize>> = HashMap::new();
@@ -504,17 +721,18 @@ impl<'a> Planner<'a> {
                             })
                             .collect();
                         slots.sort_unstable();
-                        (sig_ids[n], slots)
+                        (eff_sig_ids[n], slots)
                     })
                     .collect()
             };
             let report =
                 dominance_prune(&segments, &sizes, &intra, &mem, &edge_tables, &prune_keys);
-            tm.states_pruned = report.total();
+            let pass_pruned = report.total();
+            tm.states_pruned += pass_pruned;
             for (slot, &(s, e)) in seg_pruned.iter_mut().zip(&segments) {
                 *slot = report.pruned_in_segment(s, e);
             }
-            if tm.states_pruned > 0 {
+            if pass_pruned > 0 {
                 for (n, kept) in report.kept.iter().enumerate() {
                     if let Some(k) = kept {
                         let space: Vec<PartitionSeq> =
@@ -531,7 +749,7 @@ impl<'a> Planner<'a> {
         } else {
             edge_tables
         };
-        tm.prune_seconds = tp.elapsed().as_secs_f64();
+        tm.prune_seconds += tp.elapsed().as_secs_f64();
 
         dp_trace("prune", tp.elapsed());
         let t2 = Instant::now();
@@ -555,7 +773,7 @@ impl<'a> Planner<'a> {
             tm.segments.push(seg_tm);
             tables.push(table);
         }
-        tm.segment_dp_seconds = t2.elapsed().as_secs_f64();
+        tm.segment_dp_seconds += t2.elapsed().as_secs_f64();
 
         dp_trace("segment DP", t2.elapsed());
         let t3 = Instant::now();
@@ -577,7 +795,7 @@ impl<'a> Planner<'a> {
             );
             span = (span.0, seg.1);
         }
-        tm.merge_seconds = t3.elapsed().as_secs_f64();
+        tm.merge_seconds += t3.elapsed().as_secs_f64();
 
         dp_trace("merges", t3.elapsed());
         let t4 = Instant::now();
@@ -642,18 +860,17 @@ impl<'a> Planner<'a> {
             })
             .collect();
 
-        tm.compose_seconds = t4.elapsed().as_secs_f64();
-        tm.peak_rss_bytes = primepar_obs::peak_rss_bytes();
-        tm.total_seconds = start.elapsed().as_secs_f64();
-        (
-            ModelPlan {
+        tm.compose_seconds += t4.elapsed().as_secs_f64();
+        PassOutcome {
+            plan: ModelPlan {
                 seqs,
                 layer_cost,
                 total_cost,
                 search_time: start.elapsed(),
             },
-            tm,
-        )
+            lower_bound,
+            max_interior,
+        }
     }
 
     /// Bellman iteration over segment `(s, e)` (Eqs. 11-12), ping-ponging

@@ -41,6 +41,7 @@ mod prune;
 mod report;
 mod robustness;
 mod space;
+mod strategy;
 mod telemetry;
 mod warm;
 
@@ -50,5 +51,6 @@ pub use plan_io::{parse_plan, render_plan, PlanIoError};
 pub use report::explain_plan;
 pub use robustness::{score_robustness, RobustnessScore};
 pub use space::{operator_space, SpaceCache, SpaceOptions};
+pub use strategy::{SearchInterrupt, SearchStrategy};
 pub use telemetry::{PlannerMetrics, SegmentMetrics};
 pub use warm::{PlannerWarmCache, WarmStats};

@@ -34,6 +34,28 @@ pub struct SegmentMetrics {
 /// Telemetry of one [`Planner::optimize`](crate::Planner::optimize) run.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct PlannerMetrics {
+    /// The [`SearchStrategy`](crate::SearchStrategy) that produced the run,
+    /// in its canonical `Display` form (`exact`, `beam:8`, `anytime:500ms`).
+    /// Empty only on hand-built metrics.
+    pub strategy: String,
+    /// Final effective beam width (0 = unrestricted exact sweep). For
+    /// anytime runs, the width of the *last* completed round.
+    pub beam_width: usize,
+    /// Upper bound on the relative optimality gap of the returned plan:
+    /// `(total_cost − lower_bound) / total_cost`, clamped to `[0, 1]`, and
+    /// exactly `0.0` when the search was provably exact (exact strategy, or
+    /// a beam/anytime run whose width covered every interior space).
+    pub optimality_gap: f64,
+    /// Beam rounds the anytime driver completed (0 for exact/beam runs).
+    pub anytime_rounds: u64,
+    /// Whether the anytime driver's last round covered every interior
+    /// space — i.e. the returned plan is provably optimal.
+    pub anytime_converged: bool,
+    /// Interior partition states the beam dropped before stage 2, summed
+    /// over nodes (last pass; 0 for exact or wide-enough beams).
+    pub states_beamed: u64,
+    /// Beam-restriction stage (1b) wall seconds, heuristic probes included.
+    pub beam_seconds: f64,
     /// Operator names, indexed like `graph.ops`.
     pub op_names: Vec<String>,
     /// Enumerated partition-space size per operator (same indexing).
@@ -126,6 +148,7 @@ impl PlannerMetrics {
     pub fn stage_spans(&self) -> Vec<(&'static str, f64)> {
         [
             ("spaces_intra", self.spaces_intra_seconds),
+            ("beam", self.beam_seconds),
             ("prune", self.prune_seconds),
             ("edge_matrices", self.edge_matrices_seconds),
             ("segment_dp", self.segment_dp_seconds),
@@ -140,6 +163,16 @@ impl PlannerMetrics {
     /// Renders the run into an observability registry under `planner.*`.
     pub fn to_metrics(&self) -> Metrics {
         let mut m = Metrics::new();
+        m.text("planner.strategy", &self.strategy);
+        m.gauge("planner.beam_width", self.beam_width as f64);
+        m.gauge("planner.optimality_gap", self.optimality_gap);
+        m.incr("planner.anytime.rounds", self.anytime_rounds);
+        m.gauge(
+            "planner.anytime.converged",
+            if self.anytime_converged { 1.0 } else { 0.0 },
+        );
+        m.incr("planner.beam.states_dropped", self.states_beamed);
+        m.record_seconds("planner.stage.beam_seconds", self.beam_seconds);
         m.record_seconds("planner.total_seconds", self.total_seconds);
         m.record_seconds(
             "planner.stage.spaces_intra_seconds",
@@ -207,6 +240,13 @@ mod tests {
 
     fn sample() -> PlannerMetrics {
         PlannerMetrics {
+            strategy: "beam:2".into(),
+            beam_width: 2,
+            optimality_gap: 0.125,
+            anytime_rounds: 0,
+            anytime_converged: false,
+            states_beamed: 15,
+            beam_seconds: 0.05,
             op_names: vec!["embed".into(), "fc1".into()],
             space_sizes: vec![4, 17],
             segments: vec![SegmentMetrics {
@@ -259,7 +299,13 @@ mod tests {
         // merge/compose are 0.0 in the sample, so they must be absent.
         assert_eq!(
             names,
-            vec!["spaces_intra", "prune", "edge_matrices", "segment_dp"]
+            vec![
+                "spaces_intra",
+                "beam",
+                "prune",
+                "edge_matrices",
+                "segment_dp"
+            ]
         );
         assert!(spans.iter().all(|&(_, s)| s > 0.0));
         assert!(PlannerMetrics::default().stage_spans().is_empty());
@@ -268,6 +314,11 @@ mod tests {
     #[test]
     fn registry_carries_the_issue_required_keys() {
         let m = sample().to_metrics();
+        assert_eq!(m.text_value("planner.strategy"), Some("beam:2"));
+        assert_eq!(m.gauge_value("planner.beam_width"), Some(2.0));
+        assert_eq!(m.gauge_value("planner.optimality_gap"), Some(0.125));
+        assert_eq!(m.counter("planner.beam.states_dropped"), 15);
+        assert!(m.timer_seconds("planner.stage.beam_seconds") > 0.0);
         assert_eq!(m.counter("planner.intra_evaluations"), 21);
         assert_eq!(m.counter("planner.edge_evaluations"), 68);
         assert_eq!(m.gauge_value("planner.unique_signatures"), Some(2.0));

@@ -11,15 +11,16 @@
 //!
 //! Requests have a *canonical fingerprint* naming the plan they produce:
 //! everything that changes the optimizer's output is included (model,
-//! devices, batch, seq, layers, `α`, space options) and everything proven
-//! not to is excluded (`threads` and `memoize` — the equivalence suites pin
-//! both to bitwise-identical plans; `id` and `deadline_ms` — delivery
-//! concerns). Whole-plan memoization keys on this fingerprint.
+//! devices, batch, seq, layers, `α`, space options, and any non-exact
+//! search strategy) and everything proven not to is excluded (`threads` and
+//! `memoize` — the equivalence suites pin both to bitwise-identical plans;
+//! `id` and `deadline_ms` — delivery concerns). Whole-plan memoization keys
+//! on this fingerprint.
 
 use std::time::Duration;
 
 use primepar_graph::ModelConfig;
-use primepar_search::{ModelPlan, PlannerMetrics, PlannerOptions, SpaceOptions};
+use primepar_search::{ModelPlan, PlannerMetrics, PlannerOptions, SearchStrategy, SpaceOptions};
 use primepar_sim::{ModelReport, RobustnessOptions, SimOptions};
 use primepar_topology::PerturbationModel;
 
@@ -57,6 +58,10 @@ pub struct PlanRequest {
     pub allow_batch_split: bool,
     /// Largest temporal primitive, as `k`.
     pub max_temporal_k: u32,
+    /// Search strategy (`PlannerOptions::strategy`): the exact sweep, a
+    /// fixed-width beam, or the anytime driver. Non-exact strategies change
+    /// the plan the request names, so they are part of the fingerprint.
+    pub strategy: SearchStrategy,
     /// Also simulate one training iteration of the planned model.
     pub simulate: bool,
     /// Relative deadline: the request is cancelled if a worker has not
@@ -80,6 +85,7 @@ impl Default for PlanRequest {
             allow_temporal: space.allow_temporal,
             allow_batch_split: space.allow_batch_split,
             max_temporal_k: space.max_temporal_k,
+            strategy: SearchStrategy::Exact,
             simulate: false,
             deadline_ms: None,
         }
@@ -141,6 +147,7 @@ impl PlanRequest {
                 alpha: self.alpha,
                 threads: self.threads,
                 memoize: self.memoize,
+                strategy: self.strategy,
                 ..PlannerOptions::default()
             },
         })
@@ -229,6 +236,10 @@ impl PlanRequestBuilder {
         max_temporal_k: u32
     );
     setter!(
+        /// Picks the search strategy (exact, beam, anytime).
+        strategy: SearchStrategy
+    );
+    setter!(
         /// Requests an iteration simulation alongside the plan.
         simulate: bool
     );
@@ -276,6 +287,7 @@ impl ResolvedPlan {
             allow_temporal: self.opts.space.allow_temporal,
             allow_batch_split: self.opts.space.allow_batch_split,
             max_temporal_k: self.opts.space.max_temporal_k,
+            strategy: self.opts.strategy,
         }
     }
 
@@ -309,13 +321,19 @@ pub struct PlanKey {
     pub allow_batch_split: bool,
     /// Largest temporal primitive, as `k`.
     pub max_temporal_k: u32,
+    /// Search strategy: a beam or anytime plan is (potentially) a different
+    /// plan than the exact one, so it must not share a memo slot with it.
+    pub strategy: SearchStrategy,
 }
 
 impl PlanKey {
     /// The canonical fingerprint string. Model names canonicalize to their
     /// lowercase alphanumeric spine, so every CLI spelling of a model
     /// collides into the same memo slot; `α` is rendered by bit pattern so
-    /// distinct floats never alias.
+    /// distinct floats never alias. Non-exact strategies append a `:st:`
+    /// suffix; the exact default appends nothing, so every fingerprint ever
+    /// written by a pre-strategy build still names the same (exact) plan —
+    /// persisted caches restore unchanged.
     pub fn fingerprint(&self) -> String {
         let canon: String = self
             .model
@@ -323,7 +341,7 @@ impl PlanKey {
             .filter(char::is_ascii_alphanumeric)
             .map(|c| c.to_ascii_lowercase())
             .collect();
-        format!(
+        let mut fp = format!(
             "plan:{canon}:d{}:b{}:s{}:l{}:a{:016x}:t{}:bs{}:k{}",
             self.devices,
             self.batch,
@@ -333,7 +351,11 @@ impl PlanKey {
             u8::from(self.allow_temporal),
             u8::from(self.allow_batch_split),
             self.max_temporal_k,
-        )
+        );
+        if self.strategy != SearchStrategy::Exact {
+            fp.push_str(&format!(":st:{}", self.strategy));
+        }
+        fp
     }
 }
 
@@ -383,6 +405,9 @@ pub struct PlanResponse {
     pub seq: u64,
     /// Stacked layer count actually planned.
     pub layers: u64,
+    /// The search strategy this request asked for (memo hits echo the
+    /// request's strategy even when the stored metrics came from another).
+    pub strategy: SearchStrategy,
     /// The optimized plan — bitwise-identical to a direct
     /// [`Planner::optimize`](primepar_search::Planner::optimize) call on the
     /// same inputs.
@@ -618,9 +643,24 @@ mod tests {
                     ..base.clone()
                 },
             ),
+            (
+                "strategy",
+                PlanRequest {
+                    strategy: SearchStrategy::Beam { width: 8 },
+                    ..base.clone()
+                },
+            ),
         ] {
             assert_ne!(other.fingerprint().expect("valid"), fp, "{label}");
         }
+        // The exact default adds no suffix, so pre-strategy fingerprints
+        // (and the caches persisted under them) keep their exact meaning.
+        assert!(!fp.contains(":st:"));
+        let beamed = PlanRequest {
+            strategy: SearchStrategy::Beam { width: 8 },
+            ..base
+        };
+        assert!(beamed.fingerprint().expect("valid").ends_with(":st:beam:8"));
     }
 
     #[test]

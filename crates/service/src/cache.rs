@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use primepar_search::{
-    render_plan, ModelPlan, Planner, PlannerMetrics, PlannerWarmCache, WarmStats,
+    render_plan, ModelPlan, Planner, PlannerMetrics, PlannerWarmCache, SearchInterrupt, WarmStats,
 };
 use primepar_sim::{robustness_sweep, simulate_model_with, SimOptions};
 use primepar_topology::Cluster;
@@ -178,11 +178,20 @@ impl WarmCache {
     }
 
     /// Plans `key` from scratch (the memo-miss path, also used by restarts
-    /// to verify restored entries).
-    fn plan_cold(&self, resolved: &ResolvedPlan) -> CachedPlan {
+    /// to verify restored entries). An `interrupt`, when given, is attached
+    /// to the planner — the anytime driver polls it between beam rounds, so
+    /// a cancelled request still yields its best-so-far plan.
+    fn plan_cold(
+        &self,
+        resolved: &ResolvedPlan,
+        interrupt: Option<&SearchInterrupt>,
+    ) -> CachedPlan {
         let cluster = self.cluster(resolved.devices);
         let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
-        let planner = Planner::new(&cluster, &graph, resolved.opts);
+        let mut planner = Planner::new(&cluster, &graph, resolved.opts);
+        if let Some(interrupt) = interrupt {
+            planner = planner.with_interrupt(interrupt.clone());
+        }
         // The warm path piggybacks on structural memoization; without it
         // there are no sound cross-run keys, so plan exactly as seeded.
         let (plan, metrics) = if resolved.opts.memoize {
@@ -200,10 +209,14 @@ impl WarmCache {
 
     /// The memoized plan for a resolved request: a shard hit, a coalesced
     /// wait on another request's in-flight plan, or a cold planner run.
-    fn plan_for(&self, resolved: &ResolvedPlan) -> (Arc<CachedPlan>, Outcome) {
+    fn plan_for(
+        &self,
+        resolved: &ResolvedPlan,
+        interrupt: Option<&SearchInterrupt>,
+    ) -> (Arc<CachedPlan>, Outcome) {
         let fingerprint = resolved.fingerprint();
         self.plans
-            .get_or_compute(&fingerprint, || self.plan_cold(resolved))
+            .get_or_compute(&fingerprint, || self.plan_cold(resolved, interrupt))
     }
 
     /// Seeds the memo with an already-built entry (the restore path).
@@ -264,10 +277,29 @@ impl WarmCache {
         req: &PlanRequest,
         trace: Option<&RequestTrace>,
     ) -> Result<PlanResponse, Error> {
+        self.execute_plan_interruptible(req, trace, None)
+    }
+
+    /// [`WarmCache::execute_plan_traced`] with an optional
+    /// [`SearchInterrupt`] attached to any cold planner run — the service
+    /// bridges a `plan` frame's cancel token onto it so an anytime search
+    /// answers with its best-so-far plan instead of `cancelled`. Memo hits
+    /// and coalesced waits never consult the interrupt (there is nothing to
+    /// stop).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WarmCache::execute_plan`].
+    pub fn execute_plan_interruptible(
+        &self,
+        req: &PlanRequest,
+        trace: Option<&RequestTrace>,
+        interrupt: Option<&SearchInterrupt>,
+    ) -> Result<PlanResponse, Error> {
         let start = Instant::now();
         let resolved = req.resolve()?;
         let lookup_start = trace.map(RequestTrace::now_us);
-        let (cached, outcome) = self.plan_for(&resolved);
+        let (cached, outcome) = self.plan_for(&resolved, interrupt);
         if let (Some(trace), Some(lookup_start)) = (trace, lookup_start) {
             record_lookup(trace, lookup_start, outcome, &cached.metrics);
         }
@@ -299,6 +331,7 @@ impl WarmCache {
             batch: resolved.batch,
             seq: resolved.seq,
             layers: resolved.layers,
+            strategy: resolved.opts.strategy,
             plan: cached.plan.clone(),
             plan_text: cached.plan_text.clone(),
             metrics: cached.metrics.clone(),
@@ -332,7 +365,7 @@ impl WarmCache {
         let start = Instant::now();
         let (resolved, sim_opts, sweep) = req.resolve()?;
         let lookup_start = trace.map(RequestTrace::now_us);
-        let (cached, outcome) = self.plan_for(&resolved);
+        let (cached, outcome) = self.plan_for(&resolved, None);
         if let (Some(trace), Some(lookup_start)) = (trace, lookup_start) {
             record_lookup(trace, lookup_start, outcome, &cached.metrics);
         }

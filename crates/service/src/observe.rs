@@ -28,6 +28,7 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use primepar_obs::{peak_rss_bytes, render_trace, ClockMode, Json, Metrics, TraceEvent};
+use primepar_search::SearchStrategy;
 
 use crate::cache::WarmCache;
 use crate::error::Error;
@@ -285,6 +286,8 @@ pub struct ServiceObserver {
     started: AtomicU64,
     completed: AtomicU64,
     errors: AtomicU64,
+    // Plan/sim submissions by requested search strategy: exact, beam, anytime.
+    strategies: [AtomicU64; 3],
     workers: Vec<WorkerSlot>,
     latency: Mutex<Metrics>,
     recorder: Mutex<VecDeque<FlightRecord>>,
@@ -310,6 +313,7 @@ impl ServiceObserver {
             started: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            strategies: Default::default(),
             workers: (0..opts.workers.max(1))
                 .map(|_| WorkerSlot::default())
                 .collect(),
@@ -357,6 +361,17 @@ impl ServiceObserver {
     ) -> Arc<RequestTrace> {
         self.submitted.fetch_add(1, Ordering::Relaxed);
         Arc::new(RequestTrace::new(trace_id, request_id, kind, self.origin))
+    }
+
+    /// Counts an accepted plan/sim submission against its requested search
+    /// strategy (the `strategies` section of the stats snapshot).
+    pub fn note_strategy(&self, strategy: SearchStrategy) {
+        let slot = match strategy {
+            SearchStrategy::Exact => 0,
+            SearchStrategy::Beam { .. } => 1,
+            SearchStrategy::Anytime { .. } => 2,
+        };
+        self.strategies[slot].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Worker `idx` picked a job off the queue.
@@ -515,6 +530,13 @@ impl ServiceObserver {
                     .with("errors", self.errors.load(Ordering::Relaxed))
                     .with("queue_depth", self.queue_depth()),
             )
+            .with(
+                "strategies",
+                Json::obj()
+                    .with("exact", self.strategies[0].load(Ordering::Relaxed))
+                    .with("beam", self.strategies[1].load(Ordering::Relaxed))
+                    .with("anytime", self.strategies[2].load(Ordering::Relaxed)),
+            )
             .with("workers", workers)
             .with(
                 "cache",
@@ -606,6 +628,10 @@ pub fn validate_stats_doc(doc: &Json) -> Result<(), Error> {
     let requests = stats_field(doc, "requests", "")?;
     for key in ["submitted", "completed", "errors", "queue_depth"] {
         stats_num(requests, key, "`requests`")?;
+    }
+    let strategies = stats_field(doc, "strategies", "")?;
+    for key in ["exact", "beam", "anytime"] {
+        stats_num(strategies, key, "`strategies`")?;
     }
     let workers = stats_field(doc, "workers", "")?
         .as_array()

@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use primepar_graph::ModelConfig;
 use primepar_obs::{parse_json, Json};
-use primepar_search::{parse_plan, ModelPlan, PlannerMetrics};
+use primepar_search::{parse_plan, ModelPlan, PlannerMetrics, SearchStrategy};
 
 use crate::api::PlanKey;
 use crate::cache::{CachedPlan, WarmCache};
@@ -70,7 +70,7 @@ fn entry_bool(entry: &Json, field: &str) -> Result<bool, Error> {
 
 fn entry_json(entry: &CachedPlan) -> Json {
     let key = &entry.key;
-    Json::obj()
+    let mut json = Json::obj()
         .with("fingerprint", key.fingerprint())
         .with("model", key.model.as_str())
         .with("devices", key.devices)
@@ -80,8 +80,13 @@ fn entry_json(entry: &CachedPlan) -> Json {
         .with("alpha_bits", f64_hex(key.alpha))
         .with("allow_temporal", key.allow_temporal)
         .with("allow_batch_split", key.allow_batch_split)
-        .with("max_temporal_k", key.max_temporal_k)
-        .with("layer_cost_bits", f64_hex(entry.plan.layer_cost))
+        .with("max_temporal_k", key.max_temporal_k);
+    // Written only for non-exact plans, so exact-only dumps stay
+    // byte-identical to pre-strategy artifacts (and restore under them).
+    if key.strategy != SearchStrategy::Exact {
+        json = json.with("strategy", key.strategy.to_string());
+    }
+    json.with("layer_cost_bits", f64_hex(entry.plan.layer_cost))
         .with("total_cost_bits", f64_hex(entry.plan.total_cost))
         .with("search_time_us", entry.plan.search_time.as_micros() as u64)
         .with("plan_text", entry.plan_text.as_str())
@@ -119,6 +124,17 @@ fn restore_entry(entry: &Json) -> Result<(String, CachedPlan), Error> {
         allow_temporal: entry_bool(entry, "allow_temporal")?,
         allow_batch_split: entry_bool(entry, "allow_batch_split")?,
         max_temporal_k: entry_u64(entry, "max_temporal_k")? as u32,
+        // Absent in pre-strategy artifacts and for exact plans.
+        strategy: match entry.get("strategy") {
+            None => SearchStrategy::Exact,
+            Some(v) => {
+                let text = v.as_str().ok_or_else(|| {
+                    Error::protocol("cache entry field `strategy` must be a string")
+                })?;
+                text.parse()
+                    .map_err(|e| Error::protocol(format!("cache entry strategy rejected: {e}")))?
+            }
+        },
     };
     let recorded = entry_str(entry, "fingerprint")?;
     let fingerprint = key.fingerprint();
@@ -306,6 +322,44 @@ mod tests {
         let text = doc.render_pretty();
         let reparsed = parse_json(&text).expect("round-trips");
         assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn beam_entries_round_trip_with_their_strategy() {
+        let dir =
+            std::env::temp_dir().join(format!("primepar-persist-beam-{}", std::process::id()));
+        let path = dir.join("warm.cache.json");
+        let beamed = PlanRequest {
+            strategy: SearchStrategy::Beam { width: 2 },
+            ..small_request("cold")
+        };
+        let first = WarmCache::new();
+        let cold = first.execute_plan(&beamed).expect("plans");
+        assert!(cold.fingerprint.ends_with(":st:beam:2"));
+        // Exact entries carry no strategy field; beam entries do.
+        let doc = cache_to_json(&first);
+        assert!(doc.render().contains("\"strategy\""));
+        assert_eq!(validate_cache_doc(&doc), Ok(1));
+
+        let second = WarmCache::new();
+        assert_eq!(second.load(&path).unwrap_err().exit_code(), 6); // no file yet
+        assert_eq!(first.save(&path).expect("saves"), 1);
+        assert_eq!(second.load(&path).expect("loads"), 1);
+        let warm = second
+            .execute_plan(&PlanRequest {
+                id: "warm".into(),
+                ..beamed.clone()
+            })
+            .expect("plans");
+        assert!(
+            warm.cache.plan_cache_hit,
+            "restored beam entry serves a hit"
+        );
+        assert_eq!(warm.plan_text, cold.plan_text);
+        // The exact twin of the same workload must miss — different slot.
+        let exact = second.execute_plan(&small_request("exact")).expect("plans");
+        assert!(!exact.cache.plan_cache_hit);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

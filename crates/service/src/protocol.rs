@@ -47,6 +47,7 @@ use std::thread;
 use std::time::Duration;
 
 use primepar_obs::{parse_json, peak_rss_bytes, ClockMode, Event, EventLevel, EventLog, Json};
+use primepar_search::SearchStrategy;
 use primepar_sim::robustness_json;
 
 use crate::cache::WarmCache;
@@ -155,6 +156,12 @@ fn parse_plan_request(obj: &Json) -> Result<PlanRequest, Error> {
             .map_or(defaults.max_temporal_k, |n| n as u32),
         simulate: field_bool(obj, "simulate")?.unwrap_or(defaults.simulate),
         deadline_ms: field_u64(obj, "deadline_ms")?,
+        strategy: match field_str(obj, "strategy")? {
+            None => defaults.strategy,
+            Some(text) => text
+                .parse::<SearchStrategy>()
+                .map_err(|e| Error::protocol(format!("field strategy rejected: {e}")))?,
+        },
     })
 }
 
@@ -257,6 +264,11 @@ pub fn request_json(req: &PlanRequest) -> Json {
     if let Some(ms) = req.deadline_ms {
         doc.set("deadline_ms", ms);
     }
+    // Emitted only when non-default so pre-strategy transcripts replay
+    // byte-identically (mirrors the fingerprint's `:st:` suffix rule).
+    if req.strategy != SearchStrategy::Exact {
+        doc.set("strategy", req.strategy.to_string());
+    }
     doc
 }
 
@@ -323,6 +335,8 @@ pub fn plan_response_json(resp: &PlanResponse, legacy: bool) -> Json {
         .with("batch", resp.batch)
         .with("seq", resp.seq)
         .with("layers", resp.layers)
+        .with("strategy", resp.strategy.to_string())
+        .with("optimality_gap", resp.metrics.optimality_gap)
         .with("elapsed_us", resp.elapsed.as_micros() as u64)
         .with("layer_cost", resp.plan.layer_cost)
         .with("total_cost", resp.plan.total_cost)
@@ -772,6 +786,7 @@ pub fn serve_lines_with_cache(
                                 Frame::Plan(req) => {
                                     end.requests += 1;
                                     next_request_id += 1;
+                                    observer.note_strategy(req.strategy);
                                     let trace_id =
                                         trace_id.unwrap_or_else(|| observer.gen_trace_id());
                                     let trace =
@@ -798,6 +813,7 @@ pub fn serve_lines_with_cache(
                                 Frame::Sim(req) => {
                                     end.requests += 1;
                                     next_request_id += 1;
+                                    observer.note_strategy(req.plan.strategy);
                                     let trace_id =
                                         trace_id.unwrap_or_else(|| observer.gen_trace_id());
                                     let trace =
@@ -985,9 +1001,30 @@ mod tests {
             .layers(Some(2))
             .deadline_ms(Some(250))
             .build();
-        let parsed = parse_frame(&request_json(&req).render()).expect("parses");
+        let encoded = request_json(&req).render();
+        assert!(
+            !encoded.contains("strategy"),
+            "exact requests omit the strategy field (legacy transcripts)"
+        );
+        let parsed = parse_frame(&encoded).expect("parses");
         assert!(!parsed.legacy);
         assert_eq!(parsed.frame, Frame::Plan(req.clone()));
+
+        // Non-default strategies survive the wire both ways.
+        let anytime = PlanRequest::builder("opt-6.7b")
+            .id("r2")
+            .strategy(SearchStrategy::Anytime { budget_ms: 500 })
+            .build();
+        let encoded = request_json(&anytime).render();
+        assert!(encoded.contains(r#""strategy":"anytime:500ms""#));
+        assert_eq!(
+            parse_frame(&encoded).expect("parses").frame,
+            Frame::Plan(anytime)
+        );
+        assert!(matches!(
+            parse_frame(r#"{"type":"plan","model":"opt-6.7b","strategy":"beam:zero"}"#),
+            Err(Error::Protocol(_))
+        ));
 
         let sim = SimRequest::of(req).with_sweep("harsh", 3, 9);
         let parsed = parse_frame(&sim_request_json(&sim).render()).expect("parses");

@@ -18,6 +18,8 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
 
+use primepar_search::{SearchInterrupt, SearchStrategy};
+
 use crate::cache::{ServiceCacheStats, WarmCache};
 use crate::observe::{RequestTrace, ServiceObserver};
 use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse};
@@ -38,9 +40,11 @@ impl Default for ServiceOptions {
 /// Shared cancellation flag of one submitted request.
 ///
 /// Cloning shares the flag; any clone can cancel. A request cancelled
-/// before a worker picks it up is never planned; one cancelled mid-flight
-/// still completes the planning work (the DP is not interruptible) but
-/// answers [`Error::Cancelled`].
+/// before a worker picks it up is never planned. One cancelled mid-flight
+/// still completes its planning work and answers [`Error::Cancelled`] —
+/// except an [`SearchStrategy::Anytime`] plan, whose search polls this very
+/// flag (via [`CancelToken::search_interrupt`]) between beam rounds and
+/// answers with the best plan found so far plus its `optimality_gap`.
 #[derive(Debug, Clone, Default)]
 pub struct CancelToken(Arc<AtomicBool>);
 
@@ -58,6 +62,13 @@ impl CancelToken {
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
         self.0.load(Ordering::SeqCst)
+    }
+
+    /// A [`SearchInterrupt`] sharing this token's flag: cancelling the token
+    /// interrupts any anytime search it was attached to, with no extra
+    /// signalling.
+    pub fn search_interrupt(&self) -> SearchInterrupt {
+        SearchInterrupt::from_flag(self.0.clone())
     }
 }
 
@@ -309,9 +320,16 @@ fn worker_loop(
                 if let Some(trace) = &trace {
                     trace.begin_exec(idx);
                 }
-                let verdict = guarded(&ticket, panic_dump, || {
-                    cache.execute_plan_traced(&req, trace.as_deref())
-                });
+                let verdict = if matches!(req.strategy, SearchStrategy::Anytime { .. }) {
+                    let interrupt = ticket.cancel.search_interrupt();
+                    guarded_anytime(&ticket, panic_dump, || {
+                        cache.execute_plan_interruptible(&req, trace.as_deref(), Some(&interrupt))
+                    })
+                } else {
+                    guarded(&ticket, panic_dump, || {
+                        cache.execute_plan_traced(&req, trace.as_deref())
+                    })
+                };
                 if let Some(trace) = &trace {
                     trace.end_exec();
                 }
@@ -358,10 +376,39 @@ fn guarded<T>(
             return Err(Error::cancelled("deadline expired before pickup"));
         }
     }
-    match catch_unwind(AssertUnwindSafe(job)) {
+    match run_caught(panic_dump, job) {
         Ok(_) if ticket.cancel.is_cancelled() => {
             Err(Error::cancelled("request cancelled while in flight"))
         }
+        other => other,
+    }
+}
+
+/// [`guarded`] for anytime plan jobs, which never answer `cancelled`:
+/// delivery pressure — a fired cancel token, an already-expired pickup
+/// deadline — becomes an interrupt on the job's [`SearchInterrupt`] (the
+/// cancel token *is* the interrupt flag), so the search still runs at least
+/// one width-1 round and answers with its best-so-far plan and gap.
+fn guarded_anytime<T>(
+    ticket: &Ticket,
+    panic_dump: Option<(&ServiceObserver, &WarmCache)>,
+    job: impl FnOnce() -> Result<T, Error>,
+) -> Result<T, Error> {
+    if let Some(deadline) = ticket.deadline {
+        if Instant::now() >= deadline {
+            ticket.cancel.cancel();
+        }
+    }
+    run_caught(panic_dump, job)
+}
+
+/// The pool's panic fence: runs `job` under `catch_unwind`, dumping the
+/// flight recorder before the panic verdict goes back.
+fn run_caught<T>(
+    panic_dump: Option<(&ServiceObserver, &WarmCache)>,
+    job: impl FnOnce() -> Result<T, Error>,
+) -> Result<T, Error> {
+    match catch_unwind(AssertUnwindSafe(job)) {
         Ok(result) => result,
         Err(payload) => {
             if let Some((obs, cache)) = panic_dump {

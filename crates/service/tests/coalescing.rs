@@ -9,7 +9,9 @@
 use std::sync::Barrier;
 use std::thread;
 
-use primepar_search::{render_plan, ModelPlan, Planner};
+use proptest::prelude::*;
+
+use primepar_search::{render_plan, ModelPlan, Planner, SearchStrategy};
 use primepar_service::{PlanRequest, PlanResponse, PlannerService, ServiceOptions, WarmCache};
 use primepar_topology::Cluster;
 
@@ -126,4 +128,90 @@ fn coalescing_repeats_across_waves_without_replanning() {
     let stats = cache.stats();
     assert_eq!(stats.plan_misses, 1);
     assert_eq!(stats.plan_hits + stats.plan_coalesced, (3 * K - 1) as u64);
+}
+
+#[test]
+fn different_strategies_are_never_coalesced() {
+    // Two concurrent frames, identical in every workload field but asking
+    // for different search strategies, must each run their own planner: the
+    // strategy is part of the cache fingerprint, so neither coalesces onto
+    // (nor hits) the other.
+    let cache = WarmCache::new();
+    let responses: Vec<PlanResponse> =
+        PlannerService::run_with_cache(ServiceOptions { workers: 2 }, &cache, |client| {
+            let barrier = Barrier::new(2);
+            thread::scope(|scope| {
+                let strategies = [SearchStrategy::Exact, SearchStrategy::Beam { width: 1 }];
+                let handles: Vec<_> = strategies
+                    .into_iter()
+                    .map(|strategy| {
+                        let client = client.clone();
+                        let barrier = &barrier;
+                        scope.spawn(move || {
+                            let req = PlanRequest {
+                                strategy,
+                                ..identical_request("twin")
+                            };
+                            barrier.wait();
+                            client.plan(req).expect("serves")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("client thread"))
+                    .collect()
+            })
+        });
+    let stats = cache.stats();
+    assert_eq!(
+        stats.plan_misses, 2,
+        "each strategy must run its own planner: {stats:?}"
+    );
+    assert_eq!(stats.plan_hits + stats.plan_coalesced, 0, "{stats:?}");
+    assert_eq!(stats.plans_interned, 2);
+    for resp in &responses {
+        assert!(!resp.cache.plan_cache_hit && !resp.cache.coalesced);
+    }
+    assert_ne!(
+        responses[0].fingerprint, responses[1].fingerprint,
+        "strategy must be part of the fingerprint"
+    );
+}
+
+fn nth_strategy(kind: u8, magnitude: u64) -> SearchStrategy {
+    match kind % 3 {
+        0 => SearchStrategy::Exact,
+        1 => SearchStrategy::Beam {
+            width: magnitude.max(1) as usize,
+        },
+        _ => SearchStrategy::Anytime {
+            budget_ms: magnitude,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The fingerprint separates any two distinct strategies on an otherwise
+    /// identical request — and collapses equal ones (no spurious cache
+    /// splits).
+    #[test]
+    fn fingerprint_is_sensitive_to_exactly_the_strategy(
+        kind_a in 0u8..3, mag_a in 1u64..64,
+        kind_b in 0u8..3, mag_b in 1u64..64,
+    ) {
+        let (a, b) = (nth_strategy(kind_a, mag_a), nth_strategy(kind_b, mag_b));
+        let key = |strategy| {
+            PlanRequest {
+                strategy,
+                ..identical_request("fp")
+            }
+            .resolve()
+            .expect("valid request")
+            .fingerprint()
+        };
+        prop_assert_eq!(key(a) == key(b), a == b, "strategies {:?} vs {:?}", a, b);
+    }
 }

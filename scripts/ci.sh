@@ -184,6 +184,32 @@ done
 cmp "$artifacts/det1.events.jsonl" "$artifacts/det2.events.jsonl" \
     || { echo "logical-clock event log is not deterministic" >&2; exit 1; }
 
+echo "== strategy smoke (beam(inf)==exact, anytime under deadline, determinism) =="
+# A beam wide enough to cover every interior space is a literal no-op, so its
+# plan must be byte-identical to the exact sweep on the Table-2 point; an
+# anytime run under a 100 ms deadline must still exit 0 with a non-empty
+# plan. Both modes are deterministic: each runs twice and is byte-compared.
+./target/release/primepar plan --model opt-6.7b --devices 16 \
+    --strategy exact --save "$artifacts/exact.plan.txt" >/dev/null
+for run in 1 2; do
+    ./target/release/primepar plan --model opt-6.7b --devices 16 \
+        --strategy beam:1000000 --save "$artifacts/beaminf$run.plan.txt" \
+        >/dev/null \
+        || { echo "beam(inf) plan failed" >&2; exit 1; }
+    ./target/release/primepar plan --model opt-6.7b --devices 4 --seq 512 \
+        --strategy anytime:100ms --save "$artifacts/anytime$run.plan.txt" \
+        >/dev/null \
+        || { echo "anytime plan under deadline failed" >&2; exit 1; }
+done
+cmp "$artifacts/exact.plan.txt" "$artifacts/beaminf1.plan.txt" \
+    || { echo "beam(inf) plan differs from exact" >&2; exit 1; }
+cmp "$artifacts/beaminf1.plan.txt" "$artifacts/beaminf2.plan.txt" \
+    || { echo "beam plan is not deterministic" >&2; exit 1; }
+cmp "$artifacts/anytime1.plan.txt" "$artifacts/anytime2.plan.txt" \
+    || { echo "anytime plan is not deterministic" >&2; exit 1; }
+[ -s "$artifacts/anytime1.plan.txt" ] \
+    || { echo "anytime plan file is empty" >&2; exit 1; }
+
 echo "== cargo doc (facade + service, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
     -p primepar-service -p primepar >/dev/null
