@@ -37,9 +37,7 @@
 
 use std::collections::BTreeMap;
 
-use primepar_cost::{
-    inter_cost, inter_traffic_bytes, intra_cost, memory_bytes, phase_events, CostCtx,
-};
+use primepar_cost::{inter_traffic_bytes, intra_cost, memory_bytes, phase_events, CostCtx};
 use primepar_graph::Graph;
 use primepar_obs::Metrics;
 use primepar_partition::{PartitionSeq, Phase};
@@ -121,6 +119,15 @@ pub struct AuditRow {
     pub component: String,
     /// The analytic cost model's value.
     pub predicted: f64,
+    /// The analytic prediction under the simulator-consistent charging
+    /// model. Equal to `predicted` for every component except
+    /// `redistribution`, where the planner's model charges one combined
+    /// exchange (one latency term) while the simulator pays each direction
+    /// its own — the known latency double-charge. This field re-prices the
+    /// edge with [`CostCtx::redistribution_time_split`], so
+    /// `simulated − corrected` is genuine drift, not the known charging gap;
+    /// migration costing keys off this corrected view.
+    pub corrected: f64,
     /// The simulated timeline's value.
     pub simulated: f64,
 }
@@ -139,6 +146,18 @@ impl AuditRow {
             0.0
         } else {
             self.abs_drift() / scale
+        }
+    }
+
+    /// Signed relative drift against the charge-corrected prediction — the
+    /// residual that is *not* explained by the known redistribution
+    /// latency-term gap.
+    pub fn corrected_drift(&self) -> f64 {
+        let scale = self.corrected.abs().max(self.simulated.abs());
+        if scale <= DRIFT_EPS {
+            0.0
+        } else {
+            (self.simulated - self.corrected) / scale
         }
     }
 }
@@ -191,6 +210,15 @@ impl AuditReport {
         self.rows
             .iter()
             .map(|r| r.rel_drift().abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Largest absolute *corrected* relative drift across all rows — what
+    /// remains once the known redistribution charging gap is priced out.
+    pub fn max_corrected_drift(&self) -> f64 {
+        self.rows
+            .iter()
+            .map(|r| r.corrected_drift().abs())
             .fold(0.0, f64::max)
     }
 }
@@ -283,6 +311,7 @@ pub fn audit_layer(
                 segment: seg,
                 component: component.to_string(),
                 predicted,
+                corrected: predicted,
                 simulated,
             });
         }
@@ -294,18 +323,22 @@ pub fn audit_layer(
     let mut edge_rows: Vec<AuditRow> = Vec::new();
     let mut edge_index: BTreeMap<String, usize> = BTreeMap::new();
     for edge in &graph.edges {
-        let predicted = inter_cost(
-            &ctx,
+        let bytes = inter_traffic_bytes(
             edge,
             &graph.ops[edge.src],
             &graph.ops[edge.dst],
             &seqs[edge.src],
             &seqs[edge.dst],
         );
+        let predicted = ctx.redistribution_time(bytes);
+        // The simulator-consistent charge: each direction pays its own
+        // latency term (the PR-3 double-charge, priced explicitly).
+        let corrected = ctx.redistribution_time_split(bytes);
         predicted_layer_time += predicted;
         let label = format!("{}->{}", graph.ops[edge.src].name, graph.ops[edge.dst].name);
         if let Some(&i) = edge_index.get(&label) {
             edge_rows[i].predicted += predicted;
+            edge_rows[i].corrected += corrected;
         } else {
             edge_index.insert(label.clone(), edge_rows.len());
             let simulated = edge_sums.get(&label).copied().unwrap_or(0.0);
@@ -314,6 +347,7 @@ pub fn audit_layer(
                 segment: segment_of(&segments, edge.src),
                 component: "redistribution".to_string(),
                 predicted,
+                corrected,
                 simulated,
             });
         }
@@ -339,6 +373,7 @@ pub fn audit_layer(
         segment: 0,
         component: "peak_memory".to_string(),
         predicted: predicted_peak,
+        corrected: predicted_peak,
         simulated: sim.peak_memory_bytes,
     });
 
@@ -440,6 +475,7 @@ pub fn audit_metrics(audit: &AuditReport) -> Metrics {
     m.gauge("audit.layer.simulated_seconds", audit.simulated_layer_time);
     m.gauge("audit.layer.rel_drift", audit.layer_rel_drift());
     m.gauge("audit.max_rel_drift", audit.max_rel_drift());
+    m.gauge("audit.max_corrected_drift", audit.max_corrected_drift());
     m.incr("audit.rows", audit.rows.len() as u64);
     m.gauge("audit.plan.ring_wire_bytes", audit.plan_comm.ring_bytes);
     m.gauge(
@@ -457,6 +493,7 @@ pub fn audit_metrics(audit: &AuditReport) -> Metrics {
     for r in &audit.rows {
         let p = format!("audit.row.{}.{}", r.label, r.component);
         m.gauge(&format!("{p}.predicted"), r.predicted);
+        m.gauge(&format!("{p}.corrected"), r.corrected);
         m.gauge(&format!("{p}.simulated"), r.simulated);
         m.gauge(&format!("{p}.rel_drift"), r.rel_drift());
         m.observe("audit.rel_drift", r.rel_drift());
@@ -584,6 +621,19 @@ mod tests {
                     r.label,
                     r.simulated,
                     r.predicted
+                );
+                // The corrected column re-prices the gap exactly: against it
+                // the drift vanishes.
+                assert!(
+                    r.corrected >= r.predicted,
+                    "{}: corrected below predicted",
+                    r.label
+                );
+                assert!(
+                    r.corrected_drift().abs() < 1e-9,
+                    "{}: corrected drift {} should be ~0",
+                    r.label,
+                    r.corrected_drift()
                 );
             }
         }

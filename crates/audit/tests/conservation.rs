@@ -9,7 +9,7 @@
 //! it, and moves no extra bytes, so the identities must hold for any
 //! scenario.
 
-use primepar_audit::plan_comm_volume;
+use primepar_audit::{audit_layer, plan_comm_volume};
 use primepar_graph::ModelConfig;
 use primepar_partition::PartitionSeq;
 use primepar_search::{megatron_layer_plan, Planner, PlannerOptions};
@@ -104,6 +104,52 @@ fn memory_timeline_peak_matches_the_report() {
             // Samples are chronological.
             for w in acct.memory_timeline.windows(2) {
                 assert!(w[1].time_s >= w[0].time_s - 1e-12);
+            }
+        }
+    }
+}
+
+/// Regression for the redistribution latency double-charge: the corrected
+/// audit column must price travelled edges exactly as the simulator executes
+/// them (per-direction latency terms), leaving zero residual drift — across
+/// ideal and perturbed clusters alike. Migration costing (`cost::migration`,
+/// the replan decision's numerator) relies on this consistency: its charge
+/// is the single-exchange model, and the corrected column proves the only
+/// model-vs-simulator gap on redistribution was the charging convention.
+#[test]
+fn corrected_redistribution_column_eliminates_the_double_charge_drift() {
+    let graph = ModelConfig::opt_175b().mlp_block_graph(8, 2048);
+    for cluster in clusters() {
+        for plan in plans(&cluster, &graph) {
+            let audit = audit_layer(&cluster, &graph, &plan, 0.0);
+            let mut travelled = 0;
+            for r in audit
+                .rows
+                .iter()
+                .filter(|r| r.component == "redistribution")
+            {
+                // Corrected never undercuts the planner's single-charge model.
+                assert!(r.corrected >= r.predicted - 1e-12, "{}", r.label);
+                if r.simulated > 0.0 {
+                    travelled += 1;
+                    assert!(
+                        r.corrected_drift().abs() < 1e-9,
+                        "{}: corrected {} vs simulated {} (residual drift {})",
+                        r.label,
+                        r.corrected,
+                        r.simulated,
+                        r.corrected_drift()
+                    );
+                }
+            }
+            assert!(travelled > 0, "fixture should exercise redistribution");
+            // Non-redistribution rows are untouched by the correction.
+            for r in audit
+                .rows
+                .iter()
+                .filter(|r| r.component != "redistribution")
+            {
+                assert_eq!(r.corrected, r.predicted, "{}.{}", r.label, r.component);
             }
         }
     }

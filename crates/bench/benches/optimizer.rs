@@ -72,10 +72,7 @@ fn bench_planner_warm_vs_cold(c: &mut Criterion) {
             Planner::new(
                 &cluster,
                 &graph,
-                PlannerOptions {
-                    memoize: false,
-                    ..PlannerOptions::default()
-                },
+                PlannerOptions::default().with_memoize(false),
             )
             .optimize(layers)
         })

@@ -29,10 +29,7 @@ fn main() {
     let cluster = Cluster::v100_like(8);
     let graph = model.layer_graph(batch, seq);
     for alpha in [0.0, 1e-9, 1e-8, 1e-7] {
-        let opts = PlannerOptions {
-            alpha,
-            ..PlannerOptions::default()
-        };
+        let opts = PlannerOptions::default().with_alpha(alpha);
         let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
         let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
         metrics.gauge(
@@ -63,15 +60,13 @@ fn main() {
         ("+ P_2x2", true, 1),
         ("+ P_2x2 and P_4x4", true, 2),
     ] {
-        let opts = PlannerOptions {
-            space: SpaceOptions {
+        let opts = PlannerOptions::default()
+            .with_space(SpaceOptions {
                 allow_temporal,
                 max_temporal_k: max_k.max(1),
                 ..SpaceOptions::default()
-            },
-            alpha: 0.0,
-            ..PlannerOptions::default()
-        };
+            })
+            .with_alpha(0.0);
         let plan = Planner::new(&cluster, &graph, opts).optimize(model.layers);
         let report = simulate_model(&cluster, &graph, &plan.seqs, model.layers, tokens);
         metrics.gauge(
@@ -162,10 +157,7 @@ fn main() {
     println!("{:>10} {:>14}", "threads", "search ms");
     let cluster = Cluster::v100_like(16);
     for threads in [0usize, 2, 4, 8] {
-        let opts = PlannerOptions {
-            threads,
-            ..PlannerOptions::default()
-        };
+        let opts = PlannerOptions::default().with_threads(threads);
         let (plan, tm) = Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);
         metrics.gauge(
             &format!("threads.{}.search_seconds", threads.max(1)),

@@ -63,10 +63,7 @@ fn bench_table2(m: &mut Metrics) {
     let layers = model.layers / stack as u64;
     let reps = 3;
 
-    let cold_opts = PlannerOptions {
-        memoize: false,
-        ..PlannerOptions::default()
-    };
+    let cold_opts = PlannerOptions::default().with_memoize(false);
     let (cold_plan, cold_tm) = measure(&cluster, &graph, layers, cold_opts, reps);
     let (warm_plan, warm_tm) = measure(&cluster, &graph, layers, PlannerOptions::default(), reps);
 
@@ -160,10 +157,7 @@ fn bench_table2(m: &mut Metrics) {
 
     // Beam point: beam(8) must land within 5% of the exact optimum on this
     // grid (ISSUE 9 acceptance) — the heuristic keeps the DP's winners.
-    let beam_opts = PlannerOptions {
-        strategy: SearchStrategy::Beam { width: 8 },
-        ..PlannerOptions::default()
-    };
+    let beam_opts = PlannerOptions::default().with_strategy(SearchStrategy::Beam { width: 8 });
     let (beam_plan, beam_tm) = measure(&cluster, &graph, layers, beam_opts, reps);
     let beam_ms = beam_plan.search_time.as_secs_f64() * 1e3;
     let cost_ratio = beam_plan.total_cost / warm_plan.total_cost;
@@ -197,10 +191,7 @@ fn bench_scale(m: &mut Metrics, smoke: bool, plan_out: Option<&str>) {
     let cluster = Cluster::v100_like(devices);
     let graph = planner_scale_graph(devices, nodes);
     let reps = if smoke { 1 } else { 2 };
-    let pruned_opts = PlannerOptions {
-        prune: true,
-        ..PlannerOptions::default()
-    };
+    let pruned_opts = PlannerOptions::default().with_prune(true);
 
     let (pruned_plan, pruned_tm) = measure(&cluster, &graph, 1, pruned_opts, reps);
     let pruned_ms = pruned_plan.search_time.as_secs_f64() * 1e3;
@@ -259,10 +250,7 @@ fn bench_scale(m: &mut Metrics, smoke: bool, plan_out: Option<&str>) {
     // Beam point: beam(8) skips the full edge-matrix + Bellman work on the
     // big spaces, so it must clear ≥10x over the exact unpruned sweep
     // (ISSUE 9 acceptance) while staying a valid (if bounded) plan.
-    let beam_opts = PlannerOptions {
-        strategy: SearchStrategy::Beam { width: 8 },
-        ..PlannerOptions::default()
-    };
+    let beam_opts = PlannerOptions::default().with_strategy(SearchStrategy::Beam { width: 8 });
     let (beam_plan, beam_tm) = measure(&cluster, &graph, 1, beam_opts, reps);
     let beam_ms = beam_plan.search_time.as_secs_f64() * 1e3;
     let beam_speedup = base_ms / beam_ms;

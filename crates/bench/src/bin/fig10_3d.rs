@@ -59,14 +59,12 @@ fn main() {
                 let mega_plan = megatron_layer_plan(&graph, 1, m);
                 let mega = simulate_3d(&model, &graph, &mega_plan, cfg, batch, seq);
                 let cluster_m = Cluster::v100_like(m);
-                let opts = PlannerOptions {
-                    space: SpaceOptions {
+                let opts = PlannerOptions::default()
+                    .with_space(SpaceOptions {
                         allow_batch_split: false,
                         ..SpaceOptions::default()
-                    },
-                    alpha: 0.0,
-                    ..PlannerOptions::default()
-                };
+                    })
+                    .with_alpha(0.0);
                 let prime_plan = Planner::new(&cluster_m, &graph, opts).optimize(model.layers);
                 let prime = simulate_3d(&model, &graph, &prime_plan.seqs, cfg, batch, seq);
                 let key = format!("{}.p{p}d{d}m{m}", slug(model.name));

@@ -1,10 +1,12 @@
-//! The stable typed entry point of the workspace (PR 5).
+//! The stable typed entry point of the workspace (v2, PR 10).
 //!
 //! Everything a consumer needs funnels through this module: build a
 //! [`PlanRequest`], call [`PlanRequest::run`] (one-shot, process-wide warm
 //! cache) or hand it to a [`PlannerService`] (bounded worker pool), and read
 //! the [`PlanResponse`]. Simulation rides the same shapes via [`SimRequest`]
-//! / [`SimResponse`]. Every failure is the one typed [`Error`]
+//! / [`SimResponse`], and the elastic re-planning loop via [`ReplanRequest`]
+//! / [`ReplanResponse`] (a costed [`MigrationDecision`] over stay / patch /
+//! full-replan candidates). Every failure is the one typed [`Error`]
 //! (enum {config, topology, protocol, cancelled, internal}), which the CLI
 //! maps onto distinct exit codes. The service internals ride along for
 //! hosts that need them: the sharded warm cache ([`WarmCache`] /
@@ -25,24 +27,21 @@
 //! assert!(resp.plan.total_cost.is_finite());
 //! ```
 //!
-//! The free functions at the bottom are the **deprecated** pre-service entry
-//! points, kept as thin shims so downstream callers migrate on their own
-//! schedule; each forwards to the engine it always wrapped and documents its
-//! replacement.
-
-use primepar_graph::Graph;
-use primepar_search::{ModelPlan, Planner, PlannerMetrics, PlannerOptions};
-use primepar_sim::{LayerReport, ModelReport, RobustnessOptions, SimOptions};
-use primepar_topology::Cluster;
+//! v2 removed the deprecated pre-service free functions (`optimize`,
+//! `optimize_instrumented`, `simulate_layer_with`, `simulate_model_robust`);
+//! their engines are re-exported under [`crate::search`] and [`crate::sim`]
+//! for borrowed-input callers, and the request types cover everything else.
+//! See `CHANGELOG.md` for the migration table.
 
 pub use primepar_service::{
-    cache_to_json, cancel_json, error_json, parse_frame, plan_response_json, request_json,
-    run_loadtest, serve_lines, serve_lines_with_cache, sim_request_json, sim_response_json,
-    validate_cache_doc, CacheConfig, CacheOutcome, CachedPlan, CancelToken, Error, Frame,
-    LoadtestOptions, LoadtestReport, Outcome, ParsedFrame, Pending, PhaseReport, PlanKey,
-    PlanRequest, PlanRequestBuilder, PlanResponse, PlannerService, ResolvedPlan, ServeEnd,
-    ServeOptions, ServiceCacheStats, ServiceClient, ServiceOptions, ShardStats, ShardedMap,
-    SimRequest, SimResponse, WarmCache, CACHE_SCHEMA, SERVICE_SCHEMA,
+    cache_to_json, cancel_json, error_json, parse_frame, plan_response_json, replan_request_json,
+    replan_response_json, request_json, run_loadtest, serve_lines, serve_lines_with_cache,
+    sim_request_json, sim_response_json, validate_cache_doc, CacheConfig, CacheOutcome, CachedPlan,
+    CancelToken, Error, Frame, LoadtestOptions, LoadtestReport, Outcome, ParsedFrame, Pending,
+    PhaseReport, PlanKey, PlanRequest, PlanRequestBuilder, PlanResponse, PlannerService,
+    ReplanRequest, ReplanResponse, ResolvedPlan, ServeEnd, ServeOptions, ServiceCacheStats,
+    ServiceClient, ServiceOptions, ShardStats, ShardedMap, SimRequest, SimResponse, WarmCache,
+    CACHE_SCHEMA, SERVICE_SCHEMA, SERVICE_SCHEMA_V1,
 };
 #[cfg(unix)]
 pub use primepar_service::{run_loadtest_socket, serve_unix_socket};
@@ -50,111 +49,18 @@ pub use primepar_service::{run_loadtest_socket, serve_unix_socket};
 // Re-exported domain types, so facade users need no sub-crate imports.
 pub use primepar_graph::ModelConfig;
 pub use primepar_partition::PartitionSeq;
-pub use primepar_search::{render_plan, SpaceOptions};
-pub use primepar_sim::RobustnessReport;
-pub use primepar_topology::PerturbationModel;
-
-/// Plans `layers` stacked copies of `graph` on `cluster`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use primepar::api::PlanRequest::builder(..).build().run(), or \
-            primepar::search::Planner::new(..).optimize(..) for borrowed inputs"
-)]
-pub fn optimize(cluster: &Cluster, graph: &Graph, opts: PlannerOptions, layers: u64) -> ModelPlan {
-    Planner::new(cluster, graph, opts).optimize(layers)
-}
-
-/// [`optimize`] plus the planner's telemetry.
-#[deprecated(
-    since = "0.1.0",
-    note = "use primepar::api::PlanRequest (responses embed PlannerMetrics), or \
-            primepar::search::Planner::new(..).optimize_instrumented(..)"
-)]
-pub fn optimize_instrumented(
-    cluster: &Cluster,
-    graph: &Graph,
-    opts: PlannerOptions,
-    layers: u64,
-) -> (ModelPlan, PlannerMetrics) {
-    Planner::new(cluster, graph, opts).optimize_instrumented(layers)
-}
-
-/// Simulates one training iteration of one layer under `seqs`.
-#[deprecated(
-    since = "0.1.0",
-    note = "use primepar::api::SimRequest, or primepar::sim::simulate_layer_with \
-            for borrowed inputs"
-)]
-pub fn simulate_layer_with(
-    cluster: &Cluster,
-    graph: &Graph,
-    seqs: &[PartitionSeq],
-    options: &SimOptions,
-) -> LayerReport {
-    primepar_sim::simulate_layer_with(cluster, graph, seqs, options)
-}
-
-/// Simulates a stacked model under a seeded fault/variance sweep.
-#[deprecated(
-    since = "0.1.0",
-    note = "use primepar::api::SimRequest::with_sweep(..), or \
-            primepar::sim::simulate_model_robust for borrowed inputs"
-)]
-pub fn simulate_model_robust(
-    cluster: &Cluster,
-    graph: &Graph,
-    seqs: &[PartitionSeq],
-    layers: u64,
-    tokens_per_iteration: f64,
-    opts: &RobustnessOptions,
-) -> ModelReport {
-    primepar_sim::simulate_model_robust(cluster, graph, seqs, layers, tokens_per_iteration, opts)
-}
+pub use primepar_search::{
+    render_plan, run_elastic, ElasticPolicy, ElasticRunReport, MigrationDecision, ReplanOptions,
+    ReplanOutcome, SpaceOptions,
+};
+pub use primepar_sim::{ElasticEvent, ElasticReport, RobustnessReport};
+pub use primepar_topology::{AppliedPerturbation, PerturbationModel};
 
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    /// The shims must keep answering exactly like the engines they wrap.
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_forward_to_the_engines() {
-        let cluster = Cluster::v100_like(4);
-        let model = ModelConfig::opt_6_7b();
-        let graph = model.layer_graph(8, 512);
-
-        let shim = optimize(&cluster, &graph, PlannerOptions::default(), 2);
-        let (inst, tm) = optimize_instrumented(&cluster, &graph, PlannerOptions::default(), 2);
-        let direct = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(2);
-        assert_eq!(shim.seqs, direct.seqs);
-        assert_eq!(inst.seqs, direct.seqs);
-        assert_eq!(shim.total_cost.to_bits(), direct.total_cost.to_bits());
-        assert!(tm.intra_evaluations > 0);
-
-        let layer = simulate_layer_with(&cluster, &graph, &shim.seqs, &SimOptions::default());
-        assert!(layer.layer_time > 0.0);
-
-        let robust = simulate_model_robust(
-            &cluster,
-            &graph,
-            &shim.seqs,
-            2,
-            (8 * 512) as f64,
-            &RobustnessOptions {
-                scenarios: 2,
-                ..RobustnessOptions::default()
-            },
-        );
-        assert_eq!(
-            robust
-                .layer
-                .robustness
-                .expect("sweep attached")
-                .outcomes
-                .len(),
-            2
-        );
-    }
+    use primepar_search::{Planner, PlannerOptions};
+    use primepar_topology::Cluster;
 
     /// The facade request path answers the same plan as the engines.
     #[test]

@@ -22,6 +22,9 @@
 //!                  [--metrics-json out.json] [--report-json robustness.json]
 //! primepar audit   --model opt-175b --devices 8 [--mlp-block] [--batch 8] [--seq 2048]
 //!                  [--system primepar|alpa|megatron] [--alpha 0] [--metrics-json out.json]
+//! primepar replan  --model opt-6.7b --devices 8 [--batch 8] [--seq 2048] [--layers L]
+//!                  [--perturb-profile ideal|mild|harsh] [--perturb-seed 42]
+//!                  [--lambda 1.0] [--horizon 1000] [--metrics-json out.json]
 //! primepar serve   [--workers 2] [--plan-dir DIR] [--socket PATH] [--cache-file PATH]
 //!                  [--event-log PATH] [--trace-out PATH] [--stats-out PATH]
 //!                  [--slow-ms 250] [--logical-clock]
@@ -132,6 +135,11 @@ fn usage() -> &'static str {
      \x20 audit   --model M --devices N   cost-model drift report (predicted vs simulated)\n\
      \x20         [--mlp-block] [--system primepar|alpa|megatron] [--alpha A]\n\
      \x20         [--batch B] [--seq S] [--metrics-json PATH]\n\
+     \x20 replan  --model M --devices N   costed migration decision for a running plan\n\
+     \x20         under a seeded fault/variance scenario: stay, ring-buddy patch,\n\
+     \x20         or full re-plan, argmin of migration + horizon x iteration time\n\
+     \x20         [--batch B] [--seq S] [--layers L] [--perturb-profile ideal|mild|harsh]\n\
+     \x20         [--perturb-seed S] [--lambda F] [--horizon N] [--metrics-json PATH]\n\
      \x20 serve   [--workers N] [--plan-dir DIR] [--socket PATH] [--cache-file PATH]\n\
      \x20         [--event-log PATH] [--trace-out PATH] [--stats-out PATH]\n\
      \x20         [--slow-ms N] [--logical-clock]\n\
@@ -242,17 +250,16 @@ fn run() -> Result<(), Error> {
                     (p.seqs, format!("Alpa ({:?} search)", p.search_time))
                 }
                 "primepar" => {
-                    let opts = PlannerOptions {
-                        space: SpaceOptions {
+                    let opts = PlannerOptions::default()
+                        .with_space(SpaceOptions {
                             allow_batch_split: !args.flag("--no-batch-split"),
                             ..SpaceOptions::default()
-                        },
-                        alpha,
-                        threads: args.parse("--threads", 0)?,
-                        memoize: !args.flag("--no-memoize"),
-                        prune: args.flag("--prune"),
-                        strategy,
-                    };
+                        })
+                        .with_alpha(alpha)
+                        .with_threads(args.parse("--threads", 0)?)
+                        .with_memoize(!args.flag("--no-memoize"))
+                        .with_prune(args.flag("--prune"))
+                        .with_strategy(strategy);
                     let (p, tm) =
                         Planner::new(&cluster, &graph, opts).optimize_instrumented(model.layers);
                     let label = if strategy == SearchStrategy::Exact {
@@ -609,10 +616,7 @@ fn run() -> Result<(), Error> {
                 "megatron" => best_megatron(&cluster, &graph, alpha).0,
                 "alpa" => primepar::search::alpa_plan(&cluster, &graph, 1, alpha).seqs,
                 "primepar" => {
-                    let opts = PlannerOptions {
-                        alpha,
-                        ..PlannerOptions::default()
-                    };
+                    let opts = PlannerOptions::default().with_alpha(alpha);
                     Planner::new(&cluster, &graph, opts).optimize(1).seqs
                 }
                 other => return Err(Error::config(format!("unknown system: {other}"))),
@@ -754,6 +758,86 @@ fn run() -> Result<(), Error> {
                 std::fs::write(path, robustness_json(&prime.report).render())
                     .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
                 println!("robustness report written to {path}");
+            }
+            Ok(())
+        }
+        "replan" => {
+            let model = required_model(&args)?;
+            let devices: usize = args.parse("--devices", 8)?;
+            let batch: u64 = args.parse("--batch", 8)?;
+            let seq: u64 = args.parse("--seq", 2048)?;
+            let layers: u64 = args.parse("--layers", 0)?;
+            let (profile, _) = perturb_profile(&args)?;
+            let perturb_seed: u64 = args.parse("--perturb-seed", 42)?;
+            let lambda: f64 = args.parse("--lambda", 1.0)?;
+            let horizon: u64 = args.parse("--horizon", 1000)?;
+            let request = primepar::api::ReplanRequest::of(
+                primepar::api::PlanRequest::builder(model.name)
+                    .devices(devices)
+                    .batch(batch)
+                    .seq(seq)
+                    .layers((layers > 0).then_some(layers))
+                    .build(),
+            )
+            .with_scenario(profile, perturb_seed)
+            .with_lambda(lambda)
+            .with_horizon(horizon);
+            let resp = request.run()?;
+            println!(
+                "{} on {devices} GPUs — {profile} scenario (seed {perturb_seed}, λ {lambda}), \
+                 horizon {horizon} iteration(s)\n",
+                model.name
+            );
+            println!(
+                "{:<8} {:>8} {:>13} {:>12} {:>11} {:>11}",
+                "action", "feasible", "migration GB", "migration s", "iter s", "total s"
+            );
+            for c in &resp.outcome.candidates {
+                println!(
+                    "{:<8} {:>8} {:>13.3} {:>12.6} {:>11.6} {:>11.6}",
+                    c.decision.tag(),
+                    if c.feasible { "yes" } else { "no" },
+                    c.migration_bytes / 1e9,
+                    c.migration_seconds,
+                    c.iteration_seconds,
+                    c.total_seconds
+                );
+            }
+            println!(
+                "\ndecision: {} ({:.3} GB moved in {:.6}s; plan {})",
+                resp.decision.tag(),
+                resp.outcome.migration_bytes / 1e9,
+                resp.outcome.migration_seconds,
+                resp.fingerprint
+            );
+            if let Some(path) = args.value("--metrics-json") {
+                let mut m = primepar::obs::Metrics::new();
+                m.text("run.model", model.name);
+                m.text("run.system", "replan");
+                m.gauge("run.devices", devices as f64);
+                m.gauge("run.batch", batch as f64);
+                m.gauge("run.seq", seq as f64);
+                m.text("replan.profile", profile);
+                m.gauge("replan.seed", perturb_seed as f64);
+                m.gauge("replan.lambda", lambda);
+                m.gauge("replan.horizon_iterations", horizon as f64);
+                m.text("replan.decision", resp.decision.tag());
+                m.gauge("replan.migration_bytes", resp.outcome.migration_bytes);
+                m.gauge("replan.migration_seconds", resp.outcome.migration_seconds);
+                for c in &resp.outcome.candidates {
+                    let key = format!("replan.candidate.{}", c.decision.tag());
+                    m.gauge(&format!("{key}.migration_bytes"), c.migration_bytes);
+                    m.gauge(&format!("{key}.migration_seconds"), c.migration_seconds);
+                    m.gauge(&format!("{key}.iteration_seconds"), c.iteration_seconds);
+                    m.gauge(&format!("{key}.total_seconds"), c.total_seconds);
+                    m.text(
+                        &format!("{key}.feasible"),
+                        if c.feasible { "yes" } else { "no" },
+                    );
+                }
+                primepar::write_metrics_json(path, &m)
+                    .map_err(|e| Error::internal(format!("cannot write {path}: {e}")))?;
+                println!("metrics written to {path}");
             }
             Ok(())
         }

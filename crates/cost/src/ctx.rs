@@ -115,6 +115,24 @@ impl<'a> CostCtx<'a> {
         self.cluster.link(class).transfer_time(per_device) * self.cluster.worst_link_factor()
     }
 
+    /// Latency of the same traffic charged the way the simulator executes it:
+    /// the forward and backward redistribution halves are two separate
+    /// exchanges of `total_bytes / 2` each, so the fixed per-exchange latency
+    /// (the alpha term) is paid twice. [`CostCtx::redistribution_time`] — the
+    /// model plan search optimizes — charges one combined exchange and thus
+    /// one latency term; the gap between the two is exactly the audit's
+    /// known redistribution-latency drift (one extra alpha per edge). The
+    /// drift auditor's corrected column and any consumer that must agree
+    /// with simulated reality (e.g. replan migration accounting) use this
+    /// variant; the search keeps the single-charge model so every pinned
+    /// plan stays bitwise stable.
+    pub fn redistribution_time_split(&self, total_bytes: f64) -> f64 {
+        if total_bytes <= 0.0 {
+            return 0.0;
+        }
+        2.0 * self.redistribution_time(total_bytes / 2.0)
+    }
+
     fn with_profile<R>(&self, indicator: &GroupIndicator, f: impl FnOnce(&CommProfile) -> R) -> R {
         {
             let cache = self.profiles.read().expect("profile cache poisoned");
@@ -188,6 +206,24 @@ mod tests {
         let small = Cluster::v100_like(4);
         let ctx_small = CostCtx::new(&small, 0.0);
         assert!(ctx_small.redistribution_time(1e6) < ctx.redistribution_time(1e6));
+    }
+
+    #[test]
+    fn split_charge_adds_exactly_one_latency_term() {
+        let cluster = Cluster::v100_like(8);
+        let ctx = CostCtx::new(&cluster, 0.0);
+        let bytes = 1e7;
+        let single = ctx.redistribution_time(bytes);
+        let split = ctx.redistribution_time_split(bytes);
+        // Same volume term, one extra fixed latency charge.
+        let alpha = cluster
+            .link(primepar_topology::LinkClass::InterNode)
+            .latency_s;
+        assert!(
+            (split - single - alpha).abs() < 1e-15,
+            "split={split}, single={single}"
+        );
+        assert_eq!(ctx.redistribution_time_split(0.0), 0.0);
     }
 
     #[test]

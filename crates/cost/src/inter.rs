@@ -306,7 +306,11 @@ pub fn inter_traffic_bytes(
 }
 
 /// Eq. 9 for one direction: `Σ_D (V − |needed ∩ held|)` in elements.
-fn directional_traffic(total_elems: f64, needs: &BoundaryProfile, holds: &BoundaryProfile) -> f64 {
+pub(crate) fn directional_traffic(
+    total_elems: f64,
+    needs: &BoundaryProfile,
+    holds: &BoundaryProfile,
+) -> f64 {
     let mut traffic = 0.0;
     let v = total_elems * needs.volume_fraction;
     for (need, hold) in needs.holdings.iter().zip(&holds.holdings) {

@@ -39,6 +39,7 @@ mod ctx;
 mod inter;
 mod intervals;
 mod intra;
+pub mod migration;
 
 pub use cache::{matrix_job_ids, CacheStats, EdgeCostCache, MatrixKey, PreparedEdge, SideProfiles};
 pub use ctx::CostCtx;
@@ -47,4 +48,7 @@ pub use intervals::{AxisIntervals, DenseIntervals};
 pub use intra::{
     intra_cost, memory_bytes, phase_events, tensor_block_elems, CollectiveEvent, IntraCost,
     MemoryBytes, PhaseEvents,
+};
+pub use migration::{
+    failover_traffic, migration_seconds, migration_traffic, MigrationVolume, OpMigration,
 };

@@ -48,7 +48,23 @@ fn gap_upper_bound(best_total: f64, lower_bound: f64) -> f64 {
 }
 
 /// Planner configuration.
+///
+/// Construct with [`PlannerOptions::default`] (or
+/// [`PlannerOptions::new`]) and the `with_*` setters — the struct is
+/// `#[non_exhaustive]`, so knobs added by later versions don't break
+/// callers:
+///
+/// ```
+/// use primepar_search::{PlannerOptions, SearchStrategy};
+///
+/// let opts = PlannerOptions::new()
+///     .with_threads(4)
+///     .with_prune(true)
+///     .with_strategy(SearchStrategy::Beam { width: 64 });
+/// assert_eq!(opts.threads, 4);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
 pub struct PlannerOptions {
     /// The per-operator space to search.
     pub space: SpaceOptions,
@@ -93,6 +109,56 @@ impl Default for PlannerOptions {
             prune: false,
             strategy: SearchStrategy::Exact,
         }
+    }
+}
+
+impl PlannerOptions {
+    /// The default configuration: full space, `α = 0`, single-threaded,
+    /// memoized, unpruned, exact.
+    pub fn new() -> Self {
+        PlannerOptions::default()
+    }
+
+    /// Replaces the per-operator space options.
+    #[must_use]
+    pub fn with_space(mut self, space: SpaceOptions) -> Self {
+        self.space = space;
+        self
+    }
+
+    /// Replaces Eq. 7's latency/memory coefficient `α`.
+    #[must_use]
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        self.alpha = alpha;
+        self
+    }
+
+    /// Replaces the worker thread count (`0` = single-threaded).
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Enables or disables structural memoization.
+    #[must_use]
+    pub fn with_memoize(mut self, memoize: bool) -> Self {
+        self.memoize = memoize;
+        self
+    }
+
+    /// Enables or disables dominance pruning.
+    #[must_use]
+    pub fn with_prune(mut self, prune: bool) -> Self {
+        self.prune = prune;
+        self
+    }
+
+    /// Replaces the search strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: SearchStrategy) -> Self {
+        self.strategy = strategy;
+        self
     }
 }
 

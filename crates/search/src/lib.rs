@@ -15,6 +15,10 @@
 //!   the conventional (spatial-only) partition space.
 //! * [`score_robustness`] — re-rank finished plans under seeded fault &
 //!   variance sweeps (tail-latency score over [`primepar_sim`] scenarios).
+//! * [`replan`] / [`run_elastic`] — online re-planning: the costed
+//!   `Stay / Patch / FullReplan` migration decision for an observed
+//!   fault/variance scenario, and the elastic timeline driver racing it
+//!   against the never-replan and always-replan static extremes.
 //!
 //! # Example
 //!
@@ -38,6 +42,7 @@ mod dp;
 mod minplus;
 mod plan_io;
 mod prune;
+mod replan;
 mod report;
 mod robustness;
 mod space;
@@ -48,6 +53,10 @@ mod warm;
 pub use baselines::{alpa_plan, best_megatron, evaluate_layer_plan, megatron_layer_plan};
 pub use dp::{ModelPlan, Planner, PlannerOptions};
 pub use plan_io::{parse_plan, render_plan, PlanIoError};
+pub use replan::{
+    replan, run_elastic, CandidateCost, ElasticPolicy, ElasticRunReport, MigrationDecision,
+    ReplanOptions, ReplanOutcome,
+};
 pub use report::explain_plan;
 pub use robustness::{score_robustness, RobustnessScore};
 pub use space::{operator_space, SpaceCache, SpaceOptions};

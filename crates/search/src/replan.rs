@@ -1,0 +1,708 @@
+//! Online re-planning (ROADMAP item 5): the costed migration decision.
+//!
+//! When a running job observes a fault/variance scenario
+//! ([`AppliedPerturbation`]), [`replan`] compares three recovery candidates
+//! by *total time-to-recover* over the remaining horizon:
+//!
+//! * [`MigrationDecision::Stay`] — keep the plan and residency, pay nothing
+//!   now, run every remaining iteration at the degraded pace. Infeasible
+//!   when devices died: their weight shards are gone from where the plan
+//!   expects them.
+//! * [`MigrationDecision::Patch`] — keep the plan but re-home each dead
+//!   device's shards onto its ring buddy `d ^ 1`
+//!   ([`primepar_cost::failover_traffic`]); one small transfer, then the
+//!   degraded pace.
+//! * [`MigrationDecision::FullReplan`] — run the segmented-DP planner
+//!   against the degraded cluster (reusing the warm cache and the configured
+//!   [`SearchStrategy`](crate::SearchStrategy)) and migrate the weight state
+//!   into the new layout, priced by the Eqs. 8–9 slice-interval machinery
+//!   ([`primepar_cost::migration_traffic`]); pay up front, then iterate
+//!   faster.
+//!
+//! The decision is `argmin(migration_seconds + horizon × iteration_cost)`
+//! with ties broken toward the least disruptive action
+//! (`Stay ≤ Patch ≤ FullReplan`), and a no-op scenario short-circuits to
+//! `Stay` without running the planner. [`run_elastic`] threads the decision
+//! through [`primepar_sim::simulate_elastic`] as a policy, alongside the two
+//! static extremes ([`ElasticPolicy::Never`], [`ElasticPolicy::Always`]) the
+//! end-to-end comparison is judged against.
+
+use std::time::{Duration, Instant};
+
+use primepar_cost::{failover_traffic, migration_seconds, migration_traffic, CostCtx};
+use primepar_graph::Graph;
+use primepar_partition::PartitionSeq;
+use primepar_sim::{simulate_elastic, ElasticAction, ElasticEvent, ElasticReport, SimOptions};
+use primepar_topology::{AppliedPerturbation, Cluster};
+
+use crate::{evaluate_layer_plan, Planner, PlannerOptions, PlannerWarmCache};
+
+/// Which recovery action the replan loop decided on. The declaration order
+/// is the tie-break order: under equal total time-to-recover the less
+/// disruptive action wins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum MigrationDecision {
+    /// Keep the current plan and residency.
+    Stay,
+    /// Keep the plan, fail dead devices' shards over to their ring buddies.
+    Patch,
+    /// Re-run the planner on the degraded cluster and migrate into its plan.
+    FullReplan,
+}
+
+impl MigrationDecision {
+    /// Short lowercase tag, matching
+    /// [`ElasticAction::tag`](primepar_sim::ElasticAction::tag) and the
+    /// decision traces the service and CI compare.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            MigrationDecision::Stay => "stay",
+            MigrationDecision::Patch => "patch",
+            MigrationDecision::FullReplan => "replan",
+        }
+    }
+}
+
+/// Configuration of the replan decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub struct ReplanOptions {
+    /// Iterations the recovery is amortized over (the deadline `H` in
+    /// `migration + H × iteration_cost`). Clamped up to 1.
+    pub horizon_iterations: u64,
+    /// Planner configuration for the [`MigrationDecision::FullReplan`]
+    /// candidate; its `alpha` also prices the per-iteration cost of every
+    /// candidate.
+    pub planner: PlannerOptions,
+}
+
+impl Default for ReplanOptions {
+    fn default() -> Self {
+        ReplanOptions {
+            horizon_iterations: 1000,
+            planner: PlannerOptions::default(),
+        }
+    }
+}
+
+impl ReplanOptions {
+    /// Default options: a 1000-iteration horizon and the default planner.
+    pub fn new() -> Self {
+        ReplanOptions::default()
+    }
+
+    /// Replaces the amortization horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, iterations: u64) -> Self {
+        self.horizon_iterations = iterations;
+        self
+    }
+
+    /// Replaces the planner configuration.
+    #[must_use]
+    pub fn with_planner(mut self, planner: PlannerOptions) -> Self {
+        self.planner = planner;
+        self
+    }
+}
+
+/// One candidate's costing, as entered into the argmin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CandidateCost {
+    /// Which action this candidate prices.
+    pub decision: MigrationDecision,
+    /// `false` when the action cannot be taken (staying with dead devices).
+    pub feasible: bool,
+    /// One-shot migration traffic, whole model (all layers), in bytes.
+    pub migration_bytes: f64,
+    /// The migration priced on the degraded cluster (single-exchange model).
+    pub migration_seconds: f64,
+    /// Per-iteration cost of the candidate's plan on the degraded cluster
+    /// (Eq. 7 units — seconds at `alpha = 0`), whole model.
+    pub iteration_seconds: f64,
+    /// `migration_seconds + horizon × iteration_seconds`; infinite when
+    /// infeasible.
+    pub total_seconds: f64,
+}
+
+/// The replan decision with its full audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanOutcome {
+    /// The argmin decision.
+    pub decision: MigrationDecision,
+    /// Every candidate priced, in tie-break order. A no-op scenario
+    /// short-circuits to a single `Stay` entry.
+    pub candidates: Vec<CandidateCost>,
+    /// The adopted plan when the decision is
+    /// [`MigrationDecision::FullReplan`], `None` otherwise.
+    pub new_seqs: Option<Vec<PartitionSeq>>,
+    /// Migration bytes of the chosen candidate.
+    pub migration_bytes: f64,
+    /// Migration seconds of the chosen candidate.
+    pub migration_seconds: f64,
+    /// Wall-clock spent deciding (dominated by the planner run).
+    pub decision_time: Duration,
+}
+
+impl ReplanOutcome {
+    /// The chosen candidate's costing row.
+    pub fn chosen(&self) -> &CandidateCost {
+        self.candidates
+            .iter()
+            .find(|c| c.decision == self.decision)
+            .expect("the chosen decision is always a candidate")
+    }
+
+    /// Converts the outcome into the action the elastic simulator executes.
+    pub fn to_action(&self) -> ElasticAction {
+        match self.decision {
+            MigrationDecision::Stay => ElasticAction::Stay,
+            MigrationDecision::Patch => ElasticAction::Patch {
+                migration_bytes: self.migration_bytes,
+            },
+            MigrationDecision::FullReplan => ElasticAction::Adopt {
+                seqs: self
+                    .new_seqs
+                    .clone()
+                    .expect("FullReplan always carries the new plan"),
+                migration_bytes: self.migration_bytes,
+            },
+        }
+    }
+}
+
+/// Prices the three recovery candidates for `applied` landing on a job that
+/// runs `current_seqs` over `layers` stacked layers on `cluster`, and picks
+/// the minimum total time-to-recover (ties toward the least disruptive
+/// action). A no-op scenario returns `Stay` without consulting the planner.
+///
+/// The per-iteration term of every candidate is
+/// [`evaluate_layer_plan`] `× layers` on the degraded cluster; migration is
+/// priced by the single-exchange model
+/// ([`primepar_cost::migration_seconds`]) on the degraded cluster — exactly
+/// the charge [`primepar_sim::simulate_elastic`] levies, so the decision's
+/// arithmetic matches what the timeline will measure. `FullReplan`'s
+/// migration includes the failover recovery of dead devices' shards (they
+/// must be re-homed before they can be re-laid-out).
+///
+/// # Panics
+///
+/// Panics if the scenario's device count does not match the cluster, or the
+/// plan does not cover the graph.
+pub fn replan(
+    cluster: &Cluster,
+    graph: &Graph,
+    current_seqs: &[PartitionSeq],
+    applied: &AppliedPerturbation,
+    layers: u64,
+    opts: &ReplanOptions,
+    warm: Option<&PlannerWarmCache>,
+) -> ReplanOutcome {
+    assert_eq!(
+        applied.num_devices(),
+        cluster.num_devices(),
+        "scenario device count must match the cluster"
+    );
+    assert_eq!(
+        current_seqs.len(),
+        graph.ops.len(),
+        "one sequence per operator"
+    );
+    let start = Instant::now();
+    let horizon = opts.horizon_iterations.max(1) as f64;
+    let layers_f = layers.max(1) as f64;
+
+    if applied.is_noop() {
+        // Nothing changed: staying is free and every alternative only adds
+        // migration on top of the same (or worse) iteration cost.
+        let iter = evaluate_layer_plan(cluster, graph, current_seqs, opts.planner.alpha) * layers_f;
+        let stay = CandidateCost {
+            decision: MigrationDecision::Stay,
+            feasible: true,
+            migration_bytes: 0.0,
+            migration_seconds: 0.0,
+            iteration_seconds: iter,
+            total_seconds: horizon * iter,
+        };
+        return ReplanOutcome {
+            decision: MigrationDecision::Stay,
+            candidates: vec![stay],
+            new_seqs: None,
+            migration_bytes: 0.0,
+            migration_seconds: 0.0,
+            decision_time: start.elapsed(),
+        };
+    }
+
+    let degraded = cluster.with_perturbation(applied.clone());
+    // Migration is a pure transfer: price it at alpha = 0 like the simulator.
+    let migration_ctx = CostCtx::new(&degraded, 0.0);
+    let iter_cost = |seqs: &[PartitionSeq]| {
+        evaluate_layer_plan(&degraded, graph, seqs, opts.planner.alpha) * layers_f
+    };
+
+    let current_iter = iter_cost(current_seqs);
+    let stay_feasible = applied.dead_devices() == 0;
+    let stay = CandidateCost {
+        decision: MigrationDecision::Stay,
+        feasible: stay_feasible,
+        migration_bytes: 0.0,
+        migration_seconds: 0.0,
+        iteration_seconds: current_iter,
+        total_seconds: if stay_feasible {
+            horizon * current_iter
+        } else {
+            f64::INFINITY
+        },
+    };
+
+    let failover = failover_traffic(graph, current_seqs, &applied.dead);
+    let patch_bytes = failover.total_bytes * layers_f;
+    let patch_seconds = migration_seconds(&migration_ctx, patch_bytes);
+    let patch = CandidateCost {
+        decision: MigrationDecision::Patch,
+        feasible: true,
+        migration_bytes: patch_bytes,
+        migration_seconds: patch_seconds,
+        iteration_seconds: current_iter,
+        total_seconds: patch_seconds + horizon * current_iter,
+    };
+
+    let planner = Planner::new(&degraded, graph, opts.planner);
+    let plan = match warm {
+        Some(w) => planner.optimize_warm(layers.max(1), w),
+        None => planner.optimize(layers.max(1)),
+    };
+    // Dead shards are re-homed first (the failover term), then the surviving
+    // layout redistributes into the new plan's layout.
+    let switch = migration_traffic(graph, current_seqs, &plan.seqs);
+    let full_bytes = (failover.total_bytes + switch.total_bytes) * layers_f;
+    let full_seconds = migration_seconds(&migration_ctx, full_bytes);
+    let full_iter = iter_cost(&plan.seqs);
+    let full = CandidateCost {
+        decision: MigrationDecision::FullReplan,
+        feasible: true,
+        migration_bytes: full_bytes,
+        migration_seconds: full_seconds,
+        iteration_seconds: full_iter,
+        total_seconds: full_seconds + horizon * full_iter,
+    };
+
+    let candidates = vec![stay, patch, full];
+    // Strict improvement only: declaration order is the tie-break.
+    let chosen = candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.feasible)
+        .min_by(|(ai, a), (bi, b)| {
+            a.total_seconds
+                .partial_cmp(&b.total_seconds)
+                .expect("finite or infinite totals, never NaN")
+                .then(ai.cmp(bi))
+        })
+        .map(|(_, c)| c.clone())
+        .expect("patch and full-replan are always feasible");
+
+    ReplanOutcome {
+        new_seqs: (chosen.decision == MigrationDecision::FullReplan).then(|| plan.seqs.clone()),
+        migration_bytes: chosen.migration_bytes,
+        migration_seconds: chosen.migration_seconds,
+        decision: chosen.decision,
+        candidates,
+        decision_time: start.elapsed(),
+    }
+}
+
+/// The three policies the end-to-end comparison races on one degradation
+/// timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElasticPolicy {
+    /// Never react: ride every scenario out with the initial plan.
+    Never,
+    /// Re-plan from scratch at every event and always adopt the result,
+    /// whatever the migration costs.
+    Always,
+    /// The costed [`replan`] decision, amortized over the iterations that
+    /// actually remain.
+    Elastic,
+}
+
+impl ElasticPolicy {
+    /// Short lowercase tag used in reports and metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            ElasticPolicy::Never => "never",
+            ElasticPolicy::Always => "always",
+            ElasticPolicy::Elastic => "elastic",
+        }
+    }
+}
+
+/// An elastic run plus the decision audit trail of every event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ElasticRunReport {
+    /// The timeline the simulator measured.
+    pub report: ElasticReport,
+    /// One [`ReplanOutcome`] per event, in order. [`ElasticPolicy::Never`]
+    /// decides without costing, so its outcomes are synthesized `Stay` rows.
+    pub outcomes: Vec<ReplanOutcome>,
+}
+
+/// Runs the degradation timeline under `policy`, wiring the costed decision
+/// into [`primepar_sim::simulate_elastic`]. The elastic policy amortizes
+/// each decision over the iterations actually remaining at the event (not
+/// `opts.horizon_iterations`); the planner configuration and warm cache are
+/// shared by every planner run the policy makes.
+///
+/// # Panics
+///
+/// Panics on the same malformed inputs as
+/// [`primepar_sim::simulate_elastic`].
+#[allow(clippy::too_many_arguments)] // the full workload description, like the sim entry point
+pub fn run_elastic(
+    cluster: &Cluster,
+    graph: &Graph,
+    initial_seqs: &[PartitionSeq],
+    layers: u64,
+    total_iterations: u64,
+    events: &[ElasticEvent],
+    policy: ElasticPolicy,
+    opts: &ReplanOptions,
+    warm: Option<&PlannerWarmCache>,
+) -> ElasticRunReport {
+    let mut outcomes = Vec::with_capacity(events.len());
+    let sim_options = SimOptions::default();
+    let report = simulate_elastic(
+        cluster,
+        graph,
+        initial_seqs,
+        layers,
+        total_iterations,
+        events,
+        &sim_options,
+        |ctx| {
+            let outcome = match policy {
+                ElasticPolicy::Never => ReplanOutcome {
+                    decision: MigrationDecision::Stay,
+                    candidates: Vec::new(),
+                    new_seqs: None,
+                    migration_bytes: 0.0,
+                    migration_seconds: 0.0,
+                    decision_time: Duration::ZERO,
+                },
+                ElasticPolicy::Always => always_outcome(
+                    cluster,
+                    ctx.applied,
+                    graph,
+                    ctx.current_seqs,
+                    layers,
+                    opts,
+                    warm,
+                ),
+                ElasticPolicy::Elastic => replan(
+                    cluster,
+                    graph,
+                    ctx.current_seqs,
+                    ctx.applied,
+                    layers,
+                    &opts.with_horizon(ctx.remaining_iterations),
+                    warm,
+                ),
+            };
+            let action = match outcome.decision {
+                MigrationDecision::Stay => ElasticAction::Stay,
+                _ => outcome.to_action(),
+            };
+            outcomes.push(outcome);
+            action
+        },
+    );
+    ElasticRunReport { report, outcomes }
+}
+
+/// The always-full-replan extreme: plan on the degraded cluster, adopt
+/// unconditionally, and charge failover plus layout-switch migration.
+fn always_outcome(
+    cluster: &Cluster,
+    applied: &AppliedPerturbation,
+    graph: &Graph,
+    current_seqs: &[PartitionSeq],
+    layers: u64,
+    opts: &ReplanOptions,
+    warm: Option<&PlannerWarmCache>,
+) -> ReplanOutcome {
+    let start = Instant::now();
+    let layers_f = layers.max(1) as f64;
+    let degraded = cluster.with_perturbation(applied.clone());
+    let planner = Planner::new(&degraded, graph, opts.planner);
+    let plan = match warm {
+        Some(w) => planner.optimize_warm(layers.max(1), w),
+        None => planner.optimize(layers.max(1)),
+    };
+    let failover = failover_traffic(graph, current_seqs, &applied.dead);
+    let switch = migration_traffic(graph, current_seqs, &plan.seqs);
+    let bytes = (failover.total_bytes + switch.total_bytes) * layers_f;
+    let seconds = migration_seconds(&CostCtx::new(&degraded, 0.0), bytes);
+    let iter = evaluate_layer_plan(&degraded, graph, &plan.seqs, opts.planner.alpha) * layers_f;
+    let horizon = opts.horizon_iterations.max(1) as f64;
+    ReplanOutcome {
+        decision: MigrationDecision::FullReplan,
+        candidates: vec![CandidateCost {
+            decision: MigrationDecision::FullReplan,
+            feasible: true,
+            migration_bytes: bytes,
+            migration_seconds: seconds,
+            iteration_seconds: iter,
+            total_seconds: seconds + horizon * iter,
+        }],
+        new_seqs: Some(plan.seqs),
+        migration_bytes: bytes,
+        migration_seconds: seconds,
+        decision_time: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use primepar_graph::ModelConfig;
+    use primepar_topology::PerturbationModel;
+
+    fn fixture() -> (Cluster, Graph, Vec<PartitionSeq>) {
+        let cluster = Cluster::v100_like(4);
+        let graph = ModelConfig::opt_6_7b().mlp_block_graph(8, 256);
+        let seqs = Planner::new(&cluster, &graph, PlannerOptions::default())
+            .optimize(2)
+            .seqs;
+        (cluster, graph, seqs)
+    }
+
+    #[test]
+    fn noop_scenario_short_circuits_to_stay() {
+        let (cluster, graph, seqs) = fixture();
+        let out = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &AppliedPerturbation::ideal(4),
+            2,
+            &ReplanOptions::default(),
+            None,
+        );
+        assert_eq!(out.decision, MigrationDecision::Stay);
+        assert_eq!(out.candidates.len(), 1, "planner must not run");
+        assert_eq!(out.migration_bytes, 0.0);
+        assert!(out.new_seqs.is_none());
+    }
+
+    #[test]
+    fn chosen_candidate_is_the_feasible_argmin() {
+        let (cluster, graph, seqs) = fixture();
+        let applied = AppliedPerturbation::draw(&PerturbationModel::harsh(), 5, 4);
+        let out = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default(),
+            None,
+        );
+        assert_eq!(out.candidates.len(), 3);
+        let chosen = out.chosen();
+        for c in out.candidates.iter().filter(|c| c.feasible) {
+            assert!(
+                chosen.total_seconds <= c.total_seconds,
+                "{:?} beat the chosen {:?}",
+                c.decision,
+                chosen.decision
+            );
+        }
+        // The audit arithmetic holds row by row.
+        let horizon = 1000.0;
+        for c in &out.candidates {
+            if c.feasible {
+                let expect = c.migration_seconds + horizon * c.iteration_seconds;
+                assert!((c.total_seconds - expect).abs() <= 1e-9 * expect);
+            }
+        }
+    }
+
+    #[test]
+    fn dead_devices_make_stay_infeasible() {
+        let (cluster, graph, seqs) = fixture();
+        let model = PerturbationModel {
+            dead_device_prob: 0.9,
+            ..PerturbationModel::ideal()
+        };
+        let applied = (0..64)
+            .map(|seed| AppliedPerturbation::draw(&model, seed, 4))
+            .find(|a| a.dead_devices() > 0)
+            .expect("p=0.9 must kill someone in 64 seeds");
+        let out = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default(),
+            None,
+        );
+        let stay = &out.candidates[0];
+        assert_eq!(stay.decision, MigrationDecision::Stay);
+        assert!(!stay.feasible);
+        assert!(stay.total_seconds.is_infinite());
+        assert_ne!(out.decision, MigrationDecision::Stay);
+        // Both remaining candidates move real bytes: the dead shard re-homes.
+        assert!(out.candidates[1].migration_bytes > 0.0);
+        assert!(out.candidates[2].migration_bytes > 0.0);
+    }
+
+    #[test]
+    fn short_horizon_prefers_stay_long_horizon_can_justify_migration() {
+        // The deadline is the lever: with one iteration left, any migration
+        // with positive bytes cannot amortize unless the iteration gain is
+        // enormous; totals must reflect the horizon linearly.
+        let (cluster, graph, seqs) = fixture();
+        let applied = AppliedPerturbation::draw(&PerturbationModel::harsh(), 5, 4);
+        let short = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default().with_horizon(1),
+            None,
+        );
+        let long = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default().with_horizon(1_000_000),
+            None,
+        );
+        // Candidates agree on per-iteration and migration terms; only the
+        // amortization differs.
+        for (s, l) in short.candidates.iter().zip(&long.candidates) {
+            assert_eq!(s.decision, l.decision);
+            assert_eq!(s.migration_bytes, l.migration_bytes);
+            assert_eq!(s.iteration_seconds, l.iteration_seconds);
+        }
+        // Decision rank can only move toward migration as the horizon grows.
+        assert!(long.decision >= short.decision);
+    }
+
+    #[test]
+    fn run_elastic_policies_produce_consistent_traces() {
+        let (cluster, graph, seqs) = fixture();
+        let applied = AppliedPerturbation::draw(&PerturbationModel::harsh(), 5, 4);
+        let events = vec![ElasticEvent {
+            at_iteration: 2,
+            perturbation: applied,
+        }];
+        let opts = ReplanOptions::default();
+        let never = run_elastic(
+            &cluster,
+            &graph,
+            &seqs,
+            2,
+            40,
+            &events,
+            ElasticPolicy::Never,
+            &opts,
+            None,
+        );
+        assert_eq!(never.report.decision_trace(), vec!["stay"]);
+        assert_eq!(never.report.migration_bytes_total, 0.0);
+
+        let always = run_elastic(
+            &cluster,
+            &graph,
+            &seqs,
+            2,
+            40,
+            &events,
+            ElasticPolicy::Always,
+            &opts,
+            None,
+        );
+        assert_eq!(always.report.decision_trace(), vec!["replan"]);
+        assert_eq!(always.outcomes.len(), 1);
+        assert_eq!(always.outcomes[0].decision, MigrationDecision::FullReplan);
+
+        let elastic = run_elastic(
+            &cluster,
+            &graph,
+            &seqs,
+            2,
+            40,
+            &events,
+            ElasticPolicy::Elastic,
+            &opts,
+            None,
+        );
+        assert_eq!(elastic.outcomes.len(), 1);
+        // The simulator executed exactly what the decision said.
+        assert_eq!(
+            elastic.report.decision_trace(),
+            vec![elastic.outcomes[0].decision.tag()]
+        );
+        assert_eq!(
+            elastic.report.migration_bytes_total,
+            elastic.outcomes[0].migration_bytes
+        );
+        // The elastic policy is never worse than blindly adopting: it
+        // considered "always"'s candidate and chose the argmin.
+        let chosen = elastic.outcomes[0].chosen().total_seconds;
+        let adopt = always.outcomes[0].candidates[0].total_seconds;
+        let elastic_horizon = elastic.outcomes[0]
+            .candidates
+            .iter()
+            .find(|c| c.decision == MigrationDecision::FullReplan)
+            .map(|c| c.total_seconds)
+            .unwrap_or(f64::INFINITY);
+        assert!(chosen <= elastic_horizon);
+        assert!(adopt.is_finite());
+    }
+
+    #[test]
+    fn warm_cache_does_not_change_the_decision() {
+        let (cluster, graph, seqs) = fixture();
+        let applied = AppliedPerturbation::draw(&PerturbationModel::harsh(), 9, 4);
+        let cold = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default(),
+            None,
+        );
+        let warm = PlannerWarmCache::new();
+        let first = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default(),
+            Some(&warm),
+        );
+        let second = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &applied,
+            2,
+            &ReplanOptions::default(),
+            Some(&warm),
+        );
+        assert_eq!(cold.decision, first.decision);
+        assert_eq!(first.decision, second.decision);
+        assert_eq!(first.new_seqs, second.new_seqs);
+        assert_eq!(first.migration_bytes, second.migration_bytes);
+        assert!(warm.stats().hits > 0, "second run must hit the warm cache");
+    }
+}

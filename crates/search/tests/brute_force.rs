@@ -133,11 +133,7 @@ fn dp_matches_exhaustive_on_conventional_space_four_devices() {
         ..SpaceOptions::default()
     };
     let ctx = CostCtx::new(&cluster, 0.0);
-    let planner_opts = PlannerOptions {
-        space: opts,
-        alpha: 0.0,
-        ..PlannerOptions::default()
-    };
+    let planner_opts = PlannerOptions::default().with_space(opts).with_alpha(0.0);
     let plan = Planner::new(&cluster, &graph, planner_opts).optimize(1);
 
     let spaces: Vec<Vec<PartitionSeq>> = graph

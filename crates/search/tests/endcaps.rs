@@ -15,10 +15,7 @@ fn endcaps_plan_and_prefer_vocab_parallelism_under_memory_pressure() {
     let model = ModelConfig::bloom_7b1();
     let cluster = Cluster::v100_like(4);
     let graph = model.endcap_graph(8, 512);
-    let opts = PlannerOptions {
-        alpha: 1e-8,
-        ..PlannerOptions::default()
-    };
+    let opts = PlannerOptions::default().with_alpha(1e-8);
     let plan = Planner::new(&cluster, &graph, opts).optimize(1);
 
     let embedding = &plan.seqs[0];

@@ -37,23 +37,19 @@ fn assert_plans_bitwise_equal(
     let seed = Planner::new(
         cluster,
         graph,
-        PlannerOptions {
-            space,
-            threads,
-            memoize: false,
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default()
+            .with_space(space)
+            .with_threads(threads)
+            .with_memoize(false),
     )
     .optimize(layers);
     let memo = Planner::new(
         cluster,
         graph,
-        PlannerOptions {
-            space,
-            threads,
-            memoize: true,
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default()
+            .with_space(space)
+            .with_threads(threads)
+            .with_memoize(true),
     )
     .optimize(layers);
     assert_eq!(
@@ -119,10 +115,7 @@ fn memoization_reduces_cost_model_work() {
     let (_, seed_tm) = Planner::new(
         &cluster,
         &graph,
-        PlannerOptions {
-            memoize: false,
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default().with_memoize(false),
     )
     .optimize_instrumented(4);
     let (_, memo_tm) =

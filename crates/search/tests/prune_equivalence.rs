@@ -37,23 +37,19 @@ fn assert_plans_bitwise_equal(
     let base = Planner::new(
         cluster,
         graph,
-        PlannerOptions {
-            space,
-            threads,
-            prune: false,
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default()
+            .with_space(space)
+            .with_threads(threads)
+            .with_prune(false),
     )
     .optimize(layers);
     let pruned = Planner::new(
         cluster,
         graph,
-        PlannerOptions {
-            space,
-            threads,
-            prune: true,
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default()
+            .with_space(space)
+            .with_threads(threads)
+            .with_prune(true),
     )
     .optimize(layers);
     assert_eq!(
@@ -147,15 +143,8 @@ fn pruned_planner_is_bitwise_identical_where_pruning_actually_fires() {
     assert_plans_bitwise_equal(&cluster, &graph, 2, SpaceOptions::default(), 4);
 
     // The point of the shape: the interior linears really do lose states.
-    let (_, tm) = Planner::new(
-        &cluster,
-        &graph,
-        PlannerOptions {
-            prune: true,
-            ..PlannerOptions::default()
-        },
-    )
-    .optimize_instrumented(2);
+    let (_, tm) = Planner::new(&cluster, &graph, PlannerOptions::default().with_prune(true))
+        .optimize_instrumented(2);
     assert!(
         tm.states_pruned > 0,
         "expected dominated states in the chain"
@@ -169,14 +158,7 @@ fn pruning_reports_zero_drops_on_rich_neighbourhoods() {
     // must say so in the telemetry rather than silently diverge.
     let cluster = Cluster::v100_like(4);
     let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
-    let (_, tm) = Planner::new(
-        &cluster,
-        &graph,
-        PlannerOptions {
-            prune: true,
-            ..PlannerOptions::default()
-        },
-    )
-    .optimize_instrumented(4);
+    let (_, tm) = Planner::new(&cluster, &graph, PlannerOptions::default().with_prune(true))
+        .optimize_instrumented(4);
     assert_eq!(tm.states_pruned, 0);
 }

@@ -1,0 +1,126 @@
+//! Property tests of the replan decision (ISSUE 10 satellite).
+//!
+//! * Under the ideal (no-op) scenario the decision is always `Stay`,
+//!   whatever plan is running — recovery can only add cost on unchanged
+//!   hardware.
+//! * The decision is *monotone along severity chains*: scaling a scenario's
+//!   per-device factors by `λ ≥ 1` ([`AppliedPerturbation::scaled`])
+//!   multiplies every candidate's migration and iteration terms by exactly
+//!   `λ`, so a strictly worse perturbation can never flip the decision back
+//!   toward `Stay` at the same deadline.
+
+use proptest::prelude::*;
+
+use primepar_graph::ModelConfig;
+use primepar_search::{
+    megatron_layer_plan, replan, MigrationDecision, Planner, PlannerOptions, ReplanOptions,
+};
+use primepar_topology::{AppliedPerturbation, Cluster, PerturbationModel};
+
+fn fixture() -> (Cluster, primepar_graph::Graph) {
+    let cluster = Cluster::v100_like(4);
+    let graph = ModelConfig::opt_6_7b().mlp_block_graph(8, 256);
+    (cluster, graph)
+}
+
+/// A handful of structurally different running plans: Megatron configs and
+/// the planner's own optimum.
+fn plan_strategy() -> impl Strategy<Value = usize> {
+    0usize..3
+}
+
+fn plan_for(
+    idx: usize,
+    cluster: &Cluster,
+    graph: &primepar_graph::Graph,
+) -> Vec<primepar_partition::PartitionSeq> {
+    match idx {
+        0 => megatron_layer_plan(graph, 1, 4),
+        1 => megatron_layer_plan(graph, 4, 1),
+        _ => {
+            Planner::new(cluster, graph, PlannerOptions::default())
+                .optimize(2)
+                .seqs
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The ideal scenario always decides `Stay`, with no migration charged.
+    #[test]
+    fn ideal_scenario_always_stays(plan_idx in plan_strategy(), horizon in 1u64..100_000) {
+        let (cluster, graph) = fixture();
+        let seqs = plan_for(plan_idx, &cluster, &graph);
+        let out = replan(
+            &cluster,
+            &graph,
+            &seqs,
+            &AppliedPerturbation::ideal(4),
+            2,
+            &ReplanOptions::default().with_horizon(horizon),
+            None,
+        );
+        prop_assert_eq!(out.decision, MigrationDecision::Stay);
+        prop_assert_eq!(out.migration_bytes, 0.0);
+        prop_assert_eq!(out.migration_seconds, 0.0);
+        prop_assert!(out.new_seqs.is_none());
+    }
+
+    /// Strictly worse perturbations never flip the decision back toward
+    /// `Stay` at the same deadline: along a `scaled(λ)` chain every
+    /// candidate's total scales by the same `λ`, so the decision rank is
+    /// non-decreasing in `λ` (in fact invariant).
+    #[test]
+    fn decision_is_monotone_along_scaled_severity_chains(
+        plan_idx in plan_strategy(),
+        seed in 0u64..64,
+        lambdas in proptest::collection::vec(1.0f64..4.0, 1..4),
+    ) {
+        let (cluster, graph) = fixture();
+        let seqs = plan_for(plan_idx, &cluster, &graph);
+        let base = AppliedPerturbation::draw(&PerturbationModel::harsh(), seed, 4);
+        let opts = ReplanOptions::default().with_horizon(500);
+
+        // Build the chain in non-decreasing severity order.
+        let mut chain: Vec<f64> = lambdas;
+        chain.sort_by(|a, b| a.partial_cmp(b).expect("finite lambdas"));
+        let mut prev: Option<MigrationDecision> = None;
+        for lambda in std::iter::once(1.0).chain(chain) {
+            let out = replan(&cluster, &graph, &seqs, &base.scaled(lambda), 2, &opts, None);
+            if let Some(p) = prev {
+                prop_assert!(
+                    out.decision >= p,
+                    "λ = {} flipped {:?} back to {:?}",
+                    lambda,
+                    p,
+                    out.decision
+                );
+            }
+            prev = Some(out.decision);
+        }
+    }
+
+    /// Dead devices make `Stay` infeasible for every plan: the decision is
+    /// always an action that actually re-homes the lost shards.
+    #[test]
+    fn dead_devices_never_decide_stay(plan_idx in plan_strategy(), seed in 0u64..32) {
+        let (cluster, graph) = fixture();
+        let seqs = plan_for(plan_idx, &cluster, &graph);
+        let model = PerturbationModel {
+            dead_device_prob: 0.7,
+            ..PerturbationModel::mild()
+        };
+        let applied = AppliedPerturbation::draw(&model, seed, 4);
+        prop_assume!(applied.dead_devices() > 0);
+        let out = replan(&cluster, &graph, &seqs, &applied, 2, &ReplanOptions::default(), None);
+        prop_assert_ne!(out.decision, MigrationDecision::Stay);
+        // Sharded-weight plans (tensor parallelism) must move real bytes to
+        // re-home the dead shards; replicated layouts (pure data parallelism)
+        // legitimately recover for free.
+        if plan_idx == 0 {
+            prop_assert!(out.migration_bytes > 0.0, "re-homing dead shards moves bytes");
+        }
+    }
+}

@@ -73,21 +73,16 @@ fn beam_at_full_width_is_bitwise_exact_across_the_grid() {
     for space in space_grid() {
         for threads in [1usize, 4] {
             for prune in [false, true] {
-                let base = PlannerOptions {
-                    space,
-                    threads,
-                    prune,
-                    ..PlannerOptions::default()
-                };
+                let base = PlannerOptions::default()
+                    .with_space(space)
+                    .with_threads(threads)
+                    .with_prune(prune);
                 let exact = plan_with(&cluster, &graph, 4, base);
                 let beamed = plan_with(
                     &cluster,
                     &graph,
                     4,
-                    PlannerOptions {
-                        strategy: SearchStrategy::Beam { width: usize::MAX },
-                        ..base
-                    },
+                    base.with_strategy(SearchStrategy::Beam { width: usize::MAX }),
                 );
                 assert_bitwise_equal(
                     &exact,
@@ -106,10 +101,7 @@ fn full_width_beam_reports_exactness_and_touches_nothing() {
     let (_, tm) = Planner::new(
         &cluster,
         &graph,
-        PlannerOptions {
-            strategy: SearchStrategy::Beam { width: usize::MAX },
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default().with_strategy(SearchStrategy::Beam { width: usize::MAX }),
     )
     .optimize_instrumented(2);
     assert_eq!(tm.optimality_gap, 0.0, "covering beam must report gap 0");
@@ -119,10 +111,7 @@ fn full_width_beam_reports_exactness_and_touches_nothing() {
     let (_, narrow) = Planner::new(
         &cluster,
         &graph,
-        PlannerOptions {
-            strategy: SearchStrategy::Beam { width: 2 },
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default().with_strategy(SearchStrategy::Beam { width: 2 }),
     )
     .optimize_instrumented(2);
     assert!(narrow.states_beamed > 0, "width 2 must restrict this graph");
@@ -134,12 +123,9 @@ fn full_width_beam_reports_exactness_and_touches_nothing() {
 fn beam_is_thread_count_invariant() {
     let cluster = Cluster::v100_like(4);
     let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
-    let base = PlannerOptions {
-        strategy: SearchStrategy::Beam { width: 3 },
-        ..PlannerOptions::default()
-    };
+    let base = PlannerOptions::default().with_strategy(SearchStrategy::Beam { width: 3 });
     let serial = plan_with(&cluster, &graph, 4, base);
-    let threaded = plan_with(&cluster, &graph, 4, PlannerOptions { threads: 4, ..base });
+    let threaded = plan_with(&cluster, &graph, 4, base.with_threads(4));
     assert_bitwise_equal(&serial, &threaded, "beam:3, threads 1 vs 4");
 }
 
@@ -160,11 +146,9 @@ fn beam_cost(width: usize, prune: bool) -> f64 {
         &cluster,
         &graph,
         2,
-        PlannerOptions {
-            strategy: SearchStrategy::Beam { width },
-            prune,
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default()
+            .with_strategy(SearchStrategy::Beam { width })
+            .with_prune(prune),
     )
     .total_cost
 }
@@ -208,10 +192,7 @@ proptest! {
         let (plan, tm) = Planner::new(
             &cluster,
             &graph,
-            PlannerOptions {
-                strategy: SearchStrategy::Anytime { budget_ms },
-                ..PlannerOptions::default()
-            },
+            PlannerOptions::default().with_strategy(SearchStrategy::Anytime { budget_ms }),
         )
         .optimize_instrumented(2);
         prop_assert_eq!(plan.seqs.len(), graph.ops.len());
@@ -234,10 +215,7 @@ fn anytime_with_a_generous_budget_converges_to_the_exact_plan() {
     let (plan, tm) = Planner::new(
         &cluster,
         &graph,
-        PlannerOptions {
-            strategy: SearchStrategy::Anytime { budget_ms: 60_000 },
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default().with_strategy(SearchStrategy::Anytime { budget_ms: 60_000 }),
     )
     .optimize_instrumented(2);
     assert!(tm.anytime_converged, "60 s covers this 4-device graph");
@@ -254,10 +232,7 @@ fn a_fired_interrupt_stops_the_anytime_driver_after_one_round() {
     let (plan, tm) = Planner::new(
         &cluster,
         &graph,
-        PlannerOptions {
-            strategy: SearchStrategy::Anytime { budget_ms: 60_000 },
-            ..PlannerOptions::default()
-        },
+        PlannerOptions::default().with_strategy(SearchStrategy::Anytime { budget_ms: 60_000 }),
     )
     .with_interrupt(interrupt)
     .optimize_instrumented(2);

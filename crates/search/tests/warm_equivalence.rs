@@ -30,10 +30,7 @@ fn warm_plans_are_bitwise_identical_to_cold() {
     let graph = ModelConfig::opt_6_7b().layer_graph(8, 512);
     let warm = PlannerWarmCache::new();
     for threads in [0usize, 4] {
-        let opts = PlannerOptions {
-            threads,
-            ..PlannerOptions::default()
-        };
+        let opts = PlannerOptions::default().with_threads(threads);
         let planner = Planner::new(&cluster, &graph, opts);
         let cold = planner.optimize(4);
         // First warm run: nothing interned yet — every unique matrix misses.
@@ -79,10 +76,7 @@ fn scopes_partition_the_cache() {
     assert!(after_first > 0);
 
     // A different α must not reuse the α=0 matrices (costs embed α).
-    let alpha_opts = PlannerOptions {
-        alpha: 1e-12,
-        ..PlannerOptions::default()
-    };
+    let alpha_opts = PlannerOptions::default().with_alpha(1e-12);
     let (_, tm) = Planner::new(&c4, &graph, alpha_opts).optimize_warm_instrumented(1, &warm);
     assert_eq!(tm.warm_matrix_hits, 0, "alpha change must change scope");
     assert!(warm.stats().entries > after_first);
@@ -94,13 +88,10 @@ fn scopes_partition_the_cache() {
     assert_eq!(tm.warm_matrix_hits, 0, "cluster change must change scope");
 
     // A restricted space changes the enumeration, hence the scope.
-    let conventional = PlannerOptions {
-        space: SpaceOptions {
-            allow_temporal: false,
-            ..SpaceOptions::default()
-        },
-        ..PlannerOptions::default()
-    };
+    let conventional = PlannerOptions::default().with_space(SpaceOptions {
+        allow_temporal: false,
+        ..SpaceOptions::default()
+    });
     let (_, tm) = Planner::new(&c4, &graph, conventional).optimize_warm_instrumented(1, &warm);
     assert_eq!(tm.warm_matrix_hits, 0, "space change must change scope");
 }

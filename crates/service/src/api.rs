@@ -1,33 +1,47 @@
 //! Typed requests and responses of the planner service and the
-//! `primepar::api` facade (PR 5).
+//! `primepar::api` v2 facade.
 //!
 //! A [`PlanRequest`] names a workload (zoo model, cluster size,
 //! micro-batch/sequence shape) plus planner options; executing one — through
 //! [`WarmCache::execute_plan`](crate::WarmCache::execute_plan), a
 //! [`ServiceClient`](crate::ServiceClient), or the line protocol — yields a
 //! [`PlanResponse`] carrying the [`ModelPlan`], its canonical text rendering,
-//! the run's [`PlannerMetrics`] and the cache outcome. Validation happens in
-//! [`PlanRequest::resolve`]; nothing in this crate panics on bad input.
+//! the run's [`PlannerMetrics`] and the cache outcome. A [`ReplanRequest`]
+//! names a *running* workload plus an observed degradation scenario and
+//! yields a [`ReplanResponse`] carrying the costed [`MigrationDecision`].
+//! Validation happens in the `resolve` methods; nothing in this crate panics
+//! on bad input.
 //!
 //! Requests have a *canonical fingerprint* naming the plan they produce:
 //! everything that changes the optimizer's output is included (model,
 //! devices, batch, seq, layers, `α`, space options, and any non-exact
-//! search strategy) and everything proven not to is excluded (`threads` and
-//! `memoize` — the equivalence suites pin both to bitwise-identical plans;
-//! `id` and `deadline_ms` — delivery concerns). Whole-plan memoization keys
-//! on this fingerprint.
+//! search strategy) and everything proven not to is excluded (`threads`,
+//! `memoize` and `prune` — the equivalence suites pin all three to
+//! bitwise-identical plans; `id` and `deadline_ms` — delivery concerns).
+//! Whole-plan memoization keys on this fingerprint.
 
 use std::time::Duration;
 
 use primepar_graph::ModelConfig;
-use primepar_search::{ModelPlan, PlannerMetrics, PlannerOptions, SearchStrategy, SpaceOptions};
+use primepar_search::{
+    MigrationDecision, ModelPlan, PlannerMetrics, PlannerOptions, ReplanOptions, ReplanOutcome,
+    SearchStrategy, SpaceOptions,
+};
 use primepar_sim::{ModelReport, RobustnessOptions, SimOptions};
-use primepar_topology::PerturbationModel;
+use primepar_topology::{AppliedPerturbation, PerturbationModel};
 
 use crate::Error;
 
 /// Schema tag carried by every service protocol frame (`schema_version`).
-pub const SERVICE_SCHEMA: &str = "primepar.service.v1";
+/// `v2` adds the `replan` frame, the `prune` planner knob and the replan
+/// counters in `stats`; [`SERVICE_SCHEMA_V1`]-tagged frames are still
+/// accepted, answered with a deprecation warning.
+pub const SERVICE_SCHEMA: &str = "primepar.service.v2";
+
+/// The previous protocol generation. Frames tagged with it parse exactly as
+/// before (it predates `replan`/`prune`, both of which have defaults) but
+/// draw the legacy warning on their responses, like untagged frames.
+pub const SERVICE_SCHEMA_V1: &str = "primepar.service.v1";
 
 /// A plan request: one workload to optimize.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,6 +66,9 @@ pub struct PlanRequest {
     pub threads: usize,
     /// Structural memoization (`PlannerOptions::memoize`).
     pub memoize: bool,
+    /// Dominance pruning (`PlannerOptions::prune`). Equivalence-pinned to
+    /// bitwise-identical plans, so it is excluded from the fingerprint.
+    pub prune: bool,
     /// Include the temporal `P_{2^k×2^k}` primitives in the space.
     pub allow_temporal: bool,
     /// Include batch splits in the space.
@@ -82,6 +99,7 @@ impl Default for PlanRequest {
             alpha: 0.0,
             threads: 0,
             memoize: true,
+            prune: false,
             allow_temporal: space.allow_temporal,
             allow_batch_split: space.allow_batch_split,
             max_temporal_k: space.max_temporal_k,
@@ -138,18 +156,17 @@ impl PlanRequest {
             batch: self.batch,
             seq: self.seq,
             layers,
-            opts: PlannerOptions {
-                space: SpaceOptions {
+            opts: PlannerOptions::default()
+                .with_space(SpaceOptions {
                     allow_temporal: self.allow_temporal,
                     allow_batch_split: self.allow_batch_split,
                     max_temporal_k: self.max_temporal_k,
-                },
-                alpha: self.alpha,
-                threads: self.threads,
-                memoize: self.memoize,
-                strategy: self.strategy,
-                ..PlannerOptions::default()
-            },
+                })
+                .with_alpha(self.alpha)
+                .with_threads(self.threads)
+                .with_memoize(self.memoize)
+                .with_prune(self.prune)
+                .with_strategy(self.strategy),
         })
     }
 
@@ -222,6 +239,10 @@ impl PlanRequestBuilder {
     setter!(
         /// Toggles structural memoization.
         memoize: bool
+    );
+    setter!(
+        /// Toggles dominance pruning (plans stay bitwise-identical).
+        prune: bool
     );
     setter!(
         /// Toggles the temporal primitives.
@@ -486,16 +507,7 @@ impl SimRequest {
         let sweep = if self.scenarios == 0 {
             None
         } else {
-            let model = match self.profile.as_str() {
-                "ideal" => PerturbationModel::ideal(),
-                "mild" => PerturbationModel::mild(),
-                "harsh" => PerturbationModel::harsh(),
-                other => {
-                    return Err(Error::config(format!(
-                        "unknown perturbation profile: {other} (expected ideal|mild|harsh)"
-                    )))
-                }
-            };
+            let model = perturbation_profile(&self.profile)?;
             Some(RobustnessOptions {
                 model,
                 scenarios: self.scenarios,
@@ -527,6 +539,143 @@ pub struct SimResponse {
     /// when one was requested.
     pub report: ModelReport,
     /// Cache accounting of the underlying plan lookup.
+    pub cache: CacheOutcome,
+    /// Wall-clock service time of this request.
+    pub elapsed: Duration,
+}
+
+/// Resolves a perturbation profile name (`ideal` / `mild` / `harsh`).
+fn perturbation_profile(name: &str) -> Result<PerturbationModel, Error> {
+    match name {
+        "ideal" => Ok(PerturbationModel::ideal()),
+        "mild" => Ok(PerturbationModel::mild()),
+        "harsh" => Ok(PerturbationModel::harsh()),
+        other => Err(Error::config(format!(
+            "unknown perturbation profile: {other} (expected ideal|mild|harsh)"
+        ))),
+    }
+}
+
+/// A replan request: a running workload hit by an observed degradation
+/// scenario, asking for the costed migration decision (v2 `replan` frame).
+///
+/// The scenario is named reproducibly — a profile, a seed, and an optional
+/// `λ ≥ 1` severity multiplier ([`AppliedPerturbation::scaled`]) — so a
+/// decision trace can be replayed bit-for-bit. The embedded [`PlanRequest`]
+/// is the job as it was planned (the service recalls it from the memo, or
+/// plans it cold on a miss); `horizon` is the iteration count the recovery
+/// is amortized over.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplanRequest {
+    /// Caller-chosen request id, echoed in the response.
+    pub id: String,
+    /// The running workload (its `simulate` flag is ignored here).
+    pub plan: PlanRequest,
+    /// Perturbation profile of the observed scenario: `ideal`, `mild` or
+    /// `harsh`.
+    pub profile: String,
+    /// Scenario seed (drawn via [`AppliedPerturbation::draw`]).
+    pub seed: u64,
+    /// Severity multiplier `λ ≥ 1` applied to the drawn scenario.
+    pub lambda: f64,
+    /// Iterations remaining in the job — the recovery deadline `H` in
+    /// `migration + H × iteration_cost`.
+    pub horizon: u64,
+    /// Relative pickup deadline, like [`PlanRequest::deadline_ms`].
+    pub deadline_ms: Option<u64>,
+}
+
+impl ReplanRequest {
+    /// A replan of `plan` under the harsh profile, seed 42, `λ = 1`, and a
+    /// 1000-iteration horizon.
+    pub fn of(plan: PlanRequest) -> Self {
+        ReplanRequest {
+            id: plan.id.clone(),
+            deadline_ms: plan.deadline_ms,
+            plan,
+            profile: "harsh".into(),
+            seed: 42,
+            lambda: 1.0,
+            horizon: 1000,
+        }
+    }
+
+    /// Replaces the observed scenario (profile and seed).
+    #[must_use]
+    pub fn with_scenario(mut self, profile: impl Into<String>, seed: u64) -> Self {
+        self.profile = profile.into();
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the severity multiplier.
+    #[must_use]
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        self.lambda = lambda;
+        self
+    }
+
+    /// Replaces the amortization horizon.
+    #[must_use]
+    pub fn with_horizon(mut self, iterations: u64) -> Self {
+        self.horizon = iterations;
+        self
+    }
+
+    /// Validates the request: the embedded plan, the profile name, `λ` and
+    /// the horizon. Returns the resolved workload, the reproducibly drawn
+    /// scenario, and the replan configuration (the workload's own planner
+    /// options drive the `FullReplan` candidate).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanRequest::resolve`] failures; [`Error::Config`] for
+    /// an unknown profile, a non-finite or `< 1` `λ`, or a zero horizon.
+    pub fn resolve(&self) -> Result<(ResolvedPlan, AppliedPerturbation, ReplanOptions), Error> {
+        let resolved = self.plan.resolve()?;
+        let model = perturbation_profile(&self.profile)?;
+        if !self.lambda.is_finite() || self.lambda < 1.0 {
+            return Err(Error::config(format!(
+                "lambda must be a finite severity multiplier >= 1, got {}",
+                self.lambda
+            )));
+        }
+        if self.horizon == 0 {
+            return Err(Error::config("horizon must be positive, got 0"));
+        }
+        let mut applied = AppliedPerturbation::draw(&model, self.seed, resolved.devices);
+        if self.lambda != 1.0 {
+            applied = applied.scaled(self.lambda);
+        }
+        let opts = ReplanOptions::new()
+            .with_horizon(self.horizon)
+            .with_planner(resolved.opts);
+        Ok((resolved, applied, opts))
+    }
+
+    /// Executes this request against the process-wide warm cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`resolve`](ReplanRequest::resolve) failures.
+    pub fn run(&self) -> Result<ReplanResponse, Error> {
+        crate::WarmCache::global().execute_replan(self)
+    }
+}
+
+/// The answer to a [`ReplanRequest`].
+#[derive(Debug, Clone)]
+pub struct ReplanResponse {
+    /// Echo of the request id.
+    pub id: String,
+    /// Fingerprint of the running plan the decision was made for.
+    pub fingerprint: String,
+    /// The argmin decision.
+    pub decision: MigrationDecision,
+    /// The full costing audit trail (every candidate priced, the adopted
+    /// plan when the decision is `FullReplan`).
+    pub outcome: ReplanOutcome,
+    /// Cache accounting of the running-plan lookup.
     pub cache: CacheOutcome,
     /// Wall-clock service time of this request.
     pub elapsed: Duration,
@@ -593,6 +742,10 @@ mod tests {
             },
             PlanRequest {
                 memoize: false,
+                ..base.clone()
+            },
+            PlanRequest {
+                prune: true,
                 ..base.clone()
             },
             PlanRequest {
@@ -667,5 +820,41 @@ mod tests {
     fn sim_request_rejects_unknown_profile() {
         let sim = SimRequest::of(PlanRequest::builder("opt-6.7b").build()).with_sweep("wild", 4, 1);
         assert!(matches!(sim.resolve(), Err(Error::Config(_))));
+    }
+
+    #[test]
+    fn prune_round_trips_and_reaches_the_planner() {
+        let req = PlanRequest::builder("opt-6.7b").prune(true).build();
+        assert!(req.prune);
+        let resolved = req.resolve().expect("valid");
+        assert!(resolved.opts.prune);
+    }
+
+    #[test]
+    fn replan_request_resolves_a_reproducible_scenario() {
+        let base = ReplanRequest::of(PlanRequest::builder("opt-6.7b").devices(4).build())
+            .with_scenario("mild", 7)
+            .with_lambda(1.5)
+            .with_horizon(250);
+        let (resolved, applied, opts) = base.resolve().expect("valid");
+        assert_eq!(resolved.devices, 4);
+        assert_eq!(applied.num_devices(), 4);
+        assert_eq!(opts.horizon_iterations, 250);
+        // Same request, same scenario — bit-for-bit.
+        let (_, again, _) = base.resolve().expect("valid");
+        assert_eq!(applied, again);
+    }
+
+    #[test]
+    fn replan_request_rejects_bad_scenarios() {
+        let plan = PlanRequest::builder("opt-6.7b").build();
+        for bad in [
+            ReplanRequest::of(plan.clone()).with_scenario("wild", 1),
+            ReplanRequest::of(plan.clone()).with_lambda(0.5),
+            ReplanRequest::of(plan.clone()).with_lambda(f64::NAN),
+            ReplanRequest::of(plan).with_horizon(0),
+        ] {
+            assert!(matches!(bad.resolve(), Err(Error::Config(_))), "{bad:?}");
+        }
     }
 }

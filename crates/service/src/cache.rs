@@ -28,17 +28,20 @@
 
 use std::collections::HashMap;
 use std::mem::size_of;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use primepar_search::{
-    render_plan, ModelPlan, Planner, PlannerMetrics, PlannerWarmCache, SearchInterrupt, WarmStats,
+    render_plan, replan, MigrationDecision, ModelPlan, Planner, PlannerMetrics, PlannerWarmCache,
+    SearchInterrupt, WarmStats,
 };
 use primepar_sim::{robustness_sweep, simulate_model_with, SimOptions};
 use primepar_topology::Cluster;
 
 use crate::api::{
-    CacheOutcome, PlanKey, PlanRequest, PlanResponse, ResolvedPlan, SimRequest, SimResponse,
+    CacheOutcome, PlanKey, PlanRequest, PlanResponse, ReplanRequest, ReplanResponse, ResolvedPlan,
+    SimRequest, SimResponse,
 };
 use crate::observe::RequestTrace;
 use crate::shard::{Outcome, ShardLoad, ShardedMap};
@@ -122,6 +125,12 @@ pub struct ServiceCacheStats {
     pub clusters_interned: usize,
     /// Edge-matrix warm-cache counters.
     pub warm: WarmStats,
+    /// Replan requests that decided `Stay`.
+    pub replan_stay: u64,
+    /// Replan requests that decided `Patch`.
+    pub replan_patch: u64,
+    /// Replan requests that decided `FullReplan`.
+    pub replan_full: u64,
 }
 
 /// The cross-request warm state shared by a service's workers.
@@ -131,6 +140,8 @@ pub struct WarmCache {
     plans: ShardedMap<CachedPlan>,
     warm: PlannerWarmCache,
     config: CacheConfig,
+    // Replan decisions answered, by decision (stay / patch / full).
+    replans: [AtomicU64; 3],
 }
 
 impl Default for WarmCache {
@@ -152,6 +163,7 @@ impl WarmCache {
             plans: ShardedMap::with_budget(config.shards, config.memory_budget_bytes, weigh),
             warm: PlannerWarmCache::default(),
             config,
+            replans: Default::default(),
         }
     }
 
@@ -401,6 +413,70 @@ impl WarmCache {
         })
     }
 
+    /// Executes a replan request: recalls (or plans) the running workload,
+    /// draws the named scenario, and answers the costed
+    /// [`MigrationDecision`]. The `FullReplan` candidate's planner run
+    /// shares the cache's edge-matrix warm state, so repeat decisions on the
+    /// same degraded cluster reuse the expensive stage-2 inputs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ReplanRequest::resolve`] failures.
+    pub fn execute_replan(&self, req: &ReplanRequest) -> Result<ReplanResponse, Error> {
+        self.execute_replan_traced(req, None)
+    }
+
+    /// [`WarmCache::execute_replan`] with request-scoped tracing: the plan
+    /// lookup span follows the [`WarmCache::execute_plan_traced`] contract,
+    /// and the decision itself is recorded as a `replan.decide` span.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`WarmCache::execute_replan`].
+    pub fn execute_replan_traced(
+        &self,
+        req: &ReplanRequest,
+        trace: Option<&RequestTrace>,
+    ) -> Result<ReplanResponse, Error> {
+        let start = Instant::now();
+        let (resolved, applied, opts) = req.resolve()?;
+        let lookup_start = trace.map(RequestTrace::now_us);
+        let (cached, outcome) = self.plan_for(&resolved, None);
+        if let (Some(trace), Some(lookup_start)) = (trace, lookup_start) {
+            record_lookup(trace, lookup_start, outcome, &cached.metrics);
+        }
+        let cluster = self.cluster(resolved.devices);
+        let graph = resolved.model.layer_graph(resolved.batch, resolved.seq);
+        let decide_start = trace.map(RequestTrace::now_us);
+        let decision = replan(
+            &cluster,
+            &graph,
+            &cached.plan.seqs,
+            &applied,
+            resolved.layers,
+            &opts,
+            Some(&self.warm),
+        );
+        if let (Some(trace), Some(decide_start)) = (trace, decide_start) {
+            let dur = trace.now_us().saturating_sub(decide_start);
+            trace.span(trace.exec_span(), "replan.decide", decide_start, dur);
+        }
+        let slot = match decision.decision {
+            MigrationDecision::Stay => 0,
+            MigrationDecision::Patch => 1,
+            MigrationDecision::FullReplan => 2,
+        };
+        self.replans[slot].fetch_add(1, Ordering::Relaxed);
+        Ok(ReplanResponse {
+            id: req.id.clone(),
+            fingerprint: resolved.fingerprint(),
+            decision: decision.decision,
+            outcome: decision,
+            cache: self.outcome(outcome, &cached.metrics),
+            elapsed: start.elapsed(),
+        })
+    }
+
     /// Per-shard occupancy of the whole-plan memo, for the live `stats`
     /// snapshot.
     pub fn plan_shard_loads(&self) -> Vec<ShardLoad> {
@@ -419,6 +495,9 @@ impl WarmCache {
             plan_bytes: shard.weight,
             clusters_interned: self.clusters.lock().expect("cluster intern lock").len(),
             warm: self.warm.stats(),
+            replan_stay: self.replans[0].load(Ordering::Relaxed),
+            replan_patch: self.replans[1].load(Ordering::Relaxed),
+            replan_full: self.replans[2].load(Ordering::Relaxed),
         }
     }
 }
@@ -518,6 +597,36 @@ mod tests {
         let bad = PlanRequest::builder("nope").build();
         assert!(matches!(cache.execute_plan(&bad), Err(Error::Config(_))));
         assert_eq!(cache.stats().plans_interned, 0);
+    }
+
+    #[test]
+    fn replan_requests_ride_the_memo_and_count_decisions() {
+        let cache = WarmCache::new();
+        let req = ReplanRequest::of(small_request("r1")).with_scenario("harsh", 5);
+        let cold = cache.execute_replan(&req).expect("decides");
+        assert!(!cold.cache.plan_cache_hit, "first touch plans the workload");
+        assert_eq!(cold.decision, cold.outcome.decision);
+        // A repeat decision recalls the running plan from the memo and is
+        // bit-identical.
+        let warm = cache.execute_replan(&req).expect("decides");
+        assert!(warm.cache.plan_cache_hit);
+        assert_eq!(warm.decision, cold.decision);
+        assert_eq!(
+            warm.outcome.migration_bytes.to_bits(),
+            cold.outcome.migration_bytes.to_bits()
+        );
+        let stats = cache.stats();
+        assert_eq!(
+            stats.replan_stay + stats.replan_patch + stats.replan_full,
+            2,
+            "{stats:?}"
+        );
+        // The ideal profile draws a no-op scenario: always Stay.
+        let idle = cache
+            .execute_replan(&ReplanRequest::of(small_request("r2")).with_scenario("ideal", 1))
+            .expect("decides");
+        assert_eq!(idle.decision, MigrationDecision::Stay);
+        assert_eq!(cache.stats().replan_stay, stats.replan_stay + 1);
     }
 
     #[test]

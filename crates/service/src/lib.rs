@@ -3,10 +3,10 @@
 //!
 //! Layers, each usable on its own:
 //!
-//! * the typed API — [`PlanRequest`]/[`PlanResponse`] (and sim twins) with a
-//!   builder, validation and canonical plan fingerprints ([`PlanKey`]).
-//!   One-shot callers use [`PlanRequest::run`], which hits the process-wide
-//!   [`WarmCache`].
+//! * the typed API — [`PlanRequest`]/[`PlanResponse`] (plus sim and replan
+//!   twins) with a builder, validation and canonical plan fingerprints
+//!   ([`PlanKey`]). One-shot callers use [`PlanRequest::run`] /
+//!   [`ReplanRequest::run`], which hit the process-wide [`WarmCache`].
 //! * the cache — a [`WarmCache`] whose whole-plan memo is a [`ShardedMap`]:
 //!   per-shard hashmaps behind a shared-seed hasher, with in-flight request
 //!   coalescing, LRU eviction under a memory budget ([`CacheConfig`]), and
@@ -43,8 +43,8 @@ mod server;
 mod shard;
 
 pub use api::{
-    CacheOutcome, PlanKey, PlanRequest, PlanRequestBuilder, PlanResponse, ResolvedPlan, SimRequest,
-    SimResponse, SERVICE_SCHEMA,
+    CacheOutcome, PlanKey, PlanRequest, PlanRequestBuilder, PlanResponse, ReplanRequest,
+    ReplanResponse, ResolvedPlan, SimRequest, SimResponse, SERVICE_SCHEMA, SERVICE_SCHEMA_V1,
 };
 pub use cache::{CacheConfig, CachedPlan, ServiceCacheStats, WarmCache};
 pub use error::Error;
@@ -59,9 +59,9 @@ pub use persist::{cache_to_json, validate_cache_doc, CACHE_SCHEMA};
 #[cfg(unix)]
 pub use protocol::serve_unix_socket;
 pub use protocol::{
-    cancel_json, error_json, parse_frame, plan_response_json, request_json, serve_lines,
-    serve_lines_with_cache, sim_request_json, sim_response_json, stats_request_json, Frame,
-    ParsedFrame, ServeEnd, ServeOptions,
+    cancel_json, error_json, parse_frame, plan_response_json, replan_request_json,
+    replan_response_json, request_json, serve_lines, serve_lines_with_cache, sim_request_json,
+    sim_response_json, stats_request_json, Frame, ParsedFrame, ServeEnd, ServeOptions,
 };
 pub use server::{CancelToken, Pending, PlannerService, ServiceClient, ServiceOptions};
 pub use shard::{FixedSeedHasher, FixedSeedState, Outcome, ShardLoad, ShardStats, ShardedMap};

@@ -288,6 +288,8 @@ pub struct ServiceObserver {
     errors: AtomicU64,
     // Plan/sim submissions by requested search strategy: exact, beam, anytime.
     strategies: [AtomicU64; 3],
+    // Frames accepted under the legacy (untagged or v1) protocol.
+    legacy: AtomicU64,
     workers: Vec<WorkerSlot>,
     latency: Mutex<Metrics>,
     recorder: Mutex<VecDeque<FlightRecord>>,
@@ -314,6 +316,7 @@ impl ServiceObserver {
             completed: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             strategies: Default::default(),
+            legacy: AtomicU64::new(0),
             workers: (0..opts.workers.max(1))
                 .map(|_| WorkerSlot::default())
                 .collect(),
@@ -372,6 +375,13 @@ impl ServiceObserver {
             SearchStrategy::Anytime { .. } => 2,
         };
         self.strategies[slot].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts a frame accepted under the legacy protocol — untagged or
+    /// `primepar.service.v1` — surfaced as `requests.legacy` in the stats
+    /// snapshot so operators can find clients that still need upgrading.
+    pub fn note_legacy(&self) {
+        self.legacy.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Worker `idx` picked a job off the queue.
@@ -528,7 +538,8 @@ impl ServiceObserver {
                     .with("submitted", self.submitted.load(Ordering::Relaxed))
                     .with("completed", self.completed.load(Ordering::Relaxed))
                     .with("errors", self.errors.load(Ordering::Relaxed))
-                    .with("queue_depth", self.queue_depth()),
+                    .with("queue_depth", self.queue_depth())
+                    .with("legacy", self.legacy.load(Ordering::Relaxed)),
             )
             .with(
                 "strategies",
@@ -536,6 +547,13 @@ impl ServiceObserver {
                     .with("exact", self.strategies[0].load(Ordering::Relaxed))
                     .with("beam", self.strategies[1].load(Ordering::Relaxed))
                     .with("anytime", self.strategies[2].load(Ordering::Relaxed)),
+            )
+            .with(
+                "replan",
+                Json::obj()
+                    .with("stay", cache_stats.replan_stay)
+                    .with("patch", cache_stats.replan_patch)
+                    .with("replan", cache_stats.replan_full),
             )
             .with("workers", workers)
             .with(
@@ -626,12 +644,16 @@ pub fn validate_stats_doc(doc: &Json) -> Result<(), Error> {
     stats_num(doc, "uptime_us", "")?;
     stats_num(doc, "peak_rss_bytes", "")?;
     let requests = stats_field(doc, "requests", "")?;
-    for key in ["submitted", "completed", "errors", "queue_depth"] {
+    for key in ["submitted", "completed", "errors", "queue_depth", "legacy"] {
         stats_num(requests, key, "`requests`")?;
     }
     let strategies = stats_field(doc, "strategies", "")?;
     for key in ["exact", "beam", "anytime"] {
         stats_num(strategies, key, "`strategies`")?;
+    }
+    let replan = stats_field(doc, "replan", "")?;
+    for key in ["stay", "patch", "replan"] {
+        stats_num(replan, key, "`replan`")?;
     }
     let workers = stats_field(doc, "workers", "")?
         .as_array()

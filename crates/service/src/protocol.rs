@@ -2,29 +2,32 @@
 //!
 //! One frame per line, one JSON object per frame. Every frame the service
 //! *emits* carries `schema_version` ([`SERVICE_SCHEMA`]) as its first key;
-//! frames it *accepts* may omit the tag (legacy clients), in which case the
-//! response carries a `warning` field, but a present-and-wrong tag is a
-//! protocol error.
+//! frames it *accepts* may omit the tag or carry the previous generation's
+//! ([`SERVICE_SCHEMA_V1`]) — both are legacy clients, answered with a
+//! `warning` field and counted in the `stats` snapshot — but a
+//! present-and-unknown tag is a protocol error.
 //!
 //! ```text
-//! → {"schema_version":"primepar.service.v1","type":"plan","id":"r1","model":"opt-6.7b","devices":16}
-//! ← {"schema_version":"primepar.service.v1","type":"plan_response","id":"r1","ok":true,...,"request_id":1}
+//! → {"schema_version":"primepar.service.v2","type":"plan","id":"r1","model":"opt-6.7b","devices":16}
+//! ← {"schema_version":"primepar.service.v2","type":"plan_response","id":"r1","ok":true,...,"request_id":1}
 //! ```
 //!
 //! Responses are **out of order**: each is emitted as soon as its worker
 //! finishes, so under parallel workers a cheap request overtakes an
-//! expensive one submitted earlier. Every plan/sim response carries two
-//! correlation keys: the echoed client `id` and a server-assigned
-//! `request_id` — a `u64` counting accepted plan/sim frames in submission
-//! order from 1, so a client that counts its own submissions can name any
-//! request without waiting for a response.
+//! expensive one submitted earlier. Every plan/sim/replan response carries
+//! two correlation keys: the echoed client `id` and a server-assigned
+//! `request_id` — a `u64` counting accepted plan/sim/replan frames in
+//! submission order from 1, so a client that counts its own submissions can
+//! name any request without waiting for a response.
 //!
-//! Frame types: `plan`, `sim`, `cancel` (by client `id` or by
-//! `request_id`), `stats` (answered immediately with a live
-//! `primepar.stats.v1` snapshot — queue depth, worker utilization, cache
-//! shards, latency quantiles, the flight recorder), `ping` (answered with
-//! `pong` immediately, ahead of queued work), `shutdown` (drain outstanding
-//! work and exit; input after `shutdown` is ignored).
+//! Frame types: `plan`, `sim`, `replan` (v2: the costed migration decision
+//! for a running workload under an observed degradation scenario), `cancel`
+//! (by client `id` or by `request_id`), `stats` (answered immediately with
+//! a live `primepar.stats.v1` snapshot — queue depth, worker utilization,
+//! cache shards, replan decisions, latency quantiles, the flight recorder),
+//! `ping` (answered with `pong` immediately, ahead of queued work),
+//! `shutdown` (drain outstanding work and exit; input after `shutdown` is
+//! ignored).
 //!
 //! **Trace context**: any frame may carry a `trace_id`; plan/sim frames
 //! without one get a server-minted id (`t-<counter>`). The response echoes
@@ -53,7 +56,10 @@ use primepar_sim::robustness_json;
 use crate::cache::WarmCache;
 use crate::observe::{FlightRecord, ObserveOptions, RequestTrace, ServiceObserver};
 use crate::server::{Pending, PlannerService, ServiceOptions};
-use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse, SERVICE_SCHEMA};
+use crate::{
+    Error, PlanRequest, PlanResponse, ReplanRequest, ReplanResponse, SimRequest, SimResponse,
+    SERVICE_SCHEMA, SERVICE_SCHEMA_V1,
+};
 
 /// One parsed request frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -62,6 +68,9 @@ pub enum Frame {
     Plan(PlanRequest),
     /// Plan and simulate a workload.
     Sim(SimRequest),
+    /// Decide the costed migration for a running workload under an observed
+    /// degradation scenario (v2).
+    Replan(ReplanRequest),
     /// Cancel in-flight requests by client `id`, server `request_id`, or
     /// both (a frame carrying neither is a protocol error). Cancelling a
     /// request that already answered is a no-op.
@@ -85,7 +94,9 @@ pub enum Frame {
 pub struct ParsedFrame {
     /// The decoded frame.
     pub frame: Frame,
-    /// The frame omitted `schema_version` (accepted, but the response warns).
+    /// The frame omitted `schema_version` or carried the previous
+    /// generation's ([`SERVICE_SCHEMA_V1`]) — accepted, but the response
+    /// warns and the `stats` snapshot counts it.
     pub legacy: bool,
     /// Client-supplied trace context, echoed on the response. Plan/sim
     /// frames without one get a server-minted id.
@@ -149,6 +160,7 @@ fn parse_plan_request(obj: &Json) -> Result<PlanRequest, Error> {
         alpha: field_f64(obj, "alpha")?.unwrap_or(defaults.alpha),
         threads: field_u64(obj, "threads")?.map_or(defaults.threads, |n| n as usize),
         memoize: field_bool(obj, "memoize")?.unwrap_or(defaults.memoize),
+        prune: field_bool(obj, "prune")?.unwrap_or(defaults.prune),
         allow_temporal: field_bool(obj, "allow_temporal")?.unwrap_or(defaults.allow_temporal),
         allow_batch_split: field_bool(obj, "allow_batch_split")?
             .unwrap_or(defaults.allow_batch_split),
@@ -180,11 +192,25 @@ fn parse_sim_request(obj: &Json) -> Result<SimRequest, Error> {
     })
 }
 
+fn parse_replan_request(obj: &Json) -> Result<ReplanRequest, Error> {
+    let plan = parse_plan_request(obj)?;
+    let base = ReplanRequest::of(plan);
+    Ok(ReplanRequest {
+        profile: field_str(obj, "profile")?.unwrap_or_else(|| base.profile.clone()),
+        seed: field_u64(obj, "seed")?.unwrap_or(base.seed),
+        lambda: field_f64(obj, "lambda")?.unwrap_or(base.lambda),
+        horizon: field_u64(obj, "horizon")?.unwrap_or(base.horizon),
+        deadline_ms: base.plan.deadline_ms,
+        id: base.id.clone(),
+        plan: base.plan,
+    })
+}
+
 /// Decodes one request line.
 ///
 /// # Errors
 ///
-/// [`Error::Protocol`] for non-JSON input, a non-object frame, a wrong
+/// [`Error::Protocol`] for non-JSON input, a non-object frame, an unknown
 /// `schema_version`, a missing/unknown `type`, a mistyped field, or a
 /// `cancel` naming neither an `id` nor a `request_id`.
 pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
@@ -198,12 +224,17 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
             let tag = tag
                 .as_str()
                 .ok_or_else(|| Error::protocol("schema_version must be a string"))?;
-            if tag != SERVICE_SCHEMA {
+            if tag == SERVICE_SCHEMA {
+                false
+            } else if tag == SERVICE_SCHEMA_V1 {
+                // The previous generation parses unchanged (v2 only adds
+                // fields with defaults); the response carries the warning.
+                true
+            } else {
                 return Err(Error::protocol(format!(
                     "unsupported schema_version: {tag} (expected {SERVICE_SCHEMA})"
                 )));
             }
-            false
         }
     };
     let kind = field_str(&doc, "type")?
@@ -211,6 +242,7 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
     let frame = match kind.as_str() {
         "plan" => Frame::Plan(parse_plan_request(&doc)?),
         "sim" => Frame::Sim(parse_sim_request(&doc)?),
+        "replan" => Frame::Replan(parse_replan_request(&doc)?),
         "cancel" => {
             let id = field_str(&doc, "id")?;
             let request_id = field_u64(&doc, "request_id")?;
@@ -224,7 +256,7 @@ pub fn parse_frame(line: &str) -> Result<ParsedFrame, Error> {
         "shutdown" => Frame::Shutdown,
         other => {
             return Err(Error::protocol(format!(
-                "unknown frame type: {other} (expected plan|sim|cancel|stats|ping|shutdown)"
+                "unknown frame type: {other} (expected plan|sim|replan|cancel|stats|ping|shutdown)"
             )))
         }
     };
@@ -269,6 +301,9 @@ pub fn request_json(req: &PlanRequest) -> Json {
     if req.strategy != SearchStrategy::Exact {
         doc.set("strategy", req.strategy.to_string());
     }
+    if req.prune {
+        doc.set("prune", true);
+    }
     doc
 }
 
@@ -280,6 +315,17 @@ pub fn sim_request_json(req: &SimRequest) -> Json {
     doc.set("scenarios", req.scenarios);
     doc.set("profile", req.profile.as_str());
     doc.set("seed", req.seed);
+    doc
+}
+
+/// Encodes a [`ReplanRequest`] as a `replan` frame.
+pub fn replan_request_json(req: &ReplanRequest) -> Json {
+    let mut doc = request_json(&req.plan).with("id", req.id.as_str());
+    doc.set("type", "replan");
+    doc.set("profile", req.profile.as_str());
+    doc.set("seed", req.seed);
+    doc.set("lambda", req.lambda);
+    doc.set("horizon", req.horizon);
     doc
 }
 
@@ -322,7 +368,7 @@ fn cache_json(resp: &crate::CacheOutcome) -> Json {
 }
 
 const LEGACY_WARNING: &str =
-    "legacy frame: missing schema_version; tag requests with primepar.service.v1";
+    "legacy frame: missing or v1 schema_version; tag requests with primepar.service.v2";
 
 /// Encodes a [`PlanResponse`] as a `plan_response` frame.
 pub fn plan_response_json(resp: &PlanResponse, legacy: bool) -> Json {
@@ -373,6 +419,42 @@ pub fn sim_response_json(resp: &SimResponse, legacy: bool) -> Json {
     if let Some(sweep) = &report.layer.robustness {
         doc.set("robustness", robustness_json(sweep));
     }
+    if legacy {
+        doc.set("warning", LEGACY_WARNING);
+    }
+    doc
+}
+
+/// Encodes a [`ReplanResponse`] as a `replan_response` frame: the decision
+/// tag, the migration bill, and the full candidate table the decision was
+/// ranked over.
+pub fn replan_response_json(resp: &ReplanResponse, legacy: bool) -> Json {
+    let outcome = &resp.outcome;
+    let candidates = Json::Arr(
+        outcome
+            .candidates
+            .iter()
+            .map(|cand| {
+                Json::obj()
+                    .with("decision", cand.decision.tag())
+                    .with("feasible", cand.feasible)
+                    .with("migration_bytes", cand.migration_bytes)
+                    .with("migration_seconds", cand.migration_seconds)
+                    .with("iteration_seconds", cand.iteration_seconds)
+                    .with("total_seconds", cand.total_seconds)
+            })
+            .collect(),
+    );
+    let mut doc = tagged("replan_response")
+        .with("id", resp.id.as_str())
+        .with("ok", true)
+        .with("fingerprint", resp.fingerprint.as_str())
+        .with("decision", resp.decision.tag())
+        .with("migration_bytes", outcome.migration_bytes)
+        .with("migration_seconds", outcome.migration_seconds)
+        .with("candidates", candidates)
+        .with("elapsed_us", resp.elapsed.as_micros() as u64)
+        .with("cache", cache_json(&resp.cache));
     if legacy {
         doc.set("warning", LEGACY_WARNING);
     }
@@ -435,6 +517,7 @@ pub struct ServeEnd {
 enum PendingReply {
     Plan(Pending<PlanResponse>),
     Sim(Pending<SimResponse>),
+    Replan(Pending<ReplanResponse>),
 }
 
 /// One submitted request awaiting its worker.
@@ -449,6 +532,7 @@ struct Reply {
 enum Verdict {
     Plan(Box<Result<PlanResponse, Error>>),
     Sim(Box<Result<SimResponse, Error>>),
+    Replan(Box<Result<ReplanResponse, Error>>),
 }
 
 impl Reply {
@@ -456,6 +540,7 @@ impl Reply {
         match &self.pending {
             PendingReply::Plan(pending) => pending.cancel(),
             PendingReply::Sim(pending) => pending.cancel(),
+            PendingReply::Replan(pending) => pending.cancel(),
         }
     }
 
@@ -465,6 +550,9 @@ impl Reply {
         match &self.pending {
             PendingReply::Plan(pending) => pending.try_wait().map(|r| Verdict::Plan(Box::new(r))),
             PendingReply::Sim(pending) => pending.try_wait().map(|r| Verdict::Sim(Box::new(r))),
+            PendingReply::Replan(pending) => {
+                pending.try_wait().map(|r| Verdict::Replan(Box::new(r)))
+            }
         }
     }
 }
@@ -537,6 +625,17 @@ fn emit(
             Err(Error::Cancelled(_)) => ("cancelled".to_string(), "-".into(), String::new()),
             Err(err) => (format!("error:{}", err.kind()), "-".into(), String::new()),
         },
+        Verdict::Replan(result) => match result.as_ref() {
+            Ok(resp) => (
+                "ok".to_string(),
+                // The decision is the interesting outcome of a replan, not
+                // the memo result the running plan came from.
+                resp.decision.tag().to_string(),
+                resp.fingerprint.clone(),
+            ),
+            Err(Error::Cancelled(_)) => ("cancelled".to_string(), "-".into(), String::new()),
+            Err(err) => (format!("error:{}", err.kind()), "-".into(), String::new()),
+        },
     };
     let mut doc = match verdict {
         Verdict::Plan(result) => match *result {
@@ -555,6 +654,13 @@ fn emit(
         },
         Verdict::Sim(result) => match *result {
             Ok(resp) => sim_response_json(&resp, reply.legacy),
+            Err(err) => {
+                end.errors += 1;
+                error_json(&reply.id, &err)
+            }
+        },
+        Verdict::Replan(result) => match *result {
+            Ok(resp) => replan_response_json(&resp, reply.legacy),
             Err(err) => {
                 end.errors += 1;
                 error_json(&reply.id, &err)
@@ -782,90 +888,131 @@ pub fn serve_lines_with_cache(
                                 frame,
                                 legacy,
                                 trace_id,
-                            }) => match frame {
-                                Frame::Plan(req) => {
-                                    end.requests += 1;
-                                    next_request_id += 1;
-                                    observer.note_strategy(req.strategy);
-                                    let trace_id =
-                                        trace_id.unwrap_or_else(|| observer.gen_trace_id());
-                                    let trace =
-                                        observer.begin_request(trace_id, next_request_id, "plan");
-                                    log_event(
-                                        &mut events,
-                                        Event::new(EventLevel::Info, "request.received")
-                                            .context(trace.trace_id(), "s0")
-                                            .field("kind", "plan")
-                                            .field("id", req.id.as_str())
-                                            .field("request_id", next_request_id)
-                                            .field("legacy", legacy),
-                                    )?;
-                                    pending.push(Reply {
-                                        request_id: next_request_id,
-                                        id: req.id.clone(),
-                                        legacy,
-                                        trace: trace.clone(),
-                                        pending: PendingReply::Plan(
-                                            client.submit_plan_traced(req, Some(trace)),
-                                        ),
-                                    });
+                            }) => {
+                                if legacy {
+                                    observer.note_legacy();
                                 }
-                                Frame::Sim(req) => {
-                                    end.requests += 1;
-                                    next_request_id += 1;
-                                    observer.note_strategy(req.plan.strategy);
-                                    let trace_id =
-                                        trace_id.unwrap_or_else(|| observer.gen_trace_id());
-                                    let trace =
-                                        observer.begin_request(trace_id, next_request_id, "sim");
-                                    log_event(
-                                        &mut events,
-                                        Event::new(EventLevel::Info, "request.received")
-                                            .context(trace.trace_id(), "s0")
-                                            .field("kind", "sim")
-                                            .field("id", req.id.as_str())
-                                            .field("request_id", next_request_id)
-                                            .field("legacy", legacy),
-                                    )?;
-                                    pending.push(Reply {
-                                        request_id: next_request_id,
-                                        id: req.id.clone(),
-                                        legacy,
-                                        trace: trace.clone(),
-                                        pending: PendingReply::Sim(
-                                            client.submit_sim_traced(req, Some(trace)),
-                                        ),
-                                    });
-                                }
-                                Frame::Cancel { id, request_id } => {
-                                    for reply in pending.iter().filter(|r| {
-                                        id.as_deref() == Some(r.id.as_str())
-                                            || request_id == Some(r.request_id)
-                                    }) {
-                                        reply.cancel();
+                                match frame {
+                                    Frame::Plan(req) => {
+                                        end.requests += 1;
+                                        next_request_id += 1;
+                                        observer.note_strategy(req.strategy);
+                                        let trace_id =
+                                            trace_id.unwrap_or_else(|| observer.gen_trace_id());
+                                        let trace = observer.begin_request(
+                                            trace_id,
+                                            next_request_id,
+                                            "plan",
+                                        );
+                                        log_event(
+                                            &mut events,
+                                            Event::new(EventLevel::Info, "request.received")
+                                                .context(trace.trace_id(), "s0")
+                                                .field("kind", "plan")
+                                                .field("id", req.id.as_str())
+                                                .field("request_id", next_request_id)
+                                                .field("legacy", legacy),
+                                        )?;
+                                        pending.push(Reply {
+                                            request_id: next_request_id,
+                                            id: req.id.clone(),
+                                            legacy,
+                                            trace: trace.clone(),
+                                            pending: PendingReply::Plan(
+                                                client.submit_plan_traced(req, Some(trace)),
+                                            ),
+                                        });
+                                    }
+                                    Frame::Sim(req) => {
+                                        end.requests += 1;
+                                        next_request_id += 1;
+                                        observer.note_strategy(req.plan.strategy);
+                                        let trace_id =
+                                            trace_id.unwrap_or_else(|| observer.gen_trace_id());
+                                        let trace = observer.begin_request(
+                                            trace_id,
+                                            next_request_id,
+                                            "sim",
+                                        );
+                                        log_event(
+                                            &mut events,
+                                            Event::new(EventLevel::Info, "request.received")
+                                                .context(trace.trace_id(), "s0")
+                                                .field("kind", "sim")
+                                                .field("id", req.id.as_str())
+                                                .field("request_id", next_request_id)
+                                                .field("legacy", legacy),
+                                        )?;
+                                        pending.push(Reply {
+                                            request_id: next_request_id,
+                                            id: req.id.clone(),
+                                            legacy,
+                                            trace: trace.clone(),
+                                            pending: PendingReply::Sim(
+                                                client.submit_sim_traced(req, Some(trace)),
+                                            ),
+                                        });
+                                    }
+                                    Frame::Replan(req) => {
+                                        end.requests += 1;
+                                        next_request_id += 1;
+                                        observer.note_strategy(req.plan.strategy);
+                                        let trace_id =
+                                            trace_id.unwrap_or_else(|| observer.gen_trace_id());
+                                        let trace = observer.begin_request(
+                                            trace_id,
+                                            next_request_id,
+                                            "replan",
+                                        );
+                                        log_event(
+                                            &mut events,
+                                            Event::new(EventLevel::Info, "request.received")
+                                                .context(trace.trace_id(), "s0")
+                                                .field("kind", "replan")
+                                                .field("id", req.id.as_str())
+                                                .field("request_id", next_request_id)
+                                                .field("legacy", legacy),
+                                        )?;
+                                        pending.push(Reply {
+                                            request_id: next_request_id,
+                                            id: req.id.clone(),
+                                            legacy,
+                                            trace: trace.clone(),
+                                            pending: PendingReply::Replan(
+                                                client.submit_replan_traced(req, Some(trace)),
+                                            ),
+                                        });
+                                    }
+                                    Frame::Cancel { id, request_id } => {
+                                        for reply in pending.iter().filter(|r| {
+                                            id.as_deref() == Some(r.id.as_str())
+                                                || request_id == Some(r.request_id)
+                                        }) {
+                                            reply.cancel();
+                                        }
+                                    }
+                                    Frame::Stats => {
+                                        let mut doc = tagged("stats").with("ok", true);
+                                        if let Some(trace_id) = &trace_id {
+                                            doc.set("trace_id", trace_id.as_str());
+                                        }
+                                        doc.set("stats", observer.stats_json(cache));
+                                        writeln!(writer, "{}", doc.render()).map_err(io)?;
+                                        writer.flush().map_err(io)?;
+                                    }
+                                    Frame::Ping => {
+                                        let mut doc = tagged("pong");
+                                        if let Some(trace_id) = &trace_id {
+                                            doc.set("trace_id", trace_id.as_str());
+                                        }
+                                        writeln!(writer, "{}", doc.render()).map_err(io)?;
+                                        writer.flush().map_err(io)?;
+                                    }
+                                    Frame::Shutdown => {
+                                        end.shutdown = true;
                                     }
                                 }
-                                Frame::Stats => {
-                                    let mut doc = tagged("stats").with("ok", true);
-                                    if let Some(trace_id) = &trace_id {
-                                        doc.set("trace_id", trace_id.as_str());
-                                    }
-                                    doc.set("stats", observer.stats_json(cache));
-                                    writeln!(writer, "{}", doc.render()).map_err(io)?;
-                                    writer.flush().map_err(io)?;
-                                }
-                                Frame::Ping => {
-                                    let mut doc = tagged("pong");
-                                    if let Some(trace_id) = &trace_id {
-                                        doc.set("trace_id", trace_id.as_str());
-                                    }
-                                    writeln!(writer, "{}", doc.render()).map_err(io)?;
-                                    writer.flush().map_err(io)?;
-                                }
-                                Frame::Shutdown => {
-                                    end.shutdown = true;
-                                }
-                            },
+                            }
                         }
                     }
                 }
@@ -1026,9 +1173,17 @@ mod tests {
             Err(Error::Protocol(_))
         ));
 
-        let sim = SimRequest::of(req).with_sweep("harsh", 3, 9);
+        let sim = SimRequest::of(req.clone()).with_sweep("harsh", 3, 9);
         let parsed = parse_frame(&sim_request_json(&sim).render()).expect("parses");
         assert_eq!(parsed.frame, Frame::Sim(sim));
+
+        let replan = ReplanRequest::of(req)
+            .with_scenario("mild", 7)
+            .with_lambda(1.5)
+            .with_horizon(250);
+        let parsed = parse_frame(&replan_request_json(&replan).render()).expect("parses");
+        assert!(!parsed.legacy);
+        assert_eq!(parsed.frame, Frame::Replan(replan));
 
         let cancel = cancel_json(Some("r1"), Some(7));
         assert_eq!(
@@ -1043,7 +1198,14 @@ mod tests {
     #[test]
     fn legacy_frames_are_accepted_and_flagged() {
         let parsed = parse_frame(r#"{"type":"plan","model":"opt-6.7b"}"#).expect("parses");
-        assert!(parsed.legacy);
+        assert!(parsed.legacy, "untagged frames are legacy");
+        assert!(matches!(parsed.frame, Frame::Plan(_)));
+        // The previous protocol generation still parses, but draws the flag.
+        let parsed = parse_frame(
+            r#"{"schema_version":"primepar.service.v1","type":"plan","model":"opt-6.7b"}"#,
+        )
+        .expect("parses");
+        assert!(parsed.legacy, "v1-tagged frames are legacy");
         assert!(matches!(parsed.frame, Frame::Plan(_)));
         // Control frames parse too, by either cancellation key.
         assert_eq!(
@@ -1104,12 +1266,12 @@ mod tests {
 
     #[test]
     fn serve_lines_tags_request_ids_and_reports_cache_hits() {
-        let request = r#"{"schema_version":"primepar.service.v1","type":"plan","id":"ID","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#;
+        let request = r#"{"schema_version":"primepar.service.v2","type":"plan","id":"ID","model":"opt-6.7b","devices":4,"seq":512,"layers":2}"#;
         let input = format!(
             "{}{}{}",
             line(&request.replace("ID", "r1")),
             line(&request.replace("ID", "r2")),
-            line(r#"{"schema_version":"primepar.service.v1","type":"shutdown"}"#),
+            line(r#"{"schema_version":"primepar.service.v2","type":"shutdown"}"#),
         );
         let mut out = Vec::new();
         let end = serve_lines(

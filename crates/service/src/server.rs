@@ -22,7 +22,9 @@ use primepar_search::{SearchInterrupt, SearchStrategy};
 
 use crate::cache::{ServiceCacheStats, WarmCache};
 use crate::observe::{RequestTrace, ServiceObserver};
-use crate::{Error, PlanRequest, PlanResponse, SimRequest, SimResponse};
+use crate::{
+    Error, PlanRequest, PlanResponse, ReplanRequest, ReplanResponse, SimRequest, SimResponse,
+};
 
 /// Pool configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,6 +102,12 @@ enum Job {
         ticket: Ticket,
         trace: Option<Arc<RequestTrace>>,
         reply: Sender<Result<SimResponse, Error>>,
+    },
+    Replan {
+        req: ReplanRequest,
+        ticket: Ticket,
+        trace: Option<Arc<RequestTrace>>,
+        reply: Sender<Result<ReplanResponse, Error>>,
     },
 }
 
@@ -228,6 +236,40 @@ impl ServiceClient<'_> {
         self.submit_sim(req).wait()
     }
 
+    /// Enqueues a replan request; returns immediately.
+    pub fn submit_replan(&self, req: ReplanRequest) -> Pending<ReplanResponse> {
+        self.submit_replan_traced(req, None)
+    }
+
+    /// [`ServiceClient::submit_replan`] carrying a request trace; see
+    /// [`ServiceClient::submit_plan_traced`].
+    pub fn submit_replan_traced(
+        &self,
+        req: ReplanRequest,
+        trace: Option<Arc<RequestTrace>>,
+    ) -> Pending<ReplanResponse> {
+        let (reply, rx) = mpsc::channel();
+        let cancel = CancelToken::new();
+        let ticket = Ticket::for_deadline(cancel.clone(), req.deadline_ms);
+        let job = Job::Replan {
+            req,
+            ticket,
+            trace,
+            reply,
+        };
+        self.dispatch(job);
+        Pending { rx, cancel }
+    }
+
+    /// Decides a replan synchronously on the pool.
+    ///
+    /// # Errors
+    ///
+    /// The worker's verdict for this request.
+    pub fn replan(&self, req: ReplanRequest) -> Result<ReplanResponse, Error> {
+        self.submit_replan(req).wait()
+    }
+
     /// Counters of the cache this service plans against.
     pub fn stats(&self) -> ServiceCacheStats {
         self.cache.stats()
@@ -241,6 +283,7 @@ impl ServiceClient<'_> {
             match failed.0 {
                 Job::Plan { reply, .. } => drop(reply.send(Err(Error::internal(GONE)))),
                 Job::Sim { reply, .. } => drop(reply.send(Err(Error::internal(GONE)))),
+                Job::Replan { reply, .. } => drop(reply.send(Err(Error::internal(GONE)))),
             }
         }
     }
@@ -346,6 +389,23 @@ fn worker_loop(
                 }
                 let verdict = guarded(&ticket, panic_dump, || {
                     cache.execute_sim_traced(&req, trace.as_deref())
+                });
+                if let Some(trace) = &trace {
+                    trace.end_exec();
+                }
+                drop(reply.send(verdict));
+            }
+            Job::Replan {
+                req,
+                ticket,
+                trace,
+                reply,
+            } => {
+                if let Some(trace) = &trace {
+                    trace.begin_exec(idx);
+                }
+                let verdict = guarded(&ticket, panic_dump, || {
+                    cache.execute_replan_traced(&req, trace.as_deref())
                 });
                 if let Some(trace) = &trace {
                     trace.end_exec();
@@ -485,6 +545,23 @@ mod tests {
             assert!(matches!(verdict, Err(Error::Cancelled(_))), "{verdict:?}");
             // Nothing poisoned: a fresh request still plans.
             assert!(client.plan(tiny("fresh")).is_ok());
+        });
+    }
+
+    #[test]
+    fn replan_requests_flow_through_the_pool() {
+        PlannerService::run(ServiceOptions::default(), |client| {
+            let resp = client
+                .replan(ReplanRequest::of(tiny("r")).with_scenario("harsh", 5))
+                .expect("decides");
+            assert_eq!(resp.id, "r");
+            assert_eq!(resp.decision, resp.outcome.decision);
+            let stats = client.stats();
+            assert_eq!(
+                stats.replan_stay + stats.replan_patch + stats.replan_full,
+                1,
+                "{stats:?}"
+            );
         });
     }
 

@@ -18,7 +18,9 @@ use crate::EventKind;
 
 /// Where one device spent the iteration. In the homogeneous SPMD walk every
 /// device carries identical numbers; the per-device [`DesReport`]
-/// (crate::DesReport) diverges under a straggler.
+/// diverges under a straggler.
+///
+/// [`DesReport`]: crate::DesReport
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DeviceAccount {
     /// Device index.

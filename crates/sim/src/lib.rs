@@ -38,6 +38,7 @@
 #![allow(clippy::needless_range_loop)]
 mod accounting;
 mod des;
+mod elastic;
 mod engine;
 mod gantt;
 mod pipeline;
@@ -50,6 +51,10 @@ pub use accounting::{
     CollectiveAccount, DeviceAccount, LinkAccount,
 };
 pub use des::{simulate_layer_des, DesOptions, DesReport};
+pub use elastic::{
+    elastic_metrics, render_elastic, simulate_elastic, ElasticAction, ElasticContext, ElasticEvent,
+    ElasticReport, ElasticSegment,
+};
 pub use engine::{
     ideal_memory_bytes, simulate_layer, simulate_layer_with, simulate_model, simulate_model_with,
     ModelReport, SimOptions,

@@ -356,14 +356,12 @@ mod tests {
         let model = small_model();
         let graph = model.layer_graph(4, 512);
         let cluster_m = Cluster::v100_like(4);
-        let opts = PlannerOptions {
-            space: SpaceOptions {
+        let opts = PlannerOptions::default()
+            .with_space(SpaceOptions {
                 allow_batch_split: false,
                 ..SpaceOptions::default()
-            },
-            alpha: 0.0,
-            ..PlannerOptions::default()
-        };
+            })
+            .with_alpha(0.0);
         let plan = Planner::new(&cluster_m, &graph, opts).optimize(model.layers);
         let cfg = ThreeDConfig {
             p: 2,

@@ -220,7 +220,24 @@ impl Cluster {
     ///
     /// Panics if the model fails [`PerturbationModel::validate`].
     pub fn perturbed(&self, model: &PerturbationModel, seed: u64) -> Cluster {
-        let applied = AppliedPerturbation::draw(model, seed, self.num_devices());
+        self.with_perturbation(AppliedPerturbation::draw(model, seed, self.num_devices()))
+    }
+
+    /// Applies an already-drawn (or observed) scenario directly — the entry
+    /// point for the elastic replan loop, which receives a concrete
+    /// [`AppliedPerturbation`] from monitoring rather than a `(model, seed)`
+    /// pair. Replaces any previous scenario; always folds against the base
+    /// hardware models.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario's device count differs from the cluster's.
+    pub fn with_perturbation(&self, applied: AppliedPerturbation) -> Cluster {
+        assert_eq!(
+            applied.num_devices(),
+            self.num_devices(),
+            "scenario device count must match the cluster"
+        );
         let mut out = self.clone();
         // The SPMD walk is bulk-synchronous: every step waits for the slowest
         // device, so the effective (profiled) device model is the base model
@@ -604,6 +621,40 @@ mod tests {
             a.allreduce_time(1e7, &group, 2),
             b.allreduce_time(1e7, &group, 2)
         );
+    }
+
+    #[test]
+    fn with_perturbation_matches_perturbed_and_scales_linearly() {
+        let c = Cluster::v100_like(8);
+        let applied = AppliedPerturbation::draw(&PerturbationModel::harsh(), 42, 8);
+        assert_eq!(
+            c.with_perturbation(applied.clone()),
+            c.perturbed(&PerturbationModel::harsh(), 42)
+        );
+        // Scaling the per-device factors by λ scales every timing primitive
+        // by exactly λ — the invariant the replan monotonicity proofs use.
+        let lambda = 2.0;
+        let base = c.with_perturbation(applied.clone());
+        let worse = c.with_perturbation(applied.scaled(lambda));
+        let group: Vec<DeviceId> = (0..8).map(DeviceId).collect();
+        let rel =
+            |a: f64, b: f64| (a - b).abs() <= 1e-12 * a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+        assert!(rel(
+            worse.allreduce_time(1e7, &group, 1),
+            lambda * base.allreduce_time(1e7, &group, 1)
+        ));
+        assert!(rel(
+            worse.ring_shift_time(1e6, &group, 2),
+            lambda * base.ring_shift_time(1e6, &group, 2)
+        ));
+        assert!(rel(
+            worse.p2p_time(1e6, DeviceId(0), DeviceId(4)),
+            lambda * base.p2p_time(1e6, DeviceId(0), DeviceId(4))
+        ));
+        assert!(rel(
+            worse.device_model().kernel_time(1e12, 1e9),
+            lambda * base.device_model().kernel_time(1e12, 1e9)
+        ));
     }
 
     #[test]

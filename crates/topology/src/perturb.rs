@@ -268,6 +268,61 @@ impl AppliedPerturbation {
         }
     }
 
+    /// The no-op scenario for `n` devices: every factor exactly 1, nobody
+    /// dead. Equivalent to drawing from [`PerturbationModel::ideal`] but
+    /// without consuming an RNG stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn ideal(n: usize) -> Self {
+        assert!(n > 0, "cluster must have at least one device");
+        AppliedPerturbation {
+            seed: 0,
+            intra_link_factor: 1.0,
+            inter_link_factor: 1.0,
+            compute_factors: vec![1.0; n],
+            link_factors: vec![1.0; n],
+            dead: vec![false; n],
+        }
+    }
+
+    /// `true` when the scenario is indistinguishable from ideal hardware:
+    /// every factor is exactly 1 and no device is dead.
+    pub fn is_noop(&self) -> bool {
+        self.intra_link_factor == 1.0
+            && self.inter_link_factor == 1.0
+            && self.compute_factors.iter().all(|&f| f == 1.0)
+            && self.link_factors.iter().all(|&f| f == 1.0)
+            && self.dead.iter().all(|&d| !d)
+    }
+
+    /// A strictly-comparable severity dial: multiplies every *per-device*
+    /// compute and link factor by `lambda` (≥ 1), leaving the per-class
+    /// factors and the dead set untouched. Because every cluster timing
+    /// primitive is linear in the per-device factors, all timings of the
+    /// scaled scenario are exactly `lambda ×` the base scenario's — the
+    /// canonical "strictly worse perturbation" family used by the replan
+    /// monotonicity tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lambda` is below 1 or non-finite.
+    pub fn scaled(&self, lambda: f64) -> Self {
+        assert!(
+            lambda.is_finite() && lambda >= 1.0,
+            "scale factor must be finite and >= 1, got {lambda}"
+        );
+        AppliedPerturbation {
+            seed: self.seed,
+            intra_link_factor: self.intra_link_factor,
+            inter_link_factor: self.inter_link_factor,
+            compute_factors: self.compute_factors.iter().map(|f| f * lambda).collect(),
+            link_factors: self.link_factors.iter().map(|f| f * lambda).collect(),
+            dead: self.dead.clone(),
+        }
+    }
+
     /// Number of devices the scenario was drawn for.
     pub fn num_devices(&self) -> usize {
         self.compute_factors.len()
@@ -345,6 +400,38 @@ mod tests {
             }
         }
         assert!(saw_dead, "p=0.5 over 64 seeds must kill someone");
+    }
+
+    #[test]
+    fn ideal_scenario_is_noop_and_drawn_ideal_matches() {
+        let a = AppliedPerturbation::ideal(8);
+        assert!(a.is_noop());
+        let mut drawn = AppliedPerturbation::draw(&PerturbationModel::ideal(), 0, 8);
+        drawn.seed = 0;
+        assert_eq!(a, drawn);
+        let harsh = AppliedPerturbation::draw(&PerturbationModel::harsh(), 1, 8);
+        assert!(!harsh.is_noop());
+    }
+
+    #[test]
+    fn scaled_multiplies_only_per_device_factors() {
+        let a = AppliedPerturbation::draw(&PerturbationModel::harsh(), 11, 8);
+        let s = a.scaled(1.5);
+        assert_eq!(s.intra_link_factor, a.intra_link_factor);
+        assert_eq!(s.inter_link_factor, a.inter_link_factor);
+        assert_eq!(s.dead, a.dead);
+        for d in 0..8 {
+            assert_eq!(s.compute_factors[d], a.compute_factors[d] * 1.5);
+            assert_eq!(s.link_factors[d], a.link_factors[d] * 1.5);
+        }
+        // Identity scale is a no-op.
+        assert_eq!(a.scaled(1.0), a);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale factor")]
+    fn scaled_rejects_sub_unit_lambda() {
+        AppliedPerturbation::ideal(4).scaled(0.5);
     }
 
     #[test]

@@ -210,8 +210,39 @@ cmp "$artifacts/anytime1.plan.txt" "$artifacts/anytime2.plan.txt" \
 [ -s "$artifacts/anytime1.plan.txt" ] \
     || { echo "anytime plan file is empty" >&2; exit 1; }
 
-echo "== cargo doc (facade + service, -D warnings) =="
+echo "== elastic smoke (replan decision + degradation timeline, determinism) =="
+# The costed replan decision and the seeded degradation-timeline study must
+# both be bit-reproducible: two same-seed runs write byte-identical decision
+# transcripts, decision metrics, and results/replan.metrics.json. The bench
+# bin itself asserts the elastic loop strictly beats both static extremes.
+for run in 1 2; do
+    ./target/release/primepar replan --model opt-6.7b --devices 8 \
+        --batch 8 --seq 256 --layers 2 \
+        --perturb-profile harsh --perturb-seed 13 --horizon 390 \
+        --metrics-json "$artifacts/replan$run.metrics.json" \
+        | grep -v ' written to ' >"$artifacts/replan$run.txt" \
+        || { echo "replan smoke run failed" >&2; exit 1; }
+done
+cmp "$artifacts/replan1.txt" "$artifacts/replan2.txt" \
+    || { echo "replan decision transcript is not deterministic" >&2; exit 1; }
+cmp "$artifacts/replan1.metrics.json" "$artifacts/replan2.metrics.json" \
+    || { echo "replan decision metrics are not deterministic" >&2; exit 1; }
+grep -q 'decision: replan' "$artifacts/replan1.txt" \
+    || { echo "harsh seed 13 must decide a full replan" >&2; exit 1; }
+./target/release/replan >"$artifacts/elastic1.txt" \
+    || { echo "elastic timeline study failed (loop must beat both extremes)" >&2; exit 1; }
+cp results/replan.metrics.json "$artifacts/elastic1.metrics.json"
+./target/release/replan >"$artifacts/elastic2.txt" \
+    || { echo "elastic timeline study rerun failed" >&2; exit 1; }
+cmp "$artifacts/elastic1.txt" "$artifacts/elastic2.txt" \
+    || { echo "elastic timeline decisions are not deterministic" >&2; exit 1; }
+cmp "$artifacts/elastic1.metrics.json" results/replan.metrics.json \
+    || { echo "replan.metrics.json is not byte-stable across runs" >&2; exit 1; }
+./target/release/primepar validate --dir "$artifacts"
+
+echo "== cargo doc (v2 facade surface, -D warnings) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --offline --no-deps \
-    -p primepar-service -p primepar >/dev/null
+    -p primepar-service -p primepar -p primepar-search -p primepar-sim \
+    -p primepar-cost -p primepar-topology >/dev/null
 
 echo "CI gate passed."

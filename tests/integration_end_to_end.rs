@@ -57,14 +57,12 @@ fn three_d_parallelism_composes_with_both_planners() {
     let mega = simulate_3d(&model, &graph, &mega_plan, cfg, 8, 512);
 
     let cluster_m = Cluster::v100_like(2);
-    let opts = PlannerOptions {
-        space: SpaceOptions {
+    let opts = PlannerOptions::default()
+        .with_space(SpaceOptions {
             allow_batch_split: false,
             ..SpaceOptions::default()
-        },
-        alpha: 0.0,
-        ..PlannerOptions::default()
-    };
+        })
+        .with_alpha(0.0);
     let prime_plan = Planner::new(&cluster_m, &graph, opts).optimize(model.layers);
     let prime = simulate_3d(&model, &graph, &prime_plan.seqs, cfg, 8, 512);
 
@@ -82,14 +80,12 @@ fn controlled_batch_mode_excludes_batch_splits() {
     let model = ModelConfig::llama2_7b();
     let cluster = Cluster::v100_like(4);
     let graph = model.layer_graph(8, 512);
-    let opts = PlannerOptions {
-        space: SpaceOptions {
+    let opts = PlannerOptions::default()
+        .with_space(SpaceOptions {
             allow_batch_split: false,
             ..SpaceOptions::default()
-        },
-        alpha: 0.0,
-        ..PlannerOptions::default()
-    };
+        })
+        .with_alpha(0.0);
     let plan = Planner::new(&cluster, &graph, opts).optimize(1);
     for (op, seq) in graph.ops.iter().zip(&plan.seqs) {
         if op.sample_batch_dim() == primepar::partition::Dim::B {

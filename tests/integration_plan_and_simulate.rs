@@ -62,15 +62,8 @@ fn memory_optimization_trades_latency() {
     let cluster = Cluster::v100_like(4);
     let graph = model.layer_graph(8, 512);
     let fast = Planner::new(&cluster, &graph, PlannerOptions::default()).optimize(1);
-    let lean = Planner::new(
-        &cluster,
-        &graph,
-        PlannerOptions {
-            alpha: 1e-6,
-            ..PlannerOptions::default()
-        },
-    )
-    .optimize(1);
+    let lean =
+        Planner::new(&cluster, &graph, PlannerOptions::default().with_alpha(1e-6)).optimize(1);
     let mem = |seqs: &[primepar::partition::PartitionSeq]| {
         simulate_layer(&cluster, &graph, seqs).peak_memory_bytes
     };
